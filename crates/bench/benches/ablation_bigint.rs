@@ -1,0 +1,64 @@
+//! **Ablation A4** — bignum design choices: Montgomery vs plain
+//! modular exponentiation, and Karatsuba vs schoolbook multiplication
+//! around the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bigint::{modpow_plain, mul_karatsuba_pub, mul_schoolbook_pub, random_bits, random_odd_bits, Barrett, BigUint, Montgomery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("ablation_modpow");
+    for bits in [256usize, 512, 1024] {
+        let m = random_odd_bits(&mut rng, bits);
+        let base = random_bits(&mut rng, bits - 1);
+        let exp = random_bits(&mut rng, bits);
+        let mont = Montgomery::new(&m);
+        group.bench_with_input(BenchmarkId::new("montgomery", bits), &bits, |b, _| {
+            b.iter(|| std::hint::black_box(mont.modpow(&base, &exp)));
+        });
+        let barrett = Barrett::new(&m);
+        group.bench_with_input(BenchmarkId::new("barrett", bits), &bits, |b, _| {
+            b.iter(|| std::hint::black_box(barrett.modpow(&base, &exp)));
+        });
+        group.bench_with_input(BenchmarkId::new("plain", bits), &bits, |b, _| {
+            b.iter(|| std::hint::black_box(modpow_plain(&base, &exp, &m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("ablation_mul");
+    for limbs in [16usize, 32, 64, 128] {
+        let a = random_bits(&mut rng, limbs * 64);
+        let b_ = random_bits(&mut rng, limbs * 64);
+        group.bench_with_input(BenchmarkId::new("schoolbook", limbs), &limbs, |b, _| {
+            b.iter(|| std::hint::black_box(mul_schoolbook_pub(&a, &b_)));
+        });
+        group.bench_with_input(BenchmarkId::new("karatsuba", limbs), &limbs, |b, _| {
+            b.iter(|| std::hint::black_box(mul_karatsuba_pub(&a, &b_)));
+        });
+        group.bench_with_input(BenchmarkId::new("dispatching", limbs), &limbs, |b, _| {
+            b.iter(|| std::hint::black_box(&a * &b_));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha_hash_to_int(c: &mut Criterion) {
+    // The Fiat–Shamir hot path.
+    let data = vec![0xA5u8; 1024];
+    c.bench_function("sha256_1k", |b| {
+        b.iter(|| std::hint::black_box(ppms_crypto::Sha256::digest(&data)));
+    });
+    let bound = BigUint::parse_hex("ffffffffffffffffffffffffffffff61").unwrap();
+    c.bench_function("hash_to_int_128", |b| {
+        b.iter(|| std::hint::black_box(ppms_crypto::hash::hash_to_int("bench", &[&data], &bound)));
+    });
+}
+
+criterion_group!(benches, bench_modpow, bench_mul, bench_sha_hash_to_int);
+criterion_main!(benches);

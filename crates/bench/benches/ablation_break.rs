@@ -1,0 +1,58 @@
+//! **Ablation A2** — cash-break strategies: payment construction and
+//! receiver-side verification cost for unitary vs PCBA vs EPCBA, for
+//! the same amount. Quantifies the privacy/efficiency trade-off the
+//! paper's §IV-C motivates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bench::cfg;
+use ppms_ecash::{build_payment, plan_break, receive_payment, CashBreak, DecBank, DecParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_strategies(c: &mut Criterion) {
+    let levels = 5;
+    let w = 21; // 10101b: mid-weight amount
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = DecParams::fixture(levels, cfg::ZKP_ROUNDS);
+    let bank = DecBank::new(&mut rng, params.clone(), cfg::RSA_BITS);
+    let coin = bank.withdraw_coin(&mut rng);
+    let sig_bytes = bank.public_key().size_bytes();
+
+    let mut group = c.benchmark_group("ablation_break_build");
+    group.sample_size(10);
+    for strategy in [CashBreak::Unitary, CashBreak::Pcba, CashBreak::Epcba] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &s| {
+                let plan = plan_break(s, w, levels).unwrap();
+                b.iter(|| {
+                    std::hint::black_box(
+                        build_payment(&mut rng, &params, &coin, &plan, b"", sig_bytes).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_break_verify");
+    group.sample_size(10);
+    for strategy in [CashBreak::Unitary, CashBreak::Pcba, CashBreak::Epcba] {
+        let plan = plan_break(strategy, w, levels).unwrap();
+        let items = build_payment(&mut rng, &params, &coin, &plan, b"", sig_bytes).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    std::hint::black_box(receive_payment(&params, bank.public_key(), items, b""))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Ablation A5** — sequential vs rayon-parallel Cunningham chain
+//! search (the `Setup(DEC)` hot loop of Fig. 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_primes::{find_chain, find_chain_parallel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_chain_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_chain");
+    group.sample_size(10);
+    for length in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("sequential", length), &length, |b, &len| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                std::hint::black_box(find_chain(&mut rng, 20, len))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", length), &length, |b, &len| {
+            let mut seed = 10_000u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(find_chain_parallel(20, len, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_search);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **Ablation A3** — rayon-parallel vs sequential verification of a
+//! unitary payment bundle (the SP-side hot loop: `2^L` coins arrive in
+//! one payment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bench::cfg;
+use ppms_core::sim::{verify_bundle_parallel, verify_bundle_sequential};
+use ppms_ecash::{build_payment, plan_break, CashBreak, DecBank, DecParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_parallel_verify(c: &mut Criterion) {
+    let levels = 5;
+    let mut rng = StdRng::seed_from_u64(6);
+    let params = DecParams::fixture(levels, cfg::ZKP_ROUNDS);
+    let bank = DecBank::new(&mut rng, params.clone(), cfg::RSA_BITS);
+    let coin = bank.withdraw_coin(&mut rng);
+    let plan = plan_break(CashBreak::Unitary, 1 << levels, levels).unwrap();
+    let items =
+        build_payment(&mut rng, &params, &coin, &plan, b"", bank.public_key().size_bytes()).unwrap();
+
+    let mut group = c.benchmark_group("ablation_parallel_verify");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &items, |b, items| {
+        b.iter(|| std::hint::black_box(verify_bundle_sequential(&params, bank.public_key(), items, b"")));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("rayon"), &items, |b, items| {
+        b.iter(|| std::hint::black_box(verify_bundle_parallel(&params, bank.public_key(), items, b"")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_verify);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! **Fig. 2** — Setup executing time of each level.
+//!
+//! The dominant setup cost is finding the Cunningham chain of
+//! `L + 2` links (paper §VI-A: "it's unreasonable to compute this
+//! chain in setup stage for each time"). The paper's curve is flat for
+//! small `L` and explodes around `L = 7`; we benchmark the same
+//! search at the levels that finish in bench-friendly time and leave
+//! the blow-up tail to `report fig2`, which enforces a wall-clock
+//! budget instead of Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_primes::find_chain_parallel;
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_setup");
+    group.sample_size(10);
+    for levels in [0usize, 1, 2, 3] {
+        let chain_len = levels + 2;
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(find_chain_parallel(20, chain_len, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **Fig. 3** — Executing time of each possible node level.
+//!
+//! The paper measures the post-setup "main steps" per tree node: with
+//! the level fixed, deeper nodes (`Ni`) cost more. Our spend+verify of
+//! a node at depth `Ni` reproduces exactly that growth: each extra
+//! level adds a key derivation, a group-membership check and an OR
+//! proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bench::cfg;
+use ppms_ecash::{DecBank, DecParams, NodePath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_node_levels(c: &mut Criterion) {
+    let levels = 8;
+    let mut rng = StdRng::seed_from_u64(3);
+    let params = DecParams::fixture(levels, cfg::ZKP_ROUNDS);
+    let bank = DecBank::new(&mut rng, params.clone(), cfg::RSA_BITS);
+    let coin = bank.withdraw_coin(&mut rng);
+
+    let mut group = c.benchmark_group("fig3_node");
+    group.sample_size(20);
+    for depth in 1..=levels {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let path = NodePath::from_index(d, 0);
+            b.iter(|| {
+                let spend = coin.spend(&mut rng, &params, &path, b"bench");
+                std::hint::black_box(spend.verify(&params, bank.public_key(), b"bench").unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_levels);
+criterion_main!(benches);

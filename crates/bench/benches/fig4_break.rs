@@ -1,0 +1,31 @@
+//! **Fig. 4** — Executing time of each breaking node.
+//!
+//! The paper fixes `L = 12` and derives "every child node and their
+//! path values to root": the deeper the breaking node, the costlier.
+//! Our equivalent is the node-key derivation `t_1 … t_d` (one modular
+//! exponentiation pair per level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bench::cfg;
+use ppms_ecash::{Coin, DecParams, NodePath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_breaking(c: &mut Criterion) {
+    let levels = 12;
+    let mut rng = StdRng::seed_from_u64(4);
+    let params = DecParams::fixture(levels, cfg::ZKP_ROUNDS);
+    let coin = Coin::mint(&mut rng, &params);
+
+    let mut group = c.benchmark_group("fig4_break");
+    for depth in 1..=10usize {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let path = NodePath::from_index(d, (1 << d) - 1);
+            b.iter(|| std::hint::black_box(coin.node_key(&params, &path)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_breaking);
+criterion_main!(benches);

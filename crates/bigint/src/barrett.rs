@@ -1,0 +1,131 @@
+//! Barrett reduction: division-free modular reduction for a fixed
+//! modulus, the classic alternative to Montgomery arithmetic.
+//!
+//! Montgomery needs an odd modulus and a domain conversion; Barrett
+//! works for any modulus and reduces values directly, which makes it
+//! the better choice for one-shot reductions of double-width products.
+//! The `ablation_bigint` bench compares the two — Montgomery wins on
+//! long exponentiations (this workspace's hot path), Barrett on
+//! isolated multiplications.
+
+use crate::BigUint;
+
+/// A reusable Barrett context for modulus `m > 1`.
+#[derive(Debug, Clone)]
+pub struct Barrett {
+    m: BigUint,
+    /// `μ = floor(2^(2k) / m)` with `k = bits(m)`.
+    mu: BigUint,
+    /// `k = bits(m)`.
+    k: usize,
+}
+
+impl Barrett {
+    /// Creates a context. Panics if `m <= 1`.
+    pub fn new(m: &BigUint) -> Barrett {
+        assert!(m > &BigUint::one(), "Barrett modulus must exceed 1");
+        let k = m.bits();
+        let mu = &(BigUint::one() << (2 * k)) / m;
+        Barrett { m: m.clone(), mu, k }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.m
+    }
+
+    /// Reduces `x < m²` to `x mod m` without a division.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        debug_assert!(x < &(&self.m * &self.m), "Barrett input must be < m^2");
+        // q = floor( floor(x / 2^(k-1)) * mu / 2^(k+1) )
+        let q = &(&(x >> (self.k - 1)) * &self.mu) >> (self.k + 1);
+        let mut r = x - &(&q * &self.m);
+        // At most two conditional subtractions.
+        while r >= self.m {
+            r = &r - &self.m;
+        }
+        r
+    }
+
+    /// `a · b mod m` for `a, b < m`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a < &self.m && b < &self.m);
+        self.reduce(&(a * b))
+    }
+
+    /// `base^exp mod m` by square-and-multiply over Barrett products.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let mut acc = &BigUint::one() % &self.m;
+        let mut b = base % &self.m;
+        let nbits = exp.bits();
+        for i in 0..nbits {
+            if exp.bit(i) {
+                acc = self.mul(&acc, &b);
+            }
+            if i + 1 < nbits {
+                b = self.mul(&b, &b);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_below, random_odd_bits, Montgomery};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduce_matches_rem() {
+        let m = BigUint::from(1_000_003u64);
+        let br = Barrett::new(&m);
+        for x in [0u64, 1, 999_999, 1_000_003, 123_456_789] {
+            let x = BigUint::from(x);
+            assert_eq!(br.reduce(&x), &x % &m, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn works_for_even_moduli() {
+        // Montgomery cannot do this; Barrett can.
+        let m = BigUint::from(1u64 << 20);
+        let br = Barrett::new(&m);
+        let a = BigUint::from(123_456u64);
+        let b = BigUint::from(654_321u64);
+        assert_eq!(br.mul(&a, &b), (&a * &b) % &m);
+        assert_eq!(
+            br.modpow(&a, &BigUint::from(10u64)),
+            a.modpow(&BigUint::from(10u64), &m)
+        );
+    }
+
+    #[test]
+    fn matches_montgomery_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(0xBA88);
+        for _ in 0..10 {
+            let m = random_odd_bits(&mut rng, 192);
+            let br = Barrett::new(&m);
+            let mont = Montgomery::new(&m);
+            let a = random_below(&mut rng, &m);
+            let b = random_below(&mut rng, &m);
+            let e = random_below(&mut rng, &m);
+            assert_eq!(br.mul(&a, &b), mont.mul(&a, &b));
+            assert_eq!(br.modpow(&a, &e), mont.modpow(&a, &e));
+        }
+    }
+
+    #[test]
+    fn fermat_through_barrett() {
+        let p = BigUint::from(1_000_000_007u64);
+        let br = Barrett::new(&p);
+        assert_eq!(br.modpow(&BigUint::from(2u64), &(&p - 1u64)), BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn tiny_modulus_rejected() {
+        Barrett::new(&BigUint::one());
+    }
+}

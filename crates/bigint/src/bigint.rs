@@ -1,0 +1,248 @@
+//! A minimal signed integer built on [`BigUint`]. Used where
+//! intermediate values may go negative: extended gcd, Fiat–Shamir
+//! responses, pairing line evaluations.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+/// Signed arbitrary-precision integer (magnitude + sign).
+///
+/// Canonical form: zero is always `(Plus, 0)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+    }
+
+    /// Wraps an unsigned value as non-negative.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        BigInt { sign: Sign::Plus, mag }
+    }
+
+    /// Builds from sign and magnitude, canonicalizing zero.
+    pub fn new(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// `true` iff negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes into the magnitude (absolute value).
+    pub fn abs_biguint(&self) -> BigUint {
+        self.mag.clone()
+    }
+
+    /// Canonical non-negative residue mod `m` (in `[0, m)`).
+    pub fn mod_floor(&self, m: &BigUint) -> BigUint {
+        let r = &self.mag % m;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+
+    /// Floor division with remainder of the same sign as the divisor —
+    /// exactly what the extended Euclid loop needs.
+    pub fn divrem_floor(&self, d: &BigInt) -> (BigInt, BigInt) {
+        assert!(!d.is_zero(), "division by zero BigInt");
+        let (q_mag, r_mag) = self.mag.divrem(&d.mag);
+        match (self.sign, d.sign) {
+            (Sign::Plus, Sign::Plus) => (BigInt::new(Sign::Plus, q_mag), BigInt::new(Sign::Plus, r_mag)),
+            (Sign::Minus, Sign::Minus) => (BigInt::new(Sign::Plus, q_mag), BigInt::new(Sign::Minus, r_mag)),
+            (Sign::Minus, Sign::Plus) => {
+                if r_mag.is_zero() {
+                    (BigInt::new(Sign::Minus, q_mag), BigInt::zero())
+                } else {
+                    (
+                        BigInt::new(Sign::Minus, &q_mag + &BigUint::one()),
+                        BigInt::new(Sign::Plus, &d.mag - &r_mag),
+                    )
+                }
+            }
+            (Sign::Plus, Sign::Minus) => {
+                if r_mag.is_zero() {
+                    (BigInt::new(Sign::Minus, q_mag), BigInt::zero())
+                } else {
+                    (
+                        BigInt::new(Sign::Minus, &q_mag + &BigUint::one()),
+                        BigInt::new(Sign::Minus, &d.mag - &r_mag),
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt::new(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::new(Sign::Plus, BigUint::from(v as u64))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        BigInt::from_biguint(v)
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        match self.sign {
+            _ if self.is_zero() => BigInt::zero(),
+            Sign::Plus => BigInt::new(Sign::Minus, self.mag.clone()),
+            Sign::Minus => BigInt::new(Sign::Plus, self.mag.clone()),
+        }
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            BigInt::new(self.sign, &self.mag + &rhs.mag)
+        } else {
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::new(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => BigInt::new(rhs.sign, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::new(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.mag.to_dec())
+        } else {
+            f.write_str(&self.mag.to_dec())
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_add_sub() {
+        assert_eq!(&bi(5) + &bi(-3), bi(2));
+        assert_eq!(&bi(-5) + &bi(3), bi(-2));
+        assert_eq!(&bi(-5) + &bi(-3), bi(-8));
+        assert_eq!(&bi(3) - &bi(5), bi(-2));
+        assert_eq!(&bi(-3) - &bi(-3), BigInt::zero());
+    }
+
+    #[test]
+    fn signed_mul() {
+        assert_eq!(&bi(-4) * &bi(3), bi(-12));
+        assert_eq!(&bi(-4) * &bi(-3), bi(12));
+        assert_eq!(&bi(0) * &bi(-3), BigInt::zero());
+        assert!(!(&bi(0) * &bi(-3)).is_negative(), "zero is canonical Plus");
+    }
+
+    #[test]
+    fn mod_floor_negative() {
+        let m = BigUint::from(7u64);
+        assert_eq!(bi(-1).mod_floor(&m), BigUint::from(6u64));
+        assert_eq!(bi(-7).mod_floor(&m), BigUint::zero());
+        assert_eq!(bi(-15).mod_floor(&m), BigUint::from(6u64));
+        assert_eq!(bi(10).mod_floor(&m), BigUint::from(3u64));
+    }
+
+    #[test]
+    fn divrem_floor_signs() {
+        // Floor semantics: -7 / 2 = -4 rem 1; 7 / -2 = -4 rem -1.
+        for (a, d, q, r) in [(7i64, 2i64, 3i64, 1i64), (-7, 2, -4, 1), (7, -2, -4, -1), (-7, -2, 3, -1), (-6, 3, -2, 0)] {
+            let (qq, rr) = bi(a).divrem_floor(&bi(d));
+            assert_eq!(qq, bi(q), "q for {a}/{d}");
+            assert_eq!(rr, bi(r), "r for {a}/{d}");
+        }
+    }
+
+    #[test]
+    fn neg_zero_canonical() {
+        let z = -&BigInt::zero();
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+    }
+}

@@ -1,0 +1,180 @@
+//! Conversions: big-endian bytes, hex and decimal strings.
+
+use crate::BigUint;
+
+/// Error parsing a textual big integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    bad_char: char,
+}
+
+impl std::fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid digit {:?} in big integer literal", self.bad_char)
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl BigUint {
+    /// Builds from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut l = 0u64;
+            for &b in chunk {
+                l = (l << 8) | b as u64;
+            }
+            limbs.push(l);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros
+    /// (`0` serializes to an empty vector).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with
+    /// zeros. Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value needs {} bytes, got {len}", raw.len());
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn parse_hex(s: &str) -> Result<BigUint, ParseBigUintError> {
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseBigUintError { bad_char: c })?;
+            acc = (acc << 4usize) + BigUint::from(d as u64);
+        }
+        Ok(acc)
+    }
+
+    /// Formats as lowercase hex (no prefix; `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for &l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    pub fn parse_dec(s: &str) -> Result<BigUint, ParseBigUintError> {
+        let mut acc = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigUintError { bad_char: c })?;
+            acc = &(&acc * &ten) + &BigUint::from(d as u64);
+        }
+        Ok(acc)
+    }
+
+    /// Formats as a decimal string.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        // Peel 19 digits at a time (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut n = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !n.is_zero() {
+            let (q, r) = n.divrem_u64(CHUNK);
+            parts.push(r);
+            n = q;
+        }
+        let mut s = parts.last().unwrap().to_string();
+        for p in parts.iter().rev().skip(1) {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let cases: &[&[u8]] = &[&[], &[1], &[0xff; 9], &[1, 0, 0, 0, 0, 0, 0, 0, 0]];
+        for &c in cases {
+            let v = BigUint::from_bytes_be(c);
+            let back = v.to_bytes_be();
+            // Roundtrip strips leading zeros but preserves the value.
+            assert_eq!(BigUint::from_bytes_be(&back), v);
+        }
+    }
+
+    #[test]
+    fn bytes_leading_zeros_ignored() {
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 1, 2]),
+            BigUint::from_bytes_be(&[1, 2])
+        );
+        assert_eq!(BigUint::from_bytes_be(&[0, 0]), BigUint::zero());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = BigUint::from(0x0102u64);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+        assert_eq!(v.to_bytes_be_padded(2), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn padded_bytes_too_small_panics() {
+        BigUint::from(0x010203u64).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::parse_hex(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+        }
+        assert_eq!(BigUint::parse_hex("FF").unwrap(), BigUint::from(255u64));
+        assert!(BigUint::parse_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn dec_roundtrip() {
+        for s in ["0", "7", "18446744073709551616", "340282366920938463463374607431768211455", "99999999999999999999999999999999999999999"] {
+            let v = BigUint::parse_dec(s).unwrap();
+            assert_eq!(v.to_dec(), s, "roundtrip {s}");
+        }
+        assert!(BigUint::parse_dec("12a").is_err());
+    }
+
+    #[test]
+    fn dec_matches_u128() {
+        let x = 123_456_789_012_345_678_901_234_567u128;
+        assert_eq!(BigUint::from(x).to_dec(), x.to_string());
+    }
+
+    #[test]
+    fn hex_matches_bytes() {
+        let v = BigUint::from_bytes_be(&[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(v.to_hex(), "deadbeef");
+    }
+}

@@ -1,0 +1,139 @@
+//! Euclidean machinery: gcd, extended gcd (signed), lcm, Jacobi symbol.
+
+use crate::{BigInt, BigUint};
+
+/// Greatest common divisor (binary-free Euclid; division is fast here).
+pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple; `lcm(0, x) = 0`.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let g = gcd(a, b);
+    &(a / &g) * b
+}
+
+/// Extended gcd: returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+pub fn ext_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
+    let mut r0 = BigInt::from_biguint(a.clone());
+    let mut r1 = BigInt::from_biguint(b.clone());
+    let (mut x0, mut x1) = (BigInt::one(), BigInt::zero());
+    let (mut y0, mut y1) = (BigInt::zero(), BigInt::one());
+    while !r1.is_zero() {
+        let (q, r) = r0.divrem_floor(&r1);
+        r0 = r1;
+        r1 = r;
+        let nx = &x0 - &(&q * &x1);
+        x0 = x1;
+        x1 = nx;
+        let ny = &y0 - &(&q * &y1);
+        y0 = y1;
+        y1 = ny;
+    }
+    (r0.abs_biguint(), x0, y0)
+}
+
+/// Jacobi symbol `(a/n)` for odd positive `n`. Returns `0`, `1` or `-1`.
+/// Panics if `n` is even or zero.
+pub fn jacobi(a: &BigUint, n: &BigUint) -> i32 {
+    assert!(n.is_odd() && !n.is_zero(), "Jacobi symbol needs odd n > 0");
+    let mut a = a % n;
+    let mut n = n.clone();
+    let mut result = 1i32;
+    while !a.is_zero() {
+        while a.is_even() {
+            a = &a >> 1usize;
+            let r = (&n % 8u64) as u32;
+            if r == 3 || r == 5 {
+                result = -result;
+            }
+        }
+        std::mem::swap(&mut a, &mut n);
+        if (&a % 4u64) == 3 && (&n % 4u64) == 3 {
+            result = -result;
+        }
+        a = &a % &n;
+    }
+    if n.is_one() {
+        result
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&b(12), &b(18)), b(6));
+        assert_eq!(gcd(&b(17), &b(31)), b(1));
+        assert_eq!(gcd(&b(0), &b(5)), b(5));
+        assert_eq!(gcd(&b(5), &b(0)), b(5));
+        assert_eq!(gcd(&b(0), &b(0)), b(0));
+    }
+
+    #[test]
+    fn gcd_large() {
+        let a = BigUint::parse_dec("123456789123456789123456789").unwrap();
+        let c = BigUint::from(999983u64); // prime
+        let x = &a * &c;
+        let y = &b(424242) * &c;
+        assert_eq!(&gcd(&x, &y) % &c, BigUint::zero());
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(&b(4), &b(6)), b(12));
+        assert_eq!(lcm(&b(0), &b(9)), b(0));
+        assert_eq!(lcm(&b(7), &b(13)), b(91));
+    }
+
+    #[test]
+    fn ext_gcd_bezout() {
+        for (x, y) in [(240u64, 46u64), (17, 31), (100, 75), (1, 1), (999983, 2)] {
+            let (g, s, t) = ext_gcd(&b(x), &b(y));
+            assert_eq!(g, gcd(&b(x), &b(y)), "gcd mismatch for {x},{y}");
+            let lhs = &(&BigInt::from_biguint(b(x)) * &s) + &(&BigInt::from_biguint(b(y)) * &t);
+            assert_eq!(lhs, BigInt::from_biguint(g), "Bezout for {x},{y}");
+        }
+    }
+
+    #[test]
+    fn jacobi_known_values() {
+        // (a/7): QRs mod 7 are {1,2,4}.
+        assert_eq!(jacobi(&b(1), &b(7)), 1);
+        assert_eq!(jacobi(&b(2), &b(7)), 1);
+        assert_eq!(jacobi(&b(3), &b(7)), -1);
+        assert_eq!(jacobi(&b(4), &b(7)), 1);
+        assert_eq!(jacobi(&b(5), &b(7)), -1);
+        assert_eq!(jacobi(&b(6), &b(7)), -1);
+        assert_eq!(jacobi(&b(7), &b(7)), 0);
+        // Composite lower argument: (2/15) = (2/3)(2/5) = (-1)(-1) = 1.
+        assert_eq!(jacobi(&b(2), &b(15)), 1);
+        // (1001/9907) = -1 (classic textbook example).
+        assert_eq!(jacobi(&b(1001), &b(9907)), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn jacobi_even_n_panics() {
+        jacobi(&b(3), &b(8));
+    }
+}

@@ -1,0 +1,57 @@
+//! # ppms-bigint
+//!
+//! Arbitrary-precision integer arithmetic for the PPMS reproduction.
+//!
+//! The PPMS paper's two market mechanisms are built entirely out of
+//! public-key cryptography over large integers (RSA, Schnorr groups,
+//! a group tower over a Cunningham chain, and a Type-A pairing). This
+//! crate provides the number substrate from scratch — no external
+//! bignum crates — with the performance features those workloads need:
+//!
+//! * [`BigUint`]: little-endian `u64`-limb unsigned integers, always
+//!   normalized (no trailing zero limbs),
+//! * schoolbook and Karatsuba multiplication with an empirically chosen
+//!   crossover,
+//! * Knuth Algorithm D division,
+//! * Montgomery modular exponentiation (odd moduli) with a plain
+//!   square-and-multiply fallback,
+//! * extended Euclid / modular inverse, Jacobi symbols,
+//! * random generation, and decimal/hex/byte conversions.
+//!
+//! [`BigInt`] is a thin signed wrapper used where subtraction may go
+//! negative (extended gcd, ZK responses).
+//!
+//! ## Example
+//!
+//! ```
+//! use ppms_bigint::BigUint;
+//!
+//! let a = BigUint::from(123456789u64);
+//! let b = BigUint::parse_dec("987654321987654321").unwrap();
+//! let m = BigUint::from(1000000007u64);
+//! let c = a.modpow(&b, &m);
+//! assert_eq!(c.to_dec(), "689051811");
+//! ```
+
+mod arith;
+mod barrett;
+mod bigint;
+mod biguint;
+mod convert;
+mod div;
+mod gcd;
+mod modular;
+mod montgomery;
+mod mul;
+mod random;
+mod shift;
+
+pub use crate::barrett::Barrett;
+pub use crate::bigint::{BigInt, Sign};
+pub use crate::biguint::BigUint;
+pub use crate::gcd::{ext_gcd, gcd, jacobi, lcm};
+pub use crate::montgomery::Montgomery;
+pub use crate::convert::ParseBigUintError;
+pub use crate::modular::modpow_plain;
+pub use crate::mul::{mul_karatsuba_pub, mul_schoolbook_pub};
+pub use crate::random::{random_below, random_bits, random_odd_bits, random_unit_range};

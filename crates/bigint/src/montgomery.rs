@@ -1,0 +1,264 @@
+//! Montgomery arithmetic: REDC-based modular multiplication and
+//! exponentiation for odd moduli. This is the hot path of every RSA,
+//! Schnorr-group and pairing operation in the workspace — `modpow`
+//! dominates all of the paper's figures.
+
+use crate::BigUint;
+
+/// A reusable Montgomery context for a fixed odd modulus.
+///
+/// Construction precomputes `n' = -n^{-1} mod 2^64` and `R^2 mod n`
+/// (`R = 2^(64·k)` for `k` limbs), after which each multiplication is a
+/// single interleaved CIOS pass with no divisions.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    n: BigUint,
+    /// Number of limbs of `n`; all Montgomery residues use this width.
+    k: usize,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// `R^2 mod n`, used to enter the Montgomery domain.
+    r2: BigUint,
+    /// `R mod n` = Montgomery form of 1.
+    r1: BigUint,
+}
+
+/// `-n^{-1} mod 2^64` by Newton–Hensel lifting (n odd).
+fn neg_inv_u64(n0: u64) -> u64 {
+    debug_assert!(n0 & 1 == 1);
+    let mut x = n0; // correct mod 2^3 already for odd n0? use 5 lifts from mod 2^1
+    // Newton iteration doubles the number of correct bits each step.
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(x), 1);
+    x.wrapping_neg()
+}
+
+impl Montgomery {
+    /// Creates a context for odd modulus `n > 1`.
+    ///
+    /// Panics if `n` is even or `<= 1`.
+    pub fn new(n: &BigUint) -> Montgomery {
+        assert!(n.is_odd() && !n.is_one(), "Montgomery requires an odd modulus > 1");
+        let k = n.limbs().len();
+        let n_prime = neg_inv_u64(n.limbs()[0]);
+        let r1 = &(BigUint::one() << (64 * k)) % n;
+        let r2 = &(&r1 * &r1) % n;
+        Montgomery { n: n.clone(), k, n_prime, r2, r1 }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery reduction of a product accumulator (CIOS form):
+    /// computes `a * b * R^{-1} mod n` where `a`, `b` are `k`-limb
+    /// Montgomery residues.
+    #[allow(clippy::needless_range_loop)] // explicit limb indexing mirrors the CIOS paper
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let n = self.n.limbs();
+        // t has k+2 limbs: accumulator for CIOS.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = a.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let x = t[j] as u128 + ai as u128 * b.get(j).copied().unwrap_or(0) as u128 + carry;
+                t[j] = x as u64;
+                carry = x >> 64;
+            }
+            let x = t[k] as u128 + carry;
+            t[k] = x as u64;
+            t[k + 1] = (x >> 64) as u64;
+
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let x = t[0] as u128 + m as u128 * n[0] as u128;
+            let mut carry = x >> 64;
+            for j in 1..k {
+                let x = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j - 1] = x as u64;
+                carry = x >> 64;
+            }
+            let x = t[k] as u128 + carry;
+            t[k - 1] = x as u64;
+            t[k] = t[k + 1] + (x >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        // Final conditional subtraction.
+        let mut out = t[..=k].to_vec();
+        let needs_sub = out[k] != 0 || {
+            // compare out[..k] >= n
+            let mut ge = true;
+            for j in (0..k).rev() {
+                if out[j] != n[j] {
+                    ge = out[j] > n[j];
+                    break;
+                }
+            }
+            ge
+        };
+        if needs_sub {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = out[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 | b2) as u64;
+            }
+            out[k] = out[k].wrapping_sub(borrow);
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// Converts into the Montgomery domain (`x * R mod n`).
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let x = x % &self.n;
+        self.mont_mul(x.limbs(), self.r2.limbs())
+    }
+
+    /// Converts out of the Montgomery domain.
+    #[allow(clippy::wrong_self_convention)] // reads as "from Montgomery form", not a constructor
+    fn from_mont(&self, x: &[u64]) -> BigUint {
+        BigUint::from_limbs(self.mont_mul(x, &[1]))
+    }
+
+    /// `a * b mod n` through the Montgomery domain.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` with a 4-bit fixed window over Montgomery
+    /// residues.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return &BigUint::one() % &self.n;
+        }
+        let bm = self.to_mont(base);
+        // Window table: w[i] = base^i in Montgomery form, i in 0..16.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.limbs().to_vec()); // base^0 = 1 (Montgomery form of 1 is R mod n)
+        let mut t0 = table[0].clone();
+        t0.resize(self.k, 0);
+        table[0] = t0;
+        for i in 1..16 {
+            table.push(self.mont_mul(&table[i - 1], &bm));
+        }
+
+        let nbits = exp.bits();
+        let nwindows = nbits.div_ceil(4);
+        let mut acc = table[0].clone(); // 1 in Montgomery form
+        let mut started = false;
+        for w in (0..nwindows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let bit = w * 4 + (3 - b);
+                digit <<= 1;
+                if exp.bit(bit) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // keep squaring; nothing to multiply
+            } else {
+                // leading zero window before the first set bit
+            }
+        }
+        if !started {
+            // exp had no set bits — handled above, but keep safe.
+            return &BigUint::one() % &self.n;
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    /// Reference modpow: plain square-and-multiply with divrem.
+    fn modpow_naive(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+        let mut acc = &BigUint::one() % m;
+        let mut b = base % m;
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                acc = &(&acc * &b) % m;
+            }
+            b = &(&b * &b) % m;
+        }
+        acc
+    }
+
+    #[test]
+    fn neg_inv_works() {
+        for n0 in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let x = neg_inv_u64(n0);
+            assert_eq!(n0.wrapping_mul(x), 1u64.wrapping_neg(), "n0 = {n0:#x}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_small() {
+        let n = BigUint::from(101u64);
+        let mont = Montgomery::new(&n);
+        assert_eq!(mont.mul(&BigUint::from(7u64), &BigUint::from(20u64)), BigUint::from(39u64));
+        assert_eq!(mont.mul(&BigUint::from(100u64), &BigUint::from(100u64)), BigUint::from(1u64));
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // a^(p-1) = 1 mod p for prime p.
+        let p = BigUint::from(1_000_000_007u64);
+        let mont = Montgomery::new(&p);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(mont.modpow(&BigUint::from(a), &(&p - 1u64)), BigUint::one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn modpow_matches_naive_multilimb() {
+        // 192-bit odd modulus.
+        let m = BigUint::parse_hex("f123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        assert!(m.is_odd());
+        let base = BigUint::parse_hex("deadbeefcafebabe1122334455667788").unwrap();
+        let exp = BigUint::parse_hex("0102030405060708090a0b0c0d0e0f10").unwrap();
+        let mont = Montgomery::new(&m);
+        assert_eq!(mont.modpow(&base, &exp), modpow_naive(&base, &exp, &m));
+    }
+
+    #[test]
+    fn modpow_edges() {
+        let m = BigUint::from(99991u64);
+        let mont = Montgomery::new(&m);
+        assert_eq!(mont.modpow(&BigUint::from(5u64), &BigUint::zero()), BigUint::one());
+        assert_eq!(mont.modpow(&BigUint::zero(), &BigUint::from(5u64)), BigUint::zero());
+        assert_eq!(mont.modpow(&BigUint::from(5u64), &BigUint::one()), BigUint::from(5u64));
+        // base >= modulus gets reduced first
+        assert_eq!(
+            mont.modpow(&(&m + 7u64), &BigUint::two()),
+            BigUint::from(49u64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_panics() {
+        Montgomery::new(&BigUint::from(100u64));
+    }
+}

@@ -1,0 +1,255 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! crossover. The crossover (in limbs) was tuned with
+//! `ablation_bigint` in `ppms-bench`; 32 limbs (2048 bits) is a good
+//! default on x86-64.
+
+use crate::BigUint;
+use std::ops::{Mul, MulAssign};
+
+/// Operand size (in limbs) above which Karatsuba beats schoolbook.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook `a * b` over raw limb slices.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + x as u128 * y as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Adds `b` into `acc` starting at limb offset `shift`.
+fn add_shifted(acc: &mut Vec<u64>, b: &[u64], shift: usize) {
+    if acc.len() < shift + b.len() + 1 {
+        acc.resize(shift + b.len() + 1, 0);
+    }
+    let mut carry = 0u64;
+    for (j, &y) in b.iter().enumerate() {
+        let (s1, c1) = acc[shift + j].overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        acc[shift + j] = s2;
+        carry = (c1 | c2) as u64;
+    }
+    let mut k = shift + b.len();
+    while carry != 0 {
+        if k == acc.len() {
+            acc.push(0);
+        }
+        let (s, c) = acc[k].overflowing_add(carry);
+        acc[k] = s;
+        carry = c as u64;
+        k += 1;
+    }
+}
+
+/// Subtracts `b` from `acc` in place; `acc >= b` must hold.
+#[allow(clippy::needless_range_loop)] // dual-slice indexing with early exit
+fn sub_in_place(acc: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..acc.len() {
+        let y = b.get(i).copied().unwrap_or(0);
+        if y == 0 && borrow == 0 && i >= b.len() {
+            break;
+        }
+        let (d1, b1) = acc[i].overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        acc[i] = d2;
+        borrow = (b1 | b2) as u64;
+    }
+    debug_assert_eq!(borrow, 0, "sub_in_place underflow");
+}
+
+fn normalized(mut v: Vec<u64>) -> Vec<u64> {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
+}
+
+/// Karatsuba `a * b` over raw limb slices; recurses until the
+/// schoolbook threshold.
+fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()).div_ceil(2);
+    let (a0, a1) = a.split_at(half.min(a.len()));
+    let (b0, b1) = b.split_at(half.min(b.len()));
+    let a0 = normalized(a0.to_vec());
+    let b0 = normalized(b0.to_vec());
+
+    // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2
+    let z0 = mul_karatsuba(&a0, &b0);
+    let z2 = mul_karatsuba(a1, b1);
+    let mut asum = a0.clone();
+    add_shifted(&mut asum, a1, 0);
+    let asum = normalized(asum);
+    let mut bsum = b0.clone();
+    add_shifted(&mut bsum, b1, 0);
+    let bsum = normalized(bsum);
+    let mut z1 = mul_karatsuba(&asum, &bsum);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+    let z1 = normalized(z1);
+
+    let mut out = z0;
+    add_shifted(&mut out, &z1, half);
+    add_shifted(&mut out, &z2, 2 * half);
+    out
+}
+
+/// Multiplies two `BigUint`s, dispatching on operand size.
+pub(crate) fn mul(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let limbs = if a.limbs.len().min(b.limbs.len()) >= KARATSUBA_THRESHOLD {
+        mul_karatsuba(&a.limbs, &b.limbs)
+    } else {
+        mul_schoolbook(&a.limbs, &b.limbs)
+    };
+    BigUint::from_limbs(limbs)
+}
+
+/// Schoolbook multiply, exposed for the Karatsuba-threshold ablation bench.
+pub fn mul_schoolbook_pub(a: &BigUint, b: &BigUint) -> BigUint {
+    BigUint::from_limbs(mul_schoolbook(&a.limbs, &b.limbs))
+}
+
+/// Karatsuba multiply (threshold 2), exposed for the ablation bench.
+pub fn mul_karatsuba_pub(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    BigUint::from_limbs(mul_karatsuba(&a.limbs, &b.limbs))
+}
+
+impl BigUint {
+    /// `self * other` by reference.
+    #[inline]
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        mul(self, other)
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        mul(self, rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        mul(&self, &rhs)
+    }
+}
+
+impl Mul<u64> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        mul(self, &BigUint::from(rhs))
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = mul(self, rhs);
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        mul(&self, rhs)
+    }
+}
+
+impl Mul<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        mul(self, &rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = BigUint::from(123456789u64);
+        assert_eq!(&a * &BigUint::zero(), BigUint::zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn mul_u128_reference() {
+        for (x, y) in [(3u128, 5u128), (u64::MAX as u128, u64::MAX as u128), (1 << 63, 1 << 63), (987654321, 123456789)] {
+            let p = BigUint::from(x) * BigUint::from(y);
+            assert_eq!(p.to_u128(), Some(x * y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn mul_carries_across_limbs() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = BigUint::from(u128::MAX);
+        let sq = a.square();
+        let expected = (BigUint::one() << 256usize) - (BigUint::one() << 129usize) + BigUint::one();
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Deterministic pseudo-random operands big enough to recurse.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in [KARATSUBA_THRESHOLD, KARATSUBA_THRESHOLD * 2 + 3, 100] {
+            let a = BigUint::from_limbs((0..len).map(|_| next()).collect());
+            let b = BigUint::from_limbs((0..len + 7).map(|_| next()).collect());
+            assert_eq!(mul_karatsuba_pub(&a, &b), mul_schoolbook_pub(&a, &b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn karatsuba_asymmetric_operands() {
+        let a = BigUint::from_limbs(vec![u64::MAX; 80]);
+        let b = BigUint::from_limbs(vec![u64::MAX; 33]);
+        assert_eq!(mul_karatsuba_pub(&a, &b), mul_schoolbook_pub(&a, &b));
+    }
+
+    #[test]
+    fn mul_commutative_associative() {
+        let a = BigUint::from(0xDEADBEEFu64);
+        let b = BigUint::from(0xC0FFEEu64);
+        let c = BigUint::from(0x1234_5678_9ABCu64);
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+}

@@ -1,0 +1,123 @@
+//! Random [`BigUint`] generation from any [`rand::RngCore`].
+
+use crate::BigUint;
+use rand::Rng;
+
+/// Uniformly random value with exactly `bits` significant bits
+/// (top bit forced to 1). `bits == 0` returns zero.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let nlimbs = bits.div_ceil(64);
+    let mut limbs = vec![0u64; nlimbs];
+    for l in limbs.iter_mut() {
+        *l = rng.next_u64();
+    }
+    // Mask off excess high bits, then force the top bit.
+    let top_bits = bits - (nlimbs - 1) * 64;
+    if top_bits < 64 {
+        limbs[nlimbs - 1] &= (1u64 << top_bits) - 1;
+    }
+    limbs[nlimbs - 1] |= 1u64 << (top_bits - 1);
+    BigUint::from_limbs(limbs)
+}
+
+/// Random odd value with exactly `bits` bits (`bits >= 2`).
+pub fn random_odd_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "need at least 2 bits for an odd value with a set top bit");
+    let mut v = random_bits(rng, bits);
+    v.set_bit(0, true);
+    v
+}
+
+/// Uniformly random value in `[0, bound)` by rejection sampling.
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "empty range");
+    let bits = bound.bits();
+    let nlimbs = bits.div_ceil(64);
+    let top_bits = bits - (nlimbs - 1) * 64;
+    let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+    loop {
+        let mut limbs = vec![0u64; nlimbs];
+        for l in limbs.iter_mut() {
+            *l = rng.next_u64();
+        }
+        limbs[nlimbs - 1] &= mask;
+        let v = BigUint::from_limbs(limbs);
+        if &v < bound {
+            return v;
+        }
+    }
+}
+
+/// Uniformly random value in `[1, bound)`.
+pub fn random_unit_range<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(bound > &BigUint::one(), "range [1, bound) is empty");
+    loop {
+        let v = random_below(rng, bound);
+        if !v.is_zero() {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_exact_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1usize, 2, 63, 64, 65, 127, 128, 1024] {
+            let v = random_bits(&mut rng, bits);
+            assert_eq!(v.bits(), bits, "requested {bits}");
+        }
+        assert!(random_bits(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn random_odd_is_odd() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let v = random_odd_bits(&mut rng, 64);
+            assert!(v.is_odd());
+            assert_eq!(v.bits(), 64);
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from(1000u64);
+        for _ in 0..200 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+        // bound = 1 always yields 0
+        assert!(random_below(&mut rng, &BigUint::one()).is_zero());
+    }
+
+    #[test]
+    fn random_below_hits_small_range_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bound = BigUint::from(3u64);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &bound).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..3 should appear in 100 draws");
+    }
+
+    #[test]
+    fn random_unit_range_nonzero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound = BigUint::from(2u64);
+        for _ in 0..20 {
+            assert_eq!(random_unit_range(&mut rng, &bound), BigUint::one());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Bit shifts for [`BigUint`].
+
+use crate::BigUint;
+use std::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+pub(crate) fn shl(a: &BigUint, n: usize) -> BigUint {
+    if a.is_zero() || n == 0 {
+        return if n == 0 { a.clone() } else { BigUint::zero() };
+    }
+    let (limb_shift, bit_shift) = (n / 64, n % 64);
+    let mut out = vec![0u64; a.limbs.len() + limb_shift + 1];
+    for (i, &l) in a.limbs.iter().enumerate() {
+        if bit_shift == 0 {
+            out[i + limb_shift] = l;
+        } else {
+            out[i + limb_shift] |= l << bit_shift;
+            out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+        }
+    }
+    BigUint::from_limbs(out)
+}
+
+pub(crate) fn shr(a: &BigUint, n: usize) -> BigUint {
+    let (limb_shift, bit_shift) = (n / 64, n % 64);
+    if limb_shift >= a.limbs.len() {
+        return BigUint::zero();
+    }
+    let mut out = Vec::with_capacity(a.limbs.len() - limb_shift);
+    for i in limb_shift..a.limbs.len() {
+        let mut l = a.limbs[i] >> bit_shift;
+        if bit_shift != 0 {
+            if let Some(&hi) = a.limbs.get(i + 1) {
+                l |= hi << (64 - bit_shift);
+            }
+        }
+        out.push(l);
+    }
+    BigUint::from_limbs(out)
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, n: usize) -> BigUint {
+        shl(&self, n)
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, n: usize) -> BigUint {
+        shl(self, n)
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, n: usize) -> BigUint {
+        shr(&self, n)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, n: usize) -> BigUint {
+        shr(self, n)
+    }
+}
+
+impl ShlAssign<usize> for BigUint {
+    fn shl_assign(&mut self, n: usize) {
+        *self = shl(self, n);
+    }
+}
+
+impl ShrAssign<usize> for BigUint {
+    fn shr_assign(&mut self, n: usize) {
+        *self = shr(self, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn shl_basic() {
+        assert_eq!(BigUint::one() << 0usize, BigUint::one());
+        assert_eq!(BigUint::one() << 1usize, BigUint::two());
+        assert_eq!(BigUint::one() << 64usize, BigUint::from(1u128 << 64));
+        assert_eq!((BigUint::one() << 200usize).bits(), 201);
+    }
+
+    #[test]
+    fn shr_basic() {
+        let a = BigUint::one() << 200usize;
+        assert_eq!(&a >> 200usize, BigUint::one());
+        assert_eq!(&a >> 201usize, BigUint::zero());
+        assert_eq!(&a >> 0usize, a);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip() {
+        let a = BigUint::from(0xDEAD_BEEF_CAFE_BABEu64);
+        for n in [1usize, 13, 63, 64, 65, 129] {
+            assert_eq!(&(&a << n) >> n, a, "shift {n}");
+        }
+    }
+
+    #[test]
+    fn shr_discards_low_bits() {
+        let a = BigUint::from(0b1011u64);
+        assert_eq!(&a >> 1usize, BigUint::from(0b101u64));
+        assert_eq!(&a >> 3usize, BigUint::one());
+    }
+
+    #[test]
+    fn shl_zero_value() {
+        assert_eq!(BigUint::zero() << 100usize, BigUint::zero());
+        assert_eq!(BigUint::zero() >> 5usize, BigUint::zero());
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let a = BigUint::from(987654321u64);
+        assert_eq!(&a << 5usize, &a * 32u64);
+        assert_eq!(&a << 64usize, &a * &(BigUint::one() << 64usize));
+    }
+}

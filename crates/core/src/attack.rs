@@ -1,0 +1,318 @@
+//! The **denomination attack** and its evaluation (paper §IV-B).
+//!
+//! The bulletin board publishes every job's per-SP payment `w`. The
+//! MA also sees each SP account's deposit stream. If the JO does not
+//! break its payment, a deposit of exactly `w` credits links the SP's
+//! account to the unique job paying `w` — the linkage attack the
+//! paper's running HIV example makes concrete.
+//!
+//! Cash breaking defeats this: after breaking into `k` coins, the
+//! observed deposits could have come from any job whose payment lies
+//! in the set of achievable coin-subset sums (the paper's
+//! `Σ_{i=1..k} C(k,i)` argument). This module simulates the attack and
+//! measures, per break strategy, how often the adversary can still
+//! *uniquely* identify the job, and how large the SP's anonymity set
+//! of candidate jobs is.
+
+use ppms_ecash::{break_epcba, break_pcba, break_unitary, CashBreak};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Outcome of an attack simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// The break strategy under attack.
+    pub strategy: CashBreak,
+    /// Number of simulated markets.
+    pub trials: usize,
+    /// Fraction of trials where the adversary uniquely identified the
+    /// SP's job.
+    pub unique_success_rate: f64,
+    /// Mean number of candidate jobs consistent with the deposits
+    /// (the SP's anonymity set; 1.0 = always linked).
+    pub mean_candidate_jobs: f64,
+}
+
+/// The deposit value stream an SP produces for payment `w` under a
+/// break strategy (the adversary's observation).
+pub fn deposit_stream(strategy: CashBreak, w: u64, levels: usize) -> Vec<u64> {
+    match strategy {
+        CashBreak::None => vec![w],
+        CashBreak::Unitary => break_unitary(w, levels)
+            .expect("valid amount")
+            .denominations
+            .into_iter()
+            .filter(|&d| d != 0)
+            .collect(),
+        CashBreak::Pcba => break_pcba(w, levels)
+            .expect("valid amount")
+            .denominations
+            .into_iter()
+            .filter(|&d| d != 0)
+            .collect(),
+        CashBreak::Epcba => break_epcba(w, levels)
+            .expect("valid amount")
+            .denominations
+            .into_iter()
+            .filter(|&d| d != 0)
+            .collect(),
+    }
+}
+
+/// All nonzero sums of subsets of `deposits` (the payments the
+/// adversary must consider possible). Capped at 2^L distinct values,
+/// so the unitary case stays cheap.
+pub fn achievable_sums(deposits: &[u64], levels: usize) -> HashSet<u64> {
+    let face = 1u64 << levels;
+    let mut sums: HashSet<u64> = HashSet::new();
+    sums.insert(0);
+    for &d in deposits {
+        let mut next = sums.clone();
+        for &s in &sums {
+            let v = s + d;
+            if v <= face {
+                next.insert(v);
+            }
+        }
+        sums = next;
+        if sums.len() as u64 > face {
+            break;
+        }
+    }
+    sums.remove(&0);
+    sums
+}
+
+/// Runs the denomination attack: `n_jobs` concurrent jobs with
+/// payments uniform in `[1, 2^L]`, the target SP works one of them,
+/// the adversary sees the SP's deposit stream and the public payment
+/// list, and outputs the candidate job set.
+pub fn run_denomination_attack(
+    seed: u64,
+    strategy: CashBreak,
+    n_jobs: usize,
+    levels: usize,
+    trials: usize,
+) -> AttackReport {
+    assert!(n_jobs >= 1 && trials >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let face = 1u64 << levels;
+    let mut unique = 0usize;
+    let mut candidate_total = 0usize;
+
+    for _ in 0..trials {
+        // Public payments on the bulletin board.
+        let payments: Vec<u64> = (0..n_jobs).map(|_| rng.random_range(1..=face)).collect();
+        let target = rng.random_range(0..n_jobs);
+        let w = payments[target];
+
+        let deposits = deposit_stream(strategy, w, levels);
+        let sums = achievable_sums(&deposits, levels);
+
+        let candidates: Vec<usize> =
+            (0..n_jobs).filter(|&j| sums.contains(&payments[j])).collect();
+        debug_assert!(candidates.contains(&target), "true job is always consistent");
+        candidate_total += candidates.len();
+        if candidates.len() == 1 {
+            unique += 1;
+        }
+    }
+
+    AttackReport {
+        strategy,
+        trials,
+        unique_success_rate: unique as f64 / trials as f64,
+        mean_candidate_jobs: candidate_total as f64 / trials as f64,
+    }
+}
+
+/// Outcome of the timing-mixing simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Number of co-depositing SPs.
+    pub n_sps: usize,
+    /// Mean deposit delay (logical ticks) between consecutive coins.
+    pub mean_delay: f64,
+    /// Fraction of trials where time-window clustering reassembled the
+    /// target SP's exact coin multiset.
+    pub clustering_success_rate: f64,
+}
+
+/// Simulates the paper's deposit-timing defence: every SP "waits a
+/// random period of time between two consecutive deposits of e-coin"
+/// (§IV-A8), so deposits from concurrent SPs interleave on the bank's
+/// timeline. The adversary knows deposits arrive in per-SP bursts and
+/// tries to reassemble one SP's coins by cutting the (anonymized)
+/// global deposit stream wherever the gap exceeds its learned
+/// threshold. Larger SP populations and wider random delays destroy
+/// the clustering.
+///
+/// `max_delay` is the upper bound of each SP's uniform per-coin wait
+/// (in logical ticks); SP start times are uniform in `[0, 100)`.
+pub fn run_timing_attack(
+    seed: u64,
+    strategy: CashBreak,
+    n_sps: usize,
+    levels: usize,
+    max_delay: u64,
+    trials: usize,
+) -> TimingReport {
+    assert!(n_sps >= 2 && trials >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let face = 1u64 << levels;
+    let mut success = 0usize;
+    let mut delay_sum = 0u64;
+    let mut delay_count = 0u64;
+
+    for _ in 0..trials {
+        // Each SP deposits its (broken) payment with random waits.
+        // Event: (time, value); the SP behind each event is hidden.
+        let mut events: Vec<(u64, u64)> = Vec::new();
+        let mut per_sp: Vec<Vec<u64>> = Vec::new();
+        for _sp in 0..n_sps {
+            let w = rng.random_range(1..=face);
+            let coins = deposit_stream(strategy, w, levels);
+            let mut t = rng.random_range(0..100u64);
+            for &c in &coins {
+                let delay = rng.random_range(0..=max_delay);
+                delay_sum += delay;
+                delay_count += 1;
+                t += delay;
+                events.push((t, c));
+            }
+            per_sp.push(coins);
+        }
+        events.sort_unstable();
+
+        // Adversary: cut the stream at gaps above its best guess of
+        // the intra-burst bound and check whether any cluster equals
+        // the target SP's multiset exactly.
+        let target = 0usize;
+        let threshold = (max_delay / 2).max(1);
+        let mut clusters: Vec<Vec<u64>> = Vec::new();
+        let mut current: Vec<u64> = Vec::new();
+        let mut last_t = None::<u64>;
+        for &(t, v) in &events {
+            if let Some(lt) = last_t {
+                if t - lt > threshold && !current.is_empty() {
+                    clusters.push(std::mem::take(&mut current));
+                }
+            }
+            current.push(v);
+            last_t = Some(t);
+        }
+        if !current.is_empty() {
+            clusters.push(current);
+        }
+        let mut target_coins = per_sp[target].clone();
+        target_coins.sort_unstable();
+        let hit = clusters.iter().any(|c| {
+            let mut c = c.clone();
+            c.sort_unstable();
+            c == target_coins
+        });
+        if hit {
+            success += 1;
+        }
+    }
+
+    TimingReport {
+        n_sps,
+        mean_delay: if delay_count == 0 { 0.0 } else { delay_sum as f64 / delay_count as f64 },
+        clustering_success_rate: success as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_streams_sum_to_w() {
+        for strategy in [CashBreak::None, CashBreak::Unitary, CashBreak::Pcba, CashBreak::Epcba] {
+            for w in 1..=16 {
+                let s = deposit_stream(strategy, w, 4);
+                assert_eq!(s.iter().sum::<u64>(), w, "{strategy:?} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbroken_sums_are_just_w() {
+        let sums = achievable_sums(&[8], 4);
+        assert_eq!(sums.len(), 1);
+        assert!(sums.contains(&8));
+    }
+
+    #[test]
+    fn unitary_sums_cover_everything_below_w() {
+        let sums = achievable_sums(&deposit_stream(CashBreak::Unitary, 9, 4), 4);
+        assert_eq!(sums, (1..=9).collect());
+    }
+
+    #[test]
+    fn pcba_sums_cover_all_submasks() {
+        // w = 11 = 8+2+1 → sums {1,2,3,8,9,10,11}.
+        let sums = achievable_sums(&deposit_stream(CashBreak::Pcba, 11, 4), 4);
+        let expected: HashSet<u64> = [1, 2, 3, 8, 9, 10, 11].into_iter().collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn attack_always_wins_without_breaking_distinct_payments() {
+        // With few jobs and a 2^8 payment space, collisions are rare,
+        // so the unbroken scheme is almost always uniquely linked.
+        let report = run_denomination_attack(1, CashBreak::None, 5, 8, 200);
+        assert!(report.unique_success_rate > 0.9, "got {}", report.unique_success_rate);
+    }
+
+    #[test]
+    fn unitary_break_defeats_the_attack() {
+        // With unitary deposits every job with w_j <= w is a candidate;
+        // unique identification requires the target to have the
+        // minimum payment AND no tie — rare with 10 jobs.
+        let report = run_denomination_attack(2, CashBreak::Unitary, 10, 6, 200);
+        assert!(
+            report.mean_candidate_jobs > 3.0,
+            "anonymity set too small: {}",
+            report.mean_candidate_jobs
+        );
+        assert!(report.unique_success_rate < 0.4, "got {}", report.unique_success_rate);
+    }
+
+    #[test]
+    fn timing_attack_degrades_with_population() {
+        // More concurrent depositors => more interleaving => the
+        // clustering attack finds the target's exact burst less often.
+        let few = run_timing_attack(9, CashBreak::Pcba, 2, 6, 10, 300);
+        let many = run_timing_attack(9, CashBreak::Pcba, 12, 6, 10, 300);
+        assert!(
+            many.clustering_success_rate <= few.clustering_success_rate,
+            "many {} > few {}",
+            many.clustering_success_rate,
+            few.clustering_success_rate
+        );
+    }
+
+    #[test]
+    fn timing_attack_report_fields() {
+        let r = run_timing_attack(10, CashBreak::Unitary, 4, 5, 8, 50);
+        assert_eq!(r.n_sps, 4);
+        assert!(r.mean_delay >= 0.0 && r.mean_delay <= 8.0);
+        assert!((0.0..=1.0).contains(&r.clustering_success_rate));
+    }
+
+    #[test]
+    fn strategy_ordering_none_worst_unitary_best() {
+        let none = run_denomination_attack(3, CashBreak::None, 8, 6, 300);
+        let pcba = run_denomination_attack(3, CashBreak::Pcba, 8, 6, 300);
+        let epcba = run_denomination_attack(3, CashBreak::Epcba, 8, 6, 300);
+        let unitary = run_denomination_attack(3, CashBreak::Unitary, 8, 6, 300);
+        assert!(none.unique_success_rate >= pcba.unique_success_rate);
+        assert!(pcba.unique_success_rate + 1e-9 >= epcba.unique_success_rate * 0.8,
+            "EPCBA should not be dramatically weaker than PCBA");
+        assert!(unitary.mean_candidate_jobs >= epcba.mean_candidate_jobs);
+        assert!(none.mean_candidate_jobs <= epcba.mean_candidate_jobs);
+    }
+}

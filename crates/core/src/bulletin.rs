@@ -1,0 +1,100 @@
+//! The bulletin board `BB` (paper §IV-A2): the MA publishes job
+//! profiles where every market resident can read them. Crucially for
+//! the denomination attack, the per-SP payment `w` of each PPMSdec job
+//! is **public** here — that is the side channel the cash-break
+//! algorithms defeat.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A published job profile (paper eq. (1)/(2)): description, payment
+/// per SP and the job's pseudonymous identity key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobProfile {
+    /// Sequential job id assigned by the board.
+    pub job_id: u64,
+    /// Job description `jd`.
+    pub description: String,
+    /// Payment per sensing participant `w` (0 ⇒ unitary market).
+    pub payment: u64,
+    /// The JO's one-time public key bytes (`rpk_jo`) — NOT its identity.
+    pub pseudonym: Vec<u8>,
+}
+
+/// The shared bulletin board.
+#[derive(Debug, Clone, Default)]
+pub struct Bulletin {
+    jobs: Arc<RwLock<Vec<JobProfile>>>,
+}
+
+impl Bulletin {
+    /// Fresh empty board.
+    pub fn new() -> Bulletin {
+        Bulletin::default()
+    }
+
+    /// Publishes a profile, assigning and returning its job id.
+    pub fn publish(&self, description: String, payment: u64, pseudonym: Vec<u8>) -> u64 {
+        let mut jobs = self.jobs.write();
+        let job_id = jobs.len() as u64;
+        jobs.push(JobProfile { job_id, description, payment, pseudonym });
+        job_id
+    }
+
+    /// Reads one profile.
+    pub fn get(&self, job_id: u64) -> Option<JobProfile> {
+        self.jobs.read().get(job_id as usize).cloned()
+    }
+
+    /// All published profiles (what any resident — or adversary — sees).
+    pub fn list(&self) -> Vec<JobProfile> {
+        self.jobs.read().clone()
+    }
+
+    /// Number of published jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.read().len()
+    }
+
+    /// `true` iff no jobs are published.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_read() {
+        let bb = Bulletin::new();
+        assert!(bb.is_empty());
+        let id0 = bb.publish("noise mapping".into(), 8, vec![1, 2, 3]);
+        let id1 = bb.publish("transit tracking".into(), 5, vec![4]);
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        assert_eq!(bb.len(), 2);
+        let job = bb.get(0).unwrap();
+        assert_eq!(job.payment, 8);
+        assert_eq!(job.pseudonym, vec![1, 2, 3]);
+        assert!(bb.get(7).is_none());
+    }
+
+    #[test]
+    fn list_is_public_view() {
+        let bb = Bulletin::new();
+        bb.publish("a".into(), 1, vec![]);
+        let view = bb.list();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[0].description, "a");
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let bb = Bulletin::new();
+        let bb2 = bb.clone();
+        bb2.publish("x".into(), 2, vec![]);
+        assert_eq!(bb.len(), 1);
+    }
+}

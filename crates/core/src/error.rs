@@ -1,0 +1,47 @@
+//! Market-level errors.
+
+use ppms_ecash::DecError;
+
+/// Why a market interaction was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarketError {
+    /// Account does not exist.
+    NoSuchAccount,
+    /// Balance too low for the requested debit.
+    InsufficientFunds,
+    /// Authentication failed (CL signature / account key mismatch).
+    BadAuthentication,
+    /// A cryptographic payload failed to decrypt or verify.
+    BadPayload(&'static str),
+    /// The partially blind signature or its serial was rejected.
+    BadCoin(&'static str),
+    /// The serial number was already deposited (PPMSpbs freshness).
+    StaleSerial,
+    /// An e-cash error from the DEC layer.
+    Dec(DecError),
+    /// The job does not exist on the bulletin board.
+    NoSuchJob,
+}
+
+impl From<DecError> for MarketError {
+    fn from(e: DecError) -> Self {
+        MarketError::Dec(e)
+    }
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::NoSuchAccount => write!(f, "no such account"),
+            MarketError::InsufficientFunds => write!(f, "insufficient funds"),
+            MarketError::BadAuthentication => write!(f, "authentication failed"),
+            MarketError::BadPayload(s) => write!(f, "bad payload: {s}"),
+            MarketError::BadCoin(s) => write!(f, "bad coin: {s}"),
+            MarketError::StaleSerial => write!(f, "serial number already used"),
+            MarketError::Dec(e) => write!(f, "e-cash error: {e}"),
+            MarketError::NoSuchJob => write!(f, "no such job"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}

@@ -1,0 +1,45 @@
+//! # ppms-core
+//!
+//! The paper's primary contribution: two privacy-preserving market
+//! mechanisms for incentive-driven mobile sensing markets.
+//!
+//! * [`ppmsdec`] — **PPMSdec** (paper §IV, Algorithm 1): arbitrary
+//!   payments, built on divisible e-cash with cash breaking. Protects
+//!   the SP's data-/job-/transaction-linkage privacy against both the
+//!   job owner and the market administrator, and the JO's identity as
+//!   a byproduct.
+//! * [`ppmspbs`] — **PPMSpbs** (paper §V, Algorithm 4): unitary
+//!   payments, built on RSA partially blind signatures. Protects the
+//!   SP's privacy against the JO and its job linkage against the MA,
+//!   while deliberately revealing transactions to the bank
+//!   (anti-money-laundering, as the paper notes).
+//!
+//! Support modules: the [`bank`] (virtual currency ledger), the
+//! [`bulletin`] board, [`transport`] (byte-level traffic accounting →
+//! paper Table II), [`metrics`] (operation counts → paper Table I),
+//! [`sim`] (multi-round and threaded market simulation → paper
+//! Fig. 5), and [`attack`] (the denomination / linkage attack
+//! evaluation behind the paper's §IV-B analysis).
+
+pub mod attack;
+pub mod bank;
+pub mod bulletin;
+pub mod error;
+pub mod metrics;
+pub mod mixnet;
+pub mod ppmsdec;
+pub mod ppmspbs;
+pub mod service;
+pub mod sim;
+pub mod transport;
+
+pub use attack::{run_denomination_attack, AttackReport};
+pub use bank::{AccountId, Bank};
+pub use bulletin::{Bulletin, JobProfile};
+pub use error::MarketError;
+pub use metrics::{Metrics, Op, Party};
+pub use mixnet::{MixCascade, MixNode};
+pub use ppmsdec::{DecMarket, DecRoundOutcome};
+pub use service::{MaClient, MaRequest, MaResponse, MaService};
+pub use ppmspbs::{PbsMarket, PbsRoundOutcome};
+pub use transport::TrafficLog;

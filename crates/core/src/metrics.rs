@@ -1,0 +1,160 @@
+//! Operation metering — the instrumentation behind the paper's
+//! **Table I** ("core operation complexity comparing").
+//!
+//! The paper counts four operation classes per party: `ZKP`
+//! (zero-knowledge proofs), `Enc` (encryptions *and* signatures —
+//! §VI-D: "we consider signature as encryption"), `Dec` (decryptions
+//! and verifications) and `H` (hash invocations). The protocol
+//! drivers increment these counters around each cryptographic call,
+//! and the report harness prints the per-party totals next to the
+//! paper's formulas.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The three market parties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Party {
+    /// Job owner.
+    Jo,
+    /// Sensing participant.
+    Sp,
+    /// Market administrator (incl. the bank).
+    Ma,
+}
+
+impl std::fmt::Display for Party {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Party::Jo => write!(f, "JO"),
+            Party::Sp => write!(f, "SP"),
+            Party::Ma => write!(f, "MA"),
+        }
+    }
+}
+
+/// The four operation classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// Zero-knowledge proof generated or verified.
+    Zkp,
+    /// Encryption or signature generation.
+    Enc,
+    /// Decryption or signature verification.
+    Dec,
+    /// Hash invocation.
+    Hash,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Zkp => write!(f, "ZKP"),
+            Op::Enc => write!(f, "Enc"),
+            Op::Dec => write!(f, "Dec"),
+            Op::Hash => write!(f, "H"),
+        }
+    }
+}
+
+/// Shared, thread-safe operation counters.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counts: Arc<Mutex<BTreeMap<(Party, Op), u64>>>,
+}
+
+impl Metrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, party: Party, op: Op, n: u64) {
+        *self.counts.lock().entry((party, op)).or_insert(0) += n;
+    }
+
+    /// Increments a counter by one.
+    pub fn count(&self, party: Party, op: Op) {
+        self.add(party, op, 1);
+    }
+
+    /// Reads a counter.
+    pub fn get(&self, party: Party, op: Op) -> u64 {
+        self.counts.lock().get(&(party, op)).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> BTreeMap<(Party, Op), u64> {
+        self.counts.lock().clone()
+    }
+
+    /// Formats one party's counts in the paper's Table I style,
+    /// e.g. `"9ZKP+4Enc+1Dec+1H"`.
+    pub fn formula(&self, party: Party) -> String {
+        let mut parts = Vec::new();
+        for op in [Op::Zkp, Op::Enc, Op::Dec, Op::Hash] {
+            let n = self.get(party, op);
+            if n > 0 {
+                parts.push(format!("{n}{op}"));
+            }
+        }
+        if parts.is_empty() {
+            "-".into()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let m = Metrics::new();
+        m.count(Party::Jo, Op::Zkp);
+        m.add(Party::Jo, Op::Zkp, 7);
+        m.count(Party::Sp, Op::Dec);
+        assert_eq!(m.get(Party::Jo, Op::Zkp), 8);
+        assert_eq!(m.get(Party::Sp, Op::Dec), 1);
+        assert_eq!(m.get(Party::Ma, Op::Hash), 0);
+    }
+
+    #[test]
+    fn formula_format() {
+        let m = Metrics::new();
+        m.add(Party::Jo, Op::Zkp, 9);
+        m.add(Party::Jo, Op::Enc, 4);
+        m.add(Party::Jo, Op::Dec, 1);
+        m.add(Party::Jo, Op::Hash, 1);
+        assert_eq!(m.formula(Party::Jo), "9ZKP+4Enc+1Dec+1H");
+        assert_eq!(m.formula(Party::Ma), "-");
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.count(Party::Ma, Op::Enc);
+        assert_eq!(m.get(Party::Ma, Op::Enc), 1);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.count(Party::Sp, Op::Hash);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(Party::Sp, Op::Hash), 8000);
+    }
+}

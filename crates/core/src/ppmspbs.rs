@@ -1,0 +1,289 @@
+//! **PPMSpbs** (paper §V, Algorithm 4): the light-weight mechanism for
+//! markets of unitary payments, built on RSA partially blind
+//! signatures — "JO's signature as the digital coin".
+//!
+//! One round walks the paper's phases:
+//!
+//! 1. *Job registration* — `JO → MA: jd, rpk_jo` (fresh pseudonymous
+//!    key); MA publishes (eqs. (12)–(13)).
+//! 2. *Labor registration* — SP draws a one-time key `rpk_sp` and a
+//!    random serial `s`, encrypts both under `rpk_jo` (eq. (14));
+//!    JO answers with its **account** key `rpk_JO` and a designation
+//!    signature, encrypted under `rpk_sp` (eqs. (16)–(18)); SP
+//!    verifies (eqs. (20)–(21)).
+//! 3. *Payment submission* — SP blinds `(rpk_SP, s)` under `rpk_JO`
+//!    with common info `s`; JO signs blind (eq. (22)).
+//! 4. *Payment delivery* — after the data report arrives, MA forwards
+//!    the partially blind signature (eq. (23)).
+//! 5. *Money deposit* — SP unblinds and verifies (eqs. (24)–(25)),
+//!    then deposits `(sig, rpk_SP, rpk_JO, s)`; the MA checks the
+//!    signature and the **freshness of the serial**, then moves one
+//!    credit from JO's account to SP's (eq. (26)).
+//!
+//! The bank deliberately learns which JO paid which SP (the paper:
+//! transaction-linkage against the bank is removed to thwart money
+//! laundering) — but never which *job* the transaction belongs to,
+//! because jobs are published under pseudonyms.
+
+use crate::bank::{AccountId, Bank};
+use crate::bulletin::Bulletin;
+use crate::error::MarketError;
+use crate::metrics::{Metrics, Op, Party};
+use crate::transport::TrafficLog;
+use ppms_bigint::BigUint;
+use ppms_crypto::rsa::{self, RsaPrivateKey, RsaPublicKey};
+use rand::Rng;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Serial number length in bytes.
+const SERIAL_LEN: usize = 16;
+
+/// The market administrator's PPMSpbs state.
+pub struct PbsMarket {
+    /// The virtual-currency ledger.
+    pub bank: Bank,
+    /// The public bulletin board.
+    pub bulletin: Bulletin,
+    /// Operation counters (Table I).
+    pub metrics: Metrics,
+    /// Message log (Table II).
+    pub traffic: TrafficLog,
+    /// Account-key bindings (`rpk_JO`/`rpk_SP` → account), paper §V-A1.
+    account_keys: HashMap<Vec<u8>, AccountId>,
+    /// Deposited serials (freshness check).
+    used_serials: Mutex<HashSet<Vec<u8>>>,
+}
+
+/// A job owner in the unitary market.
+pub struct PbsJobOwner {
+    /// Bank account.
+    pub account: AccountId,
+    /// Account-bound RSA key (`rpk_JO` — the coin-signing key).
+    pub account_key: RsaPrivateKey,
+    /// Per-job pseudonymous key (`rpk_jo`).
+    pub job_key: RsaPrivateKey,
+}
+
+/// A sensing participant in the unitary market.
+pub struct PbsParticipant {
+    /// Bank account.
+    pub account: AccountId,
+    /// Account-bound RSA key (`rpk_SP`).
+    pub account_key: RsaPrivateKey,
+    /// Per-job one-time key (`rpk_sp`).
+    pub one_time: RsaPrivateKey,
+    /// Pre-agreed serial for this job.
+    pub serial: Vec<u8>,
+}
+
+/// What a completed round produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbsRoundOutcome {
+    /// Bulletin-board job id.
+    pub job_id: u64,
+    /// Credits moved (always 1 in the unitary market).
+    pub credited: u64,
+}
+
+impl Default for PbsMarket {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PbsMarket {
+    /// Fresh market state.
+    pub fn new() -> PbsMarket {
+        PbsMarket {
+            bank: Bank::new(),
+            bulletin: Bulletin::new(),
+            metrics: Metrics::new(),
+            traffic: TrafficLog::new(),
+            account_keys: HashMap::new(),
+            used_serials: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Registers a JO: opens a funded account and binds its RSA
+    /// account key.
+    pub fn register_jo<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        initial_funds: u64,
+        rsa_bits: usize,
+    ) -> PbsJobOwner {
+        let account = self.bank.open_account(initial_funds);
+        let account_key = rsa::keygen(rng, rsa_bits);
+        self.account_keys.insert(account_key.public.to_bytes(), account);
+        PbsJobOwner { account, account_key, job_key: rsa::keygen(rng, rsa_bits) }
+    }
+
+    /// Registers an SP: opens an account, binds its account key, and
+    /// draws the per-job one-time key + serial.
+    pub fn register_sp<R: Rng + ?Sized>(&mut self, rng: &mut R, rsa_bits: usize) -> PbsParticipant {
+        let account = self.bank.open_account(0);
+        let account_key = rsa::keygen(rng, rsa_bits);
+        self.account_keys.insert(account_key.public.to_bytes(), account);
+        let mut serial = vec![0u8; SERIAL_LEN];
+        rng.fill_bytes(&mut serial);
+        PbsParticipant { account, account_key, one_time: rsa::keygen(rng, rsa_bits), serial }
+    }
+
+    /// Phase 1 — job registration (eqs. (12)–(13)).
+    pub fn register_job(&self, jo: &PbsJobOwner, description: &str) -> u64 {
+        let pseudonym = jo.job_key.public.to_bytes();
+        self.traffic.record(Party::Jo, Party::Ma, "job-registration", description.len() + pseudonym.len());
+        self.bulletin.publish(description.to_string(), 1, pseudonym)
+    }
+
+    /// Phase 2 — labor registration (eqs. (14)–(21)). Returns `true`
+    /// if the SP accepted the JO's designation signature.
+    pub fn labor_registration<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        jo: &PbsJobOwner,
+        sp: &PbsParticipant,
+    ) -> Result<(), MarketError> {
+        // SP → MA → JO: ENC_rpkjo(rpk_sp, s)
+        let mut msg = sp.one_time.public.to_bytes();
+        msg.extend_from_slice(&sp.serial);
+        let c = rsa::encrypt(rng, &jo.job_key.public, &msg);
+        self.metrics.count(Party::Sp, Op::Enc);
+        self.traffic.record(Party::Sp, Party::Ma, "labor-registration", c.len());
+        self.traffic.record(Party::Ma, Party::Jo, "labor-forward", c.len());
+
+        // JO decrypts, signs (rpk_sp, s), replies under rpk_sp.
+        let opened = rsa::decrypt(&jo.job_key, &c).map_err(|_| MarketError::BadPayload("labor reg"))?;
+        self.metrics.count(Party::Jo, Op::Dec);
+        if opened != msg {
+            return Err(MarketError::BadPayload("labor reg roundtrip"));
+        }
+        let sig = rsa::sign(&jo.account_key, &opened);
+        self.metrics.count(Party::Jo, Op::Enc);
+        self.metrics.count(Party::Jo, Op::Hash);
+
+        let mut reply = jo.account_key.public.to_bytes();
+        let sig_bytes = sig.to_bytes_be();
+        reply.extend_from_slice(&(sig_bytes.len() as u32).to_be_bytes());
+        reply.extend_from_slice(&sig_bytes);
+        let c2 = rsa::encrypt(rng, &sp.one_time.public, &reply);
+        self.metrics.count(Party::Jo, Op::Enc);
+        self.traffic.record(Party::Jo, Party::Ma, "designation", c2.len() + sp.one_time.public.to_bytes().len());
+        self.traffic.record(Party::Ma, Party::Sp, "designation-forward", c2.len());
+
+        // SP decrypts and verifies the signature under rpk_JO.
+        let opened2 = rsa::decrypt(&sp.one_time, &c2).map_err(|_| MarketError::BadPayload("designation"))?;
+        self.metrics.count(Party::Sp, Op::Dec);
+        let jo_account_pk_bytes = jo.account_key.public.to_bytes();
+        if opened2.len() < jo_account_pk_bytes.len() + 4 {
+            return Err(MarketError::BadPayload("designation framing"));
+        }
+        let (pk_part, rest) = opened2.split_at(jo_account_pk_bytes.len());
+        let jo_pk = RsaPublicKey::from_bytes(pk_part).ok_or(MarketError::BadPayload("jo key"))?;
+        let sig_len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if rest.len() != 4 + sig_len {
+            return Err(MarketError::BadPayload("designation framing"));
+        }
+        let sig_rx = BigUint::from_bytes_be(&rest[4..]);
+        if !rsa::verify(&jo_pk, &msg, &sig_rx) {
+            return Err(MarketError::BadPayload("designation signature"));
+        }
+        self.metrics.count(Party::Sp, Op::Dec);
+        self.metrics.count(Party::Sp, Op::Hash);
+        Ok(())
+    }
+
+    /// Phases 3–5 — coin issuance and deposit (eqs. (22)–(26)).
+    pub fn pay_and_deposit<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        jo: &PbsJobOwner,
+        sp: &PbsParticipant,
+        data: &[u8],
+    ) -> Result<u64, MarketError> {
+        // The signed message is the SP's ACCOUNT key (which the JO
+        // never sees in the clear) plus the serial as common info.
+        let msg = sp.account_key.public.to_bytes();
+
+        // SP blinds under the JO's account key.
+        let (alpha, blinding) = rsa::pbs_blind(rng, &jo.account_key.public, &sp.serial, &msg);
+        self.metrics.count(Party::Sp, Op::Enc);
+        self.metrics.count(Party::Sp, Op::Hash);
+        let alpha_len = alpha.bits().div_ceil(8);
+        self.traffic.record(Party::Sp, Party::Ma, "pbs-request", alpha_len + sp.serial.len());
+        self.traffic.record(Party::Ma, Party::Jo, "pbs-forward", alpha_len + sp.serial.len());
+
+        // JO signs blind (sees the serial, not the message).
+        let beta = rsa::pbs_sign(&jo.account_key, &sp.serial, &alpha)
+            .map_err(|_| MarketError::BadCoin("info exponent"))?;
+        self.metrics.count(Party::Jo, Op::Enc);
+        let beta_len = beta.bits().div_ceil(8);
+        self.traffic.record(Party::Jo, Party::Ma, "pbs-response", beta_len);
+
+        // Data report flows before payment delivery (paper eq. (23)).
+        self.traffic.record(Party::Sp, Party::Ma, "data-report", data.len());
+        self.traffic.record(Party::Ma, Party::Sp, "payment-delivery", beta_len);
+        self.traffic.record(Party::Ma, Party::Jo, "data-delivery", data.len());
+
+        // SP unblinds and verifies (eqs. (24)–(25)).
+        let sig = rsa::pbs_unblind(&jo.account_key.public, &beta, &blinding);
+        if !rsa::pbs_verify(&jo.account_key.public, &sp.serial, &msg, &sig) {
+            return Err(MarketError::BadCoin("pbs verification"));
+        }
+        self.metrics.count(Party::Sp, Op::Dec);
+        self.metrics.count(Party::Sp, Op::Hash);
+
+        // Deposit: (sig, rpk_SP, rpk_JO, s) → MA (eq. (26)).
+        let deposit_len = sig.bits().div_ceil(8) + msg.len() + jo.account_key.public.to_bytes().len() + sp.serial.len();
+        self.traffic.record(Party::Sp, Party::Ma, "deposit", deposit_len);
+        self.deposit(&jo.account_key.public, &sp.account_key.public, &sp.serial, &sig)
+    }
+
+    /// Bank-side deposit verification (signature + serial freshness)
+    /// and the one-credit transfer.
+    pub fn deposit(
+        &self,
+        jo_pk: &RsaPublicKey,
+        sp_pk: &RsaPublicKey,
+        serial: &[u8],
+        sig: &BigUint,
+    ) -> Result<u64, MarketError> {
+        if !rsa::pbs_verify(jo_pk, serial, &sp_pk.to_bytes(), sig) {
+            return Err(MarketError::BadCoin("deposit signature"));
+        }
+        self.metrics.count(Party::Ma, Op::Dec);
+        self.metrics.add(Party::Ma, Op::Hash, 2); // info + message hashes
+
+        // Serial freshness — the double-deposit guard.
+        if !self.used_serials.lock().insert(serial.to_vec()) {
+            return Err(MarketError::StaleSerial);
+        }
+
+        let jo_account = *self
+            .account_keys
+            .get(&jo_pk.to_bytes())
+            .ok_or(MarketError::NoSuchAccount)?;
+        let sp_account = *self
+            .account_keys
+            .get(&sp_pk.to_bytes())
+            .ok_or(MarketError::NoSuchAccount)?;
+        self.bank.transfer(jo_account, sp_account, 1)?;
+        Ok(1)
+    }
+
+    /// Runs one complete PPMSpbs round (paper Algorithm 4).
+    pub fn run_round<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        jo: &PbsJobOwner,
+        sp: &PbsParticipant,
+        description: &str,
+        data: &[u8],
+    ) -> Result<PbsRoundOutcome, MarketError> {
+        let job_id = self.register_job(jo, description);
+        self.labor_registration(rng, jo, sp)?;
+        let credited = self.pay_and_deposit(rng, jo, sp, data)?;
+        Ok(PbsRoundOutcome { job_id, credited })
+    }
+}

@@ -1,0 +1,542 @@
+//! The market administrator as a **message-passing service** — the
+//! paper's Fig. 1 system model made concrete: JOs and SPs are
+//! independent threads that talk to the MA exclusively through
+//! channels, and the MA enforces the protocol rules (publish, forward,
+//! hold payments until data arrives, verify deposits).
+//!
+//! This is the concurrent twin of [`crate::ppmsdec::DecMarket`]'s
+//! single-threaded driver; the integration tests run both and expect
+//! the same ledger outcomes.
+
+use crate::bank::{AccountId, Bank};
+use crate::bulletin::Bulletin;
+use crate::error::MarketError;
+use crate::metrics::Party;
+use crate::transport::TrafficLog;
+use crossbeam::channel::{self, Receiver, Sender};
+use ppms_bigint::BigUint;
+use ppms_crypto::cl::{ClPublicKey, ClSignature};
+use ppms_crypto::pairing::TypeAPairing;
+use ppms_ecash::{DecBank, DecParams, Spend};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// A request to the market administrator.
+pub enum MaRequest {
+    /// Open a JO account with initial funds, binding a CL public key.
+    RegisterJoAccount {
+        /// Initial balance.
+        funds: u64,
+        /// Account-bound CL key for withdrawal authentication.
+        clpk: ClPublicKey,
+    },
+    /// Open an (empty) SP account.
+    RegisterSpAccount,
+    /// Publish a job profile (phase 1).
+    PublishJob {
+        /// Job description `jd`.
+        description: String,
+        /// Per-SP payment `w`.
+        payment: u64,
+        /// The JO's pseudonymous key bytes.
+        pseudonym: Vec<u8>,
+    },
+    /// CL-authenticated withdrawal: debit `2^L`, sign the blinded coin
+    /// token (phase 2).
+    Withdraw {
+        /// The withdrawing account.
+        account: AccountId,
+        /// Fresh nonce, CL-signed below.
+        nonce: u64,
+        /// CL signature on the nonce under the account-bound key.
+        auth: ClSignature,
+        /// Blinded coin token for the bank to sign.
+        blinded: BigUint,
+    },
+    /// SP announces interest in a job (phase 4); MA forwards to the JO.
+    LaborRegister {
+        /// Target job.
+        job_id: u64,
+        /// The SP's one-time public key bytes.
+        sp_pubkey: Vec<u8>,
+    },
+    /// JO polls the SPs registered for its job.
+    FetchLabor {
+        /// The job.
+        job_id: u64,
+    },
+    /// JO submits the encrypted payment for an SP (phase 5); the MA
+    /// holds it until that SP's data report arrives (phase 7 rule).
+    SubmitPayment {
+        /// Receiver's one-time key bytes.
+        sp_pubkey: Vec<u8>,
+        /// `RSA_ENC_rpksp(E(w_1)…, sig)`.
+        ciphertext: Vec<u8>,
+    },
+    /// SP submits its data report (phase 6).
+    SubmitData {
+        /// The job the data belongs to.
+        job_id: u64,
+        /// The submitting SP's one-time key bytes.
+        sp_pubkey: Vec<u8>,
+        /// The sensing data.
+        data: Vec<u8>,
+    },
+    /// SP polls for its payment; delivered only after its data arrived.
+    FetchPayment {
+        /// The SP's one-time key bytes.
+        sp_pubkey: Vec<u8>,
+    },
+    /// JO polls the data reports for its job.
+    FetchData {
+        /// The job.
+        job_id: u64,
+    },
+    /// SP deposits one spend under its account id (phase 8).
+    Deposit {
+        /// The depositing account (`AID_sp`).
+        account: AccountId,
+        /// The spend.
+        spend: Box<Spend>,
+    },
+    /// SP deposits a whole bundle at once; the bank verifies the batch
+    /// rayon-parallel and credits the valid subset.
+    DepositBatch {
+        /// The depositing account (`AID_sp`).
+        account: AccountId,
+        /// The spends.
+        spends: Vec<Spend>,
+    },
+    /// Read a balance.
+    Balance {
+        /// The account.
+        account: AccountId,
+    },
+    /// Stop the service loop.
+    Shutdown,
+}
+
+/// The MA's answer.
+#[derive(Debug)]
+pub enum MaResponse {
+    /// A fresh account id.
+    Account(AccountId),
+    /// A bulletin-board job id.
+    JobId(u64),
+    /// The bank's signature on a blinded token.
+    BlindSignature(BigUint),
+    /// Generic success.
+    Ok,
+    /// Registered SP keys for a job.
+    Labor(Vec<Vec<u8>>),
+    /// A held payment ciphertext, if deliverable.
+    Payment(Option<Vec<u8>>),
+    /// Data reports for a job.
+    Data(Vec<Vec<u8>>),
+    /// Value credited by a deposit.
+    Deposited(u64),
+    /// Per-item outcome of a batch deposit plus the credited total.
+    BatchDeposited {
+        /// Total value credited.
+        total: u64,
+        /// How many items were accepted.
+        accepted: usize,
+        /// How many items were rejected.
+        rejected: usize,
+    },
+    /// An account balance.
+    Balance(u64),
+    /// A rejection.
+    Err(MarketError),
+}
+
+/// One request plus its reply channel.
+pub struct Envelope {
+    /// The request.
+    pub request: MaRequest,
+    /// Where the MA sends the response.
+    pub reply: Sender<MaResponse>,
+}
+
+/// Handle to a running MA service thread.
+pub struct MaService {
+    tx: Sender<Envelope>,
+    handle: Option<JoinHandle<()>>,
+    /// Shared bulletin board (read-only access for clients).
+    pub bulletin: Bulletin,
+    /// Shared traffic log.
+    pub traffic: TrafficLog,
+    /// The DEC public parameters (clients need them to mint/spend).
+    pub params: DecParams,
+    /// The bank's public blind-signing key.
+    pub bank_pk: ppms_crypto::rsa::RsaPublicKey,
+    /// The pairing parameters (for CL keys).
+    pub pairing: TypeAPairing,
+}
+
+/// A client-side connection to the MA.
+#[derive(Clone)]
+pub struct MaClient {
+    tx: Sender<Envelope>,
+}
+
+impl MaClient {
+    /// Sends a request and waits for the answer.
+    pub fn call(&self, request: MaRequest) -> MaResponse {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx
+            .send(Envelope { request, reply: reply_tx })
+            .expect("MA service alive");
+        reply_rx.recv().expect("MA service replies")
+    }
+}
+
+struct MaState {
+    bank: Bank,
+    bulletin: Bulletin,
+    dec_bank: DecBank,
+    pairing: TypeAPairing,
+    traffic: TrafficLog,
+    cl_bindings: HashMap<AccountId, ClPublicKey>,
+    used_nonces: HashMap<AccountId, u64>,
+    labor: HashMap<u64, Vec<Vec<u8>>>,
+    pending_payments: HashMap<Vec<u8>, Vec<u8>>,
+    data_reports: HashMap<u64, Vec<Vec<u8>>>,
+    data_received: HashMap<Vec<u8>, bool>,
+}
+
+impl MaState {
+    fn handle(&mut self, request: MaRequest) -> Option<MaResponse> {
+        use MaRequest::*;
+        Some(match request {
+            RegisterJoAccount { funds, clpk } => {
+                let account = self.bank.open_account(funds);
+                self.cl_bindings.insert(account, clpk);
+                MaResponse::Account(account)
+            }
+            RegisterSpAccount => MaResponse::Account(self.bank.open_account(0)),
+            PublishJob { description, payment, pseudonym } => {
+                self.traffic.record(Party::Jo, Party::Ma, "job-registration", description.len() + 8 + pseudonym.len());
+                MaResponse::JobId(self.bulletin.publish(description, payment, pseudonym))
+            }
+            Withdraw { account, nonce, auth, blinded } => {
+                let Some(bound) = self.cl_bindings.get(&account) else {
+                    return Some(MaResponse::Err(MarketError::NoSuchAccount));
+                };
+                // Nonce freshness prevents replaying an old withdrawal
+                // authorization.
+                let last = self.used_nonces.entry(account).or_insert(0);
+                if nonce <= *last {
+                    return Some(MaResponse::Err(MarketError::BadAuthentication));
+                }
+                if !auth.verify_bytes(&self.pairing, bound, &nonce.to_be_bytes()) {
+                    return Some(MaResponse::Err(MarketError::BadAuthentication));
+                }
+                *last = nonce;
+                if let Err(e) = self.bank.debit(account, self.dec_bank.params().face_value()) {
+                    return Some(MaResponse::Err(e));
+                }
+                self.traffic.record(Party::Jo, Party::Ma, "withdrawal-request", blinded.bits().div_ceil(8));
+                let sig = self.dec_bank.sign_blinded(&blinded);
+                self.traffic.record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
+                MaResponse::BlindSignature(sig)
+            }
+            LaborRegister { job_id, sp_pubkey } => {
+                if self.bulletin.get(job_id).is_none() {
+                    return Some(MaResponse::Err(MarketError::NoSuchJob));
+                }
+                self.traffic.record(Party::Sp, Party::Ma, "labor-registration", sp_pubkey.len());
+                self.labor.entry(job_id).or_default().push(sp_pubkey);
+                MaResponse::Ok
+            }
+            FetchLabor { job_id } => {
+                let sps = self.labor.get(&job_id).cloned().unwrap_or_default();
+                for pk in &sps {
+                    self.traffic.record(Party::Ma, Party::Jo, "labor-forward", pk.len());
+                }
+                MaResponse::Labor(sps)
+            }
+            SubmitPayment { sp_pubkey, ciphertext } => {
+                self.traffic.record(Party::Jo, Party::Ma, "payment-submission", ciphertext.len() + sp_pubkey.len());
+                self.pending_payments.insert(sp_pubkey, ciphertext);
+                MaResponse::Ok
+            }
+            SubmitData { job_id, sp_pubkey, data } => {
+                self.traffic.record(Party::Sp, Party::Ma, "data-report", data.len());
+                self.data_reports.entry(job_id).or_default().push(data);
+                self.data_received.insert(sp_pubkey, true);
+                MaResponse::Ok
+            }
+            FetchPayment { sp_pubkey } => {
+                // Paper phase 7: deliver only once the SP's data is in.
+                if !self.data_received.get(&sp_pubkey).copied().unwrap_or(false) {
+                    return Some(MaResponse::Payment(None));
+                }
+                let ct = self.pending_payments.remove(&sp_pubkey);
+                if let Some(ct) = &ct {
+                    self.traffic.record(Party::Ma, Party::Sp, "payment-delivery", ct.len());
+                }
+                MaResponse::Payment(ct)
+            }
+            FetchData { job_id } => {
+                let reports = self.data_reports.remove(&job_id).unwrap_or_default();
+                for d in &reports {
+                    self.traffic.record(Party::Ma, Party::Jo, "data-delivery", d.len());
+                }
+                MaResponse::Data(reports)
+            }
+            Deposit { account, spend } => {
+                self.traffic.record(Party::Sp, Party::Ma, "deposit", spend.to_bytes().len() + 8);
+                match self.dec_bank.deposit(&spend, b"") {
+                    Ok(value) => match self.bank.credit(account, value) {
+                        Ok(()) => MaResponse::Deposited(value),
+                        Err(e) => MaResponse::Err(e),
+                    },
+                    Err(e) => MaResponse::Err(MarketError::Dec(e)),
+                }
+            }
+            DepositBatch { account, spends } => {
+                for s in &spends {
+                    self.traffic.record(Party::Sp, Party::Ma, "deposit", s.to_bytes().len() + 8);
+                }
+                let results = self.dec_bank.deposit_batch(&spends, b"");
+                let mut total = 0u64;
+                let mut accepted = 0usize;
+                for v in results.iter().flatten() {
+                    total += v;
+                    accepted += 1;
+                }
+                if total > 0 {
+                    if let Err(e) = self.bank.credit(account, total) {
+                        return Some(MaResponse::Err(e));
+                    }
+                }
+                MaResponse::BatchDeposited { total, accepted, rejected: results.len() - accepted }
+            }
+            Balance { account } => match self.bank.balance(account) {
+                Ok(v) => MaResponse::Balance(v),
+                Err(e) => MaResponse::Err(e),
+            },
+            Shutdown => return None,
+        })
+    }
+}
+
+impl MaService {
+    /// Spawns the MA service thread.
+    pub fn spawn<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        params: DecParams,
+        rsa_bits: usize,
+        pairing_bits: usize,
+    ) -> MaService {
+        let dec_bank = DecBank::new(rng, params.clone(), rsa_bits);
+        let bank_pk = dec_bank.public_key().clone();
+        let pairing = TypeAPairing::generate(rng, pairing_bits);
+        let bulletin = Bulletin::new();
+        let traffic = TrafficLog::new();
+
+        let mut state = MaState {
+            bank: Bank::new(),
+            bulletin: bulletin.clone(),
+            dec_bank,
+            pairing: pairing.clone(),
+            traffic: traffic.clone(),
+            cl_bindings: HashMap::new(),
+            used_nonces: HashMap::new(),
+            labor: HashMap::new(),
+            pending_payments: HashMap::new(),
+            data_reports: HashMap::new(),
+            data_received: HashMap::new(),
+        };
+
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = channel::unbounded();
+        let handle = std::thread::spawn(move || {
+            while let Ok(Envelope { request, reply }) = rx.recv() {
+                match state.handle(request) {
+                    Some(response) => {
+                        let _ = reply.send(response);
+                    }
+                    None => {
+                        let _ = reply.send(MaResponse::Ok);
+                        break;
+                    }
+                }
+            }
+        });
+
+        MaService { tx, handle: Some(handle), bulletin, traffic, params, bank_pk, pairing }
+    }
+
+    /// A client connection for a new party thread.
+    pub fn client(&self) -> MaClient {
+        MaClient { tx: self.tx.clone() }
+    }
+
+    /// Stops the service and joins the thread.
+    pub fn shutdown(mut self) {
+        let client = self.client();
+        let _ = client.call(MaRequest::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MaService {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let (reply_tx, _reply_rx) = channel::bounded(1);
+            let _ = self.tx.send(Envelope { request: MaRequest::Shutdown, reply: reply_tx });
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppms_crypto::cl::ClKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service(seed: u64) -> (MaService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DecParams::fixture(2, 8);
+        let svc = MaService::spawn(&mut rng, params, 512, 40);
+        (svc, rng)
+    }
+
+    #[test]
+    fn accounts_and_balances() {
+        let (svc, mut rng) = service(1);
+        let client = svc.client();
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+            panic!("account");
+        };
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: jo }) else {
+            panic!("balance");
+        };
+        assert_eq!(b, 50);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn withdrawal_requires_valid_cl_auth() {
+        let (svc, mut rng) = service(2);
+        let client = svc.client();
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let other = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+            panic!()
+        };
+        // Wrong key: rejected.
+        let bad_auth = other.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+        let resp = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 1,
+            auth: bad_auth,
+            blinded: BigUint::from(12345u64),
+        });
+        assert!(matches!(resp, MaResponse::Err(MarketError::BadAuthentication)));
+        // Right key: accepted, balance debited by 2^L = 4.
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &2u64.to_be_bytes());
+        let resp = client.call(MaRequest::Withdraw { account: jo, nonce: 2, auth, blinded: BigUint::from(12345u64) });
+        assert!(matches!(resp, MaResponse::BlindSignature(_)), "{resp:?}");
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: jo }) else { panic!() };
+        assert_eq!(b, 46);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn nonce_replay_rejected() {
+        let (svc, mut rng) = service(3);
+        let client = svc.client();
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+            panic!()
+        };
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &5u64.to_be_bytes());
+        let ok = client.call(MaRequest::Withdraw { account: jo, nonce: 5, auth: auth.clone(), blinded: BigUint::one() });
+        assert!(matches!(ok, MaResponse::BlindSignature(_)));
+        let replay = client.call(MaRequest::Withdraw { account: jo, nonce: 5, auth, blinded: BigUint::one() });
+        assert!(matches!(replay, MaResponse::Err(MarketError::BadAuthentication)));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn payment_held_until_data() {
+        let (svc, _rng) = service(4);
+        let client = svc.client();
+        let sp_key = vec![9u8; 16];
+        client.call(MaRequest::SubmitPayment { sp_pubkey: sp_key.clone(), ciphertext: vec![1, 2, 3] });
+        // Before data: nothing delivered.
+        let MaResponse::Payment(None) = client.call(MaRequest::FetchPayment { sp_pubkey: sp_key.clone() }) else {
+            panic!("payment must be held");
+        };
+        client.call(MaRequest::SubmitData { job_id: 0, sp_pubkey: sp_key.clone(), data: vec![7] });
+        let MaResponse::Payment(Some(ct)) = client.call(MaRequest::FetchPayment { sp_pubkey: sp_key }) else {
+            panic!("payment must be released after data");
+        };
+        assert_eq!(ct, vec![1, 2, 3]);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_deposit_credits_valid_subset() {
+        let (svc, mut rng) = service(6);
+        let client = svc.client();
+        let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else { panic!() };
+
+        // Craft spends directly against a parallel DecBank sharing the
+        // service's parameters is impossible (keys differ), so go
+        // through the service's own withdrawal path.
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+            panic!()
+        };
+        let mut coin = ppms_ecash::Coin::mint(&mut rng, &svc.params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+        let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw { account: jo, nonce: 1, auth, blinded }) else {
+            panic!()
+        };
+        assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+
+        // Batch: two disjoint leaves + one duplicate.
+        let s1 = coin.spend(&mut rng, &svc.params, &ppms_ecash::NodePath::from_index(2, 0), b"");
+        let s2 = coin.spend(&mut rng, &svc.params, &ppms_ecash::NodePath::from_index(2, 1), b"");
+        let dup = coin.spend(&mut rng, &svc.params, &ppms_ecash::NodePath::from_index(2, 0), b"");
+        let MaResponse::BatchDeposited { total, accepted, rejected } =
+            client.call(MaRequest::DepositBatch { account: sp, spends: vec![s1, s2, dup] })
+        else {
+            panic!("batch response");
+        };
+        assert_eq!(total, 2, "two unit leaves at L = 2");
+        assert_eq!(accepted, 2);
+        assert_eq!(rejected, 1);
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else { panic!() };
+        assert_eq!(b, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn labor_registration_requires_job() {
+        let (svc, _rng) = service(5);
+        let client = svc.client();
+        let resp = client.call(MaRequest::LaborRegister { job_id: 99, sp_pubkey: vec![1] });
+        assert!(matches!(resp, MaResponse::Err(MarketError::NoSuchJob)));
+        let MaResponse::JobId(id) = client.call(MaRequest::PublishJob {
+            description: "d".into(),
+            payment: 2,
+            pseudonym: vec![2],
+        }) else {
+            panic!()
+        };
+        assert!(matches!(client.call(MaRequest::LaborRegister { job_id: id, sp_pubkey: vec![1] }), MaResponse::Ok));
+        let MaResponse::Labor(sps) = client.call(MaRequest::FetchLabor { job_id: id }) else { panic!() };
+        assert_eq!(sps, vec![vec![1u8]]);
+        svc.shutdown();
+    }
+}

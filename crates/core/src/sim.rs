@@ -1,0 +1,218 @@
+//! Market simulation: the multi-round timing runs behind the paper's
+//! **Fig. 5** and a threaded many-party market exercising the
+//! mechanisms under concurrency.
+
+use crate::ppmsdec::{DecMarket, DecRoundOutcome};
+use crate::ppmspbs::PbsMarket;
+use crate::MarketError;
+use crossbeam::channel;
+use ppms_ecash::{CashBreak, DecParams, PaymentItem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Timing of a multi-round run (setup included, as in Fig. 5).
+#[derive(Debug, Clone)]
+pub struct RoundTiming {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Wall-clock time for setup.
+    pub setup: Duration,
+    /// Wall-clock time for the rounds themselves.
+    pub execution: Duration,
+}
+
+impl RoundTiming {
+    /// Total time (what Fig. 5 plots: "both including a setup stage").
+    pub fn total(&self) -> Duration {
+        self.setup + self.execution
+    }
+}
+
+/// Runs `rounds` PPMSdec rounds (fresh SP per round, as in a market
+/// where each deal hires a new participant) and times them.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dec_rounds(
+    seed: u64,
+    rounds: usize,
+    levels: usize,
+    zkp_rounds: usize,
+    rsa_bits: usize,
+    pairing_bits: usize,
+    w: u64,
+    strategy: CashBreak,
+) -> Result<(RoundTiming, Vec<DecRoundOutcome>), MarketError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let params = DecParams::fixture(levels, zkp_rounds);
+    let mut market = DecMarket::new(&mut rng, params, rsa_bits, pairing_bits);
+    let mut jo = market.register_jo(&mut rng, (rounds as u64 + 1) * market.params().face_value(), rsa_bits);
+    let setup = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut outcomes = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let sp = market.register_sp(&mut rng, rsa_bits);
+        let outcome = market.run_round(
+            &mut rng,
+            &mut jo,
+            &sp,
+            &format!("sensing job {i}"),
+            w,
+            strategy,
+            b"sensor readings",
+        )?;
+        outcomes.push(outcome);
+    }
+    Ok((RoundTiming { rounds, setup, execution: t1.elapsed() }, outcomes))
+}
+
+/// Runs `rounds` PPMSpbs rounds and times them.
+pub fn run_pbs_rounds(
+    seed: u64,
+    rounds: usize,
+    rsa_bits: usize,
+) -> Result<RoundTiming, MarketError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let mut market = PbsMarket::new();
+    let jo = market.register_jo(&mut rng, rounds as u64 + 1, rsa_bits);
+    let setup = t0.elapsed();
+
+    let t1 = Instant::now();
+    for i in 0..rounds {
+        let sp = market.register_sp(&mut rng, rsa_bits);
+        market.run_round(&mut rng, &jo, &sp, &format!("sensing job {i}"), b"sensor readings")?;
+    }
+    Ok(RoundTiming { rounds, setup, execution: t1.elapsed() })
+}
+
+/// Report of a threaded many-party PPMSpbs market.
+#[derive(Debug, Clone)]
+pub struct ParallelSimReport {
+    /// Rounds that completed successfully.
+    pub completed: usize,
+    /// Rounds that failed.
+    pub failed: usize,
+    /// Wall-clock time for the concurrent phase.
+    pub elapsed: Duration,
+    /// Ledger total before the run.
+    pub supply_before: u64,
+    /// Ledger total after the run (must equal `supply_before`).
+    pub supply_after: u64,
+}
+
+/// Runs a threaded PPMSpbs market: `n_pairs` independent (JO, SP)
+/// pairs each complete `rounds_per_pair` rounds concurrently against
+/// one shared market. Exercises the ledger, serial table and metrics
+/// under contention.
+pub fn run_parallel_pbs_market(
+    seed: u64,
+    n_pairs: usize,
+    rounds_per_pair: usize,
+    rsa_bits: usize,
+    workers: usize,
+) -> ParallelSimReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut market = PbsMarket::new();
+
+    // Registration happens up front (the only &mut phase).
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let jo = market.register_jo(&mut rng, rounds_per_pair as u64, rsa_bits);
+        let sp = market.register_sp(&mut rng, rsa_bits);
+        pairs.push((jo, sp));
+    }
+    let supply_before = market.bank.total_supply();
+
+    let (tx, rx) = channel::unbounded::<usize>();
+    for idx in 0..n_pairs {
+        for _ in 0..rounds_per_pair {
+            tx.send(idx).expect("open channel");
+        }
+    }
+    drop(tx);
+
+    let market_ref = &market;
+    let pairs_ref = &pairs;
+    let t0 = Instant::now();
+    let (completed, failed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|widx| {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    let mut ok = 0usize;
+                    let mut bad = 0usize;
+                    let mut wrng = StdRng::seed_from_u64(seed ^ (widx as u64) << 32);
+                    while let Ok(idx) = rx.recv() {
+                        let (jo, sp) = &pairs_ref[idx];
+                        // Fresh per-round SP state: one-time key + serial.
+                        let mut round_sp = crate::ppmspbs::PbsParticipant {
+                            account: sp.account,
+                            account_key: sp.account_key.clone(),
+                            one_time: ppms_crypto::rsa::keygen(&mut wrng, 512),
+                            serial: {
+                                let mut sbytes = vec![0u8; 16];
+                                wrng.fill_bytes(&mut sbytes);
+                                sbytes
+                            },
+                        };
+                        let _ = &mut round_sp;
+                        match market_ref.run_round(&mut wrng, jo, &round_sp, "parallel job", b"data") {
+                            Ok(_) => ok += 1,
+                            Err(_) => bad += 1,
+                        }
+                    }
+                    (ok, bad)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    });
+    let elapsed = t0.elapsed();
+
+    ParallelSimReport {
+        completed,
+        failed,
+        elapsed,
+        supply_before,
+        supply_after: market.bank.total_supply(),
+    }
+}
+
+/// Rayon-parallel verification of a payment bundle — the SP-side
+/// speedup for the unitary scheme where `2^L` items arrive at once
+/// (ablation A3). Returns the valid spends and their total value.
+pub fn verify_bundle_parallel(
+    params: &DecParams,
+    bank_pk: &ppms_crypto::rsa::RsaPublicKey,
+    items: &[PaymentItem],
+    binding: &[u8],
+) -> (Vec<ppms_ecash::Spend>, u64) {
+    let verified: Vec<_> = items
+        .par_iter()
+        .filter_map(|item| match item {
+            PaymentItem::Real(spend) => spend
+                .verify(params, bank_pk, binding)
+                .ok()
+                .map(|v| (spend.clone(), v)),
+            PaymentItem::Fake(_) => None,
+        })
+        .collect();
+    let total = verified.iter().map(|(_, v)| v).sum();
+    (verified.into_iter().map(|(s, _)| s).collect(), total)
+}
+
+/// Sequential twin of [`verify_bundle_parallel`] for the ablation.
+pub fn verify_bundle_sequential(
+    params: &DecParams,
+    bank_pk: &ppms_crypto::rsa::RsaPublicKey,
+    items: &[PaymentItem],
+    binding: &[u8],
+) -> (Vec<ppms_ecash::Spend>, u64) {
+    ppms_ecash::receive_payment(params, bank_pk, items, binding)
+}

@@ -1,0 +1,114 @@
+//! Traffic accounting — the instrumentation behind the paper's
+//! **Table II** ("communication traffic comparing").
+//!
+//! Every protocol message passes through [`TrafficLog::record`] with
+//! its byte size; the log then answers per-party input/output totals
+//! exactly the way Table II tabulates them (bytes in / bytes out per
+//! party, grand total in kilobytes).
+
+use crate::metrics::Party;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One recorded message.
+#[derive(Debug, Clone)]
+pub struct TrafficEntry {
+    /// Sender.
+    pub from: Party,
+    /// Receiver.
+    pub to: Party,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Protocol step label (for debugging and the detailed report).
+    pub label: &'static str,
+}
+
+/// Shared, thread-safe message log.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficLog {
+    entries: Arc<Mutex<Vec<TrafficEntry>>>,
+}
+
+impl TrafficLog {
+    /// Fresh empty log.
+    pub fn new() -> TrafficLog {
+        TrafficLog::default()
+    }
+
+    /// Records one message.
+    pub fn record(&self, from: Party, to: Party, label: &'static str, bytes: usize) {
+        self.entries.lock().push(TrafficEntry { from, to, bytes, label });
+    }
+
+    /// Bytes received by `party`.
+    pub fn input_bytes(&self, party: Party) -> usize {
+        self.entries.lock().iter().filter(|e| e.to == party).map(|e| e.bytes).sum()
+    }
+
+    /// Bytes sent by `party`.
+    pub fn output_bytes(&self, party: Party) -> usize {
+        self.entries.lock().iter().filter(|e| e.from == party).map(|e| e.bytes).sum()
+    }
+
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.lock().iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total in kilobytes (the unit of Table II's last column).
+    pub fn total_kb(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+
+    /// Number of messages recorded.
+    pub fn message_count(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Snapshot of all entries.
+    pub fn snapshot(&self) -> Vec<TrafficEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// `true` if any recorded plaintext label matches `label`.
+    /// Used by privacy tests to assert what the MA could observe.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.entries.lock().iter().any(|e| e.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_per_party() {
+        let log = TrafficLog::new();
+        log.record(Party::Jo, Party::Ma, "job-reg", 100);
+        log.record(Party::Ma, Party::Sp, "payment", 250);
+        log.record(Party::Sp, Party::Ma, "deposit", 50);
+        assert_eq!(log.output_bytes(Party::Jo), 100);
+        assert_eq!(log.input_bytes(Party::Ma), 150);
+        assert_eq!(log.output_bytes(Party::Ma), 250);
+        assert_eq!(log.input_bytes(Party::Sp), 250);
+        assert_eq!(log.total_bytes(), 400);
+        assert_eq!(log.message_count(), 3);
+    }
+
+    #[test]
+    fn kb_conversion() {
+        let log = TrafficLog::new();
+        log.record(Party::Jo, Party::Ma, "x", 2048);
+        assert!((log.total_kb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let log = TrafficLog::new();
+        let log2 = log.clone();
+        log2.record(Party::Ma, Party::Jo, "fwd", 1);
+        assert_eq!(log.message_count(), 1);
+        assert!(log.has_label("fwd"));
+        assert!(!log.has_label("nope"));
+    }
+}

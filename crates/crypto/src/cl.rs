@@ -1,0 +1,238 @@
+//! Camenisch–Lysyanskaya signatures (paper ref \[27\], CRYPTO 2004
+//! "Scheme A") over the Type-A pairing.
+//!
+//! Keys: secret `(x, y)`, public `(X, Y) = (x·g, y·g)`.
+//! Signature on `m ∈ Z_r`: pick random `a ∈ G`, output
+//! `(a, b, c) = (a, y·a, (x + m·x·y)·a)`.
+//! Verification (two pairing equations):
+//!
+//! ```text
+//! ê(a, Y)           == ê(g, b)
+//! ê(X, a)·ê(X, b)^m == ê(g, c)
+//! ```
+//!
+//! In PPMSdec the JO binds a CL public key to its bank account and
+//! authorizes withdrawals by CL-signing a fresh nonce (the paper's
+//! `clpk_JO` in the money-withdrawal phase).
+
+use crate::hash::hash_to_int;
+use crate::pairing::{Point, TypeAPairing};
+use ppms_bigint::BigUint;
+use rand::Rng;
+
+/// A CL public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClPublicKey {
+    /// `X = x·g`.
+    pub x_pub: Point,
+    /// `Y = y·g`.
+    pub y_pub: Point,
+}
+
+impl ClPublicKey {
+    /// Canonical encoding for identity binding and traffic accounting.
+    pub fn to_bytes(&self, pairing: &TypeAPairing) -> Vec<u8> {
+        let mut out = self.x_pub.to_bytes(&pairing.curve.fp);
+        out.extend_from_slice(&self.y_pub.to_bytes(&pairing.curve.fp));
+        out
+    }
+}
+
+/// A CL key pair.
+#[derive(Debug, Clone)]
+pub struct ClKeyPair {
+    /// Public part.
+    pub public: ClPublicKey,
+    x: BigUint,
+    y: BigUint,
+}
+
+/// A CL signature `(a, b, c)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClSignature {
+    /// Random base point.
+    pub a: Point,
+    /// `b = y·a`.
+    pub b: Point,
+    /// `c = (x + m·x·y)·a`.
+    pub c: Point,
+}
+
+impl ClKeyPair {
+    /// Generates a key pair over `pairing`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, pairing: &TypeAPairing) -> ClKeyPair {
+        let x = pairing.random_scalar(rng);
+        let y = pairing.random_scalar(rng);
+        let public = ClPublicKey { x_pub: pairing.g_mul(&x), y_pub: pairing.g_mul(&y) };
+        ClKeyPair { public, x, y }
+    }
+
+    /// Signs a scalar message `m ∈ Z_r`.
+    pub fn sign_scalar<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        pairing: &TypeAPairing,
+        m: &BigUint,
+    ) -> ClSignature {
+        let a = pairing.random_torsion_point(rng);
+        let b = pairing.mul(&self.y, &a);
+        // c = (x + m·x·y)·a
+        let exp = (&self.x + &m.modmul(&self.x.modmul(&self.y, &pairing.r), &pairing.r)) % &pairing.r;
+        let c = pairing.mul(&exp, &a);
+        ClSignature { a, b, c }
+    }
+
+    /// Signs arbitrary bytes (hashed into `Z_r`).
+    pub fn sign_bytes<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        pairing: &TypeAPairing,
+        msg: &[u8],
+    ) -> ClSignature {
+        self.sign_scalar(rng, pairing, &hash_msg(pairing, msg))
+    }
+}
+
+/// Hashes bytes to a CL message scalar.
+pub fn hash_msg(pairing: &TypeAPairing, msg: &[u8]) -> BigUint {
+    hash_to_int("ppms-cl-msg", &[msg], &pairing.r)
+}
+
+impl ClSignature {
+    /// Verifies against a scalar message.
+    pub fn verify_scalar(&self, pairing: &TypeAPairing, pk: &ClPublicKey, m: &BigUint) -> bool {
+        if self.a.is_infinity() {
+            return false;
+        }
+        if !pairing.curve.is_on_curve(&self.a)
+            || !pairing.curve.is_on_curve(&self.b)
+            || !pairing.curve.is_on_curve(&self.c)
+        {
+            return false;
+        }
+        // ê(a, Y) == ê(g, b)
+        let lhs1 = pairing.pairing(&self.a, &pk.y_pub);
+        let rhs1 = pairing.pairing(&pairing.g, &self.b);
+        if lhs1 != rhs1 {
+            return false;
+        }
+        // ê(X, a)·ê(X, b)^m == ê(g, c)
+        let e_xa = pairing.pairing(&pk.x_pub, &self.a);
+        let e_xb_m = pairing.gt_pow(&pairing.pairing(&pk.x_pub, &self.b), m);
+        let lhs2 = pairing.fp2.mul(&e_xa, &e_xb_m);
+        let rhs2 = pairing.pairing(&pairing.g, &self.c);
+        lhs2 == rhs2
+    }
+
+    /// Verifies against a byte message.
+    pub fn verify_bytes(&self, pairing: &TypeAPairing, pk: &ClPublicKey, msg: &[u8]) -> bool {
+        self.verify_scalar(pairing, pk, &hash_msg(pairing, msg))
+    }
+
+    /// Re-randomizes the signature (CL signatures stay valid under
+    /// `(a, b, c) → (t·a, t·b, t·c)`) — the property that makes them
+    /// suitable for anonymous credentials.
+    pub fn randomize<R: Rng + ?Sized>(&self, rng: &mut R, pairing: &TypeAPairing) -> ClSignature {
+        loop {
+            let t = pairing.random_scalar(rng);
+            if t.is_zero() {
+                continue;
+            }
+            return ClSignature {
+                a: pairing.mul(&t, &self.a),
+                b: pairing.mul(&t, &self.b),
+                c: pairing.mul(&t, &self.c),
+            };
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self, pairing: &TypeAPairing) -> usize {
+        self.a.to_bytes(&pairing.curve.fp).len()
+            + self.b.to_bytes(&pairing.curve.fp).len()
+            + self.c.to_bytes(&pairing.curve.fp).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TypeAPairing, ClKeyPair) {
+        let mut rng = StdRng::seed_from_u64(1000);
+        let pairing = TypeAPairing::generate(&mut rng, 48);
+        let keys = ClKeyPair::generate(&mut rng, &pairing);
+        (pairing, keys)
+    }
+
+    #[test]
+    fn sign_verify_scalar() {
+        let (pairing, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = pairing.random_scalar(&mut rng);
+        let sig = keys.sign_scalar(&mut rng, &pairing, &m);
+        assert!(sig.verify_scalar(&pairing, &keys.public, &m));
+    }
+
+    #[test]
+    fn sign_verify_bytes() {
+        let (pairing, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sig = keys.sign_bytes(&mut rng, &pairing, b"withdrawal nonce 42");
+        assert!(sig.verify_bytes(&pairing, &keys.public, b"withdrawal nonce 42"));
+        assert!(!sig.verify_bytes(&pairing, &keys.public, b"withdrawal nonce 43"));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (pairing, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let other = ClKeyPair::generate(&mut rng, &pairing);
+        let m = pairing.random_scalar(&mut rng);
+        let sig = keys.sign_scalar(&mut rng, &pairing, &m);
+        assert!(!sig.verify_scalar(&pairing, &other.public, &m));
+    }
+
+    #[test]
+    fn tampered_component_rejected() {
+        let (pairing, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = pairing.random_scalar(&mut rng);
+        let sig = keys.sign_scalar(&mut rng, &pairing, &m);
+        for field in 0..3 {
+            let mut bad = sig.clone();
+            let twist = pairing.random_torsion_point(&mut rng);
+            match field {
+                0 => bad.a = pairing.curve.add(&bad.a, &twist),
+                1 => bad.b = pairing.curve.add(&bad.b, &twist),
+                _ => bad.c = pairing.curve.add(&bad.c, &twist),
+            }
+            assert!(!bad.verify_scalar(&pairing, &keys.public, &m), "field {field}");
+        }
+    }
+
+    #[test]
+    fn randomized_signature_still_verifies() {
+        let (pairing, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = pairing.random_scalar(&mut rng);
+        let sig = keys.sign_scalar(&mut rng, &pairing, &m);
+        let rand_sig = sig.randomize(&mut rng, &pairing);
+        assert_ne!(rand_sig, sig, "randomization changes the triple");
+        assert!(rand_sig.verify_scalar(&pairing, &keys.public, &m));
+    }
+
+    #[test]
+    fn infinity_a_rejected() {
+        let (pairing, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = pairing.random_scalar(&mut rng);
+        let mut sig = keys.sign_scalar(&mut rng, &pairing, &m);
+        sig.a = Point::Infinity;
+        sig.b = Point::Infinity;
+        sig.c = Point::Infinity;
+        assert!(!sig.verify_scalar(&pairing, &keys.public, &m), "all-infinity forgery");
+    }
+}

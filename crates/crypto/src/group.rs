@@ -1,0 +1,251 @@
+//! Prime-order subgroups of `Z_p*` (Schnorr groups).
+//!
+//! The DEC group tower, Pedersen commitments and every zero-knowledge
+//! proof in the workspace operate in these groups. For the tower the
+//! moduli are safe primes from a Cunningham chain (`p = 2q + 1`), so
+//! the subgroup of quadratic residues has prime order `q`.
+
+use crate::hash::hash_to_int;
+use ppms_bigint::{random_below, BigUint, Montgomery};
+use ppms_primes::gen::random_safe_prime;
+use rand::Rng;
+
+/// A cyclic group of prime order `q` inside `Z_p*`, with a canonical
+/// generator `g`.
+#[derive(Debug, Clone)]
+pub struct SchnorrGroup {
+    /// Prime modulus.
+    pub p: BigUint,
+    /// Prime order of the subgroup (`q | p - 1`).
+    pub q: BigUint,
+    /// Canonical generator.
+    pub g: BigUint,
+    /// Montgomery context for `p` (all moduli here are odd primes).
+    mont: Montgomery,
+}
+
+impl PartialEq for SchnorrGroup {
+    fn eq(&self, other: &Self) -> bool {
+        // The Montgomery context is derived state; (p, q, g) identify
+        // the group.
+        self.p == other.p && self.q == other.q && self.g == other.g
+    }
+}
+
+impl Eq for SchnorrGroup {}
+
+impl SchnorrGroup {
+    /// Builds the quadratic-residue subgroup of a safe prime
+    /// `p = 2q + 1`. The canonical generator is derived by
+    /// hash-to-group so its discrete log is unknown to everyone.
+    pub fn from_safe_prime(p: &BigUint, q: &BigUint) -> SchnorrGroup {
+        debug_assert_eq!(p, &(&(q << 1usize) + &BigUint::one()), "p = 2q+1 required");
+        let mont = Montgomery::new(p);
+        let mut group = SchnorrGroup { p: p.clone(), q: q.clone(), g: BigUint::zero(), mont };
+        group.g = group.derive_generator("canonical-g");
+        group
+    }
+
+    /// Generates a fresh group with a random safe prime of
+    /// `q_bits + 1` modulus bits.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, q_bits: usize) -> SchnorrGroup {
+        let (p, q) = random_safe_prime(rng, q_bits + 1);
+        SchnorrGroup::from_safe_prime(&p, &q)
+    }
+
+    /// Derives an independent generator from a domain-separation tag
+    /// (nothing-up-my-sleeve: `H(tag, p)` cofactor-raised into the
+    /// subgroup; nobody knows its discrete log w.r.t. `g`).
+    pub fn derive_generator(&self, tag: &str) -> BigUint {
+        let cofactor = &(&self.p - 1u64) / &self.q;
+        let mut ctr = 0u64;
+        loop {
+            let seed = hash_to_int(
+                "ppms-group-gen",
+                &[tag.as_bytes(), &self.p.to_bytes_be(), &ctr.to_be_bytes()],
+                &self.p,
+            );
+            let candidate = self.mont.modpow(&seed, &cofactor);
+            if !candidate.is_one() && !candidate.is_zero() {
+                return candidate;
+            }
+            ctr += 1;
+        }
+    }
+
+    /// `base^e mod p` (exponent reduced mod `q` by group order).
+    pub fn exp(&self, base: &BigUint, e: &BigUint) -> BigUint {
+        self.mont.modpow(base, &(e % &self.q))
+    }
+
+    /// `g^e mod p`.
+    pub fn g_exp(&self, e: &BigUint) -> BigUint {
+        self.exp(&self.g, e)
+    }
+
+    /// Product in `Z_p*`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.mont.mul(a, b)
+    }
+
+    /// Multiplicative inverse in `Z_p*`.
+    pub fn inv(&self, a: &BigUint) -> BigUint {
+        a.modinv(&self.p).expect("nonzero element of Z_p*")
+    }
+
+    /// Membership test: `x` is in the order-`q` subgroup.
+    pub fn contains(&self, x: &BigUint) -> bool {
+        !x.is_zero() && x < &self.p && self.mont.modpow(x, &self.q).is_one()
+    }
+
+    /// Simultaneous double exponentiation `a^x · b^y mod p` via
+    /// Shamir's trick: one shared square per bit instead of two — the
+    /// hot operation of every sigma-protocol verification
+    /// (`g^s == t · y^c`).
+    pub fn multi_exp2(&self, a: &BigUint, x: &BigUint, b: &BigUint, y: &BigUint) -> BigUint {
+        let x = x % &self.q;
+        let y = y % &self.q;
+        let ab = self.mont.mul(a, b);
+        let nbits = x.bits().max(y.bits());
+        if nbits == 0 {
+            return BigUint::one();
+        }
+        let mut acc = BigUint::one();
+        for i in (0..nbits).rev() {
+            acc = self.mont.mul(&acc, &acc);
+            match (x.bit(i), y.bit(i)) {
+                (true, true) => acc = self.mont.mul(&acc, &ab),
+                (true, false) => acc = self.mont.mul(&acc, a),
+                (false, true) => acc = self.mont.mul(&acc, b),
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+
+    /// Uniform exponent in `[0, q)`.
+    pub fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        random_below(rng, &self.q)
+    }
+
+    /// Uniform group element (a random power of `g`).
+    pub fn random_element<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        self.g_exp(&self.random_exponent(rng))
+    }
+
+    /// Serialized length of one group element in bytes.
+    pub fn element_bytes(&self) -> usize {
+        self.p.bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 2q+1 = 23, q = 11 — the classic toy safe prime.
+    fn toy() -> SchnorrGroup {
+        SchnorrGroup::from_safe_prime(&BigUint::from(23u64), &BigUint::from(11u64))
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        let g = toy();
+        assert!(g.contains(&g.g));
+        assert!(!g.g.is_one());
+        assert_eq!(g.exp(&g.g, &g.q), BigUint::one());
+    }
+
+    #[test]
+    fn exponent_wraps_mod_q() {
+        let g = toy();
+        let e = BigUint::from(5u64);
+        let e_wrapped = &e + &g.q;
+        assert_eq!(g.g_exp(&e), g.g_exp(&e_wrapped));
+    }
+
+    #[test]
+    fn derived_generators_independent() {
+        // Needs a group big enough that hash-derived generators do not
+        // collide by pigeonhole (the toy 11-element group can collide).
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = SchnorrGroup::generate(&mut rng, 48);
+        let h1 = g.derive_generator("h1");
+        let h2 = g.derive_generator("h2");
+        assert!(g.contains(&h1));
+        assert!(g.contains(&h2));
+        assert_ne!(h1, h2);
+        // Deterministic per tag.
+        assert_eq!(h1, g.derive_generator("h1"));
+    }
+
+    #[test]
+    fn membership_rejects_non_residues() {
+        let g = toy();
+        // 5 is a non-residue mod 23 (5^11 = -1 mod 23).
+        assert!(!g.contains(&BigUint::from(5u64)));
+        assert!(!g.contains(&BigUint::zero()));
+        assert!(!g.contains(&g.p.clone()));
+        assert!(g.contains(&BigUint::one()));
+    }
+
+    #[test]
+    fn mul_inv_roundtrip() {
+        let g = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = g.random_element(&mut rng);
+        assert_eq!(g.mul(&x, &g.inv(&x)), BigUint::one());
+    }
+
+    #[test]
+    fn generate_fresh_group() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = SchnorrGroup::generate(&mut rng, 32);
+        assert_eq!(g.q.bits(), 32);
+        assert!(g.contains(&g.g));
+        assert!(ppms_primes::is_probable_prime(&g.p));
+        assert!(ppms_primes::is_probable_prime(&g.q));
+    }
+
+    #[test]
+    fn random_element_in_group() {
+        let g = toy();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert!(g.contains(&g.random_element(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn multi_exp2_matches_separate_exps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = SchnorrGroup::generate(&mut rng, 48);
+        let b = g.derive_generator("other");
+        for _ in 0..10 {
+            let x = g.random_exponent(&mut rng);
+            let y = g.random_exponent(&mut rng);
+            let expected = g.mul(&g.g_exp(&x), &g.exp(&b, &y));
+            assert_eq!(g.multi_exp2(&g.g, &x, &b, &y), expected);
+        }
+    }
+
+    #[test]
+    fn multi_exp2_edge_exponents() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = SchnorrGroup::generate(&mut rng, 48);
+        let b = g.derive_generator("other");
+        let zero = BigUint::zero();
+        let one = BigUint::one();
+        assert_eq!(g.multi_exp2(&g.g, &zero, &b, &zero), BigUint::one());
+        assert_eq!(g.multi_exp2(&g.g, &one, &b, &zero), g.g);
+        assert_eq!(g.multi_exp2(&g.g, &zero, &b, &one), b);
+        // Exponents reduce mod q.
+        let big = &g.q + &BigUint::from(5u64);
+        assert_eq!(
+            g.multi_exp2(&g.g, &big, &b, &one),
+            g.mul(&g.g_exp(&BigUint::from(5u64)), &b)
+        );
+    }
+}

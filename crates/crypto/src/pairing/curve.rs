@@ -1,0 +1,241 @@
+//! The supersingular curve `E: y² = x³ + x` over `F_p` and its group
+//! law. With `p ≡ 3 (mod 4)` this curve has exactly `p + 1` points.
+
+use super::fp::Fp;
+use ppms_bigint::{random_below, BigUint};
+use rand::Rng;
+
+/// A point of `E(F_p)` in affine coordinates; `Infinity` is the
+/// neutral element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Point {
+    /// The point at infinity.
+    Infinity,
+    /// An affine point.
+    Affine {
+        /// x-coordinate.
+        x: BigUint,
+        /// y-coordinate.
+        y: BigUint,
+    },
+}
+
+impl Point {
+    /// `true` iff the neutral element.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Point::Infinity)
+    }
+
+    /// Canonical encoding (empty for infinity).
+    pub fn to_bytes(&self, f: &Fp) -> Vec<u8> {
+        match self {
+            Point::Infinity => vec![0],
+            Point::Affine { x, y } => {
+                let w = f.p.bits().div_ceil(8);
+                let mut out = vec![1];
+                out.extend_from_slice(&x.to_bytes_be_padded(w));
+                out.extend_from_slice(&y.to_bytes_be_padded(w));
+                out
+            }
+        }
+    }
+}
+
+/// Curve context: the base field (the curve constant is fixed, `a=1`,
+/// `b=0`).
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Base field.
+    pub fp: Fp,
+}
+
+impl Curve {
+    /// Wraps the field context. Requires `p ≡ 3 (mod 4)` so the curve
+    /// is supersingular with `p + 1` points.
+    pub fn new(fp: Fp) -> Curve {
+        assert_eq!(&fp.p % 4u64, 3, "Type A needs p ≡ 3 (mod 4)");
+        Curve { fp }
+    }
+
+    /// `true` iff `(x, y)` satisfies `y² = x³ + x`.
+    pub fn is_on_curve(&self, pt: &Point) -> bool {
+        match pt {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let lhs = self.fp.square(y);
+                let rhs = self.fp.add(&self.fp.mul(&self.fp.square(x), x), x);
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(&self, pt: &Point) -> Point {
+        match pt {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine { x: x.clone(), y: self.fp.neg(y) },
+        }
+    }
+
+    /// Group law.
+    pub fn add(&self, p: &Point, q: &Point) -> Point {
+        match (p, q) {
+            (Point::Infinity, _) => q.clone(),
+            (_, Point::Infinity) => p.clone(),
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    if y1 == y2 {
+                        if y1.is_zero() {
+                            return Point::Infinity; // order-2 point doubled
+                        }
+                        // Doubling: λ = (3x² + 1) / 2y
+                        let x1sq = self.fp.square(x1);
+                        let num = self.fp.add(&self.fp.add(&x1sq, &self.fp.add(&x1sq, &x1sq)), &BigUint::one());
+                        let den = self.fp.add(y1, y1);
+                        let lam = self.fp.mul(&num, &self.fp.inv(&den));
+                        self.chord(x1, y1, x2, &lam)
+                    } else {
+                        Point::Infinity // P + (−P)
+                    }
+                } else {
+                    // Chord: λ = (y2 − y1) / (x2 − x1)
+                    let num = self.fp.sub(y2, y1);
+                    let den = self.fp.sub(x2, x1);
+                    let lam = self.fp.mul(&num, &self.fp.inv(&den));
+                    self.chord(x1, y1, x2, &lam)
+                }
+            }
+        }
+    }
+
+    fn chord(&self, x1: &BigUint, y1: &BigUint, x2: &BigUint, lam: &BigUint) -> Point {
+        let x3 = self.fp.sub(&self.fp.sub(&self.fp.square(lam), x1), x2);
+        let y3 = self.fp.sub(&self.fp.mul(lam, &self.fp.sub(x1, &x3)), y1);
+        Point::Affine { x: x3, y: y3 }
+    }
+
+    /// Scalar multiplication (double-and-add).
+    pub fn mul(&self, k: &BigUint, p: &Point) -> Point {
+        let mut acc = Point::Infinity;
+        for i in (0..k.bits()).rev() {
+            acc = self.add(&acc, &acc);
+            if k.bit(i) {
+                acc = self.add(&acc, p);
+            }
+        }
+        acc
+    }
+
+    /// Samples a uniformly random curve point (excluding infinity).
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        loop {
+            let x = random_below(rng, &self.fp.p);
+            let rhs = self.fp.add(&self.fp.mul(&self.fp.square(&x), &x), &x);
+            if let Some(y) = self.fp.sqrt(&rhs) {
+                // Randomize the sign of y for uniformity.
+                let y = if rng.next_u32() & 1 == 0 { y } else { self.fp.neg(&y) };
+                let pt = Point::Affine { x, y };
+                if !pt.is_infinity() {
+                    return pt;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// p = 1019 ≡ 3 mod 4 is prime; E(F_1019) has 1020 points.
+    fn curve() -> Curve {
+        Curve::new(Fp::new(&BigUint::from(1019u64)))
+    }
+
+    #[test]
+    fn random_points_on_curve() {
+        let c = curve();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert!(c.is_on_curve(&c.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn group_axioms() {
+        let c = curve();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = c.random_point(&mut rng);
+        let q = c.random_point(&mut rng);
+        let r = c.random_point(&mut rng);
+        // Identity, inverse, commutativity, associativity.
+        assert_eq!(c.add(&p, &Point::Infinity), p);
+        assert_eq!(c.add(&p, &c.neg(&p)), Point::Infinity);
+        assert_eq!(c.add(&p, &q), c.add(&q, &p));
+        assert_eq!(c.add(&c.add(&p, &q), &r), c.add(&p, &c.add(&q, &r)));
+    }
+
+    #[test]
+    fn curve_order_is_p_plus_one() {
+        let c = curve();
+        let mut rng = StdRng::seed_from_u64(3);
+        let order = &c.fp.p + 1u64;
+        for _ in 0..5 {
+            let p = c.random_point(&mut rng);
+            assert_eq!(c.mul(&order, &p), Point::Infinity);
+        }
+    }
+
+    #[test]
+    fn scalar_mul_consistency() {
+        let c = curve();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = c.random_point(&mut rng);
+        // 5P = P + P + P + P + P
+        let five = c.mul(&BigUint::from(5u64), &p);
+        let mut acc = Point::Infinity;
+        for _ in 0..5 {
+            acc = c.add(&acc, &p);
+        }
+        assert_eq!(five, acc);
+        assert_eq!(c.mul(&BigUint::zero(), &p), Point::Infinity);
+        assert_eq!(c.mul(&BigUint::one(), &p), p);
+    }
+
+    #[test]
+    fn order_two_point_handled() {
+        // (0, 0) is on y² = x³ + x and has order 2; doubling it must
+        // give the point at infinity, not a division-by-zero panic.
+        let c = curve();
+        let two_torsion = Point::Affine { x: BigUint::zero(), y: BigUint::zero() };
+        assert!(c.is_on_curve(&two_torsion));
+        assert_eq!(c.add(&two_torsion, &two_torsion), Point::Infinity);
+        assert_eq!(c.neg(&two_torsion), two_torsion);
+        assert_eq!(c.mul(&BigUint::from(2u64), &two_torsion), Point::Infinity);
+        assert_eq!(c.mul(&BigUint::from(3u64), &two_torsion), two_torsion);
+    }
+
+    #[test]
+    fn mul_large_scalar_wraps() {
+        let c = curve();
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = c.random_point(&mut rng);
+        let order = &c.fp.p + 1u64;
+        // (order + 3)·P = 3·P
+        let k = &order + 3u64;
+        assert_eq!(c.mul(&k, &p), c.mul(&BigUint::from(3u64), &p));
+    }
+
+    #[test]
+    fn results_stay_on_curve() {
+        let c = curve();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = c.random_point(&mut rng);
+        let q = c.random_point(&mut rng);
+        assert!(c.is_on_curve(&c.add(&p, &q)));
+        assert!(c.is_on_curve(&c.mul(&BigUint::from(123u64), &p)));
+        assert!(c.is_on_curve(&c.neg(&p)));
+    }
+}

@@ -1,0 +1,142 @@
+//! The prime field `F_p` as a context object (elements are plain
+//! [`BigUint`]s reduced mod `p`; the context carries the Montgomery
+//! state for fast multiplication).
+
+use ppms_bigint::{BigUint, Montgomery};
+
+/// Field context for `F_p` (`p` an odd prime).
+#[derive(Debug, Clone)]
+pub struct Fp {
+    /// The prime modulus.
+    pub p: BigUint,
+    mont: Montgomery,
+}
+
+impl Fp {
+    /// Creates the field context. `p` must be an odd prime (unchecked
+    /// beyond oddness).
+    pub fn new(p: &BigUint) -> Fp {
+        Fp { p: p.clone(), mont: Montgomery::new(p) }
+    }
+
+    /// Canonical representative of `x`.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        x % &self.p
+    }
+
+    /// `a + b`.
+    pub fn add(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let s = a + b;
+        if s >= self.p {
+            &s - &self.p
+        } else {
+            s
+        }
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        if a >= b {
+            a - b
+        } else {
+            &(a + &self.p) - b
+        }
+    }
+
+    /// `-a`.
+    pub fn neg(&self, a: &BigUint) -> BigUint {
+        if a.is_zero() {
+            BigUint::zero()
+        } else {
+            &self.p - a
+        }
+    }
+
+    /// `a · b`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.mont.mul(a, b)
+    }
+
+    /// `a²`.
+    pub fn square(&self, a: &BigUint) -> BigUint {
+        self.mont.mul(a, a)
+    }
+
+    /// `a^e`.
+    pub fn pow(&self, a: &BigUint, e: &BigUint) -> BigUint {
+        self.mont.modpow(a, e)
+    }
+
+    /// `a⁻¹`; panics on zero.
+    pub fn inv(&self, a: &BigUint) -> BigUint {
+        a.modinv(&self.p).expect("inverse of zero in Fp")
+    }
+
+    /// Square root for `p ≡ 3 (mod 4)`: `a^((p+1)/4)`, or `None` if
+    /// `a` is a non-residue.
+    pub fn sqrt(&self, a: &BigUint) -> Option<BigUint> {
+        debug_assert_eq!(&self.p % 4u64, 3);
+        if a.is_zero() {
+            return Some(BigUint::zero());
+        }
+        let e = &(&self.p + 1u64) >> 2usize;
+        let r = self.pow(a, &e);
+        if self.square(&r) == self.reduce(a) {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Fp {
+        Fp::new(&BigUint::from(1_000_003u64)) // prime ≡ 3 mod 4
+    }
+
+    #[test]
+    fn ring_ops() {
+        let f = f();
+        let a = BigUint::from(999_999u64);
+        let b = BigUint::from(10u64);
+        assert_eq!(f.add(&a, &b), BigUint::from(6u64));
+        assert_eq!(f.sub(&b, &a), BigUint::from(1_000_003u64 - 999_989));
+        assert_eq!(f.neg(&BigUint::zero()), BigUint::zero());
+        assert_eq!(f.add(&a, &f.neg(&a)), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_inv() {
+        let f = f();
+        let a = BigUint::from(12345u64);
+        assert_eq!(f.mul(&a, &f.inv(&a)), BigUint::one());
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let f = f();
+        assert_eq!(&f.p % 4u64, 3);
+        let a = BigUint::from(54321u64);
+        let sq = f.square(&a);
+        let r = f.sqrt(&sq).expect("square has a root");
+        assert!(r == a || r == f.neg(&a));
+    }
+
+    #[test]
+    fn sqrt_nonresidue_none() {
+        let f = f();
+        // Find a non-residue: -1 is one since p ≡ 3 mod 4.
+        let nr = f.neg(&BigUint::one());
+        assert!(f.sqrt(&nr).is_none());
+    }
+
+    #[test]
+    fn pow_fermat() {
+        let f = f();
+        let a = BigUint::from(777u64);
+        assert_eq!(f.pow(&a, &(&f.p - 1u64)), BigUint::one());
+    }
+}

@@ -1,0 +1,201 @@
+//! The quadratic extension `F_p² = F_p[i]/(i² + 1)` (valid because
+//! `p ≡ 3 (mod 4)` makes `-1` a non-residue). Pairing values live here.
+
+use super::fp::Fp;
+use ppms_bigint::BigUint;
+
+/// An element `a + b·i` of `F_p²`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fp2 {
+    /// Real part.
+    pub a: BigUint,
+    /// Imaginary part.
+    pub b: BigUint,
+}
+
+impl Fp2 {
+    /// The element `1`.
+    pub fn one() -> Fp2 {
+        Fp2 { a: BigUint::one(), b: BigUint::zero() }
+    }
+
+    /// The element `0`.
+    pub fn zero() -> Fp2 {
+        Fp2 { a: BigUint::zero(), b: BigUint::zero() }
+    }
+
+    /// Embeds an `F_p` element.
+    pub fn from_fp(a: BigUint) -> Fp2 {
+        Fp2 { a, b: BigUint::zero() }
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.a.is_zero() && self.b.is_zero()
+    }
+
+    /// `true` iff one.
+    pub fn is_one(&self) -> bool {
+        self.a.is_one() && self.b.is_zero()
+    }
+
+    /// Canonical byte encoding (fixed width per field).
+    pub fn to_bytes(&self, f: &Fp) -> Vec<u8> {
+        let w = f.p.bits().div_ceil(8);
+        let mut out = self.a.to_bytes_be_padded(w);
+        out.extend_from_slice(&self.b.to_bytes_be_padded(w));
+        out
+    }
+}
+
+/// Arithmetic in `F_p²`, parameterized by the base-field context.
+#[derive(Debug, Clone)]
+pub struct Fp2Ctx {
+    /// Base field.
+    pub fp: Fp,
+}
+
+impl Fp2Ctx {
+    /// Wraps a base-field context.
+    pub fn new(fp: Fp) -> Fp2Ctx {
+        Fp2Ctx { fp }
+    }
+
+    /// `x + y`.
+    pub fn add(&self, x: &Fp2, y: &Fp2) -> Fp2 {
+        Fp2 { a: self.fp.add(&x.a, &y.a), b: self.fp.add(&x.b, &y.b) }
+    }
+
+    /// `x - y`.
+    pub fn sub(&self, x: &Fp2, y: &Fp2) -> Fp2 {
+        Fp2 { a: self.fp.sub(&x.a, &y.a), b: self.fp.sub(&x.b, &y.b) }
+    }
+
+    /// `x · y` — (a+bi)(c+di) = (ac − bd) + (ad + bc)i.
+    pub fn mul(&self, x: &Fp2, y: &Fp2) -> Fp2 {
+        let ac = self.fp.mul(&x.a, &y.a);
+        let bd = self.fp.mul(&x.b, &y.b);
+        let ad = self.fp.mul(&x.a, &y.b);
+        let bc = self.fp.mul(&x.b, &y.a);
+        Fp2 { a: self.fp.sub(&ac, &bd), b: self.fp.add(&ad, &bc) }
+    }
+
+    /// `x²` (saves one base-field multiplication).
+    pub fn square(&self, x: &Fp2) -> Fp2 {
+        // (a+bi)² = (a+b)(a−b) + 2ab·i
+        let sum = self.fp.add(&x.a, &x.b);
+        let diff = self.fp.sub(&x.a, &x.b);
+        let ab = self.fp.mul(&x.a, &x.b);
+        Fp2 { a: self.fp.mul(&sum, &diff), b: self.fp.add(&ab, &ab) }
+    }
+
+    /// Conjugate `a − bi` (the Frobenius `x^p`).
+    pub fn conj(&self, x: &Fp2) -> Fp2 {
+        Fp2 { a: x.a.clone(), b: self.fp.neg(&x.b) }
+    }
+
+    /// `x⁻¹ = conj(x) / (a² + b²)`.
+    pub fn inv(&self, x: &Fp2) -> Fp2 {
+        let norm = self.fp.add(&self.fp.square(&x.a), &self.fp.square(&x.b));
+        let ninv = self.fp.inv(&norm);
+        Fp2 { a: self.fp.mul(&x.a, &ninv), b: self.fp.mul(&self.fp.neg(&x.b), &ninv) }
+    }
+
+    /// `x^e` by square-and-multiply.
+    pub fn pow(&self, x: &Fp2, e: &BigUint) -> Fp2 {
+        let mut acc = Fp2::one();
+        let nbits = e.bits();
+        for i in (0..nbits).rev() {
+            acc = self.square(&acc);
+            if e.bit(i) {
+                acc = self.mul(&acc, x);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Fp2Ctx {
+        Fp2Ctx::new(Fp::new(&BigUint::from(1_000_003u64)))
+    }
+
+    fn el(a: u64, b: u64) -> Fp2 {
+        Fp2 { a: BigUint::from(a), b: BigUint::from(b) }
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let c = ctx();
+        let i = el(0, 1);
+        let i2 = c.mul(&i, &i);
+        assert_eq!(i2, Fp2 { a: c.fp.neg(&BigUint::one()), b: BigUint::zero() });
+    }
+
+    #[test]
+    fn mul_matches_square() {
+        let c = ctx();
+        let x = el(1234, 5678);
+        assert_eq!(c.square(&x), c.mul(&x, &x));
+    }
+
+    #[test]
+    fn inv_roundtrip() {
+        let c = ctx();
+        let x = el(42, 99);
+        assert_eq!(c.mul(&x, &c.inv(&x)), Fp2::one());
+    }
+
+    #[test]
+    fn pow_group_order() {
+        // |F_p²*| = p² − 1; Lagrange.
+        let c = ctx();
+        let x = el(3, 7);
+        let ord = &(&c.fp.p * &c.fp.p) - 1u64;
+        assert_eq!(c.pow(&x, &ord), Fp2::one());
+        assert_eq!(c.pow(&x, &BigUint::zero()), Fp2::one());
+        assert_eq!(c.pow(&x, &BigUint::one()), x);
+    }
+
+    #[test]
+    fn conj_is_frobenius() {
+        let c = ctx();
+        let x = el(11, 13);
+        assert_eq!(c.pow(&x, &c.fp.p), c.conj(&x));
+    }
+
+    #[test]
+    fn zero_and_one_laws() {
+        let c = ctx();
+        let x = el(321, 654);
+        assert_eq!(c.add(&x, &Fp2::zero()), x);
+        assert_eq!(c.mul(&x, &Fp2::one()), x);
+        assert_eq!(c.mul(&x, &Fp2::zero()), Fp2::zero());
+        assert!(Fp2::zero().is_zero());
+        assert!(Fp2::one().is_one());
+        assert!(!x.is_zero() && !x.is_one());
+    }
+
+    #[test]
+    fn norm_multiplicative_via_conj() {
+        // N(x) = x · conj(x) lies in F_p and is multiplicative.
+        let c = ctx();
+        let x = el(17, 29);
+        let y = el(5, 83);
+        let nx = c.mul(&x, &c.conj(&x));
+        let ny = c.mul(&y, &c.conj(&y));
+        let nxy = c.mul(&c.mul(&x, &y), &c.conj(&c.mul(&x, &y)));
+        assert!(nx.b.is_zero() && ny.b.is_zero() && nxy.b.is_zero());
+        assert_eq!(nxy.a, c.fp.mul(&nx.a, &ny.a));
+    }
+
+    #[test]
+    fn distributive() {
+        let c = ctx();
+        let (x, y, z) = (el(2, 3), el(5, 7), el(9, 1));
+        assert_eq!(c.mul(&x, &c.add(&y, &z)), c.add(&c.mul(&x, &y), &c.mul(&x, &z)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Type-A pairing parameter generation and front-end — the Rust
+//! equivalent of jPBC's `TypeACurveGenerator` (paper ref \[33\]).
+//!
+//! Parameters: prime group order `r`, cofactor `h ≡ 0 (mod 4)` with
+//! `p = h·r − 1` prime. Then `p ≡ 3 (mod 4)`, `#E(F_p) = p + 1 = h·r`,
+//! and multiplying random points by `h` lands in the order-`r` torsion
+//! subgroup `G`, on which [`TypeAPairing::pairing`] is a symmetric,
+//! non-degenerate bilinear map into `μ_r ⊂ F_p²`.
+
+use super::curve::{Curve, Point};
+use super::fp::Fp;
+use super::fp2::{Fp2, Fp2Ctx};
+use super::miller::tate_pairing;
+use ppms_bigint::{random_below, BigUint};
+use ppms_primes::gen::random_prime;
+use ppms_primes::miller_rabin::is_probable_prime_rounds;
+use rand::Rng;
+
+/// A complete Type-A pairing instance.
+#[derive(Debug, Clone)]
+pub struct TypeAPairing {
+    /// The curve `y² = x³ + x` over `F_p`.
+    pub curve: Curve,
+    /// Arithmetic for pairing values.
+    pub fp2: Fp2Ctx,
+    /// Prime order of the torsion subgroup `G`.
+    pub r: BigUint,
+    /// Cofactor (`p + 1 = h·r`).
+    pub h: BigUint,
+    /// Canonical generator of `G`.
+    pub g: Point,
+}
+
+impl TypeAPairing {
+    /// Generates parameters with an `r_bits`-bit group order.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, r_bits: usize) -> TypeAPairing {
+        assert!(r_bits >= 16, "group order too small to be meaningful");
+        let r = random_prime(rng, r_bits);
+        // Search cofactors h = 4, 8, 12, ... for prime p = h·r − 1.
+        let mut h = BigUint::from(4u64);
+        let p = loop {
+            let cand = &(&h * &r) - 1u64;
+            if is_probable_prime_rounds(&cand, 32, rng) {
+                break cand;
+            }
+            h = &h + &BigUint::from(4u64);
+        };
+        debug_assert_eq!(&p % 4u64, 3);
+
+        let fp = Fp::new(&p);
+        let curve = Curve::new(fp.clone());
+        let fp2 = Fp2Ctx::new(fp);
+
+        // Generator: cofactor-multiply random points into G.
+        let g = loop {
+            let pt = curve.random_point(rng);
+            let g = curve.mul(&h, &pt);
+            if !g.is_infinity() {
+                debug_assert!(curve.mul(&r, &g).is_infinity());
+                break g;
+            }
+        };
+
+        TypeAPairing { curve, fp2, r, h, g }
+    }
+
+    /// The symmetric pairing `ê(P, Q)` for `P, Q ∈ G`.
+    pub fn pairing(&self, p: &Point, q: &Point) -> Fp2 {
+        tate_pairing(&self.curve, &self.fp2, p, q, &self.r)
+    }
+
+    /// Scalar multiplication in `G`.
+    pub fn mul(&self, k: &BigUint, p: &Point) -> Point {
+        self.curve.mul(&(k % &self.r), p)
+    }
+
+    /// `k·g`.
+    pub fn g_mul(&self, k: &BigUint) -> Point {
+        self.mul(k, &self.g.clone())
+    }
+
+    /// Uniform scalar in `[0, r)`.
+    pub fn random_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        random_below(rng, &self.r)
+    }
+
+    /// Uniform element of `G` (never infinity).
+    pub fn random_torsion_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        loop {
+            let k = self.random_scalar(rng);
+            let pt = self.g_mul(&k);
+            if !pt.is_infinity() {
+                return pt;
+            }
+        }
+    }
+
+    /// Exponentiation in the target group `μ_r`.
+    pub fn gt_pow(&self, x: &Fp2, e: &BigUint) -> Fp2 {
+        self.fp2.pow(x, &(e % &self.r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pairing() -> TypeAPairing {
+        let mut rng = StdRng::seed_from_u64(7);
+        TypeAPairing::generate(&mut rng, 48)
+    }
+
+    #[test]
+    fn parameters_wellformed() {
+        let e = pairing();
+        let p_plus_1 = &e.curve.fp.p + 1u64;
+        assert_eq!(&e.h * &e.r, p_plus_1, "p + 1 = h·r");
+        assert_eq!(&e.curve.fp.p % 4u64, 3);
+        assert!(e.curve.is_on_curve(&e.g));
+        assert!(e.curve.mul(&e.r, &e.g).is_infinity(), "generator has order r");
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let e = pairing();
+        let v = e.pairing(&e.g, &e.g);
+        assert!(!v.is_one(), "e(g, g) must generate μ_r");
+        // Output has order dividing r (and exactly r by primality).
+        assert!(e.fp2.pow(&v, &e.r).is_one());
+    }
+
+    #[test]
+    fn bilinearity() {
+        let e = pairing();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = e.random_scalar(&mut rng);
+        let b = e.random_scalar(&mut rng);
+        let lhs = e.pairing(&e.g_mul(&a), &e.g_mul(&b));
+        let base = e.pairing(&e.g, &e.g);
+        let rhs = e.gt_pow(&base, &a.modmul(&b, &e.r));
+        assert_eq!(lhs, rhs, "e(aG, bG) = e(G, G)^(ab)");
+    }
+
+    #[test]
+    fn bilinear_in_each_slot() {
+        let e = pairing();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = e.random_torsion_point(&mut rng);
+        let q = e.random_torsion_point(&mut rng);
+        let k = e.random_scalar(&mut rng);
+        let kp_q = e.pairing(&e.mul(&k, &p), &q);
+        let p_kq = e.pairing(&p, &e.mul(&k, &q));
+        let pq_k = e.gt_pow(&e.pairing(&p, &q), &k);
+        assert_eq!(kp_q, pq_k);
+        assert_eq!(p_kq, pq_k);
+    }
+
+    #[test]
+    fn symmetric() {
+        let e = pairing();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = e.random_torsion_point(&mut rng);
+        let q = e.random_torsion_point(&mut rng);
+        assert_eq!(e.pairing(&p, &q), e.pairing(&q, &p));
+    }
+
+    #[test]
+    fn infinity_maps_to_one() {
+        let e = pairing();
+        assert!(e.pairing(&Point::Infinity, &e.g).is_one());
+        assert!(e.pairing(&e.g, &Point::Infinity).is_one());
+    }
+
+    #[test]
+    fn multiplicative_in_first_argument() {
+        let e = pairing();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p1 = e.random_torsion_point(&mut rng);
+        let p2 = e.random_torsion_point(&mut rng);
+        let q = e.random_torsion_point(&mut rng);
+        let lhs = e.pairing(&e.curve.add(&p1, &p2), &q);
+        let rhs = e.fp2.mul(&e.pairing(&p1, &q), &e.pairing(&p2, &q));
+        assert_eq!(lhs, rhs, "e(P1 + P2, Q) = e(P1, Q)·e(P2, Q)");
+    }
+}

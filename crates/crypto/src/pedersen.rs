@@ -1,0 +1,117 @@
+//! Pedersen commitments: `commit(m, r) = g^m · h^r` in a Schnorr group.
+//!
+//! Used by the DEC withdrawal (the bank signs a commitment to the coin
+//! secret, never the secret itself) and exercised by the
+//! representation ZKP.
+
+use crate::group::SchnorrGroup;
+use ppms_bigint::BigUint;
+use rand::Rng;
+
+/// Commitment parameters: a group and two independent generators.
+#[derive(Debug, Clone)]
+pub struct PedersenParams {
+    /// The ambient group.
+    pub group: SchnorrGroup,
+    /// Message generator.
+    pub g: BigUint,
+    /// Randomness generator (discrete log w.r.t. `g` unknown).
+    pub h: BigUint,
+}
+
+/// An opened commitment: the value plus its opening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PedersenCommitment {
+    /// The committed group element `g^m h^r`.
+    pub value: BigUint,
+    /// Committed message (kept by the committer).
+    pub message: BigUint,
+    /// Blinding randomness (kept by the committer).
+    pub randomness: BigUint,
+}
+
+impl PedersenParams {
+    /// Standard parameters over `group`: `g` is the canonical
+    /// generator, `h` is hash-derived.
+    pub fn new(group: SchnorrGroup) -> PedersenParams {
+        let g = group.g.clone();
+        let h = group.derive_generator("pedersen-h");
+        PedersenParams { group, g, h }
+    }
+
+    /// Commits to `message` with fresh randomness.
+    pub fn commit<R: Rng + ?Sized>(&self, rng: &mut R, message: &BigUint) -> PedersenCommitment {
+        let randomness = self.group.random_exponent(rng);
+        self.commit_with(message, &randomness)
+    }
+
+    /// Commits with explicit randomness (deterministic).
+    pub fn commit_with(&self, message: &BigUint, randomness: &BigUint) -> PedersenCommitment {
+        let value = self
+            .group
+            .mul(&self.group.exp(&self.g, message), &self.group.exp(&self.h, randomness));
+        PedersenCommitment { value, message: message.clone(), randomness: randomness.clone() }
+    }
+
+    /// Verifies an opening against a commitment value.
+    pub fn verify(&self, value: &BigUint, message: &BigUint, randomness: &BigUint) -> bool {
+        &self.commit_with(message, randomness).value == value
+    }
+
+    /// Homomorphic addition: `commit(m1, r1) · commit(m2, r2)` opens to
+    /// `(m1 + m2, r1 + r2)`.
+    pub fn add(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.group.mul(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> PedersenParams {
+        // 2q+1 = 2879 tower top from the fixture chain; any safe prime works.
+        let g = SchnorrGroup::from_safe_prime(&BigUint::from(2879u64), &BigUint::from(1439u64));
+        PedersenParams::new(g)
+    }
+
+    #[test]
+    fn commit_verify() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = p.commit(&mut rng, &BigUint::from(42u64));
+        assert!(p.verify(&c.value, &c.message, &c.randomness));
+    }
+
+    #[test]
+    fn wrong_opening_rejected() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = p.commit(&mut rng, &BigUint::from(42u64));
+        assert!(!p.verify(&c.value, &BigUint::from(43u64), &c.randomness));
+        assert!(!p.verify(&c.value, &c.message, &(&c.randomness + 1u64)));
+    }
+
+    #[test]
+    fn hiding_under_fresh_randomness() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c1 = p.commit(&mut rng, &BigUint::from(5u64));
+        let c2 = p.commit(&mut rng, &BigUint::from(5u64));
+        assert_ne!(c1.value, c2.value, "same message, different commitments");
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c1 = p.commit(&mut rng, &BigUint::from(10u64));
+        let c2 = p.commit(&mut rng, &BigUint::from(20u64));
+        let sum = p.add(&c1.value, &c2.value);
+        let m = (&c1.message + &c2.message) % &p.group.q;
+        let r = (&c1.randomness + &c2.randomness) % &p.group.q;
+        assert!(p.verify(&sum, &m, &r));
+    }
+}

@@ -1,0 +1,158 @@
+//! RSA: key generation plus the four operations the PPMS protocols
+//! need — OAEP [`encryption`](mod@encrypt), FDH [`signatures`](mod@sign),
+//! Chaum [`blind signatures`](mod@blind) (DEC withdrawal), and
+//! [`partially blind signatures`](mod@pbs) (the PPMSpbs digital coin).
+
+pub mod blind;
+pub mod encrypt;
+pub mod pbs;
+pub mod sign;
+
+use ppms_bigint::BigUint;
+use ppms_primes::random_prime;
+use rand::Rng;
+
+pub use blind::{blind, sign_blinded, unblind, BlindingFactor};
+pub use encrypt::{decrypt, encrypt};
+pub use pbs::{pbs_blind, pbs_sign, pbs_unblind, pbs_verify, PbsBlinding};
+pub use sign::{sign, verify};
+
+/// The standard public exponent.
+pub const E: u64 = 65537;
+
+/// An RSA public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus `n = p·q`.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+}
+
+impl RsaPublicKey {
+    /// Modulus length in bytes (the ciphertext/signature size).
+    pub fn size_bytes(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// Canonical encoding (length-prefixed `n`, then `e`), used for
+    /// hashing identities and accounting message sizes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + n.len() + e.len());
+        out.extend_from_slice(&(n.len() as u32).to_be_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&(e.len() as u32).to_be_bytes());
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Decodes [`Self::to_bytes`]. Returns `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (n, rest) = read_lv(bytes)?;
+        let (e, rest) = read_lv(rest)?;
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(RsaPublicKey { n: BigUint::from_bytes_be(n), e: BigUint::from_bytes_be(e) })
+    }
+}
+
+fn read_lv(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes(bytes[..4].try_into().ok()?) as usize;
+    if bytes.len() < 4 + len {
+        return None;
+    }
+    Some((&bytes[4..4 + len], &bytes[4 + len..]))
+}
+
+/// An RSA private key. Retains `p`, `q` and `φ(n)` — the partially
+/// blind scheme derives per-transaction private exponents from `φ(n)`.
+#[derive(Debug, Clone)]
+pub struct RsaPrivateKey {
+    /// The matching public key.
+    pub public: RsaPublicKey,
+    /// Private exponent `d = e⁻¹ mod φ(n)`.
+    pub d: BigUint,
+    pub(crate) phi: BigUint,
+}
+
+impl RsaPrivateKey {
+    /// Euler's totient of the modulus (needed by [`pbs::pbs_sign`]).
+    pub fn phi(&self) -> &BigUint {
+        &self.phi
+    }
+}
+
+/// Generates an RSA key pair with a modulus of (about) `bits` bits.
+///
+/// `bits >= 128`; tests in this workspace use 512, the report harness
+/// 1024 — the paper's Java implementation also used short moduli for
+/// its timing study.
+pub fn keygen<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> RsaPrivateKey {
+    assert!(bits >= 128, "modulus too small to hold OAEP padding");
+    let e = BigUint::from(E);
+    loop {
+        let p = random_prime(rng, bits / 2);
+        let q = random_prime(rng, bits.div_ceil(2));
+        if p == q {
+            continue;
+        }
+        let n = &p * &q;
+        let phi = &(&p - 1u64) * &(&q - 1u64);
+        let Some(d) = e.modinv(&phi) else { continue };
+        return RsaPrivateKey { public: RsaPublicKey { n, e }, d, phi };
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_key(seed: u64) -> RsaPrivateKey {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    keygen(&mut rng, 512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keygen_consistency() {
+        let key = test_key(1);
+        // e*d = 1 mod phi
+        assert_eq!(key.public.e.modmul(&key.d, &key.phi), BigUint::one());
+        // raw RSA roundtrip: (m^e)^d = m
+        let m = BigUint::from(0xDEADBEEFu64);
+        let c = m.modpow(&key.public.e, &key.public.n);
+        assert_eq!(c.modpow(&key.d, &key.public.n), m);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        assert_ne!(test_key(1).public.n, test_key(2).public.n);
+    }
+
+    #[test]
+    fn modulus_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = keygen(&mut rng, 512);
+        let bits = key.public.n.bits();
+        assert!((511..=512).contains(&bits), "got {bits} bits");
+        assert_eq!(key.public.size_bytes(), 64);
+    }
+
+    #[test]
+    fn pubkey_bytes_roundtrip() {
+        let key = test_key(4);
+        let enc = key.public.to_bytes();
+        assert_eq!(RsaPublicKey::from_bytes(&enc), Some(key.public));
+        assert_eq!(RsaPublicKey::from_bytes(&enc[..enc.len() - 1]), None);
+        assert_eq!(RsaPublicKey::from_bytes(&[]), None);
+    }
+}

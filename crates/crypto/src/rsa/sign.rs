@@ -1,0 +1,78 @@
+//! RSA full-domain-hash signatures: `σ = H(m)^d mod n` with the hash
+//! expanded over the full modulus range by MGF1.
+//!
+//! PPMSdec uses these for the JO's designated-receiver signature
+//! (`sig = RSA_SIG_rskjo(rpksp)`, paper eq. (7)); PPMSpbs verifies the
+//! recovered partially blind signature the same way.
+
+use super::{RsaPrivateKey, RsaPublicKey};
+use crate::hash::hash_to_int;
+use ppms_bigint::BigUint;
+
+/// Full-domain hash of `msg` into `[0, n)`.
+pub(crate) fn fdh(pk: &RsaPublicKey, msg: &[u8]) -> BigUint {
+    hash_to_int("ppms-rsa-fdh", &[msg], &pk.n)
+}
+
+/// Signs `msg` with the private key.
+pub fn sign(sk: &RsaPrivateKey, msg: &[u8]) -> BigUint {
+    fdh(&sk.public, msg).modpow(&sk.d, &sk.public.n)
+}
+
+/// Verifies an FDH signature.
+pub fn verify(pk: &RsaPublicKey, msg: &[u8], sig: &BigUint) -> bool {
+    if sig >= &pk.n {
+        return false;
+    }
+    sig.modpow(&pk.e, &pk.n) == fdh(pk, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::test_key;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = test_key(30);
+        let sig = sign(&key, b"the data report");
+        assert!(verify(&key.public, b"the data report", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let key = test_key(31);
+        let sig = sign(&key, b"message A");
+        assert!(!verify(&key.public, b"message B", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = test_key(32);
+        let mut sig = sign(&key, b"msg");
+        sig = &sig + 1u64;
+        assert!(!verify(&key.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = test_key(33);
+        let k2 = test_key(34);
+        let sig = sign(&k1, b"msg");
+        assert!(!verify(&k2.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn oversized_signature_rejected() {
+        let key = test_key(35);
+        let sig = sign(&key, b"msg");
+        let huge = &sig + &key.public.n;
+        assert!(!verify(&key.public, b"msg", &huge), "sig >= n must fail fast");
+    }
+
+    #[test]
+    fn signing_deterministic() {
+        let key = test_key(36);
+        assert_eq!(sign(&key, b"m"), sign(&key, b"m"));
+    }
+}

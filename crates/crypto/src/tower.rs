@@ -1,0 +1,128 @@
+//! The DEC group tower (paper §III-C1).
+//!
+//! A coin tree of `L + 1` levels needs groups `G_1 … G_{L+1}` such that
+//! *elements* of `G_i` can act as *exponents* of `G_{i+1}`. The paper
+//! achieves this with group orders forming a Cunningham chain of the
+//! first kind, `o_{i+1} = 2·o_i + 1`: group `G_i` has prime order
+//! `o_i` and lives in `Z*_{o_{i+1}}` — its elements are integers below
+//! `o_{i+1}`, hence canonical exponents for `G_{i+1}`.
+//!
+//! Each level carries four derived generators:
+//! * `g` — canonical,
+//! * `g0`, `g1` — the left/right edge generators of the coin tree,
+//! * `h` — the blinding generator (Pedersen-style, coin-secret slot).
+
+use crate::group::SchnorrGroup;
+use ppms_primes::CunninghamChain;
+
+/// One level of the tower: a Schnorr group plus the tree generators.
+#[derive(Debug, Clone)]
+pub struct TowerLevel {
+    /// The group `G_i` (order `chain[i]`, modulus `chain[i+1]`).
+    pub group: SchnorrGroup,
+    /// Left-edge generator.
+    pub g0: ppms_bigint::BigUint,
+    /// Right-edge generator.
+    pub g1: ppms_bigint::BigUint,
+    /// Blinding generator.
+    pub h: ppms_bigint::BigUint,
+}
+
+/// The full tower `G_1 … G_k` built from a `(k+1)`-link chain.
+#[derive(Debug, Clone)]
+pub struct GroupTower {
+    levels: Vec<TowerLevel>,
+}
+
+impl GroupTower {
+    /// Builds a tower of `chain.len() - 1` levels; the chain must have
+    /// at least 2 links.
+    ///
+    /// Level `i` (0-based) has order `chain[i]` and modulus
+    /// `chain[i+1]` — the chain law makes every modulus a safe prime
+    /// of its level's order.
+    pub fn from_chain(chain: &CunninghamChain) -> GroupTower {
+        assert!(chain.len() >= 2, "tower needs a chain of at least 2 links");
+        let links = chain.links();
+        let mut levels = Vec::with_capacity(links.len() - 1);
+        for w in links.windows(2) {
+            let group = SchnorrGroup::from_safe_prime(&w[1], &w[0]);
+            let g0 = group.derive_generator("tree-left");
+            let g1 = group.derive_generator("tree-right");
+            let h = group.derive_generator("blind-h");
+            levels.push(TowerLevel { group, g0, g1, h });
+        }
+        GroupTower { levels }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level `i` (0-based from the root group `G_1`).
+    pub fn level(&self, i: usize) -> &TowerLevel {
+        &self.levels[i]
+    }
+
+    /// All levels, root group first.
+    pub fn levels(&self) -> &[TowerLevel] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppms_bigint::BigUint;
+    use ppms_primes::fixture_chain;
+
+    #[test]
+    fn tower_from_fixture_chain() {
+        let chain = fixture_chain(6); // 89, 179, ..., 2879
+        let tower = GroupTower::from_chain(&chain);
+        assert_eq!(tower.depth(), 5);
+        for (i, level) in tower.levels().iter().enumerate() {
+            assert_eq!(&level.group.q, &chain.links()[i]);
+            assert_eq!(&level.group.p, &chain.links()[i + 1]);
+            assert!(level.group.contains(&level.g0));
+            assert!(level.group.contains(&level.g1));
+            assert!(level.group.contains(&level.h));
+        }
+    }
+
+    #[test]
+    fn elements_fit_as_next_level_exponents() {
+        // The whole point of the chain: |G_i| elements are < o_{i+1} =
+        // |G_{i+1}|, so they embed as exponents without reduction bias.
+        let chain = fixture_chain(7);
+        let tower = GroupTower::from_chain(&chain);
+        for i in 0..tower.depth() - 1 {
+            let elem_bound = &tower.level(i).group.p; // elements are < p = o_{i+1}
+            let next_order = &tower.level(i + 1).group.q;
+            assert!(elem_bound <= next_order || elem_bound == &(next_order + &BigUint::zero()));
+            assert_eq!(elem_bound, next_order, "modulus of level {i} is order of level {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn generators_distinct_per_level() {
+        let tower = GroupTower::from_chain(&fixture_chain(8));
+        for level in tower.levels() {
+            // With tiny toy groups collisions are possible in principle;
+            // the fixture chain levels are large enough that the four
+            // derived generators must differ.
+            if level.group.q > BigUint::from(1000u64) {
+                assert_ne!(level.g0, level.g1);
+                assert_ne!(level.g0, level.h);
+                assert_ne!(level.group.g, level.h);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 links")]
+    fn single_link_chain_rejected() {
+        GroupTower::from_chain(&fixture_chain(1));
+    }
+}

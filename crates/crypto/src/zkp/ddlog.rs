@@ -1,0 +1,249 @@
+//! Stadler proof of knowledge of a **double discrete logarithm**
+//! (paper ref \[36\]): `PoK{ x : y = g^(h^x) }`, cut-and-choose,
+//! Fiat–Shamir non-interactive.
+//!
+//! This is the per-level workhorse of the DEC coin tree: node keys are
+//! derived as `t_child = g_edge^(t_parent)` with the parent key itself
+//! an exponentiation, so validity of a path is exactly a chain of
+//! double-dlog statements. The statement spans **two adjacent tower
+//! levels**: `h` generates the inner group `G_i` (order `q_in`,
+//! modulus `p_in`) and `g` the outer group `G_{i+1}` whose order is
+//! `p_in` — the Cunningham chain adjacency.
+//!
+//! Each round has soundness 1/2, so `rounds` trials give soundness
+//! `2^-rounds`. This linear cost in `rounds` is why PPMSdec is so much
+//! heavier than PPMSpbs (paper Fig. 5, Table I).
+
+use crate::group::SchnorrGroup;
+use crate::zkp::transcript::Transcript;
+use ppms_bigint::{random_below, BigUint};
+use rand::Rng;
+
+/// Default cut-and-choose rounds (soundness 2^-32).
+pub const DEFAULT_ROUNDS: usize = 32;
+
+/// The double-dlog statement `y = g^(h^x)`.
+#[derive(Debug, Clone)]
+pub struct DdlogStatement<'a> {
+    /// Outer group (contains `g` and `y`).
+    pub outer: &'a SchnorrGroup,
+    /// Inner group (contains `h`); its modulus must equal the outer
+    /// group's order.
+    pub inner: &'a SchnorrGroup,
+    /// Outer base.
+    pub g: &'a BigUint,
+    /// Inner base.
+    pub h: &'a BigUint,
+    /// The statement value.
+    pub y: &'a BigUint,
+}
+
+impl DdlogStatement<'_> {
+    fn check_compat(&self) {
+        assert_eq!(
+            self.inner.p, self.outer.q,
+            "inner modulus must equal outer order (tower adjacency)"
+        );
+    }
+
+    /// Evaluates `base^(h^w)` in the outer group.
+    fn eval(&self, base: &BigUint, w: &BigUint) -> BigUint {
+        let inner_elem = self.inner.exp(self.h, w);
+        self.outer.exp(base, &inner_elem)
+    }
+
+    fn bind(&self, tr: &mut Transcript) {
+        tr.append_int("outer-p", &self.outer.p);
+        tr.append_int("inner-p", &self.inner.p);
+        tr.append_int("g", self.g);
+        tr.append_int("h", self.h);
+        tr.append_int("y", self.y);
+    }
+}
+
+/// A non-interactive Stadler proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdlogProof {
+    /// Per-round commitments `t_j = g^(h^{w_j})`.
+    pub commitments: Vec<BigUint>,
+    /// Per-round responses (`w_j` or `w_j - x mod q_in`).
+    pub responses: Vec<BigUint>,
+}
+
+impl DdlogProof {
+    /// Proves knowledge of `x` with `y = g^(h^x)` using `rounds`
+    /// cut-and-choose rounds.
+    pub fn prove<R: Rng + ?Sized>(
+        rng: &mut R,
+        stmt: &DdlogStatement<'_>,
+        x: &BigUint,
+        rounds: usize,
+        domain: &str,
+        extra: &[u8],
+    ) -> DdlogProof {
+        stmt.check_compat();
+        assert!(rounds >= 1);
+        debug_assert_eq!(&stmt.eval(stmt.g, x), stmt.y, "witness mismatch");
+        let q_in = &stmt.inner.q;
+        let ws: Vec<BigUint> = (0..rounds).map(|_| random_below(rng, q_in)).collect();
+        let commitments: Vec<BigUint> = ws.iter().map(|w| stmt.eval(stmt.g, w)).collect();
+
+        let mut tr = Transcript::new(domain);
+        stmt.bind(&mut tr);
+        tr.append("extra", extra);
+        for t in &commitments {
+            tr.append_int("t", t);
+        }
+        let bits = tr.challenge_bits("bits", rounds);
+
+        let responses = ws
+            .iter()
+            .zip(&bits)
+            .map(|(w, &bit)| if bit { w.modsub(x, q_in) } else { w.clone() })
+            .collect();
+        DdlogProof { commitments, responses }
+    }
+
+    /// Verifies the proof (recomputing the challenge bits).
+    pub fn verify(&self, stmt: &DdlogStatement<'_>, rounds: usize, domain: &str, extra: &[u8]) -> bool {
+        stmt.check_compat();
+        if self.commitments.len() != rounds || self.responses.len() != rounds {
+            return false;
+        }
+        if !stmt.outer.contains(stmt.y) {
+            return false;
+        }
+        let mut tr = Transcript::new(domain);
+        stmt.bind(&mut tr);
+        tr.append("extra", extra);
+        for t in &self.commitments {
+            tr.append_int("t", t);
+        }
+        let bits = tr.challenge_bits("bits", rounds);
+
+        self.commitments
+            .iter()
+            .zip(&self.responses)
+            .zip(&bits)
+            .all(|((t, s), &bit)| {
+                let base = if bit { stmt.y } else { stmt.g };
+                t == &stmt.eval(base, s)
+            })
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.commitments.iter().map(|t| t.bits().div_ceil(8)).sum::<usize>()
+            + self.responses.iter().map(|s| s.bits().div_ceil(8)).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tower::GroupTower;
+    use ppms_primes::fixture_chain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two adjacent levels from the fixture tower.
+    fn setup() -> (GroupTower, usize) {
+        (GroupTower::from_chain(&fixture_chain(8)), 2)
+    }
+
+    #[test]
+    fn prove_verify() {
+        let (tower, i) = setup();
+        let inner = &tower.level(i).group;
+        let outer = &tower.level(i + 1).group;
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = inner.random_exponent(&mut rng);
+        let h = inner.g.clone();
+        let g = outer.g.clone();
+        let y = outer.exp(&g, &inner.exp(&h, &x));
+        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
+        assert!(proof.verify(&stmt, 24, "ddlog", b""));
+    }
+
+    #[test]
+    fn wrong_witness_statement_rejected() {
+        let (tower, i) = setup();
+        let inner = &tower.level(i).group;
+        let outer = &tower.level(i + 1).group;
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = inner.random_exponent(&mut rng);
+        let h = inner.g.clone();
+        let g = outer.g.clone();
+        let y = outer.exp(&g, &inner.exp(&h, &x));
+        let y_wrong = outer.exp(&g, &inner.exp(&h, &(&x + 1u64)));
+        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
+        let stmt_wrong = DdlogStatement { outer, inner, g: &g, h: &h, y: &y_wrong };
+        assert!(!proof.verify(&stmt_wrong, 24, "ddlog", b""));
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (tower, i) = setup();
+        let inner = &tower.level(i).group;
+        let outer = &tower.level(i + 1).group;
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = inner.random_exponent(&mut rng);
+        let h = inner.g.clone();
+        let g = outer.g.clone();
+        let y = outer.exp(&g, &inner.exp(&h, &x));
+        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let mut proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
+        proof.responses[5] = (&proof.responses[5] + 1u64) % &inner.q;
+        assert!(!proof.verify(&stmt, 24, "ddlog", b""));
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let (tower, i) = setup();
+        let inner = &tower.level(i).group;
+        let outer = &tower.level(i + 1).group;
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = inner.random_exponent(&mut rng);
+        let h = inner.g.clone();
+        let g = outer.g.clone();
+        let y = outer.exp(&g, &inner.exp(&h, &x));
+        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let mut proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
+        proof.commitments.pop();
+        proof.responses.pop();
+        assert!(!proof.verify(&stmt, 24, "ddlog", b""));
+    }
+
+    #[test]
+    fn extra_binds() {
+        let (tower, i) = setup();
+        let inner = &tower.level(i).group;
+        let outer = &tower.level(i + 1).group;
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = inner.random_exponent(&mut rng);
+        let h = inner.g.clone();
+        let g = outer.g.clone();
+        let y = outer.exp(&g, &inner.exp(&h, &x));
+        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let proof = DdlogProof::prove(&mut rng, &stmt, &x, 16, "ddlog", b"ctx-A");
+        assert!(proof.verify(&stmt, 16, "ddlog", b"ctx-A"));
+        assert!(!proof.verify(&stmt, 16, "ddlog", b"ctx-B"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tower adjacency")]
+    fn incompatible_groups_panic() {
+        let (tower, _) = setup();
+        // Levels 0 and 2 are NOT adjacent.
+        let inner = &tower.level(0).group;
+        let outer = &tower.level(2).group;
+        let g = outer.g.clone();
+        let h = inner.g.clone();
+        let y = outer.g.clone();
+        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let mut rng = StdRng::seed_from_u64(6);
+        DdlogProof::prove(&mut rng, &stmt, &BigUint::one(), 4, "d", b"");
+    }
+}

@@ -1,0 +1,33 @@
+//! Non-interactive zero-knowledge proofs (Fiat–Shamir heuristic,
+//! paper ref \[39\]).
+//!
+//! The paper's §VI-C lists exactly the proof types implemented here:
+//!
+//! * [`schnorr`] — knowledge of a discrete logarithm (ref \[34\]),
+//! * [`repr`] — knowledge of a representation to several bases
+//!   (ref \[35\], Okamoto-style),
+//! * [`ddlog`] — knowledge of a **double discrete logarithm**
+//!   (ref \[36\], Stadler cut-and-choose) — the per-level proof of the
+//!   DEC coin tree,
+//! * [`orproof`] — "at least one out of" discrete logs
+//!   (refs \[37\]\[38\], CDS OR-composition) — the tree-edge bit proof,
+//! * [`eq`] — equality of discrete logs (Chaum–Pedersen), used to tie
+//!   statements together.
+//!
+//! All proofs are made non-interactive with the [`transcript`]
+//! machinery; verification recomputes the challenge from the full
+//! statement, so proofs do not transfer between statements.
+
+pub mod ddlog;
+pub mod eq;
+pub mod orproof;
+pub mod repr;
+pub mod schnorr;
+pub mod transcript;
+
+pub use ddlog::{DdlogProof, DdlogStatement};
+pub use eq::EqProof;
+pub use orproof::OrProof;
+pub use repr::ReprProof;
+pub use schnorr::SchnorrProof;
+pub use transcript::Transcript;

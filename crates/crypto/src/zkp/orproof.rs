@@ -1,0 +1,194 @@
+//! CDS OR-composition (paper refs \[37\]\[38\]): `PoK{ x : y_0 = g^x  ∨
+//! y_1 = g^x }` without revealing which branch holds.
+//!
+//! The DEC spend uses this to show a tree edge was taken with a valid
+//! direction bit without revealing the sibling structure; the classic
+//! simulation trick fakes the unknown branch with a pre-chosen
+//! challenge share.
+
+use crate::group::SchnorrGroup;
+use crate::zkp::transcript::Transcript;
+use ppms_bigint::BigUint;
+use rand::Rng;
+
+/// A two-branch OR proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrProof {
+    /// Challenge shares; `c0 + c1 = c mod q`.
+    pub c: [BigUint; 2],
+    /// Responses per branch.
+    pub s: [BigUint; 2],
+    /// Commitments per branch.
+    pub t: [BigUint; 2],
+}
+
+fn bind(tr: &mut Transcript, group: &SchnorrGroup, g: &BigUint, ys: &[BigUint; 2]) {
+    tr.append_int("p", &group.p);
+    tr.append_int("q", &group.q);
+    tr.append_int("g", g);
+    tr.append_int("y0", &ys[0]);
+    tr.append_int("y1", &ys[1]);
+}
+
+impl OrProof {
+    /// Proves knowledge of `x` such that `ys[known] = g^x`, hiding
+    /// `known`.
+    #[allow(clippy::too_many_arguments)] // sigma-protocol statement + witness + context
+    pub fn prove<R: Rng + ?Sized>(
+        rng: &mut R,
+        group: &SchnorrGroup,
+        g: &BigUint,
+        ys: &[BigUint; 2],
+        x: &BigUint,
+        known: usize,
+        domain: &str,
+        extra: &[u8],
+    ) -> OrProof {
+        assert!(known < 2);
+        debug_assert_eq!(&group.exp(g, x), &ys[known], "witness mismatch");
+        let other = 1 - known;
+
+        // Simulate the unknown branch: pick (c_other, s_other) first,
+        // then solve for the commitment.
+        let c_other = group.random_exponent(rng);
+        let s_other = group.random_exponent(rng);
+        let y_inv_c = group.inv(&group.exp(&ys[other], &c_other));
+        let t_other = group.mul(&group.exp(g, &s_other), &y_inv_c);
+
+        // Honest branch commitment.
+        let k = group.random_exponent(rng);
+        let t_known = group.exp(g, &k);
+
+        let mut t = [BigUint::zero(), BigUint::zero()];
+        t[known] = t_known;
+        t[other] = t_other;
+
+        let mut tr = Transcript::new(domain);
+        bind(&mut tr, group, g, ys);
+        tr.append("extra", extra);
+        tr.append_int("t0", &t[0]);
+        tr.append_int("t1", &t[1]);
+        let c_total = tr.challenge_below("c", &group.q);
+
+        let c_known = c_total.modsub(&c_other, &group.q);
+        let s_known = (&k + &c_known.modmul(x, &group.q)) % &group.q;
+
+        let mut c = [BigUint::zero(), BigUint::zero()];
+        c[known] = c_known;
+        c[other] = c_other;
+        let mut s = [BigUint::zero(), BigUint::zero()];
+        s[known] = s_known;
+        s[other] = s_other;
+
+        OrProof { c, s, t }
+    }
+
+    /// Verifies: both branch equations hold and the challenge shares
+    /// sum to the transcript challenge.
+    pub fn verify(
+        &self,
+        group: &SchnorrGroup,
+        g: &BigUint,
+        ys: &[BigUint; 2],
+        domain: &str,
+        extra: &[u8],
+    ) -> bool {
+        if !group.contains(&self.t[0]) || !group.contains(&self.t[1]) {
+            return false;
+        }
+        let mut tr = Transcript::new(domain);
+        bind(&mut tr, group, g, ys);
+        tr.append("extra", extra);
+        tr.append_int("t0", &self.t[0]);
+        tr.append_int("t1", &self.t[1]);
+        let c_total = tr.challenge_below("c", &group.q);
+        if (&self.c[0] + &self.c[1]) % &group.q != c_total {
+            return false;
+        }
+        (0..2).all(|i| {
+            // g^s · y^(−c) == t via one multi-exponentiation per branch.
+            group.multi_exp2(g, &self.s[i], &ys[i], &self.c[i].modneg(&group.q)) == self.t[i]
+        })
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.c.iter().chain(&self.s).chain(&self.t).map(|v| v.bits().div_ceil(8)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> SchnorrGroup {
+        let mut rng = StdRng::seed_from_u64(400);
+        SchnorrGroup::generate(&mut rng, 64)
+    }
+
+    #[test]
+    fn proves_either_branch() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(1);
+        for known in 0..2 {
+            let x = g.random_exponent(&mut rng);
+            let mut ys = [g.random_element(&mut rng), g.random_element(&mut rng)];
+            ys[known] = g.g_exp(&x);
+            let proof = OrProof::prove(&mut rng, &g, &g.g.clone(), &ys, &x, known, "or", b"");
+            assert!(proof.verify(&g, &g.g, &ys, "or", b""), "branch {known}");
+        }
+    }
+
+    #[test]
+    fn neither_branch_rejected() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = g.random_exponent(&mut rng);
+        let ys = [g.g_exp(&x), g.random_element(&mut rng)];
+        let proof = OrProof::prove(&mut rng, &g, &g.g.clone(), &ys, &x, 0, "or", b"");
+        // Swap out both statement values: proof must not transfer.
+        let ys_other = [g.random_element(&mut rng), g.random_element(&mut rng)];
+        assert!(!proof.verify(&g, &g.g, &ys_other, "or", b""));
+    }
+
+    #[test]
+    fn challenge_shares_checked() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = g.random_exponent(&mut rng);
+        let ys = [g.g_exp(&x), g.random_element(&mut rng)];
+        let mut proof = OrProof::prove(&mut rng, &g, &g.g.clone(), &ys, &x, 0, "or", b"");
+        proof.c[0] = (&proof.c[0] + 1u64) % &g.q;
+        assert!(!proof.verify(&g, &g.g, &ys, "or", b""));
+    }
+
+    #[test]
+    fn proof_hides_branch_shape() {
+        // Structural check: proofs for branch 0 and branch 1 have the
+        // same shape (no field is systematically zero).
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = g.random_exponent(&mut rng);
+        let mut ys0 = [g.g_exp(&x), g.random_element(&mut rng)];
+        let p0 = OrProof::prove(&mut rng, &g, &g.g.clone(), &ys0, &x, 0, "or", b"");
+        ys0.swap(0, 1);
+        let p1 = OrProof::prove(&mut rng, &g, &g.g.clone(), &ys0, &x, 1, "or", b"");
+        for p in [&p0, &p1] {
+            assert!(!p.c[0].is_zero() || !p.c[1].is_zero());
+            assert!(!p.s[0].is_zero() && !p.s[1].is_zero());
+        }
+    }
+
+    #[test]
+    fn tampered_commitment_rejected() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = g.random_exponent(&mut rng);
+        let ys = [g.g_exp(&x), g.random_element(&mut rng)];
+        let mut proof = OrProof::prove(&mut rng, &g, &g.g.clone(), &ys, &x, 0, "or", b"");
+        proof.t[1] = g.random_element(&mut rng);
+        assert!(!proof.verify(&g, &g.g, &ys, "or", b""));
+    }
+}

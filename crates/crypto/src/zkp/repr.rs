@@ -1,0 +1,170 @@
+//! Proof of knowledge of a representation (paper ref \[35\]):
+//! `PoK{ (x_1, …, x_n) : y = Π g_i^{x_i} }` — the multi-base
+//! generalization of Schnorr, used for Pedersen-committed values.
+
+use crate::group::SchnorrGroup;
+use crate::zkp::transcript::Transcript;
+use ppms_bigint::BigUint;
+use rand::Rng;
+
+/// A representation proof over `n` bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReprProof {
+    /// Commitment `t = Π g_i^{k_i}`.
+    pub t: BigUint,
+    /// Responses `s_i = k_i + c·x_i mod q`.
+    pub s: Vec<BigUint>,
+}
+
+fn bind_statement(tr: &mut Transcript, group: &SchnorrGroup, bases: &[BigUint], y: &BigUint) {
+    tr.append_int("p", &group.p);
+    tr.append_int("q", &group.q);
+    for (i, b) in bases.iter().enumerate() {
+        tr.append_int(&format!("g{i}"), b);
+    }
+    tr.append_int("y", y);
+}
+
+impl ReprProof {
+    /// Proves knowledge of exponents `xs` with `y = Π bases_i^{xs_i}`.
+    pub fn prove<R: Rng + ?Sized>(
+        rng: &mut R,
+        group: &SchnorrGroup,
+        bases: &[BigUint],
+        y: &BigUint,
+        xs: &[BigUint],
+        domain: &str,
+        extra: &[u8],
+    ) -> ReprProof {
+        assert_eq!(bases.len(), xs.len());
+        assert!(!bases.is_empty());
+        let ks: Vec<BigUint> = bases.iter().map(|_| group.random_exponent(rng)).collect();
+        let mut t = BigUint::one();
+        for (b, k) in bases.iter().zip(&ks) {
+            t = group.mul(&t, &group.exp(b, k));
+        }
+        let mut tr = Transcript::new(domain);
+        bind_statement(&mut tr, group, bases, y);
+        tr.append("extra", extra);
+        tr.append_int("t", &t);
+        let c = tr.challenge_below("c", &group.q);
+        let s = ks
+            .iter()
+            .zip(xs)
+            .map(|(k, x)| (k + &c.modmul(x, &group.q)) % &group.q)
+            .collect();
+        ReprProof { t, s }
+    }
+
+    /// Verifies: `Π bases_i^{s_i} == t · y^c`.
+    pub fn verify(
+        &self,
+        group: &SchnorrGroup,
+        bases: &[BigUint],
+        y: &BigUint,
+        domain: &str,
+        extra: &[u8],
+    ) -> bool {
+        if self.s.len() != bases.len() || !group.contains(&self.t) || !group.contains(y) {
+            return false;
+        }
+        let mut tr = Transcript::new(domain);
+        bind_statement(&mut tr, group, bases, y);
+        tr.append("extra", extra);
+        tr.append_int("t", &self.t);
+        let c = tr.challenge_below("c", &group.q);
+        let mut lhs = BigUint::one();
+        for (b, s) in bases.iter().zip(&self.s) {
+            lhs = group.mul(&lhs, &group.exp(b, s));
+        }
+        lhs == group.mul(&self.t, &group.exp(y, &c))
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.t.bits().div_ceil(8) + self.s.iter().map(|s| s.bits().div_ceil(8)).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SchnorrGroup, Vec<BigUint>) {
+        let mut rng = StdRng::seed_from_u64(200);
+        let g = SchnorrGroup::generate(&mut rng, 64);
+        let bases = vec![g.g.clone(), g.derive_generator("b1"), g.derive_generator("b2")];
+        (g, bases)
+    }
+
+    #[test]
+    fn prove_verify_three_bases() {
+        let (g, bases) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<BigUint> = (0..3).map(|_| g.random_exponent(&mut rng)).collect();
+        let mut y = BigUint::one();
+        for (b, x) in bases.iter().zip(&xs) {
+            y = g.mul(&y, &g.exp(b, x));
+        }
+        let proof = ReprProof::prove(&mut rng, &g, &bases, &y, &xs, "repr", b"");
+        assert!(proof.verify(&g, &bases, &y, "repr", b""));
+    }
+
+    #[test]
+    fn pedersen_opening_knowledge() {
+        // The classic use: prove you can open a Pedersen commitment.
+        let (g, _) = setup();
+        let params = crate::pedersen::PedersenParams::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = params.commit(&mut rng, &BigUint::from(77u64));
+        let bases = vec![params.g.clone(), params.h.clone()];
+        let xs = vec![c.message.clone(), c.randomness.clone()];
+        let proof = ReprProof::prove(&mut rng, &g, &bases, &c.value, &xs, "open", b"");
+        assert!(proof.verify(&g, &bases, &c.value, "open", b""));
+    }
+
+    #[test]
+    fn wrong_witness_count_rejected() {
+        let (g, bases) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<BigUint> = (0..3).map(|_| g.random_exponent(&mut rng)).collect();
+        let mut y = BigUint::one();
+        for (b, x) in bases.iter().zip(&xs) {
+            y = g.mul(&y, &g.exp(b, x));
+        }
+        let mut proof = ReprProof::prove(&mut rng, &g, &bases, &y, &xs, "repr", b"");
+        proof.s.pop();
+        assert!(!proof.verify(&g, &bases, &y, "repr", b""));
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (g, bases) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<BigUint> = (0..3).map(|_| g.random_exponent(&mut rng)).collect();
+        let mut y = BigUint::one();
+        for (b, x) in bases.iter().zip(&xs) {
+            y = g.mul(&y, &g.exp(b, x));
+        }
+        let mut proof = ReprProof::prove(&mut rng, &g, &bases, &y, &xs, "repr", b"");
+        proof.s[1] = (&proof.s[1] + 1u64) % &g.q;
+        assert!(!proof.verify(&g, &bases, &y, "repr", b""));
+    }
+
+    #[test]
+    fn statement_binds_bases() {
+        let (g, bases) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<BigUint> = (0..3).map(|_| g.random_exponent(&mut rng)).collect();
+        let mut y = BigUint::one();
+        for (b, x) in bases.iter().zip(&xs) {
+            y = g.mul(&y, &g.exp(b, x));
+        }
+        let proof = ReprProof::prove(&mut rng, &g, &bases, &y, &xs, "repr", b"");
+        let mut swapped = bases.clone();
+        swapped.swap(0, 1);
+        assert!(!proof.verify(&g, &swapped, &y, "repr", b""));
+    }
+}

@@ -1,0 +1,160 @@
+//! Schnorr proof of knowledge of a discrete logarithm (paper ref \[34\]):
+//! `PoK{ x : y = g^x }`, Fiat–Shamir non-interactive.
+
+use crate::group::SchnorrGroup;
+use crate::zkp::transcript::Transcript;
+use ppms_bigint::BigUint;
+use rand::Rng;
+
+/// A non-interactive Schnorr proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchnorrProof {
+    /// Commitment `t = g^k`.
+    pub t: BigUint,
+    /// Response `s = k + c·x mod q`.
+    pub s: BigUint,
+}
+
+fn bind_statement(tr: &mut Transcript, group: &SchnorrGroup, g: &BigUint, y: &BigUint) {
+    tr.append_int("p", &group.p);
+    tr.append_int("q", &group.q);
+    tr.append_int("g", g);
+    tr.append_int("y", y);
+}
+
+impl SchnorrProof {
+    /// Proves knowledge of `x` with `y = g^x`. The `domain` separates
+    /// protocol contexts; `extra` binds application data (e.g. the
+    /// receiver identity) into the challenge.
+    pub fn prove<R: Rng + ?Sized>(
+        rng: &mut R,
+        group: &SchnorrGroup,
+        g: &BigUint,
+        y: &BigUint,
+        x: &BigUint,
+        domain: &str,
+        extra: &[u8],
+    ) -> SchnorrProof {
+        debug_assert_eq!(&group.exp(g, x), y, "witness does not match statement");
+        let k = group.random_exponent(rng);
+        let t = group.exp(g, &k);
+        let mut tr = Transcript::new(domain);
+        bind_statement(&mut tr, group, g, y);
+        tr.append("extra", extra);
+        tr.append_int("t", &t);
+        let c = tr.challenge_below("c", &group.q);
+        let s = (&k + &c.modmul(x, &group.q)) % &group.q;
+        SchnorrProof { t, s }
+    }
+
+    /// Verifies: `g^s == t · y^c`.
+    pub fn verify(
+        &self,
+        group: &SchnorrGroup,
+        g: &BigUint,
+        y: &BigUint,
+        domain: &str,
+        extra: &[u8],
+    ) -> bool {
+        if !group.contains(&self.t) || !group.contains(y) {
+            return false;
+        }
+        let mut tr = Transcript::new(domain);
+        bind_statement(&mut tr, group, g, y);
+        tr.append("extra", extra);
+        tr.append_int("t", &self.t);
+        let c = tr.challenge_below("c", &group.q);
+        // g^s == t · y^c  ⇔  g^s · y^(−c) == t; the left side is one
+        // Shamir multi-exponentiation instead of two exponentiations.
+        group.multi_exp2(g, &self.s, y, &c.modneg(&group.q)) == self.t
+    }
+
+    /// Serialized size in bytes (for traffic accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.t.bits().div_ceil(8) + self.s.bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::SchnorrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> SchnorrGroup {
+        let mut rng = StdRng::seed_from_u64(100);
+        SchnorrGroup::generate(&mut rng, 64)
+    }
+
+    #[test]
+    fn prove_verify() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = g.random_exponent(&mut rng);
+        let y = g.g_exp(&x);
+        let proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "test", b"");
+        assert!(proof.verify(&g, &g.g, &y, "test", b""));
+    }
+
+    #[test]
+    fn wrong_statement_rejected() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = g.random_exponent(&mut rng);
+        let y = g.g_exp(&x);
+        let y2 = g.g_exp(&(&x + 1u64));
+        let proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "test", b"");
+        assert!(!proof.verify(&g, &g.g, &y2, "test", b""));
+    }
+
+    #[test]
+    fn domain_and_extra_bind() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = g.random_exponent(&mut rng);
+        let y = g.g_exp(&x);
+        let proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "ctx-A", b"receiver-1");
+        assert!(proof.verify(&g, &g.g, &y, "ctx-A", b"receiver-1"));
+        assert!(!proof.verify(&g, &g.g, &y, "ctx-B", b"receiver-1"), "domain must bind");
+        assert!(!proof.verify(&g, &g.g, &y, "ctx-A", b"receiver-2"), "extra data must bind");
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = g.random_exponent(&mut rng);
+        let y = g.g_exp(&x);
+        let proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "t", b"");
+        let mut bad = proof.clone();
+        bad.s = (&bad.s + 1u64) % &g.q;
+        assert!(!bad.verify(&g, &g.g, &y, "t", b""));
+        let mut bad_t = proof;
+        bad_t.t = g.g_exp(&BigUint::from(99u64));
+        assert!(!bad_t.verify(&g, &g.g, &y, "t", b""));
+    }
+
+    #[test]
+    fn non_group_commitment_rejected() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = g.random_exponent(&mut rng);
+        let y = g.g_exp(&x);
+        let mut proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "t", b"");
+        proof.t = BigUint::zero();
+        assert!(!proof.verify(&g, &g.g, &y, "t", b""));
+    }
+
+    #[test]
+    fn alternative_base() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(6);
+        let base = g.derive_generator("other-base");
+        let x = g.random_exponent(&mut rng);
+        let y = g.exp(&base, &x);
+        let proof = SchnorrProof::prove(&mut rng, &g, &base, &y, &x, "t", b"");
+        assert!(proof.verify(&g, &base, &y, "t", b""));
+        assert!(!proof.verify(&g, &g.g, &y, "t", b""), "base must bind");
+    }
+}

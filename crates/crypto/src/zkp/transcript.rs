@@ -1,0 +1,111 @@
+//! Fiat–Shamir transcripts: an order-sensitive, label-separated hash
+//! chain from which challenges are squeezed.
+
+use crate::hash::{hash_parts, mgf1};
+use ppms_bigint::BigUint;
+
+/// A running Fiat–Shamir transcript.
+///
+/// `append` absorbs labeled data; `challenge_*` squeezes verifier
+/// challenges. Squeezing also feeds the squeeze label back into the
+/// state, so successive challenges are independent.
+#[derive(Debug, Clone)]
+pub struct Transcript {
+    state: [u8; 32],
+}
+
+impl Transcript {
+    /// Starts a transcript under a protocol domain label.
+    pub fn new(domain: &str) -> Transcript {
+        Transcript { state: hash_parts("ppms-transcript-init", &[domain.as_bytes()]) }
+    }
+
+    /// Absorbs labeled bytes.
+    pub fn append(&mut self, label: &str, data: &[u8]) {
+        self.state = hash_parts("ppms-transcript-step", &[&self.state, label.as_bytes(), data]);
+    }
+
+    /// Absorbs a labeled big integer.
+    pub fn append_int(&mut self, label: &str, v: &BigUint) {
+        self.append(label, &v.to_bytes_be());
+    }
+
+    /// Squeezes a challenge uniform in `[0, bound)`.
+    pub fn challenge_below(&mut self, label: &str, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero());
+        self.append("challenge", label.as_bytes());
+        let nbytes = (bound.bits() + 64).div_ceil(8);
+        let wide = BigUint::from_bytes_be(&mgf1(&self.state, nbytes));
+        &wide % bound
+    }
+
+    /// Squeezes `n` challenge bits (for cut-and-choose proofs).
+    pub fn challenge_bits(&mut self, label: &str, n: usize) -> Vec<bool> {
+        self.append("challenge-bits", label.as_bytes());
+        let bytes = mgf1(&self.state, n.div_ceil(8));
+        (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut t1 = Transcript::new("d");
+        let mut t2 = Transcript::new("d");
+        t1.append("a", b"x");
+        t2.append("a", b"x");
+        let b = BigUint::from(1u128 << 80);
+        assert_eq!(t1.challenge_below("c", &b), t2.challenge_below("c", &b));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut t1 = Transcript::new("d");
+        let mut t2 = Transcript::new("d");
+        t1.append("a", b"x");
+        t1.append("b", b"y");
+        t2.append("b", b"y");
+        t2.append("a", b"x");
+        let b = BigUint::from(u64::MAX);
+        assert_ne!(t1.challenge_below("c", &b), t2.challenge_below("c", &b));
+    }
+
+    #[test]
+    fn domain_separated() {
+        let mut t1 = Transcript::new("d1");
+        let mut t2 = Transcript::new("d2");
+        let b = BigUint::from(u64::MAX);
+        assert_ne!(t1.challenge_below("c", &b), t2.challenge_below("c", &b));
+    }
+
+    #[test]
+    fn successive_challenges_differ() {
+        let mut t = Transcript::new("d");
+        let b = BigUint::from(u64::MAX);
+        let c1 = t.challenge_below("c", &b);
+        let c2 = t.challenge_below("c", &b);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn challenge_in_range_and_bits_len() {
+        let mut t = Transcript::new("d");
+        let bound = BigUint::from(97u64);
+        for _ in 0..50 {
+            assert!(t.challenge_below("c", &bound) < bound);
+        }
+        assert_eq!(t.challenge_bits("bits", 40).len(), 40);
+        assert_eq!(t.challenge_bits("bits", 1).len(), 1);
+    }
+
+    #[test]
+    fn bits_not_constant() {
+        let mut t = Transcript::new("d");
+        let bits = t.challenge_bits("b", 128);
+        assert!(bits.iter().any(|&b| b));
+        assert!(bits.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,470 @@
+//! Cash breaking (paper §IV-A4 and §IV-C): splitting a payment `w`
+//! into coin denominations that thwart the **denomination attack**.
+//!
+//! Three strategies, exactly as the paper analyses them:
+//!
+//! * **Unitary** — `w` coins of value 1 plus `2^L − w` fakes. Maximal
+//!   privacy (the deposit stream is featureless), maximal cost.
+//! * **PCBA** (Algorithm 2) — the binary decomposition of `w`, padded
+//!   with fakes to exactly `L + 1` items.
+//! * **EPCBA** (Algorithm 3) — decomposes `w` or `w − 1 (+1)`,
+//!   whichever yields **more** set bits (more, smaller coins ⇒ more
+//!   candidate sums `Σ C(k,i)` for the attacker), padded to `L + 2`
+//!   items.
+//!
+//! [`allocate_nodes`] maps denominations onto disjoint tree nodes and
+//! [`build_payment`] produces the final `E(w_1) … E(w_k), E(0) …`
+//! bundle the JO sends.
+
+use crate::coin::{Coin, FakeCoin, PaymentItem};
+use crate::error::DecError;
+use crate::params::DecParams;
+use crate::spend::NodePath;
+use rand::Rng;
+
+/// Which break algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CashBreak {
+    /// No breaking: one coin of the exact (power-of-two-summed) value.
+    /// Only for the attack baseline — vulnerable to the denomination
+    /// attack.
+    None,
+    /// All-unitary break.
+    Unitary,
+    /// Privacy-aware Cash Break (paper Algorithm 2).
+    Pcba,
+    /// Enhanced PCBA (paper Algorithm 3).
+    Epcba,
+}
+
+/// A break plan: the denomination of every payment slot (0 = fake).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakPlan {
+    /// Slot denominations; zeros become fake coins `E(0)`.
+    pub denominations: Vec<u64>,
+    /// The amount `w` the real slots sum to.
+    pub amount: u64,
+}
+
+impl BreakPlan {
+    fn check(&self) {
+        debug_assert_eq!(
+            self.denominations.iter().sum::<u64>(),
+            self.amount,
+            "break plan must sum to the amount"
+        );
+    }
+
+    /// Number of real (nonzero) coins.
+    pub fn real_coins(&self) -> usize {
+        self.denominations.iter().filter(|&&d| d != 0).count()
+    }
+}
+
+/// `B(w)[i]`: the `i`-th least significant bit (1-based, as in the
+/// paper's notation).
+fn bit(w: u64, i: usize) -> u64 {
+    (w >> (i - 1)) & 1
+}
+
+/// All-unitary break: `w` ones and `2^L − w` zeros (paper eq. (4)).
+pub fn break_unitary(w: u64, levels: usize) -> Result<BreakPlan, DecError> {
+    let face = 1u64 << levels;
+    if w == 0 || w > face {
+        return Err(DecError::BadAmount);
+    }
+    let mut denominations = vec![1u64; w as usize];
+    denominations.resize(face as usize, 0);
+    let plan = BreakPlan { denominations, amount: w };
+    plan.check();
+    Ok(plan)
+}
+
+/// PCBA (paper Algorithm 2): `w_i = 2^{i−1}·B(w)[i]` for
+/// `i ∈ [1, L+1]`.
+pub fn break_pcba(w: u64, levels: usize) -> Result<BreakPlan, DecError> {
+    let face = 1u64 << levels;
+    if w == 0 || w > face {
+        return Err(DecError::BadAmount);
+    }
+    let denominations = (1..=levels + 1).map(|i| (1u64 << (i - 1)) * bit(w, i)).collect();
+    let plan = BreakPlan { denominations, amount: w };
+    plan.check();
+    Ok(plan)
+}
+
+/// EPCBA (paper Algorithm 3): picks the decomposition of `w` or of
+/// `w − 1` plus a unit coin, whichever has more set bits.
+pub fn break_epcba(w: u64, levels: usize) -> Result<BreakPlan, DecError> {
+    let face = 1u64 << levels;
+    if w == 0 || w > face {
+        return Err(DecError::BadAmount);
+    }
+    let a = w.count_ones();
+    let a_prime = (w - 1).count_ones();
+    let mut denominations: Vec<u64>;
+    if a <= a_prime {
+        // Use B(w−1) plus an extra unitary coin (w_{L+2} = 1).
+        denominations = (1..=levels + 1).map(|i| (1u64 << (i - 1)) * bit(w - 1, i)).collect();
+        denominations.push(1);
+    } else {
+        denominations = (1..=levels + 1).map(|i| (1u64 << (i - 1)) * bit(w, i)).collect();
+        denominations.push(0);
+    }
+    let plan = BreakPlan { denominations, amount: w };
+    plan.check();
+    Ok(plan)
+}
+
+/// Dispatches on the chosen strategy. `CashBreak::None` yields the
+/// plain binary decomposition with **no fake padding** (the attack
+/// baseline).
+pub fn plan_break(strategy: CashBreak, w: u64, levels: usize) -> Result<BreakPlan, DecError> {
+    match strategy {
+        CashBreak::None => {
+            let mut plan = break_pcba(w, levels)?;
+            plan.denominations.retain(|&d| d != 0);
+            Ok(plan)
+        }
+        CashBreak::Unitary => break_unitary(w, levels),
+        CashBreak::Pcba => break_pcba(w, levels),
+        CashBreak::Epcba => break_epcba(w, levels),
+    }
+}
+
+/// Tracks which leaves of one coin's tree are still unspent, and
+/// serves aligned node allocations for successive payments — a coin
+/// can pay several SPs, so the allocation state must persist across
+/// break plans.
+#[derive(Debug, Clone)]
+pub struct NodeAllocator {
+    levels: usize,
+    free: Vec<bool>,
+}
+
+impl NodeAllocator {
+    /// A fresh coin: every leaf free.
+    pub fn new(levels: usize) -> NodeAllocator {
+        NodeAllocator { levels, free: vec![true; 1usize << levels] }
+    }
+
+    /// Unspent value remaining.
+    pub fn remaining(&self) -> u64 {
+        self.free.iter().filter(|&&f| f).count() as u64
+    }
+
+    /// Allocates node(s) worth `denom` (a power of two). The face
+    /// value `2^L` is served as two depth-1 nodes (the root key is the
+    /// coin secret and cannot be spent). Returns `None` when no
+    /// aligned free block exists.
+    pub fn allocate(&mut self, denom: u64) -> Option<Vec<NodePath>> {
+        let face = 1u64 << self.levels;
+        assert!(denom >= 1 && denom <= face && denom.is_power_of_two());
+        if denom == face {
+            let half = face / 2;
+            let left = self.allocate(half)?;
+            let right = self.allocate(half)?;
+            return Some([left, right].concat());
+        }
+        let d = denom as usize;
+        let mut j = 0usize;
+        while j + d <= self.free.len() {
+            if self.free[j..j + d].iter().all(|&f| f) {
+                self.free[j..j + d].iter_mut().for_each(|f| *f = false);
+                let depth = self.levels - denom.trailing_zeros() as usize;
+                return Some(vec![NodePath::from_index(depth, (j / d) as u64)]);
+            }
+            j += d;
+        }
+        None
+    }
+
+    /// Allocates all real denominations of a plan; one node list per
+    /// slot (empty for fakes). Rolls back nothing on failure — callers
+    /// treat failure as a spent-out coin.
+    pub fn allocate_plan(&mut self, plan: &BreakPlan) -> Result<Vec<Vec<NodePath>>, DecError> {
+        let mut order: Vec<usize> = (0..plan.denominations.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(plan.denominations[i]));
+        let mut result = vec![Vec::new(); plan.denominations.len()];
+        for &slot in &order {
+            let d = plan.denominations[slot];
+            if d == 0 {
+                continue;
+            }
+            result[slot] = self.allocate(d).ok_or(DecError::BadAmount)?;
+        }
+        Ok(result)
+    }
+
+    /// A minimal disjoint node cover of the remaining free leaves
+    /// (for change redemption).
+    pub fn free_nodes(&self) -> Vec<NodePath> {
+        let face = self.free.len();
+        let mut nodes = Vec::new();
+        let mut pos = 0usize;
+        while pos < face {
+            if !self.free[pos] {
+                pos += 1;
+                continue;
+            }
+            // Largest aligned all-free block at pos, depth >= 1.
+            let align = if pos == 0 { face / 2 } else { 1 << pos.trailing_zeros() };
+            let mut size = align.min(face / 2).max(1);
+            while size > 1 && !self.free[pos..pos + size].iter().all(|&f| f) {
+                size /= 2;
+            }
+            if !self.free[pos..pos + size].iter().all(|&f| f) {
+                pos += 1;
+                continue;
+            }
+            let depth = self.levels - (size as u64).trailing_zeros() as usize;
+            nodes.push(NodePath::from_index(depth, (pos / size) as u64));
+            pos += size;
+        }
+        nodes
+    }
+}
+
+/// Allocates disjoint tree nodes for a single plan on a fresh coin.
+pub fn allocate_nodes(plan: &BreakPlan, levels: usize) -> Result<Vec<Vec<NodePath>>, DecError> {
+    NodeAllocator::new(levels).allocate_plan(plan)
+}
+
+/// Builds the full payment bundle: real spends for every allocated
+/// node, fake coins `E(0)` for the zero slots (paper §IV-A4:
+/// "generates `2^L − w` fake coins with the same size").
+pub fn build_payment<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &DecParams,
+    coin: &Coin,
+    plan: &BreakPlan,
+    binding: &[u8],
+    bank_sig_bytes: usize,
+) -> Result<Vec<PaymentItem>, DecError> {
+    let mut allocator = NodeAllocator::new(params.levels);
+    build_payment_with(rng, params, coin, plan, binding, bank_sig_bytes, &mut allocator)
+}
+
+/// [`build_payment`] against a persistent per-coin allocator, for
+/// coins that pay several receivers.
+#[allow(clippy::too_many_arguments)]
+pub fn build_payment_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &DecParams,
+    coin: &Coin,
+    plan: &BreakPlan,
+    binding: &[u8],
+    bank_sig_bytes: usize,
+    allocator: &mut NodeAllocator,
+) -> Result<Vec<PaymentItem>, DecError> {
+    let alloc = allocator.allocate_plan(plan)?;
+    let mut items = Vec::with_capacity(plan.denominations.len());
+    for (slot, d) in plan.denominations.iter().enumerate() {
+        if *d == 0 {
+            // Depth of the fake mirrors a unitary coin (the common case
+            // for padding slots in the unitary scheme); PCBA/EPCBA pads
+            // match the slot's would-be denomination 2^{slot}.
+            let claimed = 1u64 << slot.min(params.levels);
+            let depth = params.levels - (claimed.trailing_zeros() as usize).min(params.levels);
+            let depth = depth.max(1);
+            items.push(PaymentItem::Fake(FakeCoin::matching(rng, params, depth, bank_sig_bytes)));
+        } else {
+            for path in &alloc[slot] {
+                items.push(PaymentItem::Real(coin.spend(rng, params, path, binding)));
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Decomposes the leaf interval `[from, to)` into a minimal set of
+/// disjoint, aligned tree nodes. Used to enumerate a coin's *change*
+/// (the leaves the payment allocation did not consume).
+pub fn cover_range(from: u64, to: u64, levels: usize) -> Vec<NodePath> {
+    assert!(from <= to && to <= (1u64 << levels));
+    let mut nodes = Vec::new();
+    let mut pos = from;
+    while pos < to {
+        // Largest aligned block starting at pos that fits in [pos, to).
+        let align = if pos == 0 { 1u64 << levels } else { 1u64 << pos.trailing_zeros() };
+        let mut size = align.min(1u64 << levels.saturating_sub(1)); // depth >= 1
+        while pos + size > to {
+            size >>= 1;
+        }
+        let depth = levels - size.trailing_zeros() as usize;
+        nodes.push(NodePath::from_index(depth, pos / size));
+        pos += size;
+    }
+    nodes
+}
+
+/// Receiver-side processing of a payment bundle: verifies every item,
+/// discards fakes, and returns the valid spends plus the total value.
+pub fn receive_payment(
+    params: &DecParams,
+    bank_pk: &ppms_crypto::rsa::RsaPublicKey,
+    items: &[PaymentItem],
+    binding: &[u8],
+) -> (Vec<crate::spend::Spend>, u64) {
+    let mut good = Vec::new();
+    let mut total = 0;
+    for item in items {
+        if let PaymentItem::Real(spend) = item {
+            if let Ok(v) = spend.verify(params, bank_pk, binding) {
+                total += v;
+                good.push(spend.clone());
+            }
+        }
+        // Fake items carry no structure to verify — dropped, exactly as
+        // the paper describes ("they cannot pass the verification").
+    }
+    (good, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unitary_break_shape() {
+        let plan = break_unitary(5, 3).unwrap();
+        assert_eq!(plan.denominations.len(), 8, "always 2^L slots");
+        assert_eq!(plan.real_coins(), 5);
+        assert_eq!(plan.denominations.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn pcba_is_binary_decomposition() {
+        // w = 11 = 1011b, L = 4 → slots [1, 2, 0, 8, 0].
+        let plan = break_pcba(11, 4).unwrap();
+        assert_eq!(plan.denominations, vec![1, 2, 0, 8, 0]);
+        assert_eq!(plan.denominations.len(), 5, "always L+1 slots");
+    }
+
+    #[test]
+    fn pcba_all_amounts_sum(){
+        for l in 1..=6 {
+            for w in 1..=(1u64 << l) {
+                let plan = break_pcba(w, l).unwrap();
+                assert_eq!(plan.denominations.iter().sum::<u64>(), w, "w={w} L={l}");
+                assert_eq!(plan.denominations.len(), l + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn epcba_prefers_more_coins() {
+        // w = 8 = 1000b has 1 bit; w−1 = 7 = 111b has 3 bits → EPCBA
+        // uses 7 + 1: [1, 2, 4, 0, 1].
+        let plan = break_epcba(8, 3).unwrap();
+        assert_eq!(plan.denominations, vec![1, 2, 4, 0, 1]);
+        assert_eq!(plan.real_coins(), 4);
+        // w = 7 = 111b (3 bits) vs w−1 = 6 (2 bits) → keep B(7), pad 0.
+        let plan7 = break_epcba(7, 3).unwrap();
+        assert_eq!(plan7.denominations, vec![1, 2, 4, 0, 0]);
+    }
+
+    #[test]
+    fn epcba_all_amounts_sum() {
+        for l in 1..=6 {
+            for w in 1..=(1u64 << l) {
+                let plan = break_epcba(w, l).unwrap();
+                assert_eq!(plan.denominations.iter().sum::<u64>(), w, "w={w} L={l}");
+                assert_eq!(plan.denominations.len(), l + 2, "always L+2 slots");
+                assert!(plan.real_coins() >= break_pcba(w, l).unwrap().real_coins().min(plan.real_coins()));
+            }
+        }
+    }
+
+    #[test]
+    fn epcba_never_fewer_coins_than_pcba() {
+        for l in 1..=6 {
+            for w in 2..=(1u64 << l) {
+                let e = break_epcba(w, l).unwrap().real_coins();
+                let p = break_pcba(w, l).unwrap().real_coins();
+                assert!(e >= p, "EPCBA({w},{l}) = {e} < PCBA = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_amounts_rejected() {
+        assert_eq!(break_pcba(0, 3), Err(DecError::BadAmount));
+        assert_eq!(break_pcba(9, 3), Err(DecError::BadAmount));
+        assert_eq!(break_unitary(0, 3), Err(DecError::BadAmount));
+        assert_eq!(break_epcba(100, 3), Err(DecError::BadAmount));
+    }
+
+    #[test]
+    fn allocation_disjoint_and_correct_value() {
+        for l in 2..=5 {
+            for w in 1..=(1u64 << l) {
+                let plan = break_epcba(w, l).unwrap();
+                let alloc = allocate_nodes(&plan, l).unwrap();
+                let mut paths: Vec<NodePath> = alloc.iter().flatten().cloned().collect();
+                // Values sum to w.
+                let total: u64 = paths.iter().map(|p| 1u64 << (l - p.depth())).sum();
+                assert_eq!(total, w, "w={w} L={l}");
+                // Pairwise disjoint (no prefix relations).
+                for i in 0..paths.len() {
+                    for j in 0..paths.len() {
+                        if i != j {
+                            assert!(!paths[i].is_prefix_of(&paths[j]), "w={w} L={l}");
+                        }
+                    }
+                }
+                paths.dedup();
+            }
+        }
+    }
+
+    #[test]
+    fn cover_range_exact_and_disjoint() {
+        for l in 1..=5 {
+            let face = 1u64 << l;
+            for from in 0..=face {
+                for to in from..=face {
+                    let nodes = cover_range(from, to, l);
+                    let total: u64 = nodes.iter().map(|p| 1u64 << (l - p.depth())).sum();
+                    assert_eq!(total, to - from, "[{from},{to}) L={l}");
+                    for i in 0..nodes.len() {
+                        for j in 0..nodes.len() {
+                            if i != j {
+                                assert!(!nodes[i].is_prefix_of(&nodes[j]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_complements_allocation() {
+        // Allocation takes [0, w); cover_range takes [w, 2^L); together
+        // they tile the whole coin.
+        let l = 4;
+        for w in 1..=(1u64 << l) {
+            let plan = break_pcba(w, l).unwrap();
+            let alloc = allocate_nodes(&plan, l).unwrap();
+            let change = cover_range(w, 1 << l, l);
+            let paid: u64 = alloc.iter().flatten().map(|p| 1u64 << (l - p.depth())).sum();
+            let rest: u64 = change.iter().map(|p| 1u64 << (l - p.depth())).sum();
+            assert_eq!(paid + rest, 1 << l, "w={w}");
+            for a in alloc.iter().flatten() {
+                for c in &change {
+                    assert!(!a.is_prefix_of(c) && !c.is_prefix_of(a), "w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_coin_served_as_two_nodes() {
+        let plan = break_pcba(8, 3).unwrap(); // w = 2^L
+        let alloc = allocate_nodes(&plan, 3).unwrap();
+        let slot = plan.denominations.iter().position(|&d| d == 8).unwrap();
+        assert_eq!(alloc[slot].len(), 2);
+        assert_eq!(alloc[slot][0].depth(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Coins: minting, withdrawal (blind issuance), node-key derivation,
+//! and the fake coins `E(0)` used to pad payments.
+
+use crate::params::DecParams;
+use crate::spend::{LinkedReprProof, NodePath, Spend};
+use ppms_bigint::{random_below, BigUint};
+use ppms_crypto::hash::hash_parts;
+use ppms_crypto::rsa::{self, BlindingFactor, RsaPublicKey};
+use ppms_crypto::zkp::ddlog::{DdlogProof, DdlogStatement};
+use ppms_crypto::zkp::orproof::OrProof;
+use rand::Rng;
+
+/// Domain tag for the bank's blind signature on coin roots.
+const COIN_TOKEN_TAG: &str = "ppms-dec-coin-root";
+
+/// A divisible coin of face value `2^L`.
+///
+/// The owner keeps `s` and `t_0` secret; the public identity of the
+/// coin is the root tag `R = u^{t_0}` carrying the bank's (blindly
+/// issued) signature.
+#[derive(Debug, Clone)]
+pub struct Coin {
+    /// Coin secret `s ∈ Z_{q_1}`.
+    s: BigUint,
+    /// Secret root key `t_0 = g_1^s ∈ G_1`.
+    t0: BigUint,
+    /// Public root tag `R = u_2^{t_0} ∈ G_2`.
+    pub root_tag: BigUint,
+    /// The bank's FDH signature on [`Coin::token`], once withdrawn.
+    pub bank_sig: Option<BigUint>,
+}
+
+/// The base used for root tags (a tag generator of `G_2`).
+pub(crate) fn root_tag_base(params: &DecParams) -> BigUint {
+    params.tower.level(1).group.derive_generator("dec-root-tag")
+}
+
+/// Token bytes the bank signs for a given root tag.
+pub(crate) fn token_for(root_tag: &BigUint) -> Vec<u8> {
+    hash_parts(COIN_TOKEN_TAG, &[&root_tag.to_bytes_be()]).to_vec()
+}
+
+impl Coin {
+    /// Mints a fresh (unsigned) coin.
+    pub fn mint<R: Rng + ?Sized>(rng: &mut R, params: &DecParams) -> Coin {
+        let lvl0 = params.tower.level(0);
+        let s = random_below(rng, &lvl0.group.q);
+        let t0 = lvl0.group.g_exp(&s);
+        let root_tag = params.tower.level(1).group.exp(&root_tag_base(params), &t0);
+        Coin { s, t0, root_tag, bank_sig: None }
+    }
+
+    /// The token the bank signs (hash of the root tag).
+    pub fn token(&self) -> Vec<u8> {
+        token_for(&self.root_tag)
+    }
+
+    /// Secret PRF seed for the double-spend tracing nonces
+    /// (deterministic in the coin secret, never revealed).
+    pub(crate) fn trace_seed(&self) -> Vec<u8> {
+        hash_parts("dec-trace-seed", &[&self.s.to_bytes_be()]).to_vec()
+    }
+
+    /// Withdrawal step 1 (user side): blinds the token for the bank.
+    pub fn blind_token<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        bank_pk: &RsaPublicKey,
+    ) -> (BigUint, BlindingFactor) {
+        rsa::blind(rng, bank_pk, &self.token())
+    }
+
+    /// Withdrawal step 3 (user side): unblinds the bank's response and
+    /// attaches the signature. Returns `false` if the signature does
+    /// not verify (misbehaving bank).
+    pub fn attach_signature(
+        &mut self,
+        bank_pk: &RsaPublicKey,
+        blinded_sig: &BigUint,
+        factor: &BlindingFactor,
+    ) -> bool {
+        let sig = rsa::unblind(bank_pk, blinded_sig, factor);
+        if rsa::verify(bank_pk, &self.token(), &sig) {
+            self.bank_sig = Some(sig);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` once the coin carries a bank signature.
+    pub fn is_signed(&self) -> bool {
+        self.bank_sig.is_some()
+    }
+
+    /// Derives the node key `t_d` for a path (internal; exposed for
+    /// tests and the Fig. 4 bench via [`Coin::node_key`]).
+    pub fn node_key(&self, params: &DecParams, path: &NodePath) -> BigUint {
+        let mut t = self.t0.clone();
+        for (d, &bit) in path.bits().iter().enumerate() {
+            let lvl = params.tower.level(d + 1);
+            let edge = if bit { &lvl.g1 } else { &lvl.g0 };
+            t = lvl.group.mul(&lvl.group.exp(edge, &t), &lvl.group.exp(&lvl.h, &self.s));
+        }
+        t
+    }
+
+    /// Spends the node at `path`, producing a transferable [`Spend`]
+    /// bound to `binding` (the receiver context — replaying the spend
+    /// to a different receiver fails verification).
+    pub fn spend<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        params: &DecParams,
+        path: &NodePath,
+        binding: &[u8],
+    ) -> Spend {
+        let depth = path.depth();
+        assert!(depth >= 1 && depth <= params.levels, "spend depth out of range");
+        let bank_sig = self.bank_sig.clone().expect("coin must be withdrawn before spending");
+
+        // Reveal the key chain t_1..t_d.
+        let mut keys = Vec::with_capacity(depth);
+        let mut t = self.t0.clone();
+        for (d, &bit) in path.bits().iter().enumerate() {
+            let lvl = params.tower.level(d + 1);
+            let edge = if bit { &lvl.g1 } else { &lvl.g0 };
+            t = lvl.group.mul(&lvl.group.exp(edge, &t), &lvl.group.exp(&lvl.h, &self.s));
+            keys.push(t.clone());
+        }
+
+        // Stadler proof: R = u^(g_1^s), witness s.
+        let lvl0 = params.tower.level(0);
+        let lvl1 = params.tower.level(1);
+        let u = root_tag_base(params);
+        let stmt = DdlogStatement {
+            outer: &lvl1.group,
+            inner: &lvl0.group,
+            g: &u,
+            h: &lvl0.group.g,
+            y: &self.root_tag,
+        };
+        let root_proof = DdlogProof::prove(rng, &stmt, &self.s, params.zkp_rounds, "dec-root", binding);
+
+        // Level-1 linked representation proof (public first bit).
+        let first_bit = path.bits()[0];
+        let gb = if first_bit { &lvl1.g1 } else { &lvl1.g0 };
+        let link = LinkedReprProof::prove(
+            rng,
+            &lvl1.group,
+            &u,
+            &self.root_tag,
+            gb,
+            &lvl1.h,
+            &keys[0],
+            &self.t0,
+            &self.s,
+            binding,
+        );
+
+        // Per-edge OR proofs for depths 2..=d (path bits hidden).
+        let mut edge_proofs = Vec::with_capacity(depth.saturating_sub(1));
+        for d in 2..=depth {
+            let lvl = params.tower.level(d);
+            let t_prev = &keys[d - 2];
+            let t_cur = &keys[d - 1];
+            let ys = [
+                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g0, t_prev))),
+                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g1, t_prev))),
+            ];
+            let bit = path.bits()[d - 1];
+            let extra = edge_binding(&self.root_tag, t_prev, t_cur, d, binding);
+            edge_proofs.push(OrProof::prove(
+                rng,
+                &lvl.group,
+                &lvl.h,
+                &ys,
+                &self.s,
+                bit as usize,
+                "dec-edge",
+                &extra,
+            ));
+        }
+
+        Spend {
+            root_tag: self.root_tag.clone(),
+            bank_sig,
+            first_bit,
+            keys,
+            link,
+            root_proof,
+            edge_proofs,
+        }
+    }
+}
+
+/// Binds an edge proof to its position in the spend.
+pub(crate) fn edge_binding(
+    root_tag: &BigUint,
+    t_prev: &BigUint,
+    t_cur: &BigUint,
+    depth: usize,
+    binding: &[u8],
+) -> Vec<u8> {
+    hash_parts(
+        "dec-edge-binding",
+        &[
+            &root_tag.to_bytes_be(),
+            &t_prev.to_bytes_be(),
+            &t_cur.to_bytes_be(),
+            &(depth as u64).to_be_bytes(),
+            binding,
+        ],
+    )
+    .to_vec()
+}
+
+/// A fake coin `E(0)` (paper §IV-A4): random bytes sized exactly like
+/// a real spend of the claimed depth, so an observer cannot tell real
+/// and fake items apart by length. Receivers detect fakes because
+/// verification fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FakeCoin {
+    /// The padding bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl FakeCoin {
+    /// Builds a fake coin matching the wire size of a real spend at
+    /// `depth`.
+    pub fn matching<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: &DecParams,
+        depth: usize,
+        bank_sig_bytes: usize,
+    ) -> FakeCoin {
+        let mut bytes = vec![0u8; Spend::wire_size_model(params, depth, bank_sig_bytes)];
+        rng.fill_bytes(&mut bytes);
+        FakeCoin { bytes }
+    }
+}
+
+/// One item of a payment bundle: a real spend or padding.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // bundles are spend-dominated; boxing would cost an alloc per coin
+pub enum PaymentItem {
+    /// A verifiable spend.
+    Real(Spend),
+    /// Padding `E(0)`.
+    Fake(FakeCoin),
+}
+
+impl PaymentItem {
+    /// Wire size for traffic accounting.
+    pub fn wire_size(&self, params: &DecParams, bank_sig_bytes: usize) -> usize {
+        match self {
+            PaymentItem::Real(s) => s.wire_size(params, bank_sig_bytes),
+            PaymentItem::Fake(f) => f.bytes.len(),
+        }
+    }
+}

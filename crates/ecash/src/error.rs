@@ -1,0 +1,39 @@
+//! Error type for divisible e-cash operations.
+
+/// Why a coin, spend or deposit was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecError {
+    /// The bank's signature on the coin root is missing or invalid.
+    BadBankSignature,
+    /// A zero-knowledge proof failed to verify.
+    BadProof(&'static str),
+    /// A revealed node key is not an element of its level's group.
+    BadGroupElement,
+    /// The spend depth is outside `1..=L`.
+    BadDepth,
+    /// The same node (or an ancestor/descendant) was already deposited.
+    DoubleSpend(&'static str),
+    /// Deposits for this coin would exceed its face value.
+    Overspend,
+    /// A payment item failed verification (fake coin `E(0)` or junk).
+    FakeCoin,
+    /// A cash-break request was outside `1..=2^L`.
+    BadAmount,
+}
+
+impl std::fmt::Display for DecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecError::BadBankSignature => write!(f, "bank signature on coin root invalid"),
+            DecError::BadProof(which) => write!(f, "zero-knowledge proof failed: {which}"),
+            DecError::BadGroupElement => write!(f, "node key outside its group"),
+            DecError::BadDepth => write!(f, "spend depth out of range"),
+            DecError::DoubleSpend(kind) => write!(f, "double spend detected ({kind})"),
+            DecError::Overspend => write!(f, "coin face value exceeded"),
+            DecError::FakeCoin => write!(f, "payment item is not a valid coin"),
+            DecError::BadAmount => write!(f, "amount outside [1, 2^L]"),
+        }
+    }
+}
+
+impl std::error::Error for DecError {}

@@ -1,0 +1,97 @@
+//! `Setup(DEC)` — the public parameters of the divisible e-cash
+//! scheme (paper §III-C1 and §VI-A).
+//!
+//! A coin of value `2^L` needs the group tower `G_1 … G_{L+1}`, i.e. a
+//! Cunningham chain of `L + 2` links. Finding that chain is the
+//! expensive part of setup the paper's Fig. 2 measures; tests use the
+//! known [fixture chains](ppms_primes::cunningham::fixture_chain)
+//! (mirroring the paper's decision to run setup offline).
+
+use ppms_crypto::tower::GroupTower;
+use ppms_primes::{fixture_chain, find_chain_parallel, CunninghamChain};
+
+/// Public DEC parameters.
+#[derive(Debug, Clone)]
+pub struct DecParams {
+    /// Coin denomination exponent: face value is `2^L`.
+    pub levels: usize,
+    /// The group tower `G_1 … G_{L+1}`.
+    pub tower: GroupTower,
+    /// Stadler cut-and-choose rounds for the root proof.
+    pub zkp_rounds: usize,
+}
+
+impl DecParams {
+    /// Builds parameters from an explicit chain (needs `L + 2` links).
+    pub fn from_chain(chain: &CunninghamChain, levels: usize, zkp_rounds: usize) -> DecParams {
+        assert!(levels >= 1, "a coin needs at least one divisible level");
+        assert!(
+            chain.len() >= levels + 2,
+            "tree of {} levels needs a chain of {} links, got {}",
+            levels + 1,
+            levels + 2,
+            chain.len()
+        );
+        let tower = GroupTower::from_chain(&chain.prefix(levels + 2));
+        DecParams { levels, tower, zkp_rounds }
+    }
+
+    /// Test/bench parameters from the known fixture chains
+    /// (`levels <= 12`), i.e. setup with the chain search done
+    /// "offline" as the paper recommends.
+    ///
+    /// Always slices the **length-14 record chain** (66-bit start) so
+    /// every group in the tower is cryptographically shaped; the short
+    /// fixture chains (start 2, 3, …) have degenerate tiny groups
+    /// where node keys collide.
+    pub fn fixture(levels: usize, zkp_rounds: usize) -> DecParams {
+        DecParams::from_chain(&fixture_chain(14), levels, zkp_rounds)
+    }
+
+    /// Full online setup: searches a fresh Cunningham chain with
+    /// `start_bits`-bit starting prime (rayon-parallel). This is the
+    /// operation whose cost explodes with `L` (paper Fig. 2).
+    pub fn setup_online(levels: usize, start_bits: usize, zkp_rounds: usize, seed: u64) -> DecParams {
+        let chain = find_chain_parallel(start_bits, levels + 2, seed);
+        DecParams::from_chain(&chain, levels, zkp_rounds)
+    }
+
+    /// Coin face value `2^L`.
+    pub fn face_value(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Value of a node at `depth` (`2^(L−depth)`).
+    pub fn node_value(&self, depth: usize) -> u64 {
+        assert!(depth <= self.levels);
+        1u64 << (self.levels - depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_params_shape() {
+        let p = DecParams::fixture(4, 16);
+        assert_eq!(p.levels, 4);
+        assert_eq!(p.tower.depth(), 5, "tower has L+1 groups");
+        assert_eq!(p.face_value(), 16);
+        assert_eq!(p.node_value(0), 16);
+        assert_eq!(p.node_value(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one divisible level")]
+    fn zero_levels_rejected() {
+        DecParams::fixture(0, 16);
+    }
+
+    #[test]
+    fn online_setup_small() {
+        let p = DecParams::setup_online(1, 18, 8, 42);
+        assert_eq!(p.levels, 1);
+        assert_eq!(p.tower.depth(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Spends: node paths, the linked representation proof for level 1,
+//! the [`Spend`] object and its verification.
+
+use crate::coin::{edge_binding, root_tag_base, token_for};
+use crate::error::DecError;
+use crate::params::DecParams;
+use ppms_bigint::BigUint;
+use ppms_crypto::group::SchnorrGroup;
+use ppms_crypto::rsa::{self, RsaPublicKey};
+use ppms_crypto::zkp::ddlog::{DdlogProof, DdlogStatement};
+use ppms_crypto::zkp::orproof::OrProof;
+use ppms_crypto::zkp::transcript::Transcript;
+use rand::Rng;
+
+/// A path from the root to a tree node: `bits[j]` picks the left/right
+/// child at level `j + 1`. Depth (`= bits.len()`) is between 1 and `L`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodePath {
+    bits: Vec<bool>,
+}
+
+impl NodePath {
+    /// Builds from explicit bits (depth = `bits.len()`, must be ≥ 1).
+    pub fn new(bits: Vec<bool>) -> NodePath {
+        assert!(!bits.is_empty(), "node paths start below the root");
+        NodePath { bits }
+    }
+
+    /// The `index`-th node at `depth` in left-to-right order.
+    pub fn from_index(depth: usize, index: u64) -> NodePath {
+        assert!((1..=63).contains(&depth));
+        assert!(index < (1u64 << depth));
+        let bits = (0..depth).rev().map(|i| (index >> i) & 1 == 1).collect();
+        NodePath { bits }
+    }
+
+    /// Path bits, root-first.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Node depth.
+    pub fn depth(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` iff `self` is an ancestor of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &NodePath) -> bool {
+        other.bits.len() >= self.bits.len() && other.bits[..self.bits.len()] == self.bits[..]
+    }
+}
+
+/// The level-1 composite proof: knowledge of `(t_0, s)` with
+///
+/// ```text
+/// R   = u^{t_0}
+/// t_1 = g_b^{t_0} · h^{s}
+/// ```
+///
+/// in `G_2`, with the `t_0` response shared between the two equations
+/// (an AND-composition of a Schnorr and an Okamoto representation
+/// proof under one challenge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedReprProof {
+    /// Commitment for the tag equation, `u^{k_0}`.
+    pub t_r: BigUint,
+    /// Commitment for the node equation, `g_b^{k_0} · h^{k_1}`.
+    pub t_1: BigUint,
+    /// Shared response for `t_0`.
+    pub s0: BigUint,
+    /// Response for `s`.
+    pub s1: BigUint,
+}
+
+impl LinkedReprProof {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prove<R: Rng + ?Sized>(
+        rng: &mut R,
+        group: &SchnorrGroup,
+        u: &BigUint,
+        root_tag: &BigUint,
+        gb: &BigUint,
+        h: &BigUint,
+        t1: &BigUint,
+        t0: &BigUint,
+        s: &BigUint,
+        binding: &[u8],
+    ) -> LinkedReprProof {
+        let k0 = group.random_exponent(rng);
+        let k1 = group.random_exponent(rng);
+        let t_r = group.exp(u, &k0);
+        let t_1 = group.mul(&group.exp(gb, &k0), &group.exp(h, &k1));
+        let c = Self::challenge(group, u, root_tag, gb, h, t1, &t_r, &t_1, binding);
+        let s0 = (&k0 + &c.modmul(t0, &group.q)) % &group.q;
+        let s1 = (&k1 + &c.modmul(s, &group.q)) % &group.q;
+        LinkedReprProof { t_r, t_1, s0, s1 }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn verify(
+        &self,
+        group: &SchnorrGroup,
+        u: &BigUint,
+        root_tag: &BigUint,
+        gb: &BigUint,
+        h: &BigUint,
+        t1: &BigUint,
+        binding: &[u8],
+    ) -> bool {
+        if !group.contains(&self.t_r) || !group.contains(&self.t_1) {
+            return false;
+        }
+        let c = Self::challenge(group, u, root_tag, gb, h, t1, &self.t_r, &self.t_1, binding);
+        let tag_ok =
+            group.exp(u, &self.s0) == group.mul(&self.t_r, &group.exp(root_tag, &c));
+        let node_ok = group.mul(&group.exp(gb, &self.s0), &group.exp(h, &self.s1))
+            == group.mul(&self.t_1, &group.exp(t1, &c));
+        tag_ok && node_ok
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn challenge(
+        group: &SchnorrGroup,
+        u: &BigUint,
+        root_tag: &BigUint,
+        gb: &BigUint,
+        h: &BigUint,
+        t1: &BigUint,
+        t_r: &BigUint,
+        t_1: &BigUint,
+        binding: &[u8],
+    ) -> BigUint {
+        let mut tr = Transcript::new("dec-linked-repr");
+        tr.append_int("p", &group.p);
+        tr.append_int("u", u);
+        tr.append_int("R", root_tag);
+        tr.append_int("gb", gb);
+        tr.append_int("h", h);
+        tr.append_int("t1", t1);
+        tr.append("binding", binding);
+        tr.append_int("T_R", t_r);
+        tr.append_int("T_1", t_1);
+        tr.challenge_below("c", &group.q)
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        [&self.t_r, &self.t_1, &self.s0, &self.s1]
+            .iter()
+            .map(|v| v.bits().div_ceil(8))
+            .sum()
+    }
+}
+
+/// A transferable spend of one tree node.
+#[derive(Debug, Clone)]
+pub struct Spend {
+    /// The coin's public root tag `R`.
+    pub root_tag: BigUint,
+    /// The bank's blind-issued signature on the root token.
+    pub bank_sig: BigUint,
+    /// The (public) first path bit; deeper bits are hidden by the
+    /// OR-proofs.
+    pub first_bit: bool,
+    /// Revealed key chain `t_1 … t_d`; the last entry is the serial.
+    pub keys: Vec<BigUint>,
+    /// Level-1 linked representation proof.
+    pub link: LinkedReprProof,
+    /// Stadler proof `R = u^(g_1^s)`.
+    pub root_proof: DdlogProof,
+    /// OR-proofs for edges at depth 2..=d.
+    pub edge_proofs: Vec<OrProof>,
+}
+
+impl Spend {
+    /// Node depth of this spend.
+    pub fn depth(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The spend serial (the spent node's key).
+    pub fn serial(&self) -> &BigUint {
+        self.keys.last().expect("depth >= 1")
+    }
+
+    /// Verifies the spend against DEC parameters and the bank's
+    /// blind-signing key. Returns the node value on success.
+    pub fn verify(
+        &self,
+        params: &DecParams,
+        bank_pk: &RsaPublicKey,
+        binding: &[u8],
+    ) -> Result<u64, DecError> {
+        let depth = self.depth();
+        if depth == 0 || depth > params.levels {
+            return Err(DecError::BadDepth);
+        }
+        if self.edge_proofs.len() != depth - 1 {
+            return Err(DecError::BadProof("edge proof count"));
+        }
+
+        // 1. Bank signature on the root token.
+        if !rsa::verify(bank_pk, &token_for(&self.root_tag), &self.bank_sig) {
+            return Err(DecError::BadBankSignature);
+        }
+
+        // 2. Group membership of the revealed keys.
+        let lvl1 = params.tower.level(1);
+        if !lvl1.group.contains(&self.root_tag) {
+            return Err(DecError::BadGroupElement);
+        }
+        for (i, key) in self.keys.iter().enumerate() {
+            if !params.tower.level(i + 1).group.contains(key) {
+                return Err(DecError::BadGroupElement);
+            }
+        }
+
+        // 3. Stadler root proof.
+        let lvl0 = params.tower.level(0);
+        let u = root_tag_base(params);
+        let stmt = DdlogStatement {
+            outer: &lvl1.group,
+            inner: &lvl0.group,
+            g: &u,
+            h: &lvl0.group.g,
+            y: &self.root_tag,
+        };
+        if !self.root_proof.verify(&stmt, params.zkp_rounds, "dec-root", binding) {
+            return Err(DecError::BadProof("root double-dlog"));
+        }
+
+        // 4. Level-1 linked representation proof.
+        let gb = if self.first_bit { &lvl1.g1 } else { &lvl1.g0 };
+        if !self
+            .link
+            .verify(&lvl1.group, &u, &self.root_tag, gb, &lvl1.h, &self.keys[0], binding)
+        {
+            return Err(DecError::BadProof("level-1 link"));
+        }
+
+        // 5. Edge OR-proofs.
+        for d in 2..=depth {
+            let lvl = params.tower.level(d);
+            let t_prev = &self.keys[d - 2];
+            let t_cur = &self.keys[d - 1];
+            let ys = [
+                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g0, t_prev))),
+                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g1, t_prev))),
+            ];
+            let extra = edge_binding(&self.root_tag, t_prev, t_cur, d, binding);
+            if !self.edge_proofs[d - 2].verify(&lvl.group, &lvl.h, &ys, "dec-edge", &extra) {
+                return Err(DecError::BadProof("edge OR"));
+            }
+        }
+
+        Ok(params.node_value(depth))
+    }
+
+    /// Deterministic wire-size model for a spend at `depth` (fixed
+    /// element widths so real and fake items are indistinguishable by
+    /// length; also feeds Table II's traffic accounting).
+    pub fn wire_size_model(params: &DecParams, depth: usize, bank_sig_bytes: usize) -> usize {
+        let eb = |lvl: usize| params.tower.level(lvl).group.element_bytes();
+        let xb = |lvl: usize| params.tower.level(lvl).group.q.bits().div_ceil(8);
+        let mut size = eb(1) + bank_sig_bytes + 1; // root tag, bank sig, first bit
+        for d in 1..=depth {
+            size += eb(d); // t_d
+        }
+        // Linked repr: two commitments + two responses in G_2.
+        size += 2 * eb(1) + 2 * xb(1);
+        // Stadler: rounds × (outer commitment + inner exponent).
+        size += params.zkp_rounds * (eb(1) + xb(0));
+        // Edge OR proofs: 2 commitments (elements) + 2 challenges +
+        // 2 responses (exponents) in G_{d+1}.
+        for d in 2..=depth {
+            size += 2 * eb(d) + 4 * xb(d);
+        }
+        size
+    }
+
+    /// Wire size of this spend under the fixed-width model.
+    pub fn wire_size(&self, params: &DecParams, bank_sig_bytes: usize) -> usize {
+        Spend::wire_size_model(params, self.depth(), bank_sig_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::Coin;
+    use crate::DecBank;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(levels: usize) -> (DecParams, DecBank, Coin, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0xDEC);
+        let params = DecParams::fixture(levels, 12);
+        let bank = DecBank::new(&mut rng, params.clone(), 512);
+        let mut coin = Coin::mint(&mut rng, &params);
+        let (blinded, factor) = coin.blind_token(&mut rng, bank.public_key());
+        let sig = bank.sign_blinded(&blinded);
+        assert!(coin.attach_signature(bank.public_key(), &sig, &factor));
+        (params, bank, coin, rng)
+    }
+
+    #[test]
+    fn node_path_helpers() {
+        let p = NodePath::from_index(3, 5); // 101
+        assert_eq!(p.bits(), &[true, false, true]);
+        assert_eq!(p.depth(), 3);
+        let anc = NodePath::new(vec![true, false]);
+        assert!(anc.is_prefix_of(&p));
+        assert!(!p.is_prefix_of(&anc));
+        assert!(p.is_prefix_of(&p.clone()));
+    }
+
+    #[test]
+    fn spend_verifies_at_every_depth() {
+        let (params, bank, coin, mut rng) = setup(3);
+        for depth in 1..=3 {
+            let path = NodePath::from_index(depth, 0);
+            let spend = coin.spend(&mut rng, &params, &path, b"receiver");
+            let value = spend.verify(&params, bank.public_key(), b"receiver").unwrap();
+            assert_eq!(value, params.node_value(depth), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn binding_prevents_replay() {
+        let (params, bank, coin, mut rng) = setup(2);
+        let path = NodePath::from_index(2, 1);
+        let spend = coin.spend(&mut rng, &params, &path, b"alice");
+        assert!(spend.verify(&params, bank.public_key(), b"alice").is_ok());
+        assert_eq!(
+            spend.verify(&params, bank.public_key(), b"bob"),
+            Err(DecError::BadProof("root double-dlog"))
+        );
+    }
+
+    #[test]
+    fn unsigned_coin_rejected() {
+        let mut rng = StdRng::seed_from_u64(0xDEC2);
+        let params = DecParams::fixture(2, 8);
+        let bank = DecBank::new(&mut rng, params.clone(), 512);
+        let mut coin = Coin::mint(&mut rng, &params);
+        // Attach a signature from the WRONG key.
+        let other_bank = DecBank::new(&mut rng, params.clone(), 512);
+        let (blinded, factor) = coin.blind_token(&mut rng, other_bank.public_key());
+        let sig = other_bank.sign_blinded(&blinded);
+        assert!(coin.attach_signature(other_bank.public_key(), &sig, &factor));
+        let spend = coin.spend(&mut rng, &params, &NodePath::from_index(1, 0), b"");
+        assert_eq!(
+            spend.verify(&params, bank.public_key(), b""),
+            Err(DecError::BadBankSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_keys_rejected() {
+        let (params, bank, coin, mut rng) = setup(3);
+        let path = NodePath::from_index(3, 4);
+        let mut spend = coin.spend(&mut rng, &params, &path, b"");
+        // Replace the serial with another valid group element.
+        let lvl = params.tower.level(3);
+        spend.keys[2] = lvl.group.random_element(&mut rng);
+        let err = spend.verify(&params, bank.public_key(), b"").unwrap_err();
+        assert!(matches!(err, DecError::BadProof(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn wrong_depth_rejected() {
+        let (params, bank, coin, mut rng) = setup(2);
+        let spend = coin.spend(&mut rng, &params, &NodePath::from_index(2, 0), b"");
+        let mut truncated = spend.clone();
+        truncated.keys.pop();
+        // Now edge proof count mismatches.
+        assert_eq!(
+            truncated.verify(&params, bank.public_key(), b""),
+            Err(DecError::BadProof("edge proof count"))
+        );
+    }
+
+    #[test]
+    fn sibling_spends_both_verify() {
+        let (params, bank, coin, mut rng) = setup(2);
+        let s0 = coin.spend(&mut rng, &params, &NodePath::from_index(2, 2), b"x");
+        let s1 = coin.spend(&mut rng, &params, &NodePath::from_index(2, 3), b"x");
+        assert!(s0.verify(&params, bank.public_key(), b"x").is_ok());
+        assert!(s1.verify(&params, bank.public_key(), b"x").is_ok());
+        assert_ne!(s0.serial(), s1.serial());
+        // Siblings share their depth-1 ancestor key.
+        assert_eq!(s0.keys[0], s1.keys[0]);
+    }
+
+    #[test]
+    fn wire_size_grows_with_depth() {
+        let (params, _, coin, mut rng) = setup(3);
+        let mut last = 0;
+        for depth in 1..=3 {
+            let spend = coin.spend(&mut rng, &params, &NodePath::from_index(depth, 0), b"");
+            let size = spend.wire_size(&params, 64);
+            assert!(size > last, "size must grow with depth");
+            assert_eq!(size, Spend::wire_size_model(&params, depth, 64));
+            last = size;
+        }
+    }
+}

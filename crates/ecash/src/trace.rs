@@ -1,0 +1,194 @@
+//! Double-spender **identity tracing** — the offline-e-cash feature of
+//! the schemes the paper builds on (Okamoto \[22\], Chan–Frankel–
+//! Tsiounis \[23\], following Brands/Chaum): one spend reveals nothing
+//! about the spender, but *two* spends of the same node algebraically
+//! expose an identity key the bank can map back to an account.
+//!
+//! Mechanism (simplified Brands-style secret splitting):
+//!
+//! * The coin carries an identity exponent `k_id`. At withdrawal the
+//!   owner registers the commitment `I = g^{k_id}` with the bank
+//!   (the bank sees `I`, never `k_id`).
+//! * Every spend of node `N` publishes a trace pair `(c, r)` with
+//!   `r = u_N + c · k_id mod q`, where `u_N = PRF(s, N)` is a
+//!   *deterministic per-node* nonce and `c` is the Fiat–Shamir
+//!   challenge of the spend (it binds the receiver, so two spends of
+//!   the same node have different `c` w.h.p.).
+//! * One pair is one equation in two unknowns — perfectly hiding.
+//!   Two pairs for the same node share `u_N`, so
+//!   `k_id = (r_1 − r_2) / (c_1 − c_2)` and the bank recovers `I`.
+//!
+//! **Documented simplification** (as in DESIGN.md): a full scheme
+//! forces the coin to embed the *registered* `k_id` via restrictive
+//! blinding / cut-and-choose at withdrawal; here the binding is by
+//! construction of the honest wallet, which suffices to demonstrate
+//! and measure the tracing path the paper's citations rely on.
+
+use crate::coin::Coin;
+use crate::params::DecParams;
+use crate::spend::NodePath;
+use ppms_bigint::{random_below, BigUint};
+use ppms_crypto::hash::hash_to_int;
+use rand::Rng;
+
+/// The spender-side tracing state attached to a coin.
+#[derive(Debug, Clone)]
+pub struct TraceKey {
+    /// Secret identity exponent.
+    k_id: BigUint,
+    /// Public commitment `I = g^{k_id}` registered with the bank.
+    pub commitment: BigUint,
+}
+
+impl TraceKey {
+    /// Draws a fresh identity key over the tower's level-1 group
+    /// (order `q_2` — the same group the trace equations live in).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, params: &DecParams) -> TraceKey {
+        let group = &params.tower.level(1).group;
+        let k_id = random_below(rng, &group.q);
+        let commitment = group.g_exp(&k_id);
+        TraceKey { k_id, commitment }
+    }
+}
+
+/// The per-spend trace pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTag {
+    /// The spend's challenge (binds the receiver context).
+    pub c: BigUint,
+    /// The response `u_N + c·k_id mod q`.
+    pub r: BigUint,
+    /// `g^{u_N}` — lets the bank sanity-check a single tag against the
+    /// registered commitment (`g^r == U · I^c`).
+    pub u_commit: BigUint,
+}
+
+/// Deterministic per-node nonce `u_N = PRF(coin secret, node)`.
+fn node_nonce(params: &DecParams, coin: &Coin, path: &NodePath) -> BigUint {
+    let group = &params.tower.level(1).group;
+    let path_bytes: Vec<u8> = path.bits().iter().map(|&b| b as u8).collect();
+    hash_to_int(
+        "dec-trace-nonce",
+        &[&coin.trace_seed(), &path_bytes],
+        &group.q,
+    )
+}
+
+/// Builds the trace tag for spending `path` toward `binding`.
+pub fn trace_tag(
+    params: &DecParams,
+    coin: &Coin,
+    key: &TraceKey,
+    path: &NodePath,
+    binding: &[u8],
+) -> TraceTag {
+    let group = &params.tower.level(1).group;
+    let u = node_nonce(params, coin, path);
+    let path_bytes: Vec<u8> = path.bits().iter().map(|&b| b as u8).collect();
+    let c = hash_to_int(
+        "dec-trace-challenge",
+        &[&coin.root_tag.to_bytes_be(), &path_bytes, binding],
+        &group.q,
+    );
+    let r = (&u + &c.modmul(&key.k_id, &group.q)) % &group.q;
+    TraceTag { c, r, u_commit: group.g_exp(&u) }
+}
+
+/// Bank-side single-tag consistency check: `g^r == U · I^c` ties the
+/// tag to the registered identity commitment without revealing it.
+pub fn verify_tag(params: &DecParams, commitment: &BigUint, tag: &TraceTag) -> bool {
+    let group = &params.tower.level(1).group;
+    group.g_exp(&tag.r) == group.mul(&tag.u_commit, &group.exp(commitment, &tag.c))
+}
+
+/// Recovers the identity commitment `I = g^{k_id}` from two trace tags
+/// of the same node. Returns `None` if the tags cannot be combined
+/// (equal challenges or mismatched nonces — i.e. not a double spend).
+pub fn trace_double_spender(
+    params: &DecParams,
+    tag1: &TraceTag,
+    tag2: &TraceTag,
+) -> Option<BigUint> {
+    let group = &params.tower.level(1).group;
+    if tag1.c == tag2.c || tag1.u_commit != tag2.u_commit {
+        return None;
+    }
+    // k_id = (r1 - r2) / (c1 - c2) mod q
+    let dr = tag1.r.modsub(&tag2.r, &group.q);
+    let dc = tag1.c.modsub(&tag2.c, &group.q);
+    let k_id = dr.modmul(&dc.modinv(&group.q)?, &group.q);
+    Some(group.g_exp(&k_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DecParams, Coin, TraceKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x72ACE);
+        let params = DecParams::fixture(3, 8);
+        let coin = Coin::mint(&mut rng, &params);
+        let key = TraceKey::generate(&mut rng, &params);
+        (params, coin, key, rng)
+    }
+
+    #[test]
+    fn single_tag_verifies_and_hides() {
+        let (params, coin, key, _) = setup();
+        let path = NodePath::from_index(2, 1);
+        let tag = trace_tag(&params, &coin, &key, &path, b"alice");
+        assert!(verify_tag(&params, &key.commitment, &tag));
+        // A tag alone does not expose the identity: r is uniform given
+        // unknown u. Structural check: tampering breaks verification.
+        let mut bad = tag.clone();
+        bad.r = &bad.r + 1u64;
+        assert!(!verify_tag(&params, &key.commitment, &bad));
+    }
+
+    #[test]
+    fn double_spend_recovers_identity() {
+        let (params, coin, key, _) = setup();
+        let path = NodePath::from_index(3, 5);
+        // Same node, two different receivers => different challenges.
+        let t1 = trace_tag(&params, &coin, &key, &path, b"receiver-A");
+        let t2 = trace_tag(&params, &coin, &key, &path, b"receiver-B");
+        assert_ne!(t1.c, t2.c);
+        let recovered = trace_double_spender(&params, &t1, &t2).expect("traceable");
+        assert_eq!(recovered, key.commitment, "bank recovers the registered identity");
+    }
+
+    #[test]
+    fn different_nodes_not_traceable() {
+        let (params, coin, key, _) = setup();
+        let t1 = trace_tag(&params, &coin, &key, &NodePath::from_index(2, 0), b"A");
+        let t2 = trace_tag(&params, &coin, &key, &NodePath::from_index(2, 1), b"B");
+        // Different nodes have different nonces; combination refuses.
+        assert_eq!(trace_double_spender(&params, &t1, &t2), None);
+    }
+
+    #[test]
+    fn same_receiver_twice_not_traceable() {
+        // Identical challenges give no second equation (and identical
+        // tags anyway — the bank's serial check catches this case).
+        let (params, coin, key, _) = setup();
+        let path = NodePath::from_index(1, 0);
+        let t1 = trace_tag(&params, &coin, &key, &path, b"same");
+        let t2 = trace_tag(&params, &coin, &key, &path, b"same");
+        assert_eq!(t1, t2);
+        assert_eq!(trace_double_spender(&params, &t1, &t2), None);
+    }
+
+    #[test]
+    fn wrong_identity_recovered_for_forged_tags() {
+        // If an attacker mixes tags from two coins sharing a node path,
+        // the nonces differ and tracing refuses (no false accusation).
+        let (params, coin1, key, mut rng) = setup();
+        let coin2 = Coin::mint(&mut rng, &params);
+        let path = NodePath::from_index(2, 2);
+        let t1 = trace_tag(&params, &coin1, &key, &path, b"A");
+        let t2 = trace_tag(&params, &coin2, &key, &path, b"B");
+        assert_eq!(trace_double_spender(&params, &t1, &t2), None, "different coins never combine");
+    }
+}

@@ -1,0 +1,279 @@
+//! A multi-coin wallet: the JO-side purse that PPMSdec draws payments
+//! from. One coin's unspent change carries over to later payments, and
+//! a payment larger than any single coin's remainder is served from
+//! several coins — the natural lifecycle the paper implies when a JO
+//! "withdraws a divisible e-cash" once and pays many SPs.
+
+use crate::brk::{plan_break, NodeAllocator};
+use crate::coin::{Coin, FakeCoin, PaymentItem};
+use crate::error::DecError;
+use crate::params::DecParams;
+use crate::spend::Spend;
+use ppms_crypto::rsa::RsaPublicKey;
+use rand::Rng;
+
+/// One coin plus its allocation state.
+#[derive(Debug, Clone)]
+struct WalletCoin {
+    coin: Coin,
+    allocator: NodeAllocator,
+}
+
+/// A purse of withdrawn coins.
+#[derive(Debug, Clone, Default)]
+pub struct Wallet {
+    coins: Vec<WalletCoin>,
+}
+
+impl Wallet {
+    /// An empty wallet.
+    pub fn new() -> Wallet {
+        Wallet::default()
+    }
+
+    /// Adds a freshly withdrawn (bank-signed) coin.
+    ///
+    /// Panics if the coin carries no bank signature — unsigned coins
+    /// cannot be spent and would strand their face value.
+    pub fn add_coin(&mut self, params: &DecParams, coin: Coin) {
+        assert!(coin.is_signed(), "withdraw the coin before adding it");
+        self.coins.push(WalletCoin { coin, allocator: NodeAllocator::new(params.levels) });
+    }
+
+    /// Total unspent value across all coins.
+    pub fn balance(&self) -> u64 {
+        self.coins.iter().map(|c| c.allocator.remaining()).sum()
+    }
+
+    /// Number of coins held (including spent-out husks until
+    /// [`Wallet::compact`]).
+    pub fn coin_count(&self) -> usize {
+        self.coins.len()
+    }
+
+    /// Drops coins with no remaining value.
+    pub fn compact(&mut self) {
+        self.coins.retain(|c| c.allocator.remaining() > 0);
+    }
+
+    /// Builds a payment of `w` using `strategy`, drawing from as many
+    /// coins as needed (each coin contributes a sub-payment broken by
+    /// the same strategy). Returns the combined item bundle.
+    ///
+    /// Fails with [`DecError::BadAmount`] if the wallet cannot cover
+    /// `w` (call [`Wallet::balance`] first), or if fragmentation
+    /// prevents an aligned allocation — withdraw a fresh coin then.
+    pub fn pay<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        params: &DecParams,
+        strategy: crate::brk::CashBreak,
+        w: u64,
+        binding: &[u8],
+        bank_sig_bytes: usize,
+    ) -> Result<Vec<PaymentItem>, DecError> {
+        if w == 0 || self.balance() < w {
+            return Err(DecError::BadAmount);
+        }
+        let mut remaining = w;
+        let mut items = Vec::new();
+        // Iterate over coins snapshotting allocator state so a failed
+        // multi-coin attempt does not half-spend the wallet.
+        let rollback: Vec<NodeAllocator> =
+            self.coins.iter().map(|c| c.allocator.clone()).collect();
+
+        for wc in self.coins.iter_mut() {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(wc.allocator.remaining());
+            if take == 0 {
+                continue;
+            }
+            let plan = plan_break(strategy, take, params.levels)?;
+            match crate::brk::build_payment_with(
+                rng,
+                params,
+                &wc.coin,
+                &plan,
+                binding,
+                bank_sig_bytes,
+                &mut wc.allocator,
+            ) {
+                Ok(sub) => {
+                    items.extend(sub);
+                    remaining -= take;
+                }
+                Err(_) => {
+                    // Fragmented coin: skip it, try the next one.
+                    continue;
+                }
+            }
+        }
+
+        if remaining > 0 {
+            // Roll back: fragmentation beat us.
+            for (wc, saved) in self.coins.iter_mut().zip(rollback) {
+                wc.allocator = saved;
+            }
+            return Err(DecError::BadAmount);
+        }
+        Ok(items)
+    }
+
+    /// Spends every remaining node of every coin (change redemption).
+    /// Returns the spends; the caller deposits them. Empties the wallet.
+    pub fn drain<R: Rng + ?Sized>(&mut self, rng: &mut R, params: &DecParams, binding: &[u8]) -> Vec<Spend> {
+        let mut spends = Vec::new();
+        for wc in self.coins.iter() {
+            for path in wc.allocator.free_nodes() {
+                spends.push(wc.coin.spend(rng, params, &path, binding));
+            }
+        }
+        self.coins.clear();
+        spends
+    }
+
+    /// Pads a bundle with fakes up to `total_slots` items (the unitary
+    /// scheme's fixed-size envelope across multi-coin payments).
+    pub fn pad_with_fakes<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: &DecParams,
+        items: &mut Vec<PaymentItem>,
+        total_slots: usize,
+        bank_sig_bytes: usize,
+    ) {
+        while items.len() < total_slots {
+            items.push(PaymentItem::Fake(FakeCoin::matching(rng, params, params.levels, bank_sig_bytes)));
+        }
+    }
+
+    /// Verifies a received bundle against the bank key (receiver-side
+    /// convenience mirroring [`crate::brk::receive_payment`]).
+    pub fn receive(
+        params: &DecParams,
+        bank_pk: &RsaPublicKey,
+        items: &[PaymentItem],
+        binding: &[u8],
+    ) -> (Vec<Spend>, u64) {
+        crate::brk::receive_payment(params, bank_pk, items, binding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brk::CashBreak;
+    use crate::DecBank;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DecParams, DecBank, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x3A11E7);
+        let params = DecParams::fixture(3, 8);
+        let bank = DecBank::new(&mut rng, params.clone(), 512);
+        (params, bank, rng)
+    }
+
+    #[test]
+    fn empty_wallet_cannot_pay() {
+        let (params, _, mut rng) = setup();
+        let mut w = Wallet::new();
+        assert_eq!(w.balance(), 0);
+        assert_eq!(
+            w.pay(&mut rng, &params, CashBreak::Pcba, 1, b"", 64).err(),
+            Some(DecError::BadAmount)
+        );
+    }
+
+    #[test]
+    fn single_coin_payment_and_change() {
+        let (params, bank, mut rng) = setup();
+        let mut w = Wallet::new();
+        w.add_coin(&params, bank.withdraw_coin(&mut rng));
+        assert_eq!(w.balance(), 8);
+        let items = w.pay(&mut rng, &params, CashBreak::Pcba, 5, b"r", 64).unwrap();
+        let (_, total) = Wallet::receive(&params, bank.public_key(), &items, b"r");
+        assert_eq!(total, 5);
+        assert_eq!(w.balance(), 3, "change stays in the wallet");
+    }
+
+    #[test]
+    fn payment_spans_multiple_coins() {
+        let (params, bank, mut rng) = setup();
+        let mut w = Wallet::new();
+        w.add_coin(&params, bank.withdraw_coin(&mut rng));
+        w.add_coin(&params, bank.withdraw_coin(&mut rng));
+        assert_eq!(w.balance(), 16);
+        // 11 > 8 forces drawing from both coins.
+        let items = w.pay(&mut rng, &params, CashBreak::Pcba, 11, b"r", 64).unwrap();
+        let (spends, total) = Wallet::receive(&params, bank.public_key(), &items, b"r");
+        assert_eq!(total, 11);
+        assert_eq!(w.balance(), 5);
+        // The spends come from two distinct coins.
+        let mut roots: Vec<_> = spends.iter().map(|s| s.root_tag.clone()).collect();
+        roots.sort();
+        roots.dedup();
+        assert_eq!(roots.len(), 2);
+        // And they all deposit.
+        let mut bank = bank;
+        let results = bank.deposit_batch(&spends, b"r");
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn consecutive_payments_until_empty() {
+        let (params, bank, mut rng) = setup();
+        let mut w = Wallet::new();
+        w.add_coin(&params, bank.withdraw_coin(&mut rng));
+        let mut paid = 0;
+        for amount in [3u64, 2, 2, 1] {
+            let items = w.pay(&mut rng, &params, CashBreak::Epcba, amount, b"", 64).unwrap();
+            let (_, total) = Wallet::receive(&params, bank.public_key(), &items, b"");
+            assert_eq!(total, amount);
+            paid += amount;
+        }
+        assert_eq!(paid, 8);
+        assert_eq!(w.balance(), 0);
+        w.compact();
+        assert_eq!(w.coin_count(), 0);
+    }
+
+    #[test]
+    fn drain_redeems_all_change() {
+        let (params, bank, mut rng) = setup();
+        let mut bank = bank;
+        let mut w = Wallet::new();
+        w.add_coin(&params, bank.withdraw_coin(&mut rng));
+        w.pay(&mut rng, &params, CashBreak::Pcba, 5, b"", 64).unwrap();
+        let change = w.drain(&mut rng, &params, b"");
+        let total: u64 = change
+            .iter()
+            .map(|s| bank.deposit(s, b"").expect("change deposits"))
+            .sum();
+        assert_eq!(total, 3);
+        assert_eq!(w.balance(), 0);
+        assert_eq!(w.coin_count(), 0);
+    }
+
+    #[test]
+    fn failed_overdraft_rolls_back() {
+        let (params, bank, mut rng) = setup();
+        let mut w = Wallet::new();
+        w.add_coin(&params, bank.withdraw_coin(&mut rng));
+        let before = w.balance();
+        assert_eq!(
+            w.pay(&mut rng, &params, CashBreak::Pcba, before + 1, b"", 64).err(),
+            Some(DecError::BadAmount)
+        );
+        assert_eq!(w.balance(), before, "no partial allocation leaks");
+    }
+
+    #[test]
+    #[should_panic(expected = "withdraw the coin")]
+    fn unsigned_coin_rejected() {
+        let (params, _, mut rng) = setup();
+        let mut w = Wallet::new();
+        w.add_coin(&params, Coin::mint(&mut rng, &params));
+    }
+}

@@ -1,0 +1,279 @@
+//! Binary serialization for spends and payment bundles.
+//!
+//! PPMSdec wraps the broken-up payment in `RSA_ENC_rpksp(...)` (paper
+//! eq. (8)), so the bundle must exist as actual bytes — this module
+//! provides the length-prefixed encoding used inside that ciphertext
+//! and by the traffic accounting.
+
+use crate::coin::{FakeCoin, PaymentItem};
+use crate::spend::{LinkedReprProof, Spend};
+use ppms_bigint::BigUint;
+use ppms_crypto::zkp::ddlog::DdlogProof;
+use ppms_crypto::zkp::orproof::OrProof;
+
+/// Serialization / deserialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError;
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire encoding")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_int(out: &mut Vec<u8>, v: &BigUint) {
+    let b = v.to_bytes_be();
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(&b);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < 4 {
+            return Err(WireError);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if self.buf.len() < 4 + len {
+            return Err(WireError);
+        }
+        let (head, tail) = self.buf[4..].split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn int(&mut self) -> Result<BigUint, WireError> {
+        Ok(BigUint::from_bytes_be(self.bytes()?))
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let (&b, rest) = self.buf.split_first().ok_or(WireError)?;
+        self.buf = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        if self.buf.len() < 4 {
+            return Err(WireError);
+        }
+        let v = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        self.buf = &self.buf[4..];
+        Ok(v)
+    }
+
+    fn done(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+fn put_ints(out: &mut Vec<u8>, ints: &[BigUint]) {
+    out.extend_from_slice(&(ints.len() as u32).to_be_bytes());
+    for v in ints {
+        put_int(out, v);
+    }
+}
+
+fn read_ints(r: &mut Reader<'_>) -> Result<Vec<BigUint>, WireError> {
+    let n = r.u32()? as usize;
+    if n > 1 << 16 {
+        return Err(WireError);
+    }
+    (0..n).map(|_| r.int()).collect()
+}
+
+impl Spend {
+    /// Serializes to the wire encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_int(&mut out, &self.root_tag);
+        put_int(&mut out, &self.bank_sig);
+        out.push(self.first_bit as u8);
+        put_ints(&mut out, &self.keys);
+        put_int(&mut out, &self.link.t_r);
+        put_int(&mut out, &self.link.t_1);
+        put_int(&mut out, &self.link.s0);
+        put_int(&mut out, &self.link.s1);
+        put_ints(&mut out, &self.root_proof.commitments);
+        put_ints(&mut out, &self.root_proof.responses);
+        out.extend_from_slice(&(self.edge_proofs.len() as u32).to_be_bytes());
+        for p in &self.edge_proofs {
+            for v in p.c.iter().chain(&p.s).chain(&p.t) {
+                put_int(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// Parses the wire encoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Spend, WireError> {
+        let mut r = Reader::new(bytes);
+        let root_tag = r.int()?;
+        let bank_sig = r.int()?;
+        let first_bit = r.u8()? == 1;
+        let keys = read_ints(&mut r)?;
+        if keys.is_empty() {
+            return Err(WireError);
+        }
+        let link = LinkedReprProof { t_r: r.int()?, t_1: r.int()?, s0: r.int()?, s1: r.int()? };
+        let root_proof = DdlogProof { commitments: read_ints(&mut r)?, responses: read_ints(&mut r)? };
+        let n_edges = r.u32()? as usize;
+        if n_edges > 1 << 10 {
+            return Err(WireError);
+        }
+        let mut edge_proofs = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let c = [r.int()?, r.int()?];
+            let s = [r.int()?, r.int()?];
+            let t = [r.int()?, r.int()?];
+            edge_proofs.push(OrProof { c, s, t });
+        }
+        if !r.done() {
+            return Err(WireError);
+        }
+        Ok(Spend { root_tag, bank_sig, first_bit, keys, link, root_proof, edge_proofs })
+    }
+}
+
+/// Serializes a payment bundle (real spends tagged `1`, fakes `0`).
+pub fn encode_payment(items: &[PaymentItem]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+    for item in items {
+        match item {
+            PaymentItem::Real(s) => {
+                out.push(1);
+                put_bytes(&mut out, &s.to_bytes());
+            }
+            PaymentItem::Fake(f) => {
+                out.push(0);
+                put_bytes(&mut out, &f.bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a payment bundle. Fake items (or items that fail to parse
+/// as spends) come back as [`PaymentItem::Fake`] — exactly the
+/// receiver behaviour the paper describes for `E(0)`.
+pub fn decode_payment(bytes: &[u8]) -> Result<Vec<PaymentItem>, WireError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(WireError);
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = r.u8()?;
+        let body = r.bytes()?;
+        match tag {
+            1 => match Spend::from_bytes(body) {
+                Ok(s) => items.push(PaymentItem::Real(s)),
+                Err(_) => items.push(PaymentItem::Fake(FakeCoin { bytes: body.to_vec() })),
+            },
+            0 => items.push(PaymentItem::Fake(FakeCoin { bytes: body.to_vec() })),
+            _ => return Err(WireError),
+        }
+    }
+    if !r.done() {
+        return Err(WireError);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spend::NodePath;
+    use crate::{DecBank, DecParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spend_at(depth: usize) -> (DecParams, crate::DecBank, Spend, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x31AE);
+        let params = DecParams::fixture(3, 8);
+        let bank = DecBank::new(&mut rng, params.clone(), 512);
+        let coin = bank.withdraw_coin(&mut rng);
+        let s = coin.spend(&mut rng, &params, &NodePath::from_index(depth, 0), b"");
+        (params, bank, s, rng)
+    }
+
+    #[test]
+    fn spend_roundtrip_all_depths() {
+        for depth in 1..=3 {
+            let (params, bank, spend, _) = spend_at(depth);
+            let bytes = spend.to_bytes();
+            let back = Spend::from_bytes(&bytes).unwrap();
+            assert_eq!(back.root_tag, spend.root_tag);
+            assert_eq!(back.keys, spend.keys);
+            assert_eq!(back.first_bit, spend.first_bit);
+            // Deserialized spend still verifies.
+            assert!(back.verify(&params, bank.public_key(), b"").is_ok(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (.., spend, _) = spend_at(2);
+        let bytes = spend.to_bytes();
+        assert!(Spend::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Spend::from_bytes(&[]).is_err());
+        // Trailing garbage also rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Spend::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn payment_bundle_roundtrip() {
+        let (params, bank, spend, mut rng) = spend_at(3);
+        let fake = FakeCoin::matching(&mut rng, &params, 3, 64);
+        let items = vec![
+            PaymentItem::Real(spend),
+            PaymentItem::Fake(fake.clone()),
+        ];
+        let bytes = encode_payment(&items);
+        let back = decode_payment(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        match &back[0] {
+            PaymentItem::Real(s) => assert!(s.verify(&params, bank.public_key(), b"").is_ok()),
+            _ => panic!("expected real spend"),
+        }
+        match &back[1] {
+            PaymentItem::Fake(f) => assert_eq!(f.bytes, fake.bytes),
+            _ => panic!("expected fake"),
+        }
+    }
+
+    #[test]
+    fn corrupted_real_item_degrades_to_fake() {
+        // Tampering inside a real item's body must not crash parsing;
+        // the item simply fails verification downstream.
+        let (params, bank, spend, _) = spend_at(2);
+        let items = vec![PaymentItem::Real(spend)];
+        let mut bytes = encode_payment(&items);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        if let Ok(back) = decode_payment(&bytes) {
+            for item in back {
+                if let PaymentItem::Real(s) = item {
+                    assert!(s.verify(&params, bank.public_key(), b"").is_err());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the divisible e-cash invariants:
+//! break-plan laws over all amounts, allocator disjointness, spend
+//! completeness over random nodes, and double-spend detection over
+//! random spend sequences.
+
+use ppms_ecash::brk::NodeAllocator;
+use ppms_ecash::{
+    break_epcba, break_pcba, break_unitary, DecBank, DecParams, NodePath, Spend,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// Shared fixture: params, bank, withdrawn coin (keygen is expensive).
+fn fixture() -> &'static (DecParams, DecBank, ppms_ecash::Coin) {
+    static F: OnceLock<(DecParams, DecBank, ppms_ecash::Coin)> = OnceLock::new();
+    F.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xECA5);
+        let params = DecParams::fixture(4, 8);
+        let bank = DecBank::new(&mut rng, params.clone(), 512);
+        let coin = bank.withdraw_coin(&mut rng);
+        (params, bank, coin)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn break_plans_sum_and_shape(l in 1usize..8, w_frac in 0.0f64..1.0) {
+        let face = 1u64 << l;
+        let w = ((face as f64 * w_frac) as u64).clamp(1, face);
+        let u = break_unitary(w, l).unwrap();
+        prop_assert_eq!(u.denominations.len(), face as usize);
+        prop_assert_eq!(u.denominations.iter().sum::<u64>(), w);
+        prop_assert!(u.denominations.iter().all(|&d| d <= 1));
+
+        let p = break_pcba(w, l).unwrap();
+        prop_assert_eq!(p.denominations.len(), l + 1);
+        prop_assert_eq!(p.denominations.iter().sum::<u64>(), w);
+        prop_assert!(p.denominations.iter().all(|&d| d == 0 || d.is_power_of_two()));
+
+        let e = break_epcba(w, l).unwrap();
+        prop_assert_eq!(e.denominations.len(), l + 2);
+        prop_assert_eq!(e.denominations.iter().sum::<u64>(), w);
+        prop_assert!(e.real_coins() >= p.real_coins() || w == 1,
+            "EPCBA should never produce fewer coins (w={w}, l={l})");
+    }
+
+    #[test]
+    fn allocator_serves_disjoint_nodes_across_payments(l in 2usize..7, amounts in prop::collection::vec(1u64..10, 1..6)) {
+        let face = 1u64 << l;
+        let mut alloc = NodeAllocator::new(l);
+        let mut all_paths: Vec<NodePath> = Vec::new();
+        let mut allocated = 0u64;
+        for &w in &amounts {
+            let w = w.min(face - allocated);
+            if w == 0 { break; }
+            if let Ok(plan) = break_pcba(w, l) {
+                if let Ok(slots) = alloc.allocate_plan(&plan) {
+                    allocated += w;
+                    all_paths.extend(slots.into_iter().flatten());
+                } else {
+                    break; // fragmented coin — acceptable
+                }
+            }
+        }
+        // Every allocation disjoint from every other.
+        for i in 0..all_paths.len() {
+            for j in 0..all_paths.len() {
+                if i != j {
+                    prop_assert!(!all_paths[i].is_prefix_of(&all_paths[j]));
+                }
+            }
+        }
+        // Remaining + allocated value = face.
+        let total: u64 = all_paths.iter().map(|p| 1u64 << (l - p.depth())).sum();
+        prop_assert_eq!(total + alloc.remaining(), face);
+        // free_nodes covers exactly the remainder, disjoint from allocations.
+        let free = alloc.free_nodes();
+        let free_total: u64 = free.iter().map(|p| 1u64 << (l - p.depth())).sum();
+        prop_assert_eq!(free_total, alloc.remaining());
+        for f in &free {
+            for a in &all_paths {
+                prop_assert!(!f.is_prefix_of(a) && !a.is_prefix_of(f));
+            }
+        }
+    }
+
+    #[test]
+    fn any_node_spends_and_deposits(depth in 1usize..5, index in any::<u64>(), seed in any::<u64>()) {
+        let (params, bank, coin) = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = index % (1u64 << depth);
+        let path = NodePath::from_index(depth, index);
+        let spend = coin.spend(&mut rng, params, &path, b"prop");
+        let value = spend.verify(params, bank.public_key(), b"prop").unwrap();
+        prop_assert_eq!(value, params.node_value(depth));
+        prop_assert_eq!(spend.depth(), depth);
+    }
+
+    #[test]
+    fn spend_wire_roundtrip(depth in 1usize..5, index in any::<u64>(), seed in any::<u64>()) {
+        let (params, bank, coin) = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = index % (1u64 << depth);
+        let spend = coin.spend(&mut rng, params, &NodePath::from_index(depth, index), b"x");
+        let back = Spend::from_bytes(&spend.to_bytes()).unwrap();
+        prop_assert!(back.verify(params, bank.public_key(), b"x").is_ok());
+        prop_assert_eq!(back.serial(), spend.serial());
+    }
+
+    #[test]
+    fn from_bytes_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        // Robustness: arbitrary bytes either parse or error, never panic.
+        let _ = Spend::from_bytes(&bytes);
+        let _ = ppms_ecash::decode_payment(&bytes);
+    }
+
+    #[test]
+    fn bitflipped_spend_never_verifies(depth in 1usize..4, seed in any::<u64>(), flip in any::<(u16, u8)>()) {
+        let (params, bank, coin) = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spend = coin.spend(&mut rng, params, &NodePath::from_index(depth, 0), b"v");
+        let mut bytes = spend.to_bytes();
+        let pos = flip.0 as usize % bytes.len();
+        bytes[pos] ^= 1u8 << (flip.1 % 8);
+        if let Ok(parsed) = Spend::from_bytes(&bytes) {
+            // A successfully parsed mutant must fail verification
+            // (unless the flip hit padding-equivalent bytes that do not
+            // change the parsed value — rebuild and compare to exclude).
+            if parsed.to_bytes() != spend.to_bytes() {
+                prop_assert!(parsed.verify(params, bank.public_key(), b"v").is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_spend_sequences_detected(paths in prop::collection::vec((1usize..5, any::<u64>()), 2..6), seed in any::<u64>()) {
+        // Deposit a random sequence of nodes of a fresh coin; the bank
+        // must accept exactly the prefix-free subset (first wins).
+        let (params, _, _) = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank0 = DecBank::new(&mut rng, params.clone(), 512);
+        let coin = bank0.withdraw_coin(&mut rng);
+        let mut bank = bank0;
+
+        let mut accepted: Vec<NodePath> = Vec::new();
+        for &(depth, idx) in &paths {
+            let path = NodePath::from_index(depth, idx % (1u64 << depth));
+            let spend = coin.spend(&mut rng, params, &path, b"");
+            let conflict = accepted.iter().any(|a| a.is_prefix_of(&path) || path.is_prefix_of(a));
+            let result = bank.deposit(&spend, b"");
+            if conflict {
+                prop_assert!(result.is_err(), "conflicting {path:?} must be rejected");
+            } else {
+                prop_assert_eq!(result.unwrap(), params.node_value(depth));
+                accepted.push(path);
+            }
+        }
+    }
+
+    #[test]
+    fn deposited_value_never_exceeds_face(depths in prop::collection::vec(1usize..5, 1..20), seed in any::<u64>()) {
+        let (params, _, _) = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank0 = DecBank::new(&mut rng, params.clone(), 512);
+        let coin = bank0.withdraw_coin(&mut rng);
+        let mut bank = bank0;
+        let mut total = 0u64;
+        for (i, &depth) in depths.iter().enumerate() {
+            let path = NodePath::from_index(depth, (i as u64) % (1u64 << depth));
+            let spend = coin.spend(&mut rng, params, &path, b"");
+            if let Ok(v) = bank.deposit(&spend, b"") {
+                total += v;
+            }
+        }
+        prop_assert!(total <= params.face_value());
+    }
+}

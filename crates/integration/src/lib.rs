@@ -1,0 +1,33 @@
+//! Shared helpers for the workspace-level integration tests and
+//! examples (which live in the top-level `tests/` and `examples/`
+//! directories and are wired into this crate via explicit target
+//! paths).
+
+use ppms_core::ppmsdec::DecMarket;
+use ppms_ecash::DecParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RSA modulus size used across tests — small enough to keep the
+/// suite fast, structurally identical to production sizes.
+pub const TEST_RSA_BITS: usize = 512;
+
+/// Pairing group order bits for tests.
+pub const TEST_PAIRING_BITS: usize = 48;
+
+/// Stadler rounds for tests (soundness 2^-12 is plenty for tests;
+/// production would use 32+).
+pub const TEST_ZKP_ROUNDS: usize = 12;
+
+/// Builds a deterministic RNG for a test.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds a DEC market with fixture parameters at `levels`.
+pub fn dec_market(seed: u64, levels: usize) -> (DecMarket, StdRng) {
+    let mut r = rng(seed);
+    let params = DecParams::fixture(levels, TEST_ZKP_ROUNDS);
+    let market = DecMarket::new(&mut r, params, TEST_RSA_BITS, TEST_PAIRING_BITS);
+    (market, r)
+}

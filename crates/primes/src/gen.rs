@@ -1,0 +1,85 @@
+//! Random prime generation.
+
+use crate::miller_rabin::is_probable_prime_rounds;
+use ppms_bigint::{random_odd_bits, BigUint};
+use rand::Rng;
+
+/// Miller–Rabin rounds used during generation (candidates are random,
+/// so fewer rounds suffice than for adversarial inputs).
+const GEN_ROUNDS: u32 = 24;
+
+/// Generates a random probable prime with exactly `bits` bits
+/// (`bits >= 2`).
+pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "no primes below 2 bits");
+    if bits == 2 {
+        // Only 2-bit candidates are 2 and 3; pick randomly.
+        return if rng.next_u32() & 1 == 0 { BigUint::two() } else { BigUint::from(3u64) };
+    }
+    loop {
+        let mut cand = random_odd_bits(rng, bits);
+        // Scan forward over odd numbers from the random start; restart
+        // with a fresh candidate if we drift out of the bit width.
+        for _ in 0..64 {
+            if cand.bits() != bits {
+                break;
+            }
+            if is_probable_prime_rounds(&cand, GEN_ROUNDS, rng) {
+                return cand;
+            }
+            cand = &cand + &BigUint::two();
+        }
+    }
+}
+
+/// Generates a random safe prime `p = 2q + 1` (with `q` also prime)
+/// of exactly `bits` bits. Returns `(p, q)`.
+pub fn random_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> (BigUint, BigUint) {
+    assert!(bits >= 3, "smallest safe prime is 5 (3 bits)");
+    loop {
+        let q = random_prime(rng, bits - 1);
+        let p = &(&q << 1usize) + &BigUint::one();
+        if p.bits() == bits && is_probable_prime_rounds(&p, GEN_ROUNDS, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_probable_prime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prime_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [8usize, 16, 32, 64, 128] {
+            let p = random_prime(&mut rng, bits);
+            assert_eq!(p.bits(), bits, "requested {bits} bits");
+            assert!(is_probable_prime(&p));
+        }
+    }
+
+    #[test]
+    fn tiny_widths() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let p = random_prime(&mut rng, 2);
+            assert!(p == BigUint::two() || p == BigUint::from(3u64));
+            let p3 = random_prime(&mut rng, 3);
+            assert!(p3 == BigUint::from(5u64) || p3 == BigUint::from(7u64));
+        }
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (p, q) = random_safe_prime(&mut rng, 48);
+        assert_eq!(p, &(&q << 1usize) + &BigUint::one());
+        assert!(is_probable_prime(&p));
+        assert!(is_probable_prime(&q));
+        assert_eq!(p.bits(), 48);
+    }
+}

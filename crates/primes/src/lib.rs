@@ -1,0 +1,21 @@
+//! # ppms-primes
+//!
+//! Prime machinery for the PPMS reproduction:
+//!
+//! * a small-prime [sieve](mod@sieve) used for trial division,
+//! * [Miller–Rabin](miller_rabin) probabilistic primality testing,
+//! * random / safe [prime generation](gen), and
+//! * [Cunningham chains of the first kind](cunningham) —
+//!   `p_{i+1} = 2·p_i + 1` — the expensive component of the divisible
+//!   e-cash `Setup(DEC)` that the paper's Fig. 2 measures. Chain search
+//!   is the workspace's flagship rayon-parallel workload.
+
+pub mod cunningham;
+pub mod gen;
+pub mod miller_rabin;
+pub mod sieve;
+
+pub use cunningham::{find_chain, find_chain_parallel, fixture_chain, verify_chain, CunninghamChain};
+pub use gen::{random_prime, random_safe_prime};
+pub use miller_rabin::is_probable_prime;
+pub use sieve::{small_primes, SMALL_PRIME_LIMIT};

@@ -1,0 +1,151 @@
+//! Miller–Rabin probabilistic primality testing.
+//!
+//! Uses trial division by the small-prime table first, then `rounds`
+//! random bases (plus base 2, which kills most composites instantly).
+//! With 32 rounds the error probability is < 4^-32 per call.
+
+use crate::sieve::small_primes;
+use ppms_bigint::{random_below, BigUint, Montgomery};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Default number of random Miller–Rabin rounds.
+pub const DEFAULT_ROUNDS: u32 = 32;
+
+/// One Miller–Rabin round for witness `a` against odd `n > 3`,
+/// with `n - 1 = d * 2^s` precomputed.
+fn mr_round(mont: &Montgomery, n: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
+    let n_minus_1 = n - &BigUint::one();
+    let mut x = mont.modpow(a, d);
+    if x.is_one() || x == n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = mont.mul(&x, &x);
+        if x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false; // nontrivial sqrt of 1 found
+        }
+    }
+    false
+}
+
+/// Probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime_rounds<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    // Small and even cases.
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return false;
+        }
+        for &p in small_primes() {
+            if p * p > v {
+                break;
+            }
+            if v % p == 0 {
+                return v == p;
+            }
+        }
+        if v < crate::SMALL_PRIME_LIMIT * crate::SMALL_PRIME_LIMIT {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    // Trial division by the small-prime table.
+    for &p in small_primes() {
+        if (n % p) == 0 {
+            return n.to_u64() == Some(p);
+        }
+    }
+
+    let n_minus_1 = n - &BigUint::one();
+    let s = n_minus_1.trailing_zeros().expect("n > 1 odd, so n-1 > 0");
+    let d = &n_minus_1 >> s;
+    let mont = Montgomery::new(n);
+
+    // Deterministic base 2 first — cheap and catches most composites.
+    if !mr_round(&mont, n, &d, s, &BigUint::two()) {
+        return false;
+    }
+    // Random bases in [2, n-2].
+    let upper = n - &BigUint::from(3u64);
+    for _ in 0..rounds {
+        let a = &random_below(rng, &upper) + &BigUint::two();
+        if !mr_round(&mont, n, &d, s, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Probabilistic primality test with the default round count and a
+/// fresh deterministic-per-call RNG seeded from the OS.
+pub fn is_probable_prime(n: &BigUint) -> bool {
+    let mut rng = rand::make_rng::<StdRng>();
+    is_probable_prime_rounds(n, DEFAULT_ROUNDS, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn small_values() {
+        assert!(!is_probable_prime(&b(0)));
+        assert!(!is_probable_prime(&b(1)));
+        assert!(is_probable_prime(&b(2)));
+        assert!(is_probable_prime(&b(3)));
+        assert!(!is_probable_prime(&b(4)));
+        assert!(is_probable_prime(&b(65521)));
+        assert!(!is_probable_prime(&b(65521 * 3)));
+    }
+
+    #[test]
+    fn known_primes() {
+        for p in [1_000_000_007u64, 1_000_000_009, 2_147_483_647, 67_280_421_310_721] {
+            assert!(is_probable_prime(&b(p)), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn known_composites() {
+        // Carmichael numbers — fool Fermat, not Miller-Rabin.
+        for c in [561u64, 1105, 1729, 41041, 825265, 321197185] {
+            assert!(!is_probable_prime(&b(c)), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_base2() {
+        // 2047 = 23*89 is a strong pseudoprime to base 2; random bases must catch it.
+        for c in [2047u64, 3277, 4033, 4681, 8321] {
+            assert!(!is_probable_prime(&b(c)), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn big_primes() {
+        // 2^127 - 1 (Mersenne) and 2^255 - 19.
+        let m127 = (BigUint::one() << 127usize) - BigUint::one();
+        assert!(is_probable_prime(&m127));
+        let p25519 = (BigUint::one() << 255usize) - b(19);
+        assert!(is_probable_prime(&p25519));
+        // 2^128 + 1 is composite (= 59649589127497217 * ...).
+        let f7ish = (BigUint::one() << 128usize) + BigUint::one();
+        assert!(!is_probable_prime(&f7ish));
+    }
+
+    #[test]
+    fn product_of_two_primes() {
+        let p = (BigUint::one() << 89usize) - BigUint::one(); // Mersenne prime
+        let q = (BigUint::one() << 107usize) - BigUint::one(); // Mersenne prime
+        assert!(!is_probable_prime(&(&p * &q)));
+    }
+}

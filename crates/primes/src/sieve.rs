@@ -1,0 +1,65 @@
+//! Sieve of Eratosthenes for the small primes used in trial division.
+
+use std::sync::OnceLock;
+
+/// Upper bound of the precomputed small-prime table.
+pub const SMALL_PRIME_LIMIT: u64 = 1 << 16;
+
+/// All primes below [`SMALL_PRIME_LIMIT`], computed once and cached.
+pub fn small_primes() -> &'static [u64] {
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| sieve(SMALL_PRIME_LIMIT))
+}
+
+/// Sieve of Eratosthenes up to `limit` (exclusive).
+pub fn sieve(limit: u64) -> Vec<u64> {
+    let limit = limit as usize;
+    if limit < 3 {
+        return if limit == 3 { vec![2] } else { Vec::new() };
+    }
+    let mut composite = vec![false; limit];
+    let mut primes = Vec::new();
+    for n in 2..limit {
+        if !composite[n] {
+            primes.push(n as u64);
+            let mut k = n * n;
+            while k < limit {
+                composite[k] = true;
+                k += n;
+            }
+        }
+    }
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_primes() {
+        assert_eq!(sieve(30), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn pi_of_small_bounds() {
+        // π(10^4) = 1229 — classic checkpoint.
+        assert_eq!(sieve(10_000).len(), 1229);
+        assert_eq!(sieve(100).len(), 25);
+    }
+
+    #[test]
+    fn tiny_limits() {
+        assert!(sieve(0).is_empty());
+        assert!(sieve(2).is_empty());
+        assert_eq!(sieve(3), vec![2]);
+    }
+
+    #[test]
+    fn cached_table_consistent() {
+        let p = small_primes();
+        assert_eq!(p[0], 2);
+        assert_eq!(*p.last().unwrap(), 65521); // largest prime < 2^16
+        assert_eq!(p.len(), 6542); // π(2^16)
+    }
+}

@@ -1,0 +1,48 @@
+//! The denomination attack (paper §IV-B) in action: a curious market
+//! administrator tries to link sensing participants to jobs purely
+//! from public payments and observed deposit streams — and the cash
+//! break algorithms progressively defeat it.
+//!
+//! ```text
+//! cargo run --release --example denomination_attack
+//! ```
+
+use ppms_core::attack::{achievable_sums, deposit_stream, run_denomination_attack};
+use ppms_ecash::CashBreak;
+
+fn main() {
+    let levels = 8; // payments in [1, 256]
+    let n_jobs = 12;
+    let trials = 2000;
+
+    println!("== Denomination attack: {n_jobs} concurrent jobs, payments in [1, 2^{levels}] ==\n");
+
+    // A concrete peek first: what the MA sees for w = 8 (the paper's
+    // own example value).
+    let w = 8;
+    for strategy in [CashBreak::None, CashBreak::Pcba, CashBreak::Epcba, CashBreak::Unitary] {
+        let stream = deposit_stream(strategy, w, levels);
+        let sums = achievable_sums(&stream, levels);
+        println!(
+            "w = {w:3} under {strategy:?}: deposits {:?} -> {} candidate payment value(s)",
+            stream,
+            sums.len()
+        );
+    }
+
+    println!("\n{:<10} {:>22} {:>22}", "strategy", "unique-link success", "mean anonymity set");
+    for strategy in [CashBreak::None, CashBreak::Pcba, CashBreak::Epcba, CashBreak::Unitary] {
+        let report = run_denomination_attack(0xA77AC4, strategy, n_jobs, levels, trials);
+        println!(
+            "{:<10} {:>21.1}% {:>22.2}",
+            format!("{strategy:?}"),
+            report.unique_success_rate * 100.0,
+            report.mean_candidate_jobs
+        );
+    }
+
+    println!("\nReading: without breaking, the MA pins the SP's job almost");
+    println!("every time. PCBA multiplies the candidate payments (2^k - 1");
+    println!("subset sums), EPCBA fixes PCBA's power-of-two weakness, and");
+    println!("the unitary break makes the deposit stream featureless.");
+}

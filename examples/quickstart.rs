@@ -1,0 +1,60 @@
+//! Quickstart: one complete payment round in each mechanism.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ppms_core::ppmsdec::DecMarket;
+use ppms_core::ppmspbs::PbsMarket;
+use ppms_ecash::{CashBreak, DecParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+
+    // ---------------------------------------------------------------
+    // PPMSpbs: the light-weight unitary-payment market.
+    // ---------------------------------------------------------------
+    println!("== PPMSpbs (unitary payments) ==");
+    let mut pbs = PbsMarket::new();
+    let jo = pbs.register_jo(&mut rng, 10, 512);
+    let sp = pbs.register_sp(&mut rng, 512);
+    let outcome = pbs
+        .run_round(&mut rng, &jo, &sp, "city noise samples", b"58 dB(A) @ Main St")
+        .expect("PPMSpbs round");
+    println!("job #{} paid {} credit(s)", outcome.job_id, outcome.credited);
+    println!(
+        "balances: JO = {}, SP = {}",
+        pbs.bank.balance(jo.account).unwrap(),
+        pbs.bank.balance(sp.account).unwrap()
+    );
+    println!("traffic: {:.2} kb over {} messages", pbs.traffic.total_kb(), pbs.traffic.message_count());
+
+    // ---------------------------------------------------------------
+    // PPMSdec: arbitrary payments over divisible e-cash.
+    // ---------------------------------------------------------------
+    println!("\n== PPMSdec (arbitrary payments, L = 3) ==");
+    let params = DecParams::fixture(3, 16);
+    let mut dec = DecMarket::new(&mut rng, params, 512, 48);
+    let mut jo = dec.register_jo(&mut rng, 100, 512);
+    let sp = dec.register_sp(&mut rng, 512);
+    let outcome = dec
+        .run_round(&mut rng, &mut jo, &sp, "accelerometer study", 5, CashBreak::Epcba, b"fall trace")
+        .expect("PPMSdec round");
+    println!(
+        "job #{}: paid w = {} with {} real coin(s) + {} fake(s); deposits seen by MA: {:?}",
+        outcome.job_id, outcome.credited, outcome.real_coins, outcome.fake_coins, outcome.deposit_stream
+    );
+    println!(
+        "balances: JO = {} (+{} change in the coin), SP = {}",
+        dec.bank.balance(jo.account).unwrap(),
+        jo.change_value(dec.params()),
+        dec.bank.balance(sp.account).unwrap()
+    );
+    println!("traffic: {:.2} kb over {} messages", dec.traffic.total_kb(), dec.traffic.message_count());
+    println!("\nTable-I style op counts (this round):");
+    for p in [ppms_core::Party::Jo, ppms_core::Party::Sp, ppms_core::Party::Ma] {
+        println!("  {p}: {}", dec.metrics.formula(p));
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-crate crypto-stack integration: the tower built from a
+//! *searched* chain (not a fixture), proofs spanning tower levels,
+//! CL-authenticated withdrawal against the pairing, and parallel
+//! bundle verification.
+
+use ppms_crypto::tower::GroupTower;
+use ppms_crypto::zkp::ddlog::{DdlogProof, DdlogStatement};
+use ppms_ecash::{build_payment, plan_break, CashBreak, DecBank, DecParams};
+use ppms_integration::rng;
+use ppms_primes::{find_chain, verify_chain};
+
+#[test]
+fn searched_chain_powers_a_working_tower() {
+    // End-to-end: search a fresh chain online, build the tower, prove
+    // and verify a double-dlog across its levels.
+    let mut r = rng(40);
+    let chain = find_chain(&mut r, 24, 3);
+    assert!(verify_chain(&chain));
+    let tower = GroupTower::from_chain(&chain);
+    assert_eq!(tower.depth(), 2);
+
+    let inner = &tower.level(0).group;
+    let outer = &tower.level(1).group;
+    let x = inner.random_exponent(&mut r);
+    let y = outer.exp(&outer.g, &inner.g_exp(&x));
+    let stmt = DdlogStatement { outer, inner, g: &outer.g, h: &inner.g, y: &y };
+    let proof = DdlogProof::prove(&mut r, &stmt, &x, 16, "integration", b"");
+    assert!(proof.verify(&stmt, 16, "integration", b""));
+}
+
+#[test]
+fn online_setup_to_working_coin() {
+    // DecParams::setup_online → withdraw → spend → deposit, all from a
+    // freshly searched chain.
+    let mut r = rng(41);
+    let params = DecParams::setup_online(1, 20, 8, 99);
+    let mut bank = DecBank::new(&mut r, params.clone(), 512);
+    let coin = bank.withdraw_coin(&mut r);
+    let spend = coin.spend(&mut r, &params, &ppms_ecash::NodePath::from_index(1, 0), b"");
+    assert_eq!(bank.deposit(&spend, b""), Ok(1));
+}
+
+#[test]
+fn parallel_bundle_verification_matches_sequential() {
+    let mut r = rng(42);
+    let params = DecParams::fixture(3, 10);
+    let bank = DecBank::new(&mut r, params.clone(), 512);
+    let coin = bank.withdraw_coin(&mut r);
+    let plan = plan_break(CashBreak::Unitary, 6, params.levels).unwrap();
+    let items = build_payment(&mut r, &params, &coin, &plan, b"", bank.public_key().size_bytes()).unwrap();
+
+    let (seq, seq_total) =
+        ppms_core::sim::verify_bundle_sequential(&params, bank.public_key(), &items, b"");
+    let (par, par_total) =
+        ppms_core::sim::verify_bundle_parallel(&params, bank.public_key(), &items, b"");
+    assert_eq!(seq_total, 6);
+    assert_eq!(par_total, 6);
+    assert_eq!(seq.len(), par.len());
+    let seq_serials: Vec<_> = seq.iter().map(|s| s.serial().clone()).collect();
+    let par_serials: Vec<_> = par.iter().map(|s| s.serial().clone()).collect();
+    assert_eq!(seq_serials, par_serials, "rayon preserves order via collect");
+}
+
+#[test]
+fn threaded_pbs_market_conserves_supply() {
+    let report = ppms_core::sim::run_parallel_pbs_market(7, 4, 3, 512, 4);
+    assert_eq!(report.completed, 12);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.supply_before, report.supply_after, "ledger conserved under contention");
+}
+
+#[test]
+fn fig5_style_timing_runs() {
+    // Smoke-test the Fig. 5 harness at tiny scale: both mechanisms
+    // complete and PPMSpbs is cheaper per round.
+    let (dec_timing, outcomes) =
+        ppms_core::sim::run_dec_rounds(50, 2, 2, 8, 512, 48, 3, CashBreak::Pcba).unwrap();
+    let pbs_timing = ppms_core::sim::run_pbs_rounds(51, 2, 512).unwrap();
+    assert_eq!(dec_timing.rounds, 2);
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes.iter().all(|o| o.credited == 3));
+    assert_eq!(pbs_timing.rounds, 2);
+}

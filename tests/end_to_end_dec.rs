@@ -1,0 +1,152 @@
+//! End-to-end PPMSdec rounds (paper Algorithm 1) across every crate:
+//! bigint → primes → crypto → ecash → core.
+
+use ppms_ecash::CashBreak;
+use ppms_integration::{dec_market, TEST_RSA_BITS};
+
+#[test]
+fn full_round_pcba() {
+    let (mut market, mut rng) = dec_market(1, 3);
+    let face = market.params().face_value();
+    let mut jo = market.register_jo(&mut rng, 2 * face, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
+
+    let outcome = market
+        .run_round(&mut rng, &mut jo, &sp, "urban noise mapping", 5, CashBreak::Pcba, b"db(A) readings")
+        .expect("round completes");
+
+    assert_eq!(outcome.credited, 5);
+    assert_eq!(outcome.deposit_stream.iter().sum::<u64>(), 5);
+    // PCBA of 5 = 101b → coins {1, 4}, fakes pad to L+1 = 4 slots.
+    assert_eq!(outcome.real_coins, 2);
+    assert_eq!(outcome.fake_coins, 2);
+
+    // Ledger effects: SP gained w; JO paid the full face value into
+    // e-cash (change is still held in the coin).
+    assert_eq!(market.bank.balance(sp.account).unwrap(), 5);
+    assert_eq!(market.bank.balance(jo.account).unwrap(), 2 * face - face);
+    assert_eq!(jo.change_value(market.params()), face - 5);
+}
+
+#[test]
+fn full_round_unitary() {
+    let (mut market, mut rng) = dec_market(2, 2);
+    let mut jo = market.register_jo(&mut rng, 100, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
+
+    let outcome = market
+        .run_round(&mut rng, &mut jo, &sp, "transit tracking", 3, CashBreak::Unitary, b"gps traces")
+        .expect("round completes");
+
+    assert_eq!(outcome.credited, 3);
+    assert_eq!(outcome.real_coins, 3, "three unitary coins");
+    assert_eq!(outcome.fake_coins, 1, "padded to 2^L = 4 slots");
+    assert!(outcome.deposit_stream.iter().all(|&v| v == 1), "all deposits unitary");
+}
+
+#[test]
+fn full_round_epcba() {
+    let (mut market, mut rng) = dec_market(3, 3);
+    let mut jo = market.register_jo(&mut rng, 100, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
+
+    // w = 8 = 2^L: EPCBA prefers 7+1 → coins {1,2,4,1}.
+    let outcome = market
+        .run_round(&mut rng, &mut jo, &sp, "air quality", 8, CashBreak::Epcba, b"pm2.5")
+        .expect("round completes");
+    assert_eq!(outcome.credited, 8);
+    assert_eq!(outcome.real_coins, 4);
+    let mut stream = outcome.deposit_stream.clone();
+    stream.sort_unstable();
+    assert_eq!(stream, vec![1, 1, 2, 4]);
+}
+
+#[test]
+fn multiple_sps_one_coin() {
+    // One withdrawal pays several SPs from disjoint parts of the tree.
+    let (mut market, mut rng) = dec_market(4, 3);
+    let mut jo = market.register_jo(&mut rng, 100, TEST_RSA_BITS);
+    let sp1 = market.register_sp(&mut rng, TEST_RSA_BITS);
+    let sp2 = market.register_sp(&mut rng, TEST_RSA_BITS);
+
+    market.register_job(&jo, "shared-coin job", 7);
+    market.withdraw(&mut rng, &mut jo).unwrap();
+    let jo_pk = jo_job_pk(&market);
+
+    let pk1 = market.labor_registration(&sp1);
+    let (ct1, ..) = market.submit_payment(&mut rng, &mut jo, &pk1, 3, CashBreak::Pcba).unwrap();
+    let (credited1, _) = market.deposit_payment(&sp1, &jo_pk, &ct1).unwrap();
+
+    let pk2 = market.labor_registration(&sp2);
+    let (ct2, ..) = market.submit_payment(&mut rng, &mut jo, &pk2, 4, CashBreak::Pcba).unwrap();
+    let (credited2, _) = market.deposit_payment(&sp2, &jo_pk, &ct2).unwrap();
+
+    assert_eq!(credited1, 3);
+    assert_eq!(credited2, 4);
+    assert_eq!(jo.change_value(market.params()), 1);
+}
+
+#[test]
+fn change_redemption_returns_remainder() {
+    let (mut market, mut rng) = dec_market(5, 3);
+    let mut jo = market.register_jo(&mut rng, 100, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
+    market
+        .run_round(&mut rng, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"d")
+        .unwrap();
+    let before = market.bank.balance(jo.account).unwrap();
+    let redeemed = market.redeem_change(&mut rng, &mut jo).unwrap();
+    assert_eq!(redeemed, 3, "face 8 - paid 5");
+    assert_eq!(market.bank.balance(jo.account).unwrap(), before + 3);
+    // Supply is conserved end-to-end once change is redeemed:
+    // JO lost exactly w, SP gained exactly w.
+    assert_eq!(market.bank.balance(jo.account).unwrap(), 100 - 5);
+}
+
+#[test]
+fn insufficient_funds_rejected() {
+    let (mut market, mut rng) = dec_market(6, 3);
+    let mut jo = market.register_jo(&mut rng, 1, TEST_RSA_BITS); // cannot afford 2^L = 8
+    let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
+    let err = market
+        .run_round(&mut rng, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"d")
+        .unwrap_err();
+    assert_eq!(err, ppms_core::MarketError::InsufficientFunds);
+}
+
+#[test]
+fn traffic_and_metrics_recorded() {
+    let (mut market, mut rng) = dec_market(7, 3);
+    let mut jo = market.register_jo(&mut rng, 100, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
+    market
+        .run_round(&mut rng, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"data")
+        .unwrap();
+
+    use ppms_core::{Op, Party};
+    // JO produced ZK proofs for every real coin; SP verified them.
+    assert!(market.metrics.get(Party::Jo, Op::Zkp) > 0);
+    assert!(market.metrics.get(Party::Sp, Op::Zkp) > 0);
+    assert!(market.metrics.get(Party::Sp, Op::Dec) >= 2, "payload decrypt + sig verify");
+    // Traffic flowed on all steps of Algorithm 1.
+    for label in [
+        "job-registration",
+        "withdrawal-request",
+        "e-cash",
+        "labor-registration",
+        "payment-submission",
+        "data-report",
+        "payment-delivery",
+        "deposit",
+    ] {
+        assert!(market.traffic.has_label(label), "missing traffic step {label}");
+    }
+    assert!(market.traffic.total_bytes() > 0);
+}
+
+/// The JO's pseudonymous job verification key, as the SP learns it
+/// from the bulletin board.
+fn jo_job_pk(market: &ppms_core::ppmsdec::DecMarket) -> ppms_crypto::rsa::RsaPublicKey {
+    let job = market.bulletin.list().pop().expect("job published");
+    ppms_crypto::rsa::RsaPublicKey::from_bytes(&job.pseudonym).expect("valid key")
+}

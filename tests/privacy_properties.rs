@@ -1,0 +1,185 @@
+//! Privacy properties of the two mechanisms (paper §IV-B and §V-B),
+//! checked mechanically where the implementation makes them concrete:
+//! what the MA's observable state contains, what the JO's view
+//! contains, and how the cash-break strategies shrink the
+//! denomination-attack success rate.
+
+use ppms_core::attack::{achievable_sums, deposit_stream, run_denomination_attack};
+use ppms_core::ppmspbs::PbsMarket;
+use ppms_core::{Op, Party};
+use ppms_ecash::CashBreak;
+use ppms_integration::{dec_market, rng, TEST_RSA_BITS};
+
+#[test]
+fn dec_coin_unlinkable_to_withdrawal() {
+    // The bank signs a BLINDED token at withdrawal; the root tag it
+    // later sees at deposit is a fresh value the bank never observed.
+    let (mut market, mut r) = dec_market(30, 2);
+    let mut jo = market.register_jo(&mut r, 100, TEST_RSA_BITS);
+    market.register_job(&jo, "job", 2);
+
+    // Capture what the bank sees at withdrawal: only the blinded token.
+    market.withdraw(&mut r, &mut jo).unwrap();
+    let withdrawal_msgs: Vec<_> = market
+        .traffic
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.label == "withdrawal-request")
+        .collect();
+    assert_eq!(withdrawal_msgs.len(), 1);
+    // Blindness is proven at the crypto layer (rsa::blind tests show
+    // the signer's view is independent of the token); here we assert
+    // the protocol actually routes through the blind path: the traffic
+    // entry exists and no plaintext coin-token message was ever sent.
+    assert!(!market.traffic.has_label("coin-token-plaintext"));
+}
+
+#[test]
+fn pbs_jo_never_sees_sp_account_key() {
+    // Transaction-linkage privacy against the JO: the JO signs a
+    // blinded value; the SP's account key reaches the MA only at
+    // deposit. We verify the JO-side inputs differ from the SP key.
+    let mut r = rng(31);
+    let mut market = PbsMarket::new();
+    let jo = market.register_jo(&mut r, 10, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut r, TEST_RSA_BITS);
+
+    let msg = sp.account_key.public.to_bytes();
+    let (alpha, _b) = ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
+    // The blinded value is not the message (and is uniformly re-randomized).
+    assert_ne!(alpha.to_bytes_be(), msg);
+    let (alpha2, _b2) = ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
+    assert_ne!(alpha, alpha2, "same key blinds to fresh values every time");
+}
+
+#[test]
+fn pbs_ma_sees_transaction_but_not_job_identity() {
+    // The paper's deliberate asymmetry: the MA learns (JO account, SP
+    // account) at deposit, but jobs are published under pseudonyms.
+    let mut r = rng(32);
+    let mut market = PbsMarket::new();
+    let jo = market.register_jo(&mut r, 10, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut r, TEST_RSA_BITS);
+    market.run_round(&mut r, &jo, &sp, "hiv cohort study", b"vitals").unwrap();
+
+    // The bulletin board never contains the JO's account key.
+    let account_key_bytes = jo.account_key.public.to_bytes();
+    for job in market.bulletin.list() {
+        assert_ne!(job.pseudonym, account_key_bytes, "job published under pseudonym only");
+    }
+    // The ledger moved money between the two accounts (bank-visible).
+    assert_eq!(market.bank.balance(sp.account).unwrap(), 1);
+}
+
+#[test]
+fn denomination_attack_baseline_vs_breaks() {
+    // §IV-B quantified: breaking the payment inflates the candidate
+    // set from ~1 to many.
+    let none = run_denomination_attack(100, CashBreak::None, 10, 8, 300);
+    let pcba = run_denomination_attack(100, CashBreak::Pcba, 10, 8, 300);
+    let epcba = run_denomination_attack(100, CashBreak::Epcba, 10, 8, 300);
+    let unitary = run_denomination_attack(100, CashBreak::Unitary, 10, 8, 300);
+
+    assert!(none.unique_success_rate > 0.9, "unbroken payments are linkable");
+    assert!(pcba.mean_candidate_jobs > none.mean_candidate_jobs);
+    assert!(epcba.mean_candidate_jobs >= pcba.mean_candidate_jobs * 0.9);
+    assert!(unitary.unique_success_rate < none.unique_success_rate);
+    assert!(unitary.mean_candidate_jobs > 2.0);
+}
+
+#[test]
+fn epcba_candidate_sums_superset_of_pcba_for_powers_of_two() {
+    // The paper's motivation for EPCBA: for w = 2^k PCBA yields ONE
+    // coin (fully linkable); EPCBA yields k+1 coins.
+    for k in 1..=6u32 {
+        let w = 1u64 << k;
+        let p = achievable_sums(&deposit_stream(CashBreak::Pcba, w, 8), 8);
+        let e = achievable_sums(&deposit_stream(CashBreak::Epcba, w, 8), 8);
+        assert_eq!(p.len(), 1, "PCBA of 2^{k} is a single coin");
+        assert!(e.len() > p.len(), "EPCBA of 2^{k} covers more sums");
+        assert!(e.contains(&w));
+    }
+}
+
+#[test]
+fn sp_identity_appears_only_at_deposit_in_dec() {
+    // Job-linkage privacy: labor registration uses the one-time key;
+    // the account id appears only on deposit messages.
+    let (mut market, mut r) = dec_market(33, 3);
+    let mut jo = market.register_jo(&mut r, 100, TEST_RSA_BITS);
+    let sp = market.register_sp(&mut r, TEST_RSA_BITS);
+    market
+        .run_round(&mut r, &mut jo, &sp, "job", 3, CashBreak::Epcba, b"d")
+        .unwrap();
+
+    // The one-time pseudonym is never identical to account identity:
+    // the protocol keys the deposit stream by AID, the registration by
+    // rpk_sp; both exist, and nothing ties them in the MA's log.
+    assert!(market.traffic.has_label("labor-registration"));
+    assert!(market.traffic.has_label("deposit"));
+    // The metrics side-channel: deposits happened strictly after
+    // payment delivery in the log (ordering preserved).
+    let log = market.traffic.snapshot();
+    let delivery_idx = log.iter().position(|e| e.label == "payment-delivery").unwrap();
+    let first_deposit = log.iter().position(|e| e.label == "deposit").unwrap();
+    assert!(first_deposit > delivery_idx, "deposits follow delivery");
+}
+
+#[test]
+fn labor_registrations_mix_before_the_ma() {
+    // §III-B assumption realized: a batch of labor registrations is
+    // onion-routed through a 2-hop mix cascade; the MA receives the
+    // full multiset of one-time keys but in an order decorrelated from
+    // the senders.
+    use ppms_core::MixCascade;
+    let mut r = rng(36);
+    let cascade = MixCascade::new(&mut r, 2, 512);
+    let registrations: Vec<Vec<u8>> = (0..6u8)
+        .map(|i| {
+            // Each "SP" registers a distinct one-time key blob.
+            vec![i; 32]
+        })
+        .collect();
+    let onions: Vec<Vec<u8>> =
+        registrations.iter().map(|m| cascade.build_onion(&mut r, m)).collect();
+    let delivered = cascade.run_batch(&mut r, &onions).expect("mix delivers");
+    let mut got = delivered.clone();
+    let mut want = registrations.clone();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "the MA gets every registration exactly once");
+}
+
+#[test]
+fn table1_shape_pbs_lighter_than_dec() {
+    // Fig. 5 / Table I in miniature: a PPMSpbs round does strictly
+    // fewer heavyweight ops than a PPMSdec round.
+    let (mut dec, mut r1) = dec_market(34, 3);
+    let mut jo = dec.register_jo(&mut r1, 100, TEST_RSA_BITS);
+    let sp = dec.register_sp(&mut r1, TEST_RSA_BITS);
+    dec.run_round(&mut r1, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"d").unwrap();
+
+    let mut r2 = rng(35);
+    let mut pbs = PbsMarket::new();
+    let pjo = pbs.register_jo(&mut r2, 10, TEST_RSA_BITS);
+    let psp = pbs.register_sp(&mut r2, TEST_RSA_BITS);
+    pbs.run_round(&mut r2, &pjo, &psp, "job", b"d").unwrap();
+
+    let dec_zkp: u64 = [Party::Jo, Party::Sp, Party::Ma]
+        .iter()
+        .map(|&p| dec.metrics.get(p, Op::Zkp))
+        .sum();
+    let pbs_zkp: u64 = [Party::Jo, Party::Sp, Party::Ma]
+        .iter()
+        .map(|&p| pbs.metrics.get(p, Op::Zkp))
+        .sum();
+    assert!(dec_zkp > 0);
+    assert_eq!(pbs_zkp, 0);
+    // Table II shape: PPMSdec moves more bytes than PPMSpbs.
+    assert!(
+        dec.traffic.total_bytes() > pbs.traffic.total_bytes(),
+        "dec {} <= pbs {}",
+        dec.traffic.total_bytes(),
+        pbs.traffic.total_bytes()
+    );
+}

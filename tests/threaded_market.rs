@@ -1,0 +1,198 @@
+//! A fully threaded PPMSdec market over the message-passing MA
+//! service: the JO and several SPs run as independent threads speaking
+//! only through channels — the paper's Fig. 1 system model.
+
+use ppms_core::service::{MaRequest, MaResponse, MaService};
+use ppms_core::AccountId;
+use ppms_crypto::cl::ClKeyPair;
+use ppms_crypto::rsa;
+use ppms_ecash::brk::{build_payment_with, NodeAllocator};
+use ppms_ecash::{decode_payment, plan_break, CashBreak, Coin, DecParams, PaymentItem};
+use ppms_integration::rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const RSA_BITS: usize = 512;
+
+/// SP-side worker: register labor, submit data, poll for payment,
+/// verify, deposit. Returns the credited amount.
+fn sp_thread(svc: &MaService, job_id: u64, seed: u64) -> (AccountId, u64) {
+    let client = svc.client();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let one_time = rsa::keygen(&mut rng, RSA_BITS);
+    let sp_pubkey = one_time.public.to_bytes();
+
+    let MaResponse::Account(account) = client.call(MaRequest::RegisterSpAccount) else {
+        panic!("account");
+    };
+    assert!(matches!(
+        client.call(MaRequest::LaborRegister { job_id, sp_pubkey: sp_pubkey.clone() }),
+        MaResponse::Ok
+    ));
+    assert!(matches!(
+        client.call(MaRequest::SubmitData {
+            job_id,
+            sp_pubkey: sp_pubkey.clone(),
+            data: format!("reading from sp {seed}").into_bytes(),
+        }),
+        MaResponse::Ok
+    ));
+
+    // Poll for the payment (the MA holds it until the JO submits it).
+    let ciphertext = loop {
+        match client.call(MaRequest::FetchPayment { sp_pubkey: sp_pubkey.clone() }) {
+            MaResponse::Payment(Some(ct)) => break ct,
+            MaResponse::Payment(None) => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+
+    let payload = rsa::decrypt(&one_time, &ciphertext).expect("payment decrypts");
+    let items = decode_payment(&payload).expect("bundle parses");
+    let mut credited = 0;
+    for item in items {
+        if let PaymentItem::Real(spend) = item {
+            if spend.verify(&svc.params, &svc.bank_pk, b"").is_ok() {
+                match client.call(MaRequest::Deposit { account, spend: Box::new(spend) }) {
+                    MaResponse::Deposited(v) => credited += v,
+                    other => panic!("deposit failed: {other:?}"),
+                }
+            }
+        }
+    }
+    (account, credited)
+}
+
+#[test]
+fn threaded_dec_market_full_protocol() {
+    let mut seed_rng = rng(60);
+    let params = DecParams::fixture(3, 10);
+    let svc = MaService::spawn(&mut seed_rng, params.clone(), RSA_BITS, 40);
+    let n_sps = 2;
+    let w = 3u64;
+
+    // --- JO thread ---
+    let jo_handle = {
+        let client = svc.client();
+        let params = svc.params.clone();
+        let bank_pk = svc.bank_pk.clone();
+        let pairing = svc.pairing.clone();
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(61);
+            let cl = ClKeyPair::generate(&mut rng, &pairing);
+            let MaResponse::Account(account) =
+                client.call(MaRequest::RegisterJoAccount { funds: 100, clpk: cl.public.clone() })
+            else {
+                panic!("jo account");
+            };
+            let job_key = rsa::keygen(&mut rng, RSA_BITS);
+            let MaResponse::JobId(job_id) = client.call(MaRequest::PublishJob {
+                description: "threaded sensing job".into(),
+                payment: w,
+                pseudonym: job_key.public.to_bytes(),
+            }) else {
+                panic!("publish");
+            };
+
+            // Withdraw a coin.
+            let mut coin = Coin::mint(&mut rng, &params);
+            let (blinded, factor) = coin.blind_token(&mut rng, &bank_pk);
+            let auth = cl.sign_bytes(&mut rng, &pairing, &1u64.to_be_bytes());
+            let MaResponse::BlindSignature(sig) =
+                client.call(MaRequest::Withdraw { account, nonce: 1, auth, blinded })
+            else {
+                panic!("withdraw");
+            };
+            assert!(coin.attach_signature(&bank_pk, &sig, &factor));
+            let mut allocator = NodeAllocator::new(params.levels);
+
+            // Wait for labor registrations, then pay each SP.
+            let mut paid = 0usize;
+            while paid < n_sps {
+                let MaResponse::Labor(sps) = client.call(MaRequest::FetchLabor { job_id }) else {
+                    panic!("labor");
+                };
+                for sp_pubkey in sps.into_iter().skip(paid) {
+                    let plan = plan_break(CashBreak::Pcba, w, params.levels).unwrap();
+                    let items = build_payment_with(
+                        &mut rng,
+                        &params,
+                        &coin,
+                        &plan,
+                        b"",
+                        bank_pk.size_bytes(),
+                        &mut allocator,
+                    )
+                    .unwrap();
+                    // The SP worker in this test verifies coins directly, so
+                    // the encrypted payload is the bare bundle (DecMarket's
+                    // driver additionally appends the designation signature).
+                    let payload = ppms_ecash::encode_payment(&items);
+                    let sp_pk = rsa::RsaPublicKey::from_bytes(&sp_pubkey).unwrap();
+                    let ciphertext = rsa::encrypt(&mut rng, &sp_pk, &payload);
+                    assert!(matches!(
+                        client.call(MaRequest::SubmitPayment { sp_pubkey, ciphertext }),
+                        MaResponse::Ok
+                    ));
+                    paid += 1;
+                }
+                if paid < n_sps {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+
+            // Collect the data reports.
+            let mut reports = Vec::new();
+            while reports.len() < n_sps {
+                let MaResponse::Data(batch) = client.call(MaRequest::FetchData { job_id }) else {
+                    panic!("data");
+                };
+                reports.extend(batch);
+                if reports.len() < n_sps {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            (account, job_id, reports.len())
+        })
+    };
+
+    // --- SP threads (started after the job exists) ---
+    // Wait for the bulletin to carry the job.
+    while svc.bulletin.is_empty() {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let job_id = svc.bulletin.list()[0].job_id;
+    // Run SPs on scoped threads so they can borrow the service.
+    let results: Vec<(AccountId, u64)> = std::thread::scope(|s| {
+        (0..n_sps)
+            .map(|i| s.spawn({
+                let svc = &svc;
+                move || sp_thread(svc, job_id, 70 + i as u64)
+            }))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("sp thread"))
+            .collect()
+    });
+
+    let (jo_account, _job, n_reports) = jo_handle.join().expect("jo thread");
+    assert_eq!(n_reports, n_sps);
+
+    // Every SP got paid w.
+    let client = svc.client();
+    for (account, credited) in &results {
+        assert_eq!(*credited, w, "sp credited");
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: *account }) else {
+            panic!("balance");
+        };
+        assert_eq!(b, w);
+    }
+    // JO paid 2^L once.
+    let MaResponse::Balance(jo_balance) = client.call(MaRequest::Balance { account: jo_account }) else {
+        panic!("balance");
+    };
+    assert_eq!(jo_balance, 100 - svc.params.face_value());
+
+    svc.shutdown();
+}
