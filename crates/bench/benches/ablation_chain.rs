@@ -10,14 +10,18 @@ fn bench_chain_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_chain");
     group.sample_size(10);
     for length in [3usize, 4] {
-        group.bench_with_input(BenchmarkId::new("sequential", length), &length, |b, &len| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut rng = StdRng::seed_from_u64(seed);
-                std::hint::black_box(find_chain(&mut rng, 20, len))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential", length),
+            &length,
+            |b, &len| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    std::hint::black_box(find_chain(&mut rng, 20, len))
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("parallel", length), &length, |b, &len| {
             let mut seed = 10_000u64;
             b.iter(|| {

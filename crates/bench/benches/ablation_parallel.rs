@@ -16,16 +16,41 @@ fn bench_parallel_verify(c: &mut Criterion) {
     let bank = DecBank::new(&mut rng, params.clone(), cfg::RSA_BITS);
     let coin = bank.withdraw_coin(&mut rng);
     let plan = plan_break(CashBreak::Unitary, 1 << levels, levels).unwrap();
-    let items =
-        build_payment(&mut rng, &params, &coin, &plan, b"", bank.public_key().size_bytes()).unwrap();
+    let items = build_payment(
+        &mut rng,
+        &params,
+        &coin,
+        &plan,
+        b"",
+        bank.public_key().size_bytes(),
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("ablation_parallel_verify");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &items, |b, items| {
-        b.iter(|| std::hint::black_box(verify_bundle_sequential(&params, bank.public_key(), items, b"")));
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sequential"),
+        &items,
+        |b, items| {
+            b.iter(|| {
+                std::hint::black_box(verify_bundle_sequential(
+                    &params,
+                    bank.public_key(),
+                    items,
+                    b"",
+                ))
+            });
+        },
+    );
     group.bench_with_input(BenchmarkId::from_parameter("rayon"), &items, |b, items| {
-        b.iter(|| std::hint::black_box(verify_bundle_parallel(&params, bank.public_key(), items, b"")));
+        b.iter(|| {
+            std::hint::black_box(verify_bundle_parallel(
+                &params,
+                bank.public_key(),
+                items,
+                b"",
+            ))
+        });
     });
     group.finish();
 }

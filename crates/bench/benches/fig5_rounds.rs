@@ -18,8 +18,17 @@ fn bench_rounds(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 std::hint::black_box(
-                    run_dec_rounds(seed, r, 3, cfg::ZKP_ROUNDS, cfg::RSA_BITS, cfg::PAIRING_BITS, 5, CashBreak::Pcba)
-                        .unwrap(),
+                    run_dec_rounds(
+                        seed,
+                        r,
+                        3,
+                        cfg::ZKP_ROUNDS,
+                        cfg::RSA_BITS,
+                        cfg::PAIRING_BITS,
+                        5,
+                        CashBreak::Pcba,
+                    )
+                    .unwrap(),
                 )
             });
         });

@@ -89,7 +89,9 @@ struct Series {
 /// width follows [`ppms_primes::cunningham::min_start_bits`] — pushing
 /// the search to the density frontier where the blow-up lives.
 fn fig2(budget: Duration) {
-    println!("== Fig. 2: Setup executing time of each level (chain search at the frontier width) ==");
+    println!(
+        "== Fig. 2: Setup executing time of each level (chain search at the frontier width) =="
+    );
     println!("{:>6} {:>12} {:>14}", "L", "start bits", "time (ms)");
     let t_start = Instant::now();
     let mut xs = Vec::new();
@@ -126,7 +128,11 @@ fn fig2(budget: Duration) {
     }
     dump_json(
         "fig2",
-        &Series { x: xs, y_ms: ys, note: "setup time vs level; cost explodes with chain length".into() },
+        &Series {
+            x: xs,
+            y_ms: ys,
+            note: "setup time vs level; cost explodes with chain length".into(),
+        },
     );
     println!();
 }
@@ -205,7 +211,11 @@ fn fig4() {
     }
     dump_json(
         "fig4",
-        &Series { x: xs, y_ms: ys, note: "deeper breaking node => higher derivation cost".into() },
+        &Series {
+            x: xs,
+            y_ms: ys,
+            note: "deeper breaking node => higher derivation cost".into(),
+        },
     );
     println!();
 }
@@ -220,7 +230,10 @@ struct Fig5Row {
 /// Fig. 5 — multi-round executing time comparison, setup included.
 fn fig5() {
     println!("== Fig. 5: Executing time over multiple rounds (setup included) ==");
-    println!("{:>8} {:>14} {:>14}", "rounds", "PPMSdec (ms)", "PPMSpbs (ms)");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "rounds", "PPMSdec (ms)", "PPMSpbs (ms)"
+    );
     let mut rows = Vec::new();
     for rounds in (10..=100).step_by(10) {
         // Paper scale: L = 12 coin trees, full-strength Stadler proofs
@@ -238,8 +251,16 @@ fn fig5() {
         )
         .expect("dec rounds");
         let pbs = run_pbs_rounds(rounds as u64, rounds, cfg::RSA_BITS).expect("pbs rounds");
-        println!("{rounds:>8} {:>14.1} {:>14.1}", ms(dec.total()), ms(pbs.total()));
-        rows.push(Fig5Row { rounds, dec_ms: ms(dec.total()), pbs_ms: ms(pbs.total()) });
+        println!(
+            "{rounds:>8} {:>14.1} {:>14.1}",
+            ms(dec.total()),
+            ms(pbs.total())
+        );
+        rows.push(Fig5Row {
+            rounds,
+            dec_ms: ms(dec.total()),
+            pbs_ms: ms(pbs.total()),
+        });
     }
     dump_json("fig5", &rows);
     println!();
@@ -261,7 +282,8 @@ fn table1() {
     let mut dec = DecMarket::new(&mut rng, params, cfg::RSA_BITS, cfg::PAIRING_BITS);
     let mut jo = dec.register_jo(&mut rng, 100, cfg::RSA_BITS);
     let sp = dec.register_sp(&mut rng, cfg::RSA_BITS);
-    dec.run_round(&mut rng, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"data").unwrap();
+    dec.run_round(&mut rng, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"data")
+        .unwrap();
 
     let mut pbs = PbsMarket::new();
     let pjo = pbs.register_jo(&mut rng, 10, cfg::RSA_BITS);
@@ -277,7 +299,10 @@ fn table1() {
             sp: m.formula(Party::Sp),
             ma: m.formula(Party::Ma),
         };
-        println!("{:<10} {:<28} {:<22} {:<18}", row.mechanism, row.jo, row.sp, row.ma);
+        println!(
+            "{:<10} {:<28} {:<22} {:<18}",
+            row.mechanism, row.jo, row.sp, row.ma
+        );
         rows.push(row);
     }
     println!("paper:     JO=(8+i)ZKP+4Enc+1Dec+1H   SP=4Dec               MA=1Enc  (PPMSdec)");
@@ -305,7 +330,8 @@ fn table2() {
     let mut dec = DecMarket::new(&mut rng, params, cfg::RSA_BITS, cfg::PAIRING_BITS);
     let mut jo = dec.register_jo(&mut rng, 100, cfg::RSA_BITS);
     let sp = dec.register_sp(&mut rng, cfg::RSA_BITS);
-    dec.run_round(&mut rng, &mut jo, &sp, "j", 1, CashBreak::Pcba, b"d").unwrap();
+    dec.run_round(&mut rng, &mut jo, &sp, "j", 1, CashBreak::Pcba, b"d")
+        .unwrap();
 
     let mut pbs = PbsMarket::new();
     let pjo = pbs.register_jo(&mut rng, 10, cfg::RSA_BITS);
@@ -332,7 +358,9 @@ fn table2() {
         );
         rows.push(row);
     }
-    println!("paper:     PPMSdec 664/4864 + 3840/2176 = 11.27 kb; PPMSpbs 256/784 + 768/384 = 2.14 kb");
+    println!(
+        "paper:     PPMSdec 664/4864 + 3840/2176 = 11.27 kb; PPMSpbs 256/784 + 768/384 = 2.14 kb"
+    );
     dump_json("table2", &rows);
     println!();
 }
@@ -347,9 +375,17 @@ struct AttackRow {
 /// Extension A1 — the denomination attack per break strategy.
 fn attack() {
     println!("== A1: denomination attack (12 jobs, payments in [1, 256], 2000 trials) ==");
-    println!("{:<10} {:>20} {:>20}", "strategy", "unique success", "mean candidates");
+    println!(
+        "{:<10} {:>20} {:>20}",
+        "strategy", "unique success", "mean candidates"
+    );
     let mut rows = Vec::new();
-    for strategy in [CashBreak::None, CashBreak::Pcba, CashBreak::Epcba, CashBreak::Unitary] {
+    for strategy in [
+        CashBreak::None,
+        CashBreak::Pcba,
+        CashBreak::Epcba,
+        CashBreak::Unitary,
+    ] {
         let r = run_denomination_attack(0xA77AC4, strategy, 12, 8, 2000);
         println!(
             "{:<10} {:>19.1}% {:>20.2}",
@@ -384,7 +420,10 @@ fn timing() {
     for &n_sps in &[2usize, 4, 8, 16] {
         for &max_delay in &[5u64, 20, 80] {
             let r = run_timing_attack(0x71417, CashBreak::Pcba, n_sps, 6, max_delay, 1000);
-            println!("{n_sps:<8} {max_delay:<10} {:>21.1}%", r.clustering_success_rate * 100.0);
+            println!(
+                "{n_sps:<8} {max_delay:<10} {:>21.1}%",
+                r.clustering_success_rate * 100.0
+            );
             rows.push(TimingRow {
                 n_sps,
                 max_delay,
@@ -421,7 +460,12 @@ fn break_report() {
         "strategy", "real coins", "total items", "wire bytes", "verify (ms)"
     );
     let mut rows = Vec::new();
-    for strategy in [CashBreak::None, CashBreak::Pcba, CashBreak::Epcba, CashBreak::Unitary] {
+    for strategy in [
+        CashBreak::None,
+        CashBreak::Pcba,
+        CashBreak::Epcba,
+        CashBreak::Unitary,
+    ] {
         let coin = bank.withdraw_coin(&mut rng);
         let plan = plan_break(strategy, w, levels).unwrap();
         let items = build_payment(&mut rng, &params, &coin, &plan, b"", sig_bytes).unwrap();

@@ -9,7 +9,11 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// `a + b` into a fresh value.
 pub(crate) fn add(a: &BigUint, b: &BigUint) -> BigUint {
-    let (long, short) = if a.limbs.len() >= b.limbs.len() { (a, b) } else { (b, a) };
+    let (long, short) = if a.limbs.len() >= b.limbs.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let mut out = Vec::with_capacity(long.limbs.len() + 1);
     let mut carry = 0u64;
     for i in 0..long.limbs.len() {
@@ -252,7 +256,12 @@ mod tests {
     #[test]
     fn add_u128_reference() {
         // Cross-check against native u128 arithmetic on values that fit.
-        for (x, y) in [(0u128, 0u128), (1, u64::MAX as u128), (1 << 90, 1 << 90), (12345, 67890)] {
+        for (x, y) in [
+            (0u128, 0u128),
+            (1, u64::MAX as u128),
+            (1 << 90, 1 << 90),
+            (12345, 67890),
+        ] {
             let s = BigUint::from(x) + BigUint::from(y);
             assert_eq!(s.to_u128(), Some(x + y));
         }

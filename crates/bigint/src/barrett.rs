@@ -26,7 +26,11 @@ impl Barrett {
         assert!(m > &BigUint::one(), "Barrett modulus must exceed 1");
         let k = m.bits();
         let mu = &(BigUint::one() << (2 * k)) / m;
-        Barrett { m: m.clone(), mu, k }
+        Barrett {
+            m: m.clone(),
+            mu,
+            k,
+        }
     }
 
     /// The modulus.
@@ -120,7 +124,10 @@ mod tests {
     fn fermat_through_barrett() {
         let p = BigUint::from(1_000_000_007u64);
         let br = Barrett::new(&p);
-        assert_eq!(br.modpow(&BigUint::from(2u64), &(&p - 1u64)), BigUint::one());
+        assert_eq!(
+            br.modpow(&BigUint::from(2u64), &(&p - 1u64)),
+            BigUint::one()
+        );
     }
 
     #[test]

@@ -28,17 +28,26 @@ pub struct BigInt {
 impl BigInt {
     /// Zero.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::zero(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
     }
 
     /// Wraps an unsigned value as non-negative.
     pub fn from_biguint(mag: BigUint) -> Self {
-        BigInt { sign: Sign::Plus, mag }
+        BigInt {
+            sign: Sign::Plus,
+            mag,
+        }
     }
 
     /// Builds from sign and magnitude, canonicalizing zero.
@@ -96,8 +105,14 @@ impl BigInt {
         assert!(!d.is_zero(), "division by zero BigInt");
         let (q_mag, r_mag) = self.mag.divrem(&d.mag);
         match (self.sign, d.sign) {
-            (Sign::Plus, Sign::Plus) => (BigInt::new(Sign::Plus, q_mag), BigInt::new(Sign::Plus, r_mag)),
-            (Sign::Minus, Sign::Minus) => (BigInt::new(Sign::Plus, q_mag), BigInt::new(Sign::Minus, r_mag)),
+            (Sign::Plus, Sign::Plus) => (
+                BigInt::new(Sign::Plus, q_mag),
+                BigInt::new(Sign::Plus, r_mag),
+            ),
+            (Sign::Minus, Sign::Minus) => (
+                BigInt::new(Sign::Plus, q_mag),
+                BigInt::new(Sign::Minus, r_mag),
+            ),
             (Sign::Minus, Sign::Plus) => {
                 if r_mag.is_zero() {
                     (BigInt::new(Sign::Minus, q_mag), BigInt::zero())
@@ -174,7 +189,11 @@ impl Sub<&BigInt> for &BigInt {
 impl Mul<&BigInt> for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::new(sign, &self.mag * &rhs.mag)
     }
 }
@@ -232,7 +251,13 @@ mod tests {
     #[test]
     fn divrem_floor_signs() {
         // Floor semantics: -7 / 2 = -4 rem 1; 7 / -2 = -4 rem -1.
-        for (a, d, q, r) in [(7i64, 2i64, 3i64, 1i64), (-7, 2, -4, 1), (7, -2, -4, -1), (-7, -2, 3, -1), (-6, 3, -2, 0)] {
+        for (a, d, q, r) in [
+            (7i64, 2i64, 3i64, 1i64),
+            (-7, 2, -4, 1),
+            (7, -2, -4, -1),
+            (-7, -2, 3, -1),
+            (-6, 3, -2, 0),
+        ] {
             let (qq, rr) = bi(a).divrem_floor(&bi(d));
             assert_eq!(qq, bi(q), "q for {a}/{d}");
             assert_eq!(rr, bi(r), "r for {a}/{d}");

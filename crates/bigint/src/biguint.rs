@@ -296,7 +296,10 @@ mod tests {
     #[test]
     fn pow_small() {
         assert_eq!(BigUint::from(3u64).pow(5), BigUint::from(243u64));
-        assert_eq!(BigUint::from(2u64).pow(100), BigUint::from_limbs(vec![0, 1 << 36]));
+        assert_eq!(
+            BigUint::from(2u64).pow(100),
+            BigUint::from_limbs(vec![0, 1 << 36])
+        );
         assert_eq!(BigUint::from(7u64).pow(0), BigUint::one());
         assert_eq!(BigUint::zero().pow(0), BigUint::one());
         assert_eq!(BigUint::zero().pow(3), BigUint::zero());

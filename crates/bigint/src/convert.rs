@@ -10,7 +10,11 @@ pub struct ParseBigUintError {
 
 impl std::fmt::Display for ParseBigUintError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid digit {:?} in big integer literal", self.bad_char)
+        write!(
+            f,
+            "invalid digit {:?} in big integer literal",
+            self.bad_char
+        )
     }
 }
 
@@ -49,7 +53,11 @@ impl BigUint {
     /// zeros. Panics if the value does not fit.
     pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
         let raw = self.to_bytes_be();
-        assert!(raw.len() <= len, "value needs {} bytes, got {len}", raw.len());
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, got {len}",
+            raw.len()
+        );
         let mut out = vec![0u8; len - raw.len()];
         out.extend_from_slice(&raw);
         out
@@ -149,7 +157,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeefcafebabe",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = BigUint::parse_hex(s).unwrap();
             assert_eq!(v.to_hex(), s);
         }
@@ -159,7 +173,13 @@ mod tests {
 
     #[test]
     fn dec_roundtrip() {
-        for s in ["0", "7", "18446744073709551616", "340282366920938463463374607431768211455", "99999999999999999999999999999999999999999"] {
+        for s in [
+            "0",
+            "7",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455",
+            "99999999999999999999999999999999999999999",
+        ] {
             let v = BigUint::parse_dec(s).unwrap();
             assert_eq!(v.to_dec(), s, "roundtrip {s}");
         }

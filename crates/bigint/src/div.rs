@@ -37,8 +37,7 @@ fn divrem_knuth(a: &BigUint, b: &BigUint) -> (BigUint, BigUint) {
         let mut qhat = top / v[n - 1] as u128;
         let mut rhat = top % v[n - 1] as u128;
         while qhat >= b_radix
-            || (n >= 2
-                && qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128))
+            || (n >= 2 && qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128))
         {
             qhat -= 1;
             rhat += v[n - 1] as u128;

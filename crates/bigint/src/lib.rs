@@ -15,6 +15,10 @@
 //! * Knuth Algorithm D division,
 //! * Montgomery modular exponentiation (odd moduli) with a plain
 //!   square-and-multiply fallback,
+//! * [`ModRing`]: a constructed-once per-modulus context unifying
+//!   Montgomery/Barrett behind one API, with cached fixed-base window
+//!   tables, Shamir simultaneous multi-exponentiation, and RSA-CRT
+//!   ([`RsaCrt`]) — the layer every crate above exponentiates through,
 //! * extended Euclid / modular inverse, Jacobi symbols,
 //! * random generation, and decimal/hex/byte conversions.
 //!
@@ -44,14 +48,16 @@ mod modular;
 mod montgomery;
 mod mul;
 mod random;
+mod ring;
 mod shift;
 
 pub use crate::barrett::Barrett;
 pub use crate::bigint::{BigInt, Sign};
 pub use crate::biguint::BigUint;
-pub use crate::gcd::{ext_gcd, gcd, jacobi, lcm};
-pub use crate::montgomery::Montgomery;
 pub use crate::convert::ParseBigUintError;
+pub use crate::gcd::{ext_gcd, gcd, jacobi, lcm};
 pub use crate::modular::modpow_plain;
+pub use crate::montgomery::Montgomery;
 pub use crate::mul::{mul_karatsuba_pub, mul_schoolbook_pub};
 pub use crate::random::{random_below, random_bits, random_odd_bits, random_unit_range};
+pub use crate::ring::{ModRing, RsaCrt};

@@ -14,21 +14,27 @@ use crate::BigUint;
 pub struct Montgomery {
     n: BigUint,
     /// Number of limbs of `n`; all Montgomery residues use this width.
-    k: usize,
+    pub(crate) k: usize,
     /// `-n^{-1} mod 2^64`.
     n_prime: u64,
     /// `R^2 mod n`, used to enter the Montgomery domain.
     r2: BigUint,
     /// `R mod n` = Montgomery form of 1.
-    r1: BigUint,
+    pub(crate) r1: BigUint,
 }
 
 /// `-n^{-1} mod 2^64` by Newton–Hensel lifting (n odd).
+///
+/// The seed `x = n0` is already an inverse of `n0` mod 2^3: every odd
+/// `n0` satisfies `n0² ≡ 1 (mod 8)`, i.e. `n0·n0 ≡ 1`, so `x` starts
+/// with 3 correct low bits. Each Hensel step
+/// `x ← x·(2 − n0·x)` doubles the number of correct bits
+/// (if `n0·x = 1 + ε·2^k` then `n0·x' = 1 − ε²·2^2k`), so the correct
+/// bit count goes 3 → 6 → 12 → 24 → 48 → 96 ≥ 64: **5 lifts suffice**.
 fn neg_inv_u64(n0: u64) -> u64 {
     debug_assert!(n0 & 1 == 1);
-    let mut x = n0; // correct mod 2^3 already for odd n0? use 5 lifts from mod 2^1
-    // Newton iteration doubles the number of correct bits each step.
-    for _ in 0..6 {
+    let mut x = n0;
+    for _ in 0..5 {
         x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
     }
     debug_assert_eq!(n0.wrapping_mul(x), 1);
@@ -40,12 +46,21 @@ impl Montgomery {
     ///
     /// Panics if `n` is even or `<= 1`.
     pub fn new(n: &BigUint) -> Montgomery {
-        assert!(n.is_odd() && !n.is_one(), "Montgomery requires an odd modulus > 1");
+        assert!(
+            n.is_odd() && !n.is_one(),
+            "Montgomery requires an odd modulus > 1"
+        );
         let k = n.limbs().len();
         let n_prime = neg_inv_u64(n.limbs()[0]);
         let r1 = &(BigUint::one() << (64 * k)) % n;
         let r2 = &(&r1 * &r1) % n;
-        Montgomery { n: n.clone(), k, n_prime, r2, r1 }
+        Montgomery {
+            n: n.clone(),
+            k,
+            n_prime,
+            r2,
+            r1,
+        }
     }
 
     /// The modulus.
@@ -57,7 +72,7 @@ impl Montgomery {
     /// computes `a * b * R^{-1} mod n` where `a`, `b` are `k`-limb
     /// Montgomery residues.
     #[allow(clippy::needless_range_loop)] // explicit limb indexing mirrors the CIOS paper
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k;
         let n = self.n.limbs();
         // t has k+2 limbs: accumulator for CIOS.
@@ -117,14 +132,14 @@ impl Montgomery {
     }
 
     /// Converts into the Montgomery domain (`x * R mod n`).
-    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, x: &BigUint) -> Vec<u64> {
         let x = x % &self.n;
         self.mont_mul(x.limbs(), self.r2.limbs())
     }
 
     /// Converts out of the Montgomery domain.
     #[allow(clippy::wrong_self_convention)] // reads as "from Montgomery form", not a constructor
-    fn from_mont(&self, x: &[u64]) -> BigUint {
+    pub(crate) fn from_mont(&self, x: &[u64]) -> BigUint {
         BigUint::from_limbs(self.mont_mul(x, &[1]))
     }
 
@@ -214,11 +229,43 @@ mod tests {
     }
 
     #[test]
+    fn neg_inv_exhaustive_odd_u8() {
+        // Every odd 8-bit value, embedded in u64 — small enough to
+        // enumerate completely, and the low byte is exactly where the
+        // 3-bit seed of the Hensel lift starts.
+        for low in (1u64..256).step_by(2) {
+            let x = neg_inv_u64(low);
+            assert_eq!(low.wrapping_mul(x), 1u64.wrapping_neg(), "n0 = {low:#x}");
+        }
+    }
+
+    #[test]
+    fn neg_inv_randomized_u64() {
+        // Deterministic xorshift64* stream, forced odd: exercises the
+        // full 64-bit range the 5-lift doubling argument covers.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..1000 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let n0 = state.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+            let x = neg_inv_u64(n0);
+            assert_eq!(n0.wrapping_mul(x), 1u64.wrapping_neg(), "n0 = {n0:#x}");
+        }
+    }
+
+    #[test]
     fn mont_mul_small() {
         let n = BigUint::from(101u64);
         let mont = Montgomery::new(&n);
-        assert_eq!(mont.mul(&BigUint::from(7u64), &BigUint::from(20u64)), BigUint::from(39u64));
-        assert_eq!(mont.mul(&BigUint::from(100u64), &BigUint::from(100u64)), BigUint::from(1u64));
+        assert_eq!(
+            mont.mul(&BigUint::from(7u64), &BigUint::from(20u64)),
+            BigUint::from(39u64)
+        );
+        assert_eq!(
+            mont.mul(&BigUint::from(100u64), &BigUint::from(100u64)),
+            BigUint::from(1u64)
+        );
     }
 
     #[test]
@@ -227,7 +274,11 @@ mod tests {
         let p = BigUint::from(1_000_000_007u64);
         let mont = Montgomery::new(&p);
         for a in [2u64, 3, 12345, 999_999_999] {
-            assert_eq!(mont.modpow(&BigUint::from(a), &(&p - 1u64)), BigUint::one(), "a = {a}");
+            assert_eq!(
+                mont.modpow(&BigUint::from(a), &(&p - 1u64)),
+                BigUint::one(),
+                "a = {a}"
+            );
         }
     }
 
@@ -246,9 +297,18 @@ mod tests {
     fn modpow_edges() {
         let m = BigUint::from(99991u64);
         let mont = Montgomery::new(&m);
-        assert_eq!(mont.modpow(&BigUint::from(5u64), &BigUint::zero()), BigUint::one());
-        assert_eq!(mont.modpow(&BigUint::zero(), &BigUint::from(5u64)), BigUint::zero());
-        assert_eq!(mont.modpow(&BigUint::from(5u64), &BigUint::one()), BigUint::from(5u64));
+        assert_eq!(
+            mont.modpow(&BigUint::from(5u64), &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(
+            mont.modpow(&BigUint::zero(), &BigUint::from(5u64)),
+            BigUint::zero()
+        );
+        assert_eq!(
+            mont.modpow(&BigUint::from(5u64), &BigUint::one()),
+            BigUint::from(5u64)
+        );
         // base >= modulus gets reduced first
         assert_eq!(
             mont.modpow(&(&m + 7u64), &BigUint::two()),

@@ -205,7 +205,12 @@ mod tests {
 
     #[test]
     fn mul_u128_reference() {
-        for (x, y) in [(3u128, 5u128), (u64::MAX as u128, u64::MAX as u128), (1 << 63, 1 << 63), (987654321, 123456789)] {
+        for (x, y) in [
+            (3u128, 5u128),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 63, 1 << 63),
+            (987654321, 123456789),
+        ] {
             let p = BigUint::from(x) * BigUint::from(y);
             assert_eq!(p.to_u128(), Some(x * y), "{x} * {y}");
         }
@@ -233,7 +238,11 @@ mod tests {
         for len in [KARATSUBA_THRESHOLD, KARATSUBA_THRESHOLD * 2 + 3, 100] {
             let a = BigUint::from_limbs((0..len).map(|_| next()).collect());
             let b = BigUint::from_limbs((0..len + 7).map(|_| next()).collect());
-            assert_eq!(mul_karatsuba_pub(&a, &b), mul_schoolbook_pub(&a, &b), "len {len}");
+            assert_eq!(
+                mul_karatsuba_pub(&a, &b),
+                mul_schoolbook_pub(&a, &b),
+                "len {len}"
+            );
         }
     }
 

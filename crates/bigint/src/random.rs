@@ -25,7 +25,10 @@ pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
 
 /// Random odd value with exactly `bits` bits (`bits >= 2`).
 pub fn random_odd_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
-    assert!(bits >= 2, "need at least 2 bits for an odd value with a set top bit");
+    assert!(
+        bits >= 2,
+        "need at least 2 bits for an odd value with a set top bit"
+    );
     let mut v = random_bits(rng, bits);
     v.set_bit(0, true);
     v
@@ -38,7 +41,11 @@ pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
     let bits = bound.bits();
     let nlimbs = bits.div_ceil(64);
     let top_bits = bits - (nlimbs - 1) * 64;
-    let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
     loop {
         let mut limbs = vec![0u64; nlimbs];
         for l in limbs.iter_mut() {
@@ -109,7 +116,10 @@ mod tests {
             let v = random_below(&mut rng, &bound).to_u64().unwrap() as usize;
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all of 0..3 should appear in 100 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..3 should appear in 100 draws"
+        );
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! `ModRing`: a constructed-once modular-arithmetic context that every
+//! exponentiation in the workspace goes through.
+//!
+//! Before this module each call-site rebuilt a [`Montgomery`] context
+//! (or fell back to plain square-and-multiply) on every `modpow`,
+//! re-deriving `n' = -n^{-1} mod 2^64` and `R^2 mod n` each time. A
+//! `ModRing` owns that state once per modulus and layers three
+//! accelerations on top:
+//!
+//! * **fixed-base windows** ([`ModRing::pow_fixed`]): k-ary tables
+//!   (`w = 4`) of `base^(d·16^j)` built lazily per *registered* base and
+//!   cached behind a `parking_lot::RwLock`, turning a full
+//!   square-and-multiply into ~`bits/4` multiplications with zero
+//!   squarings,
+//! * **simultaneous multi-exponentiation** ([`ModRing::multi_pow`]):
+//!   Shamir's trick with a subset-product table, covering the
+//!   `g^a · h^b` shape that dominates Pedersen commitments, CL
+//!   signatures and the representation/OR ZK proofs,
+//! * **RSA-CRT** ([`ModRing::pow_crt`] via [`RsaCrt`]): secret-key
+//!   exponentiations split over the prime factors with Garner
+//!   recombination, roughly 4× cheaper than a full-width `pow`.
+//!
+//! Odd moduli use the Montgomery backend; even moduli (not hit by the
+//! protocols, but supported so the ring is total) use Barrett.
+//!
+//! Clones of a `ModRing` *share* the fixed-base table cache, so cloning
+//! parameter sets across worker threads — as the threaded market in
+//! `ppms-core` does — amortizes precomputation instead of repeating it.
+
+use crate::{Barrett, BigUint, Montgomery};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Fixed window width for per-base tables: 4 bits, 15 stored odd-digit
+/// entries per window.
+const WINDOW_BITS: usize = 4;
+const WINDOW_SPAN: usize = 1 << WINDOW_BITS;
+
+/// Maximum number of bases `multi_pow` accepts (subset table is `2^n`).
+const MULTI_POW_MAX: usize = 6;
+
+#[derive(Clone, Debug)]
+enum Backend {
+    Mont(Montgomery),
+    Barrett(Barrett),
+}
+
+/// Per-base precomputation: `windows[j][d-1] = base^(d · 16^j)` for
+/// `d` in `1..16`, in backend-native residue form.
+enum FixedTable {
+    /// Montgomery-form limb vectors (width `k`).
+    Mont(Vec<Vec<Vec<u64>>>),
+    /// Plain residues for the Barrett backend.
+    Plain(Vec<Vec<BigUint>>),
+}
+
+impl FixedTable {
+    fn windows(&self) -> usize {
+        match self {
+            FixedTable::Mont(w) => w.len(),
+            FixedTable::Plain(w) => w.len(),
+        }
+    }
+}
+
+/// A reusable ring `Z/nZ` with cached exponentiation acceleration.
+pub struct ModRing {
+    modulus: BigUint,
+    backend: Backend,
+    /// `base (mod n)` → `None` (registered, table not yet built) or
+    /// `Some(table)`. Shared across clones so precomputation done by
+    /// one thread benefits all holders of the same parameter set.
+    tables: Arc<RwLock<HashMap<BigUint, Option<Arc<FixedTable>>>>>,
+}
+
+impl Clone for ModRing {
+    fn clone(&self) -> ModRing {
+        ModRing {
+            modulus: self.modulus.clone(),
+            backend: self.backend.clone(),
+            tables: Arc::clone(&self.tables),
+        }
+    }
+}
+
+impl std::fmt::Debug for ModRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModRing")
+            .field("modulus_bits", &self.modulus.bits())
+            .field(
+                "backend",
+                &match self.backend {
+                    Backend::Mont(_) => "montgomery",
+                    Backend::Barrett(_) => "barrett",
+                },
+            )
+            .field("registered_bases", &self.tables.read().len())
+            .finish()
+    }
+}
+
+impl PartialEq for ModRing {
+    fn eq(&self, other: &ModRing) -> bool {
+        self.modulus == other.modulus
+    }
+}
+
+impl Eq for ModRing {}
+
+impl ModRing {
+    /// Creates a ring for modulus `n > 1`. Odd moduli get the
+    /// Montgomery backend, even moduli fall back to Barrett.
+    pub fn new(n: &BigUint) -> ModRing {
+        assert!(!n.is_zero() && !n.is_one(), "ModRing modulus must exceed 1");
+        let backend = if n.is_odd() {
+            Backend::Mont(Montgomery::new(n))
+        } else {
+            Backend::Barrett(Barrett::new(n))
+        };
+        ModRing {
+            modulus: n.clone(),
+            backend,
+            tables: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// A process-wide shared ring for `n`, memoized so repeated
+    /// call-sites (every RSA verify/sign against the same key, every
+    /// protocol round against the same group) reuse one context. The
+    /// cache is bounded; evicting an entry only costs re-derivation.
+    pub fn shared(n: &BigUint) -> Arc<ModRing> {
+        static CACHE: OnceLock<RwLock<HashMap<BigUint, Arc<ModRing>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+        if let Some(ring) = cache.read().get(n) {
+            return Arc::clone(ring);
+        }
+        let ring = Arc::new(ModRing::new(n));
+        let mut w = cache.write();
+        // Re-check under the write lock; another thread may have won.
+        if let Some(existing) = w.get(n) {
+            return Arc::clone(existing);
+        }
+        if w.len() >= 128 {
+            // Simple bound: moduli are long-lived keys/groups, so the
+            // cache only grows when many ephemeral keys churn through
+            // (e.g. per-round one-time RSA keys). Dropping everything
+            // is correct — entries are pure caches.
+            w.clear();
+        }
+        w.insert(n.clone(), Arc::clone(&ring));
+        ring
+    }
+
+    /// The ring modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// `x mod n`.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        if x < &self.modulus {
+            return x.clone();
+        }
+        match &self.backend {
+            Backend::Mont(m) => x % m.modulus(),
+            // Barrett reduction needs `x < n²`; `bits(x) ≤ 2·bits(n)−2`
+            // guarantees it (`x < 2^(2k−2) ≤ (2^(k−1))² ≤ n²`). Wider
+            // inputs take the plain division — a cold path, reached
+            // only when registering or reducing foreign-sized values.
+            Backend::Barrett(b) => {
+                if x.bits() + 2 <= 2 * self.modulus.bits() {
+                    b.reduce(x)
+                } else {
+                    x % &self.modulus
+                }
+            }
+        }
+    }
+
+    /// `a · b mod n`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        match &self.backend {
+            Backend::Mont(m) => m.mul(a, b),
+            Backend::Barrett(b_) => b_.mul(a, b),
+        }
+    }
+
+    /// `base^exp mod n` through the cached backend context.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        match &self.backend {
+            Backend::Mont(m) => m.modpow(base, exp),
+            Backend::Barrett(b) => b.modpow(base, exp),
+        }
+    }
+
+    /// Marks `base` as a fixed base worth precomputing for. The k-ary
+    /// window table itself is built lazily on the first
+    /// [`ModRing::pow_fixed`] call, so registration is cheap and safe
+    /// to do for every long-lived generator.
+    pub fn register_base(&self, base: &BigUint) {
+        let key = self.reduce(base);
+        self.tables.write().entry(key).or_insert(None);
+    }
+
+    /// Whether `base` has been registered (test/diagnostic aid).
+    pub fn is_registered(&self, base: &BigUint) -> bool {
+        self.tables.read().contains_key(&self.reduce(base))
+    }
+
+    /// Eagerly builds window tables for every registered base (they
+    /// otherwise build lazily on first [`ModRing::pow_fixed`] use).
+    /// Call once before fanning work out to threads so workers share
+    /// prebuilt tables instead of each paying the first-use cost.
+    pub fn precompute(&self) {
+        let pending: Vec<BigUint> = self
+            .tables
+            .read()
+            .iter()
+            .filter(|(_, table)| table.is_none())
+            .map(|(base, _)| base.clone())
+            .collect();
+        for base in pending {
+            let built = Arc::new(self.build_table(&base));
+            let mut w = self.tables.write();
+            if let Some(slot) = w.get_mut(&base) {
+                if slot.is_none() {
+                    *slot = Some(built);
+                }
+            }
+        }
+    }
+
+    /// `base^exp mod n` using the fixed-base window table for `base`.
+    ///
+    /// Falls back to [`ModRing::pow`] when `base` was never registered
+    /// or `exp` is wider than the precomputed table (tables cover
+    /// exponents up to the modulus width, which bounds every group
+    /// exponent in the protocols).
+    pub fn pow_fixed(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let key = self.reduce(base);
+        let cached = {
+            let t = self.tables.read();
+            match t.get(&key) {
+                None => return self.pow(base, exp), // unregistered base
+                Some(Some(table)) => Some(Arc::clone(table)),
+                Some(None) => None, // registered, not yet built
+            }
+        };
+        let table = match cached {
+            Some(t) => t,
+            None => {
+                // Build outside any lock: construction is the expensive
+                // part and must not serialize other readers.
+                let built = Arc::new(self.build_table(&key));
+                let mut w = self.tables.write();
+                let slot = w.entry(key).or_insert(None);
+                match slot {
+                    Some(existing) => Arc::clone(existing), // raced: keep winner
+                    None => {
+                        *slot = Some(Arc::clone(&built));
+                        built
+                    }
+                }
+            }
+        };
+        if exp.bits() > table.windows() * WINDOW_BITS {
+            return self.pow(base, exp);
+        }
+        self.eval_fixed(&table, exp)
+    }
+
+    /// Builds the per-base window table sized for exponents up to the
+    /// modulus width.
+    fn build_table(&self, base: &BigUint) -> FixedTable {
+        let nwindows = self.modulus.bits().div_ceil(WINDOW_BITS).max(1);
+        match &self.backend {
+            Backend::Mont(m) => {
+                let mut cur = m.to_mont(base); // base^(16^j), advancing j
+                let mut windows = Vec::with_capacity(nwindows);
+                for _ in 0..nwindows {
+                    let mut row = Vec::with_capacity(WINDOW_SPAN - 1);
+                    row.push(cur.clone()); // d = 1
+                    for d in 2..WINDOW_SPAN {
+                        row.push(m.mont_mul(&row[d - 2], &cur));
+                    }
+                    cur = m.mont_mul(&row[WINDOW_SPAN - 2], &cur); // ^16
+                    windows.push(row);
+                }
+                FixedTable::Mont(windows)
+            }
+            Backend::Barrett(b) => {
+                let mut cur = b.reduce(base);
+                let mut windows = Vec::with_capacity(nwindows);
+                for _ in 0..nwindows {
+                    let mut row = Vec::with_capacity(WINDOW_SPAN - 1);
+                    row.push(cur.clone());
+                    for d in 2..WINDOW_SPAN {
+                        row.push(b.mul(&row[d - 2], &cur));
+                    }
+                    cur = b.mul(&row[WINDOW_SPAN - 2], &cur);
+                    windows.push(row);
+                }
+                FixedTable::Plain(windows)
+            }
+        }
+    }
+
+    /// Evaluates `base^exp` from a window table: one multiplication per
+    /// nonzero 4-bit digit of `exp`, no squarings.
+    fn eval_fixed(&self, table: &FixedTable, exp: &BigUint) -> BigUint {
+        let nwindows = exp.bits().div_ceil(WINDOW_BITS);
+        match (&self.backend, table) {
+            (Backend::Mont(m), FixedTable::Mont(windows)) => {
+                let mut acc = m.r1.limbs().to_vec();
+                acc.resize(m.k, 0);
+                for (j, row) in windows.iter().enumerate().take(nwindows) {
+                    let digit = exp_digit(exp, j);
+                    if digit != 0 {
+                        acc = m.mont_mul(&acc, &row[digit - 1]);
+                    }
+                }
+                m.from_mont(&acc)
+            }
+            (Backend::Barrett(b), FixedTable::Plain(windows)) => {
+                let mut acc = b.reduce(&BigUint::one());
+                for (j, row) in windows.iter().enumerate().take(nwindows) {
+                    let digit = exp_digit(exp, j);
+                    if digit != 0 {
+                        acc = b.mul(&acc, &row[digit - 1]);
+                    }
+                }
+                acc
+            }
+            _ => unreachable!("table built by a different backend"),
+        }
+    }
+
+    /// Simultaneous `∏ baseᵢ^expᵢ mod n` via Shamir's trick: a
+    /// `2^len`-entry subset-product table, then one shared
+    /// square-per-bit pass. For the dominant two-base shape this costs
+    /// one squaring chain instead of two.
+    ///
+    /// Panics if more than 6 pairs are supplied (table growth is
+    /// exponential; the protocols never exceed 3).
+    pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        assert!(
+            pairs.len() <= MULTI_POW_MAX,
+            "multi_pow supports at most {MULTI_POW_MAX} bases"
+        );
+        if pairs.is_empty() {
+            return self.reduce(&BigUint::one());
+        }
+        let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        match &self.backend {
+            Backend::Mont(m) => {
+                // subset[mask] = ∏_{i ∈ mask} baseᵢ, Montgomery form.
+                let mut one = m.r1.limbs().to_vec();
+                one.resize(m.k, 0);
+                let mut subset = vec![one.clone(); 1 << pairs.len()];
+                for (i, (b, _)) in pairs.iter().enumerate() {
+                    let bm = m.to_mont(b);
+                    let bit = 1usize << i;
+                    for mask in bit..(1 << pairs.len()) {
+                        if mask & bit != 0 {
+                            subset[mask] = m.mont_mul(&subset[mask & !bit], &bm);
+                        }
+                    }
+                }
+                let mut acc = one;
+                for bit in (0..max_bits).rev() {
+                    acc = m.mont_mul(&acc, &acc);
+                    let mut mask = 0usize;
+                    for (i, (_, e)) in pairs.iter().enumerate() {
+                        if e.bit(bit) {
+                            mask |= 1 << i;
+                        }
+                    }
+                    if mask != 0 {
+                        acc = m.mont_mul(&acc, &subset[mask]);
+                    }
+                }
+                m.from_mont(&acc)
+            }
+            Backend::Barrett(b) => {
+                let one = b.reduce(&BigUint::one());
+                let mut subset = vec![one.clone(); 1 << pairs.len()];
+                for (i, (base, _)) in pairs.iter().enumerate() {
+                    let br = b.reduce(base);
+                    let bit = 1usize << i;
+                    for mask in bit..(1 << pairs.len()) {
+                        if mask & bit != 0 {
+                            subset[mask] = b.mul(&subset[mask & !bit], &br);
+                        }
+                    }
+                }
+                let mut acc = one;
+                for bit in (0..max_bits).rev() {
+                    acc = b.mul(&acc, &acc);
+                    let mut mask = 0usize;
+                    for (i, (_, e)) in pairs.iter().enumerate() {
+                        if e.bit(bit) {
+                            mask |= 1 << i;
+                        }
+                    }
+                    if mask != 0 {
+                        acc = b.mul(&acc, &subset[mask]);
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Secret-exponent power through the CRT decomposition of an RSA
+    /// modulus: `base^d mod pq` computed as two half-width
+    /// exponentiations plus Garner recombination.
+    ///
+    /// Debug-asserts that `crt` matches this ring's modulus.
+    pub fn pow_crt(&self, base: &BigUint, crt: &RsaCrt) -> BigUint {
+        debug_assert_eq!(
+            &(crt.p() * crt.q()),
+            &self.modulus,
+            "RsaCrt does not factor this ring's modulus"
+        );
+        crt.pow_secret(base)
+    }
+}
+
+fn exp_digit(exp: &BigUint, window: usize) -> usize {
+    let mut digit = 0usize;
+    for b in (0..WINDOW_BITS).rev() {
+        digit <<= 1;
+        if exp.bit(window * WINDOW_BITS + b) {
+            digit |= 1;
+        }
+    }
+    digit
+}
+
+/// CRT decomposition of an RSA secret key: `p`, `q`, `d_p = d mod
+/// (p−1)`, `d_q = d mod (q−1)`, `q_inv = q^{-1} mod p`, plus cached
+/// half-width rings for the two prime moduli.
+///
+/// Equality ignores the cached rings (they are derived state).
+#[derive(Clone, Debug)]
+pub struct RsaCrt {
+    p: BigUint,
+    q: BigUint,
+    d_p: BigUint,
+    d_q: BigUint,
+    q_inv: BigUint,
+    ring_p: ModRing,
+    ring_q: ModRing,
+}
+
+impl PartialEq for RsaCrt {
+    fn eq(&self, other: &RsaCrt) -> bool {
+        self.p == other.p && self.q == other.q && self.d_p == other.d_p && self.d_q == other.d_q
+    }
+}
+
+impl Eq for RsaCrt {}
+
+impl RsaCrt {
+    /// Builds the CRT context from the prime factorization and the
+    /// secret exponent. Panics if `q` is not invertible mod `p`
+    /// (impossible for distinct primes).
+    pub fn new(p: &BigUint, q: &BigUint, d: &BigUint) -> RsaCrt {
+        let p1 = p - 1u64;
+        let q1 = q - 1u64;
+        let q_inv = q.modinv(p).expect("p, q must be distinct primes");
+        RsaCrt {
+            p: p.clone(),
+            q: q.clone(),
+            d_p: d % &p1,
+            d_q: d % &q1,
+            q_inv,
+            ring_p: ModRing::new(p),
+            ring_q: ModRing::new(q),
+        }
+    }
+
+    pub fn p(&self) -> &BigUint {
+        &self.p
+    }
+
+    pub fn q(&self) -> &BigUint {
+        &self.q
+    }
+
+    /// `base^d mod pq` using the cached `d_p`/`d_q`.
+    pub fn pow_secret(&self, base: &BigUint) -> BigUint {
+        self.pow_split(base, &self.d_p, &self.d_q)
+    }
+
+    /// `base^e mod pq` for an arbitrary exponent `e` (reduced per
+    /// prime first) — used by partially blind signatures where the
+    /// secret exponent depends on the common info string.
+    pub fn pow(&self, base: &BigUint, e: &BigUint) -> BigUint {
+        let e_p = e % &(&self.p - 1u64);
+        let e_q = e % &(&self.q - 1u64);
+        self.pow_split(base, &e_p, &e_q)
+    }
+
+    /// Garner recombination: `m = m₂ + q · (q_inv · (m₁ − m₂) mod p)`.
+    fn pow_split(&self, base: &BigUint, e_p: &BigUint, e_q: &BigUint) -> BigUint {
+        let m1 = self.ring_p.pow(&self.ring_p.reduce(base), e_p);
+        let m2 = self.ring_q.pow(&self.ring_q.reduce(base), e_q);
+        let h = self.ring_p.mul(&self.q_inv, &m1.modsub(&m2, &self.p));
+        &m2 + &(&self.q * &h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modpow_plain;
+
+    fn n_odd() -> BigUint {
+        BigUint::parse_hex("f123456789abcdef0123456789abcdef0123456789abcdef").unwrap()
+    }
+
+    #[test]
+    fn pow_matches_plain_both_backends() {
+        let base = BigUint::parse_hex("deadbeefcafebabe1122334455667788").unwrap();
+        let exp = BigUint::parse_hex("0102030405060708090a0b0c0d0e0f10").unwrap();
+        for n in [n_odd(), &n_odd() + 1u64] {
+            let ring = ModRing::new(&n);
+            assert_eq!(ring.pow(&base, &exp), modpow_plain(&base, &exp, &n));
+        }
+    }
+
+    #[test]
+    fn pow_fixed_matches_pow() {
+        let n = n_odd();
+        let ring = ModRing::new(&n);
+        let g = BigUint::from(7u64);
+        // Unregistered: silent fallback.
+        let e = BigUint::parse_hex("0123456789abcdef55aa55aa").unwrap();
+        assert_eq!(ring.pow_fixed(&g, &e), ring.pow(&g, &e));
+        // Registered: table path.
+        ring.register_base(&g);
+        assert!(ring.is_registered(&g));
+        for exp in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(16u64),
+            e.clone(),
+            &n - 1u64,
+        ] {
+            assert_eq!(
+                ring.pow_fixed(&g, &exp),
+                ring.pow(&g, &exp),
+                "exp = {}",
+                exp.to_dec()
+            );
+        }
+    }
+
+    #[test]
+    fn pow_fixed_even_modulus() {
+        let n = &n_odd() + 1u64;
+        assert!(n.is_even());
+        let ring = ModRing::new(&n);
+        let g = BigUint::from(3u64);
+        ring.register_base(&g);
+        let e = BigUint::parse_hex("fedcba9876543210").unwrap();
+        assert_eq!(ring.pow_fixed(&g, &e), modpow_plain(&g, &e, &n));
+    }
+
+    #[test]
+    fn pow_fixed_oversized_exponent_falls_back() {
+        let n = BigUint::from(1_000_003u64); // ~20-bit modulus
+        let ring = ModRing::new(&n);
+        let g = BigUint::from(5u64);
+        ring.register_base(&g);
+        let huge = BigUint::one() << 100; // wider than the table
+        assert_eq!(ring.pow_fixed(&g, &huge), modpow_plain(&g, &huge, &n));
+    }
+
+    #[test]
+    fn clones_share_tables() {
+        let ring = ModRing::new(&n_odd());
+        let clone = ring.clone();
+        clone.register_base(&BigUint::from(11u64));
+        assert!(ring.is_registered(&BigUint::from(11u64)));
+    }
+
+    #[test]
+    fn multi_pow_matches_products() {
+        let n = n_odd();
+        let ring = ModRing::new(&n);
+        let g = BigUint::from(2u64);
+        let h = BigUint::from(65537u64);
+        let k = BigUint::from(1234567u64);
+        let a = BigUint::parse_hex("a5a5a5a5a5a5a5a5").unwrap();
+        let b = BigUint::parse_hex("0f0f0f0f0f0f").unwrap();
+        let c = BigUint::from(3u64);
+        let expect = ring.mul(
+            &ring.mul(&ring.pow(&g, &a), &ring.pow(&h, &b)),
+            &ring.pow(&k, &c),
+        );
+        assert_eq!(ring.multi_pow(&[(&g, &a), (&h, &b), (&k, &c)]), expect);
+        // Degenerate shapes.
+        assert_eq!(ring.multi_pow(&[]), BigUint::one());
+        assert_eq!(ring.multi_pow(&[(&g, &BigUint::zero())]), BigUint::one());
+        assert_eq!(ring.multi_pow(&[(&g, &a)]), ring.pow(&g, &a));
+    }
+
+    #[test]
+    fn crt_matches_plain_exponent() {
+        // Small primes; d chosen coprime to nothing in particular —
+        // CRT only needs p, q prime and distinct.
+        let p = BigUint::from(1_000_003u64);
+        let q = BigUint::from(999_983u64);
+        let n = &p * &q;
+        let d = BigUint::from(0x1234_5677u64);
+        let crt = RsaCrt::new(&p, &q, &d);
+        let ring = ModRing::new(&n);
+        for base in [2u64, 17, 999_999_999, 123_456_789_012_345] {
+            let base = BigUint::from(base);
+            assert_eq!(ring.pow_crt(&base, &crt), ring.pow(&base, &d));
+            assert_eq!(crt.pow(&base, &d), ring.pow(&base, &d));
+        }
+    }
+
+    #[test]
+    fn shared_ring_is_memoized() {
+        let n = n_odd();
+        let a = ModRing::shared(&n);
+        let b = ModRing::shared(&n);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -110,9 +110,13 @@ pub fn run_denomination_attack(
         let deposits = deposit_stream(strategy, w, levels);
         let sums = achievable_sums(&deposits, levels);
 
-        let candidates: Vec<usize> =
-            (0..n_jobs).filter(|&j| sums.contains(&payments[j])).collect();
-        debug_assert!(candidates.contains(&target), "true job is always consistent");
+        let candidates: Vec<usize> = (0..n_jobs)
+            .filter(|&j| sums.contains(&payments[j]))
+            .collect();
+        debug_assert!(
+            candidates.contains(&target),
+            "true job is always consistent"
+        );
         candidate_total += candidates.len();
         if candidates.len() == 1 {
             unique += 1;
@@ -219,7 +223,11 @@ pub fn run_timing_attack(
 
     TimingReport {
         n_sps,
-        mean_delay: if delay_count == 0 { 0.0 } else { delay_sum as f64 / delay_count as f64 },
+        mean_delay: if delay_count == 0 {
+            0.0
+        } else {
+            delay_sum as f64 / delay_count as f64
+        },
         clustering_success_rate: success as f64 / trials as f64,
     }
 }
@@ -230,7 +238,12 @@ mod tests {
 
     #[test]
     fn deposit_streams_sum_to_w() {
-        for strategy in [CashBreak::None, CashBreak::Unitary, CashBreak::Pcba, CashBreak::Epcba] {
+        for strategy in [
+            CashBreak::None,
+            CashBreak::Unitary,
+            CashBreak::Pcba,
+            CashBreak::Epcba,
+        ] {
             for w in 1..=16 {
                 let s = deposit_stream(strategy, w, 4);
                 assert_eq!(s.iter().sum::<u64>(), w, "{strategy:?} w={w}");
@@ -264,7 +277,11 @@ mod tests {
         // With few jobs and a 2^8 payment space, collisions are rare,
         // so the unbroken scheme is almost always uniquely linked.
         let report = run_denomination_attack(1, CashBreak::None, 5, 8, 200);
-        assert!(report.unique_success_rate > 0.9, "got {}", report.unique_success_rate);
+        assert!(
+            report.unique_success_rate > 0.9,
+            "got {}",
+            report.unique_success_rate
+        );
     }
 
     #[test]
@@ -278,7 +295,11 @@ mod tests {
             "anonymity set too small: {}",
             report.mean_candidate_jobs
         );
-        assert!(report.unique_success_rate < 0.4, "got {}", report.unique_success_rate);
+        assert!(
+            report.unique_success_rate < 0.4,
+            "got {}",
+            report.unique_success_rate
+        );
     }
 
     #[test]
@@ -310,8 +331,10 @@ mod tests {
         let epcba = run_denomination_attack(3, CashBreak::Epcba, 8, 6, 300);
         let unitary = run_denomination_attack(3, CashBreak::Unitary, 8, 6, 300);
         assert!(none.unique_success_rate >= pcba.unique_success_rate);
-        assert!(pcba.unique_success_rate + 1e-9 >= epcba.unique_success_rate * 0.8,
-            "EPCBA should not be dramatically weaker than PCBA");
+        assert!(
+            pcba.unique_success_rate + 1e-9 >= epcba.unique_success_rate * 0.8,
+            "EPCBA should not be dramatically weaker than PCBA"
+        );
         assert!(unitary.mean_candidate_jobs >= epcba.mean_candidate_jobs);
         assert!(none.mean_candidate_jobs <= epcba.mean_candidate_jobs);
     }

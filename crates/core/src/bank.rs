@@ -43,13 +43,21 @@ impl Bank {
 
     /// Current balance.
     pub fn balance(&self, id: AccountId) -> Result<u64, MarketError> {
-        self.inner.read().balances.get(&id).copied().ok_or(MarketError::NoSuchAccount)
+        self.inner
+            .read()
+            .balances
+            .get(&id)
+            .copied()
+            .ok_or(MarketError::NoSuchAccount)
     }
 
     /// Debits an account (withdrawal).
     pub fn debit(&self, id: AccountId, amount: u64) -> Result<(), MarketError> {
         let mut inner = self.inner.write();
-        let bal = inner.balances.get_mut(&id).ok_or(MarketError::NoSuchAccount)?;
+        let bal = inner
+            .balances
+            .get_mut(&id)
+            .ok_or(MarketError::NoSuchAccount)?;
         if *bal < amount {
             return Err(MarketError::InsufficientFunds);
         }
@@ -60,7 +68,10 @@ impl Bank {
     /// Credits an account (deposit).
     pub fn credit(&self, id: AccountId, amount: u64) -> Result<(), MarketError> {
         let mut inner = self.inner.write();
-        let bal = inner.balances.get_mut(&id).ok_or(MarketError::NoSuchAccount)?;
+        let bal = inner
+            .balances
+            .get_mut(&id)
+            .ok_or(MarketError::NoSuchAccount)?;
         *bal += amount;
         Ok(())
     }
@@ -71,7 +82,10 @@ impl Bank {
         if !inner.balances.contains_key(&to) {
             return Err(MarketError::NoSuchAccount);
         }
-        let src = inner.balances.get_mut(&from).ok_or(MarketError::NoSuchAccount)?;
+        let src = inner
+            .balances
+            .get_mut(&from)
+            .ok_or(MarketError::NoSuchAccount)?;
         if *src < amount {
             return Err(MarketError::InsufficientFunds);
         }
@@ -90,10 +104,16 @@ impl Bank {
     /// a real market administrator checkpoints its ledger).
     pub fn snapshot(&self) -> BankSnapshot {
         let inner = self.inner.read();
-        let mut accounts: Vec<(u64, u64)> =
-            inner.balances.iter().map(|(id, bal)| (id.0, *bal)).collect();
+        let mut accounts: Vec<(u64, u64)> = inner
+            .balances
+            .iter()
+            .map(|(id, bal)| (id.0, *bal))
+            .collect();
         accounts.sort_unstable();
-        BankSnapshot { next_id: inner.next_id, accounts }
+        BankSnapshot {
+            next_id: inner.next_id,
+            accounts,
+        }
     }
 
     /// Restores a bank from a snapshot.
@@ -102,8 +122,11 @@ impl Bank {
         {
             let mut inner = bank.inner.write();
             inner.next_id = snapshot.next_id;
-            inner.balances =
-                snapshot.accounts.iter().map(|&(id, bal)| (AccountId(id), bal)).collect();
+            inner.balances = snapshot
+                .accounts
+                .iter()
+                .map(|&(id, bal)| (AccountId(id), bal))
+                .collect();
         }
         bank
     }
@@ -130,7 +153,10 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(bank.balance(a), Ok(100));
         assert_eq!(bank.balance(b), Ok(0));
-        assert_eq!(bank.balance(AccountId(999)), Err(MarketError::NoSuchAccount));
+        assert_eq!(
+            bank.balance(AccountId(999)),
+            Err(MarketError::NoSuchAccount)
+        );
     }
 
     #[test]
@@ -153,8 +179,14 @@ mod tests {
         assert_eq!(bank.balance(a), Ok(3));
         assert_eq!(bank.balance(b), Ok(17));
         assert_eq!(bank.total_supply(), 20);
-        assert_eq!(bank.transfer(a, b, 100), Err(MarketError::InsufficientFunds));
-        assert_eq!(bank.transfer(a, AccountId(42), 1), Err(MarketError::NoSuchAccount));
+        assert_eq!(
+            bank.transfer(a, b, 100),
+            Err(MarketError::InsufficientFunds)
+        );
+        assert_eq!(
+            bank.transfer(a, AccountId(42), 1),
+            Err(MarketError::NoSuchAccount)
+        );
     }
 
     #[test]

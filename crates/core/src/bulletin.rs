@@ -37,7 +37,12 @@ impl Bulletin {
     pub fn publish(&self, description: String, payment: u64, pseudonym: Vec<u8>) -> u64 {
         let mut jobs = self.jobs.write();
         let job_id = jobs.len() as u64;
-        jobs.push(JobProfile { job_id, description, payment, pseudonym });
+        jobs.push(JobProfile {
+            job_id,
+            description,
+            payment,
+            pseudonym,
+        });
         job_id
     }
 

@@ -40,6 +40,6 @@ pub use error::MarketError;
 pub use metrics::{Metrics, Op, Party};
 pub use mixnet::{MixCascade, MixNode};
 pub use ppmsdec::{DecMarket, DecRoundOutcome};
-pub use service::{MaClient, MaRequest, MaResponse, MaService};
 pub use ppmspbs::{PbsMarket, PbsRoundOutcome};
+pub use service::{MaClient, MaRequest, MaResponse, MaService};
 pub use transport::TrafficLog;

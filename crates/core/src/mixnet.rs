@@ -43,7 +43,9 @@ impl std::error::Error for MixError {}
 impl MixNode {
     /// Creates a node with a fresh key.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, rsa_bits: usize) -> MixNode {
-        MixNode { key: rsa::keygen(rng, rsa_bits) }
+        MixNode {
+            key: rsa::keygen(rng, rsa_bits),
+        }
     }
 
     /// The node's public key (senders need it to build onions).
@@ -78,7 +80,9 @@ impl MixCascade {
     /// Builds a cascade of `n` nodes.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, n: usize, rsa_bits: usize) -> MixCascade {
         assert!(n >= 1);
-        MixCascade { nodes: (0..n).map(|_| MixNode::new(rng, rsa_bits)).collect() }
+        MixCascade {
+            nodes: (0..n).map(|_| MixNode::new(rng, rsa_bits)).collect(),
+        }
     }
 
     /// Number of hops.
@@ -131,7 +135,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let cascade = MixCascade::new(&mut rng, 3, 512);
         let messages: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 20]).collect();
-        let onions: Vec<Vec<u8>> = messages.iter().map(|m| cascade.build_onion(&mut rng, m)).collect();
+        let onions: Vec<Vec<u8>> = messages
+            .iter()
+            .map(|m| cascade.build_onion(&mut rng, m))
+            .collect();
         let mut out = cascade.run_batch(&mut rng, &onions).unwrap();
         let mut expected = messages.clone();
         out.sort();
@@ -149,14 +156,19 @@ mod tests {
         let mut identity_count = 0;
         let trials = 20;
         for _ in 0..trials {
-            let onions: Vec<Vec<u8>> =
-                messages.iter().map(|m| cascade.build_onion(&mut rng, m)).collect();
+            let onions: Vec<Vec<u8>> = messages
+                .iter()
+                .map(|m| cascade.build_onion(&mut rng, m))
+                .collect();
             let out = cascade.run_batch(&mut rng, &onions).unwrap();
             if out == messages {
                 identity_count += 1;
             }
         }
-        assert!(identity_count <= 1, "shuffle must actually permute ({identity_count}/{trials} identity)");
+        assert!(
+            identity_count <= 1,
+            "shuffle must actually permute ({identity_count}/{trials} identity)"
+        );
     }
 
     #[test]
@@ -176,7 +188,10 @@ mod tests {
         let cascade = MixCascade::new(&mut rng, 2, 512);
         let mut onion = cascade.build_onion(&mut rng, b"x");
         onion[3] ^= 0xFF;
-        assert_eq!(cascade.run_batch(&mut rng, &[onion]), Err(MixError::BadOnion));
+        assert_eq!(
+            cascade.run_batch(&mut rng, &[onion]),
+            Err(MixError::BadOnion)
+        );
     }
 
     #[test]

@@ -168,15 +168,20 @@ impl DecMarket {
     /// draws a one-time key pair for the job.
     pub fn register_sp<R: Rng + ?Sized>(&mut self, rng: &mut R, rsa_bits: usize) -> DecParticipant {
         let account = self.bank.open_account(0);
-        DecParticipant { account, one_time: rsa::keygen(rng, rsa_bits) }
+        DecParticipant {
+            account,
+            one_time: rsa::keygen(rng, rsa_bits),
+        }
     }
 
     /// Phase 1 — job registration and bulletin publication.
     pub fn register_job(&mut self, jo: &DecJobOwner, description: &str, payment: u64) -> u64 {
         let pseudonym = jo.job_key.public.to_bytes();
         let size = description.len() + 8 + pseudonym.len();
-        self.traffic.record(Party::Jo, Party::Ma, "job-registration", size);
-        self.bulletin.publish(description.to_string(), payment, pseudonym)
+        self.traffic
+            .record(Party::Jo, Party::Ma, "job-registration", size);
+        self.bulletin
+            .publish(description.to_string(), payment, pseudonym)
     }
 
     /// Phase 2 — money withdrawal: CL-authenticated debit of `2^L`
@@ -193,7 +198,10 @@ impl DecMarket {
         let auth = jo.cl.sign_bytes(rng, &self.pairing, &nonce);
         self.metrics.count(Party::Jo, Op::Enc); // CL signature
 
-        let bound = self.cl_bindings.get(&jo.account).ok_or(MarketError::NoSuchAccount)?;
+        let bound = self
+            .cl_bindings
+            .get(&jo.account)
+            .ok_or(MarketError::NoSuchAccount)?;
         if !auth.verify_bytes(&self.pairing, bound, &nonce) {
             return Err(MarketError::BadAuthentication);
         }
@@ -216,7 +224,8 @@ impl DecMarket {
 
         let sig = self.dec_bank.sign_blinded(&blinded);
         self.metrics.count(Party::Ma, Op::Enc); // bank blind signature
-        self.traffic.record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
+        self.traffic
+            .record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
 
         if !coin.attach_signature(self.dec_bank.public_key(), &sig, &factor) {
             return Err(MarketError::BadCoin("bank signature did not verify"));
@@ -231,8 +240,10 @@ impl DecMarket {
     /// `SP → MA → JO`.
     pub fn labor_registration(&mut self, sp: &DecParticipant) -> Vec<u8> {
         let pk = sp.pseudonym();
-        self.traffic.record(Party::Sp, Party::Ma, "labor-registration", pk.len());
-        self.traffic.record(Party::Ma, Party::Jo, "labor-forward", pk.len());
+        self.traffic
+            .record(Party::Sp, Party::Ma, "labor-registration", pk.len());
+        self.traffic
+            .record(Party::Ma, Party::Jo, "labor-forward", pk.len());
         pk
     }
 
@@ -250,15 +261,29 @@ impl DecMarket {
         strategy: CashBreak,
     ) -> Result<(Vec<u8>, usize, usize), MarketError> {
         let params = self.params().clone();
-        let coin = jo.coin.as_ref().ok_or(MarketError::BadCoin("no coin withdrawn"))?;
+        let coin = jo
+            .coin
+            .as_ref()
+            .ok_or(MarketError::BadCoin("no coin withdrawn"))?;
         if jo.allocator.remaining() < w {
             return Err(MarketError::InsufficientFunds);
         }
 
         let plan = plan_break(strategy, w, params.levels)?;
         let bank_sig_bytes = self.dec_bank.public_key().size_bytes();
-        let items = build_payment_with(rng, &params, coin, &plan, b"", bank_sig_bytes, &mut jo.allocator)?;
-        let real = items.iter().filter(|i| matches!(i, PaymentItem::Real(_))).count();
+        let items = build_payment_with(
+            rng,
+            &params,
+            coin,
+            &plan,
+            b"",
+            bank_sig_bytes,
+            &mut jo.allocator,
+        )?;
+        let real = items
+            .iter()
+            .filter(|i| matches!(i, PaymentItem::Real(_)))
+            .count();
         let fake = items.len() - real;
         // Every real spend carries 1 Stadler + 1 linked-repr +
         // (depth−1) OR proofs.
@@ -283,19 +308,27 @@ impl DecMarket {
         let ciphertext = rsa::encrypt(rng, &sp_pk, &payload);
         self.metrics.count(Party::Jo, Op::Enc);
 
-        self.traffic.record(Party::Jo, Party::Ma, "payment-submission", ciphertext.len() + sp_pubkey_bytes.len());
+        self.traffic.record(
+            Party::Jo,
+            Party::Ma,
+            "payment-submission",
+            ciphertext.len() + sp_pubkey_bytes.len(),
+        );
         Ok((ciphertext, real, fake))
     }
 
     /// Phase 6 — data submission (SP → MA) and delivery (MA → JO).
     pub fn submit_data(&mut self, data: &[u8]) {
-        self.traffic.record(Party::Sp, Party::Ma, "data-report", data.len());
-        self.traffic.record(Party::Ma, Party::Jo, "data-delivery", data.len());
+        self.traffic
+            .record(Party::Sp, Party::Ma, "data-report", data.len());
+        self.traffic
+            .record(Party::Ma, Party::Jo, "data-delivery", data.len());
     }
 
     /// Phase 7 — payment delivery: MA forwards the ciphertext.
     pub fn deliver_payment(&mut self, ciphertext: &[u8]) {
-        self.traffic.record(Party::Ma, Party::Sp, "payment-delivery", ciphertext.len());
+        self.traffic
+            .record(Party::Ma, Party::Sp, "payment-delivery", ciphertext.len());
     }
 
     /// Phase 8 — the SP opens the payment, verifies designation and
@@ -309,8 +342,8 @@ impl DecMarket {
         ciphertext: &[u8],
     ) -> Result<(u64, Vec<u64>), MarketError> {
         // Decrypt (eq. (10)).
-        let payload =
-            rsa::decrypt(&sp.one_time, ciphertext).map_err(|_| MarketError::BadPayload("decrypt"))?;
+        let payload = rsa::decrypt(&sp.one_time, ciphertext)
+            .map_err(|_| MarketError::BadPayload("decrypt"))?;
         self.metrics.count(Party::Sp, Op::Dec);
 
         // Split bundle / signature (eq. (10)).
@@ -331,7 +364,8 @@ impl DecMarket {
         for item in &items {
             if let PaymentItem::Real(spend) = item {
                 if spend.verify(&params, &bank_pk, b"").is_ok() {
-                    self.metrics.add(Party::Sp, Op::Zkp, (spend.depth() + 1) as u64);
+                    self.metrics
+                        .add(Party::Sp, Op::Zkp, (spend.depth() + 1) as u64);
                     valid.push(spend.clone());
                 }
                 self.metrics.count(Party::Sp, Op::Dec);
@@ -347,7 +381,8 @@ impl DecMarket {
             let size = spend.to_bytes().len() + 8; // AID_sp + spend
             self.traffic.record(Party::Sp, Party::Ma, "deposit", size);
             let value = self.dec_bank.deposit(spend, b"")?;
-            self.metrics.add(Party::Ma, Op::Zkp, (spend.depth() + 1) as u64);
+            self.metrics
+                .add(Party::Ma, Op::Zkp, (spend.depth() + 1) as u64);
             self.metrics.count(Party::Ma, Op::Dec);
             self.bank.credit(sp.account, value)?;
             credited += value;
@@ -375,7 +410,8 @@ impl DecMarket {
         let mut total = 0;
         for path in &nodes {
             let spend = coin.spend(rng, &params, path, b"");
-            self.metrics.add(Party::Jo, Op::Zkp, (spend.depth() + 1) as u64);
+            self.metrics
+                .add(Party::Jo, Op::Zkp, (spend.depth() + 1) as u64);
             let value = self.dec_bank.deposit(&spend, b"")?;
             self.bank.credit(jo.account, value)?;
             total += value;
@@ -407,12 +443,20 @@ impl DecMarket {
         self.deliver_payment(&ciphertext);
         let (credited, deposit_stream) =
             self.deposit_payment(sp, &jo.job_key.public, &ciphertext)?;
-        Ok(DecRoundOutcome { job_id, credited, real_coins: real, fake_coins: fake, deposit_stream })
+        Ok(DecRoundOutcome {
+            job_id,
+            credited,
+            real_coins: real,
+            fake_coins: fake,
+            deposit_stream,
+        })
     }
 }
 
 /// Splits `encode_payment(items) || len(sig) || sig` back apart.
-fn split_bundle_and_sig(payload: &[u8]) -> Result<(Vec<PaymentItem>, ppms_bigint::BigUint), MarketError> {
+fn split_bundle_and_sig(
+    payload: &[u8],
+) -> Result<(Vec<PaymentItem>, ppms_bigint::BigUint), MarketError> {
     // The bundle is self-delimiting; try progressively shorter
     // prefixes is wasteful, so parse structurally: decode_payment on
     // the full buffer fails (trailing sig), so walk the frame manually.
@@ -426,7 +470,8 @@ fn split_bundle_and_sig(payload: &[u8]) -> Result<(Vec<PaymentItem>, ppms_bigint
         if payload.len() < off + 5 {
             return Err(MarketError::BadPayload("framing"));
         }
-        let len = u32::from_be_bytes(payload[off + 1..off + 5].try_into().expect("4 bytes")) as usize;
+        let len =
+            u32::from_be_bytes(payload[off + 1..off + 5].try_into().expect("4 bytes")) as usize;
         off += 5 + len;
     }
     if payload.len() < off + 4 {

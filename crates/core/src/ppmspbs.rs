@@ -30,10 +30,10 @@ use crate::bulletin::Bulletin;
 use crate::error::MarketError;
 use crate::metrics::{Metrics, Op, Party};
 use crate::transport::TrafficLog;
+use parking_lot::Mutex;
 use ppms_bigint::BigUint;
 use ppms_crypto::rsa::{self, RsaPrivateKey, RsaPublicKey};
 use rand::Rng;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 
 /// Serial number length in bytes.
@@ -115,8 +115,13 @@ impl PbsMarket {
     ) -> PbsJobOwner {
         let account = self.bank.open_account(initial_funds);
         let account_key = rsa::keygen(rng, rsa_bits);
-        self.account_keys.insert(account_key.public.to_bytes(), account);
-        PbsJobOwner { account, account_key, job_key: rsa::keygen(rng, rsa_bits) }
+        self.account_keys
+            .insert(account_key.public.to_bytes(), account);
+        PbsJobOwner {
+            account,
+            account_key,
+            job_key: rsa::keygen(rng, rsa_bits),
+        }
     }
 
     /// Registers an SP: opens an account, binds its account key, and
@@ -124,16 +129,27 @@ impl PbsMarket {
     pub fn register_sp<R: Rng + ?Sized>(&mut self, rng: &mut R, rsa_bits: usize) -> PbsParticipant {
         let account = self.bank.open_account(0);
         let account_key = rsa::keygen(rng, rsa_bits);
-        self.account_keys.insert(account_key.public.to_bytes(), account);
+        self.account_keys
+            .insert(account_key.public.to_bytes(), account);
         let mut serial = vec![0u8; SERIAL_LEN];
         rng.fill_bytes(&mut serial);
-        PbsParticipant { account, account_key, one_time: rsa::keygen(rng, rsa_bits), serial }
+        PbsParticipant {
+            account,
+            account_key,
+            one_time: rsa::keygen(rng, rsa_bits),
+            serial,
+        }
     }
 
     /// Phase 1 — job registration (eqs. (12)–(13)).
     pub fn register_job(&self, jo: &PbsJobOwner, description: &str) -> u64 {
         let pseudonym = jo.job_key.public.to_bytes();
-        self.traffic.record(Party::Jo, Party::Ma, "job-registration", description.len() + pseudonym.len());
+        self.traffic.record(
+            Party::Jo,
+            Party::Ma,
+            "job-registration",
+            description.len() + pseudonym.len(),
+        );
         self.bulletin.publish(description.to_string(), 1, pseudonym)
     }
 
@@ -150,11 +166,14 @@ impl PbsMarket {
         msg.extend_from_slice(&sp.serial);
         let c = rsa::encrypt(rng, &jo.job_key.public, &msg);
         self.metrics.count(Party::Sp, Op::Enc);
-        self.traffic.record(Party::Sp, Party::Ma, "labor-registration", c.len());
-        self.traffic.record(Party::Ma, Party::Jo, "labor-forward", c.len());
+        self.traffic
+            .record(Party::Sp, Party::Ma, "labor-registration", c.len());
+        self.traffic
+            .record(Party::Ma, Party::Jo, "labor-forward", c.len());
 
         // JO decrypts, signs (rpk_sp, s), replies under rpk_sp.
-        let opened = rsa::decrypt(&jo.job_key, &c).map_err(|_| MarketError::BadPayload("labor reg"))?;
+        let opened =
+            rsa::decrypt(&jo.job_key, &c).map_err(|_| MarketError::BadPayload("labor reg"))?;
         self.metrics.count(Party::Jo, Op::Dec);
         if opened != msg {
             return Err(MarketError::BadPayload("labor reg roundtrip"));
@@ -169,11 +188,18 @@ impl PbsMarket {
         reply.extend_from_slice(&sig_bytes);
         let c2 = rsa::encrypt(rng, &sp.one_time.public, &reply);
         self.metrics.count(Party::Jo, Op::Enc);
-        self.traffic.record(Party::Jo, Party::Ma, "designation", c2.len() + sp.one_time.public.to_bytes().len());
-        self.traffic.record(Party::Ma, Party::Sp, "designation-forward", c2.len());
+        self.traffic.record(
+            Party::Jo,
+            Party::Ma,
+            "designation",
+            c2.len() + sp.one_time.public.to_bytes().len(),
+        );
+        self.traffic
+            .record(Party::Ma, Party::Sp, "designation-forward", c2.len());
 
         // SP decrypts and verifies the signature under rpk_JO.
-        let opened2 = rsa::decrypt(&sp.one_time, &c2).map_err(|_| MarketError::BadPayload("designation"))?;
+        let opened2 =
+            rsa::decrypt(&sp.one_time, &c2).map_err(|_| MarketError::BadPayload("designation"))?;
         self.metrics.count(Party::Sp, Op::Dec);
         let jo_account_pk_bytes = jo.account_key.public.to_bytes();
         if opened2.len() < jo_account_pk_bytes.len() + 4 {
@@ -211,20 +237,34 @@ impl PbsMarket {
         self.metrics.count(Party::Sp, Op::Enc);
         self.metrics.count(Party::Sp, Op::Hash);
         let alpha_len = alpha.bits().div_ceil(8);
-        self.traffic.record(Party::Sp, Party::Ma, "pbs-request", alpha_len + sp.serial.len());
-        self.traffic.record(Party::Ma, Party::Jo, "pbs-forward", alpha_len + sp.serial.len());
+        self.traffic.record(
+            Party::Sp,
+            Party::Ma,
+            "pbs-request",
+            alpha_len + sp.serial.len(),
+        );
+        self.traffic.record(
+            Party::Ma,
+            Party::Jo,
+            "pbs-forward",
+            alpha_len + sp.serial.len(),
+        );
 
         // JO signs blind (sees the serial, not the message).
         let beta = rsa::pbs_sign(&jo.account_key, &sp.serial, &alpha)
             .map_err(|_| MarketError::BadCoin("info exponent"))?;
         self.metrics.count(Party::Jo, Op::Enc);
         let beta_len = beta.bits().div_ceil(8);
-        self.traffic.record(Party::Jo, Party::Ma, "pbs-response", beta_len);
+        self.traffic
+            .record(Party::Jo, Party::Ma, "pbs-response", beta_len);
 
         // Data report flows before payment delivery (paper eq. (23)).
-        self.traffic.record(Party::Sp, Party::Ma, "data-report", data.len());
-        self.traffic.record(Party::Ma, Party::Sp, "payment-delivery", beta_len);
-        self.traffic.record(Party::Ma, Party::Jo, "data-delivery", data.len());
+        self.traffic
+            .record(Party::Sp, Party::Ma, "data-report", data.len());
+        self.traffic
+            .record(Party::Ma, Party::Sp, "payment-delivery", beta_len);
+        self.traffic
+            .record(Party::Ma, Party::Jo, "data-delivery", data.len());
 
         // SP unblinds and verifies (eqs. (24)–(25)).
         let sig = rsa::pbs_unblind(&jo.account_key.public, &beta, &blinding);
@@ -235,9 +275,18 @@ impl PbsMarket {
         self.metrics.count(Party::Sp, Op::Hash);
 
         // Deposit: (sig, rpk_SP, rpk_JO, s) → MA (eq. (26)).
-        let deposit_len = sig.bits().div_ceil(8) + msg.len() + jo.account_key.public.to_bytes().len() + sp.serial.len();
-        self.traffic.record(Party::Sp, Party::Ma, "deposit", deposit_len);
-        self.deposit(&jo.account_key.public, &sp.account_key.public, &sp.serial, &sig)
+        let deposit_len = sig.bits().div_ceil(8)
+            + msg.len()
+            + jo.account_key.public.to_bytes().len()
+            + sp.serial.len();
+        self.traffic
+            .record(Party::Sp, Party::Ma, "deposit", deposit_len);
+        self.deposit(
+            &jo.account_key.public,
+            &sp.account_key.public,
+            &sp.serial,
+            &sig,
+        )
     }
 
     /// Bank-side deposit verification (signature + serial freshness)

@@ -185,7 +185,10 @@ impl MaClient {
     pub fn call(&self, request: MaRequest) -> MaResponse {
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
-            .send(Envelope { request, reply: reply_tx })
+            .send(Envelope {
+                request,
+                reply: reply_tx,
+            })
             .expect("MA service alive");
         reply_rx.recv().expect("MA service replies")
     }
@@ -215,11 +218,25 @@ impl MaState {
                 MaResponse::Account(account)
             }
             RegisterSpAccount => MaResponse::Account(self.bank.open_account(0)),
-            PublishJob { description, payment, pseudonym } => {
-                self.traffic.record(Party::Jo, Party::Ma, "job-registration", description.len() + 8 + pseudonym.len());
+            PublishJob {
+                description,
+                payment,
+                pseudonym,
+            } => {
+                self.traffic.record(
+                    Party::Jo,
+                    Party::Ma,
+                    "job-registration",
+                    description.len() + 8 + pseudonym.len(),
+                );
                 MaResponse::JobId(self.bulletin.publish(description, payment, pseudonym))
             }
-            Withdraw { account, nonce, auth, blinded } => {
+            Withdraw {
+                account,
+                nonce,
+                auth,
+                blinded,
+            } => {
                 let Some(bound) = self.cl_bindings.get(&account) else {
                     return Some(MaResponse::Err(MarketError::NoSuchAccount));
                 };
@@ -233,36 +250,60 @@ impl MaState {
                     return Some(MaResponse::Err(MarketError::BadAuthentication));
                 }
                 *last = nonce;
-                if let Err(e) = self.bank.debit(account, self.dec_bank.params().face_value()) {
+                if let Err(e) = self
+                    .bank
+                    .debit(account, self.dec_bank.params().face_value())
+                {
                     return Some(MaResponse::Err(e));
                 }
-                self.traffic.record(Party::Jo, Party::Ma, "withdrawal-request", blinded.bits().div_ceil(8));
+                self.traffic.record(
+                    Party::Jo,
+                    Party::Ma,
+                    "withdrawal-request",
+                    blinded.bits().div_ceil(8),
+                );
                 let sig = self.dec_bank.sign_blinded(&blinded);
-                self.traffic.record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
+                self.traffic
+                    .record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
                 MaResponse::BlindSignature(sig)
             }
             LaborRegister { job_id, sp_pubkey } => {
                 if self.bulletin.get(job_id).is_none() {
                     return Some(MaResponse::Err(MarketError::NoSuchJob));
                 }
-                self.traffic.record(Party::Sp, Party::Ma, "labor-registration", sp_pubkey.len());
+                self.traffic
+                    .record(Party::Sp, Party::Ma, "labor-registration", sp_pubkey.len());
                 self.labor.entry(job_id).or_default().push(sp_pubkey);
                 MaResponse::Ok
             }
             FetchLabor { job_id } => {
                 let sps = self.labor.get(&job_id).cloned().unwrap_or_default();
                 for pk in &sps {
-                    self.traffic.record(Party::Ma, Party::Jo, "labor-forward", pk.len());
+                    self.traffic
+                        .record(Party::Ma, Party::Jo, "labor-forward", pk.len());
                 }
                 MaResponse::Labor(sps)
             }
-            SubmitPayment { sp_pubkey, ciphertext } => {
-                self.traffic.record(Party::Jo, Party::Ma, "payment-submission", ciphertext.len() + sp_pubkey.len());
+            SubmitPayment {
+                sp_pubkey,
+                ciphertext,
+            } => {
+                self.traffic.record(
+                    Party::Jo,
+                    Party::Ma,
+                    "payment-submission",
+                    ciphertext.len() + sp_pubkey.len(),
+                );
                 self.pending_payments.insert(sp_pubkey, ciphertext);
                 MaResponse::Ok
             }
-            SubmitData { job_id, sp_pubkey, data } => {
-                self.traffic.record(Party::Sp, Party::Ma, "data-report", data.len());
+            SubmitData {
+                job_id,
+                sp_pubkey,
+                data,
+            } => {
+                self.traffic
+                    .record(Party::Sp, Party::Ma, "data-report", data.len());
                 self.data_reports.entry(job_id).or_default().push(data);
                 self.data_received.insert(sp_pubkey, true);
                 MaResponse::Ok
@@ -274,19 +315,22 @@ impl MaState {
                 }
                 let ct = self.pending_payments.remove(&sp_pubkey);
                 if let Some(ct) = &ct {
-                    self.traffic.record(Party::Ma, Party::Sp, "payment-delivery", ct.len());
+                    self.traffic
+                        .record(Party::Ma, Party::Sp, "payment-delivery", ct.len());
                 }
                 MaResponse::Payment(ct)
             }
             FetchData { job_id } => {
                 let reports = self.data_reports.remove(&job_id).unwrap_or_default();
                 for d in &reports {
-                    self.traffic.record(Party::Ma, Party::Jo, "data-delivery", d.len());
+                    self.traffic
+                        .record(Party::Ma, Party::Jo, "data-delivery", d.len());
                 }
                 MaResponse::Data(reports)
             }
             Deposit { account, spend } => {
-                self.traffic.record(Party::Sp, Party::Ma, "deposit", spend.to_bytes().len() + 8);
+                self.traffic
+                    .record(Party::Sp, Party::Ma, "deposit", spend.to_bytes().len() + 8);
                 match self.dec_bank.deposit(&spend, b"") {
                     Ok(value) => match self.bank.credit(account, value) {
                         Ok(()) => MaResponse::Deposited(value),
@@ -297,7 +341,8 @@ impl MaState {
             }
             DepositBatch { account, spends } => {
                 for s in &spends {
-                    self.traffic.record(Party::Sp, Party::Ma, "deposit", s.to_bytes().len() + 8);
+                    self.traffic
+                        .record(Party::Sp, Party::Ma, "deposit", s.to_bytes().len() + 8);
                 }
                 let results = self.dec_bank.deposit_batch(&spends, b"");
                 let mut total = 0u64;
@@ -311,7 +356,11 @@ impl MaState {
                         return Some(MaResponse::Err(e));
                     }
                 }
-                MaResponse::BatchDeposited { total, accepted, rejected: results.len() - accepted }
+                MaResponse::BatchDeposited {
+                    total,
+                    accepted,
+                    rejected: results.len() - accepted,
+                }
             }
             Balance { account } => match self.bank.balance(account) {
                 Ok(v) => MaResponse::Balance(v),
@@ -330,6 +379,10 @@ impl MaService {
         rsa_bits: usize,
         pairing_bits: usize,
     ) -> MaService {
+        // Build the fixed-base window tables once, up front: the
+        // service thread and every client clone of `params` share the
+        // per-ring caches, so nobody pays the lazy first-use build.
+        params.precompute();
         let dec_bank = DecBank::new(rng, params.clone(), rsa_bits);
         let bank_pk = dec_bank.public_key().clone();
         let pairing = TypeAPairing::generate(rng, pairing_bits);
@@ -365,12 +418,22 @@ impl MaService {
             }
         });
 
-        MaService { tx, handle: Some(handle), bulletin, traffic, params, bank_pk, pairing }
+        MaService {
+            tx,
+            handle: Some(handle),
+            bulletin,
+            traffic,
+            params,
+            bank_pk,
+            pairing,
+        }
     }
 
     /// A client connection for a new party thread.
     pub fn client(&self) -> MaClient {
-        MaClient { tx: self.tx.clone() }
+        MaClient {
+            tx: self.tx.clone(),
+        }
     }
 
     /// Stops the service and joins the thread.
@@ -387,7 +450,10 @@ impl Drop for MaService {
     fn drop(&mut self) {
         if let Some(h) = self.handle.take() {
             let (reply_tx, _reply_rx) = channel::bounded(1);
-            let _ = self.tx.send(Envelope { request: MaRequest::Shutdown, reply: reply_tx });
+            let _ = self.tx.send(Envelope {
+                request: MaRequest::Shutdown,
+                reply: reply_tx,
+            });
             let _ = h.join();
         }
     }
@@ -412,7 +478,10 @@ mod tests {
         let (svc, mut rng) = service(1);
         let client = svc.client();
         let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
-        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
             panic!("account");
         };
         let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: jo }) else {
@@ -428,7 +497,10 @@ mod tests {
         let client = svc.client();
         let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
         let other = ClKeyPair::generate(&mut rng, &svc.pairing);
-        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
             panic!()
         };
         // Wrong key: rejected.
@@ -439,12 +511,22 @@ mod tests {
             auth: bad_auth,
             blinded: BigUint::from(12345u64),
         });
-        assert!(matches!(resp, MaResponse::Err(MarketError::BadAuthentication)));
+        assert!(matches!(
+            resp,
+            MaResponse::Err(MarketError::BadAuthentication)
+        ));
         // Right key: accepted, balance debited by 2^L = 4.
         let auth = cl.sign_bytes(&mut rng, &svc.pairing, &2u64.to_be_bytes());
-        let resp = client.call(MaRequest::Withdraw { account: jo, nonce: 2, auth, blinded: BigUint::from(12345u64) });
+        let resp = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 2,
+            auth,
+            blinded: BigUint::from(12345u64),
+        });
         assert!(matches!(resp, MaResponse::BlindSignature(_)), "{resp:?}");
-        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: jo }) else { panic!() };
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: jo }) else {
+            panic!()
+        };
         assert_eq!(b, 46);
         svc.shutdown();
     }
@@ -454,14 +536,30 @@ mod tests {
         let (svc, mut rng) = service(3);
         let client = svc.client();
         let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
-        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
             panic!()
         };
         let auth = cl.sign_bytes(&mut rng, &svc.pairing, &5u64.to_be_bytes());
-        let ok = client.call(MaRequest::Withdraw { account: jo, nonce: 5, auth: auth.clone(), blinded: BigUint::one() });
+        let ok = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 5,
+            auth: auth.clone(),
+            blinded: BigUint::one(),
+        });
         assert!(matches!(ok, MaResponse::BlindSignature(_)));
-        let replay = client.call(MaRequest::Withdraw { account: jo, nonce: 5, auth, blinded: BigUint::one() });
-        assert!(matches!(replay, MaResponse::Err(MarketError::BadAuthentication)));
+        let replay = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 5,
+            auth,
+            blinded: BigUint::one(),
+        });
+        assert!(matches!(
+            replay,
+            MaResponse::Err(MarketError::BadAuthentication)
+        ));
         svc.shutdown();
     }
 
@@ -470,13 +568,24 @@ mod tests {
         let (svc, _rng) = service(4);
         let client = svc.client();
         let sp_key = vec![9u8; 16];
-        client.call(MaRequest::SubmitPayment { sp_pubkey: sp_key.clone(), ciphertext: vec![1, 2, 3] });
+        client.call(MaRequest::SubmitPayment {
+            sp_pubkey: sp_key.clone(),
+            ciphertext: vec![1, 2, 3],
+        });
         // Before data: nothing delivered.
-        let MaResponse::Payment(None) = client.call(MaRequest::FetchPayment { sp_pubkey: sp_key.clone() }) else {
+        let MaResponse::Payment(None) = client.call(MaRequest::FetchPayment {
+            sp_pubkey: sp_key.clone(),
+        }) else {
             panic!("payment must be held");
         };
-        client.call(MaRequest::SubmitData { job_id: 0, sp_pubkey: sp_key.clone(), data: vec![7] });
-        let MaResponse::Payment(Some(ct)) = client.call(MaRequest::FetchPayment { sp_pubkey: sp_key }) else {
+        client.call(MaRequest::SubmitData {
+            job_id: 0,
+            sp_pubkey: sp_key.clone(),
+            data: vec![7],
+        });
+        let MaResponse::Payment(Some(ct)) =
+            client.call(MaRequest::FetchPayment { sp_pubkey: sp_key })
+        else {
             panic!("payment must be released after data");
         };
         assert_eq!(ct, vec![1, 2, 3]);
@@ -487,36 +596,69 @@ mod tests {
     fn batch_deposit_credits_valid_subset() {
         let (svc, mut rng) = service(6);
         let client = svc.client();
-        let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else { panic!() };
+        let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+            panic!()
+        };
 
         // Craft spends directly against a parallel DecBank sharing the
         // service's parameters is impossible (keys differ), so go
         // through the service's own withdrawal path.
         let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
-        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount { funds: 50, clpk: cl.public.clone() }) else {
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
             panic!()
         };
         let mut coin = ppms_ecash::Coin::mint(&mut rng, &svc.params);
         let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
         let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
-        let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw { account: jo, nonce: 1, auth, blinded }) else {
+        let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 1,
+            auth,
+            blinded,
+        }) else {
             panic!()
         };
         assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
 
         // Batch: two disjoint leaves + one duplicate.
-        let s1 = coin.spend(&mut rng, &svc.params, &ppms_ecash::NodePath::from_index(2, 0), b"");
-        let s2 = coin.spend(&mut rng, &svc.params, &ppms_ecash::NodePath::from_index(2, 1), b"");
-        let dup = coin.spend(&mut rng, &svc.params, &ppms_ecash::NodePath::from_index(2, 0), b"");
-        let MaResponse::BatchDeposited { total, accepted, rejected } =
-            client.call(MaRequest::DepositBatch { account: sp, spends: vec![s1, s2, dup] })
+        let s1 = coin.spend(
+            &mut rng,
+            &svc.params,
+            &ppms_ecash::NodePath::from_index(2, 0),
+            b"",
+        );
+        let s2 = coin.spend(
+            &mut rng,
+            &svc.params,
+            &ppms_ecash::NodePath::from_index(2, 1),
+            b"",
+        );
+        let dup = coin.spend(
+            &mut rng,
+            &svc.params,
+            &ppms_ecash::NodePath::from_index(2, 0),
+            b"",
+        );
+        let MaResponse::BatchDeposited {
+            total,
+            accepted,
+            rejected,
+        } = client.call(MaRequest::DepositBatch {
+            account: sp,
+            spends: vec![s1, s2, dup],
+        })
         else {
             panic!("batch response");
         };
         assert_eq!(total, 2, "two unit leaves at L = 2");
         assert_eq!(accepted, 2);
         assert_eq!(rejected, 1);
-        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else { panic!() };
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else {
+            panic!()
+        };
         assert_eq!(b, 2);
         svc.shutdown();
     }
@@ -525,7 +667,10 @@ mod tests {
     fn labor_registration_requires_job() {
         let (svc, _rng) = service(5);
         let client = svc.client();
-        let resp = client.call(MaRequest::LaborRegister { job_id: 99, sp_pubkey: vec![1] });
+        let resp = client.call(MaRequest::LaborRegister {
+            job_id: 99,
+            sp_pubkey: vec![1],
+        });
         assert!(matches!(resp, MaResponse::Err(MarketError::NoSuchJob)));
         let MaResponse::JobId(id) = client.call(MaRequest::PublishJob {
             description: "d".into(),
@@ -534,8 +679,16 @@ mod tests {
         }) else {
             panic!()
         };
-        assert!(matches!(client.call(MaRequest::LaborRegister { job_id: id, sp_pubkey: vec![1] }), MaResponse::Ok));
-        let MaResponse::Labor(sps) = client.call(MaRequest::FetchLabor { job_id: id }) else { panic!() };
+        assert!(matches!(
+            client.call(MaRequest::LaborRegister {
+                job_id: id,
+                sp_pubkey: vec![1]
+            }),
+            MaResponse::Ok
+        ));
+        let MaResponse::Labor(sps) = client.call(MaRequest::FetchLabor { job_id: id }) else {
+            panic!()
+        };
         assert_eq!(sps, vec![vec![1u8]]);
         svc.shutdown();
     }

@@ -23,10 +23,35 @@ pub struct TrafficEntry {
     pub label: &'static str,
 }
 
+/// Running per-party totals, updated on every [`TrafficLog::record`]
+/// so the Table II queries never rescan the entry list.
+#[derive(Debug, Default)]
+struct Totals {
+    /// Bytes received, indexed by [`party_index`].
+    input: [usize; PARTY_COUNT],
+    /// Bytes sent, indexed by [`party_index`].
+    output: [usize; PARTY_COUNT],
+    /// Grand total on the wire.
+    total: usize,
+}
+
+/// Number of [`Party`] variants (totals array size).
+const PARTY_COUNT: usize = 3;
+
+/// Dense index of a party in the totals arrays.
+fn party_index(party: Party) -> usize {
+    match party {
+        Party::Jo => 0,
+        Party::Sp => 1,
+        Party::Ma => 2,
+    }
+}
+
 /// Shared, thread-safe message log.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficLog {
     entries: Arc<Mutex<Vec<TrafficEntry>>>,
+    totals: Arc<Mutex<Totals>>,
 }
 
 impl TrafficLog {
@@ -35,24 +60,33 @@ impl TrafficLog {
         TrafficLog::default()
     }
 
-    /// Records one message.
+    /// Records one message, maintaining the running totals.
     pub fn record(&self, from: Party, to: Party, label: &'static str, bytes: usize) {
-        self.entries.lock().push(TrafficEntry { from, to, bytes, label });
+        self.entries.lock().push(TrafficEntry {
+            from,
+            to,
+            bytes,
+            label,
+        });
+        let mut totals = self.totals.lock();
+        totals.output[party_index(from)] += bytes;
+        totals.input[party_index(to)] += bytes;
+        totals.total += bytes;
     }
 
-    /// Bytes received by `party`.
+    /// Bytes received by `party` (O(1) — running total).
     pub fn input_bytes(&self, party: Party) -> usize {
-        self.entries.lock().iter().filter(|e| e.to == party).map(|e| e.bytes).sum()
+        self.totals.lock().input[party_index(party)]
     }
 
-    /// Bytes sent by `party`.
+    /// Bytes sent by `party` (O(1) — running total).
     pub fn output_bytes(&self, party: Party) -> usize {
-        self.entries.lock().iter().filter(|e| e.from == party).map(|e| e.bytes).sum()
+        self.totals.lock().output[party_index(party)]
     }
 
-    /// Total bytes on the wire.
+    /// Total bytes on the wire (O(1) — running total).
     pub fn total_bytes(&self) -> usize {
-        self.entries.lock().iter().map(|e| e.bytes).sum()
+        self.totals.lock().total
     }
 
     /// Total in kilobytes (the unit of Table II's last column).
@@ -100,6 +134,30 @@ mod tests {
         let log = TrafficLog::new();
         log.record(Party::Jo, Party::Ma, "x", 2048);
         assert!((log.total_kb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_totals_match_entry_scan() {
+        let log = TrafficLog::new();
+        let parties = [Party::Jo, Party::Sp, Party::Ma];
+        for i in 0..30usize {
+            let from = parties[i % 3];
+            let to = parties[(i + 1 + i % 2) % 3];
+            log.record(from, to, "msg", i * 7 + 1);
+        }
+        let entries = log.snapshot();
+        for &p in &parties {
+            let scan_in: usize = entries.iter().filter(|e| e.to == p).map(|e| e.bytes).sum();
+            let scan_out: usize = entries
+                .iter()
+                .filter(|e| e.from == p)
+                .map(|e| e.bytes)
+                .sum();
+            assert_eq!(log.input_bytes(p), scan_in);
+            assert_eq!(log.output_bytes(p), scan_out);
+        }
+        let scan_total: usize = entries.iter().map(|e| e.bytes).sum();
+        assert_eq!(log.total_bytes(), scan_total);
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl ClKeyPair {
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, pairing: &TypeAPairing) -> ClKeyPair {
         let x = pairing.random_scalar(rng);
         let y = pairing.random_scalar(rng);
-        let public = ClPublicKey { x_pub: pairing.g_mul(&x), y_pub: pairing.g_mul(&y) };
+        let public = ClPublicKey {
+            x_pub: pairing.g_mul(&x),
+            y_pub: pairing.g_mul(&y),
+        };
         ClKeyPair { public, x, y }
     }
 
@@ -77,7 +80,8 @@ impl ClKeyPair {
         let a = pairing.random_torsion_point(rng);
         let b = pairing.mul(&self.y, &a);
         // c = (x + m·x·y)·a
-        let exp = (&self.x + &m.modmul(&self.x.modmul(&self.y, &pairing.r), &pairing.r)) % &pairing.r;
+        let exp =
+            (&self.x + &m.modmul(&self.x.modmul(&self.y, &pairing.r), &pairing.r)) % &pairing.r;
         let c = pairing.mul(&exp, &a);
         ClSignature { a, b, c }
     }
@@ -209,7 +213,10 @@ mod tests {
                 1 => bad.b = pairing.curve.add(&bad.b, &twist),
                 _ => bad.c = pairing.curve.add(&bad.c, &twist),
             }
-            assert!(!bad.verify_scalar(&pairing, &keys.public, &m), "field {field}");
+            assert!(
+                !bad.verify_scalar(&pairing, &keys.public, &m),
+                "field {field}"
+            );
         }
     }
 
@@ -233,6 +240,9 @@ mod tests {
         sig.a = Point::Infinity;
         sig.b = Point::Infinity;
         sig.c = Point::Infinity;
-        assert!(!sig.verify_scalar(&pairing, &keys.public, &m), "all-infinity forgery");
+        assert!(
+            !sig.verify_scalar(&pairing, &keys.public, &m),
+            "all-infinity forgery"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! the subgroup of quadratic residues has prime order `q`.
 
 use crate::hash::hash_to_int;
-use ppms_bigint::{random_below, BigUint, Montgomery};
+use ppms_bigint::{random_below, BigUint, ModRing};
 use ppms_primes::gen::random_safe_prime;
 use rand::Rng;
 
@@ -20,14 +20,15 @@ pub struct SchnorrGroup {
     pub q: BigUint,
     /// Canonical generator.
     pub g: BigUint,
-    /// Montgomery context for `p` (all moduli here are odd primes).
-    mont: Montgomery,
+    /// Cached ring for `p`. Clones share the fixed-base window cache,
+    /// so every generator registered here accelerates all holders of
+    /// this group (including worker-thread clones).
+    ring: ModRing,
 }
 
 impl PartialEq for SchnorrGroup {
     fn eq(&self, other: &Self) -> bool {
-        // The Montgomery context is derived state; (p, q, g) identify
-        // the group.
+        // The ring is derived state; (p, q, g) identify the group.
         self.p == other.p && self.q == other.q && self.g == other.g
     }
 }
@@ -40,8 +41,13 @@ impl SchnorrGroup {
     /// hash-to-group so its discrete log is unknown to everyone.
     pub fn from_safe_prime(p: &BigUint, q: &BigUint) -> SchnorrGroup {
         debug_assert_eq!(p, &(&(q << 1usize) + &BigUint::one()), "p = 2q+1 required");
-        let mont = Montgomery::new(p);
-        let mut group = SchnorrGroup { p: p.clone(), q: q.clone(), g: BigUint::zero(), mont };
+        let ring = ModRing::new(p);
+        let mut group = SchnorrGroup {
+            p: p.clone(),
+            q: q.clone(),
+            g: BigUint::zero(),
+            ring,
+        };
         group.g = group.derive_generator("canonical-g");
         group
     }
@@ -56,6 +62,9 @@ impl SchnorrGroup {
     /// Derives an independent generator from a domain-separation tag
     /// (nothing-up-my-sleeve: `H(tag, p)` cofactor-raised into the
     /// subgroup; nobody knows its discrete log w.r.t. `g`).
+    ///
+    /// The returned generator is registered as a fixed base, so later
+    /// exponentiations of it use the cached window tables.
     pub fn derive_generator(&self, tag: &str) -> BigUint {
         let cofactor = &(&self.p - 1u64) / &self.q;
         let mut ctr = 0u64;
@@ -65,17 +74,25 @@ impl SchnorrGroup {
                 &[tag.as_bytes(), &self.p.to_bytes_be(), &ctr.to_be_bytes()],
                 &self.p,
             );
-            let candidate = self.mont.modpow(&seed, &cofactor);
+            let candidate = self.ring.pow(&seed, &cofactor);
             if !candidate.is_one() && !candidate.is_zero() {
+                self.ring.register_base(&candidate);
                 return candidate;
             }
             ctr += 1;
         }
     }
 
+    /// The underlying cached ring for `Z_p*` (shared across clones).
+    pub fn ring(&self) -> &ModRing {
+        &self.ring
+    }
+
     /// `base^e mod p` (exponent reduced mod `q` by group order).
+    /// Registered fixed bases (the generators) take the window-table
+    /// path; arbitrary bases fall back to windowed square-and-multiply.
     pub fn exp(&self, base: &BigUint, e: &BigUint) -> BigUint {
-        self.mont.modpow(base, &(e % &self.q))
+        self.ring.pow_fixed(base, &(e % &self.q))
     }
 
     /// `g^e mod p`.
@@ -85,7 +102,7 @@ impl SchnorrGroup {
 
     /// Product in `Z_p*`.
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        self.mont.mul(a, b)
+        self.ring.mul(a, b)
     }
 
     /// Multiplicative inverse in `Z_p*`.
@@ -95,30 +112,36 @@ impl SchnorrGroup {
 
     /// Membership test: `x` is in the order-`q` subgroup.
     pub fn contains(&self, x: &BigUint) -> bool {
-        !x.is_zero() && x < &self.p && self.mont.modpow(x, &self.q).is_one()
+        !x.is_zero() && x < &self.p && self.ring.pow(x, &self.q).is_one()
     }
 
     /// Simultaneous double exponentiation `a^x · b^y mod p` via
-    /// Shamir's trick: one shared square per bit instead of two — the
+    /// Shamir's trick (one shared square per bit instead of two) — the
     /// hot operation of every sigma-protocol verification
-    /// (`g^s == t · y^c`).
+    /// (`g^s == t · y^c`). Delegates to [`ModRing::multi_pow`], which
+    /// runs the whole pass in the Montgomery domain.
     pub fn multi_exp2(&self, a: &BigUint, x: &BigUint, b: &BigUint, y: &BigUint) -> BigUint {
         let x = x % &self.q;
         let y = y % &self.q;
-        let ab = self.mont.mul(a, b);
-        let nbits = x.bits().max(y.bits());
-        if nbits == 0 {
-            return BigUint::one();
-        }
+        self.ring.multi_pow(&[(a, &x), (b, &y)])
+    }
+
+    /// Simultaneous multi-exponentiation `Π basesᵢ^{eᵢ} mod p`
+    /// (exponents reduced mod `q`). Chunks the bases so the ring's
+    /// subset-product table stays small regardless of arity.
+    pub fn multi_exp(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        const CHUNK: usize = 4;
+        let reduced: Vec<BigUint> = pairs.iter().map(|(_, e)| *e % &self.q).collect();
         let mut acc = BigUint::one();
-        for i in (0..nbits).rev() {
-            acc = self.mont.mul(&acc, &acc);
-            match (x.bit(i), y.bit(i)) {
-                (true, true) => acc = self.mont.mul(&acc, &ab),
-                (true, false) => acc = self.mont.mul(&acc, a),
-                (false, true) => acc = self.mont.mul(&acc, b),
-                (false, false) => {}
-            }
+        for (chunk, exps) in pairs.chunks(CHUNK).zip(reduced.chunks(CHUNK)) {
+            let refs: Vec<(&BigUint, &BigUint)> =
+                chunk.iter().map(|(b, _)| *b).zip(exps.iter()).collect();
+            let part = self.ring.multi_pow(&refs);
+            acc = if acc.is_one() {
+                part
+            } else {
+                self.ring.mul(&acc, &part)
+            };
         }
         acc
     }

@@ -73,7 +73,10 @@ impl Curve {
     pub fn neg(&self, pt: &Point) -> Point {
         match pt {
             Point::Infinity => Point::Infinity,
-            Point::Affine { x, y } => Point::Affine { x: x.clone(), y: self.fp.neg(y) },
+            Point::Affine { x, y } => Point::Affine {
+                x: x.clone(),
+                y: self.fp.neg(y),
+            },
         }
     }
 
@@ -90,7 +93,10 @@ impl Curve {
                         }
                         // Doubling: λ = (3x² + 1) / 2y
                         let x1sq = self.fp.square(x1);
-                        let num = self.fp.add(&self.fp.add(&x1sq, &self.fp.add(&x1sq, &x1sq)), &BigUint::one());
+                        let num = self.fp.add(
+                            &self.fp.add(&x1sq, &self.fp.add(&x1sq, &x1sq)),
+                            &BigUint::one(),
+                        );
                         let den = self.fp.add(y1, y1);
                         let lam = self.fp.mul(&num, &self.fp.inv(&den));
                         self.chord(x1, y1, x2, &lam)
@@ -133,7 +139,11 @@ impl Curve {
             let rhs = self.fp.add(&self.fp.mul(&self.fp.square(&x), &x), &x);
             if let Some(y) = self.fp.sqrt(&rhs) {
                 // Randomize the sign of y for uniformity.
-                let y = if rng.next_u32() & 1 == 0 { y } else { self.fp.neg(&y) };
+                let y = if rng.next_u32() & 1 == 0 {
+                    y
+                } else {
+                    self.fp.neg(&y)
+                };
                 let pt = Point::Affine { x, y };
                 if !pt.is_infinity() {
                     return pt;
@@ -209,7 +219,10 @@ mod tests {
         // (0, 0) is on y² = x³ + x and has order 2; doubling it must
         // give the point at infinity, not a division-by-zero panic.
         let c = curve();
-        let two_torsion = Point::Affine { x: BigUint::zero(), y: BigUint::zero() };
+        let two_torsion = Point::Affine {
+            x: BigUint::zero(),
+            y: BigUint::zero(),
+        };
         assert!(c.is_on_curve(&two_torsion));
         assert_eq!(c.add(&two_torsion, &two_torsion), Point::Infinity);
         assert_eq!(c.neg(&two_torsion), two_torsion);

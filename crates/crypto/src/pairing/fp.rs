@@ -1,22 +1,31 @@
 //! The prime field `F_p` as a context object (elements are plain
-//! [`BigUint`]s reduced mod `p`; the context carries the Montgomery
-//! state for fast multiplication).
+//! [`BigUint`]s reduced mod `p`; the context carries a cached
+//! [`ModRing`] for fast multiplication and exponentiation).
 
-use ppms_bigint::{BigUint, Montgomery};
+use ppms_bigint::{BigUint, ModRing};
 
 /// Field context for `F_p` (`p` an odd prime).
 #[derive(Debug, Clone)]
 pub struct Fp {
     /// The prime modulus.
     pub p: BigUint,
-    mont: Montgomery,
+    ring: ModRing,
 }
 
 impl Fp {
     /// Creates the field context. `p` must be an odd prime (unchecked
     /// beyond oddness).
     pub fn new(p: &BigUint) -> Fp {
-        Fp { p: p.clone(), mont: Montgomery::new(p) }
+        Fp {
+            p: p.clone(),
+            ring: ModRing::new(p),
+        }
+    }
+
+    /// The cached ring for `p` (fixed-base registration for pairing
+    /// bases lives here).
+    pub fn ring(&self) -> &ModRing {
+        &self.ring
     }
 
     /// Canonical representative of `x`.
@@ -54,17 +63,17 @@ impl Fp {
 
     /// `a · b`.
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        self.mont.mul(a, b)
+        self.ring.mul(a, b)
     }
 
     /// `a²`.
     pub fn square(&self, a: &BigUint) -> BigUint {
-        self.mont.mul(a, a)
+        self.ring.mul(a, a)
     }
 
-    /// `a^e`.
+    /// `a^e` (fixed-base accelerated for registered bases).
     pub fn pow(&self, a: &BigUint, e: &BigUint) -> BigUint {
-        self.mont.modpow(a, e)
+        self.ring.pow_fixed(a, e)
     }
 
     /// `a⁻¹`; panics on zero.

@@ -16,17 +16,26 @@ pub struct Fp2 {
 impl Fp2 {
     /// The element `1`.
     pub fn one() -> Fp2 {
-        Fp2 { a: BigUint::one(), b: BigUint::zero() }
+        Fp2 {
+            a: BigUint::one(),
+            b: BigUint::zero(),
+        }
     }
 
     /// The element `0`.
     pub fn zero() -> Fp2 {
-        Fp2 { a: BigUint::zero(), b: BigUint::zero() }
+        Fp2 {
+            a: BigUint::zero(),
+            b: BigUint::zero(),
+        }
     }
 
     /// Embeds an `F_p` element.
     pub fn from_fp(a: BigUint) -> Fp2 {
-        Fp2 { a, b: BigUint::zero() }
+        Fp2 {
+            a,
+            b: BigUint::zero(),
+        }
     }
 
     /// `true` iff zero.
@@ -63,12 +72,18 @@ impl Fp2Ctx {
 
     /// `x + y`.
     pub fn add(&self, x: &Fp2, y: &Fp2) -> Fp2 {
-        Fp2 { a: self.fp.add(&x.a, &y.a), b: self.fp.add(&x.b, &y.b) }
+        Fp2 {
+            a: self.fp.add(&x.a, &y.a),
+            b: self.fp.add(&x.b, &y.b),
+        }
     }
 
     /// `x - y`.
     pub fn sub(&self, x: &Fp2, y: &Fp2) -> Fp2 {
-        Fp2 { a: self.fp.sub(&x.a, &y.a), b: self.fp.sub(&x.b, &y.b) }
+        Fp2 {
+            a: self.fp.sub(&x.a, &y.a),
+            b: self.fp.sub(&x.b, &y.b),
+        }
     }
 
     /// `x · y` — (a+bi)(c+di) = (ac − bd) + (ad + bc)i.
@@ -77,7 +92,10 @@ impl Fp2Ctx {
         let bd = self.fp.mul(&x.b, &y.b);
         let ad = self.fp.mul(&x.a, &y.b);
         let bc = self.fp.mul(&x.b, &y.a);
-        Fp2 { a: self.fp.sub(&ac, &bd), b: self.fp.add(&ad, &bc) }
+        Fp2 {
+            a: self.fp.sub(&ac, &bd),
+            b: self.fp.add(&ad, &bc),
+        }
     }
 
     /// `x²` (saves one base-field multiplication).
@@ -86,19 +104,28 @@ impl Fp2Ctx {
         let sum = self.fp.add(&x.a, &x.b);
         let diff = self.fp.sub(&x.a, &x.b);
         let ab = self.fp.mul(&x.a, &x.b);
-        Fp2 { a: self.fp.mul(&sum, &diff), b: self.fp.add(&ab, &ab) }
+        Fp2 {
+            a: self.fp.mul(&sum, &diff),
+            b: self.fp.add(&ab, &ab),
+        }
     }
 
     /// Conjugate `a − bi` (the Frobenius `x^p`).
     pub fn conj(&self, x: &Fp2) -> Fp2 {
-        Fp2 { a: x.a.clone(), b: self.fp.neg(&x.b) }
+        Fp2 {
+            a: x.a.clone(),
+            b: self.fp.neg(&x.b),
+        }
     }
 
     /// `x⁻¹ = conj(x) / (a² + b²)`.
     pub fn inv(&self, x: &Fp2) -> Fp2 {
         let norm = self.fp.add(&self.fp.square(&x.a), &self.fp.square(&x.b));
         let ninv = self.fp.inv(&norm);
-        Fp2 { a: self.fp.mul(&x.a, &ninv), b: self.fp.mul(&self.fp.neg(&x.b), &ninv) }
+        Fp2 {
+            a: self.fp.mul(&x.a, &ninv),
+            b: self.fp.mul(&self.fp.neg(&x.b), &ninv),
+        }
     }
 
     /// `x^e` by square-and-multiply.
@@ -124,7 +151,10 @@ mod tests {
     }
 
     fn el(a: u64, b: u64) -> Fp2 {
-        Fp2 { a: BigUint::from(a), b: BigUint::from(b) }
+        Fp2 {
+            a: BigUint::from(a),
+            b: BigUint::from(b),
+        }
     }
 
     #[test]
@@ -132,7 +162,13 @@ mod tests {
         let c = ctx();
         let i = el(0, 1);
         let i2 = c.mul(&i, &i);
-        assert_eq!(i2, Fp2 { a: c.fp.neg(&BigUint::one()), b: BigUint::zero() });
+        assert_eq!(
+            i2,
+            Fp2 {
+                a: c.fp.neg(&BigUint::one()),
+                b: BigUint::zero()
+            }
+        );
     }
 
     #[test]
@@ -196,6 +232,9 @@ mod tests {
     fn distributive() {
         let c = ctx();
         let (x, y, z) = (el(2, 3), el(5, 7), el(9, 1));
-        assert_eq!(c.mul(&x, &c.add(&y, &z)), c.add(&c.mul(&x, &y), &c.mul(&x, &z)));
+        assert_eq!(
+            c.mul(&x, &c.add(&y, &z)),
+            c.add(&c.mul(&x, &y), &c.mul(&x, &z))
+        );
     }
 }

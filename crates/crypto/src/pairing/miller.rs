@@ -31,7 +31,10 @@ fn line_eval(
     let f = &curve.fp;
     // real = −(λ(−xq − x1) + y1) = λ(xq + x1) − y1
     let real = f.sub(&f.mul(lam, &f.add(xq, x1)), y1);
-    Fp2 { a: real, b: yq.clone() }
+    Fp2 {
+        a: real,
+        b: yq.clone(),
+    }
 }
 
 /// The Miller loop `f_{r,P}(φ(Q))` (unreduced pairing value).

@@ -61,7 +61,13 @@ impl TypeAPairing {
             }
         };
 
-        TypeAPairing { curve, fp2, r, h, g }
+        TypeAPairing {
+            curve,
+            fp2,
+            r,
+            h,
+            g,
+        }
     }
 
     /// The symmetric pairing `ê(P, Q)` for `P, Q ∈ G`.
@@ -119,7 +125,10 @@ mod tests {
         assert_eq!(&e.h * &e.r, p_plus_1, "p + 1 = h·r");
         assert_eq!(&e.curve.fp.p % 4u64, 3);
         assert!(e.curve.is_on_curve(&e.g));
-        assert!(e.curve.mul(&e.r, &e.g).is_infinity(), "generator has order r");
+        assert!(
+            e.curve.mul(&e.r, &e.g).is_infinity(),
+            "generator has order r"
+        );
     }
 
     #[test]

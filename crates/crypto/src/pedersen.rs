@@ -45,12 +45,15 @@ impl PedersenParams {
         self.commit_with(message, &randomness)
     }
 
-    /// Commits with explicit randomness (deterministic).
+    /// Commits with explicit randomness (deterministic). Uses the
+    /// ring's simultaneous exponentiation for the `g^m · h^r` shape.
     pub fn commit_with(&self, message: &BigUint, randomness: &BigUint) -> PedersenCommitment {
-        let value = self
-            .group
-            .mul(&self.group.exp(&self.g, message), &self.group.exp(&self.h, randomness));
-        PedersenCommitment { value, message: message.clone(), randomness: randomness.clone() }
+        let value = self.group.multi_exp2(&self.g, message, &self.h, randomness);
+        PedersenCommitment {
+            value,
+            message: message.clone(),
+            randomness: randomness.clone(),
+        }
     }
 
     /// Verifies an opening against a commitment value.

@@ -21,15 +21,20 @@ pub struct BlindingFactor {
 
 /// Blinds `msg` for signing. Returns the value to send to the signer
 /// and the factor to keep.
-pub fn blind<R: Rng + ?Sized>(rng: &mut R, pk: &RsaPublicKey, msg: &[u8]) -> (BigUint, BlindingFactor) {
+pub fn blind<R: Rng + ?Sized>(
+    rng: &mut R,
+    pk: &RsaPublicKey,
+    msg: &[u8],
+) -> (BigUint, BlindingFactor) {
     let h = fdh(pk, msg);
+    let ring = pk.ring();
     loop {
         let r = random_unit_range(rng, &pk.n);
         // r must be invertible mod n (overwhelmingly likely).
         if r.modinv(&pk.n).is_none() {
             continue;
         }
-        let blinded = h.modmul(&r.modpow(&pk.e, &pk.n), &pk.n);
+        let blinded = ring.mul(&h, &ring.pow(&r, &pk.e));
         return (blinded, BlindingFactor { r });
     }
 }
@@ -37,7 +42,7 @@ pub fn blind<R: Rng + ?Sized>(rng: &mut R, pk: &RsaPublicKey, msg: &[u8]) -> (Bi
 /// Signer's operation on a blinded value. The signer learns nothing
 /// about the underlying message.
 pub fn sign_blinded(sk: &RsaPrivateKey, blinded: &BigUint) -> BigUint {
-    blinded.modpow(&sk.d, &sk.public.n)
+    sk.crt().pow_secret(blinded)
 }
 
 /// Removes the blinding, yielding a standard FDH signature on `msg`.

@@ -79,7 +79,7 @@ fn encrypt_block<R: Rng + ?Sized>(rng: &mut R, pk: &RsaPublicKey, msg: &[u8]) ->
 
     let m = BigUint::from_bytes_be(&em);
     debug_assert!(m < pk.n);
-    m.modpow(&pk.e, &pk.n).to_bytes_be_padded(k)
+    pk.ring().pow(&m, &pk.e).to_bytes_be_padded(k)
 }
 
 /// Decrypts one OAEP block.
@@ -89,7 +89,7 @@ fn decrypt_block(sk: &RsaPrivateKey, block: &[u8]) -> Result<Vec<u8>, DecryptErr
         return Err(DecryptError::BadLength);
     }
     let c = BigUint::from_bytes_be(block);
-    let em = c.modpow(&sk.d, &sk.public.n).to_bytes_be_padded(k);
+    let em = sk.crt().pow_secret(&c).to_bytes_be_padded(k);
     if em[0] != 0 {
         return Err(DecryptError::BadPadding);
     }
@@ -105,7 +105,10 @@ fn decrypt_block(sk: &RsaPrivateKey, block: &[u8]) -> Result<Vec<u8>, DecryptErr
     }
     // Skip the zero padding, expect the 0x01 separator.
     let rest = &db[HLEN..];
-    let sep = rest.iter().position(|&b| b != 0).ok_or(DecryptError::BadPadding)?;
+    let sep = rest
+        .iter()
+        .position(|&b| b != 0)
+        .ok_or(DecryptError::BadPadding)?;
     if rest[sep] != 0x01 {
         return Err(DecryptError::BadPadding);
     }

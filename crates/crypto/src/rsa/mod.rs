@@ -8,9 +8,10 @@ pub mod encrypt;
 pub mod pbs;
 pub mod sign;
 
-use ppms_bigint::BigUint;
+use ppms_bigint::{BigUint, ModRing, RsaCrt};
 use ppms_primes::random_prime;
 use rand::Rng;
+use std::sync::Arc;
 
 pub use blind::{blind, sign_blinded, unblind, BlindingFactor};
 pub use encrypt::{decrypt, encrypt};
@@ -35,6 +36,14 @@ impl RsaPublicKey {
         self.n.bits().div_ceil(8)
     }
 
+    /// The process-wide cached [`ModRing`] for this modulus. Every
+    /// public-key operation (verify, encrypt, blind) goes through this
+    /// so the Montgomery constants for `n` are derived once per key,
+    /// not once per call.
+    pub fn ring(&self) -> Arc<ModRing> {
+        ModRing::shared(&self.n)
+    }
+
     /// Canonical encoding (length-prefixed `n`, then `e`), used for
     /// hashing identities and accounting message sizes.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -55,7 +64,10 @@ impl RsaPublicKey {
         if !rest.is_empty() {
             return None;
         }
-        Some(RsaPublicKey { n: BigUint::from_bytes_be(n), e: BigUint::from_bytes_be(e) })
+        Some(RsaPublicKey {
+            n: BigUint::from_bytes_be(n),
+            e: BigUint::from_bytes_be(e),
+        })
     }
 }
 
@@ -79,12 +91,20 @@ pub struct RsaPrivateKey {
     /// Private exponent `d = e⁻¹ mod φ(n)`.
     pub d: BigUint,
     pub(crate) phi: BigUint,
+    /// CRT decomposition built at keygen; all secret-key
+    /// exponentiations go through it.
+    crt: RsaCrt,
 }
 
 impl RsaPrivateKey {
     /// Euler's totient of the modulus (needed by [`pbs::pbs_sign`]).
     pub fn phi(&self) -> &BigUint {
         &self.phi
+    }
+
+    /// The CRT context for secret-key exponentiations.
+    pub fn crt(&self) -> &RsaCrt {
+        &self.crt
     }
 }
 
@@ -105,7 +125,13 @@ pub fn keygen<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> RsaPrivateKey {
         let n = &p * &q;
         let phi = &(&p - 1u64) * &(&q - 1u64);
         let Some(d) = e.modinv(&phi) else { continue };
-        return RsaPrivateKey { public: RsaPublicKey { n, e }, d, phi };
+        let crt = RsaCrt::new(&p, &q, &d);
+        return RsaPrivateKey {
+            public: RsaPublicKey { n, e },
+            d,
+            phi,
+            crt,
+        };
     }
 }
 

@@ -64,7 +64,10 @@ pub enum PbsError {
 
 impl std::fmt::Display for PbsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "common info exponent not invertible; pick a fresh serial")
+        write!(
+            f,
+            "common info exponent not invertible; pick a fresh serial"
+        )
     }
 }
 
@@ -79,22 +82,25 @@ pub fn pbs_blind<R: Rng + ?Sized>(
 ) -> (BigUint, PbsBlinding) {
     let h = fdh(pk, msg);
     let e_info = full_exponent(pk, info);
+    let ring = pk.ring();
     loop {
         let r = random_unit_range(rng, &pk.n);
         if r.modinv(&pk.n).is_none() {
             continue;
         }
-        let alpha = h.modmul(&r.modpow(&e_info, &pk.n), &pk.n);
+        let alpha = ring.mul(&h, &ring.pow(&r, &e_info));
         return (alpha, PbsBlinding { r });
     }
 }
 
 /// Signer's operation: raises the blinded value to the per-info
-/// private exponent. Signer sees `info` but not `msg`.
+/// private exponent. Signer sees `info` but not `msg`. The derived
+/// exponent goes through the key's CRT context (reduced per prime
+/// factor), the same fast path as ordinary secret-key operations.
 pub fn pbs_sign(sk: &RsaPrivateKey, info: &[u8], alpha: &BigUint) -> Result<BigUint, PbsError> {
     let e_info = full_exponent(&sk.public, info);
     let d_info = e_info.modinv(&sk.phi).ok_or(PbsError::BadInfo)?;
-    Ok(alpha.modpow(&d_info, &sk.public.n))
+    Ok(sk.crt().pow(alpha, &d_info))
 }
 
 /// Requester-side unblinding: `σ = β · r⁻¹`.
@@ -108,7 +114,7 @@ pub fn pbs_verify(pk: &RsaPublicKey, info: &[u8], msg: &[u8], sig: &BigUint) -> 
     if sig >= &pk.n || sig.is_zero() {
         return false;
     }
-    sig.modpow(&full_exponent(pk, info), &pk.n) == fdh(pk, msg)
+    pk.ring().pow(sig, &full_exponent(pk, info)) == fdh(pk, msg)
 }
 
 #[cfg(test)]
@@ -130,7 +136,12 @@ mod tests {
     #[test]
     fn full_protocol_verifies() {
         let (key, sig) = run(1, b"serial-0001", b"sp one-time pubkey bytes");
-        assert!(pbs_verify(&key.public, b"serial-0001", b"sp one-time pubkey bytes", &sig));
+        assert!(pbs_verify(
+            &key.public,
+            b"serial-0001",
+            b"sp one-time pubkey bytes",
+            &sig
+        ));
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub struct TowerLevel {
     pub h: ppms_bigint::BigUint,
 }
 
+impl TowerLevel {
+    /// Eagerly builds the fixed-base window tables for every generator
+    /// registered in this level's ring (`g`, `g0`, `g1`, `h`, plus any
+    /// caller-derived bases). Tables otherwise build lazily on first
+    /// use; call this before fanning work out to threads so workers
+    /// share prebuilt tables.
+    pub fn precompute(&self) {
+        self.group.ring().precompute();
+    }
+}
+
 /// The full tower `G_1 … G_k` built from a `(k+1)`-link chain.
 #[derive(Debug, Clone)]
 pub struct GroupTower {
@@ -69,6 +80,15 @@ impl GroupTower {
     pub fn levels(&self) -> &[TowerLevel] {
         &self.levels
     }
+
+    /// Precomputes the fixed-base tables of every level (see
+    /// [`TowerLevel::precompute`]). Clones of the tower share the
+    /// per-ring table caches, so one call benefits all of them.
+    pub fn precompute(&self) {
+        for level in &self.levels {
+            level.precompute();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +121,12 @@ mod tests {
             let elem_bound = &tower.level(i).group.p; // elements are < p = o_{i+1}
             let next_order = &tower.level(i + 1).group.q;
             assert!(elem_bound <= next_order || elem_bound == &(next_order + &BigUint::zero()));
-            assert_eq!(elem_bound, next_order, "modulus of level {i} is order of level {}", i + 1);
+            assert_eq!(
+                elem_bound,
+                next_order,
+                "modulus of level {i} is order of level {}",
+                i + 1
+            );
         }
     }
 

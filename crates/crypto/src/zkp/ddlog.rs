@@ -101,11 +101,20 @@ impl DdlogProof {
             .zip(&bits)
             .map(|(w, &bit)| if bit { w.modsub(x, q_in) } else { w.clone() })
             .collect();
-        DdlogProof { commitments, responses }
+        DdlogProof {
+            commitments,
+            responses,
+        }
     }
 
     /// Verifies the proof (recomputing the challenge bits).
-    pub fn verify(&self, stmt: &DdlogStatement<'_>, rounds: usize, domain: &str, extra: &[u8]) -> bool {
+    pub fn verify(
+        &self,
+        stmt: &DdlogStatement<'_>,
+        rounds: usize,
+        domain: &str,
+        extra: &[u8],
+    ) -> bool {
         stmt.check_compat();
         if self.commitments.len() != rounds || self.responses.len() != rounds {
             return false;
@@ -133,8 +142,15 @@ impl DdlogProof {
 
     /// Serialized size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.commitments.iter().map(|t| t.bits().div_ceil(8)).sum::<usize>()
-            + self.responses.iter().map(|s| s.bits().div_ceil(8)).sum::<usize>()
+        self.commitments
+            .iter()
+            .map(|t| t.bits().div_ceil(8))
+            .sum::<usize>()
+            + self
+                .responses
+                .iter()
+                .map(|s| s.bits().div_ceil(8))
+                .sum::<usize>()
     }
 }
 
@@ -161,7 +177,13 @@ mod tests {
         let h = inner.g.clone();
         let g = outer.g.clone();
         let y = outer.exp(&g, &inner.exp(&h, &x));
-        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let stmt = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y,
+        };
         let proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
         assert!(proof.verify(&stmt, 24, "ddlog", b""));
     }
@@ -177,9 +199,21 @@ mod tests {
         let g = outer.g.clone();
         let y = outer.exp(&g, &inner.exp(&h, &x));
         let y_wrong = outer.exp(&g, &inner.exp(&h, &(&x + 1u64)));
-        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let stmt = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y,
+        };
         let proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
-        let stmt_wrong = DdlogStatement { outer, inner, g: &g, h: &h, y: &y_wrong };
+        let stmt_wrong = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y_wrong,
+        };
         assert!(!proof.verify(&stmt_wrong, 24, "ddlog", b""));
     }
 
@@ -193,7 +227,13 @@ mod tests {
         let h = inner.g.clone();
         let g = outer.g.clone();
         let y = outer.exp(&g, &inner.exp(&h, &x));
-        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let stmt = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y,
+        };
         let mut proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
         proof.responses[5] = (&proof.responses[5] + 1u64) % &inner.q;
         assert!(!proof.verify(&stmt, 24, "ddlog", b""));
@@ -209,7 +249,13 @@ mod tests {
         let h = inner.g.clone();
         let g = outer.g.clone();
         let y = outer.exp(&g, &inner.exp(&h, &x));
-        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let stmt = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y,
+        };
         let mut proof = DdlogProof::prove(&mut rng, &stmt, &x, 24, "ddlog", b"");
         proof.commitments.pop();
         proof.responses.pop();
@@ -226,7 +272,13 @@ mod tests {
         let h = inner.g.clone();
         let g = outer.g.clone();
         let y = outer.exp(&g, &inner.exp(&h, &x));
-        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let stmt = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y,
+        };
         let proof = DdlogProof::prove(&mut rng, &stmt, &x, 16, "ddlog", b"ctx-A");
         assert!(proof.verify(&stmt, 16, "ddlog", b"ctx-A"));
         assert!(!proof.verify(&stmt, 16, "ddlog", b"ctx-B"));
@@ -242,7 +294,13 @@ mod tests {
         let g = outer.g.clone();
         let h = inner.g.clone();
         let y = outer.g.clone();
-        let stmt = DdlogStatement { outer, inner, g: &g, h: &h, y: &y };
+        let stmt = DdlogStatement {
+            outer,
+            inner,
+            g: &g,
+            h: &h,
+            y: &y,
+        };
         let mut rng = StdRng::seed_from_u64(6);
         DdlogProof::prove(&mut rng, &stmt, &BigUint::one(), 4, "d", b"");
     }

@@ -113,7 +113,12 @@ impl OrProof {
 
     /// Serialized size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.c.iter().chain(&self.s).chain(&self.t).map(|v| v.bits().div_ceil(8)).sum()
+        self.c
+            .iter()
+            .chain(&self.s)
+            .chain(&self.t)
+            .map(|v| v.bits().div_ceil(8))
+            .sum()
     }
 }
 

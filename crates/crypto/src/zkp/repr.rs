@@ -39,10 +39,8 @@ impl ReprProof {
         assert_eq!(bases.len(), xs.len());
         assert!(!bases.is_empty());
         let ks: Vec<BigUint> = bases.iter().map(|_| group.random_exponent(rng)).collect();
-        let mut t = BigUint::one();
-        for (b, k) in bases.iter().zip(&ks) {
-            t = group.mul(&t, &group.exp(b, k));
-        }
+        let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(ks.iter()).collect();
+        let t = group.multi_exp(&pairs);
         let mut tr = Transcript::new(domain);
         bind_statement(&mut tr, group, bases, y);
         tr.append("extra", extra);
@@ -73,10 +71,8 @@ impl ReprProof {
         tr.append("extra", extra);
         tr.append_int("t", &self.t);
         let c = tr.challenge_below("c", &group.q);
-        let mut lhs = BigUint::one();
-        for (b, s) in bases.iter().zip(&self.s) {
-            lhs = group.mul(&lhs, &group.exp(b, s));
-        }
+        let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(self.s.iter()).collect();
+        let lhs = group.multi_exp(&pairs);
         lhs == group.mul(&self.t, &group.exp(y, &c))
     }
 
@@ -95,7 +91,11 @@ mod tests {
     fn setup() -> (SchnorrGroup, Vec<BigUint>) {
         let mut rng = StdRng::seed_from_u64(200);
         let g = SchnorrGroup::generate(&mut rng, 64);
-        let bases = vec![g.g.clone(), g.derive_generator("b1"), g.derive_generator("b2")];
+        let bases = vec![
+            g.g.clone(),
+            g.derive_generator("b1"),
+            g.derive_generator("b2"),
+        ];
         (g, bases)
     }
 

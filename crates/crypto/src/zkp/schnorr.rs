@@ -116,8 +116,14 @@ mod tests {
         let y = g.g_exp(&x);
         let proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "ctx-A", b"receiver-1");
         assert!(proof.verify(&g, &g.g, &y, "ctx-A", b"receiver-1"));
-        assert!(!proof.verify(&g, &g.g, &y, "ctx-B", b"receiver-1"), "domain must bind");
-        assert!(!proof.verify(&g, &g.g, &y, "ctx-A", b"receiver-2"), "extra data must bind");
+        assert!(
+            !proof.verify(&g, &g.g, &y, "ctx-B", b"receiver-1"),
+            "domain must bind"
+        );
+        assert!(
+            !proof.verify(&g, &g.g, &y, "ctx-A", b"receiver-2"),
+            "extra data must bind"
+        );
     }
 
     #[test]

@@ -17,12 +17,17 @@ pub struct Transcript {
 impl Transcript {
     /// Starts a transcript under a protocol domain label.
     pub fn new(domain: &str) -> Transcript {
-        Transcript { state: hash_parts("ppms-transcript-init", &[domain.as_bytes()]) }
+        Transcript {
+            state: hash_parts("ppms-transcript-init", &[domain.as_bytes()]),
+        }
     }
 
     /// Absorbs labeled bytes.
     pub fn append(&mut self, label: &str, data: &[u8]) {
-        self.state = hash_parts("ppms-transcript-step", &[&self.state, label.as_bytes(), data]);
+        self.state = hash_parts(
+            "ppms-transcript-step",
+            &[&self.state, label.as_bytes(), data],
+        );
     }
 
     /// Absorbs a labeled big integer.

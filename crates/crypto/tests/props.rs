@@ -6,6 +6,7 @@
 //! Key generation is expensive, so each property reuses a small pool
 //! of deterministic fixtures and lets proptest vary the *data*.
 
+use ppms_bigint::BigUint;
 use ppms_crypto::group::SchnorrGroup;
 use ppms_crypto::pairing::TypeAPairing;
 use ppms_crypto::pedersen::PedersenParams;
@@ -13,7 +14,6 @@ use ppms_crypto::rsa;
 use ppms_crypto::zkp::orproof::OrProof;
 use ppms_crypto::zkp::repr::ReprProof;
 use ppms_crypto::zkp::schnorr::SchnorrProof;
-use ppms_bigint::BigUint;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -85,7 +85,11 @@ impl DecBank {
     /// verification runs rayon-parallel across the batch, then the
     /// double-spend bookkeeping is applied sequentially in order (so
     /// intra-batch conflicts resolve deterministically: first wins).
-    pub fn deposit_batch(&mut self, spends: &[Spend], binding: &[u8]) -> Vec<Result<u64, DecError>> {
+    pub fn deposit_batch(
+        &mut self,
+        spends: &[Spend],
+        binding: &[u8],
+    ) -> Vec<Result<u64, DecError>> {
         use rayon::prelude::*;
         let params = self.params.clone();
         let pk = self.public_key().clone();
@@ -107,8 +111,10 @@ impl DecBank {
     /// already done).
     fn record_deposit(&mut self, spend: &Spend, value: u64) -> Result<u64, DecError> {
         let serial = key_hash(spend.serial());
-        let anc_hashes: Vec<[u8; 32]> =
-            spend.keys[..spend.keys.len() - 1].iter().map(key_hash).collect();
+        let anc_hashes: Vec<[u8; 32]> = spend.keys[..spend.keys.len() - 1]
+            .iter()
+            .map(key_hash)
+            .collect();
 
         if self.spent.contains(&serial) {
             return Err(DecError::DoubleSpend("node already spent"));
@@ -167,7 +173,10 @@ mod tests {
         let s1 = coin.spend(&mut rng, &params, &path, b"a");
         let s2 = coin.spend(&mut rng, &params, &path, b"b");
         assert!(bank.deposit(&s1, b"a").is_ok());
-        assert_eq!(bank.deposit(&s2, b"b"), Err(DecError::DoubleSpend("node already spent")));
+        assert_eq!(
+            bank.deposit(&s2, b"b"),
+            Err(DecError::DoubleSpend("node already spent"))
+        );
     }
 
     #[test]
@@ -225,7 +234,10 @@ mod tests {
         // scenario instead with a second coin to show totals are per-coin.
         let coin2 = bank.withdraw_coin(&mut rng);
         let c = coin2.spend(&mut rng, &params, &NodePath::from_index(1, 0), b"x");
-        assert!(bank.deposit(&c, b"x").is_ok(), "fresh coin has its own budget");
+        assert!(
+            bank.deposit(&c, b"x").is_ok(),
+            "fresh coin has its own budget"
+        );
         assert_eq!(bank.deposited_count(), 3);
     }
 
@@ -266,6 +278,9 @@ mod tests {
         let s1 = coin1.spend(&mut rng, &params, &p, b"r");
         let s2 = coin2.spend(&mut rng, &params, &p, b"r");
         assert!(bank.deposit(&s1, b"r").is_ok());
-        assert!(bank.deposit(&s2, b"r").is_ok(), "same path, different coins");
+        assert!(
+            bank.deposit(&s2, b"r").is_ok(),
+            "same path, different coins"
+        );
     }
 }

@@ -75,7 +75,10 @@ pub fn break_unitary(w: u64, levels: usize) -> Result<BreakPlan, DecError> {
     }
     let mut denominations = vec![1u64; w as usize];
     denominations.resize(face as usize, 0);
-    let plan = BreakPlan { denominations, amount: w };
+    let plan = BreakPlan {
+        denominations,
+        amount: w,
+    };
     plan.check();
     Ok(plan)
 }
@@ -87,8 +90,13 @@ pub fn break_pcba(w: u64, levels: usize) -> Result<BreakPlan, DecError> {
     if w == 0 || w > face {
         return Err(DecError::BadAmount);
     }
-    let denominations = (1..=levels + 1).map(|i| (1u64 << (i - 1)) * bit(w, i)).collect();
-    let plan = BreakPlan { denominations, amount: w };
+    let denominations = (1..=levels + 1)
+        .map(|i| (1u64 << (i - 1)) * bit(w, i))
+        .collect();
+    let plan = BreakPlan {
+        denominations,
+        amount: w,
+    };
     plan.check();
     Ok(plan)
 }
@@ -105,13 +113,20 @@ pub fn break_epcba(w: u64, levels: usize) -> Result<BreakPlan, DecError> {
     let mut denominations: Vec<u64>;
     if a <= a_prime {
         // Use B(w−1) plus an extra unitary coin (w_{L+2} = 1).
-        denominations = (1..=levels + 1).map(|i| (1u64 << (i - 1)) * bit(w - 1, i)).collect();
+        denominations = (1..=levels + 1)
+            .map(|i| (1u64 << (i - 1)) * bit(w - 1, i))
+            .collect();
         denominations.push(1);
     } else {
-        denominations = (1..=levels + 1).map(|i| (1u64 << (i - 1)) * bit(w, i)).collect();
+        denominations = (1..=levels + 1)
+            .map(|i| (1u64 << (i - 1)) * bit(w, i))
+            .collect();
         denominations.push(0);
     }
-    let plan = BreakPlan { denominations, amount: w };
+    let plan = BreakPlan {
+        denominations,
+        amount: w,
+    };
     plan.check();
     Ok(plan)
 }
@@ -145,7 +160,10 @@ pub struct NodeAllocator {
 impl NodeAllocator {
     /// A fresh coin: every leaf free.
     pub fn new(levels: usize) -> NodeAllocator {
-        NodeAllocator { levels, free: vec![true; 1usize << levels] }
+        NodeAllocator {
+            levels,
+            free: vec![true; 1usize << levels],
+        }
     }
 
     /// Unspent value remaining.
@@ -208,7 +226,11 @@ impl NodeAllocator {
                 continue;
             }
             // Largest aligned all-free block at pos, depth >= 1.
-            let align = if pos == 0 { face / 2 } else { 1 << pos.trailing_zeros() };
+            let align = if pos == 0 {
+                face / 2
+            } else {
+                1 << pos.trailing_zeros()
+            };
             let mut size = align.min(face / 2).max(1);
             while size > 1 && !self.free[pos..pos + size].iter().all(|&f| f) {
                 size /= 2;
@@ -242,7 +264,15 @@ pub fn build_payment<R: Rng + ?Sized>(
     bank_sig_bytes: usize,
 ) -> Result<Vec<PaymentItem>, DecError> {
     let mut allocator = NodeAllocator::new(params.levels);
-    build_payment_with(rng, params, coin, plan, binding, bank_sig_bytes, &mut allocator)
+    build_payment_with(
+        rng,
+        params,
+        coin,
+        plan,
+        binding,
+        bank_sig_bytes,
+        &mut allocator,
+    )
 }
 
 /// [`build_payment`] against a persistent per-coin allocator, for
@@ -267,7 +297,12 @@ pub fn build_payment_with<R: Rng + ?Sized>(
             let claimed = 1u64 << slot.min(params.levels);
             let depth = params.levels - (claimed.trailing_zeros() as usize).min(params.levels);
             let depth = depth.max(1);
-            items.push(PaymentItem::Fake(FakeCoin::matching(rng, params, depth, bank_sig_bytes)));
+            items.push(PaymentItem::Fake(FakeCoin::matching(
+                rng,
+                params,
+                depth,
+                bank_sig_bytes,
+            )));
         } else {
             for path in &alloc[slot] {
                 items.push(PaymentItem::Real(coin.spend(rng, params, path, binding)));
@@ -286,7 +321,11 @@ pub fn cover_range(from: u64, to: u64, levels: usize) -> Vec<NodePath> {
     let mut pos = from;
     while pos < to {
         // Largest aligned block starting at pos that fits in [pos, to).
-        let align = if pos == 0 { 1u64 << levels } else { 1u64 << pos.trailing_zeros() };
+        let align = if pos == 0 {
+            1u64 << levels
+        } else {
+            1u64 << pos.trailing_zeros()
+        };
         let mut size = align.min(1u64 << levels.saturating_sub(1)); // depth >= 1
         while pos + size > to {
             size >>= 1;
@@ -342,7 +381,7 @@ mod tests {
     }
 
     #[test]
-    fn pcba_all_amounts_sum(){
+    fn pcba_all_amounts_sum() {
         for l in 1..=6 {
             for w in 1..=(1u64 << l) {
                 let plan = break_pcba(w, l).unwrap();
@@ -371,7 +410,13 @@ mod tests {
                 let plan = break_epcba(w, l).unwrap();
                 assert_eq!(plan.denominations.iter().sum::<u64>(), w, "w={w} L={l}");
                 assert_eq!(plan.denominations.len(), l + 2, "always L+2 slots");
-                assert!(plan.real_coins() >= break_pcba(w, l).unwrap().real_coins().min(plan.real_coins()));
+                assert!(
+                    plan.real_coins()
+                        >= break_pcba(w, l)
+                            .unwrap()
+                            .real_coins()
+                            .min(plan.real_coins())
+                );
             }
         }
     }
@@ -448,7 +493,11 @@ mod tests {
             let plan = break_pcba(w, l).unwrap();
             let alloc = allocate_nodes(&plan, l).unwrap();
             let change = cover_range(w, 1 << l, l);
-            let paid: u64 = alloc.iter().flatten().map(|p| 1u64 << (l - p.depth())).sum();
+            let paid: u64 = alloc
+                .iter()
+                .flatten()
+                .map(|p| 1u64 << (l - p.depth()))
+                .sum();
             let rest: u64 = change.iter().map(|p| 1u64 << (l - p.depth())).sum();
             assert_eq!(paid + rest, 1 << l, "w={w}");
             for a in alloc.iter().flatten() {

@@ -30,9 +30,10 @@ pub struct Coin {
     pub bank_sig: Option<BigUint>,
 }
 
-/// The base used for root tags (a tag generator of `G_2`).
+/// The base used for root tags (a tag generator of `G_2`, derived once
+/// at setup and cached in [`DecParams`]).
 pub(crate) fn root_tag_base(params: &DecParams) -> BigUint {
-    params.tower.level(1).group.derive_generator("dec-root-tag")
+    params.root_tag_base().clone()
 }
 
 /// Token bytes the bank signs for a given root tag.
@@ -47,7 +48,12 @@ impl Coin {
         let s = random_below(rng, &lvl0.group.q);
         let t0 = lvl0.group.g_exp(&s);
         let root_tag = params.tower.level(1).group.exp(&root_tag_base(params), &t0);
-        Coin { s, t0, root_tag, bank_sig: None }
+        Coin {
+            s,
+            t0,
+            root_tag,
+            bank_sig: None,
+        }
     }
 
     /// The token the bank signs (hash of the root tag).
@@ -100,7 +106,9 @@ impl Coin {
         for (d, &bit) in path.bits().iter().enumerate() {
             let lvl = params.tower.level(d + 1);
             let edge = if bit { &lvl.g1 } else { &lvl.g0 };
-            t = lvl.group.mul(&lvl.group.exp(edge, &t), &lvl.group.exp(&lvl.h, &self.s));
+            t = lvl
+                .group
+                .mul(&lvl.group.exp(edge, &t), &lvl.group.exp(&lvl.h, &self.s));
         }
         t
     }
@@ -116,8 +124,14 @@ impl Coin {
         binding: &[u8],
     ) -> Spend {
         let depth = path.depth();
-        assert!(depth >= 1 && depth <= params.levels, "spend depth out of range");
-        let bank_sig = self.bank_sig.clone().expect("coin must be withdrawn before spending");
+        assert!(
+            depth >= 1 && depth <= params.levels,
+            "spend depth out of range"
+        );
+        let bank_sig = self
+            .bank_sig
+            .clone()
+            .expect("coin must be withdrawn before spending");
 
         // Reveal the key chain t_1..t_d.
         let mut keys = Vec::with_capacity(depth);
@@ -125,7 +139,9 @@ impl Coin {
         for (d, &bit) in path.bits().iter().enumerate() {
             let lvl = params.tower.level(d + 1);
             let edge = if bit { &lvl.g1 } else { &lvl.g0 };
-            t = lvl.group.mul(&lvl.group.exp(edge, &t), &lvl.group.exp(&lvl.h, &self.s));
+            t = lvl
+                .group
+                .mul(&lvl.group.exp(edge, &t), &lvl.group.exp(&lvl.h, &self.s));
             keys.push(t.clone());
         }
 
@@ -140,7 +156,8 @@ impl Coin {
             h: &lvl0.group.g,
             y: &self.root_tag,
         };
-        let root_proof = DdlogProof::prove(rng, &stmt, &self.s, params.zkp_rounds, "dec-root", binding);
+        let root_proof =
+            DdlogProof::prove(rng, &stmt, &self.s, params.zkp_rounds, "dec-root", binding);
 
         // Level-1 linked representation proof (public first bit).
         let first_bit = path.bits()[0];
@@ -165,8 +182,10 @@ impl Coin {
             let t_prev = &keys[d - 2];
             let t_cur = &keys[d - 1];
             let ys = [
-                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g0, t_prev))),
-                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g1, t_prev))),
+                lvl.group
+                    .mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g0, t_prev))),
+                lvl.group
+                    .mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g1, t_prev))),
             ];
             let bit = path.bits()[d - 1];
             let extra = edge_binding(&self.root_tag, t_prev, t_cur, d, binding);

@@ -45,7 +45,10 @@ pub mod wallet;
 pub mod wire;
 
 pub use bank::DecBank;
-pub use brk::{allocate_nodes, break_epcba, break_pcba, break_unitary, build_payment, cover_range, plan_break, receive_payment, BreakPlan, CashBreak};
+pub use brk::{
+    allocate_nodes, break_epcba, break_pcba, break_unitary, build_payment, cover_range, plan_break,
+    receive_payment, BreakPlan, CashBreak,
+};
 pub use coin::{Coin, FakeCoin, PaymentItem};
 pub use error::DecError;
 pub use params::DecParams;

@@ -7,8 +7,9 @@
 //! known [fixture chains](ppms_primes::cunningham::fixture_chain)
 //! (mirroring the paper's decision to run setup offline).
 
+use ppms_bigint::BigUint;
 use ppms_crypto::tower::GroupTower;
-use ppms_primes::{fixture_chain, find_chain_parallel, CunninghamChain};
+use ppms_primes::{find_chain_parallel, fixture_chain, CunninghamChain};
 
 /// Public DEC parameters.
 #[derive(Debug, Clone)]
@@ -19,6 +20,10 @@ pub struct DecParams {
     pub tower: GroupTower,
     /// Stadler cut-and-choose rounds for the root proof.
     pub zkp_rounds: usize,
+    /// Root-tag generator `u ∈ G_2`, derived once at setup (it used to
+    /// be re-derived by hash-to-group on every mint/spend/verify) and
+    /// registered as a fixed base in the level-1 ring.
+    root_tag_base: BigUint,
 }
 
 impl DecParams {
@@ -33,7 +38,27 @@ impl DecParams {
             chain.len()
         );
         let tower = GroupTower::from_chain(&chain.prefix(levels + 2));
-        DecParams { levels, tower, zkp_rounds }
+        let root_tag_base = tower.level(1).group.derive_generator("dec-root-tag");
+        DecParams {
+            levels,
+            tower,
+            zkp_rounds,
+            root_tag_base,
+        }
+    }
+
+    /// The cached root-tag generator `u ∈ G_2`.
+    pub fn root_tag_base(&self) -> &BigUint {
+        &self.root_tag_base
+    }
+
+    /// Eagerly builds the fixed-base window tables of every tower
+    /// level (the tree generators plus the root-tag base). Call once
+    /// before spawning market workers: params clones share the
+    /// per-ring caches, so the threads reuse one set of tables instead
+    /// of each paying the lazy first-use build.
+    pub fn precompute(&self) {
+        self.tower.precompute();
     }
 
     /// Test/bench parameters from the known fixture chains
@@ -51,7 +76,12 @@ impl DecParams {
     /// Full online setup: searches a fresh Cunningham chain with
     /// `start_bits`-bit starting prime (rayon-parallel). This is the
     /// operation whose cost explodes with `L` (paper Fig. 2).
-    pub fn setup_online(levels: usize, start_bits: usize, zkp_rounds: usize, seed: u64) -> DecParams {
+    pub fn setup_online(
+        levels: usize,
+        start_bits: usize,
+        zkp_rounds: usize,
+        seed: u64,
+    ) -> DecParams {
         let chain = find_chain_parallel(start_bits, levels + 2, seed);
         DecParams::from_chain(&chain, levels, zkp_rounds)
     }

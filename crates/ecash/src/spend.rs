@@ -89,7 +89,7 @@ impl LinkedReprProof {
         let k0 = group.random_exponent(rng);
         let k1 = group.random_exponent(rng);
         let t_r = group.exp(u, &k0);
-        let t_1 = group.mul(&group.exp(gb, &k0), &group.exp(h, &k1));
+        let t_1 = group.multi_exp2(gb, &k0, h, &k1);
         let c = Self::challenge(group, u, root_tag, gb, h, t1, &t_r, &t_1, binding);
         let s0 = (&k0 + &c.modmul(t0, &group.q)) % &group.q;
         let s1 = (&k1 + &c.modmul(s, &group.q)) % &group.q;
@@ -111,10 +111,9 @@ impl LinkedReprProof {
             return false;
         }
         let c = Self::challenge(group, u, root_tag, gb, h, t1, &self.t_r, &self.t_1, binding);
-        let tag_ok =
-            group.exp(u, &self.s0) == group.mul(&self.t_r, &group.exp(root_tag, &c));
-        let node_ok = group.mul(&group.exp(gb, &self.s0), &group.exp(h, &self.s1))
-            == group.mul(&self.t_1, &group.exp(t1, &c));
+        let tag_ok = group.exp(u, &self.s0) == group.mul(&self.t_r, &group.exp(root_tag, &c));
+        let node_ok =
+            group.multi_exp2(gb, &self.s0, h, &self.s1) == group.mul(&self.t_1, &group.exp(t1, &c));
         tag_ok && node_ok
     }
 
@@ -225,16 +224,24 @@ impl Spend {
             h: &lvl0.group.g,
             y: &self.root_tag,
         };
-        if !self.root_proof.verify(&stmt, params.zkp_rounds, "dec-root", binding) {
+        if !self
+            .root_proof
+            .verify(&stmt, params.zkp_rounds, "dec-root", binding)
+        {
             return Err(DecError::BadProof("root double-dlog"));
         }
 
         // 4. Level-1 linked representation proof.
         let gb = if self.first_bit { &lvl1.g1 } else { &lvl1.g0 };
-        if !self
-            .link
-            .verify(&lvl1.group, &u, &self.root_tag, gb, &lvl1.h, &self.keys[0], binding)
-        {
+        if !self.link.verify(
+            &lvl1.group,
+            &u,
+            &self.root_tag,
+            gb,
+            &lvl1.h,
+            &self.keys[0],
+            binding,
+        ) {
             return Err(DecError::BadProof("level-1 link"));
         }
 
@@ -244,8 +251,10 @@ impl Spend {
             let t_prev = &self.keys[d - 2];
             let t_cur = &self.keys[d - 1];
             let ys = [
-                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g0, t_prev))),
-                lvl.group.mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g1, t_prev))),
+                lvl.group
+                    .mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g0, t_prev))),
+                lvl.group
+                    .mul(t_cur, &lvl.group.inv(&lvl.group.exp(&lvl.g1, t_prev))),
             ];
             let extra = edge_binding(&self.root_tag, t_prev, t_cur, d, binding);
             if !self.edge_proofs[d - 2].verify(&lvl.group, &lvl.h, &ys, "dec-edge", &extra) {
@@ -320,7 +329,9 @@ mod tests {
         for depth in 1..=3 {
             let path = NodePath::from_index(depth, 0);
             let spend = coin.spend(&mut rng, &params, &path, b"receiver");
-            let value = spend.verify(&params, bank.public_key(), b"receiver").unwrap();
+            let value = spend
+                .verify(&params, bank.public_key(), b"receiver")
+                .unwrap();
             assert_eq!(value, params.node_value(depth), "depth {depth}");
         }
     }

@@ -91,7 +91,11 @@ pub fn trace_tag(
         &group.q,
     );
     let r = (&u + &c.modmul(&key.k_id, &group.q)) % &group.q;
-    TraceTag { c, r, u_commit: group.g_exp(&u) }
+    TraceTag {
+        c,
+        r,
+        u_commit: group.g_exp(&u),
+    }
 }
 
 /// Bank-side single-tag consistency check: `g^r == U · I^c` ties the
@@ -156,7 +160,10 @@ mod tests {
         let t2 = trace_tag(&params, &coin, &key, &path, b"receiver-B");
         assert_ne!(t1.c, t2.c);
         let recovered = trace_double_spender(&params, &t1, &t2).expect("traceable");
-        assert_eq!(recovered, key.commitment, "bank recovers the registered identity");
+        assert_eq!(
+            recovered, key.commitment,
+            "bank recovers the registered identity"
+        );
     }
 
     #[test]
@@ -189,6 +196,10 @@ mod tests {
         let path = NodePath::from_index(2, 2);
         let t1 = trace_tag(&params, &coin1, &key, &path, b"A");
         let t2 = trace_tag(&params, &coin2, &key, &path, b"B");
-        assert_eq!(trace_double_spender(&params, &t1, &t2), None, "different coins never combine");
+        assert_eq!(
+            trace_double_spender(&params, &t1, &t2),
+            None,
+            "different coins never combine"
+        );
     }
 }

@@ -37,7 +37,10 @@ impl Wallet {
     /// cannot be spent and would strand their face value.
     pub fn add_coin(&mut self, params: &DecParams, coin: Coin) {
         assert!(coin.is_signed(), "withdraw the coin before adding it");
-        self.coins.push(WalletCoin { coin, allocator: NodeAllocator::new(params.levels) });
+        self.coins.push(WalletCoin {
+            coin,
+            allocator: NodeAllocator::new(params.levels),
+        });
     }
 
     /// Total unspent value across all coins.
@@ -79,8 +82,7 @@ impl Wallet {
         let mut items = Vec::new();
         // Iterate over coins snapshotting allocator state so a failed
         // multi-coin attempt does not half-spend the wallet.
-        let rollback: Vec<NodeAllocator> =
-            self.coins.iter().map(|c| c.allocator.clone()).collect();
+        let rollback: Vec<NodeAllocator> = self.coins.iter().map(|c| c.allocator.clone()).collect();
 
         for wc in self.coins.iter_mut() {
             if remaining == 0 {
@@ -123,7 +125,12 @@ impl Wallet {
 
     /// Spends every remaining node of every coin (change redemption).
     /// Returns the spends; the caller deposits them. Empties the wallet.
-    pub fn drain<R: Rng + ?Sized>(&mut self, rng: &mut R, params: &DecParams, binding: &[u8]) -> Vec<Spend> {
+    pub fn drain<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        params: &DecParams,
+        binding: &[u8],
+    ) -> Vec<Spend> {
         let mut spends = Vec::new();
         for wc in self.coins.iter() {
             for path in wc.allocator.free_nodes() {
@@ -144,7 +151,12 @@ impl Wallet {
         bank_sig_bytes: usize,
     ) {
         while items.len() < total_slots {
-            items.push(PaymentItem::Fake(FakeCoin::matching(rng, params, params.levels, bank_sig_bytes)));
+            items.push(PaymentItem::Fake(FakeCoin::matching(
+                rng,
+                params,
+                params.levels,
+                bank_sig_bytes,
+            )));
         }
     }
 
@@ -192,7 +204,9 @@ mod tests {
         let mut w = Wallet::new();
         w.add_coin(&params, bank.withdraw_coin(&mut rng));
         assert_eq!(w.balance(), 8);
-        let items = w.pay(&mut rng, &params, CashBreak::Pcba, 5, b"r", 64).unwrap();
+        let items = w
+            .pay(&mut rng, &params, CashBreak::Pcba, 5, b"r", 64)
+            .unwrap();
         let (_, total) = Wallet::receive(&params, bank.public_key(), &items, b"r");
         assert_eq!(total, 5);
         assert_eq!(w.balance(), 3, "change stays in the wallet");
@@ -206,7 +220,9 @@ mod tests {
         w.add_coin(&params, bank.withdraw_coin(&mut rng));
         assert_eq!(w.balance(), 16);
         // 11 > 8 forces drawing from both coins.
-        let items = w.pay(&mut rng, &params, CashBreak::Pcba, 11, b"r", 64).unwrap();
+        let items = w
+            .pay(&mut rng, &params, CashBreak::Pcba, 11, b"r", 64)
+            .unwrap();
         let (spends, total) = Wallet::receive(&params, bank.public_key(), &items, b"r");
         assert_eq!(total, 11);
         assert_eq!(w.balance(), 5);
@@ -228,7 +244,9 @@ mod tests {
         w.add_coin(&params, bank.withdraw_coin(&mut rng));
         let mut paid = 0;
         for amount in [3u64, 2, 2, 1] {
-            let items = w.pay(&mut rng, &params, CashBreak::Epcba, amount, b"", 64).unwrap();
+            let items = w
+                .pay(&mut rng, &params, CashBreak::Epcba, amount, b"", 64)
+                .unwrap();
             let (_, total) = Wallet::receive(&params, bank.public_key(), &items, b"");
             assert_eq!(total, amount);
             paid += amount;
@@ -245,7 +263,8 @@ mod tests {
         let mut bank = bank;
         let mut w = Wallet::new();
         w.add_coin(&params, bank.withdraw_coin(&mut rng));
-        w.pay(&mut rng, &params, CashBreak::Pcba, 5, b"", 64).unwrap();
+        w.pay(&mut rng, &params, CashBreak::Pcba, 5, b"", 64)
+            .unwrap();
         let change = w.drain(&mut rng, &params, b"");
         let total: u64 = change
             .iter()
@@ -263,7 +282,8 @@ mod tests {
         w.add_coin(&params, bank.withdraw_coin(&mut rng));
         let before = w.balance();
         assert_eq!(
-            w.pay(&mut rng, &params, CashBreak::Pcba, before + 1, b"", 64).err(),
+            w.pay(&mut rng, &params, CashBreak::Pcba, before + 1, b"", 64)
+                .err(),
             Some(DecError::BadAmount)
         );
         assert_eq!(w.balance(), before, "no partial allocation leaks");

@@ -128,8 +128,16 @@ impl Spend {
         if keys.is_empty() {
             return Err(WireError);
         }
-        let link = LinkedReprProof { t_r: r.int()?, t_1: r.int()?, s0: r.int()?, s1: r.int()? };
-        let root_proof = DdlogProof { commitments: read_ints(&mut r)?, responses: read_ints(&mut r)? };
+        let link = LinkedReprProof {
+            t_r: r.int()?,
+            t_1: r.int()?,
+            s0: r.int()?,
+            s1: r.int()?,
+        };
+        let root_proof = DdlogProof {
+            commitments: read_ints(&mut r)?,
+            responses: read_ints(&mut r)?,
+        };
         let n_edges = r.u32()? as usize;
         if n_edges > 1 << 10 {
             return Err(WireError);
@@ -144,7 +152,15 @@ impl Spend {
         if !r.done() {
             return Err(WireError);
         }
-        Ok(Spend { root_tag, bank_sig, first_bit, keys, link, root_proof, edge_proofs })
+        Ok(Spend {
+            root_tag,
+            bank_sig,
+            first_bit,
+            keys,
+            link,
+            root_proof,
+            edge_proofs,
+        })
     }
 }
 
@@ -183,9 +199,13 @@ pub fn decode_payment(bytes: &[u8]) -> Result<Vec<PaymentItem>, WireError> {
         match tag {
             1 => match Spend::from_bytes(body) {
                 Ok(s) => items.push(PaymentItem::Real(s)),
-                Err(_) => items.push(PaymentItem::Fake(FakeCoin { bytes: body.to_vec() })),
+                Err(_) => items.push(PaymentItem::Fake(FakeCoin {
+                    bytes: body.to_vec(),
+                })),
             },
-            0 => items.push(PaymentItem::Fake(FakeCoin { bytes: body.to_vec() })),
+            0 => items.push(PaymentItem::Fake(FakeCoin {
+                bytes: body.to_vec(),
+            })),
             _ => return Err(WireError),
         }
     }
@@ -222,7 +242,10 @@ mod tests {
             assert_eq!(back.keys, spend.keys);
             assert_eq!(back.first_bit, spend.first_bit);
             // Deserialized spend still verifies.
-            assert!(back.verify(&params, bank.public_key(), b"").is_ok(), "depth {depth}");
+            assert!(
+                back.verify(&params, bank.public_key(), b"").is_ok(),
+                "depth {depth}"
+            );
         }
     }
 
@@ -242,10 +265,7 @@ mod tests {
     fn payment_bundle_roundtrip() {
         let (params, bank, spend, mut rng) = spend_at(3);
         let fake = FakeCoin::matching(&mut rng, &params, 3, 64);
-        let items = vec![
-            PaymentItem::Real(spend),
-            PaymentItem::Fake(fake.clone()),
-        ];
+        let items = vec![PaymentItem::Real(spend), PaymentItem::Fake(fake.clone())];
         let bytes = encode_payment(&items);
         let back = decode_payment(&bytes).unwrap();
         assert_eq!(back.len(), 2);

@@ -4,9 +4,7 @@
 //! random spend sequences.
 
 use ppms_ecash::brk::NodeAllocator;
-use ppms_ecash::{
-    break_epcba, break_pcba, break_unitary, DecBank, DecParams, NodePath, Spend,
-};
+use ppms_ecash::{break_epcba, break_pcba, break_unitary, DecBank, DecParams, NodePath, Spend};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

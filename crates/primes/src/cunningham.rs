@@ -63,7 +63,9 @@ impl CunninghamChain {
     /// Takes the first `n` links as a (still valid) shorter chain.
     pub fn prefix(&self, n: usize) -> CunninghamChain {
         assert!(n >= 1 && n <= self.links.len());
-        CunninghamChain { links: self.links[..n].to_vec() }
+        CunninghamChain {
+            links: self.links[..n].to_vec(),
+        }
     }
 }
 
@@ -106,7 +108,11 @@ fn chain_survives_sieve(start: &BigUint, length: usize) -> bool {
 }
 
 /// Extends a candidate start into a full chain if every link is prime.
-fn try_candidate<R: Rng + ?Sized>(start: BigUint, length: usize, rng: &mut R) -> Option<CunninghamChain> {
+fn try_candidate<R: Rng + ?Sized>(
+    start: BigUint,
+    length: usize,
+    rng: &mut R,
+) -> Option<CunninghamChain> {
     if !chain_survives_sieve(&start, length) {
         return None;
     }
@@ -121,7 +127,11 @@ fn try_candidate<R: Rng + ?Sized>(start: BigUint, length: usize, rng: &mut R) ->
     }
     // Confirm with full-strength rounds before accepting.
     let chain = CunninghamChain { links };
-    if chain.links.iter().all(|p| is_probable_prime_rounds(p, 32, rng)) {
+    if chain
+        .links
+        .iter()
+        .all(|p| is_probable_prime_rounds(p, 32, rng))
+    {
         Some(chain)
     } else {
         None
@@ -130,7 +140,11 @@ fn try_candidate<R: Rng + ?Sized>(start: BigUint, length: usize, rng: &mut R) ->
 
 /// Sequential randomized search for a chain of `length` links whose
 /// start has `start_bits` bits.
-pub fn find_chain<R: Rng + ?Sized>(rng: &mut R, start_bits: usize, length: usize) -> CunninghamChain {
+pub fn find_chain<R: Rng + ?Sized>(
+    rng: &mut R,
+    start_bits: usize,
+    length: usize,
+) -> CunninghamChain {
     assert!(length >= 1);
     assert!(start_bits >= 16, "use fixture_chain for toy sizes");
     loop {
@@ -189,18 +203,15 @@ pub fn find_chain_parallel_deadline(
                 return None;
             }
         }
-        let found = (0..BATCH)
-            .into_par_iter()
-            .find_map_any(|i| {
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (round.wrapping_mul(0x9E3779B97F4A7C15)) ^ i as u64,
-                );
-                let mut start = random_odd_bits(&mut rng, start_bits);
-                if length >= 2 {
-                    start.set_bit(1, true);
-                }
-                try_candidate(start, length, &mut rng)
-            });
+        let found = (0..BATCH).into_par_iter().find_map_any(|i| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (round.wrapping_mul(0x9E3779B97F4A7C15)) ^ i as u64);
+            let mut start = random_odd_bits(&mut rng, start_bits);
+            if length >= 2 {
+                start.set_bit(1, true);
+            }
+            try_candidate(start, length, &mut rng)
+        });
         if let Some(chain) = found {
             return Some(chain);
         }
@@ -211,19 +222,19 @@ pub fn find_chain_parallel_deadline(
 /// Smallest known chain starts (first kind) covering lengths 1..=14.
 /// Entry `i` holds the smallest start whose chain reaches length `i+1`.
 const FIXTURE_STARTS: [u128; 14] = [
-    13,                      // length 1 (13 -> 27 composite)
-    3,                       // length 2
-    41,                      // length 3
-    509,                     // length 4
-    2,                       // length 5
-    89,                      // length 6
-    1_122_659,               // length 7
-    19_099_919,              // length 8
-    85_864_769,              // length 9
-    26_089_808_579,          // length 10
-    665_043_081_119,         // length 11
-    554_688_278_429,         // length 12
-    4_090_932_431_513_069,   // length 13
+    13,                         // length 1 (13 -> 27 composite)
+    3,                          // length 2
+    41,                         // length 3
+    509,                        // length 4
+    2,                          // length 5
+    89,                         // length 6
+    1_122_659,                  // length 7
+    19_099_919,                 // length 8
+    85_864_769,                 // length 9
+    26_089_808_579,             // length 10
+    665_043_081_119,            // length 11
+    554_688_278_429,            // length 12
+    4_090_932_431_513_069,      // length 13
     90_616_211_958_465_842_219, // length >= 14 (known 15-chain start)
 ];
 
@@ -252,7 +263,10 @@ mod tests {
 
     #[test]
     fn classic_chain_verifies() {
-        let links = [2u64, 5, 11, 23, 47].iter().map(|&v| BigUint::from(v)).collect();
+        let links = [2u64, 5, 11, 23, 47]
+            .iter()
+            .map(|&v| BigUint::from(v))
+            .collect();
         let chain = CunninghamChain::new(links).expect("2,5,11,23,47 is a chain");
         assert_eq!(chain.len(), 5);
         assert!(verify_chain(&chain));

@@ -14,7 +14,11 @@ pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
     assert!(bits >= 2, "no primes below 2 bits");
     if bits == 2 {
         // Only 2-bit candidates are 2 and 3; pick randomly.
-        return if rng.next_u32() & 1 == 0 { BigUint::two() } else { BigUint::from(3u64) };
+        return if rng.next_u32() & 1 == 0 {
+            BigUint::two()
+        } else {
+            BigUint::from(3u64)
+        };
     }
     loop {
         let mut cand = random_odd_bits(rng, bits);

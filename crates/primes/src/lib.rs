@@ -15,7 +15,9 @@ pub mod gen;
 pub mod miller_rabin;
 pub mod sieve;
 
-pub use cunningham::{find_chain, find_chain_parallel, fixture_chain, verify_chain, CunninghamChain};
+pub use cunningham::{
+    find_chain, find_chain_parallel, fixture_chain, verify_chain, CunninghamChain,
+};
 pub use gen::{random_prime, random_safe_prime};
 pub use miller_rabin::is_probable_prime;
 pub use sieve::{small_primes, SMALL_PRIME_LIMIT};

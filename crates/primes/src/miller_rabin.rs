@@ -5,24 +5,25 @@
 //! With 32 rounds the error probability is < 4^-32 per call.
 
 use crate::sieve::small_primes;
-use ppms_bigint::{random_below, BigUint, Montgomery};
+use ppms_bigint::{random_below, BigUint, ModRing};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Default number of random Miller–Rabin rounds.
 pub const DEFAULT_ROUNDS: u32 = 32;
 
-/// One Miller–Rabin round for witness `a` against odd `n > 3`,
-/// with `n - 1 = d * 2^s` precomputed.
-fn mr_round(mont: &Montgomery, n: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
-    let n_minus_1 = n - &BigUint::one();
-    let mut x = mont.modpow(a, d);
-    if x.is_one() || x == n_minus_1 {
+/// One Miller–Rabin round for witness `a` against odd `n > 3`, with
+/// `n - 1 = d * 2^s` precomputed. The ring is constructed once per
+/// candidate (after trial division has had its chance to reject
+/// cheaply) and reused across all witnesses.
+fn mr_round(ring: &ModRing, n_minus_1: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
+    let mut x = ring.pow(a, d);
+    if x.is_one() || &x == n_minus_1 {
         return true;
     }
     for _ in 1..s {
-        x = mont.mul(&x, &x);
-        if x == n_minus_1 {
+        x = ring.mul(&x, &x);
+        if &x == n_minus_1 {
             return true;
         }
         if x.is_one() {
@@ -61,20 +62,23 @@ pub fn is_probable_prime_rounds<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: 
         }
     }
 
+    // Only candidates that survived trial division pay for ring
+    // construction (Montgomery constants need a division for
+    // `R² mod n`); the one context then serves every witness round.
     let n_minus_1 = n - &BigUint::one();
     let s = n_minus_1.trailing_zeros().expect("n > 1 odd, so n-1 > 0");
     let d = &n_minus_1 >> s;
-    let mont = Montgomery::new(n);
+    let ring = ModRing::new(n);
 
     // Deterministic base 2 first — cheap and catches most composites.
-    if !mr_round(&mont, n, &d, s, &BigUint::two()) {
+    if !mr_round(&ring, &n_minus_1, &d, s, &BigUint::two()) {
         return false;
     }
     // Random bases in [2, n-2].
     let upper = n - &BigUint::from(3u64);
     for _ in 0..rounds {
         let a = &random_below(rng, &upper) + &BigUint::two();
-        if !mr_round(&mont, n, &d, s, &a) {
+        if !mr_round(&ring, &n_minus_1, &d, s, &a) {
             return false;
         }
     }
@@ -109,7 +113,12 @@ mod tests {
 
     #[test]
     fn known_primes() {
-        for p in [1_000_000_007u64, 1_000_000_009, 2_147_483_647, 67_280_421_310_721] {
+        for p in [
+            1_000_000_007u64,
+            1_000_000_009,
+            2_147_483_647,
+            67_280_421_310_721,
+        ] {
             assert!(is_probable_prime(&b(p)), "{p} is prime");
         }
     }

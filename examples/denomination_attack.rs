@@ -20,7 +20,12 @@ fn main() {
     // A concrete peek first: what the MA sees for w = 8 (the paper's
     // own example value).
     let w = 8;
-    for strategy in [CashBreak::None, CashBreak::Pcba, CashBreak::Epcba, CashBreak::Unitary] {
+    for strategy in [
+        CashBreak::None,
+        CashBreak::Pcba,
+        CashBreak::Epcba,
+        CashBreak::Unitary,
+    ] {
         let stream = deposit_stream(strategy, w, levels);
         let sums = achievable_sums(&stream, levels);
         println!(
@@ -30,8 +35,16 @@ fn main() {
         );
     }
 
-    println!("\n{:<10} {:>22} {:>22}", "strategy", "unique-link success", "mean anonymity set");
-    for strategy in [CashBreak::None, CashBreak::Pcba, CashBreak::Epcba, CashBreak::Unitary] {
+    println!(
+        "\n{:<10} {:>22} {:>22}",
+        "strategy", "unique-link success", "mean anonymity set"
+    );
+    for strategy in [
+        CashBreak::None,
+        CashBreak::Pcba,
+        CashBreak::Epcba,
+        CashBreak::Unitary,
+    ] {
         let report = run_denomination_attack(0xA77AC4, strategy, n_jobs, levels, trials);
         println!(
             "{:<10} {:>21.1}% {:>22.2}",

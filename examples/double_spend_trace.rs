@@ -51,10 +51,24 @@ fn main() {
     assert_eq!(culprit, "cheating-bob");
 
     println!("\n== No false accusations ==");
-    let d1 = trace_tag(&params, &cheater_coin, &cheater_key, &NodePath::from_index(3, 1), b"m1");
-    let d2 = trace_tag(&params, &cheater_coin, &cheater_key, &NodePath::from_index(3, 2), b"m2");
+    let d1 = trace_tag(
+        &params,
+        &cheater_coin,
+        &cheater_key,
+        &NodePath::from_index(3, 1),
+        b"m1",
+    );
+    let d2 = trace_tag(
+        &params,
+        &cheater_coin,
+        &cheater_key,
+        &NodePath::from_index(3, 2),
+        b"m2",
+    );
     println!(
         "tags from two *different* nodes combine to: {:?}",
-        trace_double_spender(&params, &d1, &d2).map(|_| "identity").unwrap_or("nothing")
+        trace_double_spender(&params, &d1, &d2)
+            .map(|_| "identity")
+            .unwrap_or("nothing")
     );
 }

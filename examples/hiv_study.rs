@@ -49,12 +49,15 @@ fn main() {
     }
 
     println!("\nWhat the market administrator can see:");
-    println!("  - bulletin board: {:?}", market
-        .bulletin
-        .list()
-        .iter()
-        .map(|j| (j.job_id, j.payment))
-        .collect::<Vec<_>>());
+    println!(
+        "  - bulletin board: {:?}",
+        market
+            .bulletin
+            .list()
+            .iter()
+            .map(|j| (j.job_id, j.payment))
+            .collect::<Vec<_>>()
+    );
     println!("  - deposit streams per anonymous account (values only)");
     println!("  - NO linkage between a deposit account and the study:");
     println!("    the coins were blind-signed, the deposits are broken");
@@ -62,7 +65,10 @@ fn main() {
     println!("    used one-time keys.\n");
 
     for (i, acct) in patient_accounts.iter().enumerate() {
-        println!("patient {i} balance: {} credits", market.bank.balance(*acct).unwrap());
+        println!(
+            "patient {i} balance: {} credits",
+            market.bank.balance(*acct).unwrap()
+        );
     }
     println!(
         "study account balance: {} credits ({} still held as coin change)",

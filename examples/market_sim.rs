@@ -27,14 +27,10 @@ fn main() {
     println!("\n== Fig.5-style multi-round timing (setup included) ==");
     println!("{:>7} {:>16} {:>16}", "rounds", "PPMSdec", "PPMSpbs");
     for rounds in [1usize, 3, 5] {
-        let (dec, _) = run_dec_rounds(1, rounds, 3, 16, 512, 48, 5, CashBreak::Pcba)
-            .expect("dec rounds");
+        let (dec, _) =
+            run_dec_rounds(1, rounds, 3, 16, 512, 48, 5, CashBreak::Pcba).expect("dec rounds");
         let pbs = run_pbs_rounds(2, rounds, 512).expect("pbs rounds");
-        println!(
-            "{rounds:>7} {:>14.1?} {:>14.1?}",
-            dec.total(),
-            pbs.total()
-        );
+        println!("{rounds:>7} {:>14.1?} {:>14.1?}", dec.total(), pbs.total());
     }
     println!("\nPPMSpbs's flat, low cost versus PPMSdec's ZKP-heavy rounds");
     println!("reproduces the gap the paper reports in Fig. 5.");

@@ -21,15 +21,28 @@ fn main() {
     let jo = pbs.register_jo(&mut rng, 10, 512);
     let sp = pbs.register_sp(&mut rng, 512);
     let outcome = pbs
-        .run_round(&mut rng, &jo, &sp, "city noise samples", b"58 dB(A) @ Main St")
+        .run_round(
+            &mut rng,
+            &jo,
+            &sp,
+            "city noise samples",
+            b"58 dB(A) @ Main St",
+        )
         .expect("PPMSpbs round");
-    println!("job #{} paid {} credit(s)", outcome.job_id, outcome.credited);
+    println!(
+        "job #{} paid {} credit(s)",
+        outcome.job_id, outcome.credited
+    );
     println!(
         "balances: JO = {}, SP = {}",
         pbs.bank.balance(jo.account).unwrap(),
         pbs.bank.balance(sp.account).unwrap()
     );
-    println!("traffic: {:.2} kb over {} messages", pbs.traffic.total_kb(), pbs.traffic.message_count());
+    println!(
+        "traffic: {:.2} kb over {} messages",
+        pbs.traffic.total_kb(),
+        pbs.traffic.message_count()
+    );
 
     // ---------------------------------------------------------------
     // PPMSdec: arbitrary payments over divisible e-cash.
@@ -40,11 +53,23 @@ fn main() {
     let mut jo = dec.register_jo(&mut rng, 100, 512);
     let sp = dec.register_sp(&mut rng, 512);
     let outcome = dec
-        .run_round(&mut rng, &mut jo, &sp, "accelerometer study", 5, CashBreak::Epcba, b"fall trace")
+        .run_round(
+            &mut rng,
+            &mut jo,
+            &sp,
+            "accelerometer study",
+            5,
+            CashBreak::Epcba,
+            b"fall trace",
+        )
         .expect("PPMSdec round");
     println!(
         "job #{}: paid w = {} with {} real coin(s) + {} fake(s); deposits seen by MA: {:?}",
-        outcome.job_id, outcome.credited, outcome.real_coins, outcome.fake_coins, outcome.deposit_stream
+        outcome.job_id,
+        outcome.credited,
+        outcome.real_coins,
+        outcome.fake_coins,
+        outcome.deposit_stream
     );
     println!(
         "balances: JO = {} (+{} change in the coin), SP = {}",
@@ -52,9 +77,17 @@ fn main() {
         jo.change_value(dec.params()),
         dec.bank.balance(sp.account).unwrap()
     );
-    println!("traffic: {:.2} kb over {} messages", dec.traffic.total_kb(), dec.traffic.message_count());
+    println!(
+        "traffic: {:.2} kb over {} messages",
+        dec.traffic.total_kb(),
+        dec.traffic.message_count()
+    );
     println!("\nTable-I style op counts (this round):");
-    for p in [ppms_core::Party::Jo, ppms_core::Party::Sp, ppms_core::Party::Ma] {
+    for p in [
+        ppms_core::Party::Jo,
+        ppms_core::Party::Sp,
+        ppms_core::Party::Ma,
+    ] {
         println!("  {p}: {}", dec.metrics.formula(p));
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Lint gate: formatting + clippy with warnings denied, then the test
+# suite. Run before every merge; CI should invoke exactly this script
+# so local runs and the gate can never disagree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ci-gate: all checks passed"

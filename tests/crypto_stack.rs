@@ -23,7 +23,13 @@ fn searched_chain_powers_a_working_tower() {
     let outer = &tower.level(1).group;
     let x = inner.random_exponent(&mut r);
     let y = outer.exp(&outer.g, &inner.g_exp(&x));
-    let stmt = DdlogStatement { outer, inner, g: &outer.g, h: &inner.g, y: &y };
+    let stmt = DdlogStatement {
+        outer,
+        inner,
+        g: &outer.g,
+        h: &inner.g,
+        y: &y,
+    };
     let proof = DdlogProof::prove(&mut r, &stmt, &x, 16, "integration", b"");
     assert!(proof.verify(&stmt, 16, "integration", b""));
 }
@@ -36,7 +42,12 @@ fn online_setup_to_working_coin() {
     let params = DecParams::setup_online(1, 20, 8, 99);
     let mut bank = DecBank::new(&mut r, params.clone(), 512);
     let coin = bank.withdraw_coin(&mut r);
-    let spend = coin.spend(&mut r, &params, &ppms_ecash::NodePath::from_index(1, 0), b"");
+    let spend = coin.spend(
+        &mut r,
+        &params,
+        &ppms_ecash::NodePath::from_index(1, 0),
+        b"",
+    );
     assert_eq!(bank.deposit(&spend, b""), Ok(1));
 }
 
@@ -47,7 +58,15 @@ fn parallel_bundle_verification_matches_sequential() {
     let bank = DecBank::new(&mut r, params.clone(), 512);
     let coin = bank.withdraw_coin(&mut r);
     let plan = plan_break(CashBreak::Unitary, 6, params.levels).unwrap();
-    let items = build_payment(&mut r, &params, &coin, &plan, b"", bank.public_key().size_bytes()).unwrap();
+    let items = build_payment(
+        &mut r,
+        &params,
+        &coin,
+        &plan,
+        b"",
+        bank.public_key().size_bytes(),
+    )
+    .unwrap();
 
     let (seq, seq_total) =
         ppms_core::sim::verify_bundle_sequential(&params, bank.public_key(), &items, b"");
@@ -58,7 +77,10 @@ fn parallel_bundle_verification_matches_sequential() {
     assert_eq!(seq.len(), par.len());
     let seq_serials: Vec<_> = seq.iter().map(|s| s.serial().clone()).collect();
     let par_serials: Vec<_> = par.iter().map(|s| s.serial().clone()).collect();
-    assert_eq!(seq_serials, par_serials, "rayon preserves order via collect");
+    assert_eq!(
+        seq_serials, par_serials,
+        "rayon preserves order via collect"
+    );
 }
 
 #[test]
@@ -66,7 +88,10 @@ fn threaded_pbs_market_conserves_supply() {
     let report = ppms_core::sim::run_parallel_pbs_market(7, 4, 3, 512, 4);
     assert_eq!(report.completed, 12);
     assert_eq!(report.failed, 0);
-    assert_eq!(report.supply_before, report.supply_after, "ledger conserved under contention");
+    assert_eq!(
+        report.supply_before, report.supply_after,
+        "ledger conserved under contention"
+    );
 }
 
 #[test]

@@ -40,13 +40,18 @@ fn sp_cannot_replay_payment_after_depositing() {
     market.withdraw(&mut rng, &mut jo).unwrap();
     let jo_pk = jo.job_key_public();
     let sp_pk = market.labor_registration(&sp);
-    let (ct, ..) = market.submit_payment(&mut rng, &mut jo, &sp_pk, 5, CashBreak::Pcba).unwrap();
+    let (ct, ..) = market
+        .submit_payment(&mut rng, &mut jo, &sp_pk, 5, CashBreak::Pcba)
+        .unwrap();
 
     let (credited, _) = market.deposit_payment(&sp, &jo_pk, &ct).unwrap();
     assert_eq!(credited, 5);
     // Replaying the same ciphertext re-deposits the same serials.
     let err = market.deposit_payment(&sp, &jo_pk, &ct).unwrap_err();
-    assert!(matches!(err, MarketError::Dec(DecError::DoubleSpend(_))), "got {err:?}");
+    assert!(
+        matches!(err, MarketError::Dec(DecError::DoubleSpend(_))),
+        "got {err:?}"
+    );
 }
 
 #[test]
@@ -77,7 +82,15 @@ fn fake_coins_never_credit() {
     let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
 
     let outcome = market
-        .run_round(&mut rng, &mut jo, &sp, "padded", 1, CashBreak::Unitary, b"d")
+        .run_round(
+            &mut rng,
+            &mut jo,
+            &sp,
+            "padded",
+            1,
+            CashBreak::Unitary,
+            b"d",
+        )
         .unwrap();
     // w = 1, face = 8: one real coin, seven fakes — exactly 1 credited.
     assert_eq!(outcome.real_coins, 1);
@@ -95,7 +108,9 @@ fn tampered_ciphertext_rejected_by_sp() {
     market.withdraw(&mut rng, &mut jo).unwrap();
     let jo_pk = jo.job_key_public();
     let sp_pk = market.labor_registration(&sp);
-    let (mut ct, ..) = market.submit_payment(&mut rng, &mut jo, &sp_pk, 2, CashBreak::Pcba).unwrap();
+    let (mut ct, ..) = market
+        .submit_payment(&mut rng, &mut jo, &sp_pk, 2, CashBreak::Pcba)
+        .unwrap();
     ct[10] ^= 0x80;
     let err = market.deposit_payment(&sp, &jo_pk, &ct).unwrap_err();
     assert_eq!(err, MarketError::BadPayload("decrypt"));

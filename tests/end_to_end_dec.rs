@@ -12,7 +12,15 @@ fn full_round_pcba() {
     let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
 
     let outcome = market
-        .run_round(&mut rng, &mut jo, &sp, "urban noise mapping", 5, CashBreak::Pcba, b"db(A) readings")
+        .run_round(
+            &mut rng,
+            &mut jo,
+            &sp,
+            "urban noise mapping",
+            5,
+            CashBreak::Pcba,
+            b"db(A) readings",
+        )
         .expect("round completes");
 
     assert_eq!(outcome.credited, 5);
@@ -35,13 +43,24 @@ fn full_round_unitary() {
     let sp = market.register_sp(&mut rng, TEST_RSA_BITS);
 
     let outcome = market
-        .run_round(&mut rng, &mut jo, &sp, "transit tracking", 3, CashBreak::Unitary, b"gps traces")
+        .run_round(
+            &mut rng,
+            &mut jo,
+            &sp,
+            "transit tracking",
+            3,
+            CashBreak::Unitary,
+            b"gps traces",
+        )
         .expect("round completes");
 
     assert_eq!(outcome.credited, 3);
     assert_eq!(outcome.real_coins, 3, "three unitary coins");
     assert_eq!(outcome.fake_coins, 1, "padded to 2^L = 4 slots");
-    assert!(outcome.deposit_stream.iter().all(|&v| v == 1), "all deposits unitary");
+    assert!(
+        outcome.deposit_stream.iter().all(|&v| v == 1),
+        "all deposits unitary"
+    );
 }
 
 #[test]
@@ -52,7 +71,15 @@ fn full_round_epcba() {
 
     // w = 8 = 2^L: EPCBA prefers 7+1 → coins {1,2,4,1}.
     let outcome = market
-        .run_round(&mut rng, &mut jo, &sp, "air quality", 8, CashBreak::Epcba, b"pm2.5")
+        .run_round(
+            &mut rng,
+            &mut jo,
+            &sp,
+            "air quality",
+            8,
+            CashBreak::Epcba,
+            b"pm2.5",
+        )
         .expect("round completes");
     assert_eq!(outcome.credited, 8);
     assert_eq!(outcome.real_coins, 4);
@@ -74,11 +101,15 @@ fn multiple_sps_one_coin() {
     let jo_pk = jo_job_pk(&market);
 
     let pk1 = market.labor_registration(&sp1);
-    let (ct1, ..) = market.submit_payment(&mut rng, &mut jo, &pk1, 3, CashBreak::Pcba).unwrap();
+    let (ct1, ..) = market
+        .submit_payment(&mut rng, &mut jo, &pk1, 3, CashBreak::Pcba)
+        .unwrap();
     let (credited1, _) = market.deposit_payment(&sp1, &jo_pk, &ct1).unwrap();
 
     let pk2 = market.labor_registration(&sp2);
-    let (ct2, ..) = market.submit_payment(&mut rng, &mut jo, &pk2, 4, CashBreak::Pcba).unwrap();
+    let (ct2, ..) = market
+        .submit_payment(&mut rng, &mut jo, &pk2, 4, CashBreak::Pcba)
+        .unwrap();
     let (credited2, _) = market.deposit_payment(&sp2, &jo_pk, &ct2).unwrap();
 
     assert_eq!(credited1, 3);
@@ -127,7 +158,10 @@ fn traffic_and_metrics_recorded() {
     // JO produced ZK proofs for every real coin; SP verified them.
     assert!(market.metrics.get(Party::Jo, Op::Zkp) > 0);
     assert!(market.metrics.get(Party::Sp, Op::Zkp) > 0);
-    assert!(market.metrics.get(Party::Sp, Op::Dec) >= 2, "payload decrypt + sig verify");
+    assert!(
+        market.metrics.get(Party::Sp, Op::Dec) >= 2,
+        "payload decrypt + sig verify"
+    );
     // Traffic flowed on all steps of Algorithm 1.
     for label in [
         "job-registration",
@@ -139,7 +173,10 @@ fn traffic_and_metrics_recorded() {
         "payment-delivery",
         "deposit",
     ] {
-        assert!(market.traffic.has_label(label), "missing traffic step {label}");
+        assert!(
+            market.traffic.has_label(label),
+            "missing traffic step {label}"
+        );
     }
     assert!(market.traffic.total_bytes() > 0);
 }

@@ -12,12 +12,22 @@ fn full_round() {
     let sp = market.register_sp(&mut r, TEST_RSA_BITS);
 
     let outcome = market
-        .run_round(&mut r, &jo, &sp, "fall detection study", b"accelerometer trace")
+        .run_round(
+            &mut r,
+            &jo,
+            &sp,
+            "fall detection study",
+            b"accelerometer trace",
+        )
         .expect("round completes");
     assert_eq!(outcome.credited, 1);
     assert_eq!(market.bank.balance(jo.account).unwrap(), 9);
     assert_eq!(market.bank.balance(sp.account).unwrap(), 1);
-    assert_eq!(market.bank.total_supply(), 10, "unitary transfer conserves supply");
+    assert_eq!(
+        market.bank.total_supply(),
+        10,
+        "unitary transfer conserves supply"
+    );
 }
 
 #[test]
@@ -29,9 +39,15 @@ fn serial_reuse_rejected() {
 
     market.run_round(&mut r, &jo, &sp, "job", b"data").unwrap();
     // The same SP state (same serial) cannot be paid twice.
-    let err = market.run_round(&mut r, &jo, &sp, "job again", b"data").unwrap_err();
+    let err = market
+        .run_round(&mut r, &jo, &sp, "job again", b"data")
+        .unwrap_err();
     assert_eq!(err, MarketError::StaleSerial);
-    assert_eq!(market.bank.balance(sp.account).unwrap(), 1, "only one credit moved");
+    assert_eq!(
+        market.bank.balance(sp.account).unwrap(),
+        1,
+        "only one credit moved"
+    );
 }
 
 #[test]
@@ -40,7 +56,9 @@ fn broke_jo_cannot_pay() {
     let mut market = PbsMarket::new();
     let jo = market.register_jo(&mut r, 0, TEST_RSA_BITS);
     let sp = market.register_sp(&mut r, TEST_RSA_BITS);
-    let err = market.run_round(&mut r, &jo, &sp, "job", b"data").unwrap_err();
+    let err = market
+        .run_round(&mut r, &jo, &sp, "job", b"data")
+        .unwrap_err();
     assert_eq!(err, MarketError::InsufficientFunds);
     assert_eq!(market.bank.balance(sp.account).unwrap(), 0);
 }
@@ -55,7 +73,12 @@ fn forged_deposit_rejected() {
     // An SP trying to deposit a made-up signature gets rejected.
     let fake_sig = ppms_bigint::random_below(&mut r, &jo.account_key.public.n);
     let err = market
-        .deposit(&jo.account_key.public, &sp.account_key.public, &sp.serial, &fake_sig)
+        .deposit(
+            &jo.account_key.public,
+            &sp.account_key.public,
+            &sp.serial,
+            &fake_sig,
+        )
         .unwrap_err();
     assert_eq!(err, MarketError::BadCoin("deposit signature"));
 }
@@ -73,17 +96,28 @@ fn deposit_with_wrong_serial_rejected() {
     market.labor_registration(&mut r, &jo, &sp).unwrap();
     // Run the PBS flow manually to capture the signature.
     let msg = sp.account_key.public.to_bytes();
-    let (alpha, blinding) = ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
+    let (alpha, blinding) =
+        ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
     let beta = ppms_crypto::rsa::pbs_sign(&jo.account_key, &sp.serial, &alpha).unwrap();
     let sig = ppms_crypto::rsa::pbs_unblind(&jo.account_key.public, &beta, &blinding);
 
     let err = market
-        .deposit(&jo.account_key.public, &sp.account_key.public, b"other-serial-....", &sig)
+        .deposit(
+            &jo.account_key.public,
+            &sp.account_key.public,
+            b"other-serial-....",
+            &sig,
+        )
         .unwrap_err();
     assert_eq!(err, MarketError::BadCoin("deposit signature"));
     // Under the right serial it succeeds.
     assert_eq!(
-        market.deposit(&jo.account_key.public, &sp.account_key.public, &sp.serial, &sig),
+        market.deposit(
+            &jo.account_key.public,
+            &sp.account_key.public,
+            &sp.serial,
+            &sig
+        ),
         Ok(1)
     );
 }
@@ -100,7 +134,11 @@ fn metrics_and_traffic_cover_algorithm4() {
     assert!(market.metrics.get(Party::Jo, Op::Enc) >= 2);
     assert!(market.metrics.get(Party::Sp, Op::Dec) >= 2);
     assert!(market.metrics.get(Party::Ma, Op::Dec) >= 1);
-    assert_eq!(market.metrics.get(Party::Jo, Op::Zkp), 0, "no ZKPs in PPMSpbs");
+    assert_eq!(
+        market.metrics.get(Party::Jo, Op::Zkp),
+        0,
+        "no ZKPs in PPMSpbs"
+    );
 
     for label in [
         "job-registration",
@@ -120,7 +158,9 @@ fn metrics_and_traffic_cover_algorithm4() {
 fn many_rounds_many_parties() {
     let mut r = rng(16);
     let mut market = PbsMarket::new();
-    let jos: Vec<_> = (0..3).map(|_| market.register_jo(&mut r, 5, TEST_RSA_BITS)).collect();
+    let jos: Vec<_> = (0..3)
+        .map(|_| market.register_jo(&mut r, 5, TEST_RSA_BITS))
+        .collect();
     for round in 0..4 {
         for jo in &jos {
             let sp = market.register_sp(&mut r, TEST_RSA_BITS);

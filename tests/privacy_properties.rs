@@ -48,7 +48,8 @@ fn pbs_jo_never_sees_sp_account_key() {
     let (alpha, _b) = ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
     // The blinded value is not the message (and is uniformly re-randomized).
     assert_ne!(alpha.to_bytes_be(), msg);
-    let (alpha2, _b2) = ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
+    let (alpha2, _b2) =
+        ppms_crypto::rsa::pbs_blind(&mut r, &jo.account_key.public, &sp.serial, &msg);
     assert_ne!(alpha, alpha2, "same key blinds to fresh values every time");
 }
 
@@ -60,12 +61,17 @@ fn pbs_ma_sees_transaction_but_not_job_identity() {
     let mut market = PbsMarket::new();
     let jo = market.register_jo(&mut r, 10, TEST_RSA_BITS);
     let sp = market.register_sp(&mut r, TEST_RSA_BITS);
-    market.run_round(&mut r, &jo, &sp, "hiv cohort study", b"vitals").unwrap();
+    market
+        .run_round(&mut r, &jo, &sp, "hiv cohort study", b"vitals")
+        .unwrap();
 
     // The bulletin board never contains the JO's account key.
     let account_key_bytes = jo.account_key.public.to_bytes();
     for job in market.bulletin.list() {
-        assert_ne!(job.pseudonym, account_key_bytes, "job published under pseudonym only");
+        assert_ne!(
+            job.pseudonym, account_key_bytes,
+            "job published under pseudonym only"
+        );
     }
     // The ledger moved money between the two accounts (bank-visible).
     assert_eq!(market.bank.balance(sp.account).unwrap(), 1);
@@ -80,7 +86,10 @@ fn denomination_attack_baseline_vs_breaks() {
     let epcba = run_denomination_attack(100, CashBreak::Epcba, 10, 8, 300);
     let unitary = run_denomination_attack(100, CashBreak::Unitary, 10, 8, 300);
 
-    assert!(none.unique_success_rate > 0.9, "unbroken payments are linkable");
+    assert!(
+        none.unique_success_rate > 0.9,
+        "unbroken payments are linkable"
+    );
     assert!(pcba.mean_candidate_jobs > none.mean_candidate_jobs);
     assert!(epcba.mean_candidate_jobs >= pcba.mean_candidate_jobs * 0.9);
     assert!(unitary.unique_success_rate < none.unique_success_rate);
@@ -120,7 +129,10 @@ fn sp_identity_appears_only_at_deposit_in_dec() {
     // The metrics side-channel: deposits happened strictly after
     // payment delivery in the log (ordering preserved).
     let log = market.traffic.snapshot();
-    let delivery_idx = log.iter().position(|e| e.label == "payment-delivery").unwrap();
+    let delivery_idx = log
+        .iter()
+        .position(|e| e.label == "payment-delivery")
+        .unwrap();
     let first_deposit = log.iter().position(|e| e.label == "deposit").unwrap();
     assert!(first_deposit > delivery_idx, "deposits follow delivery");
 }
@@ -140,8 +152,10 @@ fn labor_registrations_mix_before_the_ma() {
             vec![i; 32]
         })
         .collect();
-    let onions: Vec<Vec<u8>> =
-        registrations.iter().map(|m| cascade.build_onion(&mut r, m)).collect();
+    let onions: Vec<Vec<u8>> = registrations
+        .iter()
+        .map(|m| cascade.build_onion(&mut r, m))
+        .collect();
     let delivered = cascade.run_batch(&mut r, &onions).expect("mix delivers");
     let mut got = delivered.clone();
     let mut want = registrations.clone();
@@ -157,7 +171,8 @@ fn table1_shape_pbs_lighter_than_dec() {
     let (mut dec, mut r1) = dec_market(34, 3);
     let mut jo = dec.register_jo(&mut r1, 100, TEST_RSA_BITS);
     let sp = dec.register_sp(&mut r1, TEST_RSA_BITS);
-    dec.run_round(&mut r1, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"d").unwrap();
+    dec.run_round(&mut r1, &mut jo, &sp, "job", 5, CashBreak::Pcba, b"d")
+        .unwrap();
 
     let mut r2 = rng(35);
     let mut pbs = PbsMarket::new();

@@ -27,7 +27,10 @@ fn sp_thread(svc: &MaService, job_id: u64, seed: u64) -> (AccountId, u64) {
         panic!("account");
     };
     assert!(matches!(
-        client.call(MaRequest::LaborRegister { job_id, sp_pubkey: sp_pubkey.clone() }),
+        client.call(MaRequest::LaborRegister {
+            job_id,
+            sp_pubkey: sp_pubkey.clone()
+        }),
         MaResponse::Ok
     ));
     assert!(matches!(
@@ -41,7 +44,9 @@ fn sp_thread(svc: &MaService, job_id: u64, seed: u64) -> (AccountId, u64) {
 
     // Poll for the payment (the MA holds it until the JO submits it).
     let ciphertext = loop {
-        match client.call(MaRequest::FetchPayment { sp_pubkey: sp_pubkey.clone() }) {
+        match client.call(MaRequest::FetchPayment {
+            sp_pubkey: sp_pubkey.clone(),
+        }) {
             MaResponse::Payment(Some(ct)) => break ct,
             MaResponse::Payment(None) => std::thread::sleep(Duration::from_millis(5)),
             other => panic!("unexpected response {other:?}"),
@@ -54,7 +59,10 @@ fn sp_thread(svc: &MaService, job_id: u64, seed: u64) -> (AccountId, u64) {
     for item in items {
         if let PaymentItem::Real(spend) = item {
             if spend.verify(&svc.params, &svc.bank_pk, b"").is_ok() {
-                match client.call(MaRequest::Deposit { account, spend: Box::new(spend) }) {
+                match client.call(MaRequest::Deposit {
+                    account,
+                    spend: Box::new(spend),
+                }) {
                     MaResponse::Deposited(v) => credited += v,
                     other => panic!("deposit failed: {other:?}"),
                 }
@@ -81,9 +89,10 @@ fn threaded_dec_market_full_protocol() {
         std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(61);
             let cl = ClKeyPair::generate(&mut rng, &pairing);
-            let MaResponse::Account(account) =
-                client.call(MaRequest::RegisterJoAccount { funds: 100, clpk: cl.public.clone() })
-            else {
+            let MaResponse::Account(account) = client.call(MaRequest::RegisterJoAccount {
+                funds: 100,
+                clpk: cl.public.clone(),
+            }) else {
                 panic!("jo account");
             };
             let job_key = rsa::keygen(&mut rng, RSA_BITS);
@@ -99,9 +108,12 @@ fn threaded_dec_market_full_protocol() {
             let mut coin = Coin::mint(&mut rng, &params);
             let (blinded, factor) = coin.blind_token(&mut rng, &bank_pk);
             let auth = cl.sign_bytes(&mut rng, &pairing, &1u64.to_be_bytes());
-            let MaResponse::BlindSignature(sig) =
-                client.call(MaRequest::Withdraw { account, nonce: 1, auth, blinded })
-            else {
+            let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+                account,
+                nonce: 1,
+                auth,
+                blinded,
+            }) else {
                 panic!("withdraw");
             };
             assert!(coin.attach_signature(&bank_pk, &sig, &factor));
@@ -132,7 +144,10 @@ fn threaded_dec_market_full_protocol() {
                     let sp_pk = rsa::RsaPublicKey::from_bytes(&sp_pubkey).unwrap();
                     let ciphertext = rsa::encrypt(&mut rng, &sp_pk, &payload);
                     assert!(matches!(
-                        client.call(MaRequest::SubmitPayment { sp_pubkey, ciphertext }),
+                        client.call(MaRequest::SubmitPayment {
+                            sp_pubkey,
+                            ciphertext
+                        }),
                         MaResponse::Ok
                     ));
                     paid += 1;
@@ -166,10 +181,12 @@ fn threaded_dec_market_full_protocol() {
     // Run SPs on scoped threads so they can borrow the service.
     let results: Vec<(AccountId, u64)> = std::thread::scope(|s| {
         (0..n_sps)
-            .map(|i| s.spawn({
-                let svc = &svc;
-                move || sp_thread(svc, job_id, 70 + i as u64)
-            }))
+            .map(|i| {
+                s.spawn({
+                    let svc = &svc;
+                    move || sp_thread(svc, job_id, 70 + i as u64)
+                })
+            })
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().expect("sp thread"))
@@ -189,7 +206,9 @@ fn threaded_dec_market_full_protocol() {
         assert_eq!(b, w);
     }
     // JO paid 2^L once.
-    let MaResponse::Balance(jo_balance) = client.call(MaRequest::Balance { account: jo_account }) else {
+    let MaResponse::Balance(jo_balance) = client.call(MaRequest::Balance {
+        account: jo_account,
+    }) else {
         panic!("balance");
     };
     assert_eq!(jo_balance, 100 - svc.params.face_value());
