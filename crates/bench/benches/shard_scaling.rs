@@ -1,0 +1,62 @@
+//! Shard-scaling throughput: concurrent clients drive deposit batches
+//! (the verification-heavy MA hot path) into a service running 1, 2, 4
+//! and 8 shard workers. Each batch routes to the shard owning its
+//! account, so per-spend ZK verification parallelizes across shards
+//! while the ledger stays serialized behind the shared bank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppms_bench::cfg;
+use ppms_core::service::{MaService, ServiceConfig};
+use ppms_core::sim::{mint_deposit_batches, run_deposit_workload};
+use ppms_ecash::DecParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_BATCHES: usize = 16;
+const CLIENTS: usize = 8;
+const LEVELS: usize = 2;
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter_with_setup(
+                    || {
+                        // Fresh service and fresh coins every
+                        // iteration: a spend deposits exactly once, so
+                        // the workload cannot be replayed.
+                        let mut rng = StdRng::seed_from_u64(0x5CA1E + shards as u64);
+                        let svc = MaService::spawn_with_config(
+                            &mut rng,
+                            DecParams::fixture(LEVELS, cfg::ZKP_ROUNDS),
+                            cfg::RSA_BITS,
+                            40,
+                            ServiceConfig {
+                                shards,
+                                queue_depth: 64,
+                            },
+                        );
+                        let batches = mint_deposit_batches(&svc, 0xD0 + shards as u64, N_BATCHES)
+                            .expect("mint deposit workload");
+                        (svc, batches)
+                    },
+                    |(svc, batches)| {
+                        let total = run_deposit_workload(&svc, &batches, CLIENTS).expect("deposit");
+                        let expected = N_BATCHES as u64 * (1u64 << LEVELS);
+                        assert_eq!(total, expected, "every spend must be credited");
+                        std::hint::black_box(total);
+                        svc.shutdown();
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

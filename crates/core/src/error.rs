@@ -3,6 +3,9 @@
 use ppms_ecash::DecError;
 
 /// Why a market interaction was rejected.
+///
+/// Detail payloads are owned strings so errors survive a round trip
+/// through the serialized transport layer ([`crate::wire`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MarketError {
     /// Account does not exist.
@@ -12,15 +15,19 @@ pub enum MarketError {
     /// Authentication failed (CL signature / account key mismatch).
     BadAuthentication,
     /// A cryptographic payload failed to decrypt or verify.
-    BadPayload(&'static str),
+    BadPayload(String),
     /// The partially blind signature or its serial was rejected.
-    BadCoin(&'static str),
+    BadCoin(String),
     /// The serial number was already deposited (PPMSpbs freshness).
     StaleSerial,
     /// An e-cash error from the DEC layer.
     Dec(DecError),
     /// The job does not exist on the bulletin board.
     NoSuchJob,
+    /// The transport layer failed: a peer hung up, a channel closed,
+    /// a frame failed to decode, or the simulated network dropped the
+    /// message.
+    Transport(String),
 }
 
 impl From<DecError> for MarketError {
@@ -40,6 +47,7 @@ impl std::fmt::Display for MarketError {
             MarketError::StaleSerial => write!(f, "serial number already used"),
             MarketError::Dec(e) => write!(f, "e-cash error: {e}"),
             MarketError::NoSuchJob => write!(f, "no such job"),
+            MarketError::Transport(s) => write!(f, "transport failure: {s}"),
         }
     }
 }

@@ -15,11 +15,14 @@
 //!   (anti-money-laundering, as the paper notes).
 //!
 //! Support modules: the [`bank`] (virtual currency ledger), the
-//! [`bulletin`] board, [`transport`] (byte-level traffic accounting →
-//! paper Table II), [`metrics`] (operation counts → paper Table I),
-//! [`sim`] (multi-round and threaded market simulation → paper
-//! Fig. 5), and [`attack`] (the denomination / linkage attack
-//! evaluation behind the paper's §IV-B analysis).
+//! [`bulletin`] board, [`wire`] (versioned envelope protocol — the
+//! canonical byte encoding of every market message), [`transport`]
+//! (pluggable in-process / simulated-network transports plus
+//! byte-level traffic accounting → paper Table II), [`metrics`]
+//! (operation counts → paper Table I), [`sim`] (multi-round and
+//! threaded market simulation → paper Fig. 5), and [`attack`] (the
+//! denomination / linkage attack evaluation behind the paper's §IV-B
+//! analysis).
 
 pub mod attack;
 pub mod bank;
@@ -32,6 +35,7 @@ pub mod ppmspbs;
 pub mod service;
 pub mod sim;
 pub mod transport;
+pub mod wire;
 
 pub use attack::{run_denomination_attack, AttackReport};
 pub use bank::{AccountId, Bank};
@@ -41,5 +45,6 @@ pub use metrics::{Metrics, Op, Party};
 pub use mixnet::{MixCascade, MixNode};
 pub use ppmsdec::{DecMarket, DecRoundOutcome};
 pub use ppmspbs::{PbsMarket, PbsRoundOutcome};
-pub use service::{MaClient, MaRequest, MaResponse, MaService};
-pub use transport::TrafficLog;
+pub use service::{Inbound, MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
+pub use transport::{InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport};
+pub use wire::{Envelope, RelayPayload, WireDecode, WireEncode, WireError};

@@ -22,12 +22,17 @@
 //!
 //! The driver records every message in the [`TrafficLog`] (→ Table II)
 //! and every cryptographic operation in [`Metrics`] (→ Table I).
+//! Message sizes are the **actual encoded lengths** of the
+//! [`crate::wire`] envelopes those messages occupy on the wire
+//! ([`wire::framed_len`]), not hand-estimates.
 
 use crate::bank::{AccountId, Bank};
 use crate::bulletin::Bulletin;
 use crate::error::MarketError;
 use crate::metrics::{Metrics, Op, Party};
+use crate::service::{MaRequest, MaResponse};
 use crate::transport::TrafficLog;
+use crate::wire;
 use ppms_crypto::cl::{ClKeyPair, ClPublicKey};
 use ppms_crypto::pairing::TypeAPairing;
 use ppms_crypto::rsa::{self, RsaPrivateKey};
@@ -177,7 +182,14 @@ impl DecMarket {
     /// Phase 1 — job registration and bulletin publication.
     pub fn register_job(&mut self, jo: &DecJobOwner, description: &str, payment: u64) -> u64 {
         let pseudonym = jo.job_key.public.to_bytes();
-        let size = description.len() + 8 + pseudonym.len();
+        let size = wire::framed_len(
+            Party::Jo,
+            &MaRequest::PublishJob {
+                description: description.to_string(),
+                payment,
+                pseudonym: pseudonym.clone(),
+            },
+        );
         self.traffic
             .record(Party::Jo, Party::Ma, "job-registration", size);
         self.bulletin
@@ -219,16 +231,28 @@ impl DecMarket {
             Party::Jo,
             Party::Ma,
             "withdrawal-request",
-            auth.size_bytes(&self.pairing) + blinded.bits().div_ceil(8),
+            wire::framed_len(
+                Party::Jo,
+                &MaRequest::Withdraw {
+                    account: jo.account,
+                    nonce: self.withdraw_nonce,
+                    auth: auth.clone(),
+                    blinded: blinded.clone(),
+                },
+            ),
         );
 
         let sig = self.dec_bank.sign_blinded(&blinded);
         self.metrics.count(Party::Ma, Op::Enc); // bank blind signature
-        self.traffic
-            .record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
+        self.traffic.record(
+            Party::Ma,
+            Party::Jo,
+            "e-cash",
+            wire::framed_len(Party::Ma, &MaResponse::BlindSignature(sig.clone())),
+        );
 
         if !coin.attach_signature(self.dec_bank.public_key(), &sig, &factor) {
-            return Err(MarketError::BadCoin("bank signature did not verify"));
+            return Err(MarketError::BadCoin("bank signature did not verify".into()));
         }
         self.metrics.count(Party::Jo, Op::Dec); // unblind + verify
         jo.coin = Some(coin);
@@ -240,10 +264,24 @@ impl DecMarket {
     /// `SP → MA → JO`.
     pub fn labor_registration(&mut self, sp: &DecParticipant) -> Vec<u8> {
         let pk = sp.pseudonym();
-        self.traffic
-            .record(Party::Sp, Party::Ma, "labor-registration", pk.len());
-        self.traffic
-            .record(Party::Ma, Party::Jo, "labor-forward", pk.len());
+        self.traffic.record(
+            Party::Sp,
+            Party::Ma,
+            "labor-registration",
+            wire::framed_len(
+                Party::Sp,
+                &MaRequest::LaborRegister {
+                    job_id: 0,
+                    sp_pubkey: pk.clone(),
+                },
+            ),
+        );
+        self.traffic.record(
+            Party::Ma,
+            Party::Jo,
+            "labor-forward",
+            wire::framed_len(Party::Ma, &MaResponse::Labor(vec![pk.clone()])),
+        );
         pk
     }
 
@@ -264,7 +302,7 @@ impl DecMarket {
         let coin = jo
             .coin
             .as_ref()
-            .ok_or(MarketError::BadCoin("no coin withdrawn"))?;
+            .ok_or(MarketError::BadCoin("no coin withdrawn".into()))?;
         if jo.allocator.remaining() < w {
             return Err(MarketError::InsufficientFunds);
         }
@@ -304,7 +342,7 @@ impl DecMarket {
         payload.extend_from_slice(&sig_bytes);
 
         let sp_pk = ppms_crypto::rsa::RsaPublicKey::from_bytes(sp_pubkey_bytes)
-            .ok_or(MarketError::BadPayload("sp public key"))?;
+            .ok_or(MarketError::BadPayload("sp public key".into()))?;
         let ciphertext = rsa::encrypt(rng, &sp_pk, &payload);
         self.metrics.count(Party::Jo, Op::Enc);
 
@@ -312,23 +350,48 @@ impl DecMarket {
             Party::Jo,
             Party::Ma,
             "payment-submission",
-            ciphertext.len() + sp_pubkey_bytes.len(),
+            wire::framed_len(
+                Party::Jo,
+                &MaRequest::SubmitPayment {
+                    sp_pubkey: sp_pubkey_bytes.to_vec(),
+                    ciphertext: ciphertext.clone(),
+                },
+            ),
         );
         Ok((ciphertext, real, fake))
     }
 
     /// Phase 6 — data submission (SP → MA) and delivery (MA → JO).
-    pub fn submit_data(&mut self, data: &[u8]) {
-        self.traffic
-            .record(Party::Sp, Party::Ma, "data-report", data.len());
-        self.traffic
-            .record(Party::Ma, Party::Jo, "data-delivery", data.len());
+    pub fn submit_data(&mut self, sp: &DecParticipant, job_id: u64, data: &[u8]) {
+        self.traffic.record(
+            Party::Sp,
+            Party::Ma,
+            "data-report",
+            wire::framed_len(
+                Party::Sp,
+                &MaRequest::SubmitData {
+                    job_id,
+                    sp_pubkey: sp.pseudonym(),
+                    data: data.to_vec(),
+                },
+            ),
+        );
+        self.traffic.record(
+            Party::Ma,
+            Party::Jo,
+            "data-delivery",
+            wire::framed_len(Party::Ma, &MaResponse::Data(vec![data.to_vec()])),
+        );
     }
 
     /// Phase 7 — payment delivery: MA forwards the ciphertext.
     pub fn deliver_payment(&mut self, ciphertext: &[u8]) {
-        self.traffic
-            .record(Party::Ma, Party::Sp, "payment-delivery", ciphertext.len());
+        self.traffic.record(
+            Party::Ma,
+            Party::Sp,
+            "payment-delivery",
+            wire::framed_len(Party::Ma, &MaResponse::Payment(Some(ciphertext.to_vec()))),
+        );
     }
 
     /// Phase 8 — the SP opens the payment, verifies designation and
@@ -343,7 +406,7 @@ impl DecMarket {
     ) -> Result<(u64, Vec<u64>), MarketError> {
         // Decrypt (eq. (10)).
         let payload = rsa::decrypt(&sp.one_time, ciphertext)
-            .map_err(|_| MarketError::BadPayload("decrypt"))?;
+            .map_err(|_| MarketError::BadPayload("decrypt".into()))?;
         self.metrics.count(Party::Sp, Op::Dec);
 
         // Split bundle / signature (eq. (10)).
@@ -352,7 +415,7 @@ impl DecMarket {
         // Verify the designation signature (paper: "SP verifies the
         // validity of the sig using the JO's public key").
         if !rsa::verify(jo_job_pubkey, &sp.pseudonym(), &sig) {
-            return Err(MarketError::BadPayload("designation signature"));
+            return Err(MarketError::BadPayload("designation signature".into()));
         }
         self.metrics.count(Party::Sp, Op::Dec);
         self.metrics.count(Party::Sp, Op::Hash);
@@ -378,7 +441,16 @@ impl DecMarket {
         let mut credited = 0;
         let mut stream = Vec::new();
         for spend in &valid {
-            let size = spend.to_bytes().len() + 8; // AID_sp + spend
+            // One deposit on the wire is a batch of one (the unified
+            // service path); the SP still spaces deposits out, so each
+            // spend pays its own envelope.
+            let size = wire::framed_len(
+                Party::Sp,
+                &MaRequest::DepositBatch {
+                    account: sp.account,
+                    spends: vec![spend.clone()],
+                },
+            );
             self.traffic.record(Party::Sp, Party::Ma, "deposit", size);
             let value = self.dec_bank.deposit(spend, b"")?;
             self.metrics
@@ -405,7 +477,10 @@ impl DecMarket {
         jo: &mut DecJobOwner,
     ) -> Result<u64, MarketError> {
         let params = self.params().clone();
-        let coin = jo.coin.as_ref().ok_or(MarketError::BadCoin("no coin"))?;
+        let coin = jo
+            .coin
+            .as_ref()
+            .ok_or(MarketError::BadCoin("no coin".into()))?;
         let nodes = jo.allocator.free_nodes();
         let mut total = 0;
         for path in &nodes {
@@ -439,7 +514,7 @@ impl DecMarket {
         }
         let sp_pk = self.labor_registration(sp);
         let (ciphertext, real, fake) = self.submit_payment(rng, jo, &sp_pk, w, strategy)?;
-        self.submit_data(data);
+        self.submit_data(sp, job_id, data);
         self.deliver_payment(&ciphertext);
         let (credited, deposit_stream) =
             self.deposit_payment(sp, &jo.job_key.public, &ciphertext)?;
@@ -462,27 +537,27 @@ fn split_bundle_and_sig(
     // the full buffer fails (trailing sig), so walk the frame manually.
     // Layout: [u32 count] ([u8 tag][u32 len][bytes])* [u32 sig_len][sig]
     if payload.len() < 4 {
-        return Err(MarketError::BadPayload("framing"));
+        return Err(MarketError::BadPayload("framing".into()));
     }
     let count = u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
     let mut off = 4;
     for _ in 0..count {
         if payload.len() < off + 5 {
-            return Err(MarketError::BadPayload("framing"));
+            return Err(MarketError::BadPayload("framing".into()));
         }
         let len =
             u32::from_be_bytes(payload[off + 1..off + 5].try_into().expect("4 bytes")) as usize;
         off += 5 + len;
     }
     if payload.len() < off + 4 {
-        return Err(MarketError::BadPayload("framing"));
+        return Err(MarketError::BadPayload("framing".into()));
     }
     let bundle = &payload[..off];
     let sig_len = u32::from_be_bytes(payload[off..off + 4].try_into().expect("4 bytes")) as usize;
     if payload.len() != off + 4 + sig_len {
-        return Err(MarketError::BadPayload("framing"));
+        return Err(MarketError::BadPayload("framing".into()));
     }
     let sig = ppms_bigint::BigUint::from_bytes_be(&payload[off + 4..]);
-    let items = decode_payment(bundle).map_err(|_| MarketError::BadPayload("bundle"))?;
+    let items = decode_payment(bundle).map_err(|_| MarketError::BadPayload("bundle".into()))?;
     Ok((items, sig))
 }

@@ -29,7 +29,9 @@ use crate::bank::{AccountId, Bank};
 use crate::bulletin::Bulletin;
 use crate::error::MarketError;
 use crate::metrics::{Metrics, Op, Party};
+use crate::service::MaRequest;
 use crate::transport::TrafficLog;
+use crate::wire::{self, RelayPayload};
 use parking_lot::Mutex;
 use ppms_bigint::BigUint;
 use ppms_crypto::rsa::{self, RsaPrivateKey, RsaPublicKey};
@@ -148,7 +150,14 @@ impl PbsMarket {
             Party::Jo,
             Party::Ma,
             "job-registration",
-            description.len() + pseudonym.len(),
+            wire::framed_len(
+                Party::Jo,
+                &MaRequest::PublishJob {
+                    description: description.to_string(),
+                    payment: 1,
+                    pseudonym: pseudonym.clone(),
+                },
+            ),
         );
         self.bulletin.publish(description.to_string(), 1, pseudonym)
     }
@@ -166,17 +175,23 @@ impl PbsMarket {
         msg.extend_from_slice(&sp.serial);
         let c = rsa::encrypt(rng, &jo.job_key.public, &msg);
         self.metrics.count(Party::Sp, Op::Enc);
+        let reg_len = wire::framed_len(
+            Party::Sp,
+            &RelayPayload::PbsLaborRegister {
+                ciphertext: c.clone(),
+            },
+        );
         self.traffic
-            .record(Party::Sp, Party::Ma, "labor-registration", c.len());
+            .record(Party::Sp, Party::Ma, "labor-registration", reg_len);
         self.traffic
-            .record(Party::Ma, Party::Jo, "labor-forward", c.len());
+            .record(Party::Ma, Party::Jo, "labor-forward", reg_len);
 
         // JO decrypts, signs (rpk_sp, s), replies under rpk_sp.
-        let opened =
-            rsa::decrypt(&jo.job_key, &c).map_err(|_| MarketError::BadPayload("labor reg"))?;
+        let opened = rsa::decrypt(&jo.job_key, &c)
+            .map_err(|_| MarketError::BadPayload("labor reg".into()))?;
         self.metrics.count(Party::Jo, Op::Dec);
         if opened != msg {
-            return Err(MarketError::BadPayload("labor reg roundtrip"));
+            return Err(MarketError::BadPayload("labor reg roundtrip".into()));
         }
         let sig = rsa::sign(&jo.account_key, &opened);
         self.metrics.count(Party::Jo, Op::Enc);
@@ -192,28 +207,44 @@ impl PbsMarket {
             Party::Jo,
             Party::Ma,
             "designation",
-            c2.len() + sp.one_time.public.to_bytes().len(),
+            wire::framed_len(
+                Party::Jo,
+                &RelayPayload::PbsDesignation {
+                    receiver: sp.one_time.public.to_bytes(),
+                    ciphertext: c2.clone(),
+                },
+            ),
         );
-        self.traffic
-            .record(Party::Ma, Party::Sp, "designation-forward", c2.len());
+        self.traffic.record(
+            Party::Ma,
+            Party::Sp,
+            "designation-forward",
+            wire::framed_len(
+                Party::Ma,
+                &RelayPayload::PbsDesignationForward {
+                    ciphertext: c2.clone(),
+                },
+            ),
+        );
 
         // SP decrypts and verifies the signature under rpk_JO.
-        let opened2 =
-            rsa::decrypt(&sp.one_time, &c2).map_err(|_| MarketError::BadPayload("designation"))?;
+        let opened2 = rsa::decrypt(&sp.one_time, &c2)
+            .map_err(|_| MarketError::BadPayload("designation".into()))?;
         self.metrics.count(Party::Sp, Op::Dec);
         let jo_account_pk_bytes = jo.account_key.public.to_bytes();
         if opened2.len() < jo_account_pk_bytes.len() + 4 {
-            return Err(MarketError::BadPayload("designation framing"));
+            return Err(MarketError::BadPayload("designation framing".into()));
         }
         let (pk_part, rest) = opened2.split_at(jo_account_pk_bytes.len());
-        let jo_pk = RsaPublicKey::from_bytes(pk_part).ok_or(MarketError::BadPayload("jo key"))?;
+        let jo_pk =
+            RsaPublicKey::from_bytes(pk_part).ok_or(MarketError::BadPayload("jo key".into()))?;
         let sig_len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
         if rest.len() != 4 + sig_len {
-            return Err(MarketError::BadPayload("designation framing"));
+            return Err(MarketError::BadPayload("designation framing".into()));
         }
         let sig_rx = BigUint::from_bytes_be(&rest[4..]);
         if !rsa::verify(&jo_pk, &msg, &sig_rx) {
-            return Err(MarketError::BadPayload("designation signature"));
+            return Err(MarketError::BadPayload("designation signature".into()));
         }
         self.metrics.count(Party::Sp, Op::Dec);
         self.metrics.count(Party::Sp, Op::Hash);
@@ -236,49 +267,73 @@ impl PbsMarket {
         let (alpha, blinding) = rsa::pbs_blind(rng, &jo.account_key.public, &sp.serial, &msg);
         self.metrics.count(Party::Sp, Op::Enc);
         self.metrics.count(Party::Sp, Op::Hash);
-        let alpha_len = alpha.bits().div_ceil(8);
-        self.traffic.record(
+        let request_len = wire::framed_len(
             Party::Sp,
-            Party::Ma,
-            "pbs-request",
-            alpha_len + sp.serial.len(),
+            &RelayPayload::PbsBlindRequest {
+                alpha: alpha.clone(),
+                serial: sp.serial.clone(),
+            },
         );
-        self.traffic.record(
-            Party::Ma,
-            Party::Jo,
-            "pbs-forward",
-            alpha_len + sp.serial.len(),
-        );
+        self.traffic
+            .record(Party::Sp, Party::Ma, "pbs-request", request_len);
+        self.traffic
+            .record(Party::Ma, Party::Jo, "pbs-forward", request_len);
 
         // JO signs blind (sees the serial, not the message).
         let beta = rsa::pbs_sign(&jo.account_key, &sp.serial, &alpha)
-            .map_err(|_| MarketError::BadCoin("info exponent"))?;
+            .map_err(|_| MarketError::BadCoin("info exponent".into()))?;
         self.metrics.count(Party::Jo, Op::Enc);
-        let beta_len = beta.bits().div_ceil(8);
+        let beta_len = wire::framed_len(
+            Party::Jo,
+            &RelayPayload::PbsBlindResponse { beta: beta.clone() },
+        );
         self.traffic
             .record(Party::Jo, Party::Ma, "pbs-response", beta_len);
 
         // Data report flows before payment delivery (paper eq. (23)).
-        self.traffic
-            .record(Party::Sp, Party::Ma, "data-report", data.len());
+        self.traffic.record(
+            Party::Sp,
+            Party::Ma,
+            "data-report",
+            wire::framed_len(
+                Party::Sp,
+                &RelayPayload::DataReport {
+                    data: data.to_vec(),
+                },
+            ),
+        );
         self.traffic
             .record(Party::Ma, Party::Sp, "payment-delivery", beta_len);
-        self.traffic
-            .record(Party::Ma, Party::Jo, "data-delivery", data.len());
+        self.traffic.record(
+            Party::Ma,
+            Party::Jo,
+            "data-delivery",
+            wire::framed_len(
+                Party::Ma,
+                &RelayPayload::DataDelivery {
+                    data: data.to_vec(),
+                },
+            ),
+        );
 
         // SP unblinds and verifies (eqs. (24)–(25)).
         let sig = rsa::pbs_unblind(&jo.account_key.public, &beta, &blinding);
         if !rsa::pbs_verify(&jo.account_key.public, &sp.serial, &msg, &sig) {
-            return Err(MarketError::BadCoin("pbs verification"));
+            return Err(MarketError::BadCoin("pbs verification".into()));
         }
         self.metrics.count(Party::Sp, Op::Dec);
         self.metrics.count(Party::Sp, Op::Hash);
 
         // Deposit: (sig, rpk_SP, rpk_JO, s) → MA (eq. (26)).
-        let deposit_len = sig.bits().div_ceil(8)
-            + msg.len()
-            + jo.account_key.public.to_bytes().len()
-            + sp.serial.len();
+        let deposit_len = wire::framed_len(
+            Party::Sp,
+            &RelayPayload::PbsDeposit {
+                sig: sig.clone(),
+                sp_key: msg.clone(),
+                jo_key: jo.account_key.public.to_bytes(),
+                serial: sp.serial.clone(),
+            },
+        );
         self.traffic
             .record(Party::Sp, Party::Ma, "deposit", deposit_len);
         self.deposit(
@@ -299,7 +354,7 @@ impl PbsMarket {
         sig: &BigUint,
     ) -> Result<u64, MarketError> {
         if !rsa::pbs_verify(jo_pk, serial, &sp_pk.to_bytes(), sig) {
-            return Err(MarketError::BadCoin("deposit signature"));
+            return Err(MarketError::BadCoin("deposit signature".into()));
         }
         self.metrics.count(Party::Ma, Op::Dec);
         self.metrics.add(Party::Ma, Op::Hash, 2); // info + message hashes

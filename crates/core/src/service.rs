@@ -1,8 +1,20 @@
 //! The market administrator as a **message-passing service** — the
 //! paper's Fig. 1 system model made concrete: JOs and SPs are
-//! independent threads that talk to the MA exclusively through
-//! channels, and the MA enforces the protocol rules (publish, forward,
-//! hold payments until data arrives, verify deposits).
+//! independent threads that talk to the MA exclusively through a
+//! [`crate::transport::Transport`], and the MA enforces the
+//! protocol rules (publish, forward, hold payments until data arrives,
+//! verify deposits).
+//!
+//! Internally the service is a **dispatcher plus N shard workers**:
+//! the dispatcher routes each request to a shard by its affinity key
+//! (`AccountId` for ledger operations, `job_id` for job-scoped ones,
+//! the SP pseudonym for payment forwarding), so all per-key state
+//! lives in exactly one shard and never needs a lock. Cross-cutting
+//! state (ledger, bulletin, DEC bank, held payments) is shared behind
+//! the existing thread-safe types. Channels are bounded end to end,
+//! so a flood of clients exerts backpressure instead of growing
+//! queues without limit. `Shutdown` drains the shards and reports how
+//! many held payments were never delivered.
 //!
 //! This is the concurrent twin of [`crate::ppmsdec::DecMarket`]'s
 //! single-threaded driver; the integration tests run both and expect
@@ -12,16 +24,19 @@ use crate::bank::{AccountId, Bank};
 use crate::bulletin::Bulletin;
 use crate::error::MarketError;
 use crate::metrics::Party;
-use crate::transport::TrafficLog;
+use crate::transport::{InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport};
 use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
 use ppms_bigint::BigUint;
 use ppms_crypto::cl::{ClPublicKey, ClSignature};
 use ppms_crypto::pairing::TypeAPairing;
-use ppms_ecash::{DecBank, DecParams, Spend};
-use std::collections::HashMap;
+use ppms_ecash::{DecBank, DecError, DecParams, Spend};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A request to the market administrator.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum MaRequest {
     /// Open a JO account with initial funds, binding a CL public key.
     RegisterJoAccount {
@@ -92,15 +107,9 @@ pub enum MaRequest {
         /// The job.
         job_id: u64,
     },
-    /// SP deposits one spend under its account id (phase 8).
-    Deposit {
-        /// The depositing account (`AID_sp`).
-        account: AccountId,
-        /// The spend.
-        spend: Box<Spend>,
-    },
-    /// SP deposits a whole bundle at once; the bank verifies the batch
-    /// rayon-parallel and credits the valid subset.
+    /// SP deposits one or more spends under its account id (phase 8).
+    /// A single deposit is simply a batch of one; the shard verifies
+    /// the batch and credits the valid subset in one ledger update.
     DepositBatch {
         /// The depositing account (`AID_sp`).
         account: AccountId,
@@ -112,12 +121,13 @@ pub enum MaRequest {
         /// The account.
         account: AccountId,
     },
-    /// Stop the service loop.
+    /// Stop the service: the dispatcher drains every shard, then
+    /// reports how many held payments were never delivered.
     Shutdown,
 }
 
 /// The MA's answer.
-#[derive(Debug)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum MaResponse {
     /// A fresh account id.
     Account(AccountId),
@@ -133,8 +143,6 @@ pub enum MaResponse {
     Payment(Option<Vec<u8>>),
     /// Data reports for a job.
     Data(Vec<Vec<u8>>),
-    /// Value credited by a deposit.
-    Deposited(u64),
     /// Per-item outcome of a batch deposit plus the credited total.
     BatchDeposited {
         /// Total value credited.
@@ -148,23 +156,50 @@ pub enum MaResponse {
     Balance(u64),
     /// A rejection.
     Err(MarketError),
+    /// Shutdown complete; the shards are drained.
+    Drained {
+        /// Held payments that were never picked up by their SP.
+        undelivered_payments: usize,
+    },
 }
 
-/// One request plus its reply channel.
-pub struct Envelope {
+/// One request plus its reply channel — the unit the dispatcher
+/// routes to a shard.
+pub struct Inbound {
     /// The request.
     pub request: MaRequest,
-    /// Where the MA sends the response.
+    /// Where the handling shard sends the response.
     pub reply: Sender<MaResponse>,
 }
 
-/// Handle to a running MA service thread.
+/// Sizing knobs for the sharded service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads.
+    pub shards: usize,
+    /// Capacity of the inbox and of each shard queue (backpressure:
+    /// senders block when a queue is full).
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Handle to a running MA service (dispatcher + shards).
 pub struct MaService {
-    tx: Sender<Envelope>,
+    tx: Sender<Inbound>,
     handle: Option<JoinHandle<()>>,
+    /// Shared ledger (read access for clients and ledger snapshots).
+    pub bank: Bank,
     /// Shared bulletin board (read-only access for clients).
     pub bulletin: Bulletin,
-    /// Shared traffic log.
+    /// Shared traffic log — fed by byte-counting transports.
     pub traffic: TrafficLog,
     /// The DEC public parameters (clients need them to mint/spend).
     pub params: DecParams,
@@ -174,127 +209,137 @@ pub struct MaService {
     pub pairing: TypeAPairing,
 }
 
-/// A client-side connection to the MA.
+/// A client-side connection to the MA over some [`Transport`].
 #[derive(Clone)]
 pub struct MaClient {
-    tx: Sender<Envelope>,
+    transport: Arc<dyn Transport>,
+    party: Party,
 }
 
 impl MaClient {
-    /// Sends a request and waits for the answer.
+    /// Wraps a transport for the given party.
+    pub fn new(transport: Arc<dyn Transport>, party: Party) -> MaClient {
+        MaClient { transport, party }
+    }
+
+    /// Sends a request and waits for the answer. Transport failures
+    /// surface as [`MaResponse::Err`]`(`[`MarketError::Transport`]`)`
+    /// — a dead MA degrades gracefully instead of panicking callers.
     pub fn call(&self, request: MaRequest) -> MaResponse {
-        let (reply_tx, reply_rx) = channel::bounded(1);
-        self.tx
-            .send(Envelope {
-                request,
-                reply: reply_tx,
-            })
-            .expect("MA service alive");
-        reply_rx.recv().expect("MA service replies")
+        match self.transport.round_trip(self.party, request) {
+            Ok(response) => response,
+            Err(e) => MaResponse::Err(e),
+        }
+    }
+
+    /// Like [`MaClient::call`] but keeps transport failures in the
+    /// error channel.
+    pub fn try_call(&self, request: MaRequest) -> Result<MaResponse, MarketError> {
+        self.transport.round_trip(self.party, request)
     }
 }
 
-struct MaState {
+/// State shared by every shard (already thread-safe, or wrapped).
+struct SharedState {
     bank: Bank,
     bulletin: Bulletin,
-    dec_bank: DecBank,
+    dec_bank: Mutex<DecBank>,
+    params: DecParams,
+    bank_pk: ppms_crypto::rsa::RsaPublicKey,
     pairing: TypeAPairing,
-    traffic: TrafficLog,
-    cl_bindings: HashMap<AccountId, ClPublicKey>,
-    used_nonces: HashMap<AccountId, u64>,
-    labor: HashMap<u64, Vec<Vec<u8>>>,
-    pending_payments: HashMap<Vec<u8>, Vec<u8>>,
-    data_reports: HashMap<u64, Vec<Vec<u8>>>,
-    data_received: HashMap<Vec<u8>, bool>,
+    cl_bindings: RwLock<HashMap<AccountId, ClPublicKey>>,
+    held: Mutex<HeldPayments>,
 }
 
-impl MaState {
-    fn handle(&mut self, request: MaRequest) -> Option<MaResponse> {
+/// Payments the MA holds until the paying SP's data report arrives.
+/// Shared across shards because `SubmitData` routes by `job_id` while
+/// `FetchPayment` routes by SP pseudonym.
+#[derive(Default)]
+struct HeldPayments {
+    pending: HashMap<Vec<u8>, Vec<u8>>,
+    received: HashSet<Vec<u8>>,
+}
+
+/// Per-shard state: every map here is only ever touched by requests
+/// whose routing key lands on this shard, so no locking is needed.
+struct Shard {
+    shared: Arc<SharedState>,
+    used_nonces: HashMap<AccountId, u64>,
+    labor: HashMap<u64, Vec<Vec<u8>>>,
+    data_reports: HashMap<u64, Vec<Vec<u8>>>,
+}
+
+impl Shard {
+    fn handle(&mut self, request: MaRequest) -> MaResponse {
         use MaRequest::*;
-        Some(match request {
+        match request {
             RegisterJoAccount { funds, clpk } => {
-                let account = self.bank.open_account(funds);
-                self.cl_bindings.insert(account, clpk);
+                let account = self.shared.bank.open_account(funds);
+                self.shared.cl_bindings.write().insert(account, clpk);
                 MaResponse::Account(account)
             }
-            RegisterSpAccount => MaResponse::Account(self.bank.open_account(0)),
+            RegisterSpAccount => MaResponse::Account(self.shared.bank.open_account(0)),
             PublishJob {
                 description,
                 payment,
                 pseudonym,
-            } => {
-                self.traffic.record(
-                    Party::Jo,
-                    Party::Ma,
-                    "job-registration",
-                    description.len() + 8 + pseudonym.len(),
-                );
-                MaResponse::JobId(self.bulletin.publish(description, payment, pseudonym))
-            }
+            } => MaResponse::JobId(
+                self.shared
+                    .bulletin
+                    .publish(description, payment, pseudonym),
+            ),
             Withdraw {
                 account,
                 nonce,
                 auth,
                 blinded,
             } => {
-                let Some(bound) = self.cl_bindings.get(&account) else {
-                    return Some(MaResponse::Err(MarketError::NoSuchAccount));
-                };
-                // Nonce freshness prevents replaying an old withdrawal
-                // authorization.
-                let last = self.used_nonces.entry(account).or_insert(0);
-                if nonce <= *last {
-                    return Some(MaResponse::Err(MarketError::BadAuthentication));
-                }
-                if !auth.verify_bytes(&self.pairing, bound, &nonce.to_be_bytes()) {
-                    return Some(MaResponse::Err(MarketError::BadAuthentication));
-                }
-                *last = nonce;
-                if let Err(e) = self
-                    .bank
-                    .debit(account, self.dec_bank.params().face_value())
                 {
-                    return Some(MaResponse::Err(e));
+                    let bindings = self.shared.cl_bindings.read();
+                    let Some(bound) = bindings.get(&account) else {
+                        return MaResponse::Err(MarketError::NoSuchAccount);
+                    };
+                    // Nonce freshness prevents replaying an old
+                    // withdrawal authorization. Withdrawals route by
+                    // account, so this shard sees every nonce for it.
+                    let last = self.used_nonces.entry(account).or_insert(0);
+                    if nonce <= *last {
+                        return MaResponse::Err(MarketError::BadAuthentication);
+                    }
+                    if !auth.verify_bytes(&self.shared.pairing, bound, &nonce.to_be_bytes()) {
+                        return MaResponse::Err(MarketError::BadAuthentication);
+                    }
+                    *last = nonce;
                 }
-                self.traffic.record(
-                    Party::Jo,
-                    Party::Ma,
-                    "withdrawal-request",
-                    blinded.bits().div_ceil(8),
-                );
-                let sig = self.dec_bank.sign_blinded(&blinded);
-                self.traffic
-                    .record(Party::Ma, Party::Jo, "e-cash", sig.bits().div_ceil(8));
+                if let Err(e) = self
+                    .shared
+                    .bank
+                    .debit(account, self.shared.params.face_value())
+                {
+                    return MaResponse::Err(e);
+                }
+                let sig = self.shared.dec_bank.lock().sign_blinded(&blinded);
                 MaResponse::BlindSignature(sig)
             }
             LaborRegister { job_id, sp_pubkey } => {
-                if self.bulletin.get(job_id).is_none() {
-                    return Some(MaResponse::Err(MarketError::NoSuchJob));
+                if self.shared.bulletin.get(job_id).is_none() {
+                    return MaResponse::Err(MarketError::NoSuchJob);
                 }
-                self.traffic
-                    .record(Party::Sp, Party::Ma, "labor-registration", sp_pubkey.len());
                 self.labor.entry(job_id).or_default().push(sp_pubkey);
                 MaResponse::Ok
             }
             FetchLabor { job_id } => {
-                let sps = self.labor.get(&job_id).cloned().unwrap_or_default();
-                for pk in &sps {
-                    self.traffic
-                        .record(Party::Ma, Party::Jo, "labor-forward", pk.len());
-                }
-                MaResponse::Labor(sps)
+                MaResponse::Labor(self.labor.get(&job_id).cloned().unwrap_or_default())
             }
             SubmitPayment {
                 sp_pubkey,
                 ciphertext,
             } => {
-                self.traffic.record(
-                    Party::Jo,
-                    Party::Ma,
-                    "payment-submission",
-                    ciphertext.len() + sp_pubkey.len(),
-                );
-                self.pending_payments.insert(sp_pubkey, ciphertext);
+                self.shared
+                    .held
+                    .lock()
+                    .pending
+                    .insert(sp_pubkey, ciphertext);
                 MaResponse::Ok
             }
             SubmitData {
@@ -302,125 +347,218 @@ impl MaState {
                 sp_pubkey,
                 data,
             } => {
-                self.traffic
-                    .record(Party::Sp, Party::Ma, "data-report", data.len());
                 self.data_reports.entry(job_id).or_default().push(data);
-                self.data_received.insert(sp_pubkey, true);
+                self.shared.held.lock().received.insert(sp_pubkey);
                 MaResponse::Ok
             }
             FetchPayment { sp_pubkey } => {
                 // Paper phase 7: deliver only once the SP's data is in.
-                if !self.data_received.get(&sp_pubkey).copied().unwrap_or(false) {
-                    return Some(MaResponse::Payment(None));
+                let mut held = self.shared.held.lock();
+                if !held.received.contains(&sp_pubkey) {
+                    return MaResponse::Payment(None);
                 }
-                let ct = self.pending_payments.remove(&sp_pubkey);
-                if let Some(ct) = &ct {
-                    self.traffic
-                        .record(Party::Ma, Party::Sp, "payment-delivery", ct.len());
-                }
-                MaResponse::Payment(ct)
+                MaResponse::Payment(held.pending.remove(&sp_pubkey))
             }
             FetchData { job_id } => {
-                let reports = self.data_reports.remove(&job_id).unwrap_or_default();
-                for d in &reports {
-                    self.traffic
-                        .record(Party::Ma, Party::Jo, "data-delivery", d.len());
-                }
-                MaResponse::Data(reports)
-            }
-            Deposit { account, spend } => {
-                self.traffic
-                    .record(Party::Sp, Party::Ma, "deposit", spend.to_bytes().len() + 8);
-                match self.dec_bank.deposit(&spend, b"") {
-                    Ok(value) => match self.bank.credit(account, value) {
-                        Ok(()) => MaResponse::Deposited(value),
-                        Err(e) => MaResponse::Err(e),
-                    },
-                    Err(e) => MaResponse::Err(MarketError::Dec(e)),
-                }
+                MaResponse::Data(self.data_reports.remove(&job_id).unwrap_or_default())
             }
             DepositBatch { account, spends } => {
-                for s in &spends {
-                    self.traffic
-                        .record(Party::Sp, Party::Ma, "deposit", s.to_bytes().len() + 8);
-                }
-                let results = self.dec_bank.deposit_batch(&spends, b"");
+                // The expensive ZK verification runs here, outside the
+                // DEC-bank lock: the deposit parallelism axis is the
+                // shard count (each shard verifies its own batch while
+                // the others proceed), so within one shard the batch
+                // is verified sequentially. Only the cheap
+                // double-spend bookkeeping serializes on the bank.
+                let verified: Vec<Result<u64, DecError>> = spends
+                    .iter()
+                    .map(|s| s.verify(&self.shared.params, &self.shared.bank_pk, b""))
+                    .collect();
                 let mut total = 0u64;
                 let mut accepted = 0usize;
-                for v in results.iter().flatten() {
-                    total += v;
-                    accepted += 1;
+                {
+                    let mut dec_bank = self.shared.dec_bank.lock();
+                    for (spend, v) in spends.iter().zip(verified) {
+                        let recorded =
+                            v.and_then(|value| dec_bank.deposit_preverified(spend, value));
+                        if let Ok(value) = recorded {
+                            total += value;
+                            accepted += 1;
+                        }
+                    }
                 }
                 if total > 0 {
-                    if let Err(e) = self.bank.credit(account, total) {
-                        return Some(MaResponse::Err(e));
+                    if let Err(e) = self.shared.bank.credit(account, total) {
+                        return MaResponse::Err(e);
                     }
                 }
                 MaResponse::BatchDeposited {
                     total,
                     accepted,
-                    rejected: results.len() - accepted,
+                    rejected: spends.len() - accepted,
                 }
             }
-            Balance { account } => match self.bank.balance(account) {
+            Balance { account } => match self.shared.bank.balance(account) {
                 Ok(v) => MaResponse::Balance(v),
                 Err(e) => MaResponse::Err(e),
             },
-            Shutdown => return None,
-        })
+            // The dispatcher intercepts Shutdown; a shard seeing one
+            // means a routing bug, answered defensively.
+            Shutdown => MaResponse::Err(MarketError::Transport(
+                "shutdown must be handled by the dispatcher".into(),
+            )),
+        }
+    }
+}
+
+/// FNV-1a — cheap stable hash for pseudonym routing keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Which shard handles a request. Keyed requests always land on the
+/// same shard; unkeyed ones round-robin via `rr`.
+fn route(request: &MaRequest, shards: usize, rr: &mut usize) -> usize {
+    use MaRequest::*;
+    match request {
+        Withdraw { account, .. } | DepositBatch { account, .. } | Balance { account } => {
+            account.0 as usize % shards
+        }
+        LaborRegister { job_id, .. }
+        | FetchLabor { job_id }
+        | SubmitData { job_id, .. }
+        | FetchData { job_id } => *job_id as usize % shards,
+        SubmitPayment { sp_pubkey, .. } | FetchPayment { sp_pubkey } => {
+            fnv1a(sp_pubkey) as usize % shards
+        }
+        RegisterJoAccount { .. } | RegisterSpAccount | PublishJob { .. } | Shutdown => {
+            *rr = rr.wrapping_add(1);
+            (*rr - 1) % shards
+        }
     }
 }
 
 impl MaService {
-    /// Spawns the MA service thread.
+    /// Spawns the MA service with the default configuration (one
+    /// shard — the sequential-service behavior).
     pub fn spawn<R: rand::Rng + ?Sized>(
         rng: &mut R,
         params: DecParams,
         rsa_bits: usize,
         pairing_bits: usize,
     ) -> MaService {
-        // Build the fixed-base window tables once, up front: the
-        // service thread and every client clone of `params` share the
-        // per-ring caches, so nobody pays the lazy first-use build.
+        Self::spawn_with_config(
+            rng,
+            params,
+            rsa_bits,
+            pairing_bits,
+            ServiceConfig::default(),
+        )
+    }
+
+    /// Spawns the MA service: one dispatcher thread plus
+    /// `config.shards` shard workers behind bounded channels.
+    pub fn spawn_with_config<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        params: DecParams,
+        rsa_bits: usize,
+        pairing_bits: usize,
+        config: ServiceConfig,
+    ) -> MaService {
+        // Build the fixed-base window tables once, up front: every
+        // shard and every client clone of `params` share the per-ring
+        // caches, so nobody pays the lazy first-use build.
         params.precompute();
         let dec_bank = DecBank::new(rng, params.clone(), rsa_bits);
         let bank_pk = dec_bank.public_key().clone();
         let pairing = TypeAPairing::generate(rng, pairing_bits);
+        let bank = Bank::new();
         let bulletin = Bulletin::new();
         let traffic = TrafficLog::new();
 
-        let mut state = MaState {
-            bank: Bank::new(),
+        let shared = Arc::new(SharedState {
+            bank: bank.clone(),
             bulletin: bulletin.clone(),
-            dec_bank,
+            dec_bank: Mutex::new(dec_bank),
+            params: params.clone(),
+            bank_pk: bank_pk.clone(),
             pairing: pairing.clone(),
-            traffic: traffic.clone(),
-            cl_bindings: HashMap::new(),
-            used_nonces: HashMap::new(),
-            labor: HashMap::new(),
-            pending_payments: HashMap::new(),
-            data_reports: HashMap::new(),
-            data_received: HashMap::new(),
-        };
+            cl_bindings: RwLock::new(HashMap::new()),
+            held: Mutex::new(HeldPayments::default()),
+        });
 
-        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = channel::unbounded();
+        let n_shards = config.shards.max(1);
+        let depth = config.queue_depth.max(1);
+        let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
+
+        let dispatcher_shared = shared.clone();
         let handle = std::thread::spawn(move || {
-            while let Ok(Envelope { request, reply }) = rx.recv() {
-                match state.handle(request) {
-                    Some(response) => {
-                        let _ = reply.send(response);
+            // Spawn the shard workers.
+            let mut shard_txs = Vec::with_capacity(n_shards);
+            let mut shard_handles = Vec::with_capacity(n_shards);
+            for _ in 0..n_shards {
+                let (stx, srx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
+                let shard_shared = dispatcher_shared.clone();
+                shard_handles.push(std::thread::spawn(move || {
+                    let mut shard = Shard {
+                        shared: shard_shared,
+                        used_nonces: HashMap::new(),
+                        labor: HashMap::new(),
+                        data_reports: HashMap::new(),
+                    };
+                    while let Ok(Inbound { request, reply }) = srx.recv() {
+                        // A vanished client is not an MA failure.
+                        let _ = reply.send(shard.handle(request));
                     }
-                    None => {
-                        let _ = reply.send(MaResponse::Ok);
-                        break;
+                }));
+                shard_txs.push(stx);
+            }
+
+            // Route until Shutdown (or every client hung up).
+            let mut rr = 0usize;
+            let shutdown_reply = loop {
+                match rx.recv() {
+                    Ok(inbound) if matches!(inbound.request, MaRequest::Shutdown) => {
+                        break Some(inbound.reply);
                     }
+                    Ok(inbound) => {
+                        let idx = route(&inbound.request, n_shards, &mut rr);
+                        if let Err(send_err) = shard_txs[idx].send(inbound) {
+                            // The shard died: degrade gracefully by
+                            // reporting a transport failure instead of
+                            // panicking the dispatcher.
+                            let inbound = send_err.0;
+                            let _ = inbound.reply.send(MaResponse::Err(MarketError::Transport(
+                                "shard worker unavailable".into(),
+                            )));
+                        }
+                    }
+                    Err(_) => break None,
                 }
+            };
+
+            // Graceful drain: close the shard queues, let every queued
+            // request finish, then report undelivered held payments.
+            drop(shard_txs);
+            for h in shard_handles {
+                let _ = h.join();
+            }
+            let undelivered = dispatcher_shared.held.lock().pending.len();
+            if let Some(reply) = shutdown_reply {
+                let _ = reply.send(MaResponse::Drained {
+                    undelivered_payments: undelivered,
+                });
             }
         });
 
         MaService {
             tx,
             handle: Some(handle),
+            bank,
             bulletin,
             traffic,
             params,
@@ -429,20 +567,41 @@ impl MaService {
         }
     }
 
-    /// A client connection for a new party thread.
+    /// An in-process client connection (enums over channels; no
+    /// serialization, no traffic accounting).
     pub fn client(&self) -> MaClient {
-        MaClient {
-            tx: self.tx.clone(),
-        }
+        MaClient::new(Arc::new(InProcTransport::new(self.tx.clone())), Party::Jo)
     }
 
-    /// Stops the service and joins the thread.
-    pub fn shutdown(mut self) {
+    /// A simulated-network client for `party`: every message is
+    /// serialized into a wire envelope, subjected to the configured
+    /// latency/jitter/drop, counted in the service's [`TrafficLog`]
+    /// at its actual encoded size, and decoded on the far side.
+    pub fn simnet_client(&self, party: Party, config: SimNetConfig) -> MaClient {
+        MaClient::new(
+            Arc::new(SimNetTransport::new(
+                self.tx.clone(),
+                self.traffic.clone(),
+                config,
+            )),
+            party,
+        )
+    }
+
+    /// Stops the service, drains the shards and joins the dispatcher.
+    /// Returns how many held payments were never delivered.
+    pub fn shutdown(mut self) -> usize {
         let client = self.client();
-        let _ = client.call(MaRequest::Shutdown);
+        let undelivered = match client.call(MaRequest::Shutdown) {
+            MaResponse::Drained {
+                undelivered_payments,
+            } => undelivered_payments,
+            _ => 0,
+        };
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        undelivered
     }
 }
 
@@ -450,7 +609,7 @@ impl Drop for MaService {
     fn drop(&mut self) {
         if let Some(h) = self.handle.take() {
             let (reply_tx, _reply_rx) = channel::bounded(1);
-            let _ = self.tx.send(Envelope {
+            let _ = self.tx.send(Inbound {
                 request: MaRequest::Shutdown,
                 reply: reply_tx,
             });
@@ -470,6 +629,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = DecParams::fixture(2, 8);
         let svc = MaService::spawn(&mut rng, params, 512, 40);
+        (svc, rng)
+    }
+
+    fn sharded_service(seed: u64, shards: usize) -> (MaService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DecParams::fixture(2, 8);
+        let svc = MaService::spawn_with_config(
+            &mut rng,
+            params,
+            512,
+            40,
+            ServiceConfig {
+                shards,
+                queue_depth: 8,
+            },
+        );
         (svc, rng)
     }
 
@@ -593,6 +768,17 @@ mod tests {
     }
 
     #[test]
+    fn undelivered_payment_reported_at_shutdown() {
+        let (svc, _rng) = service(7);
+        let client = svc.client();
+        client.call(MaRequest::SubmitPayment {
+            sp_pubkey: vec![5; 8],
+            ciphertext: vec![1],
+        });
+        assert_eq!(svc.shutdown(), 1, "one payment was never fetched");
+    }
+
+    #[test]
     fn batch_deposit_credits_valid_subset() {
         let (svc, mut rng) = service(6);
         let client = svc.client();
@@ -664,6 +850,53 @@ mod tests {
     }
 
     #[test]
+    fn single_spend_deposits_as_batch_of_one() {
+        let (svc, mut rng) = service(8);
+        let client = svc.client();
+        let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+            panic!()
+        };
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
+            panic!()
+        };
+        let mut coin = ppms_ecash::Coin::mint(&mut rng, &svc.params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+        let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 1,
+            auth,
+            blinded,
+        }) else {
+            panic!()
+        };
+        assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+        let s = coin.spend(
+            &mut rng,
+            &svc.params,
+            &ppms_ecash::NodePath::from_index(1, 0),
+            b"",
+        );
+        let MaResponse::BatchDeposited {
+            total,
+            accepted,
+            rejected,
+        } = client.call(MaRequest::DepositBatch {
+            account: sp,
+            spends: vec![s],
+        })
+        else {
+            panic!("batch response");
+        };
+        assert_eq!((total, accepted, rejected), (2, 1, 0));
+        svc.shutdown();
+    }
+
+    #[test]
     fn labor_registration_requires_job() {
         let (svc, _rng) = service(5);
         let client = svc.client();
@@ -691,5 +924,53 @@ mod tests {
         };
         assert_eq!(sps, vec![vec![1u8]]);
         svc.shutdown();
+    }
+
+    #[test]
+    fn sharded_service_keeps_job_affinity() {
+        // With 4 shards, labor registered for a job must be visible to
+        // the fetch for the same job (both route by job_id).
+        let (svc, _rng) = sharded_service(9, 4);
+        let client = svc.client();
+        let mut job_ids = Vec::new();
+        for i in 0..6u64 {
+            let MaResponse::JobId(id) = client.call(MaRequest::PublishJob {
+                description: format!("job {i}"),
+                payment: 1,
+                pseudonym: vec![i as u8],
+            }) else {
+                panic!()
+            };
+            job_ids.push(id);
+        }
+        for &id in &job_ids {
+            assert!(matches!(
+                client.call(MaRequest::LaborRegister {
+                    job_id: id,
+                    sp_pubkey: vec![id as u8; 4],
+                }),
+                MaResponse::Ok
+            ));
+        }
+        for &id in &job_ids {
+            let MaResponse::Labor(sps) = client.call(MaRequest::FetchLabor { job_id: id }) else {
+                panic!()
+            };
+            assert_eq!(sps, vec![vec![id as u8; 4]], "job {id}");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_degrade_gracefully() {
+        let (svc, _rng) = service(10);
+        let client = svc.client();
+        svc.shutdown();
+        let resp = client.call(MaRequest::RegisterSpAccount);
+        assert!(
+            matches!(resp, MaResponse::Err(MarketError::Transport(_))),
+            "{resp:?}"
+        );
+        assert!(client.try_call(MaRequest::RegisterSpAccount).is_err());
     }
 }

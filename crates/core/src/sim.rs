@@ -1,14 +1,26 @@
 //! Market simulation: the multi-round timing runs behind the paper's
-//! **Fig. 5** and a threaded many-party market exercising the
-//! mechanisms under concurrency.
+//! **Fig. 5**, a threaded many-party market exercising the mechanisms
+//! under concurrency, and a deterministic service-market driver that
+//! runs the same rounds over either [`crate::transport::Transport`]
+//! backend (the transport-equivalence harness).
 
+use crate::bank::AccountId;
+use crate::metrics::Party;
 use crate::ppmsdec::{DecMarket, DecRoundOutcome};
 use crate::ppmspbs::PbsMarket;
+use crate::service::{MaRequest, MaResponse, MaService, ServiceConfig};
+use crate::transport::SimNetConfig;
 use crate::MarketError;
 use crossbeam::channel;
-use ppms_ecash::{CashBreak, DecParams, PaymentItem};
+use ppms_crypto::cl::ClKeyPair;
+use ppms_crypto::rsa;
+use ppms_ecash::brk::{build_payment_with, NodeAllocator};
+use ppms_ecash::{
+    decode_payment, encode_payment, plan_break, CashBreak, Coin, DecParams, NodePath, PaymentItem,
+    Spend,
+};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -137,7 +149,7 @@ pub fn run_parallel_pbs_market(
     rounds_per_pair: usize,
     rsa_bits: usize,
     workers: usize,
-) -> ParallelSimReport {
+) -> Result<ParallelSimReport, MarketError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut market = PbsMarket::new();
 
@@ -153,7 +165,8 @@ pub fn run_parallel_pbs_market(
     let (tx, rx) = channel::unbounded::<usize>();
     for idx in 0..n_pairs {
         for _ in 0..rounds_per_pair {
-            tx.send(idx).expect("open channel");
+            tx.send(idx)
+                .map_err(|_| MarketError::Transport("work queue closed".into()))?;
         }
     }
     drop(tx);
@@ -200,18 +213,21 @@ pub fn run_parallel_pbs_market(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
-    });
+            .map(|h| {
+                h.join()
+                    .map_err(|_| MarketError::Transport("simulation worker panicked".into()))
+            })
+            .try_fold((0, 0), |(a, b), r| r.map(|(c, d)| (a + c, b + d)))
+    })?;
     let elapsed = t0.elapsed();
 
-    ParallelSimReport {
+    Ok(ParallelSimReport {
         completed,
         failed,
         elapsed,
         supply_before,
         supply_after: market.bank.total_supply(),
-    }
+    })
 }
 
 /// Rayon-parallel verification of a payment bundle — the SP-side
@@ -249,4 +265,346 @@ pub fn verify_bundle_sequential(
     binding: &[u8],
 ) -> (Vec<ppms_ecash::Spend>, u64) {
     ppms_ecash::receive_payment(params, bank_pk, items, binding)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic service market over a pluggable transport
+// ---------------------------------------------------------------------------
+
+/// Which transport a service market run speaks.
+#[derive(Debug, Clone, Copy)]
+pub enum TransportKind {
+    /// Enums over channels (no serialization).
+    InProc,
+    /// Serialized wire envelopes with the given network behavior.
+    SimNet(SimNetConfig),
+}
+
+/// The observable end state of a service market run — everything a
+/// ledger audit would compare. Two runs with the same seed must
+/// produce *equal* outcomes regardless of the transport or shard
+/// count that carried them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceMarketOutcome {
+    /// JO's final balance.
+    pub jo_balance: u64,
+    /// Each SP's final balance, in registration order.
+    pub sp_balances: Vec<u64>,
+    /// Value credited to each SP's deposit batch, in order.
+    pub sp_credited: Vec<u64>,
+    /// Data reports the JO collected, in order.
+    pub data_reports: Vec<Vec<u8>>,
+    /// Published jobs: `(job_id, description, payment)`.
+    pub jobs: Vec<(u64, String, u64)>,
+    /// Held payments never picked up (reported by shutdown drain).
+    pub undelivered_payments: usize,
+}
+
+fn unexpected(what: &str, resp: &MaResponse) -> MarketError {
+    MarketError::Transport(format!("unexpected {what} response: {resp:?}"))
+}
+
+/// Runs a complete deterministic PPMSdec market against a freshly
+/// spawned [`MaService`] with `shards` shard workers, speaking `kind`
+/// over the wire: one JO publishes a job, `n_sps` SPs register labor,
+/// the JO withdraws a coin per SP and pays `w` via PCBA cash
+/// breaking, each SP submits data, fetches and verifies its payment,
+/// and deposits the spends as one batch. Returns the ledger outcome
+/// (see [`ServiceMarketOutcome`]) — the transport-equivalence tests
+/// run this once per transport and assert equality.
+pub fn run_service_market(
+    seed: u64,
+    shards: usize,
+    n_sps: usize,
+    w: u64,
+    kind: TransportKind,
+) -> Result<ServiceMarketOutcome, MarketError> {
+    const RSA_BITS: usize = 512;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = DecParams::fixture(3, 8);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        params.clone(),
+        RSA_BITS,
+        40,
+        ServiceConfig {
+            shards,
+            queue_depth: 64,
+        },
+    );
+    let (jo_client, sp_client) = match kind {
+        TransportKind::InProc => (svc.client(), svc.client()),
+        TransportKind::SimNet(cfg) => (
+            svc.simnet_client(Party::Jo, cfg),
+            svc.simnet_client(
+                Party::Sp,
+                SimNetConfig {
+                    seed: cfg.seed ^ 0x5350,
+                    ..cfg
+                },
+            ),
+        ),
+    };
+
+    // JO setup: account, CL key, job pseudonym, published job.
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let funds = (n_sps as u64 + 1) * params.face_value();
+    let jo_account = match jo_client.try_call(MaRequest::RegisterJoAccount {
+        funds,
+        clpk: cl.public.clone(),
+    })? {
+        MaResponse::Account(a) => a,
+        other => return Err(unexpected("jo-account", &other)),
+    };
+    let job_key = rsa::keygen(&mut rng, RSA_BITS);
+    let job_id = match jo_client.try_call(MaRequest::PublishJob {
+        description: "simulated sensing job".into(),
+        payment: w,
+        pseudonym: job_key.public.to_bytes(),
+    })? {
+        MaResponse::JobId(id) => id,
+        other => return Err(unexpected("publish", &other)),
+    };
+
+    let mut sp_accounts = Vec::with_capacity(n_sps);
+    let mut sp_credited = Vec::with_capacity(n_sps);
+    for i in 0..n_sps {
+        // SP: account, one-time key, labor registration.
+        let sp_account = match sp_client.try_call(MaRequest::RegisterSpAccount)? {
+            MaResponse::Account(a) => a,
+            other => return Err(unexpected("sp-account", &other)),
+        };
+        let one_time = rsa::keygen(&mut rng, RSA_BITS);
+        let sp_pubkey = one_time.public.to_bytes();
+        match sp_client.try_call(MaRequest::LaborRegister {
+            job_id,
+            sp_pubkey: sp_pubkey.clone(),
+        })? {
+            MaResponse::Ok => {}
+            other => return Err(unexpected("labor-register", &other)),
+        }
+
+        // JO: poll labor, withdraw a fresh coin, pay this SP.
+        let keys = match jo_client.try_call(MaRequest::FetchLabor { job_id })? {
+            MaResponse::Labor(keys) => keys,
+            other => return Err(unexpected("labor-fetch", &other)),
+        };
+        let receiver = keys
+            .last()
+            .cloned()
+            .ok_or_else(|| MarketError::Transport("labor registration not visible".into()))?;
+        let mut coin = Coin::mint(&mut rng, &params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let nonce = i as u64 + 1;
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &nonce.to_be_bytes());
+        let sig = match jo_client.try_call(MaRequest::Withdraw {
+            account: jo_account,
+            nonce,
+            auth,
+            blinded,
+        })? {
+            MaResponse::BlindSignature(sig) => sig,
+            other => return Err(unexpected("withdraw", &other)),
+        };
+        if !coin.attach_signature(&svc.bank_pk, &sig, &factor) {
+            return Err(MarketError::BadCoin("bank signature did not verify".into()));
+        }
+        let plan = plan_break(CashBreak::Pcba, w, params.levels)?;
+        let mut allocator = NodeAllocator::new(params.levels);
+        let items = build_payment_with(
+            &mut rng,
+            &params,
+            &coin,
+            &plan,
+            b"",
+            svc.bank_pk.size_bytes(),
+            &mut allocator,
+        )?;
+        let payload = encode_payment(&items);
+        let sp_pk = rsa::RsaPublicKey::from_bytes(&receiver)
+            .ok_or_else(|| MarketError::BadPayload("labor key does not parse".into()))?;
+        let ciphertext = rsa::encrypt(&mut rng, &sp_pk, &payload);
+        match jo_client.try_call(MaRequest::SubmitPayment {
+            sp_pubkey: sp_pubkey.clone(),
+            ciphertext,
+        })? {
+            MaResponse::Ok => {}
+            other => return Err(unexpected("payment-submission", &other)),
+        }
+
+        // SP: submit data (releasing the hold), fetch, verify, deposit.
+        match sp_client.try_call(MaRequest::SubmitData {
+            job_id,
+            sp_pubkey: sp_pubkey.clone(),
+            data: format!("reading from sp {i}").into_bytes(),
+        })? {
+            MaResponse::Ok => {}
+            other => return Err(unexpected("data-report", &other)),
+        }
+        let ciphertext = match sp_client.try_call(MaRequest::FetchPayment { sp_pubkey })? {
+            MaResponse::Payment(Some(ct)) => ct,
+            MaResponse::Payment(None) => {
+                return Err(MarketError::Transport(
+                    "payment still held after data".into(),
+                ))
+            }
+            other => return Err(unexpected("payment-fetch", &other)),
+        };
+        let payload = rsa::decrypt(&one_time, &ciphertext)
+            .map_err(|_| MarketError::BadPayload("payment does not decrypt".into()))?;
+        let items = decode_payment(&payload)
+            .map_err(|_| MarketError::BadPayload("payment bundle does not parse".into()))?;
+        let (spends, _) = verify_bundle_sequential(&params, &svc.bank_pk, &items, b"");
+        match sp_client.try_call(MaRequest::DepositBatch {
+            account: sp_account,
+            spends,
+        })? {
+            MaResponse::BatchDeposited { total, .. } => sp_credited.push(total),
+            other => return Err(unexpected("deposit", &other)),
+        }
+        sp_accounts.push(sp_account);
+    }
+
+    // JO: collect the data reports.
+    let data_reports = match jo_client.try_call(MaRequest::FetchData { job_id })? {
+        MaResponse::Data(reports) => reports,
+        other => return Err(unexpected("data-fetch", &other)),
+    };
+
+    // Audit the ledger.
+    let jo_balance = match jo_client.try_call(MaRequest::Balance {
+        account: jo_account,
+    })? {
+        MaResponse::Balance(b) => b,
+        other => return Err(unexpected("balance", &other)),
+    };
+    let mut sp_balances = Vec::with_capacity(n_sps);
+    for &account in &sp_accounts {
+        match sp_client.try_call(MaRequest::Balance { account })? {
+            MaResponse::Balance(b) => sp_balances.push(b),
+            other => return Err(unexpected("balance", &other)),
+        }
+    }
+    let jobs = svc
+        .bulletin
+        .list()
+        .into_iter()
+        .map(|j| (j.job_id, j.description, j.payment))
+        .collect();
+    let undelivered_payments = svc.shutdown();
+
+    Ok(ServiceMarketOutcome {
+        jo_balance,
+        sp_balances,
+        sp_credited,
+        data_reports,
+        jobs,
+        undelivered_payments,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Deposit workload (shard-scaling benchmark support)
+// ---------------------------------------------------------------------------
+
+/// Mints `n_batches` deposit batches against a running service: each
+/// batch is a fresh SP account plus every unit leaf of one
+/// service-withdrawn coin. The expensive part of depositing these —
+/// per-spend ZK verification — is exactly what the shard workers
+/// parallelize, so these batches are the shard-scaling benchmark's
+/// workload.
+pub fn mint_deposit_batches(
+    svc: &MaService,
+    seed: u64,
+    n_batches: usize,
+) -> Result<Vec<(AccountId, Vec<Spend>)>, MarketError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = svc.client();
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let face = svc.params.face_value();
+    let jo = match client.try_call(MaRequest::RegisterJoAccount {
+        funds: n_batches as u64 * face,
+        clpk: cl.public.clone(),
+    })? {
+        MaResponse::Account(a) => a,
+        other => return Err(unexpected("jo-account", &other)),
+    };
+    let levels = svc.params.levels;
+    let mut out = Vec::with_capacity(n_batches);
+    for i in 0..n_batches {
+        let account = match client.try_call(MaRequest::RegisterSpAccount)? {
+            MaResponse::Account(a) => a,
+            other => return Err(unexpected("sp-account", &other)),
+        };
+        let mut coin = Coin::mint(&mut rng, &svc.params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let nonce = i as u64 + 1;
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &nonce.to_be_bytes());
+        let sig = match client.try_call(MaRequest::Withdraw {
+            account: jo,
+            nonce,
+            auth,
+            blinded,
+        })? {
+            MaResponse::BlindSignature(sig) => sig,
+            other => return Err(unexpected("withdraw", &other)),
+        };
+        if !coin.attach_signature(&svc.bank_pk, &sig, &factor) {
+            return Err(MarketError::BadCoin("bank signature did not verify".into()));
+        }
+        let spends = (0..(1u64 << levels))
+            .map(|leaf| {
+                coin.spend(
+                    &mut rng,
+                    &svc.params,
+                    &NodePath::from_index(levels, leaf),
+                    b"",
+                )
+            })
+            .collect();
+        out.push((account, spends));
+    }
+    Ok(out)
+}
+
+/// Drives `batches` through the service from `clients` concurrent
+/// client threads (batch `k` goes to client `k % clients`) and
+/// returns the total value credited. Throughput here scales with the
+/// service's shard count: each batch's verification runs on the shard
+/// owning its account.
+pub fn run_deposit_workload(
+    svc: &MaService,
+    batches: &[(AccountId, Vec<Spend>)],
+    clients: usize,
+) -> Result<u64, MarketError> {
+    let clients = clients.max(1);
+    let totals = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = svc.client();
+                s.spawn(move || -> Result<u64, MarketError> {
+                    let mut total = 0u64;
+                    for (account, spends) in batches.iter().skip(c).step_by(clients) {
+                        match client.try_call(MaRequest::DepositBatch {
+                            account: *account,
+                            spends: spends.clone(),
+                        })? {
+                            MaResponse::BatchDeposited { total: t, .. } => total += t,
+                            other => return Err(unexpected("deposit", &other)),
+                        }
+                    }
+                    Ok(total)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| MarketError::Transport("client thread panicked".into()))
+                    .and_then(|r| r)
+            })
+            .collect::<Result<Vec<u64>, MarketError>>()
+    })?;
+    Ok(totals.into_iter().sum())
 }

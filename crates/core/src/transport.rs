@@ -1,14 +1,35 @@
-//! Traffic accounting — the instrumentation behind the paper's
-//! **Table II** ("communication traffic comparing").
+//! The transport layer: traffic accounting (the instrumentation
+//! behind the paper's **Table II**, "communication traffic
+//! comparing") plus the pluggable client↔MA [`Transport`] backends.
 //!
 //! Every protocol message passes through [`TrafficLog::record`] with
 //! its byte size; the log then answers per-party input/output totals
 //! exactly the way Table II tabulates them (bytes in / bytes out per
 //! party, grand total in kilobytes).
+//!
+//! Two [`Transport`] implementations carry requests to the service's
+//! dispatcher:
+//!
+//! * [`InProcTransport`] moves the enums over channels directly —
+//!   zero copies, no accounting; the fast default for tests.
+//! * [`SimNetTransport`] serializes every message into a
+//!   [`wire::Envelope`](crate::wire::Envelope), applies configurable
+//!   latency / jitter / drop, records the **actual encoded size** in
+//!   the [`TrafficLog`], and decodes on the far side — so a market
+//!   run over it yields real Table II numbers, and any value that
+//!   cannot survive its own encoding fails loudly.
 
+use crate::error::MarketError;
 use crate::metrics::Party;
+use crate::service::{Inbound, MaRequest, MaResponse};
+use crate::wire::Envelope;
+use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One recorded message.
 #[derive(Debug, Clone)]
@@ -108,6 +129,205 @@ impl TrafficLog {
     /// Used by privacy tests to assert what the MA could observe.
     pub fn has_label(&self, label: &str) -> bool {
         self.entries.lock().iter().any(|e| e.label == label)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport backends
+// ---------------------------------------------------------------------------
+
+/// A synchronous request/response channel to the MA service.
+///
+/// `round_trip` blocks until the MA answers (or the transport fails);
+/// implementations decide whether messages travel as in-memory enums
+/// or as serialized wire frames.
+pub trait Transport: Send + Sync {
+    /// Sends `request` on behalf of `from` and waits for the answer.
+    fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError>;
+}
+
+/// Protocol-step label of a request — the Table II row its bytes are
+/// accounted under. Shared with the single-threaded drivers so the
+/// privacy tests' label assertions hold on either path.
+pub fn request_label(request: &MaRequest) -> &'static str {
+    match request {
+        MaRequest::RegisterJoAccount { .. } => "register-jo",
+        MaRequest::RegisterSpAccount => "register-sp",
+        MaRequest::PublishJob { .. } => "job-registration",
+        MaRequest::Withdraw { .. } => "withdrawal-request",
+        MaRequest::LaborRegister { .. } => "labor-registration",
+        MaRequest::FetchLabor { .. } => "labor-fetch",
+        MaRequest::SubmitPayment { .. } => "payment-submission",
+        MaRequest::SubmitData { .. } => "data-report",
+        MaRequest::FetchPayment { .. } => "payment-fetch",
+        MaRequest::FetchData { .. } => "data-fetch",
+        MaRequest::DepositBatch { .. } => "deposit",
+        MaRequest::Balance { .. } => "balance",
+        MaRequest::Shutdown => "shutdown",
+    }
+}
+
+/// Protocol-step label of a response (see [`request_label`]).
+pub fn response_label(response: &MaResponse) -> &'static str {
+    match response {
+        MaResponse::Account(_) => "account",
+        MaResponse::JobId(_) => "job-id",
+        MaResponse::BlindSignature(_) => "e-cash",
+        MaResponse::Ok => "ack",
+        MaResponse::Labor(_) => "labor-forward",
+        MaResponse::Payment(_) => "payment-delivery",
+        MaResponse::Data(_) => "data-delivery",
+        MaResponse::BatchDeposited { .. } => "deposit-result",
+        MaResponse::Balance(_) => "balance",
+        MaResponse::Err(_) => "error",
+        MaResponse::Drained { .. } => "drained",
+    }
+}
+
+/// In-process transport: requests travel as enums over bounded
+/// channels — today's behavior, zero serialization overhead.
+pub struct InProcTransport {
+    tx: Sender<Inbound>,
+}
+
+impl InProcTransport {
+    /// Wraps the service's inbox sender.
+    pub fn new(tx: Sender<Inbound>) -> InProcTransport {
+        InProcTransport { tx }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn round_trip(&self, _from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx
+            .send(Inbound {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| MarketError::Transport("MA service unavailable".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| MarketError::Transport("MA service hung up".into()))
+    }
+}
+
+/// Knobs for the simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct SimNetConfig {
+    /// Fixed one-way latency added to every message.
+    pub latency_micros: u64,
+    /// Uniform random extra delay in `[0, jitter_micros]` per message.
+    pub jitter_micros: u64,
+    /// Probability in `[0, 1]` that a message is dropped (the caller
+    /// sees [`MarketError::Transport`]).
+    pub drop_rate: f64,
+    /// Seed for the jitter/drop randomness (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> Self {
+        SimNetConfig {
+            latency_micros: 0,
+            jitter_micros: 0,
+            drop_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulated-network transport: every message is encoded into a wire
+/// [`Envelope`], delayed/dropped per [`SimNetConfig`], counted in the
+/// [`TrafficLog`] at its actual encoded size, and decoded before
+/// dispatch — so nothing crosses that a real wire could not carry.
+pub struct SimNetTransport {
+    tx: Sender<Inbound>,
+    traffic: TrafficLog,
+    config: SimNetConfig,
+    next_id: AtomicU64,
+    rng: Mutex<StdRng>,
+}
+
+impl SimNetTransport {
+    /// Builds a transport feeding the given service inbox and log.
+    pub fn new(tx: Sender<Inbound>, traffic: TrafficLog, config: SimNetConfig) -> SimNetTransport {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimNetTransport {
+            tx,
+            traffic,
+            config,
+            next_id: AtomicU64::new(1),
+            rng: Mutex::new(rng),
+        }
+    }
+
+    /// One simulated network hop: delay, then maybe drop.
+    fn hop(&self) -> Result<(), MarketError> {
+        let (extra, dropped) = {
+            let mut rng = self.rng.lock();
+            let extra = if self.config.jitter_micros > 0 {
+                rng.random_range(0..=self.config.jitter_micros)
+            } else {
+                0
+            };
+            let dropped = self.config.drop_rate > 0.0 && rng.random_bool(self.config.drop_rate);
+            (extra, dropped)
+        };
+        let delay = self.config.latency_micros + extra;
+        if delay > 0 {
+            std::thread::sleep(Duration::from_micros(delay));
+        }
+        if dropped {
+            return Err(MarketError::Transport("message dropped by network".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Transport for SimNetTransport {
+    fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
+        // Client side: frame and "send" the request.
+        let msg_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let label = request_label(&request);
+        let frame = Envelope {
+            msg_id,
+            correlation_id: 0,
+            party: from,
+            payload: request,
+        }
+        .to_bytes();
+        self.traffic.record(from, Party::Ma, label, frame.len());
+        self.hop()?;
+
+        // MA side: decode the frame (proving the bytes suffice) and
+        // dispatch to the service.
+        let request = Envelope::<MaRequest>::from_bytes(&frame)?.payload;
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx
+            .send(Inbound {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| MarketError::Transport("MA service unavailable".into()))?;
+        let response = reply_rx
+            .recv()
+            .map_err(|_| MarketError::Transport("MA service hung up".into()))?;
+
+        // MA side: frame and "send" the response.
+        let frame = Envelope {
+            msg_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            correlation_id: msg_id,
+            party: Party::Ma,
+            payload: &response,
+        }
+        .to_bytes();
+        self.traffic
+            .record(Party::Ma, from, response_label(&response), frame.len());
+        self.hop()?;
+
+        // Client side: decode the response frame.
+        Ok(Envelope::<MaResponse>::from_bytes(&frame)?.payload)
     }
 }
 

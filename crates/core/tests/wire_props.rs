@@ -1,0 +1,364 @@
+//! Property-based coverage of the wire protocol: encode∘decode is the
+//! identity (witnessed by canonical re-encoding) for every
+//! [`MaRequest`] / [`MaResponse`] / [`RelayPayload`] variant and for
+//! the e-cash layer's own wire types, truncated buffers never decode,
+//! and foreign versions are rejected.
+
+use ppms_bigint::BigUint;
+use ppms_core::service::{MaRequest, MaResponse};
+use ppms_core::wire::{framed_len, Envelope, RelayPayload, WireDecode, WireEncode, WireError};
+use ppms_core::{AccountId, MarketError, Party};
+use ppms_crypto::cl::{ClPublicKey, ClSignature};
+use ppms_crypto::pairing::Point;
+use ppms_ecash::{DecBank, DecError, DecParams, NodePath, Spend};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// A real verified spend (keygen is expensive; shared across cases).
+fn fixture_spend() -> &'static Spend {
+    static F: OnceLock<Spend> = OnceLock::new();
+    F.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x31BE);
+        let params = DecParams::fixture(2, 6);
+        let bank = DecBank::new(&mut rng, params.clone(), 512);
+        let coin = bank.withdraw_coin(&mut rng);
+        coin.spend(&mut rng, &params, &NodePath::from_index(2, 1), b"")
+    })
+}
+
+fn party(p: u64) -> Party {
+    [Party::Jo, Party::Sp, Party::Ma][(p % 3) as usize]
+}
+
+fn point(x: u64, y: u64) -> Point {
+    if x == 0 {
+        Point::Infinity
+    } else {
+        Point::Affine {
+            x: BigUint::from(x),
+            y: BigUint::from(y),
+        }
+    }
+}
+
+fn clpk(a: u64, b: u64) -> ClPublicKey {
+    ClPublicKey {
+        x_pub: point(a, b),
+        y_pub: point(b, a),
+    }
+}
+
+fn clsig(a: u64, b: u64) -> ClSignature {
+    ClSignature {
+        a: point(a, b),
+        b: point(b, a.wrapping_add(1)),
+        c: point(a ^ b, b.wrapping_mul(3)),
+    }
+}
+
+fn dec_error(k: u64, text: &str) -> DecError {
+    match k % 8 {
+        0 => DecError::BadBankSignature,
+        1 => DecError::BadProof(text.to_string()),
+        2 => DecError::BadGroupElement,
+        3 => DecError::BadDepth,
+        4 => DecError::DoubleSpend(text.to_string()),
+        5 => DecError::Overspend,
+        6 => DecError::FakeCoin,
+        _ => DecError::BadAmount,
+    }
+}
+
+fn market_error(k: u64, text: &str) -> MarketError {
+    match k % 9 {
+        0 => MarketError::NoSuchAccount,
+        1 => MarketError::InsufficientFunds,
+        2 => MarketError::BadAuthentication,
+        3 => MarketError::BadPayload(text.to_string()),
+        4 => MarketError::BadCoin(text.to_string()),
+        5 => MarketError::StaleSerial,
+        6 => MarketError::Dec(dec_error(k / 9, text)),
+        7 => MarketError::NoSuchJob,
+        _ => MarketError::Transport(text.to_string()),
+    }
+}
+
+/// Deterministically builds each of the 13 request variants from raw
+/// generator material (the proptest stub has no `prop_oneof!`).
+fn build_request(variant: u64, a: u64, b: u64, blob: &[u8], text: &str) -> MaRequest {
+    match variant % 13 {
+        0 => MaRequest::RegisterJoAccount {
+            funds: a,
+            clpk: clpk(a, b),
+        },
+        1 => MaRequest::RegisterSpAccount,
+        2 => MaRequest::PublishJob {
+            description: text.to_string(),
+            payment: a,
+            pseudonym: blob.to_vec(),
+        },
+        3 => MaRequest::Withdraw {
+            account: AccountId(a),
+            nonce: b,
+            auth: clsig(a, b),
+            blinded: BigUint::from(b | 1),
+        },
+        4 => MaRequest::LaborRegister {
+            job_id: a,
+            sp_pubkey: blob.to_vec(),
+        },
+        5 => MaRequest::FetchLabor { job_id: a },
+        6 => MaRequest::SubmitPayment {
+            sp_pubkey: blob.to_vec(),
+            ciphertext: vec![b as u8; (a % 33) as usize],
+        },
+        7 => MaRequest::SubmitData {
+            job_id: a,
+            sp_pubkey: blob.to_vec(),
+            data: text.as_bytes().to_vec(),
+        },
+        8 => MaRequest::FetchPayment {
+            sp_pubkey: blob.to_vec(),
+        },
+        9 => MaRequest::FetchData { job_id: a },
+        10 => MaRequest::DepositBatch {
+            account: AccountId(a),
+            spends: vec![fixture_spend().clone(); (b % 3) as usize],
+        },
+        11 => MaRequest::Balance {
+            account: AccountId(a),
+        },
+        _ => MaRequest::Shutdown,
+    }
+}
+
+/// Deterministically builds each of the 11 response variants.
+fn build_response(variant: u64, a: u64, b: u64, blob: &[u8], text: &str) -> MaResponse {
+    match variant % 11 {
+        0 => MaResponse::Account(AccountId(a)),
+        1 => MaResponse::JobId(a),
+        2 => MaResponse::BlindSignature(BigUint::from(a | 1)),
+        3 => MaResponse::Ok,
+        4 => MaResponse::Labor(vec![blob.to_vec(), vec![], vec![b as u8]]),
+        5 => MaResponse::Payment(if b % 2 == 0 {
+            None
+        } else {
+            Some(blob.to_vec())
+        }),
+        6 => MaResponse::Data(vec![text.as_bytes().to_vec()]),
+        7 => MaResponse::BatchDeposited {
+            total: a,
+            accepted: (b % 100) as usize,
+            rejected: (a % 100) as usize,
+        },
+        8 => MaResponse::Balance(a),
+        9 => MaResponse::Err(market_error(b, text)),
+        _ => MaResponse::Drained {
+            undelivered_payments: (a % 1000) as usize,
+        },
+    }
+}
+
+/// Deterministically builds each of the 8 relay payload variants.
+fn build_relay(variant: u64, a: u64, blob: &[u8]) -> RelayPayload {
+    match variant % 8 {
+        0 => RelayPayload::DataReport {
+            data: blob.to_vec(),
+        },
+        1 => RelayPayload::DataDelivery {
+            data: blob.to_vec(),
+        },
+        2 => RelayPayload::PbsLaborRegister {
+            ciphertext: blob.to_vec(),
+        },
+        3 => RelayPayload::PbsDesignation {
+            receiver: vec![a as u8; (a % 9) as usize],
+            ciphertext: blob.to_vec(),
+        },
+        4 => RelayPayload::PbsDesignationForward {
+            ciphertext: blob.to_vec(),
+        },
+        5 => RelayPayload::PbsBlindRequest {
+            alpha: BigUint::from(a | 1),
+            serial: blob.to_vec(),
+        },
+        6 => RelayPayload::PbsBlindResponse {
+            beta: BigUint::from(a | 1),
+        },
+        _ => RelayPayload::PbsDeposit {
+            sig: BigUint::from(a | 1),
+            sp_key: blob.to_vec(),
+            jo_key: vec![a as u8; (a % 7) as usize],
+            serial: vec![1, 2, 3],
+        },
+    }
+}
+
+/// encode∘decode = id, witnessed by canonical re-encoding (the codec
+/// is deterministic, so equal bytes ⇔ equal values).
+fn assert_envelope_roundtrip<T: WireEncode + WireDecode>(
+    msg_id: u64,
+    correlation_id: u64,
+    from: Party,
+    payload: T,
+) -> Result<(), TestCaseError> {
+    let bytes = Envelope {
+        msg_id,
+        correlation_id,
+        party: from,
+        payload,
+    }
+    .to_bytes();
+    let back: Envelope<T> = Envelope::from_bytes(&bytes).expect("well-formed frame must decode");
+    prop_assert_eq!(back.msg_id, msg_id);
+    prop_assert_eq!(back.correlation_id, correlation_id);
+    prop_assert_eq!(back.party, from);
+    let re = Envelope {
+        msg_id,
+        correlation_id,
+        party: back.party,
+        payload: back.payload,
+    }
+    .to_bytes();
+    prop_assert_eq!(bytes, re);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_roundtrip(
+        variant in 0u64..13,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..48),
+        raw_text in prop::collection::vec(any::<u8>(), 0..24),
+        ids in any::<u64>(),
+        p in 0u64..3,
+    ) {
+        let text = String::from_utf8_lossy(&raw_text).into_owned();
+        let req = build_request(variant, a, b, &blob, &text);
+        assert_envelope_roundtrip(ids, ids.wrapping_mul(3), party(p), req)?;
+    }
+
+    #[test]
+    fn responses_roundtrip(
+        variant in 0u64..11,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..48),
+        raw_text in prop::collection::vec(any::<u8>(), 0..24),
+        ids in any::<u64>(),
+    ) {
+        let text = String::from_utf8_lossy(&raw_text).into_owned();
+        let resp = build_response(variant, a, b, &blob, &text);
+        assert_envelope_roundtrip(ids, ids ^ 0xF0F0, Party::Ma, resp)?;
+    }
+
+    #[test]
+    fn relay_payloads_roundtrip(
+        variant in 0u64..8,
+        a in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..64),
+        p in 0u64..3,
+    ) {
+        let relay = build_relay(variant, a, &blob);
+        assert_envelope_roundtrip(1, 0, party(p), relay)?;
+    }
+
+    #[test]
+    fn framed_len_is_id_independent(
+        variant in 0u64..13,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..32),
+        ids in any::<u64>(),
+        p in 0u64..3,
+    ) {
+        let req = build_request(variant, a, b, &blob, "t");
+        let expected = framed_len(party(p), &req);
+        let actual = Envelope {
+            msg_id: ids,
+            correlation_id: !ids,
+            party: party(p),
+            payload: req,
+        }
+        .to_bytes()
+        .len();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn truncated_frames_never_decode(
+        variant in 0u64..13,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..32),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = build_request(variant, a, b, &blob, "payload");
+        let bytes = Envelope { msg_id: 1, correlation_id: 0, party: Party::Jo, payload: req }.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize; // < len
+        prop_assert!(Envelope::<MaRequest>::from_bytes(&bytes[..cut]).is_err());
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(b as u8);
+        prop_assert!(matches!(
+            Envelope::<MaRequest>::from_bytes(&extended),
+            Err(WireError::Trailing)
+        ));
+    }
+
+    #[test]
+    fn foreign_versions_rejected(
+        version in 0u16..u16::MAX,
+        variant in 0u64..11,
+        a in any::<u64>(),
+    ) {
+        let version = if version == ppms_core::wire::WIRE_VERSION {
+            version.wrapping_add(1)
+        } else {
+            version
+        };
+        let resp = build_response(variant, a, a, &[7, 7], "x");
+        let mut bytes = Envelope { msg_id: 2, correlation_id: 1, party: Party::Ma, payload: resp }.to_bytes();
+        bytes[0..2].copy_from_slice(&version.to_be_bytes());
+        prop_assert!(matches!(
+            Envelope::<MaResponse>::from_bytes(&bytes),
+            Err(WireError::BadVersion(v)) if v == version
+        ));
+    }
+
+    #[test]
+    fn ecash_spend_bytes_roundtrip(cut_frac in 0.0f64..1.0) {
+        // The e-cash layer's own wire types obey the same laws: exact
+        // byte round-trip, and no truncated prefix parses.
+        let spend = fixture_spend();
+        let bytes = spend.to_bytes();
+        let back = Spend::from_bytes(&bytes).expect("spend decodes");
+        prop_assert_eq!(&back.to_bytes(), &bytes);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(Spend::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn ecash_payment_bundle_roundtrip(n_real in 0usize..3, pad in 0usize..3) {
+        let spend = fixture_spend();
+        let items: Vec<ppms_ecash::PaymentItem> = (0..n_real)
+            .map(|_| ppms_ecash::PaymentItem::Real(spend.clone()))
+            .chain((0..pad).map(|i| {
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                let params = DecParams::fixture(2, 6);
+                ppms_ecash::PaymentItem::Fake(ppms_ecash::FakeCoin::matching(
+                    &mut rng, &params, 2, 64,
+                ))
+            }))
+            .collect();
+        let bytes = ppms_ecash::encode_payment(&items);
+        let back = ppms_ecash::decode_payment(&bytes).expect("bundle decodes");
+        prop_assert_eq!(ppms_ecash::encode_payment(&back), bytes);
+    }
+}

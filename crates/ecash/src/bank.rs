@@ -107,6 +107,18 @@ impl DecBank {
             .collect()
     }
 
+    /// The bookkeeping half of [`DecBank::deposit`] for callers that
+    /// have already verified the spend themselves (e.g. a sharded
+    /// service that parallelizes verification outside the bank lock):
+    /// runs only double-spend detection and face-value accounting.
+    ///
+    /// `value` must be the node value returned by
+    /// [`Spend::verify`](crate::Spend::verify); passing an unverified
+    /// spend here bypasses the cryptographic checks entirely.
+    pub fn deposit_preverified(&mut self, spend: &Spend, value: u64) -> Result<u64, DecError> {
+        self.record_deposit(spend, value)
+    }
+
     /// The bookkeeping half of [`DecBank::deposit`] (verification
     /// already done).
     fn record_deposit(&mut self, spend: &Spend, value: u64) -> Result<u64, DecError> {
@@ -117,13 +129,17 @@ impl DecBank {
             .collect();
 
         if self.spent.contains(&serial) {
-            return Err(DecError::DoubleSpend("node already spent"));
+            return Err(DecError::DoubleSpend("node already spent".into()));
         }
         if self.ancestors.contains(&serial) {
-            return Err(DecError::DoubleSpend("a descendant was already spent"));
+            return Err(DecError::DoubleSpend(
+                "a descendant was already spent".into(),
+            ));
         }
         if anc_hashes.iter().any(|h| self.spent.contains(h)) {
-            return Err(DecError::DoubleSpend("an ancestor was already spent"));
+            return Err(DecError::DoubleSpend(
+                "an ancestor was already spent".into(),
+            ));
         }
 
         let root_hash = hash_tagged("dec-root-hash", &spend.root_tag.to_bytes_be());
@@ -175,7 +191,7 @@ mod tests {
         assert!(bank.deposit(&s1, b"a").is_ok());
         assert_eq!(
             bank.deposit(&s2, b"b"),
-            Err(DecError::DoubleSpend("node already spent"))
+            Err(DecError::DoubleSpend("node already spent".into()))
         );
     }
 
@@ -188,7 +204,9 @@ mod tests {
         let anc = coin.spend(&mut rng, &params, &NodePath::from_index(1, 0), b"b");
         assert_eq!(
             bank.deposit(&anc, b"b"),
-            Err(DecError::DoubleSpend("a descendant was already spent"))
+            Err(DecError::DoubleSpend(
+                "a descendant was already spent".into()
+            ))
         );
     }
 
@@ -200,7 +218,9 @@ mod tests {
         let leaf = coin.spend(&mut rng, &params, &NodePath::from_index(3, 7), b"b");
         assert_eq!(
             bank.deposit(&leaf, b"b"),
-            Err(DecError::DoubleSpend("an ancestor was already spent"))
+            Err(DecError::DoubleSpend(
+                "an ancestor was already spent".into()
+            ))
         );
     }
 
@@ -253,10 +273,15 @@ mod tests {
         let results = bank.deposit_batch(&[a, b, dup, anc], b"x");
         assert_eq!(results[0], Ok(2));
         assert_eq!(results[1], Ok(2));
-        assert_eq!(results[2], Err(DecError::DoubleSpend("node already spent")));
+        assert_eq!(
+            results[2],
+            Err(DecError::DoubleSpend("node already spent".into()))
+        );
         assert_eq!(
             results[3],
-            Err(DecError::DoubleSpend("a descendant was already spent"))
+            Err(DecError::DoubleSpend(
+                "a descendant was already spent".into()
+            ))
         );
         assert_eq!(bank.deposited_count(), 2);
     }

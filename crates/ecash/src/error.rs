@@ -1,18 +1,22 @@
 //! Error type for divisible e-cash operations.
 
 /// Why a coin, spend or deposit was rejected.
+///
+/// Detail payloads are owned strings so the error can cross a
+/// serialized transport boundary and be reconstructed on the far side
+/// (see `ppms-core`'s wire module).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecError {
     /// The bank's signature on the coin root is missing or invalid.
     BadBankSignature,
     /// A zero-knowledge proof failed to verify.
-    BadProof(&'static str),
+    BadProof(String),
     /// A revealed node key is not an element of its level's group.
     BadGroupElement,
     /// The spend depth is outside `1..=L`.
     BadDepth,
     /// The same node (or an ancestor/descendant) was already deposited.
-    DoubleSpend(&'static str),
+    DoubleSpend(String),
     /// Deposits for this coin would exceed its face value.
     Overspend,
     /// A payment item failed verification (fake coin `E(0)` or junk).

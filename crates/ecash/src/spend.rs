@@ -195,7 +195,7 @@ impl Spend {
             return Err(DecError::BadDepth);
         }
         if self.edge_proofs.len() != depth - 1 {
-            return Err(DecError::BadProof("edge proof count"));
+            return Err(DecError::BadProof("edge proof count".into()));
         }
 
         // 1. Bank signature on the root token.
@@ -228,7 +228,7 @@ impl Spend {
             .root_proof
             .verify(&stmt, params.zkp_rounds, "dec-root", binding)
         {
-            return Err(DecError::BadProof("root double-dlog"));
+            return Err(DecError::BadProof("root double-dlog".into()));
         }
 
         // 4. Level-1 linked representation proof.
@@ -242,7 +242,7 @@ impl Spend {
             &self.keys[0],
             binding,
         ) {
-            return Err(DecError::BadProof("level-1 link"));
+            return Err(DecError::BadProof("level-1 link".into()));
         }
 
         // 5. Edge OR-proofs.
@@ -258,7 +258,7 @@ impl Spend {
             ];
             let extra = edge_binding(&self.root_tag, t_prev, t_cur, d, binding);
             if !self.edge_proofs[d - 2].verify(&lvl.group, &lvl.h, &ys, "dec-edge", &extra) {
-                return Err(DecError::BadProof("edge OR"));
+                return Err(DecError::BadProof("edge OR".into()));
             }
         }
 
@@ -344,7 +344,7 @@ mod tests {
         assert!(spend.verify(&params, bank.public_key(), b"alice").is_ok());
         assert_eq!(
             spend.verify(&params, bank.public_key(), b"bob"),
-            Err(DecError::BadProof("root double-dlog"))
+            Err(DecError::BadProof("root double-dlog".into()))
         );
     }
 
@@ -387,7 +387,7 @@ mod tests {
         // Now edge proof count mismatches.
         assert_eq!(
             truncated.verify(&params, bank.public_key(), b""),
-            Err(DecError::BadProof("edge proof count"))
+            Err(DecError::BadProof("edge proof count".into()))
         );
     }
 

@@ -13,7 +13,7 @@ use ppms_ecash::CashBreak;
 
 fn main() {
     println!("== Threaded PPMSpbs market ==");
-    let report = run_parallel_pbs_market(0x5EED, 6, 4, 512, 4);
+    let report = run_parallel_pbs_market(0x5EED, 6, 4, 512, 4).expect("parallel market");
     println!(
         "{} rounds completed, {} failed, in {:?} across 4 workers",
         report.completed, report.failed, report.elapsed

@@ -11,6 +11,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> wire protocol property tests"
+cargo test -p ppms-core --test wire_props -q
+
 echo "==> cargo test"
 cargo test --workspace -q
 

@@ -85,7 +85,7 @@ fn parallel_bundle_verification_matches_sequential() {
 
 #[test]
 fn threaded_pbs_market_conserves_supply() {
-    let report = ppms_core::sim::run_parallel_pbs_market(7, 4, 3, 512, 4);
+    let report = ppms_core::sim::run_parallel_pbs_market(7, 4, 3, 512, 4).expect("parallel market");
     assert_eq!(report.completed, 12);
     assert_eq!(report.failed, 0);
     assert_eq!(

@@ -24,7 +24,7 @@ fn jo_paying_two_sps_with_same_nodes_caught_at_second_deposit() {
     assert_eq!(market.dec_bank.deposit(&spend, b""), Ok(2));
     assert_eq!(
         market.dec_bank.deposit(&spend, b""),
-        Err(DecError::DoubleSpend("node already spent"))
+        Err(DecError::DoubleSpend("node already spent".into()))
     );
 
     let _ = (sp1, sp2);
@@ -71,7 +71,9 @@ fn overlapping_payments_from_one_coin_rejected() {
     assert!(market.dec_bank.deposit(&parent, b"").is_ok());
     assert_eq!(
         market.dec_bank.deposit(&leaf, b""),
-        Err(DecError::DoubleSpend("an ancestor was already spent"))
+        Err(DecError::DoubleSpend(
+            "an ancestor was already spent".into()
+        ))
     );
 }
 
@@ -113,7 +115,7 @@ fn tampered_ciphertext_rejected_by_sp() {
         .unwrap();
     ct[10] ^= 0x80;
     let err = market.deposit_payment(&sp, &jo_pk, &ct).unwrap_err();
-    assert_eq!(err, MarketError::BadPayload("decrypt"));
+    assert_eq!(err, MarketError::BadPayload("decrypt".into()));
 }
 
 /// Extracts the JO's coin for crafting adversarial spends (test-only

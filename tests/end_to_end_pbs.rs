@@ -80,7 +80,7 @@ fn forged_deposit_rejected() {
             &fake_sig,
         )
         .unwrap_err();
-    assert_eq!(err, MarketError::BadCoin("deposit signature"));
+    assert_eq!(err, MarketError::BadCoin("deposit signature".into()));
 }
 
 #[test]
@@ -109,7 +109,7 @@ fn deposit_with_wrong_serial_rejected() {
             &sig,
         )
         .unwrap_err();
-    assert_eq!(err, MarketError::BadCoin("deposit signature"));
+    assert_eq!(err, MarketError::BadCoin("deposit signature".into()));
     // Under the right serial it succeeds.
     assert_eq!(
         market.deposit(

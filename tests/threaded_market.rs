@@ -55,20 +55,29 @@ fn sp_thread(svc: &MaService, job_id: u64, seed: u64) -> (AccountId, u64) {
 
     let payload = rsa::decrypt(&one_time, &ciphertext).expect("payment decrypts");
     let items = decode_payment(&payload).expect("bundle parses");
-    let mut credited = 0;
-    for item in items {
-        if let PaymentItem::Real(spend) = item {
-            if spend.verify(&svc.params, &svc.bank_pk, b"").is_ok() {
-                match client.call(MaRequest::Deposit {
-                    account,
-                    spend: Box::new(spend),
-                }) {
-                    MaResponse::Deposited(v) => credited += v,
-                    other => panic!("deposit failed: {other:?}"),
-                }
-            }
+    let spends: Vec<_> = items
+        .into_iter()
+        .filter_map(|item| match item {
+            PaymentItem::Real(spend) => spend
+                .verify(&svc.params, &svc.bank_pk, b"")
+                .ok()
+                .map(|_| spend),
+            PaymentItem::Fake(_) => None,
+        })
+        .collect();
+    let n_spends = spends.len();
+    let credited = match client.call(MaRequest::DepositBatch { account, spends }) {
+        MaResponse::BatchDeposited {
+            total,
+            accepted,
+            rejected,
+        } => {
+            assert_eq!(accepted, n_spends, "all real spends accepted");
+            assert_eq!(rejected, 0);
+            total
         }
-    }
+        other => panic!("deposit failed: {other:?}"),
+    };
     (account, credited)
 }
 
