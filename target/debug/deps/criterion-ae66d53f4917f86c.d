@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-ae66d53f4917f86c.d: /tmp/ppms-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ae66d53f4917f86c.rlib: /tmp/ppms-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-ae66d53f4917f86c.rmeta: /tmp/ppms-deps/criterion/src/lib.rs
+
+/tmp/ppms-deps/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-9fb925dd13222142.d: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-9fb925dd13222142.rmeta: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/tmp/ppms-deps/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-beada18c168b52cb.d: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-beada18c168b52cb.rlib: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-beada18c168b52cb.rmeta: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/tmp/ppms-deps/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto_stack-4954841b7ff3a142.d: crates/integration/../../tests/crypto_stack.rs
+
+/root/repo/target/debug/deps/crypto_stack-4954841b7ff3a142: crates/integration/../../tests/crypto_stack.rs
+
+crates/integration/../../tests/crypto_stack.rs:

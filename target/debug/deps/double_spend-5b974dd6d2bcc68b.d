@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/double_spend-5b974dd6d2bcc68b.d: crates/integration/../../tests/double_spend.rs
+
+/root/repo/target/debug/deps/double_spend-5b974dd6d2bcc68b: crates/integration/../../tests/double_spend.rs
+
+crates/integration/../../tests/double_spend.rs:

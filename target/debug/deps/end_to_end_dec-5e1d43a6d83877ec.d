@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_dec-5e1d43a6d83877ec.d: crates/integration/../../tests/end_to_end_dec.rs
+
+/root/repo/target/debug/deps/end_to_end_dec-5e1d43a6d83877ec: crates/integration/../../tests/end_to_end_dec.rs
+
+crates/integration/../../tests/end_to_end_dec.rs:

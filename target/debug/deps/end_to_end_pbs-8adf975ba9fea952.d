@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_pbs-8adf975ba9fea952.d: crates/integration/../../tests/end_to_end_pbs.rs
+
+/root/repo/target/debug/deps/end_to_end_pbs-8adf975ba9fea952: crates/integration/../../tests/end_to_end_pbs.rs
+
+crates/integration/../../tests/end_to_end_pbs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-9029ce8e5428fb14.d: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-9029ce8e5428fb14.rlib: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-9029ce8e5428fb14.rmeta: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/tmp/ppms-deps/parking_lot/src/lib.rs:

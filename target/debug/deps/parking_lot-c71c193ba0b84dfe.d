@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-c71c193ba0b84dfe.d: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c71c193ba0b84dfe.rmeta: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/tmp/ppms-deps/parking_lot/src/lib.rs:

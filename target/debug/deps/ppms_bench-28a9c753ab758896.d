@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ppms_bench-28a9c753ab758896.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libppms_bench-28a9c753ab758896.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libppms_bench-28a9c753ab758896.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

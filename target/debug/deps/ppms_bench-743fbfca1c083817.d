@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppms_bench-743fbfca1c083817.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ppms_bench-743fbfca1c083817: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppms_bench-d0ddae39ad055730.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libppms_bench-d0ddae39ad055730.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ppms_bigint-d660cabb572e6bf1.d: crates/bigint/src/lib.rs crates/bigint/src/arith.rs crates/bigint/src/barrett.rs crates/bigint/src/bigint.rs crates/bigint/src/biguint.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/gcd.rs crates/bigint/src/modular.rs crates/bigint/src/montgomery.rs crates/bigint/src/mul.rs crates/bigint/src/random.rs crates/bigint/src/ring.rs crates/bigint/src/shift.rs
+
+/root/repo/target/debug/deps/libppms_bigint-d660cabb572e6bf1.rlib: crates/bigint/src/lib.rs crates/bigint/src/arith.rs crates/bigint/src/barrett.rs crates/bigint/src/bigint.rs crates/bigint/src/biguint.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/gcd.rs crates/bigint/src/modular.rs crates/bigint/src/montgomery.rs crates/bigint/src/mul.rs crates/bigint/src/random.rs crates/bigint/src/ring.rs crates/bigint/src/shift.rs
+
+/root/repo/target/debug/deps/libppms_bigint-d660cabb572e6bf1.rmeta: crates/bigint/src/lib.rs crates/bigint/src/arith.rs crates/bigint/src/barrett.rs crates/bigint/src/bigint.rs crates/bigint/src/biguint.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/gcd.rs crates/bigint/src/modular.rs crates/bigint/src/montgomery.rs crates/bigint/src/mul.rs crates/bigint/src/random.rs crates/bigint/src/ring.rs crates/bigint/src/shift.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/arith.rs:
+crates/bigint/src/barrett.rs:
+crates/bigint/src/bigint.rs:
+crates/bigint/src/biguint.rs:
+crates/bigint/src/convert.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/gcd.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/montgomery.rs:
+crates/bigint/src/mul.rs:
+crates/bigint/src/random.rs:
+crates/bigint/src/ring.rs:
+crates/bigint/src/shift.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ppms_core-5b9e709d49ac63b5.d: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/bank.rs crates/core/src/bulletin.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/mixnet.rs crates/core/src/ppmsdec.rs crates/core/src/ppmspbs.rs crates/core/src/service.rs crates/core/src/sim.rs crates/core/src/transport.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libppms_core-5b9e709d49ac63b5.rlib: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/bank.rs crates/core/src/bulletin.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/mixnet.rs crates/core/src/ppmsdec.rs crates/core/src/ppmspbs.rs crates/core/src/service.rs crates/core/src/sim.rs crates/core/src/transport.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libppms_core-5b9e709d49ac63b5.rmeta: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/bank.rs crates/core/src/bulletin.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/mixnet.rs crates/core/src/ppmsdec.rs crates/core/src/ppmspbs.rs crates/core/src/service.rs crates/core/src/sim.rs crates/core/src/transport.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attack.rs:
+crates/core/src/bank.rs:
+crates/core/src/bulletin.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mixnet.rs:
+crates/core/src/ppmsdec.rs:
+crates/core/src/ppmspbs.rs:
+crates/core/src/service.rs:
+crates/core/src/sim.rs:
+crates/core/src/transport.rs:
+crates/core/src/wire.rs:

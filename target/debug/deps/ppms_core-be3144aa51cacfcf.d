@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ppms_core-be3144aa51cacfcf.d: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/bank.rs crates/core/src/bulletin.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/mixnet.rs crates/core/src/ppmsdec.rs crates/core/src/ppmspbs.rs crates/core/src/service.rs crates/core/src/sim.rs crates/core/src/transport.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/ppms_core-be3144aa51cacfcf: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/bank.rs crates/core/src/bulletin.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/mixnet.rs crates/core/src/ppmsdec.rs crates/core/src/ppmspbs.rs crates/core/src/service.rs crates/core/src/sim.rs crates/core/src/transport.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attack.rs:
+crates/core/src/bank.rs:
+crates/core/src/bulletin.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mixnet.rs:
+crates/core/src/ppmsdec.rs:
+crates/core/src/ppmspbs.rs:
+crates/core/src/service.rs:
+crates/core/src/sim.rs:
+crates/core/src/transport.rs:
+crates/core/src/wire.rs:

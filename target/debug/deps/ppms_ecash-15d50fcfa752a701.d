@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ppms_ecash-15d50fcfa752a701.d: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+/root/repo/target/debug/deps/ppms_ecash-15d50fcfa752a701: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+crates/ecash/src/lib.rs:
+crates/ecash/src/bank.rs:
+crates/ecash/src/brk.rs:
+crates/ecash/src/coin.rs:
+crates/ecash/src/error.rs:
+crates/ecash/src/params.rs:
+crates/ecash/src/spend.rs:
+crates/ecash/src/trace.rs:
+crates/ecash/src/wallet.rs:
+crates/ecash/src/wire.rs:

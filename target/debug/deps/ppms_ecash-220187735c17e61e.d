@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ppms_ecash-220187735c17e61e.d: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+/root/repo/target/debug/deps/libppms_ecash-220187735c17e61e.rmeta: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+crates/ecash/src/lib.rs:
+crates/ecash/src/bank.rs:
+crates/ecash/src/brk.rs:
+crates/ecash/src/coin.rs:
+crates/ecash/src/error.rs:
+crates/ecash/src/params.rs:
+crates/ecash/src/spend.rs:
+crates/ecash/src/trace.rs:
+crates/ecash/src/wallet.rs:
+crates/ecash/src/wire.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ppms_ecash-304a3f93bb652d64.d: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+/root/repo/target/debug/deps/libppms_ecash-304a3f93bb652d64.rlib: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+/root/repo/target/debug/deps/libppms_ecash-304a3f93bb652d64.rmeta: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+crates/ecash/src/lib.rs:
+crates/ecash/src/bank.rs:
+crates/ecash/src/brk.rs:
+crates/ecash/src/coin.rs:
+crates/ecash/src/error.rs:
+crates/ecash/src/params.rs:
+crates/ecash/src/spend.rs:
+crates/ecash/src/trace.rs:
+crates/ecash/src/wallet.rs:
+crates/ecash/src/wire.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ppms_integration-3693fa762f3ab700.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libppms_integration-3693fa762f3ab700.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libppms_integration-3693fa762f3ab700.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

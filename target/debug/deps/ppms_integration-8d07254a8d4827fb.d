@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppms_integration-8d07254a8d4827fb.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/ppms_integration-8d07254a8d4827fb: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ppms_primes-250c596632128c32.d: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+/root/repo/target/debug/deps/libppms_primes-250c596632128c32.rlib: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+/root/repo/target/debug/deps/libppms_primes-250c596632128c32.rmeta: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+crates/primes/src/lib.rs:
+crates/primes/src/cunningham.rs:
+crates/primes/src/gen.rs:
+crates/primes/src/miller_rabin.rs:
+crates/primes/src/sieve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppms_primes-3317f8d6577e2493.d: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+/root/repo/target/debug/deps/libppms_primes-3317f8d6577e2493.rmeta: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+crates/primes/src/lib.rs:
+crates/primes/src/cunningham.rs:
+crates/primes/src/gen.rs:
+crates/primes/src/miller_rabin.rs:
+crates/primes/src/sieve.rs:

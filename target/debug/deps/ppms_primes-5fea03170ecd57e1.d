@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppms_primes-5fea03170ecd57e1.d: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+/root/repo/target/debug/deps/ppms_primes-5fea03170ecd57e1: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+crates/primes/src/lib.rs:
+crates/primes/src/cunningham.rs:
+crates/primes/src/gen.rs:
+crates/primes/src/miller_rabin.rs:
+crates/primes/src/sieve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/privacy_properties-88f8a0aafd58a84b.d: crates/integration/../../tests/privacy_properties.rs
+
+/root/repo/target/debug/deps/privacy_properties-88f8a0aafd58a84b: crates/integration/../../tests/privacy_properties.rs
+
+crates/integration/../../tests/privacy_properties.rs:

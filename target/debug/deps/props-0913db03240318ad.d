@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0913db03240318ad.d: crates/bigint/tests/props.rs
+
+/root/repo/target/debug/deps/props-0913db03240318ad: crates/bigint/tests/props.rs
+
+crates/bigint/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-455c64b73a119b31.d: crates/crypto/tests/props.rs
+
+/root/repo/target/debug/deps/props-455c64b73a119b31: crates/crypto/tests/props.rs
+
+crates/crypto/tests/props.rs:

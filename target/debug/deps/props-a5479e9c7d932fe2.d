@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a5479e9c7d932fe2.d: crates/ecash/tests/props.rs
+
+/root/repo/target/debug/deps/props-a5479e9c7d932fe2: crates/ecash/tests/props.rs
+
+crates/ecash/tests/props.rs:

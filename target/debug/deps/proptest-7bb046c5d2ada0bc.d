@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7bb046c5d2ada0bc.d: /tmp/ppms-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7bb046c5d2ada0bc.rlib: /tmp/ppms-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7bb046c5d2ada0bc.rmeta: /tmp/ppms-deps/proptest/src/lib.rs
+
+/tmp/ppms-deps/proptest/src/lib.rs:

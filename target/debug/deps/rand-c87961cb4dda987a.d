@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c87961cb4dda987a.d: /tmp/ppms-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c87961cb4dda987a.rlib: /tmp/ppms-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c87961cb4dda987a.rmeta: /tmp/ppms-deps/rand/src/lib.rs
+
+/tmp/ppms-deps/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ea46cb531c019cdd.d: /tmp/ppms-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ea46cb531c019cdd.rmeta: /tmp/ppms-deps/rand/src/lib.rs
+
+/tmp/ppms-deps/rand/src/lib.rs:

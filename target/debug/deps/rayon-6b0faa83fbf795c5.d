@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-6b0faa83fbf795c5.d: /tmp/ppms-deps/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6b0faa83fbf795c5.rlib: /tmp/ppms-deps/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6b0faa83fbf795c5.rmeta: /tmp/ppms-deps/rayon/src/lib.rs
+
+/tmp/ppms-deps/rayon/src/lib.rs:

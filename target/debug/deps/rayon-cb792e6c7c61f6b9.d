@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-cb792e6c7c61f6b9.d: /tmp/ppms-deps/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-cb792e6c7c61f6b9.rmeta: /tmp/ppms-deps/rayon/src/lib.rs
+
+/tmp/ppms-deps/rayon/src/lib.rs:

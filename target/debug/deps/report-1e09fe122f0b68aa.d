@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-1e09fe122f0b68aa.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-1e09fe122f0b68aa: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-5e8b4904f93f5bc0.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-5e8b4904f93f5bc0: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

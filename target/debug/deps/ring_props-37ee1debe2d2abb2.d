@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring_props-37ee1debe2d2abb2.d: crates/bigint/tests/ring_props.rs
+
+/root/repo/target/debug/deps/ring_props-37ee1debe2d2abb2: crates/bigint/tests/ring_props.rs
+
+crates/bigint/tests/ring_props.rs:

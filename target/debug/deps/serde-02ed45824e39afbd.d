@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-02ed45824e39afbd.d: /tmp/ppms-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-02ed45824e39afbd.rlib: /tmp/ppms-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-02ed45824e39afbd.rmeta: /tmp/ppms-deps/serde/src/lib.rs
+
+/tmp/ppms-deps/serde/src/lib.rs:

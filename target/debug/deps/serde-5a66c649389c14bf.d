@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-5a66c649389c14bf.d: /tmp/ppms-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5a66c649389c14bf.rmeta: /tmp/ppms-deps/serde/src/lib.rs
+
+/tmp/ppms-deps/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-cabb489c83afa6f4.d: /tmp/ppms-deps/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-cabb489c83afa6f4.so: /tmp/ppms-deps/serde_derive/src/lib.rs
+
+/tmp/ppms-deps/serde_derive/src/lib.rs:

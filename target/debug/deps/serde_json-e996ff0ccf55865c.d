@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-e996ff0ccf55865c.d: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e996ff0ccf55865c.rlib: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e996ff0ccf55865c.rmeta: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/tmp/ppms-deps/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f68160be720de57d.d: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f68160be720de57d.rmeta: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/tmp/ppms-deps/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_market-ec870324c417cfab.d: crates/integration/../../tests/threaded_market.rs
+
+/root/repo/target/debug/deps/threaded_market-ec870324c417cfab: crates/integration/../../tests/threaded_market.rs
+
+crates/integration/../../tests/threaded_market.rs:

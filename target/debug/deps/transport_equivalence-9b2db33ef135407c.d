@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_equivalence-9b2db33ef135407c.d: crates/integration/../../tests/transport_equivalence.rs
+
+/root/repo/target/debug/deps/transport_equivalence-9b2db33ef135407c: crates/integration/../../tests/transport_equivalence.rs
+
+crates/integration/../../tests/transport_equivalence.rs:

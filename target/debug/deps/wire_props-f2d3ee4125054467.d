@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_props-f2d3ee4125054467.d: crates/core/tests/wire_props.rs
+
+/root/repo/target/debug/deps/wire_props-f2d3ee4125054467: crates/core/tests/wire_props.rs
+
+crates/core/tests/wire_props.rs:

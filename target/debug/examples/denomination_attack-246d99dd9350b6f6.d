@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/denomination_attack-246d99dd9350b6f6.d: crates/integration/../../examples/denomination_attack.rs
+
+/root/repo/target/debug/examples/denomination_attack-246d99dd9350b6f6: crates/integration/../../examples/denomination_attack.rs
+
+crates/integration/../../examples/denomination_attack.rs:

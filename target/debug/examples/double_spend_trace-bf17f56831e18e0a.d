@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/double_spend_trace-bf17f56831e18e0a.d: crates/integration/../../examples/double_spend_trace.rs
+
+/root/repo/target/debug/examples/double_spend_trace-bf17f56831e18e0a: crates/integration/../../examples/double_spend_trace.rs
+
+crates/integration/../../examples/double_spend_trace.rs:

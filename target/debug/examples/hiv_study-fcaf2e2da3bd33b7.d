@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiv_study-fcaf2e2da3bd33b7.d: crates/integration/../../examples/hiv_study.rs
+
+/root/repo/target/debug/examples/hiv_study-fcaf2e2da3bd33b7: crates/integration/../../examples/hiv_study.rs
+
+crates/integration/../../examples/hiv_study.rs:

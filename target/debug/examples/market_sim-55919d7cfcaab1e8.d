@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_sim-55919d7cfcaab1e8.d: crates/integration/../../examples/market_sim.rs
+
+/root/repo/target/debug/examples/market_sim-55919d7cfcaab1e8: crates/integration/../../examples/market_sim.rs
+
+crates/integration/../../examples/market_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a373edb002b34894.d: crates/integration/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a373edb002b34894: crates/integration/../../examples/quickstart.rs
+
+crates/integration/../../examples/quickstart.rs:

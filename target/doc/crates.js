@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["ppms_bench","ppms_bigint","ppms_core","ppms_crypto","ppms_ecash","ppms_integration","ppms_primes","report"];
+//{"start":21,"fragment_lengths":[12,14,12,14,13,19,14,9]}

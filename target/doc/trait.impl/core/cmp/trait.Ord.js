@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ppms_bigint",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ppms_bigint/struct.BigUint.html\" title=\"struct ppms_bigint::BigUint\">BigUint</a>",0]]],["ppms_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"ppms_core/metrics/enum.Op.html\" title=\"enum ppms_core::metrics::Op\">Op</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"ppms_core/metrics/enum.Party.html\" title=\"enum ppms_core::metrics::Party\">Party</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ppms_core/bank/struct.AccountId.html\" title=\"struct ppms_core::bank::AccountId\">AccountId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[267,772]}

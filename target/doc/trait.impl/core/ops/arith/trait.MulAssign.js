@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ppms_bigint",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.MulAssign.html\" title=\"trait core::ops::arith::MulAssign\">MulAssign</a>&lt;&amp;<a class=\"struct\" href=\"ppms_bigint/struct.BigUint.html\" title=\"struct ppms_bigint::BigUint\">BigUint</a>&gt; for <a class=\"struct\" href=\"ppms_bigint/struct.BigUint.html\" title=\"struct ppms_bigint::BigUint\">BigUint</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[421]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ppms_bigint",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/bit/trait.ShlAssign.html\" title=\"trait core::ops::bit::ShlAssign\">ShlAssign</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.usize.html\">usize</a>&gt; for <a class=\"struct\" href=\"ppms_bigint/struct.BigUint.html\" title=\"struct ppms_bigint::BigUint\">BigUint</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[401]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ppms_core",[["impl&lt;'de&gt; Deserialize&lt;'de&gt; for <a class=\"enum\" href=\"ppms_core/service/enum.MaRequest.html\" title=\"enum ppms_core::service::MaRequest\">MaRequest</a>",0],["impl&lt;'de&gt; Deserialize&lt;'de&gt; for <a class=\"enum\" href=\"ppms_core/service/enum.MaResponse.html\" title=\"enum ppms_core::service::MaResponse\">MaResponse</a>",0],["impl&lt;'de&gt; Deserialize&lt;'de&gt; for <a class=\"enum\" href=\"ppms_core/wire/enum.RelayPayload.html\" title=\"enum ppms_core::wire::RelayPayload\">RelayPayload</a>",0],["impl&lt;'de&gt; Deserialize&lt;'de&gt; for <a class=\"struct\" href=\"ppms_core/bank/struct.BankSnapshot.html\" title=\"struct ppms_core::bank::BankSnapshot\">BankSnapshot</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[722]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c5f944f6cff4df19.d: /tmp/ppms-deps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c5f944f6cff4df19.rlib: /tmp/ppms-deps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c5f944f6cff4df19.rmeta: /tmp/ppms-deps/criterion/src/lib.rs
+
+/tmp/ppms-deps/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f91d2242a1716713.d: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f91d2242a1716713.rlib: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f91d2242a1716713.rmeta: /tmp/ppms-deps/crossbeam/src/lib.rs
+
+/tmp/ppms-deps/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-3b78a2f4115f9e16.d: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3b78a2f4115f9e16.rlib: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3b78a2f4115f9e16.rmeta: /tmp/ppms-deps/parking_lot/src/lib.rs
+
+/tmp/ppms-deps/parking_lot/src/lib.rs:

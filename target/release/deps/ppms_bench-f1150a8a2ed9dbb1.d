@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppms_bench-f1150a8a2ed9dbb1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libppms_bench-f1150a8a2ed9dbb1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libppms_bench-f1150a8a2ed9dbb1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

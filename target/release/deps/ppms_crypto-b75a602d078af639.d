@@ -1,0 +1,31 @@
+/root/repo/target/release/deps/ppms_crypto-b75a602d078af639.d: crates/crypto/src/lib.rs crates/crypto/src/cl.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/pairing/mod.rs crates/crypto/src/pairing/curve.rs crates/crypto/src/pairing/fp.rs crates/crypto/src/pairing/fp2.rs crates/crypto/src/pairing/miller.rs crates/crypto/src/pairing/typea.rs crates/crypto/src/pedersen.rs crates/crypto/src/rsa/mod.rs crates/crypto/src/rsa/blind.rs crates/crypto/src/rsa/encrypt.rs crates/crypto/src/rsa/pbs.rs crates/crypto/src/rsa/sign.rs crates/crypto/src/sha256.rs crates/crypto/src/tower.rs crates/crypto/src/zkp/mod.rs crates/crypto/src/zkp/ddlog.rs crates/crypto/src/zkp/eq.rs crates/crypto/src/zkp/orproof.rs crates/crypto/src/zkp/repr.rs crates/crypto/src/zkp/schnorr.rs crates/crypto/src/zkp/transcript.rs
+
+/root/repo/target/release/deps/libppms_crypto-b75a602d078af639.rlib: crates/crypto/src/lib.rs crates/crypto/src/cl.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/pairing/mod.rs crates/crypto/src/pairing/curve.rs crates/crypto/src/pairing/fp.rs crates/crypto/src/pairing/fp2.rs crates/crypto/src/pairing/miller.rs crates/crypto/src/pairing/typea.rs crates/crypto/src/pedersen.rs crates/crypto/src/rsa/mod.rs crates/crypto/src/rsa/blind.rs crates/crypto/src/rsa/encrypt.rs crates/crypto/src/rsa/pbs.rs crates/crypto/src/rsa/sign.rs crates/crypto/src/sha256.rs crates/crypto/src/tower.rs crates/crypto/src/zkp/mod.rs crates/crypto/src/zkp/ddlog.rs crates/crypto/src/zkp/eq.rs crates/crypto/src/zkp/orproof.rs crates/crypto/src/zkp/repr.rs crates/crypto/src/zkp/schnorr.rs crates/crypto/src/zkp/transcript.rs
+
+/root/repo/target/release/deps/libppms_crypto-b75a602d078af639.rmeta: crates/crypto/src/lib.rs crates/crypto/src/cl.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/pairing/mod.rs crates/crypto/src/pairing/curve.rs crates/crypto/src/pairing/fp.rs crates/crypto/src/pairing/fp2.rs crates/crypto/src/pairing/miller.rs crates/crypto/src/pairing/typea.rs crates/crypto/src/pedersen.rs crates/crypto/src/rsa/mod.rs crates/crypto/src/rsa/blind.rs crates/crypto/src/rsa/encrypt.rs crates/crypto/src/rsa/pbs.rs crates/crypto/src/rsa/sign.rs crates/crypto/src/sha256.rs crates/crypto/src/tower.rs crates/crypto/src/zkp/mod.rs crates/crypto/src/zkp/ddlog.rs crates/crypto/src/zkp/eq.rs crates/crypto/src/zkp/orproof.rs crates/crypto/src/zkp/repr.rs crates/crypto/src/zkp/schnorr.rs crates/crypto/src/zkp/transcript.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cl.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/pairing/mod.rs:
+crates/crypto/src/pairing/curve.rs:
+crates/crypto/src/pairing/fp.rs:
+crates/crypto/src/pairing/fp2.rs:
+crates/crypto/src/pairing/miller.rs:
+crates/crypto/src/pairing/typea.rs:
+crates/crypto/src/pedersen.rs:
+crates/crypto/src/rsa/mod.rs:
+crates/crypto/src/rsa/blind.rs:
+crates/crypto/src/rsa/encrypt.rs:
+crates/crypto/src/rsa/pbs.rs:
+crates/crypto/src/rsa/sign.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/tower.rs:
+crates/crypto/src/zkp/mod.rs:
+crates/crypto/src/zkp/ddlog.rs:
+crates/crypto/src/zkp/eq.rs:
+crates/crypto/src/zkp/orproof.rs:
+crates/crypto/src/zkp/repr.rs:
+crates/crypto/src/zkp/schnorr.rs:
+crates/crypto/src/zkp/transcript.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ppms_ecash-1916f258607eb15e.d: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+/root/repo/target/release/deps/libppms_ecash-1916f258607eb15e.rlib: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+/root/repo/target/release/deps/libppms_ecash-1916f258607eb15e.rmeta: crates/ecash/src/lib.rs crates/ecash/src/bank.rs crates/ecash/src/brk.rs crates/ecash/src/coin.rs crates/ecash/src/error.rs crates/ecash/src/params.rs crates/ecash/src/spend.rs crates/ecash/src/trace.rs crates/ecash/src/wallet.rs crates/ecash/src/wire.rs
+
+crates/ecash/src/lib.rs:
+crates/ecash/src/bank.rs:
+crates/ecash/src/brk.rs:
+crates/ecash/src/coin.rs:
+crates/ecash/src/error.rs:
+crates/ecash/src/params.rs:
+crates/ecash/src/spend.rs:
+crates/ecash/src/trace.rs:
+crates/ecash/src/wallet.rs:
+crates/ecash/src/wire.rs:

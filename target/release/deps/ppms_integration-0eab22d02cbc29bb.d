@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ppms_integration-0eab22d02cbc29bb.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libppms_integration-0eab22d02cbc29bb.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libppms_integration-0eab22d02cbc29bb.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

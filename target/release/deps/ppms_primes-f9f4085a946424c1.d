@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ppms_primes-f9f4085a946424c1.d: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+/root/repo/target/release/deps/libppms_primes-f9f4085a946424c1.rlib: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+/root/repo/target/release/deps/libppms_primes-f9f4085a946424c1.rmeta: crates/primes/src/lib.rs crates/primes/src/cunningham.rs crates/primes/src/gen.rs crates/primes/src/miller_rabin.rs crates/primes/src/sieve.rs
+
+crates/primes/src/lib.rs:
+crates/primes/src/cunningham.rs:
+crates/primes/src/gen.rs:
+crates/primes/src/miller_rabin.rs:
+crates/primes/src/sieve.rs:

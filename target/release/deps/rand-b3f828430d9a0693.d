@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b3f828430d9a0693.d: /tmp/ppms-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b3f828430d9a0693.rlib: /tmp/ppms-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b3f828430d9a0693.rmeta: /tmp/ppms-deps/rand/src/lib.rs
+
+/tmp/ppms-deps/rand/src/lib.rs:

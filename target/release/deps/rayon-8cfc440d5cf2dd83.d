@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-8cfc440d5cf2dd83.d: /tmp/ppms-deps/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-8cfc440d5cf2dd83.rlib: /tmp/ppms-deps/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-8cfc440d5cf2dd83.rmeta: /tmp/ppms-deps/rayon/src/lib.rs
+
+/tmp/ppms-deps/rayon/src/lib.rs:

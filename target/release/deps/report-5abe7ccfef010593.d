@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-5abe7ccfef010593.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-5abe7ccfef010593: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b80ee4c0195b5a89.d: /tmp/ppms-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b80ee4c0195b5a89.rlib: /tmp/ppms-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b80ee4c0195b5a89.rmeta: /tmp/ppms-deps/serde/src/lib.rs
+
+/tmp/ppms-deps/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-f8298ea7810b0b83.d: /tmp/ppms-deps/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-f8298ea7810b0b83.so: /tmp/ppms-deps/serde_derive/src/lib.rs
+
+/tmp/ppms-deps/serde_derive/src/lib.rs:

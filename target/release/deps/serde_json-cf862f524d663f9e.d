@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-cf862f524d663f9e.d: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-cf862f524d663f9e.rlib: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-cf862f524d663f9e.rmeta: /tmp/ppms-deps/serde_json/src/lib.rs
+
+/tmp/ppms-deps/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shard_scaling-782fcbdfcb2ad2b8.d: crates/bench/benches/shard_scaling.rs
+
+/root/repo/target/release/deps/shard_scaling-782fcbdfcb2ad2b8: crates/bench/benches/shard_scaling.rs
+
+crates/bench/benches/shard_scaling.rs:
