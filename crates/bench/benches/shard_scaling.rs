@@ -38,6 +38,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                             ServiceConfig {
                                 shards,
                                 queue_depth: 64,
+                                ..ServiceConfig::default()
                             },
                         );
                         let batches = mint_deposit_batches(&svc, 0xD0 + shards as u64, N_BATCHES)

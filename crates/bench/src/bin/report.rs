@@ -73,6 +73,7 @@ fn dump_json<T: Serialize>(name: &str, value: &T) {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct Series {
     x: Vec<f64>,
     y_ms: Vec<f64>,
@@ -175,6 +176,7 @@ fn fig3() {
     }
 
     #[derive(Serialize)]
+    #[allow(dead_code)] // fields feed the (stubbed) serde derive
     struct Fig3Grid {
         rows: Vec<(usize, Vec<(usize, f64)>)>,
         note: String,
@@ -221,6 +223,7 @@ fn fig4() {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct Fig5Row {
     rounds: usize,
     dec_ms: f64,
@@ -267,6 +270,7 @@ fn fig5() {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct Table1Row {
     mechanism: String,
     jo: String,
@@ -312,6 +316,7 @@ fn table1() {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct Table2Row {
     mechanism: String,
     jo_in: usize,
@@ -366,6 +371,7 @@ fn table2() {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct AttackRow {
     strategy: String,
     unique_success: f64,
@@ -404,6 +410,7 @@ fn attack() {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct TimingRow {
     n_sps: usize,
     max_delay: u64,
@@ -438,6 +445,7 @@ fn timing() {
 }
 
 #[derive(Serialize)]
+#[allow(dead_code)] // fields feed the (stubbed) serde derive
 struct BreakRow {
     strategy: String,
     real_coins: usize,

@@ -28,6 +28,29 @@ pub enum MarketError {
     /// a frame failed to decode, or the simulated network dropped the
     /// message.
     Transport(String),
+    /// The retry layer's overall deadline expired before any attempt
+    /// succeeded.
+    Timeout,
+    /// The per-destination circuit breaker is open: the destination
+    /// has failed repeatedly and calls are rejected without being
+    /// attempted until the cooldown elapses.
+    CircuitOpen,
+}
+
+impl MarketError {
+    /// Whether a retransmission of the same request could plausibly
+    /// succeed — the retry layer's retryable/fatal classification.
+    ///
+    /// Retryable errors mean the request may never have reached the
+    /// MA (or its answer was lost); with the service's idempotent
+    /// request keys a retransmit is safe. Everything else is a
+    /// definitive answer from the MA (authentication, funds, coin
+    /// validity, …) or an explicit instruction to back off
+    /// ([`MarketError::CircuitOpen`]) and must not be retried
+    /// blindly.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, MarketError::Transport(_) | MarketError::Timeout)
+    }
 }
 
 impl From<DecError> for MarketError {
@@ -48,8 +71,38 @@ impl std::fmt::Display for MarketError {
             MarketError::Dec(e) => write!(f, "e-cash error: {e}"),
             MarketError::NoSuchJob => write!(f, "no such job"),
             MarketError::Transport(s) => write!(f, "transport failure: {s}"),
+            MarketError::Timeout => write!(f, "deadline expired before a successful attempt"),
+            MarketError::CircuitOpen => write!(f, "circuit breaker open: destination failing"),
         }
     }
 }
 
 impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_and_timeout_are_retryable() {
+        assert!(MarketError::Transport("dropped".into()).is_retryable());
+        assert!(MarketError::Timeout.is_retryable());
+    }
+
+    #[test]
+    fn definitive_answers_are_fatal() {
+        for e in [
+            MarketError::NoSuchAccount,
+            MarketError::InsufficientFunds,
+            MarketError::BadAuthentication,
+            MarketError::BadPayload("x".into()),
+            MarketError::BadCoin("x".into()),
+            MarketError::StaleSerial,
+            MarketError::Dec(DecError::Overspend),
+            MarketError::NoSuchJob,
+            MarketError::CircuitOpen,
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+}

@@ -16,13 +16,16 @@
 //!
 //! Support modules: the [`bank`] (virtual currency ledger), the
 //! [`bulletin`] board, [`wire`] (versioned envelope protocol — the
-//! canonical byte encoding of every market message), [`transport`]
-//! (pluggable in-process / simulated-network transports plus
-//! byte-level traffic accounting → paper Table II), [`metrics`]
-//! (operation counts → paper Table I), [`sim`] (multi-round and
-//! threaded market simulation → paper Fig. 5), and [`attack`] (the
-//! denomination / linkage attack evaluation behind the paper's §IV-B
-//! analysis).
+//! canonical byte encoding of every market message, integrity-checked
+//! per frame), [`transport`] (pluggable in-process /
+//! simulated-network transports with chaos injection plus byte-level
+//! traffic accounting → paper Table II), [`retry`] (idempotent
+//! retransmission with backoff and a circuit breaker), [`wal`] (the
+//! per-shard write-ahead journal behind crash recovery), [`metrics`]
+//! (operation counts → paper Table I; fault-tolerance counters), [`sim`]
+//! (multi-round, threaded and chaos market simulation → paper Fig. 5),
+//! and [`attack`] (the denomination / linkage attack evaluation behind
+//! the paper's §IV-B analysis).
 
 pub mod attack;
 pub mod bank;
@@ -32,19 +35,28 @@ pub mod metrics;
 pub mod mixnet;
 pub mod ppmsdec;
 pub mod ppmspbs;
+pub mod retry;
 pub mod service;
 pub mod sim;
 pub mod transport;
+pub mod wal;
 pub mod wire;
 
 pub use attack::{run_denomination_attack, AttackReport};
 pub use bank::{AccountId, Bank};
 pub use bulletin::{Bulletin, JobProfile};
 pub use error::MarketError;
-pub use metrics::{Metrics, Op, Party};
+pub use metrics::{FaultMetrics, FaultSnapshot, Metrics, Op, Party};
 pub use mixnet::{MixCascade, MixNode};
 pub use ppmsdec::{DecMarket, DecRoundOutcome};
 pub use ppmspbs::{PbsMarket, PbsRoundOutcome};
-pub use service::{Inbound, MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
-pub use transport::{InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport};
+pub use retry::{RetryPolicy, RetryingTransport};
+pub use service::{
+    CrashPoint, Inbound, MaClient, MaRequest, MaResponse, MaService, RequestKey, ServiceConfig,
+};
+pub use transport::{
+    next_request_id, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog,
+    Transport,
+};
+pub use wal::{ShardWal, WalRecord};
 pub use wire::{Envelope, RelayPayload, WireDecode, WireEncode, WireError};

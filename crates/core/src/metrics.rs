@@ -11,6 +11,7 @@
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The three market parties.
@@ -104,6 +105,146 @@ impl Metrics {
             "-".into()
         } else {
             parts.join("+")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerance counters
+// ---------------------------------------------------------------------------
+
+/// Shared, thread-safe counters for the fault-tolerance layer: the
+/// retry transport, the service's idempotency cache, and the shard
+/// supervisor all report here. Cloning shares the underlying
+/// counters, mirroring [`Metrics`] / [`crate::transport::TrafficLog`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultMetrics {
+    inner: Arc<FaultCounters>,
+}
+
+#[derive(Debug, Default)]
+struct FaultCounters {
+    /// Calls entering the retry layer.
+    calls: AtomicU64,
+    /// Retransmissions after a retryable failure.
+    retries: AtomicU64,
+    /// Calls that exhausted their attempt budget.
+    exhausted: AtomicU64,
+    /// Calls abandoned because the overall deadline expired.
+    timeouts: AtomicU64,
+    /// Calls rejected up front by an open circuit breaker.
+    circuit_rejections: AtomicU64,
+    /// Retransmits answered from the service's dedup cache instead of
+    /// re-executing (the exactly-once replay path).
+    dedup_replays: AtomicU64,
+    /// Shard workers respawned by the supervisor after a crash.
+    shard_respawns: AtomicU64,
+    /// Committed write-ahead-journal records.
+    wal_commits: AtomicU64,
+    /// Uncommitted (in-flight at crash) journal records discarded
+    /// during replay.
+    wal_discarded: AtomicU64,
+}
+
+/// A point-in-time copy of every [`FaultMetrics`] counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Calls entering the retry layer.
+    pub calls: u64,
+    /// Retransmissions after a retryable failure.
+    pub retries: u64,
+    /// Calls that exhausted their attempt budget.
+    pub exhausted: u64,
+    /// Calls abandoned because the overall deadline expired.
+    pub timeouts: u64,
+    /// Calls rejected up front by an open circuit breaker.
+    pub circuit_rejections: u64,
+    /// Retransmits answered from the dedup cache.
+    pub dedup_replays: u64,
+    /// Shard workers respawned by the supervisor.
+    pub shard_respawns: u64,
+    /// Committed journal records.
+    pub wal_commits: u64,
+    /// Uncommitted journal records discarded during replay.
+    pub wal_discarded: u64,
+}
+
+impl FaultMetrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> FaultMetrics {
+        FaultMetrics::default()
+    }
+
+    /// Records a call entering the retry layer.
+    pub fn call(&self) {
+        self.inner.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retransmission.
+    pub fn retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a call that ran out of attempts.
+    pub fn exhausted(&self) {
+        self.inner.exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a call that ran out of deadline.
+    pub fn timeout(&self) {
+        self.inner.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a call rejected by an open circuit breaker.
+    pub fn circuit_rejection(&self) {
+        self.inner
+            .circuit_rejections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a retransmit served from the dedup cache.
+    pub fn dedup_replay(&self) {
+        self.inner.dedup_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shard respawn.
+    pub fn shard_respawn(&self) {
+        self.inner.shard_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a committed journal record.
+    pub fn wal_commit(&self) {
+        self.inner.wal_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` uncommitted journal records discarded by replay.
+    pub fn wal_discard(&self, n: u64) {
+        self.inner.wal_discarded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Shard respawns so far (the supervision tests' key assertion).
+    pub fn shard_respawns(&self) -> u64 {
+        self.inner.shard_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Dedup-cache replays so far.
+    pub fn dedup_replays(&self) -> u64 {
+        self.inner.dedup_replays.load(Ordering::Relaxed)
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        let c = &self.inner;
+        FaultSnapshot {
+            calls: c.calls.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            exhausted: c.exhausted.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            circuit_rejections: c.circuit_rejections.load(Ordering::Relaxed),
+            dedup_replays: c.dedup_replays.load(Ordering::Relaxed),
+            shard_respawns: c.shard_respawns.load(Ordering::Relaxed),
+            wal_commits: c.wal_commits.load(Ordering::Relaxed),
+            wal_discarded: c.wal_discarded.load(Ordering::Relaxed),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! protocol rules (publish, forward, hold payments until data arrives,
 //! verify deposits).
 //!
-//! Internally the service is a **dispatcher plus N shard workers**:
+//! Internally the service is a **supervisor plus N shard workers**:
 //! the dispatcher routes each request to a shard by its affinity key
 //! (`AccountId` for ledger operations, `job_id` for job-scoped ones,
 //! the SP pseudonym for payment forwarding), so all per-key state
@@ -16,22 +16,48 @@
 //! queues without limit. `Shutdown` drains the shards and reports how
 //! many held payments were never delivered.
 //!
+//! Three mechanisms make the service survive a lossy network and
+//! crashing workers (the fault model of DESIGN.md §8):
+//!
+//! * **Exactly-once execution.** Every request arrives under a
+//!   client-chosen [`RequestKey`]; each shard keeps a bounded
+//!   idempotency cache of `key → response` and *replays* the cached
+//!   answer for a retransmit instead of re-executing. A retried
+//!   `Withdraw` does not double-debit and a retried `DepositBatch` is
+//!   not mistaken for a double-spend — while a genuine double-spend
+//!   (same coin leaf under a *fresh* key) is still caught by the DEC
+//!   bank.
+//! * **Write-ahead journaling.** A shard appends a
+//!   [`WalRecord::Begin`] before executing and a `Commit` after, so
+//!   its private state (nonce high-water marks, labor, data reports,
+//!   the idempotency cache) can be rebuilt after a crash.
+//! * **Supervision.** The dispatcher doubles as supervisor: when a
+//!   send to a shard fails (the worker panicked or was
+//!   crash-injected), it joins the corpse, respawns the worker over
+//!   the same journal, and redelivers the request.
+//!
 //! This is the concurrent twin of [`crate::ppmsdec::DecMarket`]'s
 //! single-threaded driver; the integration tests run both and expect
-//! the same ledger outcomes.
+//! the same ledger outcomes — now also across fault schedules.
 
 use crate::bank::{AccountId, Bank};
 use crate::bulletin::Bulletin;
 use crate::error::MarketError;
-use crate::metrics::Party;
-use crate::transport::{InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport};
+use crate::metrics::{FaultMetrics, Party};
+use crate::retry::{RetryPolicy, RetryingTransport};
+use crate::transport::{
+    FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport,
+};
+use crate::wal::{CommittedEntry, ShardWal, WalRecord};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use ppms_bigint::BigUint;
 use ppms_crypto::cl::{ClPublicKey, ClSignature};
 use ppms_crypto::pairing::TypeAPairing;
 use ppms_ecash::{DecBank, DecError, DecParams, Spend};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -163,13 +189,39 @@ pub enum MaResponse {
     },
 }
 
+/// The client-chosen idempotency key of a logical request. A
+/// retransmit carries the *same* key; a new logical request carries a
+/// fresh one (see [`crate::transport::next_request_id`]). The service
+/// uses the key to replay cached answers instead of re-executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestKey {
+    /// The requesting party (ids are unique per party).
+    pub party: Party,
+    /// The client-allocated request id.
+    pub request_id: u64,
+}
+
 /// One request plus its reply channel — the unit the dispatcher
 /// routes to a shard.
 pub struct Inbound {
+    /// Idempotency key; `None` only for hand-built internal sends.
+    pub key: Option<RequestKey>,
     /// The request.
     pub request: MaRequest,
     /// Where the handling shard sends the response.
     pub reply: Sender<MaResponse>,
+}
+
+/// Crash-injection point for the supervision tests: the chosen shard
+/// worker exits (as if panicked) when it journals its `at_request`-th
+/// `Begin` — after the journal append, before execution, the
+/// canonical "lost in flight" window. Fires at most once per service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Which shard dies (taken modulo the shard count).
+    pub shard: usize,
+    /// 1-based count of `Begin` records that triggers the crash.
+    pub at_request: u64,
 }
 
 /// Sizing knobs for the sharded service.
@@ -180,6 +232,11 @@ pub struct ServiceConfig {
     /// Capacity of the inbox and of each shard queue (backpressure:
     /// senders block when a queue is full).
     pub queue_depth: usize,
+    /// Entries each shard's idempotency cache holds before evicting
+    /// the oldest (0 disables replay — every retransmit re-executes).
+    pub dedup_capacity: usize,
+    /// Optional crash injection for the supervision tests.
+    pub crash: Option<CrashPoint>,
 }
 
 impl Default for ServiceConfig {
@@ -187,6 +244,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 1,
             queue_depth: 128,
+            dedup_capacity: 1024,
+            crash: None,
         }
     }
 }
@@ -201,6 +260,8 @@ pub struct MaService {
     pub bulletin: Bulletin,
     /// Shared traffic log — fed by byte-counting transports.
     pub traffic: TrafficLog,
+    /// Fault-tolerance counters (dedup replays, respawns, WAL, retry).
+    pub faults: FaultMetrics,
     /// The DEC public parameters (clients need them to mint/spend).
     pub params: DecParams,
     /// The bank's public blind-signing key.
@@ -237,6 +298,18 @@ impl MaClient {
     pub fn try_call(&self, request: MaRequest) -> Result<MaResponse, MarketError> {
         self.transport.round_trip(self.party, request)
     }
+
+    /// Sends a request under an explicit idempotency id. Reusing the
+    /// id marks a retransmit of the same logical request; the service
+    /// replays its cached answer instead of re-executing.
+    pub fn try_call_keyed(
+        &self,
+        request_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        self.transport
+            .round_trip_keyed(self.party, request_id, request)
+    }
 }
 
 /// State shared by every shard (already thread-safe, or wrapped).
@@ -258,6 +331,49 @@ struct SharedState {
 struct HeldPayments {
     pending: HashMap<Vec<u8>, Vec<u8>>,
     received: HashSet<Vec<u8>>,
+}
+
+/// Bounded FIFO map of `RequestKey → cached response` — the
+/// exactly-once replay table. Insertion order is eviction order; a
+/// replayed key is *not* refreshed (retransmits arrive close together,
+/// so recency bookkeeping buys nothing over plain FIFO here).
+struct DedupCache {
+    map: HashMap<RequestKey, MaResponse>,
+    order: VecDeque<RequestKey>,
+    capacity: usize,
+}
+
+impl DedupCache {
+    fn new(capacity: usize) -> DedupCache {
+        DedupCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&self, key: &RequestKey) -> Option<&MaResponse> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: RequestKey, response: MaResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, response).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// Per-shard state: every map here is only ever touched by requests
@@ -408,21 +524,47 @@ impl Shard {
             )),
         }
     }
-}
 
-/// FNV-1a — cheap stable hash for pseudonym routing keys.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+    /// Re-applies one committed journal entry to this shard's private
+    /// state. Shared state (ledger, bulletin, DEC bank, held
+    /// payments) lives behind `Arc`s and survived the crash on its
+    /// own, so only the per-shard projection is replayed — replaying
+    /// the full request would double-apply the shared effects.
+    fn apply_committed(&mut self, entry: &CommittedEntry) {
+        use MaRequest::*;
+        match (&entry.request, &entry.response) {
+            (Withdraw { account, nonce, .. }, MaResponse::BlindSignature(_)) => {
+                let last = self.used_nonces.entry(*account).or_insert(0);
+                *last = (*last).max(*nonce);
+            }
+            (LaborRegister { job_id, sp_pubkey }, MaResponse::Ok) => {
+                self.labor
+                    .entry(*job_id)
+                    .or_default()
+                    .push(sp_pubkey.clone());
+            }
+            (SubmitData { job_id, data, .. }, MaResponse::Ok) => {
+                self.data_reports
+                    .entry(*job_id)
+                    .or_default()
+                    .push(data.clone());
+            }
+            (FetchData { job_id }, MaResponse::Data(_)) => {
+                // The fetch handed the reports out; they must not
+                // reappear after a respawn.
+                self.data_reports.remove(job_id);
+            }
+            _ => {}
+        }
     }
-    h
 }
 
-/// Which shard handles a request. Keyed requests always land on the
-/// same shard; unkeyed ones round-robin via `rr`.
-fn route(request: &MaRequest, shards: usize, rr: &mut usize) -> usize {
+/// Which shard handles a request. Affinity-keyed requests always land
+/// on the same shard; everything else routes by its idempotency id —
+/// *not* round-robin — so a retransmit reaches the shard that cached
+/// the original answer. Round-robin via `rr` remains only for
+/// keyless internal sends.
+fn route(key: Option<RequestKey>, request: &MaRequest, shards: usize, rr: &mut usize) -> usize {
     use MaRequest::*;
     match request {
         Withdraw { account, .. } | DepositBatch { account, .. } | Balance { account } => {
@@ -433,11 +575,121 @@ fn route(request: &MaRequest, shards: usize, rr: &mut usize) -> usize {
         | SubmitData { job_id, .. }
         | FetchData { job_id } => *job_id as usize % shards,
         SubmitPayment { sp_pubkey, .. } | FetchPayment { sp_pubkey } => {
-            fnv1a(sp_pubkey) as usize % shards
+            crate::wire::fnv1a(sp_pubkey) as usize % shards
         }
-        RegisterJoAccount { .. } | RegisterSpAccount | PublishJob { .. } | Shutdown => {
-            *rr = rr.wrapping_add(1);
-            (*rr - 1) % shards
+        RegisterJoAccount { .. } | RegisterSpAccount | PublishJob { .. } | Shutdown => match key {
+            Some(k) => k.request_id as usize % shards,
+            None => {
+                *rr = rr.wrapping_add(1);
+                (*rr - 1) % shards
+            }
+        },
+    }
+}
+
+/// Everything a shard worker thread needs; built once per incarnation
+/// by the supervisor, so a respawn reconstructs the worker over the
+/// same journal and crash bookkeeping.
+struct ShardWorker {
+    shared: Arc<SharedState>,
+    wal: Arc<ShardWal>,
+    faults: FaultMetrics,
+    dedup_capacity: usize,
+    /// `(at_request, fired)` — exit when this incarnation's journal
+    /// has `at_request` Begins, unless a previous incarnation already
+    /// fired the crash.
+    crash: Option<(u64, Arc<AtomicBool>)>,
+}
+
+impl ShardWorker {
+    fn run(self, srx: Receiver<Inbound>) {
+        // Recover: rebuild private state and the idempotency cache
+        // from the journal. An undecodable journal is a bug, not a
+        // recoverable fault — fail loudly.
+        let replay = self
+            .wal
+            .replay()
+            .expect("shard journal must replay cleanly");
+        self.faults.wal_discard(replay.discarded);
+        let mut dedup = DedupCache::new(self.dedup_capacity);
+        let mut shard = Shard {
+            shared: self.shared.clone(),
+            used_nonces: HashMap::new(),
+            labor: HashMap::new(),
+            data_reports: HashMap::new(),
+        };
+        for entry in &replay.committed {
+            shard.apply_committed(entry);
+            if let Some(k) = entry.key {
+                dedup.insert(k, entry.response.clone());
+            }
+        }
+        let mut begins = replay.committed.len() as u64 + replay.discarded;
+
+        loop {
+            let Ok(Inbound {
+                key,
+                request,
+                reply,
+            }) = srx.recv()
+            else {
+                return;
+            };
+            // Exactly-once: a retransmit of an executed request gets
+            // its original answer back, without touching any state.
+            if let Some(k) = key {
+                if let Some(cached) = dedup.get(&k) {
+                    self.faults.dedup_replay();
+                    let _ = reply.send(cached.clone());
+                    continue;
+                }
+            }
+
+            self.wal.append(&WalRecord::Begin {
+                key,
+                request: request.clone(),
+            });
+            begins += 1;
+            if let Some((at, fired)) = &self.crash {
+                if begins >= *at && !fired.swap(true, Ordering::SeqCst) {
+                    // Injected crash: die after journaling, before
+                    // executing — the request is lost in flight, its
+                    // Begin is the journal's orphan tail. Close the
+                    // queue *before* hanging up on the caller: once
+                    // the caller observes the failure, its retry is
+                    // guaranteed to bounce off the dead channel and
+                    // reach the supervisor's respawn path instead of
+                    // vanishing into a dying queue.
+                    drop(srx);
+                    drop(reply);
+                    return;
+                }
+            }
+
+            // A panic inside a handler kills only this worker; the
+            // supervisor respawns it and the journal replay restores
+            // everything committed before the blast.
+            let response =
+                match std::panic::catch_unwind(AssertUnwindSafe(|| shard.handle(request))) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        // Same close-then-hang-up ordering as above.
+                        drop(srx);
+                        drop(reply);
+                        return;
+                    }
+                };
+
+            self.wal.append(&WalRecord::Commit {
+                key,
+                response: response.clone(),
+            });
+            self.faults.wal_commit();
+            if let Some(k) = key {
+                dedup.insert(k, response.clone());
+            }
+            // A vanished client is not an MA failure.
+            let _ = reply.send(response);
         }
     }
 }
@@ -460,7 +712,7 @@ impl MaService {
         )
     }
 
-    /// Spawns the MA service: one dispatcher thread plus
+    /// Spawns the MA service: one supervising dispatcher thread plus
     /// `config.shards` shard workers behind bounded channels.
     pub fn spawn_with_config<R: rand::Rng + ?Sized>(
         rng: &mut R,
@@ -479,6 +731,7 @@ impl MaService {
         let bank = Bank::new();
         let bulletin = Bulletin::new();
         let traffic = TrafficLog::new();
+        let faults = FaultMetrics::new();
 
         let shared = Arc::new(SharedState {
             bank: bank.clone(),
@@ -493,58 +746,88 @@ impl MaService {
 
         let n_shards = config.shards.max(1);
         let depth = config.queue_depth.max(1);
+        let dedup_capacity = config.dedup_capacity;
         let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
 
         let dispatcher_shared = shared.clone();
+        let dispatcher_faults = faults.clone();
         let handle = std::thread::spawn(move || {
-            // Spawn the shard workers.
-            let mut shard_txs = Vec::with_capacity(n_shards);
-            let mut shard_handles = Vec::with_capacity(n_shards);
-            for _ in 0..n_shards {
+            // One journal and one crash latch per shard; both outlive
+            // any worker incarnation so a respawn resumes from them.
+            let wals: Vec<Arc<ShardWal>> =
+                (0..n_shards).map(|_| Arc::new(ShardWal::new())).collect();
+            let crashes: Vec<Option<(u64, Arc<AtomicBool>)>> = (0..n_shards)
+                .map(|i| {
+                    config
+                        .crash
+                        .filter(|c| c.shard % n_shards == i)
+                        .map(|c| (c.at_request, Arc::new(AtomicBool::new(false))))
+                })
+                .collect();
+
+            let spawn_shard = |idx: usize| {
                 let (stx, srx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
-                let shard_shared = dispatcher_shared.clone();
-                shard_handles.push(std::thread::spawn(move || {
-                    let mut shard = Shard {
-                        shared: shard_shared,
-                        used_nonces: HashMap::new(),
-                        labor: HashMap::new(),
-                        data_reports: HashMap::new(),
-                    };
-                    while let Ok(Inbound { request, reply }) = srx.recv() {
-                        // A vanished client is not an MA failure.
-                        let _ = reply.send(shard.handle(request));
-                    }
-                }));
+                let worker = ShardWorker {
+                    shared: dispatcher_shared.clone(),
+                    wal: wals[idx].clone(),
+                    faults: dispatcher_faults.clone(),
+                    dedup_capacity,
+                    crash: crashes[idx].clone(),
+                };
+                let handle = std::thread::spawn(move || worker.run(srx));
+                (stx, handle)
+            };
+
+            let mut shard_txs = Vec::with_capacity(n_shards);
+            let mut shard_handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(n_shards);
+            for idx in 0..n_shards {
+                let (stx, handle) = spawn_shard(idx);
                 shard_txs.push(stx);
+                shard_handles.push(Some(handle));
             }
 
-            // Route until Shutdown (or every client hung up).
+            // Route until Shutdown (or every client hung up),
+            // supervising the workers along the way.
             let mut rr = 0usize;
-            let shutdown_reply = loop {
-                match rx.recv() {
-                    Ok(inbound) if matches!(inbound.request, MaRequest::Shutdown) => {
-                        break Some(inbound.reply);
-                    }
-                    Ok(inbound) => {
-                        let idx = route(&inbound.request, n_shards, &mut rr);
-                        if let Err(send_err) = shard_txs[idx].send(inbound) {
-                            // The shard died: degrade gracefully by
-                            // reporting a transport failure instead of
-                            // panicking the dispatcher.
-                            let inbound = send_err.0;
-                            let _ = inbound.reply.send(MaResponse::Err(MarketError::Transport(
-                                "shard worker unavailable".into(),
-                            )));
+            let shutdown_reply =
+                loop {
+                    match rx.recv() {
+                        Ok(inbound) if matches!(inbound.request, MaRequest::Shutdown) => {
+                            break Some(inbound.reply);
                         }
+                        Ok(inbound) => {
+                            let idx = route(inbound.key, &inbound.request, n_shards, &mut rr);
+                            if let Err(send_err) = shard_txs[idx].send(inbound) {
+                                // The worker died (panic or injected
+                                // crash). Supervise: join the corpse,
+                                // respawn over the same journal — the new
+                                // incarnation replays it — and redeliver.
+                                // Requests queued in the dead channel are
+                                // lost; their senders see a hang-up and
+                                // retry.
+                                let inbound = send_err.0;
+                                if let Some(old) = shard_handles[idx].take() {
+                                    let _ = old.join();
+                                }
+                                dispatcher_faults.shard_respawn();
+                                let (stx, handle) = spawn_shard(idx);
+                                shard_txs[idx] = stx;
+                                shard_handles[idx] = Some(handle);
+                                if let Err(send_err) = shard_txs[idx].send(inbound) {
+                                    let _ = send_err.0.reply.send(MaResponse::Err(
+                                        MarketError::Transport("shard worker unavailable".into()),
+                                    ));
+                                }
+                            }
+                        }
+                        Err(_) => break None,
                     }
-                    Err(_) => break None,
-                }
-            };
+                };
 
             // Graceful drain: close the shard queues, let every queued
             // request finish, then report undelivered held payments.
             drop(shard_txs);
-            for h in shard_handles {
+            for h in shard_handles.into_iter().flatten() {
                 let _ = h.join();
             }
             let undelivered = dispatcher_shared.held.lock().pending.len();
@@ -561,6 +844,7 @@ impl MaService {
             bank,
             bulletin,
             traffic,
+            faults,
             params,
             bank_pk,
             pairing,
@@ -578,12 +862,34 @@ impl MaService {
     /// latency/jitter/drop, counted in the service's [`TrafficLog`]
     /// at its actual encoded size, and decoded on the far side.
     pub fn simnet_client(&self, party: Party, config: SimNetConfig) -> MaClient {
+        self.chaos_client(party, FaultPlan::from(config))
+    }
+
+    /// A simulated-network client running a full chaos schedule
+    /// (drops, duplicates, stale replays, corruption) with **no**
+    /// retry layer — every fault surfaces to the caller.
+    pub fn chaos_client(&self, party: Party, plan: FaultPlan) -> MaClient {
         MaClient::new(
-            Arc::new(SimNetTransport::new(
+            Arc::new(SimNetTransport::with_faults(
                 self.tx.clone(),
                 self.traffic.clone(),
-                config,
+                plan,
             )),
+            party,
+        )
+    }
+
+    /// A chaos client wrapped in the retry layer: faults are absorbed
+    /// by idempotent retransmission under `policy`, reported into the
+    /// service's [`FaultMetrics`].
+    pub fn retrying_client(&self, party: Party, plan: FaultPlan, policy: RetryPolicy) -> MaClient {
+        let inner = Arc::new(SimNetTransport::with_faults(
+            self.tx.clone(),
+            self.traffic.clone(),
+            plan,
+        ));
+        MaClient::new(
+            Arc::new(RetryingTransport::new(inner, policy, self.faults.clone())),
             party,
         )
     }
@@ -610,6 +916,7 @@ impl Drop for MaService {
         if let Some(h) = self.handle.take() {
             let (reply_tx, _reply_rx) = channel::bounded(1);
             let _ = self.tx.send(Inbound {
+                key: None,
                 request: MaRequest::Shutdown,
                 reply: reply_tx,
             });
@@ -621,6 +928,7 @@ impl Drop for MaService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::next_request_id;
     use ppms_crypto::cl::ClKeyPair;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -643,6 +951,7 @@ mod tests {
             ServiceConfig {
                 shards,
                 queue_depth: 8,
+                ..ServiceConfig::default()
             },
         );
         (svc, rng)
@@ -972,5 +1281,115 @@ mod tests {
             "{resp:?}"
         );
         assert!(client.try_call(MaRequest::RegisterSpAccount).is_err());
+    }
+
+    #[test]
+    fn retransmit_replays_cached_response() {
+        let (svc, _rng) = service(11);
+        let client = svc.client();
+        let id = next_request_id();
+        let MaResponse::Account(first) = client
+            .try_call_keyed(id, MaRequest::RegisterSpAccount)
+            .expect("first send")
+        else {
+            panic!("account");
+        };
+        // Same key again: the cached answer comes back — no second
+        // account is opened.
+        let MaResponse::Account(second) = client
+            .try_call_keyed(id, MaRequest::RegisterSpAccount)
+            .expect("retransmit")
+        else {
+            panic!("account");
+        };
+        assert_eq!(first, second);
+        assert_eq!(svc.faults.dedup_replays(), 1);
+        // A fresh key is a new logical request and opens a new account.
+        let MaResponse::Account(third) = client
+            .try_call_keyed(next_request_id(), MaRequest::RegisterSpAccount)
+            .expect("fresh request")
+        else {
+            panic!("account");
+        };
+        assert_ne!(first, third);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn dedup_cache_is_bounded_fifo() {
+        let mk = |id| RequestKey {
+            party: Party::Jo,
+            request_id: id,
+        };
+        let mut cache = DedupCache::new(2);
+        cache.insert(mk(1), MaResponse::Ok);
+        cache.insert(mk(2), MaResponse::Ok);
+        cache.insert(mk(3), MaResponse::Ok);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&mk(1)).is_none(), "oldest evicted");
+        assert!(cache.get(&mk(2)).is_some());
+        assert!(cache.get(&mk(3)).is_some());
+        // Capacity 0 disables caching entirely.
+        let mut off = DedupCache::new(0);
+        off.insert(mk(1), MaResponse::Ok);
+        assert!(off.get(&mk(1)).is_none());
+    }
+
+    #[test]
+    fn crashed_shard_is_respawned_and_retry_succeeds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let params = DecParams::fixture(2, 8);
+        let svc = MaService::spawn_with_config(
+            &mut rng,
+            params,
+            512,
+            40,
+            ServiceConfig {
+                crash: Some(CrashPoint {
+                    shard: 0,
+                    at_request: 2,
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        let client = svc.client();
+        let MaResponse::JobId(job) = client.call(MaRequest::PublishJob {
+            description: "j".into(),
+            payment: 1,
+            pseudonym: vec![1],
+        }) else {
+            panic!("publish");
+        };
+        // Request #2 hits the crash point: journaled, never executed,
+        // the worker dies, the reply channel hangs up.
+        let id = next_request_id();
+        let first = client.try_call_keyed(
+            id,
+            MaRequest::LaborRegister {
+                job_id: job,
+                sp_pubkey: vec![7],
+            },
+        );
+        assert!(first.is_err(), "crash must surface as a transport error");
+        // The retry (same key) lands on the respawned worker: the
+        // orphan Begin was discarded, so this re-executes cleanly.
+        let retry = client
+            .try_call_keyed(
+                id,
+                MaRequest::LaborRegister {
+                    job_id: job,
+                    sp_pubkey: vec![7],
+                },
+            )
+            .expect("retry after respawn");
+        assert!(matches!(retry, MaResponse::Ok), "{retry:?}");
+        assert_eq!(svc.faults.shard_respawns(), 1);
+        assert_eq!(svc.faults.snapshot().wal_discarded, 1);
+        // The pre-crash state survived the respawn via journal replay.
+        let MaResponse::Labor(sps) = client.call(MaRequest::FetchLabor { job_id: job }) else {
+            panic!("labor");
+        };
+        assert_eq!(sps, vec![vec![7u8]]);
+        svc.shutdown();
     }
 }

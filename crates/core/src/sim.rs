@@ -5,11 +5,12 @@
 //! backend (the transport-equivalence harness).
 
 use crate::bank::AccountId;
-use crate::metrics::Party;
+use crate::metrics::{FaultSnapshot, Party};
 use crate::ppmsdec::{DecMarket, DecRoundOutcome};
 use crate::ppmspbs::PbsMarket;
-use crate::service::{MaRequest, MaResponse, MaService, ServiceConfig};
-use crate::transport::SimNetConfig;
+use crate::retry::RetryPolicy;
+use crate::service::{CrashPoint, MaRequest, MaResponse, MaService, ServiceConfig};
+use crate::transport::{FaultPlan, SimNetConfig};
 use crate::MarketError;
 use crossbeam::channel;
 use ppms_crypto::cl::ClKeyPair;
@@ -278,6 +279,11 @@ pub enum TransportKind {
     InProc,
     /// Serialized wire envelopes with the given network behavior.
     SimNet(SimNetConfig),
+    /// Serialized wire envelopes under a full chaos schedule, behind
+    /// the aggressive retry layer (see [`RetryPolicy::aggressive`]):
+    /// faults are absorbed by idempotent retransmission, so the run
+    /// is expected to *converge* to the fault-free outcome.
+    Faulty(FaultPlan),
 }
 
 /// The observable end state of a service market run — everything a
@@ -319,6 +325,35 @@ pub fn run_service_market(
     w: u64,
     kind: TransportKind,
 ) -> Result<ServiceMarketOutcome, MarketError> {
+    run_market(seed, shards, n_sps, w, kind, None).map(|(outcome, _)| outcome)
+}
+
+/// The chaos harness: the same deterministic market, but over a lossy
+/// network running `plan` (drops, duplicates, stale replays,
+/// corruption) behind the aggressive retry layer, optionally with a
+/// crash-injected shard. Returns the ledger outcome plus the
+/// fault-tolerance counters — the chaos tests assert the outcome
+/// equals the fault-free one and the counters prove faults actually
+/// fired.
+pub fn run_service_market_chaos(
+    seed: u64,
+    shards: usize,
+    n_sps: usize,
+    w: u64,
+    plan: FaultPlan,
+    crash: Option<CrashPoint>,
+) -> Result<(ServiceMarketOutcome, FaultSnapshot), MarketError> {
+    run_market(seed, shards, n_sps, w, TransportKind::Faulty(plan), crash)
+}
+
+fn run_market(
+    seed: u64,
+    shards: usize,
+    n_sps: usize,
+    w: u64,
+    kind: TransportKind,
+    crash: Option<CrashPoint>,
+) -> Result<(ServiceMarketOutcome, FaultSnapshot), MarketError> {
     const RSA_BITS: usize = 512;
     let mut rng = StdRng::seed_from_u64(seed);
     let params = DecParams::fixture(3, 8);
@@ -330,6 +365,8 @@ pub fn run_service_market(
         ServiceConfig {
             shards,
             queue_depth: 64,
+            crash,
+            ..ServiceConfig::default()
         },
     );
     let (jo_client, sp_client) = match kind {
@@ -342,6 +379,24 @@ pub fn run_service_market(
                     seed: cfg.seed ^ 0x5350,
                     ..cfg
                 },
+            ),
+        ),
+        TransportKind::Faulty(plan) => (
+            svc.retrying_client(
+                Party::Jo,
+                plan,
+                RetryPolicy::aggressive(plan.net.seed ^ 0x4A4F),
+            ),
+            svc.retrying_client(
+                Party::Sp,
+                FaultPlan {
+                    net: SimNetConfig {
+                        seed: plan.net.seed ^ 0x5350,
+                        ..plan.net
+                    },
+                    ..plan
+                },
+                RetryPolicy::aggressive(plan.net.seed ^ 0x5350),
             ),
         ),
     };
@@ -491,16 +546,20 @@ pub fn run_service_market(
         .into_iter()
         .map(|j| (j.job_id, j.description, j.payment))
         .collect();
+    let faults = svc.faults.clone();
     let undelivered_payments = svc.shutdown();
 
-    Ok(ServiceMarketOutcome {
-        jo_balance,
-        sp_balances,
-        sp_credited,
-        data_reports,
-        jobs,
-        undelivered_payments,
-    })
+    Ok((
+        ServiceMarketOutcome {
+            jo_balance,
+            sp_balances,
+            sp_credited,
+            data_reports,
+            jobs,
+            undelivered_payments,
+        },
+        faults.snapshot(),
+    ))
 }
 
 // ---------------------------------------------------------------------------

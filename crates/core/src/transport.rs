@@ -5,7 +5,10 @@
 //! Every protocol message passes through [`TrafficLog::record`] with
 //! its byte size; the log then answers per-party input/output totals
 //! exactly the way Table II tabulates them (bytes in / bytes out per
-//! party, grand total in kilobytes).
+//! party, grand total in kilobytes). Frames that the simulated
+//! network eats are accounted separately ([`TrafficLog::dropped_bytes`])
+//! — a dropped frame never reached its receiver, so it must not
+//! inflate the receiver's input column.
 //!
 //! Two [`Transport`] implementations carry requests to the service's
 //! dispatcher:
@@ -13,15 +16,22 @@
 //! * [`InProcTransport`] moves the enums over channels directly —
 //!   zero copies, no accounting; the fast default for tests.
 //! * [`SimNetTransport`] serializes every message into a
-//!   [`wire::Envelope`](crate::wire::Envelope), applies configurable
-//!   latency / jitter / drop, records the **actual encoded size** in
-//!   the [`TrafficLog`], and decodes on the far side — so a market
-//!   run over it yields real Table II numbers, and any value that
-//!   cannot survive its own encoding fails loudly.
+//!   [`wire::Envelope`](crate::wire::Envelope), applies the faults of
+//!   a [`FaultPlan`] (latency, jitter, drop, duplication, stale
+//!   replay, corruption), records the **actual encoded size** in the
+//!   [`TrafficLog`], and decodes on the far side — so a market run
+//!   over it yields real Table II numbers, and any value that cannot
+//!   survive its own encoding fails loudly.
+//!
+//! Every request travels under a client-chosen idempotency key
+//! `(party, request_id)` — the envelope's `msg_id` carries the id.
+//! A retry layer (see [`crate::retry`]) reuses the same id across
+//! retransmits so the service can recognize "same request, sent
+//! again" and replay its cached answer instead of re-executing.
 
 use crate::error::MarketError;
 use crate::metrics::Party;
-use crate::service::{Inbound, MaRequest, MaResponse};
+use crate::service::{Inbound, MaRequest, MaResponse, RequestKey};
 use crate::wire::Envelope;
 use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
@@ -54,6 +64,10 @@ struct Totals {
     output: [usize; PARTY_COUNT],
     /// Grand total on the wire.
     total: usize,
+    /// Frames eaten by the simulated network.
+    dropped_frames: usize,
+    /// Bytes eaten by the simulated network.
+    dropped_bytes: usize,
 }
 
 /// Number of [`Party`] variants (totals array size).
@@ -81,7 +95,7 @@ impl TrafficLog {
         TrafficLog::default()
     }
 
-    /// Records one message, maintaining the running totals.
+    /// Records one delivered message, maintaining the running totals.
     pub fn record(&self, from: Party, to: Party, label: &'static str, bytes: usize) {
         self.entries.lock().push(TrafficEntry {
             from,
@@ -93,6 +107,15 @@ impl TrafficLog {
         totals.output[party_index(from)] += bytes;
         totals.input[party_index(to)] += bytes;
         totals.total += bytes;
+    }
+
+    /// Records a frame the network ate. Lost frames never reached a
+    /// receiver, so they stay out of the per-party Table II columns
+    /// and are tallied on their own.
+    pub fn record_dropped(&self, bytes: usize) {
+        let mut totals = self.totals.lock();
+        totals.dropped_frames += 1;
+        totals.dropped_bytes += bytes;
     }
 
     /// Bytes received by `party` (O(1) — running total).
@@ -108,6 +131,16 @@ impl TrafficLog {
     /// Total bytes on the wire (O(1) — running total).
     pub fn total_bytes(&self) -> usize {
         self.totals.lock().total
+    }
+
+    /// Bytes lost to simulated drops/corruption.
+    pub fn dropped_bytes(&self) -> usize {
+        self.totals.lock().dropped_bytes
+    }
+
+    /// Frames lost to simulated drops/corruption.
+    pub fn dropped_frames(&self) -> usize {
+        self.totals.lock().dropped_frames
     }
 
     /// Total in kilobytes (the unit of Table II's last column).
@@ -136,14 +169,43 @@ impl TrafficLog {
 // Transport backends
 // ---------------------------------------------------------------------------
 
+/// Process-wide request-id source. Ids only need to be unique per
+/// party for the service's idempotency cache to be correct; a global
+/// counter gives uniqueness across every client and transport in the
+/// process, which keeps concurrent tests from colliding.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh idempotency request id.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A synchronous request/response channel to the MA service.
 ///
 /// `round_trip` blocks until the MA answers (or the transport fails);
 /// implementations decide whether messages travel as in-memory enums
 /// or as serialized wire frames.
+///
+/// The keyed form is the primitive: `request_id` is the client's
+/// idempotency token, and sending the *same* `(from, request_id)`
+/// again is a retransmit — the service replays its cached response
+/// instead of re-executing. [`Transport::round_trip`] allocates a fresh id per
+/// call; a retry layer calls [`Transport::round_trip_keyed`] with one id for all
+/// attempts of a logical request.
 pub trait Transport: Send + Sync {
-    /// Sends `request` on behalf of `from` and waits for the answer.
-    fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError>;
+    /// Sends `request` on behalf of `from` under the idempotency key
+    /// `(from, request_id)` and waits for the answer.
+    fn round_trip_keyed(
+        &self,
+        from: Party,
+        request_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError>;
+
+    /// Sends `request` as a fresh (never-retried) logical request.
+    fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
+        self.round_trip_keyed(from, next_request_id(), request)
+    }
 }
 
 /// Protocol-step label of a request — the Table II row its bytes are
@@ -185,7 +247,8 @@ pub fn response_label(response: &MaResponse) -> &'static str {
 }
 
 /// In-process transport: requests travel as enums over bounded
-/// channels — today's behavior, zero serialization overhead.
+/// channels — zero serialization overhead, and the idempotency key
+/// rides alongside the enum.
 pub struct InProcTransport {
     tx: Sender<Inbound>,
 }
@@ -198,10 +261,19 @@ impl InProcTransport {
 }
 
 impl Transport for InProcTransport {
-    fn round_trip(&self, _from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
+    fn round_trip_keyed(
+        &self,
+        from: Party,
+        request_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
             .send(Inbound {
+                key: Some(RequestKey {
+                    party: from,
+                    request_id,
+                }),
                 request,
                 reply: reply_tx,
             })
@@ -237,97 +309,262 @@ impl Default for SimNetConfig {
     }
 }
 
+/// A full chaos schedule for the simulated network: the base
+/// [`SimNetConfig`] plus the misbehaviors a real lossy network adds
+/// on top of plain loss. One seed (in `net.seed`) drives every
+/// decision, so a fault schedule is reproducible from the plan alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Latency / jitter / drop / seed of the underlying network.
+    pub net: SimNetConfig,
+    /// Probability that a delivered request frame is delivered a
+    /// second time (duplication — exercises the idempotency cache).
+    pub duplicate_rate: f64,
+    /// Probability that, before a request is delivered, one random
+    /// *historical* request frame is re-delivered first (a late,
+    /// out-of-order copy — exercises idempotency against reordering).
+    pub reorder_rate: f64,
+    /// Probability that a frame is corrupted in flight (one byte
+    /// flipped). The receiver's integrity trailer rejects it, which
+    /// the sender observes as loss.
+    pub corrupt_rate: f64,
+}
+
+impl From<SimNetConfig> for FaultPlan {
+    fn from(net: SimNetConfig) -> FaultPlan {
+        FaultPlan {
+            net,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// What the simulated network did to one frame in flight.
+enum HopFate {
+    /// Arrived intact.
+    Deliver,
+    /// Eaten by the network.
+    Drop,
+    /// Arrived with a flipped byte.
+    Corrupt,
+}
+
+/// How many delivered request frames the chaos layer keeps for
+/// stale-replay (reorder) injection. Bounded so a long run cannot
+/// hoard frames.
+const REPLAY_HISTORY: usize = 64;
+
 /// Simulated-network transport: every message is encoded into a wire
-/// [`Envelope`], delayed/dropped per [`SimNetConfig`], counted in the
-/// [`TrafficLog`] at its actual encoded size, and decoded before
-/// dispatch — so nothing crosses that a real wire could not carry.
+/// [`Envelope`], subjected to the [`FaultPlan`], counted in the
+/// [`TrafficLog`] at its actual encoded size **only if it arrived**,
+/// and decoded before dispatch — so nothing crosses that a real wire
+/// could not carry, and nothing the network ate is billed to a
+/// receiver that never saw it.
 pub struct SimNetTransport {
     tx: Sender<Inbound>,
     traffic: TrafficLog,
-    config: SimNetConfig,
+    faults: FaultPlan,
     next_id: AtomicU64,
     rng: Mutex<StdRng>,
+    /// Recently delivered request frames, fodder for stale-replay.
+    history: Mutex<Vec<Vec<u8>>>,
 }
 
 impl SimNetTransport {
-    /// Builds a transport feeding the given service inbox and log.
+    /// Builds a fault-free (beyond `config`'s latency/drop) transport
+    /// feeding the given service inbox and log.
     pub fn new(tx: Sender<Inbound>, traffic: TrafficLog, config: SimNetConfig) -> SimNetTransport {
-        let rng = StdRng::seed_from_u64(config.seed);
+        SimNetTransport::with_faults(tx, traffic, FaultPlan::from(config))
+    }
+
+    /// Builds a transport running the full chaos schedule.
+    pub fn with_faults(
+        tx: Sender<Inbound>,
+        traffic: TrafficLog,
+        faults: FaultPlan,
+    ) -> SimNetTransport {
+        let rng = StdRng::seed_from_u64(faults.net.seed);
         SimNetTransport {
             tx,
             traffic,
-            config,
+            faults,
             next_id: AtomicU64::new(1),
             rng: Mutex::new(rng),
+            history: Mutex::new(Vec::new()),
         }
     }
 
-    /// One simulated network hop: delay, then maybe drop.
-    fn hop(&self) -> Result<(), MarketError> {
-        let (extra, dropped) = {
+    /// Draws `rate` against the shared RNG.
+    fn roll(&self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.lock().random_bool(rate)
+    }
+
+    /// One simulated network hop: delay, then decide the frame's fate.
+    fn hop(&self) -> HopFate {
+        let net = self.faults.net;
+        let (extra, fate) = {
             let mut rng = self.rng.lock();
-            let extra = if self.config.jitter_micros > 0 {
-                rng.random_range(0..=self.config.jitter_micros)
+            let extra = if net.jitter_micros > 0 {
+                rng.random_range(0..=net.jitter_micros)
             } else {
                 0
             };
-            let dropped = self.config.drop_rate > 0.0 && rng.random_bool(self.config.drop_rate);
-            (extra, dropped)
+            let fate = if net.drop_rate > 0.0 && rng.random_bool(net.drop_rate) {
+                HopFate::Drop
+            } else if self.faults.corrupt_rate > 0.0 && rng.random_bool(self.faults.corrupt_rate) {
+                HopFate::Corrupt
+            } else {
+                HopFate::Deliver
+            };
+            (extra, fate)
         };
-        let delay = self.config.latency_micros + extra;
+        let delay = net.latency_micros + extra;
         if delay > 0 {
             std::thread::sleep(Duration::from_micros(delay));
         }
-        if dropped {
-            return Err(MarketError::Transport("message dropped by network".into()));
+        fate
+    }
+
+    /// Receiver-side handling of a corrupted frame: flip one byte
+    /// past the fixed header, watch the integrity trailer reject it,
+    /// and surface the loss to the sender as a transport error (a
+    /// receiver discards corrupt frames; the sender just never hears
+    /// back).
+    fn corrupt_and_discard(&self, frame: &[u8]) -> MarketError {
+        let mut mangled = frame.to_vec();
+        let idx = {
+            let mut rng = self.rng.lock();
+            // Skip the 6-byte version+length header so the flip lands
+            // in the checksummed region (body or trailer).
+            rng.random_range(6..mangled.len() as u64) as usize
+        };
+        mangled[idx] ^= 0x40;
+        debug_assert!(
+            Envelope::<MaRequest>::from_bytes(&mangled).is_err()
+                || Envelope::<MaResponse>::from_bytes(&mangled).is_err(),
+            "flipped frame must not decode cleanly"
+        );
+        self.traffic.record_dropped(frame.len());
+        MarketError::Transport("corrupt frame discarded by receiver".into())
+    }
+
+    /// MA side: decode a request frame (proving the bytes suffice),
+    /// dispatch it under its envelope key, and wait for the reply.
+    fn dispatch(&self, frame: &[u8]) -> Result<MaResponse, MarketError> {
+        let envelope = Envelope::<MaRequest>::from_bytes(frame)?;
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx
+            .send(Inbound {
+                key: Some(RequestKey {
+                    party: envelope.party,
+                    request_id: envelope.msg_id,
+                }),
+                request: envelope.payload,
+                reply: reply_tx,
+            })
+            .map_err(|_| MarketError::Transport("MA service unavailable".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| MarketError::Transport("MA service hung up".into()))
+    }
+
+    /// Remembers a delivered request frame as stale-replay fodder.
+    fn remember(&self, frame: Vec<u8>) {
+        let mut history = self.history.lock();
+        if history.len() == REPLAY_HISTORY {
+            history.remove(0);
         }
-        Ok(())
+        history.push(frame);
+    }
+
+    /// Picks a random historical request frame, if any.
+    fn stale_frame(&self) -> Option<Vec<u8>> {
+        let history = self.history.lock();
+        if history.is_empty() {
+            return None;
+        }
+        let idx = self.rng.lock().random_range(0..history.len() as u64) as usize;
+        Some(history[idx].clone())
     }
 }
 
 impl Transport for SimNetTransport {
-    fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
-        // Client side: frame and "send" the request.
-        let msg_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+    fn round_trip_keyed(
+        &self,
+        from: Party,
+        request_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        // Client side: frame the request under its idempotency key —
+        // a retransmit re-frames the same id, so the MA can tell
+        // "same request again" from "new request".
         let label = request_label(&request);
         let frame = Envelope {
-            msg_id,
+            msg_id: request_id,
             correlation_id: 0,
             party: from,
             payload: request,
         }
         .to_bytes();
-        self.traffic.record(from, Party::Ma, label, frame.len());
-        self.hop()?;
 
-        // MA side: decode the frame (proving the bytes suffice) and
-        // dispatch to the service.
-        let request = Envelope::<MaRequest>::from_bytes(&frame)?.payload;
-        let (reply_tx, reply_rx) = channel::bounded(1);
-        self.tx
-            .send(Inbound {
-                request,
-                reply: reply_tx,
-            })
-            .map_err(|_| MarketError::Transport("MA service unavailable".into()))?;
-        let response = reply_rx
-            .recv()
-            .map_err(|_| MarketError::Transport("MA service hung up".into()))?;
+        // Request hop. Traffic is recorded only after the frame
+        // actually survives the network: a dropped frame must not
+        // count as MA input it never received.
+        match self.hop() {
+            HopFate::Drop => {
+                self.traffic.record_dropped(frame.len());
+                return Err(MarketError::Transport("message dropped by network".into()));
+            }
+            HopFate::Corrupt => return Err(self.corrupt_and_discard(&frame)),
+            HopFate::Deliver => {}
+        }
+        self.traffic.record(from, Party::Ma, label, frame.len());
+
+        // Reorder injection: a late copy of an old request lands
+        // first. Its reply goes nowhere (the original sender got the
+        // first copy's answer long ago); the service must shrug it
+        // off via the dedup cache.
+        if self.roll(self.faults.reorder_rate) {
+            if let Some(stale) = self.stale_frame() {
+                let _ = self.dispatch(&stale);
+            }
+        }
+
+        let response = self.dispatch(&frame)?;
+
+        // Duplication injection: the network delivered the frame
+        // twice. The second delivery's reply is discarded — but it
+        // must not have re-executed the request.
+        if self.roll(self.faults.duplicate_rate) {
+            let _ = self.dispatch(&frame);
+        }
+        self.remember(frame);
 
         // MA side: frame and "send" the response.
-        let frame = Envelope {
+        let rframe = Envelope {
             msg_id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            correlation_id: msg_id,
+            correlation_id: request_id,
             party: Party::Ma,
             payload: &response,
         }
         .to_bytes();
-        self.traffic
-            .record(Party::Ma, from, response_label(&response), frame.len());
-        self.hop()?;
+        let rlabel = response_label(&response);
+
+        // Response hop. On loss the MA has already executed the
+        // request — exactly the window where a blind retry would
+        // double-spend, and why retransmits reuse the request id.
+        match self.hop() {
+            HopFate::Drop => {
+                self.traffic.record_dropped(rframe.len());
+                return Err(MarketError::Transport("response dropped by network".into()));
+            }
+            HopFate::Corrupt => return Err(self.corrupt_and_discard(&rframe)),
+            HopFate::Deliver => {}
+        }
+        self.traffic.record(Party::Ma, from, rlabel, rframe.len());
 
         // Client side: decode the response frame.
-        Ok(Envelope::<MaResponse>::from_bytes(&frame)?.payload)
+        Ok(Envelope::<MaResponse>::from_bytes(&rframe)?.payload)
     }
 }
 
@@ -354,6 +591,19 @@ mod tests {
         let log = TrafficLog::new();
         log.record(Party::Jo, Party::Ma, "x", 2048);
         assert!((log.total_kb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_frames_stay_out_of_party_totals() {
+        let log = TrafficLog::new();
+        log.record(Party::Jo, Party::Ma, "job-reg", 100);
+        log.record_dropped(77);
+        log.record_dropped(23);
+        assert_eq!(log.dropped_frames(), 2);
+        assert_eq!(log.dropped_bytes(), 100);
+        assert_eq!(log.input_bytes(Party::Ma), 100);
+        assert_eq!(log.total_bytes(), 100);
+        assert_eq!(log.message_count(), 1);
     }
 
     #[test]
@@ -388,5 +638,12 @@ mod tests {
         assert_eq!(log.message_count(), 1);
         assert!(log.has_label("fwd"));
         assert!(!log.has_label("nope"));
+    }
+
+    #[test]
+    fn request_ids_are_unique() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
     }
 }

@@ -35,12 +35,33 @@ use ppms_crypto::cl::{ClPublicKey, ClSignature};
 use ppms_crypto::pairing::Point;
 use ppms_ecash::{DecError, Spend};
 
-/// Protocol version carried by every frame.
-pub const WIRE_VERSION: u16 = 1;
+/// Protocol version carried by every frame. Version 2 added the
+/// FNV-1a integrity trailer (see [`FRAME_TRAILER_LEN`]) so a frame
+/// corrupted in flight is rejected instead of silently mis-decoding
+/// into a different request — which would defeat the service's
+/// idempotent request keys.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Fixed per-frame overhead: version + body length + msg id +
 /// correlation id + party tag.
 pub const FRAME_HEADER_LEN: usize = 2 + 4 + 8 + 8 + 1;
+
+/// Integrity trailer: FNV-1a-64 over the frame body, appended after
+/// the payload. Not cryptographic — transport integrity against bit
+/// rot / truncation mid-path; authenticity lives in the protocol's
+/// signatures.
+pub const FRAME_TRAILER_LEN: usize = 8;
+
+/// FNV-1a-64 — the frame checksum and the service's stable routing
+/// hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
 
 /// Upper bound on any single length prefix (16 MiB) — a sanity cap so
 /// a corrupt length field cannot trigger a huge allocation.
@@ -64,6 +85,8 @@ pub enum WireError {
     TooLong,
     /// An embedded structure failed to parse.
     Malformed(&'static str),
+    /// The frame's integrity trailer did not match its body.
+    Corrupt,
 }
 
 impl std::fmt::Display for WireError {
@@ -75,6 +98,7 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(what, tag) => write!(f, "bad {what} tag {tag}"),
             WireError::TooLong => write!(f, "length prefix exceeds sanity bound"),
             WireError::Malformed(what) => write!(f, "malformed {what}"),
+            WireError::Corrupt => write!(f, "frame checksum mismatch"),
         }
     }
 }
@@ -471,6 +495,8 @@ impl WireEncode for MarketError {
                 w.u8(8);
                 w.str(s);
             }
+            MarketError::Timeout => w.u8(9),
+            MarketError::CircuitOpen => w.u8(10),
         }
     }
 }
@@ -487,6 +513,8 @@ impl WireDecode for MarketError {
             6 => MarketError::Dec(DecError::decode(r)?),
             7 => MarketError::NoSuchJob,
             8 => MarketError::Transport(r.str()?),
+            9 => MarketError::Timeout,
+            10 => MarketError::CircuitOpen,
             t => return Err(WireError::BadTag("market-error", t)),
         })
     }
@@ -898,6 +926,7 @@ impl<T: WireEncode> Envelope<T> {
         w.u32(body.len() as u32);
         let mut out = w.finish();
         out.extend_from_slice(&body);
+        out.extend_from_slice(&fnv1a(&body).to_be_bytes());
         out
     }
 }
@@ -912,13 +941,20 @@ impl<T: WireDecode> Envelope<T> {
             return Err(WireError::BadVersion(version));
         }
         let body_len = r.u32()? as usize;
-        if bytes.len() != 2 + 4 + body_len {
-            return Err(if bytes.len() < 2 + 4 + body_len {
+        let framed = 2 + 4 + body_len + FRAME_TRAILER_LEN;
+        if bytes.len() != framed {
+            return Err(if bytes.len() < framed {
                 WireError::Truncated
             } else {
                 WireError::Trailing
             });
         }
+        let body = &bytes[2 + 4..2 + 4 + body_len];
+        let trailer = &bytes[2 + 4 + body_len..];
+        if fnv1a(body).to_be_bytes() != trailer {
+            return Err(WireError::Corrupt);
+        }
+        let mut r = WireReader::new(body);
         let env = Envelope {
             msg_id: r.u64()?,
             correlation_id: r.u64()?,
@@ -1069,7 +1105,35 @@ mod tests {
             payload: MaResponse::Ok,
         };
         // MaResponse::Ok is a single tag byte.
-        assert_eq!(env.to_bytes().len(), FRAME_HEADER_LEN + 1);
+        assert_eq!(
+            env.to_bytes().len(),
+            FRAME_HEADER_LEN + 1 + FRAME_TRAILER_LEN
+        );
+    }
+
+    #[test]
+    fn corrupted_body_rejected_by_trailer() {
+        let env = Envelope {
+            msg_id: 3,
+            correlation_id: 0,
+            party: Party::Sp,
+            payload: MaRequest::FetchLabor { job_id: 42 },
+        };
+        let bytes = env.to_bytes();
+        // Flip every body byte in turn: the checksum must catch each
+        // single-byte corruption (the version/length prefix fails its
+        // own checks instead).
+        for i in 2 + 4..bytes.len() - FRAME_TRAILER_LEN {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(
+                    Envelope::<MaRequest>::from_bytes(&bad),
+                    Err(WireError::Corrupt)
+                ),
+                "flip at {i} must be caught"
+            );
+        }
     }
 
     #[test]

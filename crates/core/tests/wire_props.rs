@@ -142,7 +142,7 @@ fn build_response(variant: u64, a: u64, b: u64, blob: &[u8], text: &str) -> MaRe
         2 => MaResponse::BlindSignature(BigUint::from(a | 1)),
         3 => MaResponse::Ok,
         4 => MaResponse::Labor(vec![blob.to_vec(), vec![], vec![b as u8]]),
-        5 => MaResponse::Payment(if b % 2 == 0 {
+        5 => MaResponse::Payment(if b.is_multiple_of(2) {
             None
         } else {
             Some(blob.to_vec())

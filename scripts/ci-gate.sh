@@ -17,6 +17,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> wire protocol property tests"
 cargo test -p ppms-core --test wire_props -q
 
+echo "==> chaos harness (fault injection + shard-crash supervision)"
+cargo test -p ppms-integration --test chaos -q
+cargo test -p ppms-core --lib -q service::tests::crashed_shard_is_respawned_and_retry_succeeds
+
 echo "==> cargo test"
 cargo test --workspace -q
 

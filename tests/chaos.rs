@@ -1,0 +1,214 @@
+//! Chaos harness: the market must survive a lossy, duplicating,
+//! reordering, corrupting, crashing substrate and still converge to
+//! the exact ledger a fault-free run produces. Faults are injected
+//! from a seeded [`FaultPlan`] so every schedule is replayable; the
+//! conservation invariant is equality with the in-process baseline,
+//! not merely "no error".
+
+use ppms_core::service::{MaRequest, MaResponse, MaService, ServiceConfig};
+use ppms_core::sim::{run_service_market, run_service_market_chaos, TransportKind};
+use ppms_core::{next_request_id, CrashPoint, FaultPlan, SimNetConfig};
+use ppms_crypto::cl::ClKeyPair;
+use ppms_ecash::{Coin, DecParams, NodePath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xE0;
+const N_SPS: usize = 3;
+const W: u64 = 3;
+
+fn baseline() -> ppms_core::sim::ServiceMarketOutcome {
+    run_service_market(SEED, 1, N_SPS, W, TransportKind::InProc).expect("fault-free baseline")
+}
+
+fn plan(seed: u64, drop: f64, dup: f64, reorder: f64, corrupt: f64) -> FaultPlan {
+    FaultPlan {
+        net: SimNetConfig {
+            latency_micros: 0,
+            jitter_micros: 0,
+            drop_rate: drop,
+            seed,
+        },
+        duplicate_rate: dup,
+        reorder_rate: reorder,
+        corrupt_rate: corrupt,
+    }
+}
+
+#[test]
+fn chaos_grid_converges_to_fault_free_ledger() {
+    // A small seeded grid over the whole fault surface. Every cell
+    // must land on the identical ledger; across the grid the faults
+    // must actually have fired (otherwise the harness tests nothing).
+    let expected = baseline();
+    let grid = [
+        plan(0xC0A5, 0.20, 0.00, 0.00, 0.00), // pure loss
+        plan(0xC0A6, 0.00, 0.25, 0.15, 0.00), // duplication + stale replay
+        plan(0xC0A7, 0.00, 0.00, 0.00, 0.20), // corruption
+        plan(0xC0A8, 0.15, 0.10, 0.10, 0.10), // everything at once
+    ];
+    let mut retries = 0;
+    let mut replays = 0;
+    for (i, p) in grid.iter().enumerate() {
+        let (outcome, faults) = run_service_market_chaos(SEED, 2, N_SPS, W, *p, None)
+            .unwrap_or_else(|e| panic!("grid cell {i} failed: {e:?}"));
+        assert_eq!(outcome, expected, "grid cell {i} diverged");
+        retries += faults.retries;
+        replays += faults.dedup_replays;
+    }
+    assert!(retries > 0, "the grid never exercised a retransmission");
+    assert!(
+        replays > 0,
+        "the grid never replayed a cached response (executed-but-unacked window untested)"
+    );
+}
+
+#[test]
+fn crashed_shard_recovers_and_market_converges() {
+    // Seed-pinned supervision test: shard 0 is killed after journaling
+    // its third request, the supervisor respawns it over the journal,
+    // and the retrying clients carry the market to the same ledger as
+    // the fault-free run. The crashed request's Begin is the journal's
+    // orphan tail, discarded on replay.
+    let expected = baseline();
+    let crash = CrashPoint {
+        shard: 0,
+        at_request: 3,
+    };
+    let (outcome, faults) = run_service_market_chaos(
+        SEED,
+        2,
+        N_SPS,
+        W,
+        plan(0xDEAD, 0.0, 0.0, 0.0, 0.0),
+        Some(crash),
+    )
+    .expect("market survives a shard crash");
+    assert_eq!(outcome, expected, "crash schedule changed the ledger");
+    assert_eq!(faults.shard_respawns, 1, "exactly one respawn");
+    assert_eq!(faults.wal_discarded, 1, "exactly the in-flight Begin");
+    assert!(
+        faults.wal_commits > 0,
+        "the journal must have committed work"
+    );
+}
+
+#[test]
+fn crash_under_loss_still_converges() {
+    // Crash and packet loss together: the respawned shard replays its
+    // journal while the retry layer absorbs both the crash hang-up and
+    // the dropped frames.
+    let expected = baseline();
+    let crash = CrashPoint {
+        shard: 1,
+        at_request: 2,
+    };
+    let (outcome, faults) = run_service_market_chaos(
+        SEED,
+        2,
+        N_SPS,
+        W,
+        plan(0xBEEF, 0.15, 0.10, 0.0, 0.0),
+        Some(crash),
+    )
+    .expect("market survives crash + loss");
+    assert_eq!(outcome, expected);
+    assert_eq!(faults.shard_respawns, 1);
+}
+
+#[test]
+fn double_spend_is_still_caught_under_retries() {
+    // The dedup cache must distinguish a *retransmit* (same request
+    // id — replay the original verdict, no double-spend flag) from a
+    // *genuine* reuse of the same spends under a fresh id (caught).
+    let mut rng = StdRng::seed_from_u64(0x0DD5);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+        panic!("sp account");
+    };
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+        funds: 50,
+        clpk: cl.public.clone(),
+    }) else {
+        panic!("jo account");
+    };
+    let mut coin = Coin::mint(&mut rng, &svc.params);
+    let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+    let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+    let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+        account: jo,
+        nonce: 1,
+        auth,
+        blinded,
+    }) else {
+        panic!("withdraw");
+    };
+    assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+    let s1 = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 0), b"");
+    let s2 = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 1), b"");
+    let batch = MaRequest::DepositBatch {
+        account: sp,
+        spends: vec![s1, s2],
+    };
+
+    // First delivery.
+    let id = next_request_id();
+    let first = client
+        .try_call_keyed(id, batch.clone())
+        .expect("first deposit");
+    let MaResponse::BatchDeposited {
+        total,
+        accepted,
+        rejected,
+    } = first
+    else {
+        panic!("batch response");
+    };
+    assert_eq!((total, accepted, rejected), (2, 2, 0));
+
+    // Retransmit under the *same* id: the cached verdict comes back
+    // verbatim and the ledger does not move.
+    let replay = client
+        .try_call_keyed(id, batch.clone())
+        .expect("retransmit");
+    let MaResponse::BatchDeposited {
+        accepted: a2,
+        rejected: r2,
+        ..
+    } = replay
+    else {
+        panic!("replayed batch response");
+    };
+    assert_eq!((a2, r2), (2, 0), "retransmit must not be re-executed");
+    assert_eq!(svc.faults.dedup_replays(), 1);
+    let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else {
+        panic!("balance");
+    };
+    assert_eq!(b, 2, "the retransmit must not double-credit");
+
+    // The same spends under a *fresh* id are a genuine double-spend.
+    let fresh = client
+        .try_call_keyed(next_request_id(), batch)
+        .expect("fresh-id deposit");
+    let MaResponse::BatchDeposited {
+        accepted: a3,
+        rejected: r3,
+        ..
+    } = fresh
+    else {
+        panic!("fresh batch response");
+    };
+    assert_eq!((a3, r3), (0, 2), "genuine reuse must be caught");
+    svc.shutdown();
+}

@@ -5,8 +5,11 @@
 //! many shard workers the MA runs. The wire is an implementation
 //! detail; the ledger is the ground truth.
 
-use ppms_core::sim::{run_service_market, ServiceMarketOutcome, TransportKind};
-use ppms_core::SimNetConfig;
+use ppms_core::sim::{
+    run_service_market, run_service_market_chaos, ServiceMarketOutcome, TransportKind,
+};
+use ppms_core::{FaultPlan, SimNetConfig};
+use proptest::prelude::*;
 
 const SEED: u64 = 0xE0;
 const N_SPS: usize = 3;
@@ -105,4 +108,36 @@ fn simnet_drop_surfaces_as_transport_error() {
         other => panic!("expected a dropped message, got {other:?}"),
     }
     svc.shutdown();
+}
+
+// For *any* fault seed, as long as loss stays below the retry budget's
+// reach (≤ 30% drop) the retrying fleet converges to the exact ledger a
+// fault-free in-process run produces — loss and duplication are
+// invisible at the ledger layer.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn lossy_retrying_market_converges(
+        seed in 0u64..u64::MAX,
+        drop_milli in 0u64..=300,
+        dup_milli in 0u64..=250,
+    ) {
+        let plan = FaultPlan {
+            net: SimNetConfig {
+                latency_micros: 0,
+                jitter_micros: 0,
+                drop_rate: drop_milli as f64 / 1000.0,
+                seed,
+            },
+            duplicate_rate: dup_milli as f64 / 1000.0,
+            reorder_rate: 0.0,
+            corrupt_rate: 0.0,
+        };
+        let expected = run(TransportKind::InProc, 1);
+        let (outcome, _faults) =
+            run_service_market_chaos(SEED, 2, N_SPS, W, plan, None)
+                .expect("lossy market must converge, not fail");
+        prop_assert_eq!(outcome, expected);
+    }
 }

@@ -1,0 +1,111 @@
+//! Minimal offline stand-in for `crossbeam`: MPMC channels built on
+//! `std::sync::mpsc` behind a shared receiver lock.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Tx<T> {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// MPMC receiver: clones share one underlying mpsc receiver. A
+    /// blocked `recv` holds the lock, which serializes consumers — the
+    /// semantics (each message delivered to exactly one receiver) match
+    /// crossbeam; only wakeup fairness differs, which the workspace
+    /// does not rely on.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(Tx::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimal offline stand-in for the `rand` crate, API-compatible with
+//! the subset this workspace uses. Deterministic xoshiro256** core.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types `random_range` can produce.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_incl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_incl: Self) -> Self {
+                let span = (hi_incl as u128).wrapping_sub(lo as u128);
+                if span == u128::MAX {
+                    let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return v as $t;
+                }
+                let span = span + 1;
+                // Double-width sample is far wider than any span here;
+                // modulo bias is negligible for a test stand-in.
+                let v = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                ((lo as u128).wrapping_add(v)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Ranges acceptable to `random_range`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleRangeExclusive> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        // Exclusive hi: for floats use hi directly (measure-zero edge),
+        // for ints the integer impl treats hi as inclusive, so back off.
+        T::sample_range_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        T::sample_range(rng, lo, hi)
+    }
+}
+
+/// Helper giving integer types an exclusive upper bound.
+#[doc(hidden)]
+pub trait SampleRangeExclusive: SampleUniform {
+    fn sample_range_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_excl_int {
+    ($($t:ty),*) => {$(
+        impl SampleRangeExclusive for $t {
+            fn sample_range_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                <$t as SampleUniform>::sample_range(rng, lo, hi - 1)
+            }
+        }
+    )*};
+}
+impl_excl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRangeExclusive for f64 {
+    fn sample_range_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        <f64 as SampleUniform>::sample_range(rng, lo, hi)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        <f64 as SampleUniform>::sample_range(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// rand 0.10 exposes the extension methods under this name as well.
+pub use Rng as RngExt;
+
+/// Types with a "standard" distribution (for `rng.random()`).
+pub trait Standard: Sized {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::seed_from_u64(rng.next_u64())
+    }
+}
+
+/// Seeds a fresh RNG from a global counter (stand-in for OS entropy;
+/// deterministic per process which is fine for tests and benches).
+pub fn make_rng<R: SeedableRng>() -> R {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CTR: AtomicU64 = AtomicU64::new(0x243F6A8885A308D3);
+    let n = CTR.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed);
+    R::seed_from_u64(n)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — deterministic, fast, good enough statistical
+    /// quality for test vectors. NOT the real StdRng (ChaCha12); only
+    /// determinism within this stand-in matters.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl StdRng {
+        /// Inherent mirrors of the `RngCore` methods so callers with a
+        /// concrete `StdRng` need no trait import (matches how the
+        /// workspace uses the real crate).
+        pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+            RngCore::fill_bytes(self, dest)
+        }
+
+        pub fn next_u32_inherent(&mut self) -> u32 {
+            RngCore::next_u32(self)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, SampleUniform};
+
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = <usize as SampleUniform>::sample_range(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[<usize as SampleUniform>::sample_range(rng, 0, self.len() - 1)])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{make_rng, Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,144 @@
+//! Minimal offline stand-in for `rayon`: the parallel-iterator surface
+//! the workspace uses, executed sequentially. Correctness-equivalent;
+//! the real crate supplies the parallelism in networked builds.
+
+pub mod prelude {
+    /// Sequential "parallel" iterator wrapper.
+    pub struct Par<I>(I);
+
+    pub trait ParallelIterator: Sized {
+        type Inner: Iterator;
+        fn into_inner_iter(self) -> Self::Inner;
+
+        fn map<F, O>(self, f: F) -> Par<std::iter::Map<Self::Inner, F>>
+        where
+            F: FnMut(<Self::Inner as Iterator>::Item) -> O,
+        {
+            Par(self.into_inner_iter().map(f))
+        }
+
+        fn filter_map<F, O>(self, f: F) -> Par<std::iter::FilterMap<Self::Inner, F>>
+        where
+            F: FnMut(<Self::Inner as Iterator>::Item) -> Option<O>,
+        {
+            Par(self.into_inner_iter().filter_map(f))
+        }
+
+        fn filter<F>(self, f: F) -> Par<std::iter::Filter<Self::Inner, F>>
+        where
+            F: FnMut(&<Self::Inner as Iterator>::Item) -> bool,
+        {
+            Par(self.into_inner_iter().filter(f))
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<<Self::Inner as Iterator>::Item>,
+        {
+            self.into_inner_iter().collect()
+        }
+
+        fn find_map_any<F, O>(self, f: F) -> Option<O>
+        where
+            F: Fn(<Self::Inner as Iterator>::Item) -> Option<O>,
+        {
+            self.into_inner_iter().find_map(f)
+        }
+
+        fn find_any<F>(self, f: F) -> Option<<Self::Inner as Iterator>::Item>
+        where
+            F: Fn(&<Self::Inner as Iterator>::Item) -> bool,
+        {
+            self.into_inner_iter().find(f)
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: FnMut(<Self::Inner as Iterator>::Item),
+        {
+            self.into_inner_iter().for_each(f)
+        }
+
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<<Self::Inner as Iterator>::Item>,
+        {
+            self.into_inner_iter().sum()
+        }
+
+        fn count(self) -> usize {
+            self.into_inner_iter().count()
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for Par<I> {
+        type Inner = I;
+        fn into_inner_iter(self) -> I {
+            self.0
+        }
+    }
+
+    pub trait IntoParallelIterator {
+        type SeqIter: Iterator;
+        fn into_par_iter(self) -> Par<Self::SeqIter>;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type SeqIter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Par<Self::SeqIter> {
+            Par(self.into_iter())
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type SeqIter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Par<Self::SeqIter> {
+            Par(self)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type SeqIter = std::ops::Range<u64>;
+        fn into_par_iter(self) -> Par<Self::SeqIter> {
+            Par(self)
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'data> {
+        type SeqIter: Iterator;
+        fn par_iter(&'data self) -> Par<Self::SeqIter>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type SeqIter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::SeqIter> {
+            Par(self.iter())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type SeqIter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::SeqIter> {
+            Par(self.iter())
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'data> {
+        type SeqIter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type SeqIter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter> {
+            Par(self.iter_mut())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type SeqIter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter> {
+            Par(self.iter_mut())
+        }
+    }
+}

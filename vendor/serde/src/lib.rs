@@ -1,0 +1,39 @@
+//! Minimal offline stand-in for `serde`: marker traits plus the derive
+//! re-exports. `serde_json`'s stub emits placeholder output, so the
+//! traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_marker {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_marker!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
