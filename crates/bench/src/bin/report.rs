@@ -45,6 +45,7 @@ fn main() {
         "attack" => attack(),
         "timing" => timing(),
         "break" => break_report(),
+        "obs" => obs(),
         "all" => {
             fig2(Duration::from_secs(budget));
             fig3();
@@ -55,9 +56,10 @@ fn main() {
             attack();
             timing();
             break_report();
+            obs();
         }
         other => {
-            eprintln!("unknown subcommand {other}; use fig2|fig3|fig4|fig5|table1|table2|attack|timing|break|all");
+            eprintln!("unknown subcommand {other}; use fig2|fig3|fig4|fig5|table1|table2|attack|timing|break|obs|all");
             std::process::exit(2);
         }
     }
@@ -294,9 +296,14 @@ fn table1() {
     let psp = pbs.register_sp(&mut rng, cfg::RSA_BITS);
     pbs.run_round(&mut rng, &pjo, &psp, "job", b"data").unwrap();
 
+    // The table renders from detached *snapshots*, not the live
+    // counters: the same serde type the service and obs layers export,
+    // so shard-local snapshots can be merged before printing.
+    let dec_snap = dec.metrics.snapshot();
+    let pbs_snap = pbs.metrics.snapshot();
     println!("{:<10} {:<28} {:<22} {:<18}", "mechanism", "JO", "SP", "MA");
     let mut rows = Vec::new();
-    for (name, m) in [("PPMSdec", &dec.metrics), ("PPMSpbs", &pbs.metrics)] {
+    for (name, m) in [("PPMSdec", &dec_snap), ("PPMSpbs", &pbs_snap)] {
         let row = Table1Row {
             mechanism: name.into(),
             jo: m.formula(Party::Jo),
@@ -441,6 +448,50 @@ fn timing() {
     println!("more concurrent depositors and wider random waits both cut the");
     println!("bank's ability to reassemble a participant's deposit burst.");
     dump_json("timing", &rows);
+    println!();
+}
+
+/// Extension A10 — observability: per-operation latency spans
+/// accumulated in the process-global `ppms-obs` registry over one
+/// round of each mechanism, printed as quantiles and dumped via the
+/// layer's own snapshot serializer.
+fn obs() {
+    println!("== A10: observability spans (one round of each mechanism) ==");
+    let mut rng = StdRng::seed_from_u64(13);
+    let params = DecParams::fixture(2, cfg::ZKP_ROUNDS);
+    let mut dec = DecMarket::new(&mut rng, params, cfg::RSA_BITS, cfg::PAIRING_BITS);
+    let mut jo = dec.register_jo(&mut rng, 100, cfg::RSA_BITS);
+    let sp = dec.register_sp(&mut rng, cfg::RSA_BITS);
+    dec.run_round(&mut rng, &mut jo, &sp, "job", 3, CashBreak::Pcba, b"data")
+        .unwrap();
+    let mut pbs = PbsMarket::new();
+    let pjo = pbs.register_jo(&mut rng, 10, cfg::RSA_BITS);
+    let psp = pbs.register_sp(&mut rng, cfg::RSA_BITS);
+    pbs.run_round(&mut rng, &pjo, &psp, "job", b"data").unwrap();
+
+    let snap = ppms_obs::global().snapshot();
+    println!(
+        "{:<20} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "span", "count", "p50-us", "p90-us", "p99-us", "max-us"
+    );
+    for (name, h) in &snap.histograms {
+        if h.is_empty() {
+            continue;
+        }
+        println!(
+            "{name:<20} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            h.count,
+            h.p50() as f64 / 1e3,
+            h.p90() as f64 / 1e3,
+            h.p99() as f64 / 1e3,
+            h.max as f64 / 1e3,
+        );
+    }
+    println!("(quantiles are log2-bucket upper bounds; spans cover both rounds above)");
+    let path = "target/report/obs.json";
+    if std::fs::write(path, snap.to_json()).is_ok() {
+        println!("  [json -> {path}]");
+    }
     println!();
 }
 

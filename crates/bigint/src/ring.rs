@@ -187,7 +187,11 @@ impl ModRing {
     }
 
     /// `base^exp mod n` through the cached backend context.
+    ///
+    /// Span: `ring.pow_ns` (nested under `ring.pow_fixed_ns` /
+    /// `ring.pow_crt_ns` when those paths fall through to here).
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let _span = ppms_obs::timed!("ring.pow_ns");
         match &self.backend {
             Backend::Mont(m) => m.modpow(base, exp),
             Backend::Barrett(b) => b.modpow(base, exp),
@@ -238,6 +242,7 @@ impl ModRing {
     /// exponents up to the modulus width, which bounds every group
     /// exponent in the protocols).
     pub fn pow_fixed(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let _span = ppms_obs::timed!("ring.pow_fixed_ns");
         let key = self.reduce(base);
         let cached = {
             let t = self.tables.read();
@@ -344,6 +349,7 @@ impl ModRing {
     /// Panics if more than 6 pairs are supplied (table growth is
     /// exponential; the protocols never exceed 3).
     pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let _span = ppms_obs::timed!("ring.multi_pow_ns");
         assert!(
             pairs.len() <= MULTI_POW_MAX,
             "multi_pow supports at most {MULTI_POW_MAX} bases"
@@ -504,7 +510,11 @@ impl RsaCrt {
     }
 
     /// Garner recombination: `m = m₂ + q · (q_inv · (m₁ − m₂) mod p)`.
+    ///
+    /// Span: `ring.pow_crt_ns` — the two half-width `ring.pow_ns`
+    /// spans it drives nest inside it.
     fn pow_split(&self, base: &BigUint, e_p: &BigUint, e_q: &BigUint) -> BigUint {
+        let _span = ppms_obs::timed!("ring.pow_crt_ns");
         let m1 = self.ring_p.pow(&self.ring_p.reduce(base), e_p);
         let m2 = self.ring_q.pow(&self.ring_q.reduce(base), e_q);
         let h = self.ring_p.mul(&self.q_inv, &m1.modsub(&m2, &self.p));

@@ -22,7 +22,10 @@
 //! traffic accounting → paper Table II), [`retry`] (idempotent
 //! retransmission with backoff and a circuit breaker), [`wal`] (the
 //! per-shard write-ahead journal behind crash recovery), [`metrics`]
-//! (operation counts → paper Table I; fault-tolerance counters), [`sim`]
+//! (operation counts → paper Table I; fault-tolerance counters — both
+//! thin views over the `ppms-obs` registry, which also carries per-op
+//! latency histograms, queue-depth gauges and the per-shard flight
+//! recorders dumped on worker crash), [`sim`]
 //! (multi-round, threaded and chaos market simulation → paper Fig. 5),
 //! and [`attack`] (the denomination / linkage attack evaluation behind
 //! the paper's §IV-B analysis).
@@ -46,7 +49,7 @@ pub use attack::{run_denomination_attack, AttackReport};
 pub use bank::{AccountId, Bank};
 pub use bulletin::{Bulletin, JobProfile};
 pub use error::MarketError;
-pub use metrics::{FaultMetrics, FaultSnapshot, Metrics, Op, Party};
+pub use metrics::{FaultMetrics, FaultSnapshot, Metrics, MetricsSnapshot, Op, Party};
 pub use mixnet::{MixCascade, MixNode};
 pub use ppmsdec::{DecMarket, DecRoundOutcome};
 pub use ppmspbs::{PbsMarket, PbsRoundOutcome};
@@ -55,8 +58,8 @@ pub use service::{
     CrashPoint, Inbound, MaClient, MaRequest, MaResponse, MaService, RequestKey, ServiceConfig,
 };
 pub use transport::{
-    next_request_id, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog,
-    Transport,
+    next_request_id, next_trace_id, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport,
+    TrafficLog, Transport,
 };
 pub use wal::{ShardWal, WalRecord};
 pub use wire::{Envelope, RelayPayload, WireDecode, WireEncode, WireError};

@@ -10,12 +10,14 @@
 //! paper's formulas.
 
 use parking_lot::Mutex;
+use ppms_obs::{Counter, Registry};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The three market parties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Party {
     /// Job owner.
     Jo,
@@ -36,7 +38,9 @@ impl std::fmt::Display for Party {
 }
 
 /// The four operation classes of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Op {
     /// Zero-knowledge proof generated or verified.
     Zkp,
@@ -86,9 +90,49 @@ impl Metrics {
         self.counts.lock().get(&(party, op)).copied().unwrap_or(0)
     }
 
-    /// Snapshot of all counters.
-    pub fn snapshot(&self) -> BTreeMap<(Party, Op), u64> {
-        self.counts.lock().clone()
+    /// Point-in-time copy of all counters — the stable, mergeable
+    /// export the report harness reads (instead of polling counters
+    /// live mid-run).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counts: self.counts.lock().clone(),
+        }
+    }
+
+    /// Formats one party's counts in the paper's Table I style,
+    /// e.g. `"9ZKP+4Enc+1Dec+1H"`.
+    pub fn formula(&self, party: Party) -> String {
+        self.snapshot().formula(party)
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] meter: the per-party Table I
+/// operation counts, detached from the live counters so a report
+/// renders one consistent state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by `(party, operation)`.
+    pub counts: BTreeMap<(Party, Op), u64>,
+}
+
+impl MetricsSnapshot {
+    /// Reads one counter (0 if never incremented).
+    pub fn get(&self, party: Party, op: Op) -> u64 {
+        self.counts.get(&(party, op)).copied().unwrap_or(0)
+    }
+
+    /// Whether nothing was counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Sum of two snapshots — aggregation across workers or runs.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counts = self.counts.clone();
+        for (&key, &n) in &other.counts {
+            *counts.entry(key).or_insert(0) += n;
+        }
+        MetricsSnapshot { counts }
     }
 
     /// Formats one party's counts in the paper's Table I style,
@@ -107,6 +151,17 @@ impl Metrics {
             parts.join("+")
         }
     }
+
+    /// Hand-rolled JSON (the workspace's serde_json is a build stub):
+    /// `{"JO.ZKP": 9, ...}` keyed by party/op display names.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(&(party, op), &n)| format!("\"{party}.{op}\":{n}"))
+            .collect();
+        format!("{{{}}}", cells.join(","))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -117,33 +172,41 @@ impl Metrics {
 /// retry transport, the service's idempotency cache, and the shard
 /// supervisor all report here. Cloning shares the underlying
 /// counters, mirroring [`Metrics`] / [`crate::transport::TrafficLog`].
-#[derive(Debug, Clone, Default)]
+///
+/// A thin view over a [`ppms_obs::Registry`]: every counter is a
+/// registry counter named `fault.*`, so one [`Registry::snapshot`]
+/// carries the fault picture alongside latency and traffic — this
+/// struct only caches the handles and shapes the [`FaultSnapshot`]
+/// the chaos tests assert on.
+#[derive(Debug, Clone)]
 pub struct FaultMetrics {
-    inner: Arc<FaultCounters>,
-}
-
-#[derive(Debug, Default)]
-struct FaultCounters {
+    registry: Registry,
     /// Calls entering the retry layer.
-    calls: AtomicU64,
+    calls: Arc<Counter>,
     /// Retransmissions after a retryable failure.
-    retries: AtomicU64,
+    retries: Arc<Counter>,
     /// Calls that exhausted their attempt budget.
-    exhausted: AtomicU64,
+    exhausted: Arc<Counter>,
     /// Calls abandoned because the overall deadline expired.
-    timeouts: AtomicU64,
+    timeouts: Arc<Counter>,
     /// Calls rejected up front by an open circuit breaker.
-    circuit_rejections: AtomicU64,
+    circuit_rejections: Arc<Counter>,
     /// Retransmits answered from the service's dedup cache instead of
     /// re-executing (the exactly-once replay path).
-    dedup_replays: AtomicU64,
+    dedup_replays: Arc<Counter>,
     /// Shard workers respawned by the supervisor after a crash.
-    shard_respawns: AtomicU64,
+    shard_respawns: Arc<Counter>,
     /// Committed write-ahead-journal records.
-    wal_commits: AtomicU64,
+    wal_commits: Arc<Counter>,
     /// Uncommitted (in-flight at crash) journal records discarded
     /// during replay.
-    wal_discarded: AtomicU64,
+    wal_discarded: Arc<Counter>,
+}
+
+impl Default for FaultMetrics {
+    fn default() -> FaultMetrics {
+        FaultMetrics::in_registry(&Registry::new())
+    }
 }
 
 /// A point-in-time copy of every [`FaultMetrics`] counter.
@@ -170,81 +233,101 @@ pub struct FaultSnapshot {
 }
 
 impl FaultMetrics {
-    /// Fresh, zeroed counters.
+    /// Fresh counters in a private registry.
     pub fn new() -> FaultMetrics {
         FaultMetrics::default()
     }
 
+    /// Counters registered in (and visible through snapshots of)
+    /// `registry`. Used by the service so its fault counters, latency
+    /// histograms, and traffic totals land in one snapshot.
+    pub fn in_registry(registry: &Registry) -> FaultMetrics {
+        FaultMetrics {
+            registry: registry.clone(),
+            calls: registry.counter("fault.calls"),
+            retries: registry.counter("fault.retries"),
+            exhausted: registry.counter("fault.exhausted"),
+            timeouts: registry.counter("fault.timeouts"),
+            circuit_rejections: registry.counter("fault.circuit_rejections"),
+            dedup_replays: registry.counter("fault.dedup_replays"),
+            shard_respawns: registry.counter("fault.shard_respawns"),
+            wal_commits: registry.counter("fault.wal_commits"),
+            wal_discarded: registry.counter("fault.wal_discarded"),
+        }
+    }
+
+    /// The registry these counters live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Records a call entering the retry layer.
     pub fn call(&self) {
-        self.inner.calls.fetch_add(1, Ordering::Relaxed);
+        self.calls.inc();
     }
 
     /// Records one retransmission.
     pub fn retry(&self) {
-        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries.inc();
     }
 
     /// Records a call that ran out of attempts.
     pub fn exhausted(&self) {
-        self.inner.exhausted.fetch_add(1, Ordering::Relaxed);
+        self.exhausted.inc();
     }
 
     /// Records a call that ran out of deadline.
     pub fn timeout(&self) {
-        self.inner.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
     }
 
     /// Records a call rejected by an open circuit breaker.
     pub fn circuit_rejection(&self) {
-        self.inner
-            .circuit_rejections
-            .fetch_add(1, Ordering::Relaxed);
+        self.circuit_rejections.inc();
     }
 
     /// Records a retransmit served from the dedup cache.
     pub fn dedup_replay(&self) {
-        self.inner.dedup_replays.fetch_add(1, Ordering::Relaxed);
+        self.dedup_replays.inc();
     }
 
     /// Records a shard respawn.
     pub fn shard_respawn(&self) {
-        self.inner.shard_respawns.fetch_add(1, Ordering::Relaxed);
+        self.shard_respawns.inc();
     }
 
     /// Records a committed journal record.
     pub fn wal_commit(&self) {
-        self.inner.wal_commits.fetch_add(1, Ordering::Relaxed);
+        self.wal_commits.inc();
     }
 
     /// Records `n` uncommitted journal records discarded by replay.
     pub fn wal_discard(&self, n: u64) {
-        self.inner.wal_discarded.fetch_add(n, Ordering::Relaxed);
+        self.wal_discarded.add(n);
     }
 
     /// Shard respawns so far (the supervision tests' key assertion).
     pub fn shard_respawns(&self) -> u64 {
-        self.inner.shard_respawns.load(Ordering::Relaxed)
+        self.shard_respawns.get()
     }
 
     /// Dedup-cache replays so far.
     pub fn dedup_replays(&self) -> u64 {
-        self.inner.dedup_replays.load(Ordering::Relaxed)
+        self.dedup_replays.get()
     }
 
     /// Copies every counter.
     pub fn snapshot(&self) -> FaultSnapshot {
-        let c = &self.inner;
         FaultSnapshot {
-            calls: c.calls.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            exhausted: c.exhausted.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
-            circuit_rejections: c.circuit_rejections.load(Ordering::Relaxed),
-            dedup_replays: c.dedup_replays.load(Ordering::Relaxed),
-            shard_respawns: c.shard_respawns.load(Ordering::Relaxed),
-            wal_commits: c.wal_commits.load(Ordering::Relaxed),
-            wal_discarded: c.wal_discarded.load(Ordering::Relaxed),
+            calls: self.calls.get(),
+            retries: self.retries.get(),
+            exhausted: self.exhausted.get(),
+            timeouts: self.timeouts.get(),
+            circuit_rejections: self.circuit_rejections.get(),
+            dedup_replays: self.dedup_replays.get(),
+            shard_respawns: self.shard_respawns.get(),
+            wal_commits: self.wal_commits.get(),
+            wal_discarded: self.wal_discarded.get(),
         }
     }
 }

@@ -33,8 +33,9 @@
 use crate::error::MarketError;
 use crate::metrics::{FaultMetrics, Party};
 use crate::service::{MaRequest, MaResponse};
-use crate::transport::Transport;
+use crate::transport::{next_trace_id, Transport};
 use parking_lot::Mutex;
+use ppms_obs::{Counter, Gauge, Histogram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -121,21 +122,39 @@ pub struct RetryingTransport {
     metrics: FaultMetrics,
     jitter: Mutex<StdRng>,
     circuit: Mutex<Circuit>,
+    /// Individual sends, first tries included (`retry.attempts` in the
+    /// fault registry; `fault.calls` counts logical calls instead).
+    attempts: Arc<Counter>,
+    /// Nanoseconds slept in backoff, per retry (`retry.backoff_ns`).
+    backoff_ns: Arc<Histogram>,
+    /// Breaker state as a number: 0 closed, 1 open, 2 half-open
+    /// (`retry.circuit_state`).
+    circuit_state: Arc<Gauge>,
 }
 
+/// [`RetryingTransport::circuit_state`] values.
+const CIRCUIT_CLOSED: i64 = 0;
+const CIRCUIT_OPEN: i64 = 1;
+const CIRCUIT_HALF_OPEN: i64 = 2;
+
 impl RetryingTransport {
-    /// Wraps `inner`, reporting retry activity into `metrics`.
+    /// Wraps `inner`, reporting retry activity into `metrics` (and its
+    /// registry: attempt counts, backoff sleeps, breaker state).
     pub fn new(
         inner: Arc<dyn Transport>,
         policy: RetryPolicy,
         metrics: FaultMetrics,
     ) -> RetryingTransport {
+        let registry = metrics.registry().clone();
         RetryingTransport {
             inner,
             policy,
             metrics,
             jitter: Mutex::new(StdRng::seed_from_u64(policy.jitter_seed)),
             circuit: Mutex::new(Circuit::Closed { failures: 0 }),
+            attempts: registry.counter("retry.attempts"),
+            backoff_ns: registry.histogram("retry.backoff_ns"),
+            circuit_state: registry.gauge("retry.circuit_state"),
         }
     }
 
@@ -156,6 +175,7 @@ impl RetryingTransport {
                     Err(MarketError::CircuitOpen)
                 } else {
                     *circuit = Circuit::HalfOpen;
+                    self.circuit_state.set(CIRCUIT_HALF_OPEN);
                     Ok(())
                 }
             }
@@ -167,6 +187,7 @@ impl RetryingTransport {
         let mut circuit = self.circuit.lock();
         if success {
             *circuit = Circuit::Closed { failures: 0 };
+            self.circuit_state.set(CIRCUIT_CLOSED);
             return;
         }
         let failures = match *circuit {
@@ -175,10 +196,12 @@ impl RetryingTransport {
             Circuit::HalfOpen | Circuit::Open { .. } => self.policy.breaker_threshold,
         };
         *circuit = if failures >= self.policy.breaker_threshold {
+            self.circuit_state.set(CIRCUIT_OPEN);
             Circuit::Open {
                 until: Instant::now() + self.policy.breaker_cooldown,
             }
         } else {
+            self.circuit_state.set(CIRCUIT_CLOSED);
             Circuit::Closed { failures }
         };
     }
@@ -206,16 +229,30 @@ impl Transport for RetryingTransport {
         request_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        // One trace id per *logical* call, minted here so every
+        // attempt below shares it.
+        self.round_trip_traced(from, request_id, next_trace_id(), request)
+    }
+
+    fn round_trip_traced(
+        &self,
+        from: Party,
+        request_id: u64,
+        trace_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         self.metrics.call();
         self.admit()?;
         let started = Instant::now();
         let mut attempt = 1u32;
         loop {
-            // Every attempt reuses `request_id`: the service sees a
-            // retransmit, not a new request.
+            // Every attempt reuses `request_id` *and* `trace_id`: the
+            // service sees a retransmit, not a new request, and the
+            // whole logical operation stays on one trace.
+            self.attempts.inc();
             match self
                 .inner
-                .round_trip_keyed(from, request_id, request.clone())
+                .round_trip_traced(from, request_id, trace_id, request.clone())
             {
                 Ok(response) => {
                     self.settle(true);
@@ -240,6 +277,7 @@ impl Transport for RetryingTransport {
                         return Err(MarketError::Timeout);
                     }
                     self.metrics.retry();
+                    self.backoff_ns.record(delay.as_nanos() as u64);
                     std::thread::sleep(delay);
                     attempt += 1;
                 }

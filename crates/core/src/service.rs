@@ -46,7 +46,7 @@ use crate::error::MarketError;
 use crate::metrics::{FaultMetrics, Party};
 use crate::retry::{RetryPolicy, RetryingTransport};
 use crate::transport::{
-    FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport,
+    request_label, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport,
 };
 use crate::wal::{CommittedEntry, ShardWal, WalRecord};
 use crossbeam::channel::{self, Receiver, Sender};
@@ -55,8 +55,10 @@ use ppms_bigint::BigUint;
 use ppms_crypto::cl::{ClPublicKey, ClSignature};
 use ppms_crypto::pairing::TypeAPairing;
 use ppms_ecash::{DecBank, DecError, DecParams, Spend};
+use ppms_obs::{FlightRecorder, Registry, Snapshot, Timed, TimedOwned};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -206,6 +208,11 @@ pub struct RequestKey {
 pub struct Inbound {
     /// Idempotency key; `None` only for hand-built internal sends.
     pub key: Option<RequestKey>,
+    /// Trace id minted by the originating client (0 = untraced).
+    /// Unlike the idempotency key it is preserved verbatim across
+    /// retransmits, so one logical operation keeps one id through
+    /// retries and shard hops.
+    pub trace_id: u64,
     /// The request.
     pub request: MaRequest,
     /// Where the handling shard sends the response.
@@ -262,6 +269,16 @@ pub struct MaService {
     pub traffic: TrafficLog,
     /// Fault-tolerance counters (dedup replays, respawns, WAL, retry).
     pub faults: FaultMetrics,
+    /// This service's private metrics registry. Traffic counters,
+    /// fault counters, per-op latency histograms, queue-depth gauges
+    /// and WAL timings all live here, so one [`Registry::snapshot`]
+    /// captures the whole service.
+    pub obs: Registry,
+    /// One bounded flight recorder per shard — the last events each
+    /// worker saw, dumped to JSON when a worker dies.
+    recorders: Vec<Arc<FlightRecorder>>,
+    /// Crash-dump files written by dead workers, in order of death.
+    dumps: Arc<Mutex<Vec<PathBuf>>>,
     /// The DEC public parameters (clients need them to mint/spend).
     pub params: DecParams,
     /// The bank's public blind-signing key.
@@ -309,6 +326,20 @@ impl MaClient {
     ) -> Result<MaResponse, MarketError> {
         self.transport
             .round_trip_keyed(self.party, request_id, request)
+    }
+
+    /// Sends a request under explicit idempotency *and* trace ids.
+    /// Reusing both marks a retransmit that stays on the original
+    /// trace: the serving shard's flight recorder and any crash dump
+    /// show the same `trace_id` for every attempt.
+    pub fn try_call_traced(
+        &self,
+        request_id: u64,
+        trace_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        self.transport
+            .round_trip_traced(self.party, request_id, trace_id, request)
     }
 }
 
@@ -594,6 +625,16 @@ struct ShardWorker {
     shared: Arc<SharedState>,
     wal: Arc<ShardWal>,
     faults: FaultMetrics,
+    /// The service registry: per-op latency, dedup hit/miss, WAL
+    /// timings all land here.
+    obs: Registry,
+    /// This shard's bounded event ring, dumped on worker death.
+    recorder: Arc<FlightRecorder>,
+    /// Shared with the dispatcher: it adds one per enqueue, the worker
+    /// subtracts one per dequeue, so the gauge reads the queue depth.
+    queue_depth: Arc<ppms_obs::Gauge>,
+    /// Where dead workers leave their crash-dump paths.
+    dumps: Arc<Mutex<Vec<PathBuf>>>,
     dedup_capacity: usize,
     /// `(at_request, fired)` — exit when this incarnation's journal
     /// has `at_request` Begins, unless a previous incarnation already
@@ -602,14 +643,35 @@ struct ShardWorker {
 }
 
 impl ShardWorker {
+    /// Writes this shard's flight-recorder ring plus a full registry
+    /// snapshot to a JSON dump file and announces it on stderr with a
+    /// stable, greppable prefix (the CI gate and the chaos tests look
+    /// for `flight-recorder dump:`).
+    fn dump_crash(&self, reason: &str) {
+        let snapshot = self.obs.snapshot();
+        match self.recorder.dump(reason, &snapshot) {
+            Ok(path) => {
+                eprintln!("flight-recorder dump: {}", path.display());
+                self.dumps.lock().push(path);
+            }
+            Err(e) => eprintln!("flight-recorder dump failed: {e}"),
+        }
+    }
+
     fn run(self, srx: Receiver<Inbound>) {
         // Recover: rebuild private state and the idempotency cache
         // from the journal. An undecodable journal is a bug, not a
         // recoverable fault — fail loudly.
-        let replay = self
-            .wal
-            .replay()
-            .expect("shard journal must replay cleanly");
+        let wal_replay_ns = self.obs.histogram("wal.replay_ns");
+        let wal_append_ns = self.obs.histogram("wal.append_ns");
+        let dedup_hits = self.obs.counter("ma.dedup.hits");
+        let dedup_misses = self.obs.counter("ma.dedup.misses");
+        let replay = {
+            let _span = Timed::new(&wal_replay_ns);
+            self.wal
+                .replay()
+                .expect("shard journal must replay cleanly")
+        };
         self.faults.wal_discard(replay.discarded);
         let mut dedup = DedupCache::new(self.dedup_capacity);
         let mut shard = Shard {
@@ -625,30 +687,51 @@ impl ShardWorker {
             }
         }
         let mut begins = replay.committed.len() as u64 + replay.discarded;
+        self.recorder.record(0, "replay", || {
+            format!(
+                "committed={} discarded={}",
+                replay.committed.len(),
+                replay.discarded
+            )
+        });
 
         loop {
             let Ok(Inbound {
                 key,
+                trace_id,
                 request,
                 reply,
             }) = srx.recv()
             else {
                 return;
             };
+            self.queue_depth.sub(1);
+            let label = request_label(&request);
+            self.recorder
+                .record(trace_id, "recv", || format!("{label} key={key:?}"));
             // Exactly-once: a retransmit of an executed request gets
             // its original answer back, without touching any state.
             if let Some(k) = key {
                 if let Some(cached) = dedup.get(&k) {
                     self.faults.dedup_replay();
+                    dedup_hits.inc();
+                    self.recorder
+                        .record(trace_id, "dedup-replay", || format!("{label} key={k:?}"));
                     let _ = reply.send(cached.clone());
                     continue;
                 }
             }
+            dedup_misses.inc();
+            // Service latency from here: WAL Begin + execute + Commit.
+            let op_span = TimedOwned::new(self.obs.histogram(&format!("ma.op.{label}_ns")));
 
-            self.wal.append(&WalRecord::Begin {
-                key,
-                request: request.clone(),
-            });
+            {
+                let _span = Timed::new(&wal_append_ns);
+                self.wal.append(&WalRecord::Begin {
+                    key,
+                    request: request.clone(),
+                });
+            }
             begins += 1;
             if let Some((at, fired)) = &self.crash {
                 if begins >= *at && !fired.swap(true, Ordering::SeqCst) {
@@ -660,6 +743,10 @@ impl ShardWorker {
                     // guaranteed to bounce off the dead channel and
                     // reach the supervisor's respawn path instead of
                     // vanishing into a dying queue.
+                    self.recorder.record(trace_id, "crash", || {
+                        format!("injected after {label} Begin")
+                    });
+                    self.dump_crash("injected-crash");
                     drop(srx);
                     drop(reply);
                     return;
@@ -673,6 +760,9 @@ impl ShardWorker {
                 match std::panic::catch_unwind(AssertUnwindSafe(|| shard.handle(request))) {
                     Ok(response) => response,
                     Err(_) => {
+                        self.recorder
+                            .record(trace_id, "crash", || format!("panic handling {label}"));
+                        self.dump_crash("handler-panic");
                         // Same close-then-hang-up ordering as above.
                         drop(srx);
                         drop(reply);
@@ -680,14 +770,20 @@ impl ShardWorker {
                     }
                 };
 
-            self.wal.append(&WalRecord::Commit {
-                key,
-                response: response.clone(),
-            });
+            {
+                let _span = Timed::new(&wal_append_ns);
+                self.wal.append(&WalRecord::Commit {
+                    key,
+                    response: response.clone(),
+                });
+            }
             self.faults.wal_commit();
             if let Some(k) = key {
                 dedup.insert(k, response.clone());
             }
+            self.recorder
+                .record(trace_id, "commit", || label.to_string());
+            drop(op_span);
             // A vanished client is not an MA failure.
             let _ = reply.send(response);
         }
@@ -730,8 +826,14 @@ impl MaService {
         let pairing = TypeAPairing::generate(rng, pairing_bits);
         let bank = Bank::new();
         let bulletin = Bulletin::new();
-        let traffic = TrafficLog::new();
-        let faults = FaultMetrics::new();
+        // One registry for the whole service: traffic bytes, fault
+        // counters, per-op latency, queue depths and WAL timings all
+        // merge into a single snapshot. Private (not the process-wide
+        // global) so concurrent services in one test binary don't
+        // bleed counts into each other.
+        let obs = Registry::new();
+        let traffic = TrafficLog::in_registry(&obs);
+        let faults = FaultMetrics::in_registry(&obs);
 
         let shared = Arc::new(SharedState {
             bank: bank.clone(),
@@ -749,8 +851,20 @@ impl MaService {
         let dedup_capacity = config.dedup_capacity;
         let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
 
+        // One flight recorder per shard, created here (not inside the
+        // dispatcher) so the service handle keeps clones: tests can
+        // inspect the rings, and a crash dump can be located after the
+        // worker is gone.
+        let recorders: Vec<Arc<FlightRecorder>> = (0..n_shards)
+            .map(|i| Arc::new(FlightRecorder::new(format!("ma-shard{i}"), 64)))
+            .collect();
+        let dumps: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+
         let dispatcher_shared = shared.clone();
         let dispatcher_faults = faults.clone();
+        let dispatcher_obs = obs.clone();
+        let dispatcher_recorders = recorders.clone();
+        let dispatcher_dumps = dumps.clone();
         let handle = std::thread::spawn(move || {
             // One journal and one crash latch per shard; both outlive
             // any worker incarnation so a respawn resumes from them.
@@ -765,12 +879,21 @@ impl MaService {
                 })
                 .collect();
 
+            // Queue-depth gauges: the dispatcher adds one per enqueue,
+            // the worker subtracts one per dequeue.
+            let queue_gauges: Vec<_> = (0..n_shards)
+                .map(|i| dispatcher_obs.gauge(&format!("ma.shard{i}.queue_depth")))
+                .collect();
             let spawn_shard = |idx: usize| {
                 let (stx, srx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
                 let worker = ShardWorker {
                     shared: dispatcher_shared.clone(),
                     wal: wals[idx].clone(),
                     faults: dispatcher_faults.clone(),
+                    obs: dispatcher_obs.clone(),
+                    recorder: dispatcher_recorders[idx].clone(),
+                    queue_depth: queue_gauges[idx].clone(),
+                    dumps: dispatcher_dumps.clone(),
                     dedup_capacity,
                     crash: crashes[idx].clone(),
                 };
@@ -810,6 +933,10 @@ impl MaService {
                                     let _ = old.join();
                                 }
                                 dispatcher_faults.shard_respawn();
+                                // Whatever sat in the dead channel is
+                                // gone; the fresh incarnation starts
+                                // with an empty queue.
+                                queue_gauges[idx].set(0);
                                 let (stx, handle) = spawn_shard(idx);
                                 shard_txs[idx] = stx;
                                 shard_handles[idx] = Some(handle);
@@ -817,8 +944,10 @@ impl MaService {
                                     let _ = send_err.0.reply.send(MaResponse::Err(
                                         MarketError::Transport("shard worker unavailable".into()),
                                     ));
+                                    continue;
                                 }
                             }
+                            queue_gauges[idx].add(1);
                         }
                         Err(_) => break None,
                     }
@@ -845,10 +974,32 @@ impl MaService {
             bulletin,
             traffic,
             faults,
+            obs,
+            recorders,
+            dumps,
             params,
             bank_pk,
             pairing,
         }
+    }
+
+    /// One merged snapshot of everything observable about this
+    /// service: its private registry (traffic, faults, per-op latency,
+    /// queue depths, WAL timings) plus the process-global registry
+    /// (crypto and bigint spans recorded via [`ppms_obs::timed!`]).
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.obs.snapshot().merge(&ppms_obs::global().snapshot())
+    }
+
+    /// The per-shard flight recorders (shard index = vector index).
+    pub fn recorders(&self) -> &[Arc<FlightRecorder>] {
+        &self.recorders
+    }
+
+    /// Crash-dump files written by dead shard workers so far, in
+    /// order of death.
+    pub fn crash_dumps(&self) -> Vec<PathBuf> {
+        self.dumps.lock().clone()
     }
 
     /// An in-process client connection (enums over channels; no
@@ -917,6 +1068,7 @@ impl Drop for MaService {
             let (reply_tx, _reply_rx) = channel::bounded(1);
             let _ = self.tx.send(Inbound {
                 key: None,
+                trace_id: 0,
                 request: MaRequest::Shutdown,
                 reply: reply_tx,
             });

@@ -346,6 +346,10 @@ pub fn run_service_market_chaos(
     run_market(seed, shards, n_sps, w, TransportKind::Faulty(plan), crash)
 }
 
+/// What the fallible drive hands back on success:
+/// `(jo_balance, sp_balances, sp_credited, data_reports)`.
+type DriveOutput = (u64, Vec<u64>, Vec<u64>, Vec<Vec<u8>>);
+
 fn run_market(
     seed: u64,
     shards: usize,
@@ -401,145 +405,165 @@ fn run_market(
         ),
     };
 
-    // JO setup: account, CL key, job pseudonym, published job.
-    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
-    let funds = (n_sps as u64 + 1) * params.face_value();
-    let jo_account = match jo_client.try_call(MaRequest::RegisterJoAccount {
-        funds,
-        clpk: cl.public.clone(),
-    })? {
-        MaResponse::Account(a) => a,
-        other => return Err(unexpected("jo-account", &other)),
-    };
-    let job_key = rsa::keygen(&mut rng, RSA_BITS);
-    let job_id = match jo_client.try_call(MaRequest::PublishJob {
-        description: "simulated sensing job".into(),
-        payment: w,
-        pseudonym: job_key.public.to_bytes(),
-    })? {
-        MaResponse::JobId(id) => id,
-        other => return Err(unexpected("publish", &other)),
-    };
-
-    let mut sp_accounts = Vec::with_capacity(n_sps);
-    let mut sp_credited = Vec::with_capacity(n_sps);
-    for i in 0..n_sps {
-        // SP: account, one-time key, labor registration.
-        let sp_account = match sp_client.try_call(MaRequest::RegisterSpAccount)? {
+    // The fallible drive runs in a closure: if the market diverges or
+    // errors (which under chaos means the fault-tolerance machinery
+    // failed to converge), the flight recorders are dumped before the
+    // error surfaces, preserving the last events each shard saw.
+    let mut drive = || -> Result<DriveOutput, MarketError> {
+        // JO setup: account, CL key, job pseudonym, published job.
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let funds = (n_sps as u64 + 1) * params.face_value();
+        let jo_account = match jo_client.try_call(MaRequest::RegisterJoAccount {
+            funds,
+            clpk: cl.public.clone(),
+        })? {
             MaResponse::Account(a) => a,
-            other => return Err(unexpected("sp-account", &other)),
+            other => return Err(unexpected("jo-account", &other)),
         };
-        let one_time = rsa::keygen(&mut rng, RSA_BITS);
-        let sp_pubkey = one_time.public.to_bytes();
-        match sp_client.try_call(MaRequest::LaborRegister {
-            job_id,
-            sp_pubkey: sp_pubkey.clone(),
+        let job_key = rsa::keygen(&mut rng, RSA_BITS);
+        let job_id = match jo_client.try_call(MaRequest::PublishJob {
+            description: "simulated sensing job".into(),
+            payment: w,
+            pseudonym: job_key.public.to_bytes(),
         })? {
-            MaResponse::Ok => {}
-            other => return Err(unexpected("labor-register", &other)),
-        }
+            MaResponse::JobId(id) => id,
+            other => return Err(unexpected("publish", &other)),
+        };
 
-        // JO: poll labor, withdraw a fresh coin, pay this SP.
-        let keys = match jo_client.try_call(MaRequest::FetchLabor { job_id })? {
-            MaResponse::Labor(keys) => keys,
-            other => return Err(unexpected("labor-fetch", &other)),
-        };
-        let receiver = keys
-            .last()
-            .cloned()
-            .ok_or_else(|| MarketError::Transport("labor registration not visible".into()))?;
-        let mut coin = Coin::mint(&mut rng, &params);
-        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
-        let nonce = i as u64 + 1;
-        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &nonce.to_be_bytes());
-        let sig = match jo_client.try_call(MaRequest::Withdraw {
-            account: jo_account,
-            nonce,
-            auth,
-            blinded,
-        })? {
-            MaResponse::BlindSignature(sig) => sig,
-            other => return Err(unexpected("withdraw", &other)),
-        };
-        if !coin.attach_signature(&svc.bank_pk, &sig, &factor) {
-            return Err(MarketError::BadCoin("bank signature did not verify".into()));
-        }
-        let plan = plan_break(CashBreak::Pcba, w, params.levels)?;
-        let mut allocator = NodeAllocator::new(params.levels);
-        let items = build_payment_with(
-            &mut rng,
-            &params,
-            &coin,
-            &plan,
-            b"",
-            svc.bank_pk.size_bytes(),
-            &mut allocator,
-        )?;
-        let payload = encode_payment(&items);
-        let sp_pk = rsa::RsaPublicKey::from_bytes(&receiver)
-            .ok_or_else(|| MarketError::BadPayload("labor key does not parse".into()))?;
-        let ciphertext = rsa::encrypt(&mut rng, &sp_pk, &payload);
-        match jo_client.try_call(MaRequest::SubmitPayment {
-            sp_pubkey: sp_pubkey.clone(),
-            ciphertext,
-        })? {
-            MaResponse::Ok => {}
-            other => return Err(unexpected("payment-submission", &other)),
-        }
-
-        // SP: submit data (releasing the hold), fetch, verify, deposit.
-        match sp_client.try_call(MaRequest::SubmitData {
-            job_id,
-            sp_pubkey: sp_pubkey.clone(),
-            data: format!("reading from sp {i}").into_bytes(),
-        })? {
-            MaResponse::Ok => {}
-            other => return Err(unexpected("data-report", &other)),
-        }
-        let ciphertext = match sp_client.try_call(MaRequest::FetchPayment { sp_pubkey })? {
-            MaResponse::Payment(Some(ct)) => ct,
-            MaResponse::Payment(None) => {
-                return Err(MarketError::Transport(
-                    "payment still held after data".into(),
-                ))
+        let mut sp_accounts = Vec::with_capacity(n_sps);
+        let mut sp_credited = Vec::with_capacity(n_sps);
+        for i in 0..n_sps {
+            // SP: account, one-time key, labor registration.
+            let sp_account = match sp_client.try_call(MaRequest::RegisterSpAccount)? {
+                MaResponse::Account(a) => a,
+                other => return Err(unexpected("sp-account", &other)),
+            };
+            let one_time = rsa::keygen(&mut rng, RSA_BITS);
+            let sp_pubkey = one_time.public.to_bytes();
+            match sp_client.try_call(MaRequest::LaborRegister {
+                job_id,
+                sp_pubkey: sp_pubkey.clone(),
+            })? {
+                MaResponse::Ok => {}
+                other => return Err(unexpected("labor-register", &other)),
             }
-            other => return Err(unexpected("payment-fetch", &other)),
+
+            // JO: poll labor, withdraw a fresh coin, pay this SP.
+            let keys = match jo_client.try_call(MaRequest::FetchLabor { job_id })? {
+                MaResponse::Labor(keys) => keys,
+                other => return Err(unexpected("labor-fetch", &other)),
+            };
+            let receiver = keys
+                .last()
+                .cloned()
+                .ok_or_else(|| MarketError::Transport("labor registration not visible".into()))?;
+            let mut coin = Coin::mint(&mut rng, &params);
+            let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+            let nonce = i as u64 + 1;
+            let auth = cl.sign_bytes(&mut rng, &svc.pairing, &nonce.to_be_bytes());
+            let sig = match jo_client.try_call(MaRequest::Withdraw {
+                account: jo_account,
+                nonce,
+                auth,
+                blinded,
+            })? {
+                MaResponse::BlindSignature(sig) => sig,
+                other => return Err(unexpected("withdraw", &other)),
+            };
+            if !coin.attach_signature(&svc.bank_pk, &sig, &factor) {
+                return Err(MarketError::BadCoin("bank signature did not verify".into()));
+            }
+            let plan = plan_break(CashBreak::Pcba, w, params.levels)?;
+            let mut allocator = NodeAllocator::new(params.levels);
+            let items = build_payment_with(
+                &mut rng,
+                &params,
+                &coin,
+                &plan,
+                b"",
+                svc.bank_pk.size_bytes(),
+                &mut allocator,
+            )?;
+            let payload = encode_payment(&items);
+            let sp_pk = rsa::RsaPublicKey::from_bytes(&receiver)
+                .ok_or_else(|| MarketError::BadPayload("labor key does not parse".into()))?;
+            let ciphertext = rsa::encrypt(&mut rng, &sp_pk, &payload);
+            match jo_client.try_call(MaRequest::SubmitPayment {
+                sp_pubkey: sp_pubkey.clone(),
+                ciphertext,
+            })? {
+                MaResponse::Ok => {}
+                other => return Err(unexpected("payment-submission", &other)),
+            }
+
+            // SP: submit data (releasing the hold), fetch, verify, deposit.
+            match sp_client.try_call(MaRequest::SubmitData {
+                job_id,
+                sp_pubkey: sp_pubkey.clone(),
+                data: format!("reading from sp {i}").into_bytes(),
+            })? {
+                MaResponse::Ok => {}
+                other => return Err(unexpected("data-report", &other)),
+            }
+            let ciphertext = match sp_client.try_call(MaRequest::FetchPayment { sp_pubkey })? {
+                MaResponse::Payment(Some(ct)) => ct,
+                MaResponse::Payment(None) => {
+                    return Err(MarketError::Transport(
+                        "payment still held after data".into(),
+                    ))
+                }
+                other => return Err(unexpected("payment-fetch", &other)),
+            };
+            let payload = rsa::decrypt(&one_time, &ciphertext)
+                .map_err(|_| MarketError::BadPayload("payment does not decrypt".into()))?;
+            let items = decode_payment(&payload)
+                .map_err(|_| MarketError::BadPayload("payment bundle does not parse".into()))?;
+            let (spends, _) = verify_bundle_sequential(&params, &svc.bank_pk, &items, b"");
+            match sp_client.try_call(MaRequest::DepositBatch {
+                account: sp_account,
+                spends,
+            })? {
+                MaResponse::BatchDeposited { total, .. } => sp_credited.push(total),
+                other => return Err(unexpected("deposit", &other)),
+            }
+            sp_accounts.push(sp_account);
+        }
+
+        // JO: collect the data reports.
+        let data_reports = match jo_client.try_call(MaRequest::FetchData { job_id })? {
+            MaResponse::Data(reports) => reports,
+            other => return Err(unexpected("data-fetch", &other)),
         };
-        let payload = rsa::decrypt(&one_time, &ciphertext)
-            .map_err(|_| MarketError::BadPayload("payment does not decrypt".into()))?;
-        let items = decode_payment(&payload)
-            .map_err(|_| MarketError::BadPayload("payment bundle does not parse".into()))?;
-        let (spends, _) = verify_bundle_sequential(&params, &svc.bank_pk, &items, b"");
-        match sp_client.try_call(MaRequest::DepositBatch {
-            account: sp_account,
-            spends,
+
+        // Audit the ledger.
+        let jo_balance = match jo_client.try_call(MaRequest::Balance {
+            account: jo_account,
         })? {
-            MaResponse::BatchDeposited { total, .. } => sp_credited.push(total),
-            other => return Err(unexpected("deposit", &other)),
-        }
-        sp_accounts.push(sp_account);
-    }
-
-    // JO: collect the data reports.
-    let data_reports = match jo_client.try_call(MaRequest::FetchData { job_id })? {
-        MaResponse::Data(reports) => reports,
-        other => return Err(unexpected("data-fetch", &other)),
-    };
-
-    // Audit the ledger.
-    let jo_balance = match jo_client.try_call(MaRequest::Balance {
-        account: jo_account,
-    })? {
-        MaResponse::Balance(b) => b,
-        other => return Err(unexpected("balance", &other)),
-    };
-    let mut sp_balances = Vec::with_capacity(n_sps);
-    for &account in &sp_accounts {
-        match sp_client.try_call(MaRequest::Balance { account })? {
-            MaResponse::Balance(b) => sp_balances.push(b),
+            MaResponse::Balance(b) => b,
             other => return Err(unexpected("balance", &other)),
+        };
+        let mut sp_balances = Vec::with_capacity(n_sps);
+        for &account in &sp_accounts {
+            match sp_client.try_call(MaRequest::Balance { account })? {
+                MaResponse::Balance(b) => sp_balances.push(b),
+                other => return Err(unexpected("balance", &other)),
+            }
         }
-    }
+        Ok((jo_balance, sp_balances, sp_credited, data_reports))
+    };
+
+    let (jo_balance, sp_balances, sp_credited, data_reports) = match drive() {
+        Ok(parts) => parts,
+        Err(e) => {
+            let snap = svc.obs_snapshot();
+            for recorder in svc.recorders() {
+                if let Ok(path) = recorder.dump("market-divergence", &snap) {
+                    eprintln!("flight-recorder dump: {}", path.display());
+                }
+            }
+            return Err(e);
+        }
+    };
     let jobs = svc
         .bulletin
         .list()

@@ -35,6 +35,7 @@ use crate::service::{Inbound, MaRequest, MaResponse, RequestKey};
 use crate::wire::Envelope;
 use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
+use ppms_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,26 +55,10 @@ pub struct TrafficEntry {
     pub label: &'static str,
 }
 
-/// Running per-party totals, updated on every [`TrafficLog::record`]
-/// so the Table II queries never rescan the entry list.
-#[derive(Debug, Default)]
-struct Totals {
-    /// Bytes received, indexed by [`party_index`].
-    input: [usize; PARTY_COUNT],
-    /// Bytes sent, indexed by [`party_index`].
-    output: [usize; PARTY_COUNT],
-    /// Grand total on the wire.
-    total: usize,
-    /// Frames eaten by the simulated network.
-    dropped_frames: usize,
-    /// Bytes eaten by the simulated network.
-    dropped_bytes: usize,
-}
-
-/// Number of [`Party`] variants (totals array size).
+/// Number of [`Party`] variants (handle array size).
 const PARTY_COUNT: usize = 3;
 
-/// Dense index of a party in the totals arrays.
+/// Dense index of a party in the counter-handle arrays.
 fn party_index(party: Party) -> usize {
     match party {
         Party::Jo => 0,
@@ -82,17 +67,67 @@ fn party_index(party: Party) -> usize {
     }
 }
 
-/// Shared, thread-safe message log.
-#[derive(Debug, Clone, Default)]
+/// Lower-case party tag used in registry metric names.
+fn party_key(index: usize) -> &'static str {
+    ["jo", "sp", "ma"][index]
+}
+
+/// Shared, thread-safe message log — a thin view over a
+/// [`ppms_obs::Registry`]: the byte totals live in registry counters
+/// (`traffic.in.<party>`, `traffic.out.<party>`, `traffic.total`,
+/// `traffic.dropped.*`), so one [`Registry::snapshot`] carries the
+/// whole Table II alongside every other metric. Only the per-message
+/// entry list (labels, for the privacy tests and the detailed report)
+/// is kept here.
+#[derive(Debug, Clone)]
 pub struct TrafficLog {
     entries: Arc<Mutex<Vec<TrafficEntry>>>,
-    totals: Arc<Mutex<Totals>>,
+    registry: Registry,
+    input: [Arc<Counter>; PARTY_COUNT],
+    output: [Arc<Counter>; PARTY_COUNT],
+    total: Arc<Counter>,
+    frames: Arc<Counter>,
+    dropped_frames: Arc<Counter>,
+    dropped_bytes: Arc<Counter>,
+}
+
+impl Default for TrafficLog {
+    fn default() -> TrafficLog {
+        TrafficLog::in_registry(&Registry::new())
+    }
 }
 
 impl TrafficLog {
-    /// Fresh empty log.
+    /// Fresh empty log over its own private registry (one log per
+    /// market run; a process-global registry would bleed bytes across
+    /// concurrent markets).
     pub fn new() -> TrafficLog {
         TrafficLog::default()
+    }
+
+    /// A log whose totals are counters in `registry` — how the
+    /// service exports traffic through the same snapshot as its
+    /// latency and fault metrics.
+    pub fn in_registry(registry: &Registry) -> TrafficLog {
+        TrafficLog {
+            entries: Arc::new(Mutex::new(Vec::new())),
+            registry: registry.clone(),
+            input: std::array::from_fn(|i| {
+                registry.counter(&format!("traffic.in.{}", party_key(i)))
+            }),
+            output: std::array::from_fn(|i| {
+                registry.counter(&format!("traffic.out.{}", party_key(i)))
+            }),
+            total: registry.counter("traffic.total"),
+            frames: registry.counter("traffic.frames"),
+            dropped_frames: registry.counter("traffic.dropped.frames"),
+            dropped_bytes: registry.counter("traffic.dropped.bytes"),
+        }
+    }
+
+    /// The registry holding this log's totals.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Records one delivered message, maintaining the running totals.
@@ -103,44 +138,43 @@ impl TrafficLog {
             bytes,
             label,
         });
-        let mut totals = self.totals.lock();
-        totals.output[party_index(from)] += bytes;
-        totals.input[party_index(to)] += bytes;
-        totals.total += bytes;
+        self.output[party_index(from)].add(bytes as u64);
+        self.input[party_index(to)].add(bytes as u64);
+        self.total.add(bytes as u64);
+        self.frames.inc();
     }
 
     /// Records a frame the network ate. Lost frames never reached a
     /// receiver, so they stay out of the per-party Table II columns
     /// and are tallied on their own.
     pub fn record_dropped(&self, bytes: usize) {
-        let mut totals = self.totals.lock();
-        totals.dropped_frames += 1;
-        totals.dropped_bytes += bytes;
+        self.dropped_frames.inc();
+        self.dropped_bytes.add(bytes as u64);
     }
 
-    /// Bytes received by `party` (O(1) — running total).
+    /// Bytes received by `party` (O(1) — a counter read).
     pub fn input_bytes(&self, party: Party) -> usize {
-        self.totals.lock().input[party_index(party)]
+        self.input[party_index(party)].get() as usize
     }
 
-    /// Bytes sent by `party` (O(1) — running total).
+    /// Bytes sent by `party` (O(1) — a counter read).
     pub fn output_bytes(&self, party: Party) -> usize {
-        self.totals.lock().output[party_index(party)]
+        self.output[party_index(party)].get() as usize
     }
 
-    /// Total bytes on the wire (O(1) — running total).
+    /// Total bytes on the wire (O(1) — a counter read).
     pub fn total_bytes(&self) -> usize {
-        self.totals.lock().total
+        self.total.get() as usize
     }
 
     /// Bytes lost to simulated drops/corruption.
     pub fn dropped_bytes(&self) -> usize {
-        self.totals.lock().dropped_bytes
+        self.dropped_bytes.get() as usize
     }
 
     /// Frames lost to simulated drops/corruption.
     pub fn dropped_frames(&self) -> usize {
-        self.totals.lock().dropped_frames
+        self.dropped_frames.get() as usize
     }
 
     /// Total in kilobytes (the unit of Table II's last column).
@@ -180,6 +214,18 @@ pub fn next_request_id() -> u64 {
     NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Process-wide trace-id source. A trace id is minted once at the
+/// originating client and then preserved verbatim across retransmits,
+/// shard hops and the response leg, so every event a logical request
+/// causes carries the same id. 0 is reserved for "no trace context"
+/// (v2 wire frames).
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh trace id (never 0).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A synchronous request/response channel to the MA service.
 ///
 /// `round_trip` blocks until the MA answers (or the transport fails);
@@ -202,9 +248,27 @@ pub trait Transport: Send + Sync {
         request: MaRequest,
     ) -> Result<MaResponse, MarketError>;
 
-    /// Sends `request` as a fresh (never-retried) logical request.
+    /// Like [`Transport::round_trip_keyed`], additionally carrying an
+    /// explicit trace context (see [`next_trace_id`]). The default
+    /// implementation drops the trace id — correct for transports
+    /// that predate trace propagation; the real backends override it
+    /// to put the id on the wire (and a retry layer passes one id to
+    /// every attempt).
+    fn round_trip_traced(
+        &self,
+        from: Party,
+        request_id: u64,
+        trace_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        let _ = trace_id;
+        self.round_trip_keyed(from, request_id, request)
+    }
+
+    /// Sends `request` as a fresh (never-retried) logical request
+    /// under a freshly minted trace id.
     fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
-        self.round_trip_keyed(from, next_request_id(), request)
+        self.round_trip_traced(from, next_request_id(), next_trace_id(), request)
     }
 }
 
@@ -267,6 +331,16 @@ impl Transport for InProcTransport {
         request_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        self.round_trip_traced(from, request_id, next_trace_id(), request)
+    }
+
+    fn round_trip_traced(
+        &self,
+        from: Party,
+        request_id: u64,
+        trace_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
             .send(Inbound {
@@ -274,6 +348,7 @@ impl Transport for InProcTransport {
                     party: from,
                     request_id,
                 }),
+                trace_id,
                 request,
                 reply: reply_tx,
             })
@@ -459,6 +534,10 @@ impl SimNetTransport {
                     party: envelope.party,
                     request_id: envelope.msg_id,
                 }),
+                // The decoded frame's trace context rides to the shard
+                // untouched — a retransmitted or replayed frame carries
+                // the id its original client minted.
+                trace_id: envelope.trace_id,
                 request: envelope.payload,
                 reply: reply_tx,
             })
@@ -495,13 +574,25 @@ impl Transport for SimNetTransport {
         request_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        self.round_trip_traced(from, request_id, next_trace_id(), request)
+    }
+
+    fn round_trip_traced(
+        &self,
+        from: Party,
+        request_id: u64,
+        trace_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         // Client side: frame the request under its idempotency key —
         // a retransmit re-frames the same id, so the MA can tell
-        // "same request again" from "new request".
+        // "same request again" from "new request". The trace id rides
+        // in the same header, identical across every retransmit.
         let label = request_label(&request);
         let frame = Envelope {
             msg_id: request_id,
             correlation_id: 0,
+            trace_id,
             party: from,
             payload: request,
         }
@@ -540,10 +631,13 @@ impl Transport for SimNetTransport {
         }
         self.remember(frame);
 
-        // MA side: frame and "send" the response.
+        // MA side: frame and "send" the response. The response leg
+        // carries the request's trace context back, so a client can
+        // correlate the answer with the events its request caused.
         let rframe = Envelope {
             msg_id: self.next_id.fetch_add(1, Ordering::Relaxed),
             correlation_id: request_id,
+            trace_id,
             party: Party::Ma,
             payload: &response,
         }
@@ -564,7 +658,12 @@ impl Transport for SimNetTransport {
         self.traffic.record(Party::Ma, from, rlabel, rframe.len());
 
         // Client side: decode the response frame.
-        Ok(Envelope::<MaResponse>::from_bytes(&rframe)?.payload)
+        let renv = Envelope::<MaResponse>::from_bytes(&rframe)?;
+        debug_assert_eq!(
+            renv.trace_id, trace_id,
+            "response must carry the request's trace context back"
+        );
+        Ok(renv.payload)
     }
 }
 

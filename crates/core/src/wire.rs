@@ -10,8 +10,12 @@
 //!
 //! ```text
 //! [version: u16 BE][body_len: u32 BE]
-//!     [msg_id: u64][correlation_id: u64][party: u8][payload ...]
+//!     [msg_id: u64][correlation_id: u64][trace_id: u64][party: u8]
+//!     [payload ...]
 //! ```
+//!
+//! (v2 frames — the previous version, still decodable — omit the
+//! `trace_id` field; they decode with `trace_id = 0`.)
 //!
 //! so the transport layer ([`crate::transport::SimNetTransport`]) can
 //! ship actual bytes and the traffic log can account actual sizes.
@@ -39,12 +43,18 @@ use ppms_ecash::{DecError, Spend};
 /// FNV-1a integrity trailer (see [`FRAME_TRAILER_LEN`]) so a frame
 /// corrupted in flight is rejected instead of silently mis-decoding
 /// into a different request — which would defeat the service's
-/// idempotent request keys.
-pub const WIRE_VERSION: u16 = 2;
+/// idempotent request keys. Version 3 added the `trace_id` header
+/// field (trace-context propagation); version-2 frames still decode,
+/// with `trace_id = 0` ("no trace context").
+pub const WIRE_VERSION: u16 = 3;
+
+/// The previous protocol version, still accepted on decode so peers
+/// mid-upgrade interoperate. Its frames carry no `trace_id` field.
+pub const WIRE_VERSION_V2: u16 = 2;
 
 /// Fixed per-frame overhead: version + body length + msg id +
-/// correlation id + party tag.
-pub const FRAME_HEADER_LEN: usize = 2 + 4 + 8 + 8 + 1;
+/// correlation id + trace id + party tag.
+pub const FRAME_HEADER_LEN: usize = 2 + 4 + 8 + 8 + 8 + 1;
 
 /// Integrity trailer: FNV-1a-64 over the frame body, appended after
 /// the payload. Not cryptographic — transport integrity against bit
@@ -905,6 +915,11 @@ pub struct Envelope<T> {
     /// For responses: the `msg_id` of the request being answered
     /// (0 for unsolicited messages).
     pub correlation_id: u64,
+    /// Trace context: minted once at the originating client and
+    /// preserved verbatim across retransmits, shard hops and the
+    /// response leg, so one market interaction is one correlated
+    /// event stream. 0 means "no trace context" (v2 frames).
+    pub trace_id: u64,
     /// The originating party.
     pub party: Party,
     /// The payload.
@@ -912,32 +927,46 @@ pub struct Envelope<T> {
 }
 
 impl<T: WireEncode> Envelope<T> {
-    /// Encodes the full frame (header + payload).
+    /// Encodes the full frame (header + payload) at [`WIRE_VERSION`].
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_versioned(WIRE_VERSION)
+            .expect("current version always encodes")
+    }
+
+    /// Encodes the frame at an explicit protocol version — the
+    /// downgrade path for talking to (and testing against) v2 peers,
+    /// whose frames carry no `trace_id` field.
+    pub fn to_bytes_versioned(&self, version: u16) -> Result<Vec<u8>, WireError> {
         let mut body = WireWriter::new();
         body.u64(self.msg_id);
         body.u64(self.correlation_id);
+        match version {
+            WIRE_VERSION => body.u64(self.trace_id),
+            WIRE_VERSION_V2 => {}
+            v => return Err(WireError::BadVersion(v)),
+        }
         self.party.encode(&mut body);
         self.payload.encode(&mut body);
         let body = body.finish();
 
         let mut w = WireWriter::new();
-        w.u16(WIRE_VERSION);
+        w.u16(version);
         w.u32(body.len() as u32);
         let mut out = w.finish();
         out.extend_from_slice(&body);
         out.extend_from_slice(&fnv1a(&body).to_be_bytes());
-        out
+        Ok(out)
     }
 }
 
 impl<T: WireDecode> Envelope<T> {
-    /// Decodes a frame, rejecting bad versions, truncation and
-    /// trailing bytes.
+    /// Decodes a frame, rejecting foreign versions, truncation and
+    /// trailing bytes. Accepts the current version and
+    /// [`WIRE_VERSION_V2`] (whose frames decode with `trace_id = 0`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Envelope<T>, WireError> {
         let mut r = WireReader::new(bytes);
         let version = r.u16()?;
-        if version != WIRE_VERSION {
+        if version != WIRE_VERSION && version != WIRE_VERSION_V2 {
             return Err(WireError::BadVersion(version));
         }
         let body_len = r.u32()? as usize;
@@ -958,6 +987,7 @@ impl<T: WireDecode> Envelope<T> {
         let env = Envelope {
             msg_id: r.u64()?,
             correlation_id: r.u64()?,
+            trace_id: if version == WIRE_VERSION { r.u64()? } else { 0 },
             party: Party::decode(&mut r)?,
             payload: T::decode(&mut r)?,
         };
@@ -973,6 +1003,7 @@ pub fn framed_len<T: WireEncode>(party: Party, payload: &T) -> usize {
     Envelope {
         msg_id: 0,
         correlation_id: 0,
+        trace_id: 0,
         party,
         payload,
     }
@@ -994,6 +1025,7 @@ mod tests {
         let env = Envelope {
             msg_id: 7,
             correlation_id: 0,
+            trace_id: 0,
             party: Party::Jo,
             payload: req,
         };
@@ -1006,6 +1038,7 @@ mod tests {
         let bytes2 = Envelope {
             msg_id: 7,
             correlation_id: 0,
+            trace_id: 0,
             party: back.party,
             payload: &back.payload,
         }
@@ -1062,6 +1095,7 @@ mod tests {
         let env = Envelope {
             msg_id: 1,
             correlation_id: 0,
+            trace_id: 0,
             party: Party::Sp,
             payload: MaRequest::RegisterSpAccount,
         };
@@ -1078,6 +1112,7 @@ mod tests {
         let env = Envelope {
             msg_id: 1,
             correlation_id: 2,
+            trace_id: 0,
             party: Party::Ma,
             payload: MaResponse::Balance(5),
         };
@@ -1101,6 +1136,7 @@ mod tests {
         let env = Envelope {
             msg_id: 0,
             correlation_id: 0,
+            trace_id: 0,
             party: Party::Ma,
             payload: MaResponse::Ok,
         };
@@ -1116,6 +1152,7 @@ mod tests {
         let env = Envelope {
             msg_id: 3,
             correlation_id: 0,
+            trace_id: 9,
             party: Party::Sp,
             payload: MaRequest::FetchLabor { job_id: 42 },
         };

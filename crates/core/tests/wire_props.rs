@@ -204,9 +204,11 @@ fn assert_envelope_roundtrip<T: WireEncode + WireDecode>(
     from: Party,
     payload: T,
 ) -> Result<(), TestCaseError> {
+    let trace_id = msg_id.wrapping_mul(0x9E37_79B9) | 1;
     let bytes = Envelope {
         msg_id,
         correlation_id,
+        trace_id,
         party: from,
         payload,
     }
@@ -214,10 +216,12 @@ fn assert_envelope_roundtrip<T: WireEncode + WireDecode>(
     let back: Envelope<T> = Envelope::from_bytes(&bytes).expect("well-formed frame must decode");
     prop_assert_eq!(back.msg_id, msg_id);
     prop_assert_eq!(back.correlation_id, correlation_id);
+    prop_assert_eq!(back.trace_id, trace_id);
     prop_assert_eq!(back.party, from);
     let re = Envelope {
         msg_id,
         correlation_id,
+        trace_id,
         party: back.party,
         payload: back.payload,
     }
@@ -283,6 +287,7 @@ proptest! {
         let actual = Envelope {
             msg_id: ids,
             correlation_id: !ids,
+            trace_id: ids.rotate_left(17),
             party: party(p),
             payload: req,
         }
@@ -300,7 +305,7 @@ proptest! {
         cut_frac in 0.0f64..1.0,
     ) {
         let req = build_request(variant, a, b, &blob, "payload");
-        let bytes = Envelope { msg_id: 1, correlation_id: 0, party: Party::Jo, payload: req }.to_bytes();
+        let bytes = Envelope { msg_id: 1, correlation_id: 0, trace_id: a, party: Party::Jo, payload: req }.to_bytes();
         let cut = ((bytes.len() as f64) * cut_frac) as usize; // < len
         prop_assert!(Envelope::<MaRequest>::from_bytes(&bytes[..cut]).is_err());
         // Trailing garbage is rejected too.
@@ -318,18 +323,56 @@ proptest! {
         variant in 0u64..11,
         a in any::<u64>(),
     ) {
-        let version = if version == ppms_core::wire::WIRE_VERSION {
-            version.wrapping_add(1)
+        // Both the current version and the still-decodable v2 are
+        // legitimate; everything else must be rejected.
+        let version = if version == ppms_core::wire::WIRE_VERSION
+            || version == ppms_core::wire::WIRE_VERSION_V2
+        {
+            ppms_core::wire::WIRE_VERSION + 1
         } else {
             version
         };
         let resp = build_response(variant, a, a, &[7, 7], "x");
-        let mut bytes = Envelope { msg_id: 2, correlation_id: 1, party: Party::Ma, payload: resp }.to_bytes();
+        let mut bytes = Envelope { msg_id: 2, correlation_id: 1, trace_id: a, party: Party::Ma, payload: resp }.to_bytes();
         bytes[0..2].copy_from_slice(&version.to_be_bytes());
         prop_assert!(matches!(
             Envelope::<MaResponse>::from_bytes(&bytes),
             Err(WireError::BadVersion(v)) if v == version
         ));
+    }
+
+    #[test]
+    fn v2_frames_decode_without_trace(
+        variant in 0u64..11,
+        a in any::<u64>(),
+        ids in any::<u64>(),
+    ) {
+        // A pre-trace (v2) frame still decodes; its trace id reads as
+        // 0 (untraced) and re-encoding as v2 reproduces the bytes.
+        let resp = build_response(variant, a, a, &[3, 1], "y");
+        let v2 = Envelope {
+            msg_id: ids,
+            correlation_id: ids ^ 1,
+            trace_id: 0,
+            party: Party::Ma,
+            payload: resp,
+        }
+        .to_bytes_versioned(ppms_core::wire::WIRE_VERSION_V2)
+        .expect("v2 must encode");
+        let back: Envelope<MaResponse> =
+            Envelope::from_bytes(&v2).expect("v2 frame must decode");
+        prop_assert_eq!(back.msg_id, ids);
+        prop_assert_eq!(back.trace_id, 0);
+        let re = back
+            .to_bytes_versioned(ppms_core::wire::WIRE_VERSION_V2)
+            .expect("v2 must re-encode");
+        prop_assert_eq!(re, v2);
+        // The v3 encoding of the same envelope is exactly 8 bytes
+        // (the trace id) longer.
+        prop_assert_eq!(v2.len() + 8, {
+            let back2: Envelope<MaResponse> = Envelope::from_bytes(&v2).unwrap();
+            back2.to_bytes().len()
+        });
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub fn blind<R: Rng + ?Sized>(
 /// Signer's operation on a blinded value. The signer learns nothing
 /// about the underlying message.
 pub fn sign_blinded(sk: &RsaPrivateKey, blinded: &BigUint) -> BigUint {
+    let _span = ppms_obs::timed!("rsa.blind_sign_ns");
     sk.crt().pow_secret(blinded)
 }
 

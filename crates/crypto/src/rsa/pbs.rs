@@ -98,6 +98,7 @@ pub fn pbs_blind<R: Rng + ?Sized>(
 /// exponent goes through the key's CRT context (reduced per prime
 /// factor), the same fast path as ordinary secret-key operations.
 pub fn pbs_sign(sk: &RsaPrivateKey, info: &[u8], alpha: &BigUint) -> Result<BigUint, PbsError> {
+    let _span = ppms_obs::timed!("rsa.pbs_sign_ns");
     let e_info = full_exponent(&sk.public, info);
     let d_info = e_info.modinv(&sk.phi).ok_or(PbsError::BadInfo)?;
     Ok(sk.crt().pow(alpha, &d_info))
@@ -111,6 +112,7 @@ pub fn pbs_unblind(pk: &RsaPublicKey, beta: &BigUint, blinding: &PbsBlinding) ->
 
 /// Public verification: `σ^{e·F(info)} == H(m) mod n`.
 pub fn pbs_verify(pk: &RsaPublicKey, info: &[u8], msg: &[u8], sig: &BigUint) -> bool {
+    let _span = ppms_obs::timed!("rsa.pbs_verify_ns");
     if sig >= &pk.n || sig.is_zero() {
         return false;
     }

@@ -35,6 +35,7 @@ impl SchnorrProof {
         domain: &str,
         extra: &[u8],
     ) -> SchnorrProof {
+        let _span = ppms_obs::timed!("zkp.prove_ns");
         debug_assert_eq!(&group.exp(g, x), y, "witness does not match statement");
         let k = group.random_exponent(rng);
         let t = group.exp(g, &k);
@@ -56,6 +57,7 @@ impl SchnorrProof {
         domain: &str,
         extra: &[u8],
     ) -> bool {
+        let _span = ppms_obs::timed!("zkp.verify_ns");
         if !group.contains(&self.t) || !group.contains(y) {
             return false;
         }

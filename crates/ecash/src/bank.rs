@@ -66,6 +66,7 @@ impl DecBank {
     /// Convenience: runs the whole withdrawal against this bank and
     /// returns a signed coin.
     pub fn withdraw_coin<R: Rng + ?Sized>(&self, rng: &mut R) -> Coin {
+        let _span = ppms_obs::timed!("ecash.withdraw_ns");
         let mut coin = Coin::mint(rng, &self.params);
         let (blinded, factor) = coin.blind_token(rng, self.public_key());
         let sig = self.sign_blinded(&blinded);
@@ -77,6 +78,7 @@ impl DecBank {
     /// Deposits a spend: verifies it, runs double-spend detection, and
     /// returns the credited value.
     pub fn deposit(&mut self, spend: &Spend, binding: &[u8]) -> Result<u64, DecError> {
+        let _span = ppms_obs::timed!("ecash.deposit_ns");
         let value = spend.verify(&self.params, self.public_key(), binding)?;
         self.record_deposit(spend, value)
     }

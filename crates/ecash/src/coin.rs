@@ -123,6 +123,7 @@ impl Coin {
         path: &NodePath,
         binding: &[u8],
     ) -> Spend {
+        let _span = ppms_obs::timed!("ecash.spend_ns");
         let depth = path.depth();
         assert!(
             depth >= 1 && depth <= params.levels,

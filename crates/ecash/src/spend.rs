@@ -190,6 +190,7 @@ impl Spend {
         bank_pk: &RsaPublicKey,
         binding: &[u8],
     ) -> Result<u64, DecError> {
+        let _span = ppms_obs::timed!("ecash.spend_verify_ns");
         let depth = self.depth();
         if depth == 0 || depth > params.levels {
             return Err(DecError::BadDepth);

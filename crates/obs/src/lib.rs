@@ -1,0 +1,527 @@
+//! `ppms-obs` — the observability substrate under the whole market
+//! stack (bigint → crypto → ecash → core → bench all sit above it).
+//!
+//! Three pieces:
+//!
+//! * a **metrics registry** ([`Registry`]) of named atomic
+//!   [`Counter`]s, [`Gauge`]s and log₂-bucketed [`Histogram`]s.
+//!   Handles are `Arc`s resolved once; updates are relaxed atomics —
+//!   cheap enough for the modular-exponentiation hot path. Every
+//!   registry exports one mergeable [`Snapshot`], so per-shard
+//!   registries aggregate the same way single registries read.
+//! * **span-style timing** via the [`Timed`] RAII guard over a
+//!   monotonic clock, plus the [`timed!`] / [`count!`] macros that
+//!   cache a global-registry handle per call site.
+//! * a **flight recorder** ([`FlightRecorder`]) — a bounded ring of
+//!   recent structured events per shard, dumped with the metrics
+//!   snapshot to a JSON artifact when a worker panics or the chaos
+//!   harness detects divergence.
+//!
+//! # The `no-op` feature and the runtime switch
+//!
+//! With the `no-op` cargo feature, the *timing* surface — clock reads
+//! in [`Timed`], histogram recording, flight-recorder events —
+//! compiles to inert stubs, so the paper-figure benches run
+//! uncontaminated. Counters and gauges stay real in both
+//! configurations: Table I / Table II correctness depends on them,
+//! and a relaxed `fetch_add` costs a few nanoseconds.
+//!
+//! Orthogonally, [`set_enabled`]`(false)` turns timing off at runtime
+//! (one relaxed bool load per span). The `obs_overhead` bench uses it
+//! to measure instrumented-vs-dark inside one binary.
+
+#![forbid(unsafe_code)]
+
+mod hist;
+mod json;
+mod recorder;
+
+pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
+pub use json::escape;
+pub use recorder::{Event, FlightRecorder};
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Scalar instruments
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Fresh zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins signed gauge (queue depths, circuit-breaker
+/// states, ...).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Fresh zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A named-instrument registry. Cloning shares the instruments
+/// (mirroring the market's other shared handles); registration takes
+/// a write lock once per name, after which updates go through the
+/// returned `Arc` without touching the registry at all.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        if let Some(found) = map.read().get(name) {
+            return Arc::clone(found);
+        }
+        Arc::clone(
+            map.write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(T::default())),
+        )
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.inner.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.inner.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_insert(&self.inner.histograms, name)
+    }
+
+    /// Point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .inner
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`] — the single export
+/// type every telemetry consumer reads (the report binary, benches,
+/// crash dumps).
+/// Merging is associative and commutative; gauges merge by sum (the
+/// shards' queue depths add).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl Snapshot {
+    /// A counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's snapshot, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of two snapshots — how shard-local registries aggregate.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *out.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            let merged = match out.histograms.get(k) {
+                Some(mine) => mine.merge(v),
+                None => v.clone(),
+            };
+            out.histograms.insert(k.clone(), merged);
+        }
+        out
+    }
+
+    /// Hand-rolled JSON (the workspace's serde_json is a build stub).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape(k), v.to_json()))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global registry + runtime switch
+// ---------------------------------------------------------------------------
+
+/// The process-wide registry. Library layers with no registry to
+/// thread (bigint, crypto, ecash) record here; the service keeps its
+/// own per-instance [`Registry`] and merges both into one snapshot.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Runtime switch for the timing surface (spans and the [`timed!`]
+/// paths). On by default; compiled permanently off under `no-op`.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns span timing on or off at runtime. A no-op under the `no-op`
+/// feature (timing is compiled out there).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span timing is live (always `false` under `no-op`).
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "no-op")]
+    {
+        false
+    }
+    #[cfg(not(feature = "no-op"))]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span timing
+// ---------------------------------------------------------------------------
+
+/// RAII span guard: measures the nanoseconds between construction and
+/// drop on the monotonic clock and records them into a histogram.
+/// Under `no-op` (or with [`set_enabled`]`(false)`) construction reads
+/// no clock and drop records nothing.
+#[derive(Debug)]
+pub struct Timed<'a> {
+    #[cfg(not(feature = "no-op"))]
+    live: Option<(&'a Histogram, std::time::Instant)>,
+    #[cfg(feature = "no-op")]
+    _marker: std::marker::PhantomData<&'a Histogram>,
+}
+
+impl<'a> Timed<'a> {
+    /// Starts a span recording into `hist` on drop.
+    #[inline]
+    pub fn new(hist: &'a Histogram) -> Timed<'a> {
+        #[cfg(not(feature = "no-op"))]
+        {
+            Timed {
+                live: enabled().then(|| (hist, std::time::Instant::now())),
+            }
+        }
+        #[cfg(feature = "no-op")]
+        {
+            let _ = hist;
+            Timed {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+impl Drop for Timed<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(not(feature = "no-op"))]
+        if let Some((hist, start)) = self.live.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Owned sibling of [`Timed`]: keeps its histogram handle alive by
+/// `Arc`, for spans whose handle is looked up on the fly (per-op
+/// histograms named at runtime) rather than borrowed from a cache.
+#[derive(Debug)]
+pub struct TimedOwned {
+    #[cfg(not(feature = "no-op"))]
+    live: Option<(Arc<Histogram>, std::time::Instant)>,
+    #[cfg(feature = "no-op")]
+    _marker: std::marker::PhantomData<()>,
+}
+
+impl TimedOwned {
+    /// Starts a span recording into `hist` on drop.
+    #[inline]
+    pub fn new(hist: Arc<Histogram>) -> TimedOwned {
+        #[cfg(not(feature = "no-op"))]
+        {
+            TimedOwned {
+                live: enabled().then(|| (hist, std::time::Instant::now())),
+            }
+        }
+        #[cfg(feature = "no-op")]
+        {
+            let _ = hist;
+            TimedOwned {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+impl Drop for TimedOwned {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(not(feature = "no-op"))]
+        if let Some((hist, start)) = self.live.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Starts a [`Timed`] span against a global-registry histogram,
+/// resolving (and caching) the handle once per call site:
+///
+/// ```
+/// fn hot_path() {
+///     let _span = ppms_obs::timed!("ring.pow");
+///     // ... work measured in nanoseconds into "ring.pow" ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! timed {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        $crate::Timed::new(HANDLE.get_or_init(|| $crate::global().histogram($name)))
+    }};
+}
+
+/// Bumps a global-registry counter, resolving (and caching) the
+/// handle once per call site. Counters stay live under `no-op`.
+#[macro_export]
+macro_rules! count {
+    ($name:expr) => {
+        $crate::count!($name, 1)
+    };
+    ($name:expr, $n:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::global().counter($name))
+            .add($n)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_always_count() {
+        // Live in both feature configurations by design.
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("g");
+        g.set(7);
+        g.sub(9);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), 5);
+        assert_eq!(s.gauge("g"), -2);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn handles_share_one_instrument() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        let r2 = r.clone();
+        r2.counter("x").inc();
+        assert_eq!(r.snapshot().counter("x"), 2);
+    }
+
+    #[cfg(not(feature = "no-op"))]
+    #[test]
+    fn spans_follow_runtime_switch() {
+        // One test owns the global ENABLED toggle (parallel tests
+        // would race on it otherwise).
+        let r = Registry::new();
+        let h = r.histogram("span");
+        {
+            let _t = Timed::new(&h);
+            std::hint::black_box(());
+        }
+        assert_eq!(h.snapshot().count, 1, "enabled span records");
+        set_enabled(false);
+        {
+            let _t = Timed::new(&h);
+        }
+        set_enabled(true);
+        assert_eq!(h.snapshot().count, 1, "dark span records nothing");
+    }
+
+    #[cfg(feature = "no-op")]
+    #[test]
+    fn noop_build_records_nothing_timed() {
+        let r = Registry::new();
+        let h = r.histogram("span");
+        {
+            let _t = Timed::new(&h);
+        }
+        h.record(42);
+        assert!(!enabled());
+        assert_eq!(h.snapshot().count, 0);
+        // Counters still count (Table I/II correctness).
+        r.counter("c").inc();
+        assert_eq!(r.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Registry::new();
+        r.counter("a").add(3);
+        r.gauge("g").set(-1);
+        r.histogram("h").record(5);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"a\":3"));
+        assert!(json.contains("\"g\":-1"));
+        #[cfg(not(feature = "no-op"))]
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let a = Registry::new();
+        a.counter("c").add(2);
+        a.gauge("g").set(3);
+        a.histogram("h").record(10);
+        let b = Registry::new();
+        b.counter("c").add(5);
+        b.counter("only-b").inc();
+        b.gauge("g").set(4);
+        b.histogram("h").record(1 << 30);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counter("c"), 7);
+        assert_eq!(m.counter("only-b"), 1);
+        assert_eq!(m.gauge("g"), 7);
+        #[cfg(not(feature = "no-op"))]
+        {
+            let h = m.histogram("h").expect("merged");
+            assert_eq!(h.count, 2);
+            assert_eq!(h.max, 1 << 30);
+        }
+    }
+}

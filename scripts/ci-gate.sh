@@ -14,12 +14,34 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> wire protocol property tests"
+echo "==> no-op observability config still compiles"
+# The virtual workspace root forbids --features; gate each crate that
+# forwards the flag so a cfg-gated stub can never rot unbuilt.
+for crate in ppms-obs ppms-bigint ppms-crypto ppms-ecash ppms-core ppms-bench; do
+    cargo build -p "$crate" --features no-op --quiet
+done
+cargo test -p ppms-obs --features no-op -q
+
+echo "==> observability layer (registry, histograms, merge laws)"
+cargo test -p ppms-obs -q
+
+echo "==> wire protocol property tests (v3 + legacy v2 frames)"
 cargo test -p ppms-core --test wire_props -q
 
 echo "==> chaos harness (fault injection + shard-crash supervision)"
 cargo test -p ppms-integration --test chaos -q
 cargo test -p ppms-core --lib -q service::tests::crashed_shard_is_respawned_and_retry_succeeds
+
+echo "==> trace context + flight recorder (crash dump carries the trace)"
+trace_out=$(cargo test -p ppms-integration --test trace_context -- --nocapture 2>&1) || {
+    echo "$trace_out"
+    exit 1
+}
+echo "$trace_out" | grep -q "flight-recorder dump:" || {
+    echo "trace_context never produced a flight-recorder dump line:"
+    echo "$trace_out"
+    exit 1
+}
 
 echo "==> cargo test"
 cargo test --workspace -q

@@ -1,0 +1,141 @@
+//! Trace-context propagation end-to-end: a trace id minted at the
+//! client rides the wire envelope, survives retransmission (same id on
+//! every attempt of one logical request), reaches the serving shard's
+//! flight recorder, and — when a shard worker dies — appears in the
+//! crash-dump JSON, tying the dump to the request that was in flight.
+
+use ppms_core::service::{MaRequest, MaResponse, MaService, ServiceConfig};
+use ppms_core::{next_request_id, CrashPoint, FaultPlan, Party, RetryPolicy, SimNetConfig};
+use ppms_ecash::DecParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn crash_dump_carries_the_crashing_requests_trace_id() {
+    let mut rng = StdRng::seed_from_u64(0x7A3E);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            crash: Some(CrashPoint {
+                shard: 0,
+                at_request: 2,
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    let MaResponse::JobId(job) = client.call(MaRequest::PublishJob {
+        description: "j".into(),
+        payment: 1,
+        pseudonym: vec![1],
+    }) else {
+        panic!("publish");
+    };
+
+    // Request #2 hits the injected crash point under a caller-chosen
+    // trace id; the retry reuses both the idempotency key *and* the
+    // trace, so the whole logical operation is one trace.
+    const TRACE: u64 = 0xFEED_F00D_0000_0042;
+    let id = next_request_id();
+    let req = MaRequest::LaborRegister {
+        job_id: job,
+        sp_pubkey: vec![9],
+    };
+    assert!(
+        client.try_call_traced(id, TRACE, req.clone()).is_err(),
+        "crash must surface as a transport error"
+    );
+    let retry = client
+        .try_call_traced(id, TRACE, req)
+        .expect("retry after respawn");
+    assert!(matches!(retry, MaResponse::Ok), "{retry:?}");
+
+    // The dump written by the dying worker names the crashing trace.
+    let dumps = svc.crash_dumps();
+    assert_eq!(dumps.len(), 1, "exactly one worker died");
+    let body = std::fs::read_to_string(&dumps[0]).expect("dump file readable");
+    assert!(body.contains("\"reason\": \"injected-crash\""), "{body}");
+    assert!(
+        body.contains(&format!("{TRACE:#018x}")),
+        "dump must carry the crashing request's trace id: {body}"
+    );
+
+    // The shard's ring (shared across worker incarnations) shows the
+    // same trace on the crashing attempt and the successful retry.
+    let events = svc.recorders()[0].snapshot();
+    let labels: Vec<&str> = events
+        .iter()
+        .filter(|e| e.trace_id == TRACE)
+        .map(|e| e.label)
+        .collect();
+    assert!(labels.contains(&"crash"), "{labels:?}");
+    assert!(
+        labels.contains(&"commit"),
+        "the retry must commit under the original trace: {labels:?}"
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn one_trace_survives_lossy_retransmission() {
+    let mut rng = StdRng::seed_from_u64(0x7A3F);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let plan = FaultPlan {
+        net: SimNetConfig {
+            latency_micros: 0,
+            jitter_micros: 0,
+            drop_rate: 0.30,
+            seed: 0x51F7,
+        },
+        duplicate_rate: 0.10,
+        reorder_rate: 0.0,
+        corrupt_rate: 0.10,
+    };
+    let client = svc.retrying_client(Party::Sp, plan, RetryPolicy::aggressive(0x51F7));
+
+    let mut traces = Vec::new();
+    for i in 0..12u64 {
+        let trace = 0x7000_0000_0000_0000 | i;
+        let resp = client
+            .try_call_traced(next_request_id(), trace, MaRequest::RegisterSpAccount)
+            .expect("retry layer converges under loss");
+        assert!(matches!(resp, MaResponse::Account(_)), "{resp:?}");
+        traces.push(trace);
+    }
+
+    let faults = svc.faults.snapshot();
+    assert!(faults.retries > 0, "loss must have forced retransmissions");
+
+    // Every committed operation kept its caller-minted trace across
+    // the wire, the faults, and whichever shard served it…
+    let events: Vec<_> = svc.recorders().iter().flat_map(|r| r.snapshot()).collect();
+    for trace in &traces {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.trace_id == *trace && e.label == "commit"),
+            "trace {trace:#x} never committed at a shard"
+        );
+    }
+    // …and every dedup replay (an executed-but-unacked retransmit) was
+    // served under one of those same traces, not a fresh one.
+    for event in events.iter().filter(|e| e.label == "dedup-replay") {
+        assert!(
+            traces.contains(&event.trace_id),
+            "replayed retransmit carried an unknown trace: {event:?}"
+        );
+    }
+    svc.shutdown();
+}
