@@ -57,6 +57,12 @@ impl Barrett {
         self.reduce(&(a * b))
     }
 
+    /// `a² mod m` for `a < m`, through the dedicated squaring kernel.
+    pub fn sqr(&self, a: &BigUint) -> BigUint {
+        debug_assert!(a < &self.m);
+        self.reduce(&a.square())
+    }
+
     /// `base^exp mod m` by square-and-multiply over Barrett products.
     pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let mut acc = &BigUint::one() % &self.m;
@@ -67,7 +73,7 @@ impl Barrett {
                 acc = self.mul(&acc, &b);
             }
             if i + 1 < nbits {
-                b = self.mul(&b, &b);
+                b = self.sqr(&b);
             }
         }
         acc

@@ -143,9 +143,10 @@ impl BigUint {
         debug_assert!(self.limbs.last() != Some(&0), "unnormalized BigUint");
     }
 
-    /// `self^2` — forwarded to multiplication (which special-cases squares).
+    /// `self^2` through the dedicated squaring kernel (halved partial
+    /// products; Karatsuba recursion above the square crossover).
     pub fn square(&self) -> BigUint {
-        crate::mul::mul(self, self)
+        crate::mul::sqr(self)
     }
 
     /// `self^exp` by binary exponentiation (no modulus — use with care,

@@ -58,6 +58,9 @@ pub use crate::convert::ParseBigUintError;
 pub use crate::gcd::{ext_gcd, gcd, jacobi, lcm};
 pub use crate::modular::modpow_plain;
 pub use crate::montgomery::Montgomery;
-pub use crate::mul::{mul_karatsuba_pub, mul_schoolbook_pub};
+pub use crate::mul::{
+    mul_karatsuba_pub, mul_karatsuba_ws_pub, mul_schoolbook_pub, sqr_karatsuba_pub,
+    sqr_schoolbook_pub,
+};
 pub use crate::random::{random_below, random_bits, random_odd_bits, random_unit_range};
 pub use crate::ring::{ModRing, RsaCrt};

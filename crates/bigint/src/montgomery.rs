@@ -131,6 +131,74 @@ impl Montgomery {
         out
     }
 
+    /// Standalone word-by-word Montgomery reduction of a double-width
+    /// accumulator: computes `t * R^{-1} mod n` for `t < n·R`.
+    ///
+    /// Unlike the interleaved CIOS pass in [`mont_mul`], this takes a
+    /// ready-made product, which lets squarings use the dedicated
+    /// square kernel (≈ half the 64×64 partial products) and pay only
+    /// the `k²` reduction muls here instead of a full `2k²` CIOS pass.
+    ///
+    /// [`mont_mul`]: Montgomery::mont_mul
+    pub(crate) fn redc(&self, t: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let n = self.n.limbs();
+        debug_assert!(t.len() <= 2 * k);
+        let mut acc = vec![0u64; 2 * k + 1];
+        acc[..t.len()].copy_from_slice(t);
+        for i in 0..k {
+            let m = acc[i].wrapping_mul(self.n_prime);
+            if m == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &nj) in n.iter().enumerate() {
+                let x = acc[i + j] as u128 + m as u128 * nj as u128 + carry;
+                acc[i + j] = x as u64;
+                carry = x >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let x = acc[idx] as u128 + carry;
+                acc[idx] = x as u64;
+                carry = x >> 64;
+                idx += 1;
+            }
+        }
+        // (t + Σ mᵢ·n·2^{64i}) / R lives in acc[k..=2k] and is < 2n.
+        let mut out = acc[k..=2 * k].to_vec();
+        let needs_sub = out[k] != 0 || {
+            let mut ge = true;
+            for j in (0..k).rev() {
+                if out[j] != n[j] {
+                    ge = out[j] > n[j];
+                    break;
+                }
+            }
+            ge
+        };
+        if needs_sub {
+            let mut borrow = 0u64;
+            for (j, &nj) in n.iter().enumerate() {
+                let (d1, b1) = out[j].overflowing_sub(nj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 | b2) as u64;
+            }
+            out[k] = out[k].wrapping_sub(borrow);
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// `a² * R^{-1} mod n` for a `k`-limb Montgomery residue: square
+    /// kernel + standalone reduction. This is what the pow ladders
+    /// spend most of their time in — an exponentiation is ~4 squarings
+    /// per multiply with 4-bit windows.
+    pub(crate) fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        self.redc(&crate::mul::sqr_limbs(a))
+    }
+
     /// Converts into the Montgomery domain (`x * R mod n`).
     pub(crate) fn to_mont(&self, x: &BigUint) -> Vec<u64> {
         let x = x % &self.n;
@@ -174,7 +242,7 @@ impl Montgomery {
         for w in (0..nwindows).rev() {
             if started {
                 for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+                    acc = self.mont_sqr(&acc);
                 }
             }
             let mut digit = 0usize;
@@ -320,5 +388,36 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn even_modulus_panics() {
         Montgomery::new(&BigUint::from(100u64));
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul() {
+        let m = BigUint::parse_hex("f123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let mont = Montgomery::new(&m);
+        let mut x = BigUint::from(0xDEAD_BEEF_CAFE_BABEu64);
+        for _ in 0..50 {
+            let xm = mont.to_mont(&x);
+            assert_eq!(mont.mont_sqr(&xm), mont.mont_mul(&xm, &xm), "x = {x:?}");
+            // Walk through pseudo-random residues.
+            x = mont.mul(&x, &BigUint::from(0x9E37_79B9_7F4A_7C15u64)) + BigUint::one();
+        }
+        // Montgomery form of 0 and 1.
+        let zero = vec![0u64; mont.k];
+        assert_eq!(mont.mont_sqr(&zero), mont.mont_mul(&zero, &zero));
+        let one = mont.to_mont(&BigUint::one());
+        assert_eq!(mont.mont_sqr(&one), mont.mont_mul(&one, &one));
+    }
+
+    #[test]
+    fn redc_matches_from_mont_on_products() {
+        // redc of a full product a*b equals mont_mul(a, b).
+        let m = BigUint::parse_hex("c0ffee123456789abcdef0123456789abcdef0123456789b").unwrap();
+        let mont = Montgomery::new(&m);
+        let a = mont.to_mont(&BigUint::from(123_456_789_012_345u64));
+        let b = mont.to_mont(&BigUint::from(987_654_321_098_765u64));
+        let prod = BigUint::from_limbs(a.clone()) * BigUint::from_limbs(b.clone());
+        let mut limbs = prod.limbs().to_vec();
+        limbs.resize(2 * mont.k, 0);
+        assert_eq!(mont.redc(&limbs), mont.mont_mul(&a, &b));
     }
 }

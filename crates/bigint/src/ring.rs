@@ -375,7 +375,7 @@ impl ModRing {
                 }
                 let mut acc = one;
                 for bit in (0..max_bits).rev() {
-                    acc = m.mont_mul(&acc, &acc);
+                    acc = m.mont_sqr(&acc);
                     let mut mask = 0usize;
                     for (i, (_, e)) in pairs.iter().enumerate() {
                         if e.bit(bit) {
@@ -402,7 +402,7 @@ impl ModRing {
                 }
                 let mut acc = one;
                 for bit in (0..max_bits).rev() {
-                    acc = b.mul(&acc, &acc);
+                    acc = b.sqr(&acc);
                     let mut mask = 0usize;
                     for (i, (_, e)) in pairs.iter().enumerate() {
                         if e.bit(bit) {
@@ -416,6 +416,106 @@ impl ModRing {
                 acc
             }
         }
+    }
+
+    /// Unbounded simultaneous `∏ baseᵢ^expᵢ mod n` for batch
+    /// verification: Straus interleaved 4-bit windows or Pippenger
+    /// bucket accumulation, picked per call by `pick_bucketed`'s
+    /// multiplication-count model (the crossover depends on both the
+    /// base count and the exponent width). Unlike
+    /// [`ModRing::multi_pow`] there is no subset table, so `N` is
+    /// unlimited; all terms share one squaring chain.
+    ///
+    /// Exponents are used as given (callers reduce mod the group order
+    /// where that is meaningful — this ring cannot know the order).
+    /// Empty input yields `1 mod n`.
+    ///
+    /// Span: `ring.multi_pow_n_ns`.
+    pub fn multi_pow_n(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let _span = ppms_obs::timed!("ring.multi_pow_n_ns");
+        let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        self.multi_pow_n_impl(pairs, pick_bucketed(pairs.len(), max_bits))
+    }
+
+    /// Straus evaluation regardless of `N` — exposed so the bench can
+    /// measure the crossover against [`ModRing::multi_pow_n_pippenger`].
+    pub fn multi_pow_n_straus(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        self.multi_pow_n_impl(pairs, false)
+    }
+
+    /// Pippenger evaluation regardless of `N` — exposed for crossover
+    /// measurement.
+    pub fn multi_pow_n_pippenger(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        self.multi_pow_n_impl(pairs, true)
+    }
+
+    fn multi_pow_n_impl(&self, pairs: &[(&BigUint, &BigUint)], bucketed: bool) -> BigUint {
+        if pairs.is_empty() {
+            return self.reduce(&BigUint::one());
+        }
+        match &self.backend {
+            Backend::Mont(m) => {
+                let acc = if bucketed {
+                    pippenger(m, pairs)
+                } else {
+                    straus(m, pairs)
+                };
+                m.from_mont(&acc)
+            }
+            Backend::Barrett(b) => {
+                if bucketed {
+                    pippenger(b, pairs)
+                } else {
+                    straus(b, pairs)
+                }
+            }
+        }
+    }
+
+    /// Batch modular inversion by Montgomery's trick: one real
+    /// inversion plus `3(N−1)` multiplications for `N` inputs.
+    ///
+    /// Per-slot results are exactly what per-element
+    /// `x.modinv(modulus)` returns: if any input is not invertible the
+    /// aggregate inversion fails and the routine falls back to
+    /// element-wise inversion, so non-invertible slots come back
+    /// `None` and the rest are still correct.
+    ///
+    /// Span: `ring.batch_inv_ns`.
+    pub fn batch_inv(&self, xs: &[BigUint]) -> Vec<Option<BigUint>> {
+        let _span = ppms_obs::timed!("ring.batch_inv_ns");
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let reduced: Vec<BigUint> = xs.iter().map(|x| self.reduce(x)).collect();
+        // prefix[i] = r₀·…·rᵢ mod n
+        let mut prefix = Vec::with_capacity(reduced.len());
+        prefix.push(reduced[0].clone());
+        for r in &reduced[1..] {
+            let next = self.mul(prefix.last().unwrap(), r);
+            prefix.push(next);
+        }
+        let Some(total_inv) = prefix.last().unwrap().modinv(&self.modulus) else {
+            // Some element shares a factor with n (or is zero): the
+            // aggregate is non-invertible. Element-wise fallback keeps
+            // every slot bit-identical to the sequential path.
+            return reduced.iter().map(|r| r.modinv(&self.modulus)).collect();
+        };
+        // Walk back: running holds (r₀·…·rᵢ)⁻¹; multiplying by
+        // prefix[i−1] isolates rᵢ⁻¹, multiplying by rᵢ steps down.
+        let mut out = vec![None; reduced.len()];
+        let mut running = total_inv;
+        for i in (0..reduced.len()).rev() {
+            out[i] = Some(if i == 0 {
+                running.clone()
+            } else {
+                self.mul(&running, &prefix[i - 1])
+            });
+            if i > 0 {
+                running = self.mul(&running, &reduced[i]);
+            }
+        }
+        out
     }
 
     /// Secret-exponent power through the CRT decomposition of an RSA
@@ -434,14 +534,202 @@ impl ModRing {
 }
 
 fn exp_digit(exp: &BigUint, window: usize) -> usize {
+    digit_at(exp, window * WINDOW_BITS, WINDOW_BITS)
+}
+
+/// The `w`-bit digit of `exp` starting at bit `pos`.
+fn digit_at(exp: &BigUint, pos: usize, w: usize) -> usize {
     let mut digit = 0usize;
-    for b in (0..WINDOW_BITS).rev() {
+    for b in (0..w).rev() {
         digit <<= 1;
-        if exp.bit(window * WINDOW_BITS + b) {
+        if exp.bit(pos + b) {
             digit |= 1;
         }
     }
     digit
+}
+
+/// Chooses between Straus and Pippenger for [`ModRing::multi_pow_n`]
+/// by predicted multiplication count. Straus pays a 14-mul odd-digit
+/// table per base plus one insertion per base per 4-bit window;
+/// Pippenger pays one insertion per base per `w`-bit window plus a
+/// `2·2^w` bucket walk per window, no tables. Both share one squaring
+/// chain, so squarings cancel out of the comparison. The crossover
+/// therefore depends on the exponent width, not just the base count:
+/// the `multi_exp_crossover` rows of the `batch_verify` bench
+/// (512-bit modulus, full-width exponents) put it near 128 bases,
+/// while for 64-bit small-exponent batches it sits near 150 — the
+/// fixed `32` this replaces sent full-width combined checks down the
+/// slow path.
+fn pick_bucketed(n: usize, max_bits: usize) -> bool {
+    if n == 0 || max_bits == 0 {
+        return false;
+    }
+    let w = pippenger_window(n);
+    // Straus: 14·n table muls + (15/16)·n insertions per 4-bit window.
+    let straus = 14 * n + max_bits.div_ceil(WINDOW_BITS) * (n - n / 16);
+    // Pippenger: n insertions + ≤ 2·(2^w − 1) walk muls per window.
+    let pippenger = max_bits.div_ceil(w) * (n + (2 << w) - 2);
+    pippenger < straus
+}
+
+/// Backend-native residue arithmetic, so the multi-exponentiation
+/// algorithms are written once instead of per backend. Montgomery
+/// works on fixed-width limb vectors, Barrett on plain residues.
+trait MulKernel {
+    type Elem: Clone;
+    fn k_one(&self) -> Self::Elem;
+    fn k_from(&self, x: &BigUint) -> Self::Elem;
+    fn k_mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    fn k_sqr(&self, a: &Self::Elem) -> Self::Elem;
+}
+
+impl MulKernel for Montgomery {
+    type Elem = Vec<u64>;
+    fn k_one(&self) -> Vec<u64> {
+        let mut one = self.r1.limbs().to_vec();
+        one.resize(self.k, 0);
+        one
+    }
+    fn k_from(&self, x: &BigUint) -> Vec<u64> {
+        self.to_mont(x)
+    }
+    fn k_mul(&self, a: &Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
+        self.mont_mul(a, b)
+    }
+    fn k_sqr(&self, a: &Vec<u64>) -> Vec<u64> {
+        self.mont_sqr(a)
+    }
+}
+
+impl MulKernel for Barrett {
+    type Elem = BigUint;
+    fn k_one(&self) -> BigUint {
+        self.reduce(&BigUint::one())
+    }
+    fn k_from(&self, x: &BigUint) -> BigUint {
+        if x < self.modulus() {
+            x.clone()
+        } else {
+            x % self.modulus()
+        }
+    }
+    fn k_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.mul(a, b)
+    }
+    fn k_sqr(&self, a: &BigUint) -> BigUint {
+        self.sqr(a)
+    }
+}
+
+/// Straus interleaved multi-exponentiation: a 4-bit odd-digit table
+/// per base (15 entries), one shared squaring chain. Table setup costs
+/// `14·N` muls, so it wins for small `N`; above the crossover the
+/// per-base tables dominate and Pippenger takes over.
+fn straus<K: MulKernel>(k: &K, pairs: &[(&BigUint, &BigUint)]) -> K::Elem {
+    let tables: Vec<Vec<K::Elem>> = pairs
+        .iter()
+        .map(|(base, _)| {
+            let b1 = k.k_from(base);
+            let mut row = Vec::with_capacity(WINDOW_SPAN - 1);
+            row.push(b1.clone());
+            for d in 2..WINDOW_SPAN {
+                row.push(k.k_mul(&row[d - 2], &b1));
+            }
+            row
+        })
+        .collect();
+    let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+    let nwindows = max_bits.div_ceil(WINDOW_BITS);
+    let mut acc = k.k_one();
+    let mut started = false;
+    for w in (0..nwindows).rev() {
+        if started {
+            for _ in 0..WINDOW_BITS {
+                acc = k.k_sqr(&acc);
+            }
+        }
+        for (table, (_, e)) in tables.iter().zip(pairs) {
+            let digit = exp_digit(e, w);
+            if digit != 0 {
+                acc = k.k_mul(&acc, &table[digit - 1]);
+                started = true;
+            }
+        }
+    }
+    acc
+}
+
+/// Window width for Pippenger bucketing, by base count: wider windows
+/// amortize the `2^w` bucket walk over more per-window bucket
+/// insertions (one mul per base).
+fn pippenger_window(n: usize) -> usize {
+    match n {
+        0..=15 => 4,
+        16..=63 => 5,
+        64..=255 => 6,
+        256..=1023 => 7,
+        _ => 8,
+    }
+}
+
+/// Pippenger bucket multi-exponentiation: per window, bases fall into
+/// buckets by digit (one mul each), and `∏ bucket_d^d` is assembled
+/// with `2·(2^w−1)` muls via the suffix-running-product trick — no
+/// per-base tables at all.
+fn pippenger<K: MulKernel>(k: &K, pairs: &[(&BigUint, &BigUint)]) -> K::Elem {
+    let w = pippenger_window(pairs.len());
+    let nbuckets = (1usize << w) - 1;
+    let bases: Vec<K::Elem> = pairs.iter().map(|(b, _)| k.k_from(b)).collect();
+    let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+    let nwindows = max_bits.div_ceil(w);
+    let mut acc = k.k_one();
+    let mut started = false;
+    for win in (0..nwindows).rev() {
+        if started {
+            for _ in 0..w {
+                acc = k.k_sqr(&acc);
+            }
+        }
+        // buckets[d−1] = ∏ of bases whose digit in this window is d.
+        let mut buckets: Vec<Option<K::Elem>> = vec![None; nbuckets];
+        for (base, (_, e)) in bases.iter().zip(pairs) {
+            let d = digit_at(e, win * w, w);
+            if d != 0 {
+                buckets[d - 1] = Some(match &buckets[d - 1] {
+                    Some(cur) => k.k_mul(cur, base),
+                    None => base.clone(),
+                });
+            }
+        }
+        // windowsum = ∏ bucket_d^d: running suffix product hits
+        // bucket_d exactly d times.
+        let mut running: Option<K::Elem> = None;
+        let mut windowsum: Option<K::Elem> = None;
+        for bucket in buckets.iter().rev() {
+            if let Some(b) = bucket {
+                running = Some(match &running {
+                    Some(r) => k.k_mul(r, b),
+                    None => b.clone(),
+                });
+            }
+            if let Some(r) = &running {
+                windowsum = Some(match &windowsum {
+                    Some(ws) => k.k_mul(ws, r),
+                    None => r.clone(),
+                });
+            }
+        }
+        if let Some(ws) = windowsum {
+            acc = if started { k.k_mul(&acc, &ws) } else { ws };
+            started = true;
+        }
+    }
+    if started {
+        acc
+    } else {
+        k.k_one()
+    }
 }
 
 /// CRT decomposition of an RSA secret key: `p`, `q`, `d_p = d mod
@@ -641,5 +929,113 @@ mod tests {
         let a = ModRing::shared(&n);
         let b = ModRing::shared(&n);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    /// Deterministic (base, exp) pairs for the multi-exp tests.
+    fn pseudo_pairs(n: &BigUint, count: usize, exp_bits: usize) -> Vec<(BigUint, BigUint)> {
+        let mut state = 0x1234_5678_9ABC_DEF0u64 ^ count as u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|_| {
+                let base = &BigUint::from(next()) % n;
+                let mut e = BigUint::from(next());
+                while e.bits() < exp_bits {
+                    e = (e << 64usize) + BigUint::from(next());
+                }
+                let shift = e.bits() - exp_bits;
+                (base, e >> shift)
+            })
+            .collect()
+    }
+
+    fn product_of_pows(ring: &ModRing, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        pairs
+            .iter()
+            .fold(ring.reduce(&BigUint::one()), |acc, (b, e)| {
+                ring.mul(&acc, &ring.pow(b, e))
+            })
+    }
+
+    #[test]
+    fn multi_pow_n_matches_products_both_backends() {
+        for n in [n_odd(), &n_odd() + 1u64] {
+            let ring = ModRing::new(&n);
+            for count in [1usize, 2, 7, 33, 70] {
+                let owned = pseudo_pairs(&n, count, 64);
+                let pairs: Vec<(&BigUint, &BigUint)> = owned.iter().map(|(b, e)| (b, e)).collect();
+                let expect = product_of_pows(&ring, &pairs);
+                assert_eq!(ring.multi_pow_n(&pairs), expect, "dispatch count {count}");
+                assert_eq!(
+                    ring.multi_pow_n_straus(&pairs),
+                    expect,
+                    "straus count {count}"
+                );
+                assert_eq!(
+                    ring.multi_pow_n_pippenger(&pairs),
+                    expect,
+                    "pippenger count {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_pow_n_edge_shapes() {
+        let n = n_odd();
+        let ring = ModRing::new(&n);
+        assert_eq!(ring.multi_pow_n(&[]), BigUint::one());
+        let g = BigUint::from(7u64);
+        let zero = BigUint::zero();
+        assert_eq!(ring.multi_pow_n(&[(&g, &zero)]), BigUint::one());
+        // Wide exponents (full modulus width) still match.
+        let e = &n - 2u64;
+        assert_eq!(ring.multi_pow_n(&[(&g, &e)]), ring.pow(&g, &e));
+        assert_eq!(ring.multi_pow_n_pippenger(&[(&g, &e)]), ring.pow(&g, &e));
+        // Repeated bases multiply through like separate terms.
+        let a = BigUint::from(123_456_789u64);
+        let b = BigUint::from(987_654_321u64);
+        let expect = ring.mul(&ring.pow(&g, &a), &ring.pow(&g, &b));
+        assert_eq!(ring.multi_pow_n(&[(&g, &a), (&g, &b)]), expect);
+    }
+
+    #[test]
+    fn batch_inv_matches_modinv() {
+        let n = n_odd();
+        let ring = ModRing::new(&n);
+        let owned = pseudo_pairs(&n, 9, 64);
+        let xs: Vec<BigUint> = owned.into_iter().map(|(b, _)| b).collect();
+        let got = ring.batch_inv(&xs);
+        for (x, inv) in xs.iter().zip(&got) {
+            assert_eq!(inv, &x.modinv(&n), "x = {}", x.to_dec());
+            if let Some(inv) = inv {
+                assert!(ring.mul(&ring.reduce(x), inv).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inv_noninvertible_elements_fall_back() {
+        // Even modulus: even inputs (and zero) are non-invertible, the
+        // rest must still come back inverted.
+        let n = &n_odd() + 1u64;
+        let ring = ModRing::new(&n);
+        let xs = vec![
+            BigUint::from(3u64),
+            BigUint::zero(),
+            BigUint::from(10u64),
+            BigUint::from(12345u64),
+        ];
+        let got = ring.batch_inv(&xs);
+        for (x, inv) in xs.iter().zip(&got) {
+            assert_eq!(inv, &x.modinv(&n), "x = {}", x.to_dec());
+        }
+        assert!(got[1].is_none() && got[2].is_none());
+        assert!(got[0].is_some() && got[3].is_some());
+        assert!(ring.batch_inv(&[]).is_empty());
     }
 }

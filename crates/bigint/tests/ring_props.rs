@@ -99,6 +99,66 @@ proptest! {
     }
 
     #[test]
+    fn multi_pow_n_matches_product_of_single_pows(
+        m in odd_modulus(),
+        pairs in prop::collection::vec((big(), big()), 0..40),
+    ) {
+        let ring = ModRing::new(&m);
+        let refs: Vec<(&BigUint, &BigUint)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+        let expect = refs.iter().fold(ring.reduce(&BigUint::one()), |acc, (b, e)| {
+            ring.mul(&acc, &ring.pow(b, e))
+        });
+        prop_assert_eq!(ring.multi_pow_n(&refs), expect.clone());
+        // Both algorithms must agree regardless of the dispatch point.
+        prop_assert_eq!(ring.multi_pow_n_straus(&refs), expect.clone());
+        prop_assert_eq!(ring.multi_pow_n_pippenger(&refs), expect);
+    }
+
+    #[test]
+    fn multi_pow_n_matches_product_even_modulus(
+        m in even_modulus(),
+        pairs in prop::collection::vec((big(), big()), 0..10),
+    ) {
+        let ring = ModRing::new(&m);
+        let refs: Vec<(&BigUint, &BigUint)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+        let expect = refs.iter().fold(ring.reduce(&BigUint::one()), |acc, (b, e)| {
+            ring.mul(&acc, &ring.pow(b, e))
+        });
+        prop_assert_eq!(ring.multi_pow_n(&refs), expect);
+    }
+
+    #[test]
+    fn batch_inv_matches_per_element_modinv(
+        m in odd_modulus(),
+        xs in prop::collection::vec(big(), 0..20),
+    ) {
+        let ring = ModRing::new(&m);
+        let got = ring.batch_inv(&xs);
+        prop_assert_eq!(got.len(), xs.len());
+        for (x, inv) in xs.iter().zip(&got) {
+            prop_assert_eq!(inv, &x.modinv(&m));
+        }
+    }
+
+    #[test]
+    fn batch_inv_matches_per_element_modinv_even(
+        m in even_modulus(),
+        xs in prop::collection::vec(big(), 0..20),
+    ) {
+        // Even moduli make non-invertible elements common, forcing the
+        // element-wise fallback path often.
+        let ring = ModRing::new(&m);
+        for (x, inv) in xs.iter().zip(&ring.batch_inv(&xs)) {
+            prop_assert_eq!(inv, &x.modinv(&m));
+        }
+    }
+
+    #[test]
+    fn square_matches_self_mul(a in big()) {
+        prop_assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
     fn pow_crt_matches_plain_exponent(
         pi in 0usize..6,
         qoff in 0usize..5,

@@ -6,7 +6,7 @@
 //! the subgroup of quadratic residues has prime order `q`.
 
 use crate::hash::hash_to_int;
-use ppms_bigint::{random_below, BigUint, ModRing};
+use ppms_bigint::{jacobi, random_below, BigUint, ModRing};
 use ppms_primes::gen::random_safe_prime;
 use rand::Rng;
 
@@ -24,6 +24,10 @@ pub struct SchnorrGroup {
     /// so every generator registered here accelerates all holders of
     /// this group (including worker-thread clones).
     ring: ModRing,
+    /// `p = 2q + 1`: the subgroup is exactly the quadratic residues,
+    /// so membership reduces to a Jacobi symbol instead of a `q`-width
+    /// exponentiation.
+    safe_prime: bool,
 }
 
 impl PartialEq for SchnorrGroup {
@@ -42,11 +46,13 @@ impl SchnorrGroup {
     pub fn from_safe_prime(p: &BigUint, q: &BigUint) -> SchnorrGroup {
         debug_assert_eq!(p, &(&(q << 1usize) + &BigUint::one()), "p = 2q+1 required");
         let ring = ModRing::new(p);
+        let safe_prime = p == &(&(q << 1usize) + &BigUint::one());
         let mut group = SchnorrGroup {
             p: p.clone(),
             q: q.clone(),
             g: BigUint::zero(),
             ring,
+            safe_prime,
         };
         group.g = group.derive_generator("canonical-g");
         group
@@ -111,8 +117,21 @@ impl SchnorrGroup {
     }
 
     /// Membership test: `x` is in the order-`q` subgroup.
+    ///
+    /// For safe primes (`p = 2q+1`, every group in the protocols) the
+    /// subgroup is exactly the quadratic residues, so `x^q == 1 ⟺
+    /// jacobi(x, p) == 1` and the test costs a gcd-like symbol walk
+    /// instead of a `q`-width exponentiation. Decisions are identical
+    /// either way; the slow path remains for non-safe parameters.
     pub fn contains(&self, x: &BigUint) -> bool {
-        !x.is_zero() && x < &self.p && self.ring.pow(x, &self.q).is_one()
+        if x.is_zero() || x >= &self.p {
+            return false;
+        }
+        if self.safe_prime {
+            jacobi(x, &self.p) == 1
+        } else {
+            self.ring.pow(x, &self.q).is_one()
+        }
     }
 
     /// Simultaneous double exponentiation `a^x · b^y mod p` via
@@ -144,6 +163,18 @@ impl SchnorrGroup {
             };
         }
         acc
+    }
+
+    /// Unbounded simultaneous multi-exponentiation
+    /// `Π basesᵢ^{eᵢ} mod p` (exponents reduced mod `q`) through
+    /// [`ModRing::multi_pow_n`] — Straus below the Pippenger crossover,
+    /// bucketed above, one shared squaring chain either way. This is
+    /// the combined-check evaluator of batch verification.
+    pub fn multi_exp_n(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let reduced: Vec<BigUint> = pairs.iter().map(|(_, e)| *e % &self.q).collect();
+        let refs: Vec<(&BigUint, &BigUint)> =
+            pairs.iter().map(|(b, _)| *b).zip(reduced.iter()).collect();
+        self.ring.multi_pow_n(&refs)
     }
 
     /// Uniform exponent in `[0, q)`.
@@ -251,6 +282,36 @@ mod tests {
             let y = g.random_exponent(&mut rng);
             let expected = g.mul(&g.g_exp(&x), &g.exp(&b, &y));
             assert_eq!(g.multi_exp2(&g.g, &x, &b, &y), expected);
+        }
+    }
+
+    #[test]
+    fn contains_jacobi_matches_subgroup_pow() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = SchnorrGroup::generate(&mut rng, 48);
+        // Every value below p must get the same decision from the
+        // Jacobi fast path and the x^q == 1 reference.
+        for _ in 0..50 {
+            let x = random_below(&mut rng, &g.p);
+            let reference = !x.is_zero() && g.ring.pow(&x, &g.q).is_one();
+            assert_eq!(g.contains(&x), reference, "x = {}", x.to_dec());
+        }
+        assert!(!g.contains(&(&g.p - 1u64))); // -1 is a non-residue mod a safe prime
+    }
+
+    #[test]
+    fn multi_exp_n_matches_product() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = SchnorrGroup::generate(&mut rng, 48);
+        for count in [0usize, 1, 5, 40] {
+            let pairs: Vec<(BigUint, BigUint)> = (0..count)
+                .map(|_| (g.random_element(&mut rng), g.random_exponent(&mut rng)))
+                .collect();
+            let refs: Vec<(&BigUint, &BigUint)> = pairs.iter().map(|(b, e)| (b, e)).collect();
+            let expect = refs
+                .iter()
+                .fold(BigUint::one(), |acc, (b, e)| g.mul(&acc, &g.exp(b, e)));
+            assert_eq!(g.multi_exp_n(&refs), expect, "count {count}");
         }
     }
 

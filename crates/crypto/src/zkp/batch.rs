@@ -1,0 +1,164 @@
+//! Small-exponent batch verification (Bellare–Garay–Rabin).
+//!
+//! A sigma-protocol verification is an equation `∏ lᵢ == ∏ rⱼ` over a
+//! prime-order group. Given many such equations, drawing an
+//! independent nonzero 64-bit multiplier `ℓ` per equation and checking
+//! the single combined equation
+//!
+//! ```text
+//!   ∏_claims (∏ lᵢ)^ℓ  ==  ∏_claims (∏ rⱼ)^ℓ
+//! ```
+//!
+//! accepts any batch of valid equations with probability 1 and a batch
+//! containing an invalid one with probability ≤ 2⁻⁶⁴ (the chance the
+//! random multipliers land in the kernel of the nonzero discrepancy —
+//! `1/min(2⁶⁴, q)` for order-`q` groups). The combined product is one
+//! [`multi_exp_n`] per side — all terms share a squaring chain, and
+//! repeated bases (the protocol generators) fold into single terms —
+//! instead of one full multi-exponentiation per equation.
+//!
+//! Callers keep per-item accept/reject decisions **bit-identical** to
+//! sequential verification by construction: items that cannot be
+//! expressed as claims fall back to the sequential verifier, and a
+//! combined-check failure triggers bisection whose base case is the
+//! sequential verifier. The combined check can only ever *accept* a
+//! whole sub-batch, never reject an individual item.
+//!
+//! Soundness requires every base of every claim to lie in the
+//! prime-order subgroup — extractors screen bases with the cheap
+//! Jacobi membership test before emitting a claim.
+//!
+//! [`multi_exp_n`]: crate::group::SchnorrGroup::multi_exp_n
+
+use crate::group::SchnorrGroup;
+use ppms_bigint::BigUint;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One verification equation `∏ baseᵢ^expᵢ == ∏ baseⱼ^expⱼ` in a
+/// prime-order group. Exponents must already be reduced modulo the
+/// group order.
+///
+/// Convention: keep prover-supplied *commitments* on the right-hand
+/// side with exponent 1, so their scaled exponents stay 64-bit (the
+/// multiplier itself) and the combined right side is a
+/// Pippenger-friendly many-bases/small-exponents shape.
+#[derive(Debug, Clone)]
+pub struct GroupClaim {
+    /// Left-hand terms, typically `(generator, response)` pairs.
+    pub lhs: Vec<(BigUint, BigUint)>,
+    /// Right-hand terms, typically `(commitment, 1)`.
+    pub rhs: Vec<(BigUint, BigUint)>,
+}
+
+struct Slot<'g> {
+    group: &'g SchnorrGroup,
+    lhs: HashMap<BigUint, BigUint>,
+    rhs: HashMap<BigUint, BigUint>,
+}
+
+/// Accumulates randomly-scaled [`GroupClaim`]s, one slot per distinct
+/// group, and verifies them all with two [`multi_exp_n`] calls per
+/// slot.
+///
+/// [`multi_exp_n`]: crate::group::SchnorrGroup::multi_exp_n
+#[derive(Default)]
+pub struct BatchAccumulator<'g> {
+    slots: Vec<Slot<'g>>,
+}
+
+impl<'g> BatchAccumulator<'g> {
+    pub fn new() -> Self {
+        BatchAccumulator { slots: Vec::new() }
+    }
+
+    /// Whether any claim has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Folds `claim` into the accumulator under a fresh nonzero 64-bit
+    /// multiplier drawn from `rng`. Each claim MUST get its own
+    /// multiplier — reusing one across claims lets discrepancies
+    /// cancel.
+    pub fn push<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        group: &'g SchnorrGroup,
+        claim: &GroupClaim,
+    ) {
+        let mut l = 0u64;
+        while l == 0 {
+            l = rng.next_u64();
+        }
+        let l = BigUint::from(l);
+        let slot = match self.slots.iter_mut().position(|s| s.group.p == group.p) {
+            Some(i) => &mut self.slots[i],
+            None => {
+                self.slots.push(Slot {
+                    group,
+                    lhs: HashMap::new(),
+                    rhs: HashMap::new(),
+                });
+                self.slots.last_mut().unwrap()
+            }
+        };
+        for (side, terms) in [(&mut slot.lhs, &claim.lhs), (&mut slot.rhs, &claim.rhs)] {
+            for (base, e) in terms {
+                debug_assert!(e < &group.q, "claim exponents must be reduced mod q");
+                let scaled = l.modmul(e, &group.q);
+                side.entry(base.clone())
+                    .and_modify(|cur| *cur = (&*cur + &scaled) % &group.q)
+                    .or_insert(scaled);
+            }
+        }
+    }
+
+    /// The combined check: per group, `∏ lhs == ∏ rhs` over the folded
+    /// terms. `true` means every pushed claim holds except with
+    /// probability ≤ 2⁻⁶⁴ per invalid claim; `false` says nothing
+    /// about individual claims (bisect or verify sequentially).
+    pub fn verify(&self) -> bool {
+        let _span = ppms_obs::timed!("zkp.batch_combined_ns");
+        self.slots.iter().all(|slot| {
+            let lhs: Vec<(&BigUint, &BigUint)> = slot.lhs.iter().collect();
+            let rhs: Vec<(&BigUint, &BigUint)> = slot.rhs.iter().collect();
+            let ring = slot.group.ring();
+            ring.multi_pow_n(&lhs) == ring.multi_pow_n(&rhs)
+        })
+    }
+}
+
+/// Generic bisection driver: `indices` identifies items whose claims
+/// are in `claims`; `combined` runs the accumulator over a subset and
+/// `sequential` is the ground-truth per-item verifier. Returns
+/// per-item verdicts bit-identical to running `sequential` on every
+/// item.
+pub fn bisect_verify<R, C, S>(
+    rng: &mut R,
+    indices: &[usize],
+    results: &mut [bool],
+    combined: &mut C,
+    sequential: &mut S,
+) where
+    R: Rng + ?Sized,
+    C: FnMut(&mut R, &[usize]) -> bool,
+    S: FnMut(usize) -> bool,
+{
+    if indices.is_empty() {
+        return;
+    }
+    if combined(rng, indices) {
+        for &i in indices {
+            results[i] = true;
+        }
+        return;
+    }
+    if indices.len() == 1 {
+        results[indices[0]] = sequential(indices[0]);
+        return;
+    }
+    let (lo, hi) = indices.split_at(indices.len() / 2);
+    bisect_verify(rng, lo, results, combined, sequential);
+    bisect_verify(rng, hi, results, combined, sequential);
+}

@@ -15,6 +15,7 @@
 //! heavier than PPMSpbs (paper Fig. 5, Table I).
 
 use crate::group::SchnorrGroup;
+use crate::zkp::batch::GroupClaim;
 use crate::zkp::transcript::Transcript;
 use ppms_bigint::{random_below, BigUint};
 use rand::Rng;
@@ -151,6 +152,66 @@ impl DdlogProof {
                 .iter()
                 .map(|s| s.bits().div_ceil(8))
                 .sum::<usize>()
+    }
+
+    /// Expresses every cut-and-choose round as a [`GroupClaim`] in the
+    /// *outer* group for batch combination.
+    ///
+    /// The inner exponentiation `h^{s_j}` must still be computed per
+    /// round (it *is* the exponent of the outer equation), but it is a
+    /// half-width operation; what batching removes is the full-width
+    /// outer exponentiation per round — those all fold into the shared
+    /// combined multi-exponentiation, where the `rounds`-per-spend
+    /// base-`g` terms collapse into a single term across the batch.
+    ///
+    /// `None` means a screen failed (proof shape, `y` membership — both
+    /// also sequential rejections — or a base outside the subgroup);
+    /// the caller must decide the item with [`DdlogProof::verify`].
+    pub fn batch_claims(
+        &self,
+        stmt: &DdlogStatement<'_>,
+        rounds: usize,
+        domain: &str,
+        extra: &[u8],
+    ) -> Option<Vec<GroupClaim>> {
+        stmt.check_compat();
+        if self.commitments.len() != rounds || self.responses.len() != rounds {
+            return None;
+        }
+        if !stmt.outer.contains(stmt.y) || !stmt.outer.contains(stmt.g) {
+            return None;
+        }
+        // Non-member commitments would fail the sequential equation
+        // (its right side is always a subgroup element), but inside a
+        // combined check they could bias the accept probability — so
+        // they take the sequential path.
+        if self.commitments.iter().any(|t| !stmt.outer.contains(t)) {
+            return None;
+        }
+        let mut tr = Transcript::new(domain);
+        stmt.bind(&mut tr);
+        tr.append("extra", extra);
+        for t in &self.commitments {
+            tr.append_int("t", t);
+        }
+        let bits = tr.challenge_bits("bits", rounds);
+        Some(
+            self.commitments
+                .iter()
+                .zip(&self.responses)
+                .zip(&bits)
+                .map(|((t, s), &bit)| {
+                    let base = if bit { stmt.y } else { stmt.g };
+                    // The outer exponent h^{s_j} is an element of the
+                    // inner group, hence already < q_outer.
+                    let w = stmt.inner.exp(stmt.h, s);
+                    GroupClaim {
+                        lhs: vec![(base.clone(), w)],
+                        rhs: vec![(t.clone(), BigUint::one())],
+                    }
+                })
+                .collect(),
+        )
     }
 }
 

@@ -18,6 +18,7 @@
 //! machinery; verification recomputes the challenge from the full
 //! statement, so proofs do not transfer between statements.
 
+pub mod batch;
 pub mod ddlog;
 pub mod eq;
 pub mod orproof;
@@ -25,6 +26,7 @@ pub mod repr;
 pub mod schnorr;
 pub mod transcript;
 
+pub use batch::{bisect_verify, BatchAccumulator, GroupClaim};
 pub use ddlog::{DdlogProof, DdlogStatement};
 pub use eq::EqProof;
 pub use orproof::OrProof;

@@ -7,6 +7,7 @@
 //! challenge share.
 
 use crate::group::SchnorrGroup;
+use crate::zkp::batch::GroupClaim;
 use crate::zkp::transcript::Transcript;
 use ppms_bigint::BigUint;
 use rand::Rng;
@@ -119,6 +120,46 @@ impl OrProof {
             .chain(&self.t)
             .map(|v| v.bits().div_ceil(8))
             .sum()
+    }
+
+    /// Expresses the two branch equations as [`GroupClaim`]s for batch
+    /// combination. The challenge-share sum `c0 + c1 == c` is checked
+    /// here (it is scalar arithmetic, not a group equation).
+    ///
+    /// `None` means a screen failed — either one the sequential
+    /// verifier performs too (commitment membership, share sum) or the
+    /// batching precondition that all bases lie in the subgroup — and
+    /// the caller must decide the item with [`OrProof::verify`].
+    pub fn batch_claims(
+        &self,
+        group: &SchnorrGroup,
+        g: &BigUint,
+        ys: &[BigUint; 2],
+        domain: &str,
+        extra: &[u8],
+    ) -> Option<[GroupClaim; 2]> {
+        if !group.contains(&self.t[0]) || !group.contains(&self.t[1]) {
+            return None;
+        }
+        if !group.contains(g) || !group.contains(&ys[0]) || !group.contains(&ys[1]) {
+            return None;
+        }
+        let mut tr = Transcript::new(domain);
+        bind(&mut tr, group, g, ys);
+        tr.append("extra", extra);
+        tr.append_int("t0", &self.t[0]);
+        tr.append_int("t1", &self.t[1]);
+        let c_total = tr.challenge_below("c", &group.q);
+        if (&self.c[0] + &self.c[1]) % &group.q != c_total {
+            return None;
+        }
+        Some([0, 1].map(|i| GroupClaim {
+            lhs: vec![
+                (g.clone(), &self.s[i] % &group.q),
+                (ys[i].clone(), self.c[i].modneg(&group.q)),
+            ],
+            rhs: vec![(self.t[i].clone(), BigUint::one())],
+        }))
     }
 }
 

@@ -2,6 +2,7 @@
 //! `PoK{ x : y = g^x }`, Fiat–Shamir non-interactive.
 
 use crate::group::SchnorrGroup;
+use crate::zkp::batch::{bisect_verify, BatchAccumulator, GroupClaim};
 use crate::zkp::transcript::Transcript;
 use ppms_bigint::BigUint;
 use rand::Rng;
@@ -75,6 +76,96 @@ impl SchnorrProof {
     pub fn size_bytes(&self) -> usize {
         self.t.bits().div_ceil(8) + self.s.bits().div_ceil(8)
     }
+
+    /// Expresses this proof's verification equation
+    /// `g^s · y^{−c} == t` as a [`GroupClaim`] for batch combination.
+    ///
+    /// `None` means the item cannot go into the combined check — a
+    /// membership screen failed — and the caller must decide it with
+    /// the sequential [`SchnorrProof::verify`] (which performs the
+    /// same screens, so decisions stay identical).
+    pub fn batch_claim(
+        &self,
+        group: &SchnorrGroup,
+        g: &BigUint,
+        y: &BigUint,
+        domain: &str,
+        extra: &[u8],
+    ) -> Option<GroupClaim> {
+        if !group.contains(&self.t) || !group.contains(y) || !group.contains(g) {
+            return None;
+        }
+        let mut tr = Transcript::new(domain);
+        bind_statement(&mut tr, group, g, y);
+        tr.append("extra", extra);
+        tr.append_int("t", &self.t);
+        let c = tr.challenge_below("c", &group.q);
+        Some(GroupClaim {
+            lhs: vec![
+                (g.clone(), &self.s % &group.q),
+                (y.clone(), c.modneg(&group.q)),
+            ],
+            rhs: vec![(self.t.clone(), BigUint::one())],
+        })
+    }
+}
+
+/// One statement/proof pair for [`batch_verify`].
+#[derive(Debug, Clone)]
+pub struct BatchItem<'a> {
+    pub proof: &'a SchnorrProof,
+    pub g: &'a BigUint,
+    pub y: &'a BigUint,
+    pub domain: &'a str,
+    pub extra: &'a [u8],
+}
+
+/// Verifies many Schnorr proofs over one group with a single combined
+/// small-exponent check (soundness error ≤ 2⁻⁶⁴ per item), bisecting
+/// on failure so the returned per-item verdicts are **bit-identical**
+/// to calling [`SchnorrProof::verify`] on each item.
+///
+/// The multipliers come from the caller's `rng`; verdicts do not
+/// depend on the seed (up to the 2⁻⁶⁴ soundness error).
+///
+/// Span: `zkp.batch_verify_ns`.
+pub fn batch_verify<R: Rng + ?Sized>(
+    rng: &mut R,
+    group: &SchnorrGroup,
+    items: &[BatchItem<'_>],
+) -> Vec<bool> {
+    let _span = ppms_obs::timed!("zkp.batch_verify_ns");
+    let mut results = vec![false; items.len()];
+    let mut pending = Vec::with_capacity(items.len());
+    let mut claims: Vec<Option<GroupClaim>> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let claim = item
+            .proof
+            .batch_claim(group, item.g, item.y, item.domain, item.extra);
+        if claim.is_some() {
+            pending.push(i);
+        } else {
+            // Screen failed: the sequential verifier is the decision.
+            results[i] = item
+                .proof
+                .verify(group, item.g, item.y, item.domain, item.extra);
+        }
+        claims.push(claim);
+    }
+    let mut combined = |rng: &mut R, subset: &[usize]| {
+        let mut acc = BatchAccumulator::new();
+        for &i in subset {
+            acc.push(rng, group, claims[i].as_ref().unwrap());
+        }
+        acc.verify()
+    };
+    let mut sequential = |i: usize| {
+        let item = &items[i];
+        item.proof
+            .verify(group, item.g, item.y, item.domain, item.extra)
+    };
+    bisect_verify(rng, &pending, &mut results, &mut combined, &mut sequential);
+    results
 }
 
 #[cfg(test)]
@@ -152,6 +243,90 @@ mod tests {
         let mut proof = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "t", b"");
         proof.t = BigUint::zero();
         assert!(!proof.verify(&g, &g.g, &y, "t", b""));
+    }
+
+    #[test]
+    fn batch_verify_all_valid_and_mixed() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut proofs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..8 {
+            let x = g.random_exponent(&mut rng);
+            let y = g.g_exp(&x);
+            proofs.push(SchnorrProof::prove(
+                &mut rng,
+                &g,
+                &g.g.clone(),
+                &y,
+                &x,
+                "b",
+                b"x",
+            ));
+            ys.push(y);
+        }
+        let items: Vec<BatchItem> = proofs
+            .iter()
+            .zip(&ys)
+            .map(|(proof, y)| BatchItem {
+                proof,
+                g: &g.g,
+                y,
+                domain: "b",
+                extra: b"x",
+            })
+            .collect();
+        assert_eq!(batch_verify(&mut rng, &g, &items), vec![true; 8]);
+
+        // Corrupt items 2 and 5: bisection must name exactly those.
+        let mut bad = proofs.clone();
+        bad[2].s = (&bad[2].s + 1u64) % &g.q;
+        bad[5].t = g.random_element(&mut rng);
+        let items: Vec<BatchItem> = bad
+            .iter()
+            .zip(&ys)
+            .map(|(proof, y)| BatchItem {
+                proof,
+                g: &g.g,
+                y,
+                domain: "b",
+                extra: b"x",
+            })
+            .collect();
+        let got = batch_verify(&mut rng, &g, &items);
+        let expect: Vec<bool> = (0..8).map(|i| i != 2 && i != 5).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batch_verify_screen_failures_fall_back() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = g.random_exponent(&mut rng);
+        let y = g.g_exp(&x);
+        let good = SchnorrProof::prove(&mut rng, &g, &g.g.clone(), &y, &x, "b", b"");
+        // Out-of-group commitment: batch_claim screens it out and the
+        // sequential path rejects it.
+        let mut zero_t = good.clone();
+        zero_t.t = BigUint::zero();
+        let items = [
+            BatchItem {
+                proof: &good,
+                g: &g.g,
+                y: &y,
+                domain: "b",
+                extra: b"",
+            },
+            BatchItem {
+                proof: &zero_t,
+                g: &g.g,
+                y: &y,
+                domain: "b",
+                extra: b"",
+            },
+        ];
+        assert_eq!(batch_verify(&mut rng, &g, &items), vec![true, false]);
+        assert!(batch_verify(&mut rng, &g, &[]).is_empty());
     }
 
     #[test]

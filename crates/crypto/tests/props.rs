@@ -13,7 +13,7 @@ use ppms_crypto::pedersen::PedersenParams;
 use ppms_crypto::rsa;
 use ppms_crypto::zkp::orproof::OrProof;
 use ppms_crypto::zkp::repr::ReprProof;
-use ppms_crypto::zkp::schnorr::SchnorrProof;
+use ppms_crypto::zkp::schnorr::{self, SchnorrProof};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -151,6 +151,87 @@ proptest! {
         ys[known] = g.g_exp(&x);
         let proof = OrProof::prove(&mut rng, g, &g.g.clone(), &ys, &x, known, "prop", b"");
         prop_assert!(proof.verify(g, &g.g, &ys, "prop", b""));
+    }
+
+    #[test]
+    fn schnorr_batch_matches_sequential_under_forgeries(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        bad_mask in any::<u16>(),
+    ) {
+        // Batch verify must return exactly the sequential verdicts:
+        // true for every honest proof, false for every injected
+        // forgery, with the bisection naming exactly the bad indices.
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut proofs = Vec::new();
+        let mut ys = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..n {
+            let x = g.random_exponent(&mut rng);
+            let y = g.g_exp(&x);
+            let mut proof = SchnorrProof::prove(&mut rng, g, &g.g.clone(), &y, &x, "batch", b"");
+            let bad = bad_mask & (1 << i) != 0;
+            if bad {
+                // Forge by perturbing the response.
+                proof.s = (&proof.s + 1u64) % &g.q;
+            }
+            expected.push(!bad);
+            proofs.push(proof);
+            ys.push(y);
+        }
+        let items: Vec<schnorr::BatchItem> = proofs
+            .iter()
+            .zip(&ys)
+            .map(|(proof, y)| schnorr::BatchItem { proof, g: &g.g, y, domain: "batch", extra: b"" })
+            .collect();
+        let got = schnorr::batch_verify(&mut rng, g, &items);
+        prop_assert_eq!(&got, &expected);
+        // And bit-identical to per-item sequential verification.
+        let sequential: Vec<bool> = items
+            .iter()
+            .map(|it| it.proof.verify(g, it.g, it.y, it.domain, it.extra))
+            .collect();
+        prop_assert_eq!(got, sequential);
+    }
+
+    #[test]
+    fn rsa_batch_matches_sequential_under_forgeries(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        bad_mask in any::<u16>(),
+    ) {
+        let key = rsa_key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("report-{seed}-{i}").into_bytes()).collect();
+        let mut sigs: Vec<BigUint> = msgs.iter().map(|m| rsa::sign(key, m)).collect();
+        let mut expected = Vec::new();
+        for (i, sig) in sigs.iter_mut().enumerate() {
+            let bad = bad_mask & (1 << i) != 0;
+            if bad {
+                // Corrupt: off-by-one (an out-of-range variant is
+                // covered below via the sig >= n fast-fail).
+                *sig = (&*sig + 1u64) % &key.public.n;
+            }
+            expected.push(!bad);
+        }
+        // One oversized signature exercises the fast-fail path.
+        if n > 2 && bad_mask & 1 << 14 != 0 {
+            sigs[0] = &key.public.n + 5u64;
+            expected[0] = false;
+        }
+        let items: Vec<(&[u8], &BigUint)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        let got = rsa::batch_verify(&mut rng, &key.public, &items);
+        prop_assert_eq!(&got, &expected);
+        let sequential: Vec<bool> = items
+            .iter()
+            .map(|(m, s)| rsa::verify(&key.public, m, s))
+            .collect();
+        prop_assert_eq!(got, sequential);
     }
 
     #[test]

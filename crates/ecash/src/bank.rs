@@ -83,8 +83,10 @@ impl DecBank {
         self.record_deposit(spend, value)
     }
 
-    /// Deposits a batch of spends: the expensive cryptographic
-    /// verification runs rayon-parallel across the batch, then the
+    /// Deposits a batch of spends: cryptographic verification runs as
+    /// combined small-exponent batch checks over rayon-parallel
+    /// sub-chunks (see [`crate::batch::verify_batch_chunked`]; per-item
+    /// verdicts are bit-identical to sequential verification), then the
     /// double-spend bookkeeping is applied sequentially in order (so
     /// intra-batch conflicts resolve deterministically: first wins).
     pub fn deposit_batch(
@@ -92,13 +94,15 @@ impl DecBank {
         spends: &[Spend],
         binding: &[u8],
     ) -> Vec<Result<u64, DecError>> {
-        use rayon::prelude::*;
-        let params = self.params.clone();
-        let pk = self.public_key().clone();
-        let verified: Vec<Result<u64, DecError>> = spends
-            .par_iter()
-            .map(|s| s.verify(&params, &pk, binding))
-            .collect();
+        let seed = crate::batch::batch_seed(spends, binding);
+        let verified = crate::batch::verify_batch_chunked(
+            seed,
+            crate::batch::DEPOSIT_CHUNK,
+            &self.params,
+            self.public_key(),
+            binding,
+            spends,
+        );
         spends
             .iter()
             .zip(verified)

@@ -35,6 +35,7 @@
 //! fake-coin padding `E(0)` that defeats length inspection.
 
 pub mod bank;
+pub mod batch;
 pub mod brk;
 pub mod coin;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod wallet;
 pub mod wire;
 
 pub use bank::DecBank;
+pub use batch::{batch_seed, verify_batch, verify_batch_chunked, DEPOSIT_CHUNK};
 pub use brk::{
     allocate_nodes, break_epcba, break_pcba, break_unitary, build_payment, cover_range, plan_break,
     receive_payment, BreakPlan, CashBreak,

@@ -10,6 +10,7 @@ use ppms_crypto::rsa::{self, RsaPublicKey};
 use ppms_crypto::zkp::ddlog::{DdlogProof, DdlogStatement};
 use ppms_crypto::zkp::orproof::OrProof;
 use ppms_crypto::zkp::transcript::Transcript;
+use ppms_crypto::zkp::GroupClaim;
 use rand::Rng;
 
 /// A path from the root to a tree node: `bits[j]` picks the left/right
@@ -148,6 +149,56 @@ impl LinkedReprProof {
             .iter()
             .map(|v| v.bits().div_ceil(8))
             .sum()
+    }
+
+    /// Expresses the two verification equations as [`GroupClaim`]s for
+    /// batch combination. `None` means a membership screen failed and
+    /// the item must be decided by the sequential
+    /// [`LinkedReprProof::verify`] (which performs the same screens,
+    /// so decisions stay identical).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn batch_claims(
+        &self,
+        group: &SchnorrGroup,
+        u: &BigUint,
+        root_tag: &BigUint,
+        gb: &BigUint,
+        h: &BigUint,
+        t1: &BigUint,
+        binding: &[u8],
+    ) -> Option<[GroupClaim; 2]> {
+        if !group.contains(&self.t_r) || !group.contains(&self.t_1) {
+            return None;
+        }
+        // Combined-check soundness needs every base in the subgroup;
+        // the Jacobi screen is cheap relative to the saved exps.
+        if !group.contains(u)
+            || !group.contains(root_tag)
+            || !group.contains(gb)
+            || !group.contains(h)
+            || !group.contains(t1)
+        {
+            return None;
+        }
+        let c = Self::challenge(group, u, root_tag, gb, h, t1, &self.t_r, &self.t_1, binding);
+        let neg_c = c.modneg(&group.q);
+        Some([
+            GroupClaim {
+                lhs: vec![
+                    (u.clone(), &self.s0 % &group.q),
+                    (root_tag.clone(), neg_c.clone()),
+                ],
+                rhs: vec![(self.t_r.clone(), BigUint::one())],
+            },
+            GroupClaim {
+                lhs: vec![
+                    (gb.clone(), &self.s0 % &group.q),
+                    (h.clone(), &self.s1 % &group.q),
+                    (t1.clone(), neg_c),
+                ],
+                rhs: vec![(self.t_1.clone(), BigUint::one())],
+            },
+        ])
     }
 }
 

@@ -43,6 +43,14 @@ echo "$trace_out" | grep -q "flight-recorder dump:" || {
     exit 1
 }
 
+echo "==> batch-verification equivalence (multi-exp, batch-inv, bisection)"
+cargo test -p ppms-bigint --test ring_props -q
+cargo test -p ppms-crypto --test props -q
+cargo test -p ppms-ecash --lib -q batch::
+
+echo "==> batch_verify bench smoke (correctness pass, no timing gates)"
+cargo bench -p ppms-bench --bench batch_verify -- --test >/dev/null
+
 echo "==> cargo test"
 cargo test --workspace -q
 

@@ -212,3 +212,103 @@ fn double_spend_is_still_caught_under_retries() {
     assert_eq!((a3, r3), (0, 2), "genuine reuse must be caught");
     svc.shutdown();
 }
+
+#[test]
+fn retried_batch_deposit_survives_crash_and_replays_one_outcome() {
+    // Retry-during-batch-verify: the shard dies after journaling the
+    // DepositBatch Begin (before the combined batch verification
+    // runs), the retry under the same id re-executes on the respawned
+    // worker, and a later retransmit replays the *identical*
+    // batch-level BatchDeposited from the dedup cache — the batch is
+    // one WAL/dedup unit, never per-item, so no partial credit can
+    // leak across the crash.
+    let mut rng = StdRng::seed_from_u64(0x0DD6);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards: 1,
+            // Begins: RegisterSp, RegisterJo, Withdraw, then the batch.
+            crash: Some(CrashPoint {
+                shard: 0,
+                at_request: 4,
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+        panic!("sp account");
+    };
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+        funds: 50,
+        clpk: cl.public.clone(),
+    }) else {
+        panic!("jo account");
+    };
+    let mut coin = Coin::mint(&mut rng, &svc.params);
+    let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+    let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+    let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+        account: jo,
+        nonce: 1,
+        auth,
+        blinded,
+    }) else {
+        panic!("withdraw");
+    };
+    assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+    // A mixed batch: two valid leaves plus an intra-batch duplicate,
+    // so the cached outcome has both accepted and rejected items.
+    let s1 = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 0), b"");
+    let s2 = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 1), b"");
+    let dup = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 0), b"");
+    let batch = MaRequest::DepositBatch {
+        account: sp,
+        spends: vec![s1, s2, dup],
+    };
+
+    // First delivery hits the crash point: journaled, never verified.
+    let id = next_request_id();
+    let first = client.try_call_keyed(id, batch.clone());
+    assert!(first.is_err(), "crash must surface as a transport error");
+
+    // Retry under the same id: the respawned worker discards the
+    // orphan Begin and runs the whole batch verification once.
+    let retry = client
+        .try_call_keyed(id, batch.clone())
+        .expect("retry after respawn");
+    let MaResponse::BatchDeposited {
+        total,
+        accepted,
+        rejected,
+    } = retry
+    else {
+        panic!("batch response, got {retry:?}");
+    };
+    assert_eq!((total, accepted, rejected), (2, 2, 1));
+    assert_eq!(svc.faults.shard_respawns(), 1);
+    assert_eq!(svc.faults.snapshot().wal_discarded, 1);
+
+    // Retransmit again: the identical batch-level outcome comes back
+    // from the dedup cache without re-verification or re-credit.
+    let replay = client.try_call_keyed(id, batch).expect("retransmit");
+    let MaResponse::BatchDeposited {
+        total: t2,
+        accepted: a2,
+        rejected: r2,
+    } = replay
+    else {
+        panic!("replayed batch response");
+    };
+    assert_eq!((t2, a2, r2), (2, 2, 1), "replay must be verbatim");
+    assert_eq!(svc.faults.dedup_replays(), 1);
+    let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else {
+        panic!("balance");
+    };
+    assert_eq!(b, 2, "exactly one credit across crash, retry and replay");
+    svc.shutdown();
+}

@@ -69,6 +69,10 @@ pub mod prelude {
         fn count(self) -> usize {
             self.into_inner_iter().count()
         }
+
+        fn enumerate(self) -> Par<std::iter::Enumerate<Self::Inner>> {
+            Par(self.into_inner_iter().enumerate())
+        }
     }
 
     impl<I: Iterator> ParallelIterator for Par<I> {
@@ -120,6 +124,16 @@ pub mod prelude {
         type SeqIter = std::slice::Iter<'data, T>;
         fn par_iter(&'data self) -> Par<Self::SeqIter> {
             Par(self.iter())
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(chunk_size))
         }
     }
 
