@@ -15,10 +15,16 @@
 //! * Knuth Algorithm D division,
 //! * Montgomery modular exponentiation (odd moduli) with a plain
 //!   square-and-multiply fallback,
+//! * [`FpMont`]: the allocation-free fixed-width core — the same
+//!   Montgomery kernels monomorphized over `const LIMBS` widths
+//!   (stack-resident residues, thread-local scratch arena) for the
+//!   protocol moduli, proven allocation-free by a counting-allocator
+//!   test,
 //! * [`ModRing`]: a constructed-once per-modulus context unifying
-//!   Montgomery/Barrett behind one API, with cached fixed-base window
-//!   tables, Shamir simultaneous multi-exponentiation, and RSA-CRT
-//!   ([`RsaCrt`]) — the layer every crate above exponentiates through,
+//!   the fixed-width, Montgomery and Barrett backends behind one API,
+//!   with cached fixed-base window tables, Shamir simultaneous
+//!   multi-exponentiation, and RSA-CRT ([`RsaCrt`]) — the layer every
+//!   crate above exponentiates through,
 //! * extended Euclid / modular inverse, Jacobi symbols,
 //! * random generation, and decimal/hex/byte conversions.
 //!
@@ -43,6 +49,7 @@ mod bigint;
 mod biguint;
 mod convert;
 mod div;
+mod fixed;
 mod gcd;
 mod modular;
 mod montgomery;
@@ -55,6 +62,7 @@ pub use crate::barrett::Barrett;
 pub use crate::bigint::{BigInt, Sign};
 pub use crate::biguint::BigUint;
 pub use crate::convert::ParseBigUintError;
+pub use crate::fixed::FpMont;
 pub use crate::gcd::{ext_gcd, gcd, jacobi, lcm};
 pub use crate::modular::modpow_plain;
 pub use crate::montgomery::Montgomery;

@@ -21,21 +21,26 @@
 //!   recombination, roughly 4× cheaper than a full-width `pow`.
 //!
 //! Odd moduli use the Montgomery backend; even moduli (not hit by the
-//! protocols, but supported so the ring is total) use Barrett.
+//! protocols, but supported so the ring is total) use Barrett. Odd
+//! moduli whose width matches a monomorphized [`FpMont`] instantiation
+//! (the 1024/2048-bit protocol moduli, their CRT halves, and the small
+//! fixture-tower widths) additionally carry a **fixed-width backend**:
+//! every hot operation — `pow`, `mul`, `multi_pow`, `multi_pow_n`, the
+//! fixed-base window tables — routes through stack-resident
+//! allocation-free kernels, and the heap-`Vec` path remains only for
+//! setup-time odd sizes (and stays reachable through
+//! [`ModRing::pow_dynamic`] / [`ModRing::multi_pow_n_dynamic`] for the
+//! equivalence tests and the ablation bench).
 //!
 //! Clones of a `ModRing` *share* the fixed-base table cache, so cloning
 //! parameter sets across worker threads — as the threaded market in
 //! `ppms-core` does — amortizes precomputation instead of repeating it.
 
+use crate::fixed::{digit_at, pippenger_window, FpMont, WINDOW_BITS, WINDOW_SPAN};
 use crate::{Barrett, BigUint, Montgomery};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
-
-/// Fixed window width for per-base tables: 4 bits, 15 stored odd-digit
-/// entries per window.
-const WINDOW_BITS: usize = 4;
-const WINDOW_SPAN: usize = 1 << WINDOW_BITS;
 
 /// Maximum number of bases `multi_pow` accepts (subset table is `2^n`).
 const MULTI_POW_MAX: usize = 6;
@@ -46,13 +51,68 @@ enum Backend {
     Barrett(Barrett),
 }
 
+/// The monomorphized fixed-width instantiations. Widths are chosen for
+/// the moduli the protocols actually exercise: 16/32 limbs for the
+/// 1024/2048-bit RSA and group moduli, 8 for their CRT halves and the
+/// 512-bit bench modulus, 4 for 256-bit CRT halves of test keys, and
+/// 2 for the fixture-tower groups the test suite lives in. Any other
+/// width keeps the dynamic `Vec<u64>` backend.
+// The enum lives once per ModRing; keeping the widest context inline
+// (rather than boxed) spares every kernel dispatch a pointer chase.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+enum Fixed {
+    L2(FpMont<2>),
+    L4(FpMont<4>),
+    L8(FpMont<8>),
+    L16(FpMont<16>),
+    L32(FpMont<32>),
+}
+
+/// Dispatches `$body` over whichever `FpMont<LIMBS>` instantiation the
+/// ring carries, binding it to `$fp`. Each arm monomorphizes `$body`
+/// at its concrete width.
+macro_rules! with_fp {
+    ($fixed:expr, $fp:ident => $body:expr) => {
+        match $fixed {
+            Fixed::L2($fp) => $body,
+            Fixed::L4($fp) => $body,
+            Fixed::L8($fp) => $body,
+            Fixed::L16($fp) => $body,
+            Fixed::L32($fp) => $body,
+        }
+    };
+}
+
+impl Fixed {
+    /// Picks the instantiation matching the modulus width, if any.
+    fn for_modulus(n: &BigUint) -> Option<Fixed> {
+        if !n.is_odd() {
+            return None;
+        }
+        match n.limbs().len() {
+            2 => FpMont::<2>::new(n).map(Fixed::L2),
+            4 => FpMont::<4>::new(n).map(Fixed::L4),
+            8 => FpMont::<8>::new(n).map(Fixed::L8),
+            16 => FpMont::<16>::new(n).map(Fixed::L16),
+            32 => FpMont::<32>::new(n).map(Fixed::L32),
+            _ => None,
+        }
+    }
+}
+
 /// Per-base precomputation: `windows[j][d-1] = base^(d · 16^j)` for
 /// `d` in `1..16`, in backend-native residue form.
 enum FixedTable {
-    /// Montgomery-form limb vectors (width `k`).
+    /// Montgomery-form limb vectors (width `k`) for the dynamic
+    /// backend.
     Mont(Vec<Vec<Vec<u64>>>),
     /// Plain residues for the Barrett backend.
     Plain(Vec<Vec<BigUint>>),
+    /// Flat Montgomery entries for the fixed-width backend: `windows`
+    /// rows of 15 odd-digit entries, each `LIMBS` limbs, evaluated by
+    /// [`FpMont::eval_window_table`] without intermediate allocations.
+    Fp { windows: usize, flat: Vec<u64> },
 }
 
 impl FixedTable {
@@ -60,6 +120,7 @@ impl FixedTable {
         match self {
             FixedTable::Mont(w) => w.len(),
             FixedTable::Plain(w) => w.len(),
+            FixedTable::Fp { windows, .. } => *windows,
         }
     }
 }
@@ -68,6 +129,11 @@ impl FixedTable {
 pub struct ModRing {
     modulus: BigUint,
     backend: Backend,
+    /// The allocation-free fixed-width backend, present when the
+    /// modulus width matches a monomorphized instantiation. When set,
+    /// every hot operation routes through it; `backend` remains the
+    /// dynamic fallback (and the reference for the equivalence tests).
+    fixed: Option<Fixed>,
     /// `base (mod n)` → `None` (registered, table not yet built) or
     /// `Some(table)`. Shared across clones so precomputation done by
     /// one thread benefits all holders of the same parameter set.
@@ -79,6 +145,7 @@ impl Clone for ModRing {
         ModRing {
             modulus: self.modulus.clone(),
             backend: self.backend.clone(),
+            fixed: self.fixed.clone(),
             tables: Arc::clone(&self.tables),
         }
     }
@@ -95,6 +162,7 @@ impl std::fmt::Debug for ModRing {
                     Backend::Barrett(_) => "barrett",
                 },
             )
+            .field("fixed_width", &self.fixed.is_some())
             .field("registered_bases", &self.tables.read().len())
             .finish()
     }
@@ -121,8 +189,15 @@ impl ModRing {
         ModRing {
             modulus: n.clone(),
             backend,
+            fixed: Fixed::for_modulus(n),
             tables: Arc::new(RwLock::new(HashMap::new())),
         }
+    }
+
+    /// Whether this ring runs its hot paths on the allocation-free
+    /// fixed-width backend (diagnostic / bench aid).
+    pub fn has_fixed_width(&self) -> bool {
+        self.fixed.is_some()
     }
 
     /// A process-wide shared ring for `n`, memoized so repeated
@@ -180,18 +255,37 @@ impl ModRing {
 
     /// `a · b mod n`.
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        if let Some(fixed) = &self.fixed {
+            return with_fp!(fixed, fp => fp.mul(a, b));
+        }
         match &self.backend {
             Backend::Mont(m) => m.mul(a, b),
             Backend::Barrett(b_) => b_.mul(a, b),
         }
     }
 
-    /// `base^exp mod n` through the cached backend context.
+    /// `base^exp mod n` — the fixed-width stack ladder when the
+    /// modulus width is monomorphized, the cached dynamic context
+    /// otherwise.
     ///
     /// Span: `ring.pow_ns` (nested under `ring.pow_fixed_ns` /
     /// `ring.pow_crt_ns` when those paths fall through to here).
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let _span = ppms_obs::timed!("ring.pow_ns");
+        if let Some(fixed) = &self.fixed {
+            return with_fp!(fixed, fp => fp.pow(base, exp));
+        }
+        match &self.backend {
+            Backend::Mont(m) => m.modpow(base, exp),
+            Backend::Barrett(b) => b.modpow(base, exp),
+        }
+    }
+
+    /// `base^exp mod n` forced onto the dynamic heap-`Vec` backend,
+    /// regardless of any fixed-width instantiation — the reference
+    /// side of the fixed ≡ dynamic equivalence tests and the ablation
+    /// bench. Protocol code should call [`ModRing::pow`].
+    pub fn pow_dynamic(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         match &self.backend {
             Backend::Mont(m) => m.modpow(base, exp),
             Backend::Barrett(b) => b.modpow(base, exp),
@@ -278,6 +372,11 @@ impl ModRing {
     /// Builds the per-base window table sized for exponents up to the
     /// modulus width.
     fn build_table(&self, base: &BigUint) -> FixedTable {
+        if let Some(fixed) = &self.fixed {
+            let (windows, flat) =
+                with_fp!(fixed, fp => fp.build_window_table(base, self.modulus.bits()));
+            return FixedTable::Fp { windows, flat };
+        }
         let nwindows = self.modulus.bits().div_ceil(WINDOW_BITS).max(1);
         match &self.backend {
             Backend::Mont(m) => {
@@ -314,6 +413,13 @@ impl ModRing {
     /// Evaluates `base^exp` from a window table: one multiplication per
     /// nonzero 4-bit digit of `exp`, no squarings.
     fn eval_fixed(&self, table: &FixedTable, exp: &BigUint) -> BigUint {
+        if let FixedTable::Fp { windows, flat } = table {
+            let fixed = self
+                .fixed
+                .as_ref()
+                .expect("Fp table built by a fixed-width ring");
+            return with_fp!(fixed, fp => fp.eval_window_table(flat, *windows, exp));
+        }
         let nwindows = exp.bits().div_ceil(WINDOW_BITS);
         match (&self.backend, table) {
             (Backend::Mont(m), FixedTable::Mont(windows)) => {
@@ -357,64 +463,12 @@ impl ModRing {
         if pairs.is_empty() {
             return self.reduce(&BigUint::one());
         }
-        let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        if let Some(fixed) = &self.fixed {
+            return with_fp!(fixed, fp => fp.from_mont(&shamir(fp, pairs)));
+        }
         match &self.backend {
-            Backend::Mont(m) => {
-                // subset[mask] = ∏_{i ∈ mask} baseᵢ, Montgomery form.
-                let mut one = m.r1.limbs().to_vec();
-                one.resize(m.k, 0);
-                let mut subset = vec![one.clone(); 1 << pairs.len()];
-                for (i, (b, _)) in pairs.iter().enumerate() {
-                    let bm = m.to_mont(b);
-                    let bit = 1usize << i;
-                    for mask in bit..(1 << pairs.len()) {
-                        if mask & bit != 0 {
-                            subset[mask] = m.mont_mul(&subset[mask & !bit], &bm);
-                        }
-                    }
-                }
-                let mut acc = one;
-                for bit in (0..max_bits).rev() {
-                    acc = m.mont_sqr(&acc);
-                    let mut mask = 0usize;
-                    for (i, (_, e)) in pairs.iter().enumerate() {
-                        if e.bit(bit) {
-                            mask |= 1 << i;
-                        }
-                    }
-                    if mask != 0 {
-                        acc = m.mont_mul(&acc, &subset[mask]);
-                    }
-                }
-                m.from_mont(&acc)
-            }
-            Backend::Barrett(b) => {
-                let one = b.reduce(&BigUint::one());
-                let mut subset = vec![one.clone(); 1 << pairs.len()];
-                for (i, (base, _)) in pairs.iter().enumerate() {
-                    let br = b.reduce(base);
-                    let bit = 1usize << i;
-                    for mask in bit..(1 << pairs.len()) {
-                        if mask & bit != 0 {
-                            subset[mask] = b.mul(&subset[mask & !bit], &br);
-                        }
-                    }
-                }
-                let mut acc = one;
-                for bit in (0..max_bits).rev() {
-                    acc = b.sqr(&acc);
-                    let mut mask = 0usize;
-                    for (i, (_, e)) in pairs.iter().enumerate() {
-                        if e.bit(bit) {
-                            mask |= 1 << i;
-                        }
-                    }
-                    if mask != 0 {
-                        acc = b.mul(&acc, &subset[mask]);
-                    }
-                }
-                acc
-            }
+            Backend::Mont(m) => m.from_mont(&shamir(m, pairs)),
+            Backend::Barrett(b) => shamir(b, pairs),
         }
     }
 
@@ -449,10 +503,31 @@ impl ModRing {
         self.multi_pow_n_impl(pairs, true)
     }
 
+    /// [`ModRing::multi_pow_n`] forced onto the dynamic heap-`Vec`
+    /// backend — the reference side of the fixed ≡ dynamic equivalence
+    /// tests and the ablation bench.
+    pub fn multi_pow_n_dynamic(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        if pairs.is_empty() {
+            return self.reduce(&BigUint::one());
+        }
+        let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        self.multi_pow_n_dyn_impl(pairs, pick_bucketed(pairs.len(), max_bits))
+    }
+
     fn multi_pow_n_impl(&self, pairs: &[(&BigUint, &BigUint)], bucketed: bool) -> BigUint {
         if pairs.is_empty() {
             return self.reduce(&BigUint::one());
         }
+        if let Some(fixed) = &self.fixed {
+            return with_fp!(
+                fixed,
+                fp => fp.from_mont(&fp.multi_pow_n_mont(pairs, bucketed))
+            );
+        }
+        self.multi_pow_n_dyn_impl(pairs, bucketed)
+    }
+
+    fn multi_pow_n_dyn_impl(&self, pairs: &[(&BigUint, &BigUint)], bucketed: bool) -> BigUint {
         match &self.backend {
             Backend::Mont(m) => {
                 let acc = if bucketed {
@@ -537,30 +612,25 @@ fn exp_digit(exp: &BigUint, window: usize) -> usize {
     digit_at(exp, window * WINDOW_BITS, WINDOW_BITS)
 }
 
-/// The `w`-bit digit of `exp` starting at bit `pos`.
-fn digit_at(exp: &BigUint, pos: usize, w: usize) -> usize {
-    let mut digit = 0usize;
-    for b in (0..w).rev() {
-        digit <<= 1;
-        if exp.bit(pos + b) {
-            digit |= 1;
-        }
-    }
-    digit
-}
-
 /// Chooses between Straus and Pippenger for [`ModRing::multi_pow_n`]
 /// by predicted multiplication count. Straus pays a 14-mul odd-digit
-/// table per base plus one insertion per base per 4-bit window;
-/// Pippenger pays one insertion per base per `w`-bit window plus a
-/// `2·2^w` bucket walk per window, no tables. Both share one squaring
-/// chain, so squarings cancel out of the comparison. The crossover
-/// therefore depends on the exponent width, not just the base count:
-/// the `multi_exp_crossover` rows of the `batch_verify` bench
-/// (512-bit modulus, full-width exponents) put it near 128 bases,
-/// while for 64-bit small-exponent batches it sits near 150 — the
-/// fixed `32` this replaces sent full-width combined checks down the
-/// slow path.
+/// table per base plus one insertion per base per 4-bit window.
+/// Pippenger pays per `w`-bit window one insertion per base — but an
+/// insertion into an empty bucket is a copy, not a mul — plus the
+/// suffix running-product walk, which only multiplies at occupied
+/// buckets, so its per-window cost sits near *half* the `2^w − 1`
+/// bucket count rather than the `2·2^w` the previous model charged.
+/// Both share one squaring chain, so squarings cancel out.
+///
+/// Constants are tuned to the `fixed_crossover` table of the
+/// `ablation_fixed` bench (1024-bit modulus on the fixed-width
+/// kernels): full-width exponents cross near n≈96–128 (measured
+/// 8.9ms/9.0ms at 96, 15.1ms/13.5ms at 192), while 64-bit
+/// small-exponent batches — the batch-verification shape — flip to
+/// Pippenger by n≈16 already (285µs vs 239µs; 2531µs vs 1239µs at
+/// 256). The Vec-path model this replaces put the small-exponent
+/// crossover near 150 and sent every batch-verify call down the slow
+/// path.
 fn pick_bucketed(n: usize, max_bits: usize) -> bool {
     if n == 0 || max_bits == 0 {
         return false;
@@ -568,8 +638,10 @@ fn pick_bucketed(n: usize, max_bits: usize) -> bool {
     let w = pippenger_window(n);
     // Straus: 14·n table muls + (15/16)·n insertions per 4-bit window.
     let straus = 14 * n + max_bits.div_ceil(WINDOW_BITS) * (n - n / 16);
-    // Pippenger: n insertions + ≤ 2·(2^w − 1) walk muls per window.
-    let pippenger = max_bits.div_ceil(w) * (n + (2 << w) - 2);
+    // Pippenger: per window, ~n insertion muls (first touches are
+    // copies, folded into the halved walk term) + ~(2^w − 1)/2 + 2
+    // walk muls over the occupied buckets.
+    let pippenger = max_bits.div_ceil(w) * (n + ((1 << w) - 1) / 2 + 2);
     pippenger < straus
 }
 
@@ -622,6 +694,66 @@ impl MulKernel for Barrett {
     }
 }
 
+impl<const LIMBS: usize> MulKernel for FpMont<LIMBS> {
+    type Elem = [u64; LIMBS];
+    fn k_one(&self) -> [u64; LIMBS] {
+        self.one_mont()
+    }
+    fn k_from(&self, x: &BigUint) -> [u64; LIMBS] {
+        self.to_mont(x)
+    }
+    fn k_mul(&self, a: &[u64; LIMBS], b: &[u64; LIMBS]) -> [u64; LIMBS] {
+        self.mont_mul(a, b)
+    }
+    fn k_sqr(&self, a: &[u64; LIMBS]) -> [u64; LIMBS] {
+        self.mont_sqr(a)
+    }
+}
+
+/// Shamir simultaneous exponentiation over any [`MulKernel`]: a
+/// `2^n − 1`-entry subset-product table (entry `mask − 1` holds
+/// `∏ baseᵢ` over the set bits of `mask`), then one shared
+/// square-per-bit chain with a single table multiplication per bit.
+/// Callers guarantee `pairs` is non-empty and small (≤ 6 bases).
+fn shamir<K: MulKernel>(k: &K, pairs: &[(&BigUint, &BigUint)]) -> K::Elem {
+    let n = pairs.len();
+    let bases: Vec<K::Elem> = pairs.iter().map(|(b, _)| k.k_from(b)).collect();
+    let mut subset: Vec<K::Elem> = Vec::with_capacity((1 << n) - 1);
+    for mask in 1usize..(1 << n) {
+        let low = mask & mask.wrapping_neg();
+        let rest = mask ^ low;
+        let base = &bases[low.trailing_zeros() as usize];
+        subset.push(if rest == 0 {
+            base.clone()
+        } else {
+            k.k_mul(&subset[rest - 1], base)
+        });
+    }
+    let max_bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+    let mut acc = k.k_one();
+    let mut started = false;
+    for bit in (0..max_bits).rev() {
+        if started {
+            acc = k.k_sqr(&acc);
+        }
+        let mut mask = 0usize;
+        for (i, (_, e)) in pairs.iter().enumerate() {
+            if e.bit(bit) {
+                mask |= 1 << i;
+            }
+        }
+        if mask != 0 {
+            acc = if started {
+                k.k_mul(&acc, &subset[mask - 1])
+            } else {
+                subset[mask - 1].clone()
+            };
+            started = true;
+        }
+    }
+    acc
+}
+
 /// Straus interleaved multi-exponentiation: a 4-bit odd-digit table
 /// per base (15 entries), one shared squaring chain. Table setup costs
 /// `14·N` muls, so it wins for small `N`; above the crossover the
@@ -658,19 +790,6 @@ fn straus<K: MulKernel>(k: &K, pairs: &[(&BigUint, &BigUint)]) -> K::Elem {
         }
     }
     acc
-}
-
-/// Window width for Pippenger bucketing, by base count: wider windows
-/// amortize the `2^w` bucket walk over more per-window bucket
-/// insertions (one mul per base).
-fn pippenger_window(n: usize) -> usize {
-    match n {
-        0..=15 => 4,
-        16..=63 => 5,
-        64..=255 => 6,
-        256..=1023 => 7,
-        _ => 8,
-    }
 }
 
 /// Pippenger bucket multi-exponentiation: per window, bases fall into

@@ -1,0 +1,213 @@
+//! Property tests pinning the fixed-width [`FpMont`] backend to the
+//! dynamic `Vec<u64>` path it replaced, at the protocol widths
+//! (16 limbs / 1024 bits and 32 limbs / 2048 bits). Every routed
+//! operation must be *bit-identical* across the two backends: `pow`
+//! vs [`ModRing::pow_dynamic`], `multi_pow_n` (Straus, Pippenger and
+//! the cost-model dispatch) vs [`ModRing::multi_pow_n_dynamic`],
+//! `multi_pow` and `batch_inv` vs first principles, and the Montgomery
+//! domain round-trip vs the identity. Edge operands (0, 1, p−1, and
+//! unreduced values ≥ p) are driven explicitly alongside the random
+//! ones.
+
+use ppms_bigint::{modpow_plain, BigUint, FpMont, ModRing};
+use proptest::prelude::*;
+
+/// Strategy: an odd modulus of *exactly* `limbs` limbs (top bit set so
+/// the width cannot collapse), i.e. one that lands on the monomorphized
+/// fixed-width backend.
+fn exact_width_modulus(limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), limbs).prop_map(|mut v| {
+        let top = v.len() - 1;
+        v[0] |= 1;
+        v[top] |= 1 << 63;
+        BigUint::from_limbs(v)
+    })
+}
+
+/// Strategy: a protocol-width modulus — 16 limbs (1024-bit) or
+/// 32 limbs (2048-bit), covering both `FpMont` instantiations the
+/// protocols exercise.
+fn protocol_modulus() -> impl Strategy<Value = BigUint> {
+    any::<bool>().prop_flat_map(|wide| exact_width_modulus(if wide { 32 } else { 16 }))
+}
+
+/// Strategy: an operand biased toward the edges — 0, 1, and offsets
+/// that the test maps to p−1 / p / p+1 — plus random values up to a
+/// little wider than the modulus (exercising the unreduced path).
+fn operand() -> impl Strategy<Value = Operand> {
+    (any::<u64>(), prop::collection::vec(any::<u64>(), 0..34)).prop_map(|(tag, limbs)| {
+        match tag % 8 {
+            0 => Operand::Zero,
+            1 => Operand::One,
+            2 => Operand::PMinus1,
+            3 => Operand::P,
+            4 => Operand::PPlus1,
+            _ => Operand::Random(limbs),
+        }
+    })
+}
+
+#[derive(Clone, Debug)]
+enum Operand {
+    Zero,
+    One,
+    PMinus1,
+    P,
+    PPlus1,
+    Random(Vec<u64>),
+}
+
+impl Operand {
+    fn value(&self, p: &BigUint) -> BigUint {
+        match self {
+            Operand::Zero => BigUint::zero(),
+            Operand::One => BigUint::one(),
+            Operand::PMinus1 => p - &BigUint::one(),
+            Operand::P => p.clone(),
+            Operand::PPlus1 => p + &BigUint::one(),
+            Operand::Random(limbs) => BigUint::from_limbs(limbs.clone()),
+        }
+    }
+}
+
+proptest! {
+    // Full-width operands make each case a real 1024/2048-bit ladder;
+    // keep the case count low enough for the ci-gate smoke budget.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // `pow` (fixed-width) ≡ `pow_dynamic` (heap-`Vec` Montgomery),
+    // including the edge operands on both sides of the reduction
+    // boundary.
+    #[test]
+    fn pow_fixed_matches_dynamic(m in protocol_modulus(), b in operand(), e in operand()) {
+        let ring = ModRing::new(&m);
+        prop_assert!(ring.has_fixed_width());
+        let base = b.value(&m);
+        let exp = e.value(&m);
+        prop_assert_eq!(ring.pow(&base, &exp), ring.pow_dynamic(&base, &exp));
+    }
+
+    // The fixed-width backend against the naive square-and-multiply
+    // reference (shorter exponents keep the reference affordable).
+    #[test]
+    fn pow_fixed_matches_plain_reference(
+        m in protocol_modulus(),
+        b in operand(),
+        e in prop::collection::vec(any::<u64>(), 0..2),
+    ) {
+        let ring = ModRing::new(&m);
+        let base = b.value(&m);
+        let exp = BigUint::from_limbs(e);
+        prop_assert_eq!(ring.pow(&base, &exp), modpow_plain(&base, &exp, &m));
+    }
+
+    // `multi_pow_n` on the fixed-width kernels ≡ the dynamic path,
+    // for Straus, Pippenger and the cost-model dispatch alike.
+    #[test]
+    fn multi_pow_n_fixed_matches_dynamic(
+        m in exact_width_modulus(16),
+        pairs in prop::collection::vec((operand(), operand()), 0..8),
+    ) {
+        let ring = ModRing::new(&m);
+        let vals: Vec<(BigUint, BigUint)> =
+            pairs.iter().map(|(b, e)| (b.value(&m), e.value(&m))).collect();
+        let refs: Vec<(&BigUint, &BigUint)> = vals.iter().map(|(b, e)| (b, e)).collect();
+        let expect = ring.multi_pow_n_dynamic(&refs);
+        prop_assert_eq!(ring.multi_pow_n(&refs), expect.clone());
+        prop_assert_eq!(ring.multi_pow_n_straus(&refs), expect.clone());
+        prop_assert_eq!(ring.multi_pow_n_pippenger(&refs), expect);
+    }
+
+    // Same equivalence at the 2048-bit width (fewer, smaller batches —
+    // each case is ~32× the limb work of the small-ring proptests).
+    #[test]
+    fn multi_pow_n_fixed_matches_dynamic_2048(
+        m in exact_width_modulus(32),
+        pairs in prop::collection::vec((operand(), operand()), 0..4),
+    ) {
+        let ring = ModRing::new(&m);
+        let vals: Vec<(BigUint, BigUint)> =
+            pairs.iter().map(|(b, e)| (b.value(&m), e.value(&m))).collect();
+        let refs: Vec<(&BigUint, &BigUint)> = vals.iter().map(|(b, e)| (b, e)).collect();
+        let expect = ring.multi_pow_n_dynamic(&refs);
+        prop_assert_eq!(ring.multi_pow_n(&refs), expect.clone());
+        prop_assert_eq!(ring.multi_pow_n_straus(&refs), expect.clone());
+        prop_assert_eq!(ring.multi_pow_n_pippenger(&refs), expect);
+    }
+
+}
+
+proptest! {
+    // Full-width operands make each case a real 1024/2048-bit ladder;
+    // keep the case count low enough for the ci-gate smoke budget.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Shamir `multi_pow` on the fixed-width kernels against the
+    // product of independent `pow_dynamic` calls.
+    #[test]
+    fn multi_pow_fixed_matches_product(
+        m in protocol_modulus(),
+        b1 in operand(), e1 in operand(),
+        b2 in operand(), e2 in operand(),
+    ) {
+        let ring = ModRing::new(&m);
+        let (b1, e1, b2, e2) = (b1.value(&m), e1.value(&m), b2.value(&m), e2.value(&m));
+        let expect = ring.mul(&ring.pow_dynamic(&b1, &e1), &ring.pow_dynamic(&b2, &e2));
+        prop_assert_eq!(ring.multi_pow(&[(&b1, &e1), (&b2, &e2)]), expect);
+    }
+
+    // Fixed-base window tables built and evaluated by the fixed-width
+    // backend agree with plain `pow`.
+    #[test]
+    fn pow_fixed_base_tables_match_pow(
+        m in protocol_modulus(),
+        b in operand(),
+        e in operand(),
+    ) {
+        let ring = ModRing::new(&m);
+        let base = b.value(&m);
+        let exp = e.value(&m);
+        ring.register_base(&base);
+        prop_assert_eq!(ring.pow_fixed(&base, &exp), ring.pow(&base, &exp));
+    }
+
+}
+
+proptest! {
+    // Full-width operands make each case a real 1024/2048-bit ladder;
+    // keep the case count low enough for the ci-gate smoke budget.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // `batch_inv` (whose internal products route through the
+    // fixed-width `mul`) against per-element `modinv`.
+    #[test]
+    fn batch_inv_fixed_matches_modinv(
+        m in exact_width_modulus(16),
+        xs in prop::collection::vec(operand(), 0..10),
+    ) {
+        let ring = ModRing::new(&m);
+        let vals: Vec<BigUint> = xs.iter().map(|x| x.value(&m)).collect();
+        let got = ring.batch_inv(&vals);
+        prop_assert_eq!(got.len(), vals.len());
+        for (x, inv) in vals.iter().zip(&got) {
+            prop_assert_eq!(inv, &x.modinv(&m));
+        }
+    }
+
+    // Montgomery domain round-trip on the raw kernels: `to_mont` →
+    // `from_mont` is the identity on reduced values, and reduces
+    // unreduced ones, at both instantiations.
+    #[test]
+    fn mont_roundtrip_identity_1024(m in exact_width_modulus(16), x in operand()) {
+        let fp = FpMont::<16>::new(&m).expect("exact-width odd modulus");
+        let x = x.value(&m);
+        prop_assert_eq!(fp.from_mont(&fp.to_mont(&x)), &x % &m);
+    }
+
+    #[test]
+    fn mont_roundtrip_identity_2048(m in exact_width_modulus(32), x in operand()) {
+        let fp = FpMont::<32>::new(&m).expect("exact-width odd modulus");
+        let x = x.value(&m);
+        prop_assert_eq!(fp.from_mont(&fp.to_mont(&x)), &x % &m);
+    }
+}

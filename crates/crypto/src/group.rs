@@ -4,6 +4,12 @@
 //! proof in the workspace operate in these groups. For the tower the
 //! moduli are safe primes from a Cunningham chain (`p = 2q + 1`), so
 //! the subgroup of quadratic residues has prime order `q`.
+//!
+//! All group arithmetic goes through the cached [`ModRing`], which
+//! routes protocol-width moduli (1024/2048-bit, and the small
+//! fixture-tower widths) onto the allocation-free fixed-width
+//! `FpMont` kernels — every `exp` / `multi_exp` below runs its ladder
+//! without touching the heap (DESIGN.md §12).
 
 use crate::hash::hash_to_int;
 use ppms_bigint::{jacobi, random_below, BigUint, ModRing};

@@ -2,7 +2,10 @@
 //!
 //! Used by the DEC withdrawal (the bank signs a commitment to the coin
 //! secret, never the secret itself) and exercised by the
-//! representation ZKP.
+//! representation ZKP. The two-base shape maps onto the ring's Shamir
+//! `multi_pow`, which at protocol widths runs on the fixed-width
+//! kernels — one shared squaring chain, subset table on the stack-side
+//! arena, no heap traffic (DESIGN.md §12).
 
 use crate::group::SchnorrGroup;
 use ppms_bigint::BigUint;

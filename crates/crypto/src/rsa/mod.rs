@@ -16,7 +16,7 @@ use std::sync::Arc;
 pub use blind::{blind, sign_blinded, unblind, BlindingFactor};
 pub use encrypt::{decrypt, encrypt};
 pub use pbs::{pbs_blind, pbs_sign, pbs_unblind, pbs_verify, PbsBlinding};
-pub use sign::{batch_verify, sign, verify};
+pub use sign::{batch_verify, batch_verify_combined, combined_profitable, sign, verify};
 
 /// The standard public exponent.
 pub const E: u64 = 65537;

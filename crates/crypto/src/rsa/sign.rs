@@ -29,8 +29,53 @@ pub fn verify(pk: &RsaPublicKey, msg: &[u8], sig: &BigUint) -> bool {
     pk.ring().pow(sig, &pk.e) == fdh(pk, msg)
 }
 
-/// Verifies many `(msg, sig)` pairs under one key with a combined
-/// small-exponent check:
+/// Whether the combined small-exponent batch check beats `n` sequential
+/// verifies, by predicted multiplication count.
+///
+/// A sequential verify is one `e`-exponentiation: `e_bits` squarings
+/// plus `e_bits/4` window insertions plus the 14-mul table, per item.
+/// The combined check pays one `e`-exponentiation on the product plus
+/// two Straus multi-exponentiations over `n` bases with 64-bit
+/// multipliers (≈ `14n` table muls + `15n` insertions + 64 squarings
+/// each). For the protocol's `e = 65537` (17 bits) the sequential side
+/// is so cheap that the combined check *never* wins — measured at
+/// 0.18–0.70× in `BENCH_batch.json` before this gate existed — so the
+/// deposit path routes batches to plain per-item verification. Wide
+/// secret-exponent-sized `e` flips the verdict by `n = 2` already.
+pub fn combined_profitable(e_bits: usize, n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let per_item = e_bits + e_bits.div_ceil(4) + 14;
+    let sequential = n * per_item;
+    let combined = per_item + 2 * (14 * n + 15 * n + 64);
+    combined < sequential
+}
+
+/// Verifies many `(msg, sig)` pairs under one key, picking the cheaper
+/// of two strategies by [`combined_profitable`]'s cost model:
+/// per-item [`verify`] (always the winner for the protocol's
+/// `e = 65537`), or the combined small-exponent check of
+/// [`batch_verify_combined`] when `e` is wide enough to amortize.
+/// Per-item verdicts are bit-identical either way.
+///
+/// Span: `rsa.batch_verify_ns`.
+pub fn batch_verify<R: Rng + ?Sized>(
+    rng: &mut R,
+    pk: &RsaPublicKey,
+    items: &[(&[u8], &BigUint)],
+) -> Vec<bool> {
+    let _span = ppms_obs::timed!("rsa.batch_verify_ns");
+    if !combined_profitable(pk.e.bits(), items.len()) {
+        return items
+            .iter()
+            .map(|(msg, sig)| verify(pk, msg, sig))
+            .collect();
+    }
+    batch_verify_combined(rng, pk, items)
+}
+
+/// The combined small-exponent batch check, unconditionally:
 ///
 /// ```text
 ///   (∏ σᵢ^{ℓᵢ})^e  ==  ∏ H(mᵢ)^{ℓᵢ}    (ℓᵢ random nonzero 64-bit)
@@ -44,13 +89,14 @@ pub fn verify(pk: &RsaPublicKey, msg: &[u8], sig: &BigUint) -> bool {
 /// verdicts are bit-identical to the sequential path (including the
 /// `σ ≥ n` fast-fail, applied up front).
 ///
-/// Span: `rsa.batch_verify_ns`.
-pub fn batch_verify<R: Rng + ?Sized>(
+/// Callers should normally go through [`batch_verify`], which applies
+/// the cost model; this entry point exists for the ablation bench and
+/// the equivalence tests.
+pub fn batch_verify_combined<R: Rng + ?Sized>(
     rng: &mut R,
     pk: &RsaPublicKey,
     items: &[(&[u8], &BigUint)],
 ) -> Vec<bool> {
-    let _span = ppms_obs::timed!("rsa.batch_verify_ns");
     let ring = pk.ring();
     let mut results = vec![false; items.len()];
     let mut pending = Vec::with_capacity(items.len());
@@ -161,6 +207,11 @@ mod tests {
         assert_eq!(
             batch_verify(&mut rng, &key.public, &items),
             vec![true; 6],
+            "all-valid batch must pass"
+        );
+        assert_eq!(
+            batch_verify_combined(&mut rng, &key.public, &items),
+            vec![true; 6],
             "all-valid batch must pass the combined check"
         );
 
@@ -172,13 +223,34 @@ mod tests {
             .zip(&sigs)
             .map(|(m, s)| (m.as_slice(), s))
             .collect();
-        let got = batch_verify(&mut rng, &key.public, &items);
         let sequential: Vec<bool> = items
             .iter()
             .map(|(m, s)| verify(&key.public, m, s))
             .collect();
+        // The dispatched entry point and the forced combined check must
+        // both match per-item verification exactly.
+        assert_eq!(batch_verify(&mut rng, &key.public, &items), sequential);
+        let got = batch_verify_combined(&mut rng, &key.public, &items);
         assert_eq!(got, sequential);
         assert_eq!(got, vec![true, false, true, true, false, true]);
         assert!(batch_verify(&mut rng, &key.public, &[]).is_empty());
+    }
+
+    #[test]
+    fn cost_model_gates_small_exponents() {
+        // e = 65537 (17 bits): the combined check lost at every batch
+        // size measured (0.18–0.70×) — the model must never pick it.
+        for n in 0..=4096 {
+            assert!(
+                !combined_profitable(17, n),
+                "combined must stay gated for e=65537 at n={n}"
+            );
+        }
+        // Full-width exponents amortize immediately.
+        assert!(combined_profitable(1024, 2));
+        assert!(combined_profitable(2048, 2));
+        // Degenerate batches never profit.
+        assert!(!combined_profitable(2048, 0));
+        assert!(!combined_profitable(2048, 1));
     }
 }

@@ -15,7 +15,10 @@
 //! `1/min(2⁶⁴, q)` for order-`q` groups). The combined product is one
 //! [`multi_exp_n`] per side — all terms share a squaring chain, and
 //! repeated bases (the protocol generators) fold into single terms —
-//! instead of one full multi-exponentiation per equation.
+//! instead of one full multi-exponentiation per equation. At protocol
+//! widths those multi-exponentiations run on the fixed-width `FpMont`
+//! kernels, where the 64-bit multipliers put the evaluator in
+//! Pippenger's regime from ~16 bases (EXPERIMENTS.md A12).
 //!
 //! Callers keep per-item accept/reject decisions **bit-identical** to
 //! sequential verification by construction: items that cannot be

@@ -48,8 +48,19 @@ cargo test -p ppms-bigint --test ring_props -q
 cargo test -p ppms-crypto --test props -q
 cargo test -p ppms-ecash --lib -q batch::
 
+echo "==> fixed-width core: fixed = dynamic equivalence + zero-allocation proof"
+# Both feature configs: the obs spans sit on the routed hot paths, so
+# the no-op config must exercise the same dispatch.
+cargo test -p ppms-bigint --test fixed_props --test alloc_free -q
+cargo test -p ppms-bigint --features no-op --test fixed_props --test alloc_free -q
+
 echo "==> batch_verify bench smoke (correctness pass, no timing gates)"
 cargo bench -p ppms-bench --bench batch_verify -- --test >/dev/null
+cargo bench -p ppms-bench --features no-op --bench batch_verify -- --test >/dev/null
+
+echo "==> fixed-width ablation bench smoke (fixed = dynamic verdicts)"
+cargo bench -p ppms-bench --bench ablation_fixed -- --test >/dev/null
+cargo bench -p ppms-bench --features no-op --bench ablation_fixed -- --test >/dev/null
 
 echo "==> cargo test"
 cargo test --workspace -q
