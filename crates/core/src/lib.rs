@@ -17,23 +17,30 @@
 //! Support modules: the [`bank`] (virtual currency ledger), the
 //! [`bulletin`] board, [`wire`] (versioned envelope protocol — the
 //! canonical byte encoding of every market message, integrity-checked
-//! per frame), [`transport`] (pluggable in-process /
-//! simulated-network transports with chaos injection plus byte-level
-//! traffic accounting → paper Table II), [`retry`] (idempotent
-//! retransmission with backoff and a circuit breaker), [`wal`] (the
-//! per-shard write-ahead journal behind crash recovery), [`metrics`]
-//! (operation counts → paper Table I; fault-tolerance counters — both
-//! thin views over the `ppms-obs` registry, which also carries per-op
-//! latency histograms, queue-depth gauges and the per-shard flight
-//! recorders dumped on worker crash), [`sim`]
-//! (multi-round, threaded and chaos market simulation → paper Fig. 5),
-//! and [`attack`] (the denomination / linkage attack evaluation behind
-//! the paper's §IV-B analysis).
+//! per frame), the stratified transport stack — [`stream`] (byte
+//! streams: TCP sockets, fault-injecting decorators), [`frame`]
+//! (framing/session: partial-read reassembly, bounded write queues),
+//! [`transport`] (typed request/response over in-process /
+//! simulated-network backends with chaos injection plus byte-level
+//! traffic accounting → paper Table II), [`tcp`] (the hand-rolled
+//! non-blocking TCP front door and its client transport) and [`gate`]
+//! (402-style admission control priced in the market's own e-cash) —
+//! [`retry`] (idempotent retransmission with backoff and a circuit
+//! breaker), [`wal`] (the per-shard write-ahead journal behind crash
+//! recovery), [`metrics`] (operation counts → paper Table I;
+//! fault-tolerance counters — both thin views over the `ppms-obs`
+//! registry, which also carries per-op latency histograms, queue-depth
+//! gauges and the per-shard flight recorders dumped on worker crash),
+//! [`sim`] (multi-round, threaded and chaos market simulation → paper
+//! Fig. 5), and [`attack`] (the denomination / linkage attack
+//! evaluation behind the paper's §IV-B analysis).
 
 pub mod attack;
 pub mod bank;
 pub mod bulletin;
 pub mod error;
+pub mod frame;
+pub mod gate;
 pub mod metrics;
 pub mod mixnet;
 pub mod ppmsdec;
@@ -41,6 +48,8 @@ pub mod ppmspbs;
 pub mod retry;
 pub mod service;
 pub mod sim;
+pub mod stream;
+pub mod tcp;
 pub mod transport;
 pub mod wal;
 pub mod wire;
@@ -49,6 +58,8 @@ pub use attack::{run_denomination_attack, AttackReport};
 pub use bank::{AccountId, Bank};
 pub use bulletin::{Bulletin, JobProfile};
 pub use error::MarketError;
+pub use frame::{FrameDecoder, FramedConn, QueueFull, WriteQueue};
+pub use gate::{AdmissionConfig, AdmissionGate, GateRequest, GateResponse};
 pub use metrics::{FaultMetrics, FaultSnapshot, Metrics, MetricsSnapshot, Op, Party};
 pub use mixnet::{MixCascade, MixNode};
 pub use ppmsdec::{DecMarket, DecRoundOutcome};
@@ -57,6 +68,8 @@ pub use retry::{RetryPolicy, RetryingTransport};
 pub use service::{
     CrashPoint, Inbound, MaClient, MaRequest, MaResponse, MaService, RequestKey, ServiceConfig,
 };
+pub use stream::{ByteStream, FlakyConfig, FlakyStream, TcpByteStream};
+pub use tcp::{TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport};
 pub use transport::{
     next_request_id, next_trace_id, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport,
     TrafficLog, Transport,

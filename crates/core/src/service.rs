@@ -189,6 +189,11 @@ pub enum MaResponse {
         /// Held payments that were never picked up by their SP.
         undelivered_payments: usize,
     },
+    /// Load-shed marker minted by the TCP front door (never by a
+    /// shard): the request was refused *before* entering the service
+    /// pipeline because the server is saturated. Clients treat it as
+    /// a retryable transport condition.
+    Busy,
 }
 
 /// The client-chosen idempotency key of a logical request. A
@@ -1023,6 +1028,15 @@ impl MaService {
     /// order of death.
     pub fn crash_dumps(&self) -> Vec<PathBuf> {
         self.dumps.lock().clone()
+    }
+
+    /// The dispatcher's raw inbox. This is how an in-process front
+    /// door (the TCP reactor) injects already-decoded requests:
+    /// `try_send` gives it the non-blocking admission decision a
+    /// load-shedding server needs, which the blocking [`Transport`]
+    /// backends deliberately do not expose.
+    pub fn inbox(&self) -> Sender<Inbound> {
+        self.tx.clone()
     }
 
     /// An in-process client connection (enums over channels; no

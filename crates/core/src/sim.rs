@@ -5,12 +5,15 @@
 //! backend (the transport-equivalence harness).
 
 use crate::bank::AccountId;
+use crate::gate::spends_for_price;
 use crate::metrics::{FaultSnapshot, Party};
 use crate::ppmsdec::{DecMarket, DecRoundOutcome};
 use crate::ppmspbs::PbsMarket;
-use crate::retry::RetryPolicy;
-use crate::service::{CrashPoint, MaRequest, MaResponse, MaService, ServiceConfig};
-use crate::transport::{FaultPlan, SimNetConfig};
+use crate::retry::{RetryPolicy, RetryingTransport};
+use crate::service::{CrashPoint, MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
+use crate::stream::FlakyConfig;
+use crate::tcp::{TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport};
+use crate::transport::{FaultPlan, SimNetConfig, TrafficLog, Transport};
 use crate::MarketError;
 use crossbeam::channel;
 use ppms_crypto::cl::ClKeyPair;
@@ -23,6 +26,7 @@ use ppms_ecash::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Timing of a multi-round run (setup included, as in Fig. 5).
@@ -284,6 +288,22 @@ pub enum TransportKind {
     /// faults are absorbed by idempotent retransmission, so the run
     /// is expected to *converge* to the fault-free outcome.
     Faulty(FaultPlan),
+    /// Real loopback sockets through the [`TcpFrontDoor`] and its
+    /// admission gate: the market pays its own way in with e-cash
+    /// before any request reaches a shard.
+    Tcp(TcpEquivConfig),
+}
+
+/// Knobs for the real-socket arm of the equivalence harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpEquivConfig {
+    /// Inject seeded stream tears under the clients' framing layer
+    /// (exercises redial + re-admission; the seed is varied per party
+    /// and per dial).
+    pub flaky: Option<FlakyConfig>,
+    /// Wrap the clients in the aggressive retry layer, as the chaos
+    /// arm does for simnet.
+    pub retry: bool,
 }
 
 /// The observable end state of a service market run — everything a
@@ -325,7 +345,23 @@ pub fn run_service_market(
     w: u64,
     kind: TransportKind,
 ) -> Result<ServiceMarketOutcome, MarketError> {
-    run_market(seed, shards, n_sps, w, kind, None).map(|(outcome, _)| outcome)
+    run_market(seed, shards, n_sps, w, kind, None).map(|(outcome, _, _)| outcome)
+}
+
+/// Like [`run_service_market`], but also returns the run's
+/// [`TrafficLog`] — per-message labels and per-party byte totals (the
+/// paper's Table II instrument). Under [`TransportKind::Tcp`] the log
+/// carries the gate frames too, so the socket path's framing and
+/// admission overhead is measured by the same instrument as the
+/// simnet numbers.
+pub fn run_service_market_traffic(
+    seed: u64,
+    shards: usize,
+    n_sps: usize,
+    w: u64,
+    kind: TransportKind,
+) -> Result<(ServiceMarketOutcome, TrafficLog), MarketError> {
+    run_market(seed, shards, n_sps, w, kind, None).map(|(outcome, _, traffic)| (outcome, traffic))
 }
 
 /// The chaos harness: the same deterministic market, but over a lossy
@@ -344,6 +380,7 @@ pub fn run_service_market_chaos(
     crash: Option<CrashPoint>,
 ) -> Result<(ServiceMarketOutcome, FaultSnapshot), MarketError> {
     run_market(seed, shards, n_sps, w, TransportKind::Faulty(plan), crash)
+        .map(|(outcome, faults, _)| (outcome, faults))
 }
 
 /// What the fallible drive hands back on success:
@@ -357,7 +394,7 @@ fn run_market(
     w: u64,
     kind: TransportKind,
     crash: Option<CrashPoint>,
-) -> Result<(ServiceMarketOutcome, FaultSnapshot), MarketError> {
+) -> Result<(ServiceMarketOutcome, FaultSnapshot, TrafficLog), MarketError> {
     const RSA_BITS: usize = 512;
     let mut rng = StdRng::seed_from_u64(seed);
     let params = DecParams::fixture(3, 8);
@@ -373,8 +410,52 @@ fn run_market(
             ..ServiceConfig::default()
         },
     );
+    // Keeps the socket front door (if any) alive for the whole drive;
+    // dropping it stops the reactor.
+    let mut _front_door: Option<TcpFrontDoor> = None;
     let (jo_client, sp_client) = match kind {
         TransportKind::InProc => (svc.client(), svc.client()),
+        TransportKind::Tcp(tcfg) => {
+            let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", TcpConfig::default())
+                .map_err(|e| MarketError::Transport(format!("front door spawn failed: {e}")))?;
+            let addr = door.addr();
+            let admission = TcpConfig::default().admission;
+            // Wallet sizing: the drive makes a few dozen calls per
+            // party, one admission covers `requests_per_token` of
+            // them, and flaky redials can burn extra admissions —
+            // eight admissions each is comfortably generous. Minting
+            // uses its own rng stream and funder account, so the
+            // drive below is bit-identical to the other arms.
+            let per_party = 8 * spends_for_price(admission.price).max(1);
+            let mut jo_wallet = mint_admission_spends(&svc, seed, 2 * per_party)?;
+            let sp_wallet = jo_wallet.split_off(per_party);
+            let client = |party: Party, mix: u64, wallet: Vec<Spend>| -> MaClient {
+                let mut cc = TcpClientConfig::new(addr);
+                cc.flaky = tcfg.flaky.map(|f| FlakyConfig {
+                    seed: f.seed ^ mix,
+                    ..f
+                });
+                let transport = TcpTransport::new(cc);
+                transport.load_wallet(wallet);
+                let transport: Arc<dyn Transport> = Arc::new(transport);
+                let transport: Arc<dyn Transport> = if tcfg.retry {
+                    Arc::new(RetryingTransport::new(
+                        transport,
+                        RetryPolicy::aggressive(seed ^ mix),
+                        svc.faults.clone(),
+                    ))
+                } else {
+                    transport
+                };
+                MaClient::new(transport, party)
+            };
+            let pair = (
+                client(Party::Jo, 0x4A4F, jo_wallet),
+                client(Party::Sp, 0x5350, sp_wallet),
+            );
+            _front_door = Some(door);
+            pair
+        }
         TransportKind::SimNet(cfg) => (
             svc.simnet_client(Party::Jo, cfg),
             svc.simnet_client(
@@ -571,6 +652,13 @@ fn run_market(
         .map(|j| (j.job_id, j.description, j.payment))
         .collect();
     let faults = svc.faults.clone();
+    let traffic = svc.traffic.clone();
+    // Stop the front door before the service: the reactor must not
+    // observe the dispatcher's inbox closing as client-visible errors
+    // mid-drain.
+    if let Some(mut door) = _front_door.take() {
+        door.shutdown();
+    }
     let undelivered_payments = svc.shutdown();
 
     Ok((
@@ -583,6 +671,7 @@ fn run_market(
             undelivered_payments,
         },
         faults.snapshot(),
+        traffic,
     ))
 }
 
@@ -646,6 +735,63 @@ pub fn mint_deposit_batches(
             })
             .collect();
         out.push((account, spends));
+    }
+    Ok(out)
+}
+
+/// Mints `n_spends` unit-value leaf spends for paying TCP admission
+/// fees — the client-side half of the gate's economy. Registers its
+/// own funder account and draws from its own rng stream (derived from
+/// `seed` but disjoint from the market drives' streams), so minting a
+/// wallet perturbs neither a concurrent drive's randomness nor its
+/// ledger audit.
+pub fn mint_admission_spends(
+    svc: &MaService,
+    seed: u64,
+    n_spends: usize,
+) -> Result<Vec<Spend>, MarketError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6761_7465_6665_6573); // "gatefees"
+    let client = svc.client();
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let levels = svc.params.levels;
+    let face = svc.params.face_value();
+    let coins = n_spends.div_ceil(face as usize).max(1);
+    let funder = match client.try_call(MaRequest::RegisterJoAccount {
+        funds: coins as u64 * face,
+        clpk: cl.public.clone(),
+    })? {
+        MaResponse::Account(a) => a,
+        other => return Err(unexpected("gate-funder", &other)),
+    };
+    let mut out = Vec::with_capacity(n_spends);
+    for c in 0..coins {
+        let mut coin = Coin::mint(&mut rng, &svc.params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let nonce = c as u64 + 1;
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &nonce.to_be_bytes());
+        let sig = match client.try_call(MaRequest::Withdraw {
+            account: funder,
+            nonce,
+            auth,
+            blinded,
+        })? {
+            MaResponse::BlindSignature(sig) => sig,
+            other => return Err(unexpected("withdraw", &other)),
+        };
+        if !coin.attach_signature(&svc.bank_pk, &sig, &factor) {
+            return Err(MarketError::BadCoin("bank signature did not verify".into()));
+        }
+        for leaf in 0..(1u64 << levels) {
+            if out.len() == n_spends {
+                break;
+            }
+            out.push(coin.spend(
+                &mut rng,
+                &svc.params,
+                &NodePath::from_index(levels, leaf),
+                b"",
+            ));
+        }
     }
     Ok(out)
 }

@@ -1,0 +1,246 @@
+//! Stratum 1 of the transport stack: the **byte-stream layer**.
+//!
+//! Everything above this layer ([`crate::frame`] and the typed
+//! [`crate::transport::Transport`] backends) moves whole protocol
+//! frames; everything below it just moves bytes. [`ByteStream`] is
+//! that boundary: read some bytes, write some bytes, shut the pipe
+//! down. Implementations may be blocking (a client-side
+//! `std::net::TcpStream` with a read timeout) or non-blocking (the
+//! server reactor's accepted sockets) — both surface the partial
+//! reads and short writes that the framing layer's reassembly and
+//! write buffering exist to absorb.
+//!
+//! The [`FlakyStream`] decorator injects seeded connection faults
+//! *underneath* the framing layer, which is exactly where a real
+//! network fails: a connection reset tears the stream mid-frame, and
+//! the layers above must re-dial, re-admit and retransmit under the
+//! same idempotency key.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// A bidirectional byte pipe — the lowest stratum of the transport
+/// stack. `read`/`write` follow `std::io` semantics: `Ok(0)` from
+/// `read` means the peer closed; `ErrorKind::WouldBlock` (or
+/// `TimedOut`, for blocking sockets with a read timeout) means "no
+/// bytes right now, try again".
+pub trait ByteStream: Send {
+    /// Reads up to `buf.len()` bytes. `Ok(0)` = end of stream.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Writes a prefix of `buf`, returning how many bytes were taken.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Tears the stream down in both directions. Idempotent;
+    /// best-effort (a peer that already vanished is not an error).
+    fn shutdown(&mut self);
+}
+
+/// A TCP socket as a byte stream. Works for both the blocking client
+/// side (dial + `set_read_timeout`) and the reactor's non-blocking
+/// accepted sockets (`set_nonblocking(true)`), because [`ByteStream`]
+/// deliberately keeps `WouldBlock` visible.
+pub struct TcpByteStream(pub TcpStream);
+
+impl ByteStream for TcpByteStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.0.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Seeded fault rates for a [`FlakyStream`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlakyConfig {
+    /// Probability in `[0, 1]` that any single `read` call tears the
+    /// connection (`ConnectionReset`).
+    pub read_fail: f64,
+    /// Probability in `[0, 1]` that any single `write` call tears the
+    /// connection (`BrokenPipe`).
+    pub write_fail: f64,
+    /// Seed for the fault schedule (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for FlakyConfig {
+    fn default() -> Self {
+        FlakyConfig {
+            read_fail: 0.0,
+            write_fail: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A byte stream that randomly tears itself — the loopback stand-in
+/// for flaky last-mile connectivity. Once torn, every subsequent call
+/// fails too (a reset TCP connection stays reset); recovery means
+/// dialing a fresh stream, which is precisely the client behavior the
+/// retry layer must exercise.
+pub struct FlakyStream<S: ByteStream> {
+    inner: S,
+    rng: StdRng,
+    config: FlakyConfig,
+    torn: bool,
+}
+
+impl<S: ByteStream> FlakyStream<S> {
+    /// Wraps `inner` with the seeded fault schedule of `config`.
+    pub fn new(inner: S, config: FlakyConfig) -> FlakyStream<S> {
+        FlakyStream {
+            inner,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            torn: false,
+        }
+    }
+
+    fn roll(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.random_bool(rate)
+    }
+
+    fn torn_err(kind: io::ErrorKind) -> io::Error {
+        io::Error::new(kind, "injected connection tear")
+    }
+}
+
+impl<S: ByteStream> ByteStream for FlakyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.torn {
+            return Err(Self::torn_err(io::ErrorKind::ConnectionReset));
+        }
+        if self.roll(self.config.read_fail) {
+            self.torn = true;
+            self.inner.shutdown();
+            return Err(Self::torn_err(io::ErrorKind::ConnectionReset));
+        }
+        self.inner.read(buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.torn {
+            return Err(Self::torn_err(io::ErrorKind::BrokenPipe));
+        }
+        if self.roll(self.config.write_fail) {
+            self.torn = true;
+            self.inner.shutdown();
+            return Err(Self::torn_err(io::ErrorKind::BrokenPipe));
+        }
+        self.inner.write(buf)
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory byte stream for unit tests: reads from a script,
+    /// writes into a sink.
+    struct ScriptStream {
+        input: Vec<u8>,
+        pos: usize,
+        written: Vec<u8>,
+    }
+
+    impl ByteStream for ScriptStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.input.len() - self.pos);
+            buf[..n].copy_from_slice(&self.input[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn shutdown(&mut self) {}
+    }
+
+    #[test]
+    fn flaky_stream_stays_torn_after_first_tear() {
+        let inner = ScriptStream {
+            input: vec![1; 1024],
+            pos: 0,
+            written: Vec::new(),
+        };
+        let mut flaky = FlakyStream::new(
+            inner,
+            FlakyConfig {
+                read_fail: 0.5,
+                write_fail: 0.0,
+                seed: 42,
+            },
+        );
+        let mut buf = [0u8; 16];
+        let mut tore = false;
+        for _ in 0..64 {
+            if flaky.read(&mut buf).is_err() {
+                tore = true;
+                break;
+            }
+        }
+        assert!(tore, "a 50% fault rate must tear within 64 reads");
+        // Torn is terminal: both directions now fail, every time.
+        assert!(flaky.read(&mut buf).is_err());
+        assert!(flaky.write(&buf).is_err());
+    }
+
+    #[test]
+    fn fault_free_flaky_stream_is_transparent() {
+        let inner = ScriptStream {
+            input: vec![7, 8, 9],
+            pos: 0,
+            written: Vec::new(),
+        };
+        let mut flaky = FlakyStream::new(inner, FlakyConfig::default());
+        let mut buf = [0u8; 8];
+        assert_eq!(flaky.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], &[7, 8, 9]);
+        assert_eq!(flaky.write(&[1, 2]).unwrap(), 2);
+    }
+
+    #[test]
+    fn identical_seeds_tear_at_the_same_call() {
+        let schedule = |seed: u64| {
+            let inner = ScriptStream {
+                input: vec![0; 4096],
+                pos: 0,
+                written: Vec::new(),
+            };
+            let mut flaky = FlakyStream::new(
+                inner,
+                FlakyConfig {
+                    read_fail: 0.05,
+                    write_fail: 0.0,
+                    seed,
+                },
+            );
+            let mut buf = [0u8; 4];
+            let mut calls = 0u32;
+            for _ in 0..1024 {
+                calls += 1;
+                if flaky.read(&mut buf).is_err() {
+                    return Some(calls);
+                }
+            }
+            None
+        };
+        assert_eq!(schedule(9), schedule(9));
+        assert_ne!(schedule(9), schedule(10));
+    }
+}

@@ -1,0 +1,963 @@
+//! The **TCP front door**: the first transport backend where bytes
+//! actually cross a socket, plus the matching client-side
+//! [`Transport`].
+//!
+//! ## Server: a hand-rolled non-blocking reactor
+//!
+//! The offline crate allowlist has no tokio/mio, so readiness is a
+//! polling loop over `std::net` sockets in non-blocking mode: each
+//! tick accepts new connections (up to `max_connections`), reads
+//! every socket until `WouldBlock` feeding the per-connection
+//! stratum-2 [`FrameDecoder`], dispatches complete frames, polls the
+//! in-flight replies from the shard workers, and drains the
+//! per-connection [`WriteQueue`]s. When a full tick makes no
+//! progress, the reactor sleeps `idle_sleep` — busy enough for
+//! loopback latency, idle enough not to burn a core.
+//!
+//! Overload policy (all observable via the service registry):
+//!
+//! * **Connection limit** — sockets beyond `max_connections` are
+//!   refused on accept (`tcp.refused`).
+//! * **Load shedding** — a request that cannot enter the service
+//!   inbox without blocking (or that would exceed the per-connection
+//!   in-flight cap) is answered immediately with
+//!   [`MaResponse::Busy`] / [`GateResponse::Busy`] (`tcp.shed`); the
+//!   reactor never blocks on a full queue, so a saturated service
+//!   slows its clients instead of growing its own memory.
+//! * **Slow-client eviction** — responses queue per connection in a
+//!   byte-capped [`WriteQueue`]; a client that stops reading until
+//!   the cap would be exceeded is disconnected (`tcp.evicted`).
+//!
+//! ## Admission
+//!
+//! Every connection starts unadmitted. The only things an unadmitted
+//! peer can get out of the reactor are a [`GateResponse::Challenge`]
+//! or a denial — `App` frames without a valid session token never
+//! reach `inbox.try_send`, so no shard handler ever runs on behalf of
+//! an unpaid connection. See [`crate::gate`] for the protocol and the
+//! coin economics.
+
+use crate::error::MarketError;
+use crate::frame::{FrameDecoder, FramedConn, WriteQueue};
+use crate::gate::{
+    denied_error, spends_for_price, AdmissionConfig, AdmissionGate, GateRequest, GateResponse,
+};
+use crate::metrics::Party;
+use crate::service::{Inbound, MaRequest, MaResponse, MaService, RequestKey};
+use crate::stream::{ByteStream, FlakyConfig, FlakyStream, TcpByteStream};
+use crate::transport::{next_request_id, next_trace_id, request_label, response_label};
+use crate::transport::{TrafficLog, Transport};
+use crate::wire::Envelope;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use ppms_ecash::Spend;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Front-door policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Concurrent-connection cap; accepts beyond it are refused.
+    pub max_connections: usize,
+    /// Per-connection outbound buffer cap in bytes; exceeding it
+    /// evicts the (slow) client.
+    pub write_queue_bytes: usize,
+    /// Largest frame body a connection may announce.
+    pub max_frame_bytes: usize,
+    /// Per-connection in-flight request cap; beyond it requests are
+    /// shed with `Busy`.
+    pub max_inflight_per_conn: usize,
+    /// Admission policy.
+    pub admission: AdmissionConfig,
+    /// Reactor sleep when a tick makes no progress.
+    pub idle_sleep: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            max_connections: 64,
+            write_queue_bytes: 256 * 1024,
+            max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
+            max_inflight_per_conn: 32,
+            admission: AdmissionConfig::default(),
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One accepted connection's reactor state.
+struct Conn {
+    stream: TcpByteStream,
+    decoder: FrameDecoder,
+    outq: WriteQueue,
+    /// Requests currently inside the service on this connection's
+    /// behalf.
+    inflight: usize,
+    /// Set when the connection must be torn down after the current
+    /// tick (protocol violation, eviction, peer close).
+    dead: bool,
+}
+
+/// What a pending reply, once it arrives, should be turned into.
+enum PendingKind {
+    /// An application request: wrap the response in
+    /// [`GateResponse::App`]. Carries the session token for refunds.
+    App,
+    /// An admission deposit for `presented` spends: judge the verdict
+    /// through the gate.
+    Admit { presented: usize },
+}
+
+/// A request dispatched into the service whose reply has not yet
+/// arrived.
+struct Pending {
+    conn_id: u64,
+    key: RequestKey,
+    trace_id: u64,
+    kind: PendingKind,
+    rx: Receiver<MaResponse>,
+    started: Instant,
+}
+
+/// Handle to a running TCP front door. Dropping it stops the reactor
+/// and joins the thread.
+pub struct TcpFrontDoor {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    obs: ppms_obs::Registry,
+}
+
+impl TcpFrontDoor {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"`), registers the gate's
+    /// revenue account with the service, and spawns the reactor
+    /// thread. All front-door metrics land in the service's own
+    /// registry (`tcp.*`, `gate.*`), so one
+    /// [`MaService::obs_snapshot`] covers the whole stack.
+    pub fn spawn(svc: &MaService, bind: &str, config: TcpConfig) -> io::Result<TcpFrontDoor> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        // The admission fees need somewhere to accrue: an ordinary
+        // SP-style account owned by the MA itself, registered through
+        // the ordinary path.
+        let revenue_account = match svc.client().try_call(MaRequest::RegisterSpAccount) {
+            Ok(MaResponse::Account(id)) => id,
+            other => {
+                return Err(io::Error::other(format!(
+                    "could not register gate revenue account: {other:?}"
+                )));
+            }
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let gate = AdmissionGate::new(config.admission, revenue_account, &svc.obs);
+        let mut reactor = Reactor {
+            listener,
+            config,
+            inbox: svc.inbox(),
+            gate,
+            traffic: svc.traffic.clone(),
+            conns: HashMap::new(),
+            pending: Vec::new(),
+            next_conn_id: 1,
+            next_msg_id: 1,
+            stop: stop.clone(),
+            accepted: svc.obs.counter("tcp.accepted"),
+            refused: svc.obs.counter("tcp.refused"),
+            evicted: svc.obs.counter("tcp.evicted"),
+            shed: svc.obs.counter("tcp.shed"),
+            bad_frames: svc.obs.counter("tcp.bad_frames"),
+            connections: svc.obs.gauge("tcp.connections"),
+            request_ns: svc.obs.histogram("tcp.request_ns"),
+            queue_fill: svc.obs.histogram("tcp.write_queue_fill"),
+        };
+        let handle = std::thread::Builder::new()
+            .name("tcp-front-door".into())
+            .spawn(move || reactor.run())?;
+        Ok(TcpFrontDoor {
+            addr,
+            stop,
+            handle: Some(handle),
+            obs: svc.obs.clone(),
+        })
+    }
+
+    /// The bound listen address (resolves `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time snapshot of the service registry the front
+    /// door records into (`tcp.*`, `gate.*`, plus everything the
+    /// service itself records).
+    pub fn obs_snapshot(&self) -> ppms_obs::Snapshot {
+        self.obs.snapshot()
+    }
+
+    /// Stops the reactor and joins its thread. Called by `Drop`;
+    /// explicit form for tests that want the join to finish first.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpFrontDoor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    config: TcpConfig,
+    inbox: Sender<Inbound>,
+    gate: AdmissionGate,
+    traffic: TrafficLog,
+    conns: HashMap<u64, Conn>,
+    pending: Vec<Pending>,
+    next_conn_id: u64,
+    next_msg_id: u64,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<ppms_obs::Counter>,
+    refused: Arc<ppms_obs::Counter>,
+    evicted: Arc<ppms_obs::Counter>,
+    shed: Arc<ppms_obs::Counter>,
+    bad_frames: Arc<ppms_obs::Counter>,
+    connections: Arc<ppms_obs::Gauge>,
+    request_ns: Arc<ppms_obs::Histogram>,
+    queue_fill: Arc<ppms_obs::Histogram>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut progress = false;
+            progress |= self.accept_tick();
+            progress |= self.read_tick();
+            progress |= self.reply_tick();
+            progress |= self.write_tick();
+            self.bury_dead();
+            if !progress {
+                std::thread::sleep(self.config.idle_sleep);
+            }
+        }
+        // Tear every connection down on the way out.
+        for conn in self.conns.values_mut() {
+            conn.stream.shutdown();
+        }
+        self.conns.clear();
+        self.connections.set(0);
+    }
+
+    fn accept_tick(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if self.conns.len() >= self.config.max_connections {
+                        self.refused.inc();
+                        drop(stream); // refused: close immediately
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        self.refused.inc();
+                        continue;
+                    }
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream: TcpByteStream(stream),
+                            decoder: FrameDecoder::new(self.config.max_frame_bytes),
+                            outq: WriteQueue::new(self.config.write_queue_bytes),
+                            inflight: 0,
+                            dead: false,
+                        },
+                    );
+                    self.accepted.inc();
+                    self.connections.set(self.conns.len() as i64);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    fn read_tick(&mut self) -> bool {
+        let mut progress = false;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        let mut buf = [0u8; 8192];
+        for id in ids {
+            // Read until WouldBlock.
+            loop {
+                let conn = self.conns.get_mut(&id).expect("conn exists");
+                if conn.dead {
+                    break;
+                }
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        conn.decoder.push(&buf[..n]);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            // Drain complete frames.
+            loop {
+                let conn = self.conns.get_mut(&id).expect("conn exists");
+                if conn.dead {
+                    break;
+                }
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => {
+                        progress = true;
+                        self.handle_frame(id, frame);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Desynchronized stream: unrecoverable.
+                        self.bad_frames.inc();
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    fn handle_frame(&mut self, conn_id: u64, frame: Vec<u8>) {
+        let env = match Envelope::<GateRequest>::from_bytes(&frame) {
+            Ok(env) => env,
+            Err(_) => {
+                self.bad_frames.inc();
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.dead = true;
+                }
+                return;
+            }
+        };
+        let party = env.party;
+        let key = RequestKey {
+            party,
+            request_id: env.msg_id,
+        };
+        match env.payload {
+            GateRequest::Hello => {
+                self.traffic
+                    .record(party, Party::Ma, "gate-hello", frame.len());
+                let resp = if self.gate.config().price == 0 {
+                    self.gate.mint()
+                } else {
+                    self.gate.challenge()
+                };
+                self.send_gate(conn_id, party, key.request_id, env.trace_id, resp);
+            }
+            GateRequest::Admit { spends } => {
+                self.traffic
+                    .record(party, Party::Ma, "gate-admit", frame.len());
+                if let Some(cached) = self.gate.cached_admission(key) {
+                    // Retransmitted Admit: replay the recorded verdict
+                    // (same token), no second deposit.
+                    self.send_gate(conn_id, party, key.request_id, env.trace_id, cached);
+                    return;
+                }
+                let presented = spends.len();
+                let request = self.gate.deposit_request(spends);
+                let (reply_tx, reply_rx) = channel::bounded(1);
+                match self.inbox.try_send(Inbound {
+                    key: Some(key),
+                    trace_id: env.trace_id,
+                    request,
+                    reply: reply_tx,
+                }) {
+                    Ok(()) => self.pending.push(Pending {
+                        conn_id,
+                        key,
+                        trace_id: env.trace_id,
+                        kind: PendingKind::Admit { presented },
+                        rx: reply_rx,
+                        started: Instant::now(),
+                    }),
+                    Err(_) => {
+                        self.shed.inc();
+                        self.send_gate(
+                            conn_id,
+                            party,
+                            key.request_id,
+                            env.trace_id,
+                            GateResponse::Busy,
+                        );
+                    }
+                }
+            }
+            GateRequest::App { token, request } => {
+                self.traffic
+                    .record(party, Party::Ma, request_label(&request), frame.len());
+                if matches!(request, MaRequest::Shutdown) {
+                    // The dispatcher-stopping control message is an
+                    // in-process privilege; from the network it would
+                    // let any paying client kill the market.
+                    self.send_gate(
+                        conn_id,
+                        party,
+                        key.request_id,
+                        env.trace_id,
+                        GateResponse::Denied {
+                            reason: "shutdown is not accepted from the network".into(),
+                        },
+                    );
+                    return;
+                }
+                if !self.gate.consume(token) {
+                    // Unknown or exhausted token: the request never
+                    // reaches the inbox — re-challenge.
+                    let resp = self.gate.challenge();
+                    self.send_gate(conn_id, party, key.request_id, env.trace_id, resp);
+                    return;
+                }
+                let inflight = self
+                    .conns
+                    .get(&conn_id)
+                    .map(|c| c.inflight)
+                    .unwrap_or(usize::MAX);
+                if inflight >= self.config.max_inflight_per_conn {
+                    self.gate.refund(token);
+                    self.shed.inc();
+                    self.send_gate(
+                        conn_id,
+                        party,
+                        key.request_id,
+                        env.trace_id,
+                        GateResponse::App(MaResponse::Busy),
+                    );
+                    return;
+                }
+                let (reply_tx, reply_rx) = channel::bounded(1);
+                match self.inbox.try_send(Inbound {
+                    key: Some(key),
+                    trace_id: env.trace_id,
+                    request,
+                    reply: reply_tx,
+                }) {
+                    Ok(()) => {
+                        if let Some(conn) = self.conns.get_mut(&conn_id) {
+                            conn.inflight += 1;
+                        }
+                        self.pending.push(Pending {
+                            conn_id,
+                            key,
+                            trace_id: env.trace_id,
+                            kind: PendingKind::App,
+                            rx: reply_rx,
+                            started: Instant::now(),
+                        });
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        self.gate.refund(token);
+                        self.shed.inc();
+                        self.send_gate(
+                            conn_id,
+                            party,
+                            key.request_id,
+                            env.trace_id,
+                            GateResponse::App(MaResponse::Busy),
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.send_gate(
+                            conn_id,
+                            party,
+                            key.request_id,
+                            env.trace_id,
+                            GateResponse::App(MaResponse::Err(MarketError::Transport(
+                                "service stopped".into(),
+                            ))),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn reply_tick(&mut self) -> bool {
+        let mut progress = false;
+        let mut done = Vec::new();
+        for (i, p) in self.pending.iter().enumerate() {
+            match p.rx.try_recv() {
+                Ok(resp) => done.push((i, resp)),
+                Err(channel::TryRecvError::Empty) => {}
+                Err(channel::TryRecvError::Disconnected) => done.push((
+                    i,
+                    MaResponse::Err(MarketError::Transport("shard hung up".into())),
+                )),
+            }
+        }
+        // Remove back-to-front so the collected indices stay valid.
+        for (i, resp) in done.into_iter().rev() {
+            progress = true;
+            let p = self.pending.swap_remove(i);
+            let gate_resp = match p.kind {
+                PendingKind::App => {
+                    self.request_ns
+                        .record(p.started.elapsed().as_nanos() as u64);
+                    if let Some(conn) = self.conns.get_mut(&p.conn_id) {
+                        conn.inflight = conn.inflight.saturating_sub(1);
+                    }
+                    GateResponse::App(resp)
+                }
+                PendingKind::Admit { presented } => {
+                    self.gate.judge_deposit(p.key, presented, &resp)
+                }
+            };
+            self.send_gate(
+                p.conn_id,
+                p.key.party,
+                p.key.request_id,
+                p.trace_id,
+                gate_resp,
+            );
+        }
+        progress
+    }
+
+    /// Frames a gate response and queues it on the connection.
+    /// Overflowing the write queue is the slow-client signal: the
+    /// connection is evicted.
+    fn send_gate(
+        &mut self,
+        conn_id: u64,
+        to: Party,
+        correlation_id: u64,
+        trace_id: u64,
+        resp: GateResponse,
+    ) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // peer vanished while the request was in flight
+        };
+        if conn.dead {
+            return;
+        }
+        let label = match &resp {
+            GateResponse::Challenge { .. } => "gate-challenge",
+            GateResponse::Admitted { .. } => "gate-admitted",
+            GateResponse::Denied { .. } => "gate-denied",
+            GateResponse::App(inner) => response_label(inner),
+            GateResponse::Busy => "busy",
+        };
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let frame = Envelope {
+            msg_id,
+            correlation_id,
+            trace_id,
+            party: Party::Ma,
+            payload: resp,
+        }
+        .to_bytes();
+        let len = frame.len();
+        match conn.outq.enqueue(frame) {
+            Ok(()) => {
+                self.queue_fill.record(conn.outq.queued_bytes() as u64);
+                self.traffic.record(Party::Ma, to, label, len);
+            }
+            Err(_) => {
+                // Slow client: its outbound buffer is full. Evict.
+                self.evicted.inc();
+                conn.dead = true;
+            }
+        }
+    }
+
+    fn write_tick(&mut self) -> bool {
+        let mut progress = false;
+        for conn in self.conns.values_mut() {
+            if conn.dead || conn.outq.is_empty() {
+                continue;
+            }
+            match conn.outq.flush(&mut conn.stream) {
+                Ok(n) => progress |= n > 0,
+                Err(_) => conn.dead = true,
+            }
+        }
+        progress
+    }
+
+    /// Removes connections marked dead this tick.
+    fn bury_dead(&mut self) {
+        let before = self.conns.len();
+        self.conns.retain(|_, conn| {
+            if conn.dead {
+                conn.stream.shutdown();
+                false
+            } else {
+                true
+            }
+        });
+        if self.conns.len() != before {
+            self.connections.set(self.conns.len() as i64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Client-side connection knobs.
+#[derive(Debug, Clone)]
+pub struct TcpClientConfig {
+    /// Front-door address.
+    pub addr: SocketAddr,
+    /// How long to wait for any single reply.
+    pub reply_timeout: Duration,
+    /// How many challenge/re-admit cycles one logical request may
+    /// cause before giving up (covers token expiry mid-conversation).
+    pub handshake_attempts: u32,
+    /// Inject seeded stream tears under the framing layer (tests the
+    /// redial/re-admit path; the seed is varied per dial).
+    pub flaky: Option<FlakyConfig>,
+}
+
+impl TcpClientConfig {
+    /// Defaults for a front door at `addr`.
+    pub fn new(addr: SocketAddr) -> TcpClientConfig {
+        TcpClientConfig {
+            addr,
+            reply_timeout: Duration::from_secs(30),
+            handshake_attempts: 5,
+            flaky: None,
+        }
+    }
+}
+
+struct ClientState {
+    conn: Option<FramedConn>,
+    token: Option<u64>,
+    /// Unit-value spends reserved for admission fees.
+    wallet: VecDeque<Spend>,
+    /// An `Admit` whose outcome we never learned: `(msg_id, spends)`.
+    /// Retransmitted under the same id so the service's dedup cache
+    /// (and the gate's verdict cache) replay the original admission
+    /// instead of taking payment twice.
+    pending_admit: Option<(u64, Vec<Spend>)>,
+    dials: u64,
+}
+
+/// Stratum-3 [`Transport`] over a real TCP connection through the
+/// admission gate. One transport = one connection (re-dialed lazily
+/// after failures) + one wallet of admission spends + at most one
+/// live session token. `Send + Sync` via an internal lock; callers
+/// needing concurrency open more transports (connections are cheap on
+/// the reactor side).
+pub struct TcpTransport {
+    config: TcpClientConfig,
+    state: Mutex<ClientState>,
+}
+
+impl TcpTransport {
+    /// A transport dialing `config.addr` lazily on first use.
+    pub fn new(config: TcpClientConfig) -> TcpTransport {
+        TcpTransport {
+            config,
+            state: Mutex::new(ClientState {
+                conn: None,
+                token: None,
+                wallet: VecDeque::new(),
+                pending_admit: None,
+                dials: 0,
+            }),
+        }
+    }
+
+    /// Convenience: resolve `addr` (e.g. `"127.0.0.1:4070"`).
+    pub fn dial(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+        Ok(TcpTransport::new(TcpClientConfig::new(addr)))
+    }
+
+    /// Adds admission spends to the wallet. The gate charges
+    /// `price` face value per admission; wallets hold unit-value
+    /// leaf spends, so one admission costs `price` of them.
+    pub fn load_wallet(&self, spends: Vec<Spend>) {
+        self.state.lock().wallet.extend(spends);
+    }
+
+    /// Admission spends still available.
+    pub fn wallet_len(&self) -> usize {
+        self.state.lock().wallet.len()
+    }
+
+    fn connect(&self, state: &mut ClientState) -> Result<(), MarketError> {
+        if state.conn.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.config.addr, Duration::from_secs(5))
+            .map_err(|e| MarketError::Transport(format!("dial failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        // A short read timeout gives recv_frame its poll granularity;
+        // the frame-level deadline is enforced above this.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+        state.dials += 1;
+        let byte_stream: Box<dyn ByteStream> = match self.config.flaky {
+            Some(mut cfg) => {
+                // Vary the tear schedule per dial, or every reconnect
+                // would die at the same byte.
+                cfg.seed = cfg.seed.wrapping_add(state.dials);
+                Box::new(FlakyStream::new(TcpByteStream(stream), cfg))
+            }
+            None => Box::new(TcpByteStream(stream)),
+        };
+        state.conn = Some(FramedConn::new(byte_stream));
+        // A new connection does not invalidate the token (tokens are
+        // gate-global bearer words), but a torn mid-handshake dial
+        // may have left one half-minted; keep whatever we have and
+        // let the server re-challenge if it disagrees.
+        Ok(())
+    }
+
+    /// Sends one gate request and receives the correlated gate
+    /// response. Any io failure tears the connection so the next call
+    /// re-dials.
+    fn gate_round_trip(
+        &self,
+        state: &mut ClientState,
+        from: Party,
+        msg_id: u64,
+        trace_id: u64,
+        payload: &GateRequest,
+    ) -> Result<GateResponse, MarketError> {
+        self.connect(state)?;
+        let frame = Envelope {
+            msg_id,
+            correlation_id: 0,
+            trace_id,
+            party: from,
+            payload,
+        }
+        .to_bytes();
+        let conn = state.conn.as_mut().expect("connected above");
+        let result = (|| {
+            conn.send_frame(&frame)?;
+            let deadline = Instant::now() + self.config.reply_timeout;
+            loop {
+                let reply = conn.recv_frame(deadline)?;
+                let env = Envelope::<GateResponse>::from_bytes(&reply)
+                    .map_err(|e| MarketError::Transport(format!("bad reply frame: {e}")))?;
+                if env.correlation_id == msg_id {
+                    return Ok(env.payload);
+                }
+                // A stale reply (e.g. for a request whose first
+                // attempt we gave up on): skip it.
+            }
+        })();
+        if result.is_err() {
+            // Tear the session; the next call re-dials.
+            if let Some(mut conn) = state.conn.take() {
+                conn.shutdown();
+            }
+        }
+        result
+    }
+
+    /// Ensures `state.token` holds a live session token, paying the
+    /// admission price from the wallet if challenged.
+    fn ensure_admitted(&self, state: &mut ClientState, from: Party) -> Result<(), MarketError> {
+        if state.token.is_some() {
+            return Ok(());
+        }
+        // Hello is read-only, so each attempt gets a fresh id.
+        let hello = self.gate_round_trip(
+            state,
+            from,
+            next_request_id(),
+            next_trace_id(),
+            &GateRequest::Hello,
+        )?;
+        let price = match hello {
+            GateResponse::Admitted { token, .. } => {
+                state.token = Some(token);
+                return Ok(());
+            }
+            GateResponse::Challenge { price, .. } => price,
+            GateResponse::Denied { reason } => return Err(denied_error(&reason)),
+            GateResponse::Busy => {
+                return Err(MarketError::Transport("front door busy".into()));
+            }
+            GateResponse::App(_) => {
+                return Err(MarketError::Transport("protocol confusion on Hello".into()));
+            }
+        };
+        // Pay. A re-used pending_admit replays the exact same frame
+        // (same msg_id, same spends) so a lost Admitted answer cannot
+        // cost a second payment.
+        let (admit_id, spends) = match state.pending_admit.take() {
+            Some(pa) => pa,
+            None => {
+                let need = spends_for_price(price);
+                if state.wallet.len() < need {
+                    return Err(MarketError::BadCoin(format!(
+                        "admission wallet exhausted: have {}, need {need}",
+                        state.wallet.len()
+                    )));
+                }
+                let spends: Vec<Spend> = state.wallet.drain(..need).collect();
+                (next_request_id(), spends)
+            }
+        };
+        state.pending_admit = Some((admit_id, spends.clone()));
+        let verdict = self.gate_round_trip(
+            state,
+            from,
+            admit_id,
+            next_trace_id(),
+            &GateRequest::Admit { spends },
+        )?;
+        match verdict {
+            GateResponse::Admitted { token, .. } => {
+                state.token = Some(token);
+                state.pending_admit = None;
+                Ok(())
+            }
+            GateResponse::Denied { reason } => {
+                // A definitive refusal: the coins are judged (and the
+                // verdict cached server-side); replaying them is
+                // pointless.
+                state.pending_admit = None;
+                Err(denied_error(&reason))
+            }
+            GateResponse::Busy => {
+                // The deposit never entered the service; keep
+                // pending_admit for the retry.
+                Err(MarketError::Transport("front door busy".into()))
+            }
+            other => Err(MarketError::Transport(format!(
+                "unexpected admission answer: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip_keyed(
+        &self,
+        from: Party,
+        request_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        self.round_trip_traced(from, request_id, next_trace_id(), request)
+    }
+
+    fn round_trip_traced(
+        &self,
+        from: Party,
+        request_id: u64,
+        trace_id: u64,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        let mut state = self.state.lock();
+        for _ in 0..self.config.handshake_attempts.max(1) {
+            self.ensure_admitted(&mut state, from)?;
+            let token = state.token.expect("admitted above");
+            let answer = self.gate_round_trip(
+                &mut state,
+                from,
+                request_id,
+                trace_id,
+                &GateRequest::App {
+                    token,
+                    request: request.clone(),
+                },
+            )?;
+            match answer {
+                GateResponse::App(MaResponse::Busy) | GateResponse::Busy => {
+                    return Err(MarketError::Transport(
+                        "service busy (load shed); retry later".into(),
+                    ));
+                }
+                GateResponse::App(resp) => return Ok(resp),
+                GateResponse::Challenge { .. } => {
+                    // Token exhausted or expelled: re-admit and replay
+                    // this request under its *original* key — the
+                    // dedup cache makes the replay exactly-once even
+                    // if the first copy did execute.
+                    state.token = None;
+                    continue;
+                }
+                GateResponse::Denied { reason } => return Err(denied_error(&reason)),
+                GateResponse::Admitted { .. } => {
+                    return Err(MarketError::Transport(
+                        "unsolicited admission during request".into(),
+                    ));
+                }
+            }
+        }
+        Err(MarketError::Transport(
+            "admission kept expiring; giving up".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = TcpConfig::default();
+        assert!(c.max_connections > 0);
+        assert!(c.write_queue_bytes > 4096);
+        assert!(c.max_inflight_per_conn > 0);
+        assert!(c.admission.price > 0, "paywall is on by default");
+    }
+
+    #[test]
+    fn transport_without_wallet_fails_closed() {
+        // Nothing is listening on this port — the transport must
+        // surface a retryable transport error, not hang or panic.
+        let t = TcpTransport::new(TcpClientConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            reply_timeout: Duration::from_millis(50),
+            handshake_attempts: 1,
+            flaky: None,
+        });
+        let err = t
+            .round_trip(Party::Sp, MaRequest::FetchData { job_id: 1 })
+            .unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "dial failure must be retryable: {err:?}"
+        );
+    }
+}

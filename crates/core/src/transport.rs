@@ -10,18 +10,38 @@
 //! — a dropped frame never reached its receiver, so it must not
 //! inflate the receiver's input column.
 //!
-//! Two [`Transport`] implementations carry requests to the service's
-//! dispatcher:
+//! The stack is stratified into three layers (DESIGN.md §13):
+//!
+//! 1. **Byte-stream** ([`crate::stream::ByteStream`]) — anything that
+//!    moves bytes: a TCP socket, a fault-injecting decorator.
+//! 2. **Framing/session** ([`crate::frame`]) — length-prefixed
+//!    Envelope v3 + FNV-1a trailer over a stream, with partial-read
+//!    reassembly ([`crate::frame::FrameDecoder`]) and bounded write
+//!    buffering ([`crate::frame::WriteQueue`]).
+//! 3. **Typed request/response** — this module's [`Transport`] trait,
+//!    which the rest of the system talks to.
+//!
+//! Three [`Transport`] implementations carry requests to the
+//! service's dispatcher:
 //!
 //! * [`InProcTransport`] moves the enums over channels directly —
-//!   zero copies, no accounting; the fast default for tests.
+//!   zero copies, no accounting; the fast default for tests. It
+//!   deliberately bypasses strata 1–2 (there are no bytes to frame).
 //! * [`SimNetTransport`] serializes every message into a
 //!   [`wire::Envelope`](crate::wire::Envelope), applies the faults of
 //!   a [`FaultPlan`] (latency, jitter, drop, duplication, stale
 //!   replay, corruption), records the **actual encoded size** in the
-//!   [`TrafficLog`], and decodes on the far side — so a market run
-//!   over it yields real Table II numbers, and any value that cannot
-//!   survive its own encoding fails loudly.
+//!   [`TrafficLog`], runs the arriving bytes through the stratum-2
+//!   [`FrameDecoder`](crate::frame::FrameDecoder), and decodes on the
+//!   far side — so a market run over it yields real Table II numbers,
+//!   and any value that cannot survive its own encoding fails loudly.
+//! * [`crate::tcp::TcpTransport`] sends the same frames over a real
+//!   socket to a [`crate::tcp::TcpFrontDoor`], passing the
+//!   [`crate::gate::AdmissionGate`]'s e-cash paywall first.
+//!
+//! [`crate::retry::RetryingTransport`] wraps any of them at stratum 3
+//! — retries are about logical requests, not bytes, so the retry
+//! layer is transport-agnostic by construction.
 //!
 //! Every request travels under a client-chosen idempotency key
 //! `(party, request_id)` — the envelope's `msg_id` carries the id.
@@ -39,7 +59,7 @@ use ppms_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// One recorded message.
@@ -203,27 +223,72 @@ impl TrafficLog {
 // Transport backends
 // ---------------------------------------------------------------------------
 
-/// Process-wide request-id source. Ids only need to be unique per
-/// party for the service's idempotency cache to be correct; a global
-/// counter gives uniqueness across every client and transport in the
-/// process, which keeps concurrent tests from colliding.
+/// Per-process id nonce occupying the high 16 bits of every minted
+/// request/trace id. A bare process-global counter is unique within
+/// one process but *collides across processes*: two client binaries
+/// dialing the same MA over TCP would both start their ids at 1 and
+/// poison each other's entries in the idempotency dedup cache. The
+/// vendored `rand` has no OS entropy source (its global seeding is a
+/// deterministic counter, identical in every process), so the nonce
+/// is FNV-1a-mixed from three values that genuinely differ between
+/// processes: the wall-clock nanos at first use, the OS pid, and the
+/// ASLR-randomized address of a static.
+fn process_nonce() -> u64 {
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let pid = std::process::id() as u64;
+        let aslr = &NONCE as *const _ as u64;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [nanos, pid, aslr] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        // Only the low 16 bits survive into the id layout; make sure
+        // they are non-zero so trace ids can never be 0 even if a
+        // counter ever wrapped.
+        let hi = (h >> 48) ^ (h & 0xffff);
+        hi.max(1)
+    })
+}
+
+/// Bits of the per-process counter kept in an id; the nonce sits
+/// above them.
+const ID_COUNTER_BITS: u32 = 48;
+
+fn mint_id(counter: &AtomicU64) -> u64 {
+    let low = counter.fetch_add(1, Ordering::Relaxed) & ((1 << ID_COUNTER_BITS) - 1);
+    (process_nonce() << ID_COUNTER_BITS) | low
+}
+
+/// Process-wide request-id source. Ids must be unique per party for
+/// the service's idempotency cache to be correct — including across
+/// *processes* once clients dial in over TCP, so every id carries the
+/// per-process nonce in its high 16 bits over a 48-bit process-local
+/// counter.
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Allocates a fresh idempotency request id.
 pub fn next_request_id() -> u64 {
-    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+    mint_id(&NEXT_REQUEST_ID)
 }
 
 /// Process-wide trace-id source. A trace id is minted once at the
 /// originating client and then preserved verbatim across retransmits,
 /// shard hops and the response leg, so every event a logical request
 /// causes carries the same id. 0 is reserved for "no trace context"
-/// (v2 wire frames).
+/// (v2 wire frames); the non-zero process nonce in the high bits
+/// guarantees minted ids never collide with it.
 static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Allocates a fresh trace id (never 0).
 pub fn next_trace_id() -> u64 {
-    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+    mint_id(&NEXT_TRACE_ID)
 }
 
 /// A synchronous request/response channel to the MA service.
@@ -307,6 +372,7 @@ pub fn response_label(response: &MaResponse) -> &'static str {
         MaResponse::Balance(_) => "balance",
         MaResponse::Err(_) => "error",
         MaResponse::Drained { .. } => "drained",
+        MaResponse::Busy => "busy",
     }
 }
 
@@ -523,10 +589,24 @@ impl SimNetTransport {
         MarketError::Transport("corrupt frame discarded by receiver".into())
     }
 
-    /// MA side: decode a request frame (proving the bytes suffice),
+    /// MA side: run the arriving bytes through the stratum-2
+    /// [`FrameDecoder`] — the *same* splitter the TCP reactor uses —
+    /// in two arbitrary chunks (so the reassembly path is exercised
+    /// on every simnet request), decode the reassembled frame,
     /// dispatch it under its envelope key, and wait for the reply.
     fn dispatch(&self, frame: &[u8]) -> Result<MaResponse, MarketError> {
-        let envelope = Envelope::<MaRequest>::from_bytes(frame)?;
+        let mut decoder = crate::frame::FrameDecoder::default();
+        let cut = frame.len() / 2;
+        decoder.push(&frame[..cut]);
+        debug_assert!(
+            matches!(decoder.next_frame(), Ok(None)),
+            "half a frame must not yield"
+        );
+        decoder.push(&frame[cut..]);
+        let reassembled = decoder
+            .next_frame()?
+            .ok_or_else(|| MarketError::Transport("frame decoder starved".into()))?;
+        let envelope = Envelope::<MaRequest>::from_bytes(&reassembled)?;
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
             .send(Inbound {
@@ -744,5 +824,23 @@ mod tests {
         let a = next_request_id();
         let b = next_request_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ids_carry_the_process_nonce_in_the_high_bits() {
+        let a = next_request_id();
+        let b = next_request_id();
+        let t = next_trace_id();
+        // Same process → same non-zero nonce above the counter bits,
+        // in request ids and trace ids alike.
+        let nonce = a >> ID_COUNTER_BITS;
+        assert_ne!(nonce, 0, "nonce must be non-zero so trace ids never hit 0");
+        assert!(nonce <= 0xffff, "nonce occupies exactly the high 16 bits");
+        assert_eq!(b >> ID_COUNTER_BITS, nonce);
+        assert_eq!(t >> ID_COUNTER_BITS, nonce);
+        // The low bits still increment within the process.
+        let mask = (1u64 << ID_COUNTER_BITS) - 1;
+        assert_eq!((b & mask).wrapping_sub(a & mask), 1);
+        assert_ne!(t, 0);
     }
 }

@@ -718,6 +718,9 @@ impl WireEncode for MaResponse {
                 w.u8(10);
                 w.u64(*undelivered_payments as u64);
             }
+            MaResponse::Busy => {
+                w.u8(11);
+            }
         }
     }
 }
@@ -746,6 +749,7 @@ impl WireDecode for MaResponse {
             10 => MaResponse::Drained {
                 undelivered_payments: r.u64()? as usize,
             },
+            11 => MaResponse::Busy,
             t => return Err(WireError::BadTag("ma-response", t)),
         })
     }
@@ -1083,6 +1087,7 @@ mod tests {
             MaResponse::Drained {
                 undelivered_payments: 4,
             },
+            MaResponse::Busy,
         ] {
             let bytes = resp.to_wire_bytes();
             let back = MaResponse::from_wire_bytes(&bytes).expect("decode");

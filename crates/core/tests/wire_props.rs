@@ -134,9 +134,9 @@ fn build_request(variant: u64, a: u64, b: u64, blob: &[u8], text: &str) -> MaReq
     }
 }
 
-/// Deterministically builds each of the 11 response variants.
+/// Deterministically builds each of the 12 response variants.
 fn build_response(variant: u64, a: u64, b: u64, blob: &[u8], text: &str) -> MaResponse {
-    match variant % 11 {
+    match variant % 12 {
         0 => MaResponse::Account(AccountId(a)),
         1 => MaResponse::JobId(a),
         2 => MaResponse::BlindSignature(BigUint::from(a | 1)),
@@ -155,9 +155,10 @@ fn build_response(variant: u64, a: u64, b: u64, blob: &[u8], text: &str) -> MaRe
         },
         8 => MaResponse::Balance(a),
         9 => MaResponse::Err(market_error(b, text)),
-        _ => MaResponse::Drained {
+        10 => MaResponse::Drained {
             undelivered_payments: (a % 1000) as usize,
         },
+        _ => MaResponse::Busy,
     }
 }
 
@@ -250,7 +251,7 @@ proptest! {
 
     #[test]
     fn responses_roundtrip(
-        variant in 0u64..11,
+        variant in 0u64..12,
         a in any::<u64>(),
         b in any::<u64>(),
         blob in prop::collection::vec(any::<u8>(), 0..48),
@@ -320,7 +321,7 @@ proptest! {
     #[test]
     fn foreign_versions_rejected(
         version in 0u16..u16::MAX,
-        variant in 0u64..11,
+        variant in 0u64..12,
         a in any::<u64>(),
     ) {
         // Both the current version and the still-decodable v2 are
@@ -343,7 +344,7 @@ proptest! {
 
     #[test]
     fn v2_frames_decode_without_trace(
-        variant in 0u64..11,
+        variant in 0u64..12,
         a in any::<u64>(),
         ids in any::<u64>(),
     ) {
@@ -373,6 +374,110 @@ proptest! {
             let back2: Envelope<MaResponse> = Envelope::from_bytes(&v2).unwrap();
             back2.to_bytes().len()
         });
+    }
+
+    // The framing layer's reassembly law: a concatenation of frames
+    // split at *arbitrary* byte boundaries — including one byte at a
+    // time — decodes to exactly the same frame sequence as the
+    // contiguous stream, with nothing left in the buffer.
+    #[test]
+    fn frames_reassemble_across_arbitrary_splits(
+        variants in prop::collection::vec(0u64..13, 1..5),
+        a in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..32),
+        cuts in prop::collection::vec(1usize..64, 1..8),
+        one_byte in any::<bool>(),
+    ) {
+        use ppms_core::FrameDecoder;
+
+        let frames: Vec<Vec<u8>> = variants
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Envelope {
+                    msg_id: i as u64 + 1,
+                    correlation_id: i as u64,
+                    trace_id: a.rotate_left(i as u32),
+                    party: party(v),
+                    payload: build_request(v, a, a ^ 1, &blob, "split"),
+                }
+                .to_bytes()
+            })
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+
+        // Contiguous decode: one push yields every frame verbatim.
+        let mut whole = FrameDecoder::default();
+        whole.push(&stream);
+        let mut contiguous = Vec::new();
+        while let Some(f) = whole.next_frame().expect("contiguous stream decodes") {
+            contiguous.push(f);
+        }
+        prop_assert_eq!(&contiguous, &frames);
+        prop_assert_eq!(whole.buffered(), 0);
+
+        // Split decode: feed chunks whose sizes cycle through `cuts`
+        // (or single bytes), draining after every push.
+        let mut split = FrameDecoder::default();
+        let mut reassembled = Vec::new();
+        let mut offset = 0usize;
+        let mut cut_idx = 0usize;
+        while offset < stream.len() {
+            let step = if one_byte {
+                1
+            } else {
+                cuts[cut_idx % cuts.len()].min(stream.len() - offset)
+            };
+            cut_idx += 1;
+            split.push(&stream[offset..offset + step]);
+            offset += step;
+            while let Some(f) = split.next_frame().expect("split stream decodes") {
+                reassembled.push(f);
+            }
+        }
+        prop_assert_eq!(&reassembled, &frames);
+        prop_assert_eq!(split.buffered(), 0);
+
+        // Every reassembled frame still passes envelope decoding
+        // (prefix, trailer and version checks included).
+        for f in &reassembled {
+            prop_assert!(Envelope::<MaRequest>::from_bytes(f).is_ok());
+        }
+    }
+
+    // Reassembly is position-oblivious: cutting one frame at every
+    // single interior byte boundary yields the identical frame.
+    #[test]
+    fn single_frame_survives_every_split_point(
+        variant in 0u64..13,
+        a in any::<u64>(),
+        blob in prop::collection::vec(any::<u8>(), 0..24),
+    ) {
+        use ppms_core::FrameDecoder;
+
+        let frame = Envelope {
+            msg_id: a | 1,
+            correlation_id: a,
+            trace_id: !a,
+            party: party(variant),
+            payload: build_request(variant, a, a.rotate_left(7), &blob, "cutpoint"),
+        }
+        .to_bytes();
+        for cut in 1..frame.len() {
+            let mut dec = FrameDecoder::default();
+            dec.push(&frame[..cut]);
+            prop_assert!(
+                dec.next_frame().expect("prefix alone never errors").is_none(),
+                "partial frame (cut {cut}) must not decode"
+            );
+            dec.push(&frame[cut..]);
+            let got = dec
+                .next_frame()
+                .expect("completed frame decodes")
+                .expect("frame present");
+            prop_assert_eq!(&got, &frame);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
     }
 
     #[test]

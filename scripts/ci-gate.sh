@@ -17,7 +17,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> no-op observability config still compiles"
 # The virtual workspace root forbids --features; gate each crate that
 # forwards the flag so a cfg-gated stub can never rot unbuilt.
-for crate in ppms-obs ppms-bigint ppms-crypto ppms-ecash ppms-core ppms-bench; do
+for crate in ppms-obs ppms-bigint ppms-crypto ppms-ecash ppms-core ppms-bench ppms-integration; do
     cargo build -p "$crate" --features no-op --quiet
 done
 cargo test -p ppms-obs --features no-op -q
@@ -25,8 +25,20 @@ cargo test -p ppms-obs --features no-op -q
 echo "==> observability layer (registry, histograms, merge laws)"
 cargo test -p ppms-obs -q
 
-echo "==> wire protocol property tests (v3 + legacy v2 frames)"
+echo "==> wire protocol property tests (v3 + legacy v2 frames, split reassembly)"
 cargo test -p ppms-core --test wire_props -q
+cargo test -p ppms-core --features no-op --test wire_props -q
+
+echo "==> tcp front door (admission gate, eviction, shedding) + transport equivalence"
+# Both feature configs: the reactor leans on obs counters for its
+# shed/evict decisions' observability, so the no-op build must drive
+# the same loopback sockets.
+cargo test -p ppms-integration --test tcp_front_door --test transport_equivalence -q
+cargo test -p ppms-integration --features no-op --test tcp_front_door --test transport_equivalence -q
+
+echo "==> loopback TCP smoke (throughput bench correctness gates + simnet/tcp ledger equality)"
+cargo bench -p ppms-bench --bench tcp_front_door -- --test >/dev/null
+cargo bench -p ppms-bench --features no-op --bench tcp_front_door -- --test >/dev/null
 
 echo "==> chaos harness (fault injection + shard-crash supervision)"
 cargo test -p ppms-integration --test chaos -q

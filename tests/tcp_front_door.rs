@@ -1,0 +1,365 @@
+//! The TCP front door's security and overload policies, exercised
+//! over real loopback sockets: unadmitted connections never reach a
+//! shard handler, admission is paid in the market's own e-cash (and a
+//! double-spent admission coin is refused), slow clients are evicted
+//! when their outbound buffer fills instead of growing it without
+//! bound, and overload is shed with `Busy` instead of queuing
+//! unboundedly. Every policy decision is asserted through the obs
+//! counters the reactor records (`tcp.*`, `gate.*`).
+
+use ppms_core::gate::AdmissionConfig;
+use ppms_core::service::{MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
+use ppms_core::sim::{mint_admission_spends, mint_deposit_batches};
+use ppms_core::{
+    next_request_id, next_trace_id, Envelope, FramedConn, GateRequest, GateResponse, MarketError,
+    Party, TcpByteStream, TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport,
+};
+use ppms_ecash::DecParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn spawn_service(seed: u64, shards: usize, queue_depth: usize) -> MaService {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards,
+            queue_depth,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// A raw framed connection to the front door — the protocol surface
+/// an arbitrary (possibly hostile) peer sees, below `TcpTransport`'s
+/// well-behaved client logic.
+fn gate_conn(addr: SocketAddr) -> FramedConn {
+    let stream = TcpStream::connect(addr).expect("loopback connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("read timeout");
+    let _ = stream.set_nodelay(true);
+    FramedConn::new(Box::new(TcpByteStream(stream)))
+}
+
+fn gate_frame(party: Party, msg_id: u64, payload: &GateRequest) -> Vec<u8> {
+    Envelope {
+        msg_id,
+        correlation_id: 0,
+        trace_id: next_trace_id(),
+        party,
+        payload,
+    }
+    .to_bytes()
+}
+
+/// One correlated request/response exchange on a raw connection.
+fn ask(conn: &mut FramedConn, party: Party, payload: &GateRequest) -> GateResponse {
+    let msg_id = next_request_id();
+    conn.send_frame(&gate_frame(party, msg_id, payload))
+        .expect("send");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = conn.recv_frame(deadline).expect("reply");
+        let env = Envelope::<GateResponse>::from_bytes(&reply).expect("gate reply decodes");
+        if env.correlation_id == msg_id {
+            return env.payload;
+        }
+    }
+}
+
+fn open_door(price_zero: bool) -> AdmissionConfig {
+    AdmissionConfig {
+        price: if price_zero { 0 } else { 1 },
+        requests_per_token: 100_000,
+        ..AdmissionConfig::default()
+    }
+}
+
+#[test]
+fn unadmitted_requests_never_reach_a_shard() {
+    let svc = spawn_service(0xD001, 2, 64);
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", TcpConfig::default()).expect("front door");
+
+    // Baseline after spawn (the revenue-account registration is the
+    // service's own and has already landed).
+    let before = svc.obs.snapshot();
+
+    let mut conn = gate_conn(door.addr());
+    // Hello without payment: challenged, not admitted.
+    assert!(matches!(
+        ask(&mut conn, Party::Sp, &GateRequest::Hello),
+        GateResponse::Challenge { .. }
+    ));
+    // A forged token bounces with a re-challenge.
+    assert!(matches!(
+        ask(
+            &mut conn,
+            Party::Sp,
+            &GateRequest::App {
+                token: 0xDEAD_BEEF,
+                request: MaRequest::RegisterSpAccount,
+            },
+        ),
+        GateResponse::Challenge { .. }
+    ));
+    // Shutdown is refused outright — network peers cannot stop the
+    // market even if they had a token.
+    assert!(matches!(
+        ask(
+            &mut conn,
+            Party::Sp,
+            &GateRequest::App {
+                token: 0xDEAD_BEEF,
+                request: MaRequest::Shutdown,
+            },
+        ),
+        GateResponse::Denied { .. }
+    ));
+
+    // Not one of those frames reached the dispatcher: the dedup
+    // counters (incremented once per request entering the service)
+    // are untouched.
+    let after = svc.obs.snapshot();
+    assert_eq!(
+        before.counter("ma.dedup.misses"),
+        after.counter("ma.dedup.misses"),
+        "an unadmitted request entered the service"
+    );
+    assert_eq!(
+        before.counter("ma.dedup.hits"),
+        after.counter("ma.dedup.hits")
+    );
+    assert!(after.counter("gate.challenges") >= 2);
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
+fn admission_is_paid_and_double_spent_coins_are_refused() {
+    let svc = spawn_service(0xD002, 2, 64);
+    // One request per token forces a second admission immediately.
+    let config = TcpConfig {
+        admission: AdmissionConfig {
+            requests_per_token: 1,
+            ..AdmissionConfig::default()
+        },
+        ..TcpConfig::default()
+    };
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", config).expect("front door");
+
+    let spends = mint_admission_spends(&svc, 0xFEE, 1).expect("wallet");
+    let transport = TcpTransport::new(TcpClientConfig::new(door.addr()));
+    // The wallet holds the same spend twice: the first admission
+    // deposits it legitimately, the second replays a spent serial.
+    transport.load_wallet(vec![spends[0].clone(), spends[0].clone()]);
+    let client = MaClient::new(Arc::new(transport), Party::Sp);
+
+    let account = match client.try_call(MaRequest::RegisterSpAccount) {
+        Ok(MaResponse::Account(a)) => a,
+        other => panic!("paid admission should serve the request, got {other:?}"),
+    };
+
+    // Token exhausted; re-admission presents the double-spent coin
+    // and must be refused with a *fatal* error (not a retryable one).
+    match client.try_call(MaRequest::Balance { account }) {
+        Err(MarketError::BadCoin(reason)) => {
+            assert!(
+                reason.contains("admission denied"),
+                "unexpected refusal: {reason}"
+            );
+        }
+        other => panic!("double-spent admission must be denied, got {other:?}"),
+    }
+
+    let snap = door.obs_snapshot();
+    assert!(snap.counter("gate.admitted") >= 1, "first admission minted");
+    assert!(snap.counter("gate.denied") >= 1, "replayed coin refused");
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
+fn slow_clients_are_evicted_with_bounded_buffers() {
+    let svc = spawn_service(0xD003, 2, 64);
+    let config = TcpConfig {
+        // Small outbound budget so a non-reading client trips it fast.
+        write_queue_bytes: 32 * 1024,
+        admission: open_door(true),
+        ..TcpConfig::default()
+    };
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", config).expect("front door");
+
+    // Publish a job and register two fat labor keys so `FetchLabor`
+    // replies are ~24 KiB each.
+    let setup = svc.client();
+    let job_id = match setup.call(MaRequest::PublishJob {
+        description: "eviction fixture".into(),
+        payment: 1,
+        pseudonym: vec![1, 2, 3],
+    }) {
+        MaResponse::JobId(id) => id,
+        other => panic!("publish: {other:?}"),
+    };
+    for fill in [0xA5u8, 0x5A] {
+        match setup.call(MaRequest::LaborRegister {
+            job_id,
+            sp_pubkey: vec![fill; 12 * 1024],
+        }) {
+            MaResponse::Ok => {}
+            other => panic!("labor fixture: {other:?}"),
+        }
+    }
+
+    // The slow client: admitted through the open door, then pipelines
+    // FetchLabor requests and never reads a single reply.
+    let mut slow = gate_conn(door.addr());
+    let token = match ask(&mut slow, Party::Jo, &GateRequest::Hello) {
+        GateResponse::Admitted { token, .. } => token,
+        other => panic!("open door must admit, got {other:?}"),
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut sent = 0u32;
+    loop {
+        if door.obs_snapshot().counter("tcp.evicted") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no eviction after {sent} unread replies"
+        );
+        let frame = gate_frame(
+            Party::Jo,
+            next_request_id(),
+            &GateRequest::App {
+                token,
+                request: MaRequest::FetchLabor { job_id },
+            },
+        );
+        // Once the reactor evicts us it closes the socket, so a send
+        // failure is also the success signal.
+        if slow.send_frame(&frame).is_err() {
+            break;
+        }
+        sent += 1;
+        if sent.is_multiple_of(8) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let waited = Instant::now() + Duration::from_secs(10);
+    while door.obs_snapshot().counter("tcp.evicted") == 0 && Instant::now() < waited {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let snap = door.obs_snapshot();
+    assert!(snap.counter("tcp.evicted") >= 1, "slow client not evicted");
+
+    // The eviction freed the connection slot: a fresh, well-behaved
+    // client on the same door is served normally.
+    let mut fresh = gate_conn(door.addr());
+    let token = match ask(&mut fresh, Party::Jo, &GateRequest::Hello) {
+        GateResponse::Admitted { token, .. } => token,
+        other => panic!("fresh client refused: {other:?}"),
+    };
+    match ask(
+        &mut fresh,
+        Party::Jo,
+        &GateRequest::App {
+            token,
+            request: MaRequest::FetchLabor { job_id },
+        },
+    ) {
+        GateResponse::App(MaResponse::Labor(keys)) => assert_eq!(keys.len(), 2),
+        other => panic!("fresh client not served: {other:?}"),
+    }
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_busy_not_queued_unboundedly() {
+    // A deliberately tiny service: one shard, queue depth one — the
+    // whole pipeline absorbs only a few in-flight requests.
+    let svc = spawn_service(0xD004, 1, 1);
+    let config = TcpConfig {
+        admission: open_door(true),
+        max_inflight_per_conn: 64,
+        ..TcpConfig::default()
+    };
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", config).expect("front door");
+
+    let mut conn = gate_conn(door.addr());
+    let token = match ask(&mut conn, Party::Sp, &GateRequest::Hello) {
+        GateResponse::Admitted { token, .. } => token,
+        other => panic!("open door must admit, got {other:?}"),
+    };
+
+    // Fire volleys of expensive requests — full-coin deposit batches
+    // whose per-spend ZK verification stalls the single shard for
+    // milliseconds each — back-to-back without waiting for replies.
+    // The inbox overflow must come back as Busy — immediately, not
+    // after a queueing delay. On a loaded machine the shard can drain
+    // between reactor reads, so escalate with fresh volleys until the
+    // pipeline falls behind at least once.
+    let mut busy = 0usize;
+    let mut deposited = 0usize;
+    let mut sent = 0usize;
+    let mut round = 0u64;
+    while busy == 0 {
+        assert!(round < 8, "overload never shed ({deposited} deposited)");
+        let batches = mint_deposit_batches(&svc, 0xB0B ^ round, 10).expect("batches");
+        round += 1;
+        let mut ids = Vec::new();
+        for (account, spends) in &batches {
+            let msg_id = next_request_id();
+            conn.send_frame(&gate_frame(
+                Party::Sp,
+                msg_id,
+                &GateRequest::App {
+                    token,
+                    request: MaRequest::DepositBatch {
+                        account: *account,
+                        spends: spends.clone(),
+                    },
+                },
+            ))
+            .expect("pipelined send");
+            ids.push(msg_id);
+        }
+        sent += ids.len();
+
+        // Every request gets exactly one reply: either its deposit
+        // result or a Busy shed marker.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while !ids.is_empty() {
+            let reply = conn.recv_frame(deadline).expect("pipelined reply");
+            let env = Envelope::<GateResponse>::from_bytes(&reply).expect("reply decodes");
+            let Some(pos) = ids.iter().position(|&id| id == env.correlation_id) else {
+                continue;
+            };
+            ids.swap_remove(pos);
+            match env.payload {
+                GateResponse::App(MaResponse::Busy) | GateResponse::Busy => busy += 1,
+                GateResponse::App(MaResponse::BatchDeposited { .. }) => deposited += 1,
+                other => panic!("unexpected pipelined reply: {other:?}"),
+            }
+        }
+    }
+    assert!(deposited >= 1, "shedding must not starve the service");
+    assert_eq!(busy + deposited, sent);
+
+    let snap = door.obs_snapshot();
+    assert_eq!(snap.counter("tcp.shed"), busy as u64);
+    assert_eq!(snap.counter("tcp.evicted"), 0, "shedding is not eviction");
+
+    drop(door);
+    svc.shutdown();
+}

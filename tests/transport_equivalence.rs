@@ -1,14 +1,16 @@
 //! Transport equivalence: the same market rounds must produce
 //! identical ledger outcomes whether the messages travel as in-memory
-//! enums ([`InProcTransport`]) or as serialized wire envelopes over a
-//! simulated network ([`SimNetTransport`]) — and regardless of how
+//! enums ([`InProcTransport`]), as serialized wire envelopes over a
+//! simulated network ([`SimNetTransport`]), or as real frames over
+//! loopback TCP through the admission gate — and regardless of how
 //! many shard workers the MA runs. The wire is an implementation
 //! detail; the ledger is the ground truth.
 
 use ppms_core::sim::{
-    run_service_market, run_service_market_chaos, ServiceMarketOutcome, TransportKind,
+    run_service_market, run_service_market_chaos, ServiceMarketOutcome, TcpEquivConfig,
+    TransportKind,
 };
-use ppms_core::{FaultPlan, SimNetConfig};
+use ppms_core::{FaultPlan, FlakyConfig, SimNetConfig};
 use proptest::prelude::*;
 
 const SEED: u64 = 0xE0;
@@ -55,6 +57,40 @@ fn simnet_with_latency_matches_inproc() {
     let inproc = run(TransportKind::InProc, 2);
     let simnet = run(TransportKind::SimNet(cfg), 2);
     assert_eq!(inproc, simnet);
+}
+
+// Loopback TCP through the paywall is still the same market: the
+// admission traffic (extra accounts, gate fees) must be invisible to
+// the ledger audit, and the shard count must stay irrelevant.
+#[test]
+fn tcp_matches_inproc_and_simnet_across_shard_counts() {
+    for shards in [1usize, 4] {
+        let inproc = run(TransportKind::InProc, shards);
+        let simnet = run(TransportKind::SimNet(SimNetConfig::default()), shards);
+        let tcp = run(TransportKind::Tcp(TcpEquivConfig::default()), shards);
+        assert_eq!(inproc, tcp, "tcp vs inproc at {shards} shards");
+        assert_eq!(simnet, tcp, "tcp vs simnet at {shards} shards");
+    }
+}
+
+// Seeded stream tears under the client's framing layer force redials,
+// re-admissions and App retransmits; behind the aggressive retry
+// layer the run must still converge to the fault-free ledger.
+#[test]
+fn tcp_over_flaky_loopback_behind_retry_converges() {
+    let expected = run(TransportKind::InProc, 2);
+    let flaky = run(
+        TransportKind::Tcp(TcpEquivConfig {
+            flaky: Some(FlakyConfig {
+                read_fail: 0.02,
+                write_fail: 0.02,
+                seed: 0xF1AC,
+            }),
+            retry: true,
+        }),
+        2,
+    );
+    assert_eq!(expected, flaky);
 }
 
 #[test]

@@ -16,6 +16,52 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Why a non-blocking send was refused.
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting right now.
+        Empty,
+        /// No message waiting and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -65,6 +111,21 @@ pub mod channel {
                 Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
             }
         }
+
+        /// Non-blocking send: fails with `Full` instead of waiting
+        /// when a bounded channel is at capacity (an unbounded
+        /// channel is never full).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
     }
 
     /// MPMC receiver: clones share one underlying mpsc receiver. A
@@ -93,6 +154,18 @@ pub mod channel {
                 .unwrap_or_else(|e| e.into_inner())
                 .recv()
                 .map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
         }
     }
 
