@@ -14,14 +14,15 @@ use ppms_bench::{cfg, ms, time_mean, time_once};
 use ppms_core::attack::{run_denomination_attack, run_timing_attack};
 use ppms_core::ppmsdec::DecMarket;
 use ppms_core::ppmspbs::PbsMarket;
-use ppms_core::sim::{run_dec_rounds, run_pbs_rounds};
-use ppms_core::Party;
+use ppms_core::sim::{drive_market_keyed, run_dec_rounds, run_pbs_rounds, spawn_durable_market};
+use ppms_core::{DurabilityConfig, Party, SimStorage};
 use ppms_ecash::{
     build_payment, plan_break, receive_payment, CashBreak, Coin, DecBank, DecParams, NodePath,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -469,7 +470,19 @@ fn obs() {
     let psp = pbs.register_sp(&mut rng, cfg::RSA_BITS);
     pbs.run_round(&mut rng, &pjo, &psp, "job", b"data").unwrap();
 
-    let snap = ppms_obs::global().snapshot();
+    // Durable-tier instruments (`wal.*`, DESIGN.md §14): one keyed
+    // market schedule journaled into simulated storage, checkpointed
+    // and sealed; the service's private registry is merged into the
+    // global snapshot so obs.json carries both layers.
+    let mut dur = DurabilityConfig::new(Arc::new(SimStorage::new()));
+    dur.segment_bytes = 4096;
+    let svc = spawn_durable_market(0xE0, 2, dur).expect("durable spawn");
+    drive_market_keyed(&svc, 0xE0, 3, 3, u64::MAX).expect("durable drive");
+    svc.checkpoint().expect("checkpoint");
+    let wal = svc.obs.snapshot();
+    svc.shutdown();
+
+    let snap = ppms_obs::global().snapshot().merge(&wal);
     println!(
         "{:<20} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "span", "count", "p50-us", "p90-us", "p99-us", "max-us"
@@ -488,6 +501,34 @@ fn obs() {
         );
     }
     println!("(quantiles are log2-bucket upper bounds; spans cover both rounds above)");
+    println!("durable tier (one checkpointed market schedule):");
+    for name in [
+        "wal.fsyncs",
+        "wal.snapshots",
+        "wal.compactions",
+        "wal.segments_compacted",
+    ] {
+        println!("  {name:<26} {:>8}", snap.counter(name));
+    }
+    for name in [
+        "wal.records",
+        "wal.disk_bytes",
+        "wal.segments",
+        "wal.last_snapshot_lsn",
+        "wal.records_since_snapshot",
+    ] {
+        println!("  {name:<26} {:>8}", snap.gauge(name));
+    }
+    match snap.histogram("wal.fsync_ns") {
+        Some(h) if !h.is_empty() => println!(
+            "  {:<26} p50 {:.1}us  p99 {:.1}us  ({} syncs timed)",
+            "wal.fsync_ns",
+            h.p50() as f64 / 1e3,
+            h.p99() as f64 / 1e3,
+            h.count
+        ),
+        _ => println!("  wal.fsync_ns               (no samples — no-op build)"),
+    }
     let path = "target/report/obs.json";
     if std::fs::write(path, snap.to_json()).is_ok() {
         println!("  [json -> {path}]");

@@ -116,6 +116,16 @@ impl Bank {
         }
     }
 
+    /// Restores one account at an explicit id — the cold-start
+    /// recovery path replaying a committed registration whose id was
+    /// already handed to the client. The id counter advances past the
+    /// restored id so future registrations never collide.
+    pub fn restore_account(&self, id: AccountId, balance: u64) {
+        let mut inner = self.inner.write();
+        inner.next_id = inner.next_id.max(id.0 + 1);
+        inner.balances.insert(id, balance);
+    }
+
     /// Restores a bank from a snapshot.
     pub fn restore(snapshot: &BankSnapshot) -> Bank {
         let bank = Bank::new();
@@ -133,7 +143,7 @@ impl Bank {
 }
 
 /// A point-in-time copy of the ledger, serializable with serde.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BankSnapshot {
     /// Next account id to hand out.
     pub next_id: u64,

@@ -46,6 +46,33 @@ impl Bulletin {
         job_id
     }
 
+    /// Restores a profile at its recorded id — the cold-start
+    /// recovery path replaying a committed publication. Ids are dense
+    /// (the board assigns `len()`), so replay in commit order lands
+    /// each job at its recorded slot; a same-id restore overwrites
+    /// (idempotent re-application of the same committed record).
+    pub fn restore_job(&self, profile: JobProfile) {
+        let mut jobs = self.jobs.write();
+        let idx = profile.job_id as usize;
+        if idx < jobs.len() {
+            jobs[idx] = profile;
+            return;
+        }
+        // Fill any gap with placeholders (only reachable if a later
+        // publication committed durably while an earlier one was
+        // lost; the lost one's retry re-publishes into the gap).
+        while jobs.len() < idx {
+            let job_id = jobs.len() as u64;
+            jobs.push(JobProfile {
+                job_id,
+                description: String::new(),
+                payment: 0,
+                pseudonym: Vec::new(),
+            });
+        }
+        jobs.push(profile);
+    }
+
     /// Reads one profile.
     pub fn get(&self, job_id: u64) -> Option<JobProfile> {
         self.jobs.read().get(job_id as usize).cloned()

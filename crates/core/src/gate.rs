@@ -417,6 +417,63 @@ impl AdmissionGate {
             self.order.push_back(token);
         }
     }
+
+    /// Serializes the gate's dynamic state — token stream position,
+    /// live sessions (in mint order) and the admission-verdict replay
+    /// cache — into an opaque blob the durable tier can checkpoint.
+    /// Policy (`AdmissionConfig`) and the revenue account are *not*
+    /// inside: they come from configuration and the snapshot's
+    /// ledger, respectively.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.token_state);
+        w.u64(self.revenue_account.0);
+        let live: Vec<(u64, u64)> = self
+            .order
+            .iter()
+            .filter_map(|t| self.sessions.get(t).map(|rem| (*t, *rem)))
+            .collect();
+        put_list(&mut w, &live, |w, &(token, rem)| {
+            w.u64(token);
+            w.u64(rem);
+        });
+        let verdicts: Vec<(RequestKey, GateResponse)> = self
+            .admit_order
+            .iter()
+            .filter_map(|k| self.admit_verdicts.get(k).map(|v| (*k, v.clone())))
+            .collect();
+        put_list(&mut w, &verdicts, |w, (k, v)| {
+            k.party.encode(w);
+            w.u64(k.request_id);
+            v.encode(w);
+        });
+        w.finish()
+    }
+
+    /// Restores the dynamic state exported by
+    /// [`AdmissionGate::export_state`]: a recovered front door keeps
+    /// honoring pre-crash session tokens and replays pre-crash
+    /// admission verdicts instead of minting fresh tokens for old
+    /// coins.
+    pub fn restore_state(&mut self, blob: &[u8]) -> Result<(), WireError> {
+        let mut r = WireReader::new(blob);
+        let token_state = r.u64()?;
+        let revenue = AccountId(r.u64()?);
+        let live = read_list(&mut r, |r| Ok((r.u64()?, r.u64()?)))?;
+        let verdicts = read_list(&mut r, |r| {
+            let party = crate::metrics::Party::decode(r)?;
+            let request_id = r.u64()?;
+            let verdict = GateResponse::decode(r)?;
+            Ok((RequestKey { party, request_id }, verdict))
+        })?;
+        self.token_state = token_state;
+        self.revenue_account = revenue;
+        self.sessions = live.iter().copied().collect();
+        self.order = live.iter().map(|&(t, _)| t).collect();
+        self.admit_verdicts = verdicts.iter().cloned().collect();
+        self.admit_order = verdicts.iter().map(|(k, _)| *k).collect();
+        Ok(())
+    }
 }
 
 /// Client-side helper: how many unit spends a challenge demands.
@@ -431,6 +488,53 @@ pub fn spends_for_price(price: u64) -> usize {
 /// coins or the request itself.
 pub fn denied_error(reason: &str) -> MarketError {
     MarketError::BadCoin(format!("admission denied: {reason}"))
+}
+
+/// Rendezvous between the service's checkpoint protocol and the TCP
+/// front door's reactor, which owns the [`AdmissionGate`] outright
+/// (no lock). At checkpoint time the dispatcher [`request`]s an
+/// export; the reactor polls [`pending`] once per tick and answers
+/// with [`fulfill`]; the dispatcher collects it via [`take_blob`]
+/// under a bounded wait, so a stopped reactor only costs the
+/// checkpoint its gate section, never wedges it.
+///
+/// [`request`]: GateCheckpoint::request
+/// [`pending`]: GateCheckpoint::pending
+/// [`fulfill`]: GateCheckpoint::fulfill
+/// [`take_blob`]: GateCheckpoint::take_blob
+#[derive(Debug, Default)]
+pub struct GateCheckpoint {
+    requested: std::sync::atomic::AtomicBool,
+    blob: parking_lot::Mutex<Option<Vec<u8>>>,
+}
+
+impl GateCheckpoint {
+    /// Fresh hook with no request outstanding.
+    pub fn new() -> GateCheckpoint {
+        GateCheckpoint::default()
+    }
+
+    /// Dispatcher side: ask the reactor for a gate export.
+    pub fn request(&self) {
+        self.requested
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Reactor side: is an export wanted? Clears the flag.
+    pub fn pending(&self) -> bool {
+        self.requested
+            .swap(false, std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Reactor side: publish the exported gate state.
+    pub fn fulfill(&self, blob: Vec<u8>) {
+        *self.blob.lock() = Some(blob);
+    }
+
+    /// Dispatcher side: collect the export, if the reactor answered.
+    pub fn take_blob(&self) -> Option<Vec<u8>> {
+        self.blob.lock().take()
+    }
 }
 
 #[cfg(test)]
@@ -617,6 +721,46 @@ mod tests {
         assert_eq!(g.session_count(), 1, "only one session was minted");
         // A different key is not cached.
         assert!(g.cached_admission(key(8)).is_none());
+    }
+
+    #[test]
+    fn exported_state_roundtrips_sessions_and_verdicts() {
+        let mut g = gate();
+        let verdict = MaResponse::BatchDeposited {
+            total: 2,
+            accepted: 2,
+            rejected: 0,
+        };
+        let GateResponse::Admitted { token, .. } = g.judge_deposit(key(7), 2, &verdict) else {
+            panic!("admitted");
+        };
+        assert!(g.consume(token));
+        let blob = g.export_state();
+
+        let mut restored = gate();
+        restored.restore_state(&blob).expect("restore");
+        // The pre-crash token keeps its remaining budget (3 - 1 = 2).
+        assert!(restored.consume(token));
+        assert!(restored.consume(token));
+        assert!(!restored.consume(token), "budget carried over, not reset");
+        // The admission verdict cache replays the same token.
+        let GateResponse::Admitted { token: cached, .. } =
+            restored.cached_admission(key(7)).expect("verdict cached")
+        else {
+            panic!("cached admitted");
+        };
+        assert_eq!(cached, token);
+        // The token stream continues where it left off: the next mint
+        // on both gates agrees.
+        let a = match g.mint() {
+            GateResponse::Admitted { token, .. } => token,
+            _ => unreachable!(),
+        };
+        let b = match restored.mint() {
+            GateResponse::Admitted { token, .. } => token,
+            _ => unreachable!(),
+        };
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! (402-style admission control priced in the market's own e-cash) —
 //! [`retry`] (idempotent retransmission with backoff and a circuit
 //! breaker), [`wal`] (the per-shard write-ahead journal behind crash
-//! recovery), [`metrics`] (operation counts → paper Table I;
+//! recovery), [`storage`] (the durable tier: on-disk segment WAL,
+//! checkpoints, compaction and the crash-matrix fault models behind
+//! cold-start recovery), [`metrics`] (operation counts → paper Table I;
 //! fault-tolerance counters — both thin views over the `ppms-obs`
 //! registry, which also carries per-op latency histograms, queue-depth
 //! gauges and the per-shard flight recorders dumped on worker crash),
@@ -48,6 +50,7 @@ pub mod ppmspbs;
 pub mod retry;
 pub mod service;
 pub mod sim;
+pub mod storage;
 pub mod stream;
 pub mod tcp;
 pub mod transport;
@@ -59,6 +62,7 @@ pub use bank::{AccountId, Bank};
 pub use bulletin::{Bulletin, JobProfile};
 pub use error::MarketError;
 pub use frame::{FrameDecoder, FramedConn, QueueFull, WriteQueue};
+pub use gate::GateCheckpoint;
 pub use gate::{AdmissionConfig, AdmissionGate, GateRequest, GateResponse};
 pub use metrics::{FaultMetrics, FaultSnapshot, Metrics, MetricsSnapshot, Op, Party};
 pub use mixnet::{MixCascade, MixNode};
@@ -66,7 +70,12 @@ pub use ppmsdec::{DecMarket, DecRoundOutcome};
 pub use ppmspbs::{PbsMarket, PbsRoundOutcome};
 pub use retry::{RetryPolicy, RetryingTransport};
 pub use service::{
-    CrashPoint, Inbound, MaClient, MaRequest, MaResponse, MaService, RequestKey, ServiceConfig,
+    CrashPoint, Inbound, MaClient, MaRequest, MaResponse, MaService, RecoveryReport, RequestKey,
+    ServiceConfig,
+};
+pub use storage::{
+    DiskStorage, DurabilityConfig, DurableLog, FaultyStorage, SimStorage, SnapshotState, Storage,
+    StorageError, StorageFaults, SyncPolicy,
 };
 pub use stream::{ByteStream, FlakyConfig, FlakyStream, TcpByteStream};
 pub use tcp::{TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport};

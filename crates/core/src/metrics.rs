@@ -201,6 +201,10 @@ pub struct FaultMetrics {
     /// Uncommitted (in-flight at crash) journal records discarded
     /// during replay.
     wal_discarded: Arc<Counter>,
+    /// Checkpoints published by the durable tier.
+    wal_snapshots: Arc<Counter>,
+    /// Log compactions run behind a durable checkpoint.
+    wal_compactions: Arc<Counter>,
 }
 
 impl Default for FaultMetrics {
@@ -230,6 +234,10 @@ pub struct FaultSnapshot {
     pub wal_commits: u64,
     /// Uncommitted journal records discarded during replay.
     pub wal_discarded: u64,
+    /// Checkpoints published by the durable tier.
+    pub wal_snapshots: u64,
+    /// Log compactions run behind a durable checkpoint.
+    pub wal_compactions: u64,
 }
 
 impl FaultMetrics {
@@ -253,6 +261,11 @@ impl FaultMetrics {
             shard_respawns: registry.counter("fault.shard_respawns"),
             wal_commits: registry.counter("fault.wal_commits"),
             wal_discarded: registry.counter("fault.wal_discarded"),
+            // Shared names with the durable tier: `DurableLog` and the
+            // dispatcher's checkpoint path increment the same
+            // registry-owned counters, so this view needs no wiring.
+            wal_snapshots: registry.counter("wal.snapshots"),
+            wal_compactions: registry.counter("wal.compactions"),
         }
     }
 
@@ -306,6 +319,16 @@ impl FaultMetrics {
         self.wal_discarded.add(n);
     }
 
+    /// Durable checkpoints published so far.
+    pub fn wal_snapshots(&self) -> u64 {
+        self.wal_snapshots.get()
+    }
+
+    /// Log compactions so far.
+    pub fn wal_compactions(&self) -> u64 {
+        self.wal_compactions.get()
+    }
+
     /// Shard respawns so far (the supervision tests' key assertion).
     pub fn shard_respawns(&self) -> u64 {
         self.shard_respawns.get()
@@ -328,6 +351,8 @@ impl FaultMetrics {
             shard_respawns: self.shard_respawns.get(),
             wal_commits: self.wal_commits.get(),
             wal_discarded: self.wal_discarded.get(),
+            wal_snapshots: self.wal_snapshots.get(),
+            wal_compactions: self.wal_compactions.get(),
         }
     }
 }

@@ -41,14 +41,19 @@
 //! the same ledger outcomes — now also across fault schedules.
 
 use crate::bank::{AccountId, Bank};
-use crate::bulletin::Bulletin;
+use crate::bulletin::{Bulletin, JobProfile};
 use crate::error::MarketError;
+use crate::gate::GateCheckpoint;
 use crate::metrics::{FaultMetrics, Party};
 use crate::retry::{RetryPolicy, RetryingTransport};
+use crate::storage::{
+    load_latest, save_snapshot, DurabilityConfig, DurableLog, ShardSection, SnapshotState,
+    StorageError,
+};
 use crate::transport::{
     request_label, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport,
 };
-use crate::wal::{CommittedEntry, ShardWal, WalRecord};
+use crate::wal::{CommittedEntry, ShardWal, WalRecord, WalReplay};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use ppms_bigint::BigUint;
@@ -265,6 +270,9 @@ impl Default for ServiceConfig {
 /// Handle to a running MA service (dispatcher + shards).
 pub struct MaService {
     tx: Sender<Inbound>,
+    /// Service-level operations (checkpointing) — separate from the
+    /// request inbox so they skip request backpressure.
+    ctrl: Sender<Control>,
     handle: Option<JoinHandle<()>>,
     /// Shared ledger (read access for clients and ledger snapshots).
     pub bank: Bank,
@@ -290,6 +298,11 @@ pub struct MaService {
     pub bank_pk: ppms_crypto::rsa::RsaPublicKey,
     /// The pairing parameters (for CL keys).
     pub pairing: TypeAPairing,
+    /// Where the TCP front door registers its gate-checkpoint hook.
+    gate_hook: Arc<Mutex<Option<Arc<GateCheckpoint>>>>,
+    /// Admission-gate state recovered from the snapshot, consumed
+    /// once by the front door on spawn.
+    recovered_gate: Mutex<Option<Vec<u8>>>,
 }
 
 /// A client-side connection to the MA over some [`Transport`].
@@ -406,6 +419,16 @@ impl DedupCache {
         }
     }
 
+    /// The cache contents in insertion (= eviction) order, so a
+    /// checkpoint can be restored into a cache that evicts in the
+    /// same sequence as the original.
+    fn entries_in_order(&self) -> Vec<(RequestKey, MaResponse)> {
+        self.order
+            .iter()
+            .filter_map(|k| self.map.get(k).map(|r| (*k, r.clone())))
+            .collect()
+    }
+
     #[cfg(test)]
     fn len(&self) -> usize {
         self.map.len()
@@ -425,7 +448,13 @@ struct Shard {
 }
 
 impl Shard {
-    fn handle(&mut self, request: MaRequest) -> MaResponse {
+    /// Executes one request. `effects` records shared-state outcomes
+    /// that cold-start recovery cannot re-derive from the response
+    /// alone: for `DepositBatch` it collects the `(index, value)` of
+    /// every *accepted* spend, so replay re-inserts exactly the spends
+    /// the original execution accepted without re-running the ZK
+    /// verification (whose verdict lives only in the journal).
+    fn handle(&mut self, request: MaRequest, effects: &mut Vec<(u32, u64)>) -> MaResponse {
         use MaRequest::*;
         match request {
             RegisterJoAccount { funds, clpk } => {
@@ -551,12 +580,13 @@ impl Shard {
                 let mut accepted = 0usize;
                 {
                     let mut dec_bank = self.shared.dec_bank.lock();
-                    for (spend, v) in spends.iter().zip(verified) {
+                    for (idx, (spend, v)) in spends.iter().zip(verified).enumerate() {
                         let recorded =
                             v.and_then(|value| dec_bank.deposit_preverified(spend, value));
                         if let Ok(value) = recorded {
                             total += value;
                             accepted += 1;
+                            effects.push((idx as u32, value));
                         }
                     }
                 }
@@ -615,6 +645,98 @@ impl Shard {
             _ => {}
         }
     }
+
+    /// Serializes this shard's private state (plus the idempotency
+    /// cache) into the checkpoint form, deterministically ordered.
+    fn project(&self, dedup: &DedupCache) -> ShardSection {
+        let mut nonces: Vec<(u64, u64)> = self
+            .used_nonces
+            .iter()
+            .map(|(account, nonce)| (account.0, *nonce))
+            .collect();
+        nonces.sort_unstable();
+        let mut labor: Vec<(u64, Vec<Vec<u8>>)> = self
+            .labor
+            .iter()
+            .map(|(job, keys)| (*job, keys.clone()))
+            .collect();
+        labor.sort_unstable_by_key(|(job, _)| *job);
+        let mut reports: Vec<(u64, Vec<Vec<u8>>)> = self
+            .data_reports
+            .iter()
+            .map(|(job, data)| (*job, data.clone()))
+            .collect();
+        reports.sort_unstable_by_key(|(job, _)| *job);
+        ShardSection {
+            nonces,
+            labor,
+            reports,
+            dedup: dedup.entries_in_order(),
+        }
+    }
+
+    /// Loads a checkpointed projection as this shard's base state;
+    /// the journal tail is replayed on top by the caller.
+    fn load_base(&mut self, base: &ShardSection, dedup: &mut DedupCache) {
+        self.used_nonces = base
+            .nonces
+            .iter()
+            .map(|&(account, nonce)| (AccountId(account), nonce))
+            .collect();
+        self.labor = base.labor.iter().cloned().collect();
+        self.data_reports = base.reports.iter().cloned().collect();
+        for (key, response) in &base.dedup {
+            dedup.insert(*key, response.clone());
+        }
+    }
+}
+
+/// Where a shard journals its Begin/Commit records: the in-memory
+/// per-shard [`ShardWal`] (the default), or the shared on-disk
+/// [`DurableLog`] with this shard's tag on every record. Either way
+/// the records, replay semantics and torn-tail discipline are
+/// identical — the durable tier is the same journal on media that
+/// survives the process.
+#[derive(Clone)]
+enum ShardJournal {
+    Memory(Arc<ShardWal>),
+    Durable { shard: u32, log: Arc<DurableLog> },
+}
+
+impl ShardJournal {
+    fn append(&self, record: &WalRecord) {
+        match self {
+            ShardJournal::Memory(wal) => wal.append(record),
+            ShardJournal::Durable { shard, log } => {
+                // An append failure here means the storage device is
+                // gone mid-flight; there is no meaningful degraded
+                // mode for a write-ahead log, so fail the worker (the
+                // supervisor respawns it, and if storage stays dead
+                // the respawn loop surfaces the error to callers).
+                log.append(*shard, record)
+                    .expect("durable journal append failed");
+            }
+        }
+    }
+
+    fn replay(&self) -> WalReplay {
+        match self {
+            ShardJournal::Memory(wal) => wal.replay().expect("shard journal must replay cleanly"),
+            ShardJournal::Durable { shard, log } => log
+                .replay_shard(*shard)
+                .expect("durable journal must replay cleanly"),
+        }
+    }
+}
+
+/// What the dispatcher sends a shard worker: a routed request, or a
+/// checkpoint barrier asking for the shard's state projection. FIFO
+/// channel order is the correctness argument: by the time the worker
+/// answers `Project`, it has executed every request routed before the
+/// barrier, so the projection is a consistent prefix.
+enum ShardMsg {
+    Req(Box<Inbound>),
+    Project(Sender<ShardSection>),
 }
 
 /// Which shard handles a request. Affinity-keyed requests always land
@@ -650,7 +772,13 @@ fn route(key: Option<RequestKey>, request: &MaRequest, shards: usize, rr: &mut u
 /// same journal and crash bookkeeping.
 struct ShardWorker {
     shared: Arc<SharedState>,
-    wal: Arc<ShardWal>,
+    journal: ShardJournal,
+    /// Checkpointed base state: the worker starts from this
+    /// projection and replays only the journal tail on top. In memory
+    /// mode it stays empty (the journal is the whole history); in
+    /// durable mode the dispatcher swaps in each checkpoint's
+    /// projection, which is what makes log compaction sound.
+    base: Arc<Mutex<ShardSection>>,
     faults: FaultMetrics,
     /// The service registry: per-op latency, dedup hit/miss, WAL
     /// timings all land here.
@@ -685,21 +813,15 @@ impl ShardWorker {
         }
     }
 
-    fn run(self, srx: Receiver<Inbound>) {
-        // Recover: rebuild private state and the idempotency cache
-        // from the journal. An undecodable journal is a bug, not a
-        // recoverable fault — fail loudly.
+    fn run(self, srx: Receiver<ShardMsg>) {
+        // Recover: load the checkpointed base (durable mode; empty in
+        // memory mode), then rebuild private state and the
+        // idempotency cache from the journal tail. An undecodable
+        // journal is a bug, not a recoverable fault — fail loudly.
         let wal_replay_ns = self.obs.histogram("wal.replay_ns");
         let wal_append_ns = self.obs.histogram("wal.append_ns");
         let dedup_hits = self.obs.counter("ma.dedup.hits");
         let dedup_misses = self.obs.counter("ma.dedup.misses");
-        let replay = {
-            let _span = Timed::new(&wal_replay_ns);
-            self.wal
-                .replay()
-                .expect("shard journal must replay cleanly")
-        };
-        self.faults.wal_discard(replay.discarded);
         let mut dedup = DedupCache::new(self.dedup_capacity);
         let mut shard = Shard {
             shared: self.shared.clone(),
@@ -708,6 +830,12 @@ impl ShardWorker {
             labor: HashMap::new(),
             data_reports: HashMap::new(),
         };
+        shard.load_base(&self.base.lock(), &mut dedup);
+        let replay = {
+            let _span = Timed::new(&wal_replay_ns);
+            self.journal.replay()
+        };
+        self.faults.wal_discard(replay.discarded);
         for entry in &replay.committed {
             shard.apply_committed(entry);
             if let Some(k) = entry.key {
@@ -724,14 +852,21 @@ impl ShardWorker {
         });
 
         loop {
-            let Ok(Inbound {
+            let Inbound {
                 key,
                 trace_id,
                 request,
                 reply,
-            }) = srx.recv()
-            else {
-                return;
+            } = match srx.recv() {
+                Ok(ShardMsg::Req(inbound)) => *inbound,
+                Ok(ShardMsg::Project(reply)) => {
+                    // Checkpoint barrier: everything routed before this
+                    // message has already executed (FIFO), so the
+                    // projection is a consistent prefix of this shard.
+                    let _ = reply.send(shard.project(&dedup));
+                    continue;
+                }
+                Err(_) => return,
             };
             self.queue_depth.sub(1);
             let label = request_label(&request);
@@ -755,7 +890,7 @@ impl ShardWorker {
 
             {
                 let _span = Timed::new(&wal_append_ns);
-                self.wal.append(&WalRecord::Begin {
+                self.journal.append(&WalRecord::Begin {
                     key,
                     request: request.clone(),
                 });
@@ -784,25 +919,29 @@ impl ShardWorker {
             // A panic inside a handler kills only this worker; the
             // supervisor respawns it and the journal replay restores
             // everything committed before the blast.
-            let response =
-                match std::panic::catch_unwind(AssertUnwindSafe(|| shard.handle(request))) {
-                    Ok(response) => response,
-                    Err(_) => {
-                        self.recorder
-                            .record(trace_id, "crash", || format!("panic handling {label}"));
-                        self.dump_crash("handler-panic");
-                        // Same close-then-hang-up ordering as above.
-                        drop(srx);
-                        drop(reply);
-                        return;
-                    }
-                };
+            let (response, effects) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut effects = Vec::new();
+                let response = shard.handle(request, &mut effects);
+                (response, effects)
+            })) {
+                Ok(pair) => pair,
+                Err(_) => {
+                    self.recorder
+                        .record(trace_id, "crash", || format!("panic handling {label}"));
+                    self.dump_crash("handler-panic");
+                    // Same close-then-hang-up ordering as above.
+                    drop(srx);
+                    drop(reply);
+                    return;
+                }
+            };
 
             {
                 let _span = Timed::new(&wal_append_ns);
-                self.wal.append(&WalRecord::Commit {
+                self.journal.append(&WalRecord::Commit {
                     key,
                     response: response.clone(),
+                    effects,
                 });
             }
             self.faults.wal_commit();
@@ -814,6 +953,401 @@ impl ShardWorker {
             drop(op_span);
             // A vanished client is not an MA failure.
             let _ = reply.send(response);
+        }
+    }
+}
+
+/// Service-level operations routed around the request inbox, so they
+/// are never subject to request backpressure.
+enum Control {
+    /// Take a checkpoint now; reply with the covered LSN.
+    Checkpoint(Sender<Result<u64, StorageError>>),
+}
+
+/// What cold-start recovery found and replayed
+/// ([`MaService::recover`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// The snapshot file the instance restarted from, if any.
+    pub snapshot: Option<String>,
+    /// First LSN *not* covered by that snapshot (0 = cold start).
+    pub snapshot_lsn: u64,
+    /// Snapshot files present but unreadable (torn or corrupt
+    /// checkpoint publications), skipped in favor of an older one.
+    pub snapshots_skipped: usize,
+    /// Log records replayed on top of the snapshot. After a
+    /// checkpoint + compaction this counts only post-snapshot records
+    /// — the property that bounds recovery time by checkpoint
+    /// interval, not by history length.
+    pub replayed_records: usize,
+    /// Requests in flight at the crash (Begin without Commit),
+    /// discarded; the clients' retries re-execute them.
+    pub discarded_inflight: u64,
+    /// Bytes of torn final frame truncated from the log tail.
+    pub torn_tail_bytes: usize,
+    /// Segment files read during replay.
+    pub segments_read: usize,
+}
+
+/// Durable-tier state owned by the dispatcher.
+struct DurableCtx {
+    log: Arc<DurableLog>,
+    config: DurabilityConfig,
+    /// First LSN not covered by the last durable snapshot.
+    covered: u64,
+    /// Set by the TCP front door so checkpoints can include the
+    /// admission gate's state.
+    gate_hook: Arc<Mutex<Option<Arc<GateCheckpoint>>>>,
+    snapshots: Arc<ppms_obs::Counter>,
+    snapshot_failures: Arc<ppms_obs::Counter>,
+    last_snapshot_lsn: Arc<ppms_obs::Gauge>,
+    since_snapshot: Arc<ppms_obs::Gauge>,
+}
+
+/// Re-applies the *shared-state* effects of one committed request
+/// during cold-start recovery — the shared twin of
+/// [`Shard::apply_committed`] (which replays per-shard private
+/// state). Each arm applies exactly what the original execution wrote
+/// into the shared structures, keyed off the recorded response; it
+/// never re-runs verification, whose verdict already rides in the
+/// record (`effects` for batch deposits).
+#[allow(clippy::too_many_arguments)]
+fn apply_shared_effects(
+    request: &MaRequest,
+    response: &MaResponse,
+    effects: &[(u32, u64)],
+    bank: &Bank,
+    bulletin: &Bulletin,
+    dec_bank: &mut DecBank,
+    cl_bindings: &mut HashMap<AccountId, ClPublicKey>,
+    held: &mut HeldPayments,
+    face_value: u64,
+) {
+    use MaRequest::*;
+    match (request, response) {
+        (RegisterJoAccount { funds, clpk }, MaResponse::Account(id)) => {
+            bank.restore_account(*id, *funds);
+            cl_bindings.insert(*id, clpk.clone());
+        }
+        (RegisterSpAccount, MaResponse::Account(id)) => {
+            bank.restore_account(*id, 0);
+        }
+        (
+            PublishJob {
+                description,
+                payment,
+                pseudonym,
+            },
+            MaResponse::JobId(job_id),
+        ) => {
+            bulletin.restore_job(JobProfile {
+                job_id: *job_id,
+                description: description.clone(),
+                payment: *payment,
+                pseudonym: pseudonym.clone(),
+            });
+        }
+        (Withdraw { account, .. }, MaResponse::BlindSignature(_)) => {
+            // The debit succeeded when the record was written; under
+            // faithful in-order replay it succeeds again.
+            let _ = bank.debit(*account, face_value);
+        }
+        (
+            SubmitPayment {
+                sp_pubkey,
+                ciphertext,
+            },
+            MaResponse::Ok,
+        ) => {
+            held.pending.insert(sp_pubkey.clone(), ciphertext.clone());
+        }
+        (SubmitData { sp_pubkey, .. }, MaResponse::Ok) => {
+            held.received.insert(sp_pubkey.clone());
+        }
+        (FetchPayment { sp_pubkey }, MaResponse::Payment(Some(_))) => {
+            held.pending.remove(sp_pubkey);
+        }
+        (DepositBatch { account, spends }, _) => {
+            // Re-insert exactly the spends the original execution
+            // accepted (double-spend state) and re-credit the
+            // recorded total — the response alone carries only
+            // counts, which is why `effects` rides in the Commit.
+            // The DEC state mutates even when the response was an
+            // error (a failed ledger credit happens *after* the
+            // deposits), matching the original execution.
+            let mut total = 0u64;
+            for &(idx, value) in effects {
+                if let Some(spend) = spends.get(idx as usize) {
+                    let _ = dec_bank.deposit_preverified(spend, value);
+                    total += value;
+                }
+            }
+            if total > 0 && matches!(response, MaResponse::BatchDeposited { .. }) {
+                let _ = bank.credit(*account, total);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The supervisor thread's state: routes requests to shards, respawns
+/// dead workers, and (in durable mode) runs the checkpoint protocol.
+struct Dispatcher {
+    shared: Arc<SharedState>,
+    faults: FaultMetrics,
+    obs: Registry,
+    recorders: Vec<Arc<FlightRecorder>>,
+    dumps: Arc<Mutex<Vec<PathBuf>>>,
+    dedup_capacity: usize,
+    depth: usize,
+    n_shards: usize,
+    /// One journal per shard; outlives any worker incarnation so a
+    /// respawn resumes from it.
+    journals: Vec<ShardJournal>,
+    /// One checkpointed base per shard, swapped at each checkpoint.
+    bases: Vec<Arc<Mutex<ShardSection>>>,
+    /// One crash latch per shard, shared across incarnations.
+    crashes: Vec<Option<(u64, Arc<AtomicBool>)>>,
+    queue_gauges: Vec<Arc<ppms_obs::Gauge>>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    shard_handles: Vec<Option<JoinHandle<()>>>,
+    rr: usize,
+    durable: Option<DurableCtx>,
+}
+
+impl Dispatcher {
+    fn spawn_shard(&self, idx: usize) -> (Sender<ShardMsg>, JoinHandle<()>) {
+        let (stx, srx): (Sender<ShardMsg>, Receiver<ShardMsg>) = channel::bounded(self.depth);
+        let worker = ShardWorker {
+            shared: self.shared.clone(),
+            journal: self.journals[idx].clone(),
+            base: self.bases[idx].clone(),
+            faults: self.faults.clone(),
+            obs: self.obs.clone(),
+            recorder: self.recorders[idx].clone(),
+            queue_depth: self.queue_gauges[idx].clone(),
+            dumps: self.dumps.clone(),
+            dedup_capacity: self.dedup_capacity,
+            crash: self.crashes[idx].clone(),
+        };
+        let handle = std::thread::spawn(move || worker.run(srx));
+        (stx, handle)
+    }
+
+    /// Joins a dead worker and brings up a fresh incarnation over the
+    /// same journal, base and crash latch.
+    fn respawn(&mut self, idx: usize) {
+        if let Some(old) = self.shard_handles[idx].take() {
+            let _ = old.join();
+        }
+        self.faults.shard_respawn();
+        // Whatever sat in the dead channel is gone; the fresh
+        // incarnation starts with an empty queue.
+        self.queue_gauges[idx].set(0);
+        let (stx, handle) = self.spawn_shard(idx);
+        self.shard_txs[idx] = stx;
+        self.shard_handles[idx] = Some(handle);
+    }
+
+    fn deliver(&mut self, inbound: Inbound) {
+        let idx = route(inbound.key, &inbound.request, self.n_shards, &mut self.rr);
+        match self.shard_txs[idx].send(ShardMsg::Req(Box::new(inbound))) {
+            Ok(()) => self.queue_gauges[idx].add(1),
+            Err(send_err) => {
+                // The worker died (panic or injected crash).
+                // Supervise: join the corpse, respawn over the same
+                // journal — the new incarnation replays it — and
+                // redeliver. Requests queued in the dead channel are
+                // lost; their senders see a hang-up and retry.
+                let ShardMsg::Req(inbound) = send_err.0 else {
+                    unreachable!("deliver only sends requests")
+                };
+                self.respawn(idx);
+                if let Err(send_err) = self.shard_txs[idx].send(ShardMsg::Req(inbound)) {
+                    let ShardMsg::Req(inbound) = send_err.0 else {
+                        unreachable!("deliver only sends requests")
+                    };
+                    let _ = inbound.reply.send(MaResponse::Err(MarketError::Transport(
+                        "shard worker unavailable".into(),
+                    )));
+                    return;
+                }
+                self.queue_gauges[idx].add(1);
+            }
+        }
+        if let Some(d) = &self.durable {
+            let pending = d.log.next_lsn().saturating_sub(d.covered);
+            d.since_snapshot.set(pending as i64);
+            if d.config.checkpoint_every > 0 && pending >= d.config.checkpoint_every {
+                // Scheduled checkpoint. A failure (e.g. an injected
+                // torn snapshot write) is not fatal: the log still
+                // holds everything, only compaction is deferred.
+                let _ = self.checkpoint();
+            }
+        }
+    }
+
+    /// The checkpoint protocol: barrier every shard for its
+    /// projection, fsync the log, publish one atomic snapshot of the
+    /// whole market, compact the log behind it, and adopt the
+    /// projections as the workers' respawn bases. Returns the covered
+    /// LSN — the point recovery will replay from.
+    fn checkpoint(&mut self) -> Result<u64, StorageError> {
+        if self.durable.is_none() {
+            return Err(StorageError::Io(
+                "service has no durable storage tier".into(),
+            ));
+        }
+        // Projection barrier. The dispatcher is not routing while
+        // this runs and channels are FIFO, so each shard's answer
+        // reflects exactly the requests delivered before the barrier
+        // — and between barriers no new work is delivered, making the
+        // union a consistent cut. A dead worker is respawned and
+        // asked again: the fresh incarnation answers from base +
+        // journal tail, which is the same state.
+        let mut sections: Vec<ShardSection> = Vec::with_capacity(self.n_shards);
+        for idx in 0..self.n_shards {
+            loop {
+                let (ptx, prx) = channel::bounded(1);
+                if self.shard_txs[idx].send(ShardMsg::Project(ptx)).is_err() {
+                    self.respawn(idx);
+                    continue;
+                }
+                match prx.recv() {
+                    Ok(section) => {
+                        sections.push(section);
+                        break;
+                    }
+                    Err(_) => self.respawn(idx),
+                }
+            }
+        }
+        let (log, storage, keep) = {
+            let d = self.durable.as_ref().expect("durable ctx");
+            (
+                d.log.clone(),
+                d.config.storage.clone(),
+                d.config.keep_snapshots,
+            )
+        };
+        // Everything the snapshot will cover must be durable *before*
+        // the snapshot claims to cover it.
+        log.flush()?;
+        let covered = log.next_lsn();
+        let gate = self.request_gate_blob();
+        let state = {
+            let mut cl_bindings: Vec<(u64, ClPublicKey)> = self
+                .shared
+                .cl_bindings
+                .read()
+                .iter()
+                .map(|(account, pk)| (account.0, pk.clone()))
+                .collect();
+            cl_bindings.sort_unstable_by_key(|(account, _)| *account);
+            let held = self.shared.held.lock();
+            let mut pending_payments: Vec<(Vec<u8>, Vec<u8>)> = held
+                .pending
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            pending_payments.sort_unstable();
+            let mut received_reports: Vec<Vec<u8>> = held.received.iter().cloned().collect();
+            received_reports.sort_unstable();
+            drop(held);
+            SnapshotState {
+                covered,
+                bank: self.shared.bank.snapshot(),
+                jobs: self.shared.bulletin.list(),
+                cl_bindings,
+                dec: self.shared.dec_bank.lock().export_state(),
+                pending_payments,
+                received_reports,
+                shards: sections.clone(),
+                gate,
+            }
+        };
+        if let Err(e) = save_snapshot(&storage, &state, keep) {
+            // The snapshot never became durable: keep the old covered
+            // point, skip compaction, leave the old bases in place.
+            // The log still holds the full tail, so nothing is lost.
+            self.durable
+                .as_ref()
+                .expect("durable ctx")
+                .snapshot_failures
+                .inc();
+            return Err(e);
+        }
+        log.compact(covered)?;
+        for (base, section) in self.bases.iter().zip(sections) {
+            *base.lock() = section;
+        }
+        let d = self.durable.as_mut().expect("durable ctx");
+        d.covered = covered;
+        d.snapshots.inc();
+        d.last_snapshot_lsn.set(covered as i64);
+        d.since_snapshot.set(0);
+        Ok(covered)
+    }
+
+    /// Asks the front door (if one attached a hook) to export the
+    /// admission gate, waiting a bounded window for its reactor to
+    /// answer. `None` — no front door, or a stopped reactor — just
+    /// omits the gate section from the snapshot.
+    fn request_gate_blob(&self) -> Option<Vec<u8>> {
+        let d = self.durable.as_ref()?;
+        let hook = d.gate_hook.lock().clone()?;
+        hook.request();
+        for _ in 0..500 {
+            if let Some(blob) = hook.take_blob() {
+                return Some(blob);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        None
+    }
+
+    fn run(mut self, rx: Receiver<Inbound>, ctrl_rx: Receiver<Control>) {
+        // Route until Shutdown (or every client hung up), supervising
+        // the workers along the way and serving checkpoint requests
+        // between deliveries. The control channel is polled (the
+        // vendored channel stand-in has no `select!`), so an idle
+        // dispatcher notices a checkpoint request within the recv
+        // timeout.
+        let idle = std::time::Duration::from_millis(2);
+        let shutdown_reply = loop {
+            if let Ok(Control::Checkpoint(reply)) = ctrl_rx.try_recv() {
+                let _ = reply.send(self.checkpoint());
+                continue;
+            }
+            match rx.recv_timeout(idle) {
+                Ok(inbound) if matches!(inbound.request, MaRequest::Shutdown) => {
+                    break Some(inbound.reply);
+                }
+                Ok(inbound) => self.deliver(inbound),
+                Err(channel::RecvTimeoutError::Timeout) => continue,
+                Err(channel::RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+
+        // Graceful drain: close the shard queues, let every queued
+        // request finish, then report undelivered held payments.
+        drop(std::mem::take(&mut self.shard_txs));
+        for h in std::mem::take(&mut self.shard_handles)
+            .into_iter()
+            .flatten()
+        {
+            let _ = h.join();
+        }
+        if let Some(d) = &self.durable {
+            // Shutdown barrier: whatever the sync policy deferred
+            // reaches media before the process exits.
+            let _ = d.log.flush();
+        }
+        let undelivered = self.shared.held.lock().pending.len();
+        if let Some(reply) = shutdown_reply {
+            let _ = reply.send(MaResponse::Drained {
+                undelivered_payments: undelivered,
+            });
         }
     }
 }
@@ -837,7 +1371,9 @@ impl MaService {
     }
 
     /// Spawns the MA service: one supervising dispatcher thread plus
-    /// `config.shards` shard workers behind bounded channels.
+    /// `config.shards` shard workers behind bounded channels. Journals
+    /// are in-memory — state survives *worker* crashes but not the
+    /// process; see [`MaService::spawn_durable`] for the disk tier.
     pub fn spawn_with_config<R: rand::Rng + ?Sized>(
         rng: &mut R,
         params: DecParams,
@@ -845,11 +1381,74 @@ impl MaService {
         pairing_bits: usize,
         config: ServiceConfig,
     ) -> MaService {
+        let (svc, _report) = Self::spawn_inner(rng, params, rsa_bits, pairing_bits, config, None)
+            .expect("in-memory spawn touches no storage and cannot fail");
+        svc
+    }
+
+    /// Spawns the MA service over a durable storage tier: every
+    /// journal record lands in the on-disk segment log under
+    /// `durability.storage`, checkpoints snapshot the whole market
+    /// (and compact the log behind them), and a later
+    /// [`MaService::recover`] over the same storage resumes where this
+    /// instance stopped — spawning over non-empty storage *is*
+    /// recovery.
+    pub fn spawn_durable<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        params: DecParams,
+        rsa_bits: usize,
+        pairing_bits: usize,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> Result<MaService, StorageError> {
+        Self::spawn_inner(
+            rng,
+            params,
+            rsa_bits,
+            pairing_bits,
+            config,
+            Some(durability),
+        )
+        .map(|(svc, _report)| svc)
+    }
+
+    /// Cold-start recovery: rebuilds a full service from the newest
+    /// readable snapshot plus the log tail and reports what it
+    /// replayed. Empty storage is a clean cold start. `rng` must be
+    /// seeded as the original instance's was: the bank and pairing
+    /// keys are regenerated deterministically from it — the
+    /// reproduction's stand-in for a sealed key file (DESIGN.md §14).
+    pub fn recover<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        params: DecParams,
+        rsa_bits: usize,
+        pairing_bits: usize,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(MaService, RecoveryReport), StorageError> {
+        Self::spawn_inner(
+            rng,
+            params,
+            rsa_bits,
+            pairing_bits,
+            config,
+            Some(durability),
+        )
+    }
+
+    fn spawn_inner<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        params: DecParams,
+        rsa_bits: usize,
+        pairing_bits: usize,
+        config: ServiceConfig,
+        durability: Option<DurabilityConfig>,
+    ) -> Result<(MaService, RecoveryReport), StorageError> {
         // Build the fixed-base window tables once, up front: every
         // shard and every client clone of `params` share the per-ring
         // caches, so nobody pays the lazy first-use build.
         params.precompute();
-        let dec_bank = DecBank::new(rng, params.clone(), rsa_bits);
+        let mut dec_bank = DecBank::new(rng, params.clone(), rsa_bits);
         let bank_pk = dec_bank.public_key().clone();
         let pairing = TypeAPairing::generate(rng, pairing_bits);
         let bank = Bank::new();
@@ -863,6 +1462,126 @@ impl MaService {
         let traffic = TrafficLog::in_registry(&obs);
         let faults = FaultMetrics::in_registry(&obs);
 
+        let n_shards = config.shards.max(1);
+        let depth = config.queue_depth.max(1);
+        let dedup_capacity = config.dedup_capacity;
+
+        let bases: Vec<Arc<Mutex<ShardSection>>> = (0..n_shards)
+            .map(|_| Arc::new(Mutex::new(ShardSection::default())))
+            .collect();
+        let mut cl_map: HashMap<AccountId, ClPublicKey> = HashMap::new();
+        let mut held = HeldPayments::default();
+        let mut report = RecoveryReport::default();
+        let gate_hook: Arc<Mutex<Option<Arc<GateCheckpoint>>>> = Arc::new(Mutex::new(None));
+        let mut recovered_gate = None;
+
+        // Durable mode: open the log, restore the newest readable
+        // snapshot into the shared structures, then replay the log
+        // tail's shared effects. (Workers replay the same tail for
+        // their private state when they start.)
+        let durable = match &durability {
+            None => None,
+            Some(cfg) => {
+                let (log, log_rec) =
+                    DurableLog::open(cfg.storage.clone(), cfg.sync, cfg.segment_bytes, &obs)?;
+                let log = Arc::new(log);
+                let snap = load_latest(&cfg.storage)?;
+                report.snapshots_skipped = snap.skipped.len();
+                let mut covered = 0u64;
+                if let Some(state) = snap.state {
+                    if state.shards.len() != n_shards {
+                        return Err(StorageError::ShardMismatch {
+                            snapshot: state.shards.len(),
+                            config: n_shards,
+                        });
+                    }
+                    covered = state.covered;
+                    for &(id, balance) in &state.bank.accounts {
+                        bank.restore_account(AccountId(id), balance);
+                    }
+                    for job in state.jobs {
+                        bulletin.restore_job(job);
+                    }
+                    for (account, pk) in state.cl_bindings {
+                        cl_map.insert(AccountId(account), pk);
+                    }
+                    dec_bank.restore_state(&state.dec);
+                    held.pending = state.pending_payments.into_iter().collect();
+                    held.received = state.received_reports.into_iter().collect();
+                    for (base, section) in bases.iter().zip(state.shards) {
+                        *base.lock() = section;
+                    }
+                    recovered_gate = state.gate;
+                    report.snapshot = snap.name;
+                    report.snapshot_lsn = covered;
+                }
+                if log_rec.start_lsn > covered {
+                    // Records between the snapshot's coverage and the
+                    // log's first segment are gone — compaction ran
+                    // against a snapshot we can no longer read. State
+                    // cannot be reconstructed faithfully; refuse.
+                    return Err(StorageError::Corrupt {
+                        file: String::new(),
+                        offset: 0,
+                        detail: format!(
+                            "log starts at lsn {} but newest readable snapshot covers only {}",
+                            log_rec.start_lsn, covered
+                        ),
+                    });
+                }
+                // Shared-effects replay, in global commit order. Each
+                // shard's records pair up Begin/Commit independently.
+                let mut pending_begin: HashMap<u32, MaRequest> = HashMap::new();
+                let mut replayed = 0usize;
+                let mut discarded = 0u64;
+                for (lsn, shard, record) in &log_rec.records {
+                    if *lsn < covered {
+                        continue;
+                    }
+                    replayed += 1;
+                    match record {
+                        WalRecord::Begin { request, .. } => {
+                            if pending_begin.insert(*shard, request.clone()).is_some() {
+                                // Begin over Begin: the older one died
+                                // in flight (worker crash); discard.
+                                discarded += 1;
+                            }
+                        }
+                        WalRecord::Commit {
+                            response, effects, ..
+                        } => {
+                            let Some(request) = pending_begin.remove(shard) else {
+                                return Err(StorageError::Corrupt {
+                                    file: String::new(),
+                                    offset: 0,
+                                    detail: format!(
+                                        "lsn {lsn}: commit without begin on shard {shard}"
+                                    ),
+                                });
+                            };
+                            apply_shared_effects(
+                                &request,
+                                response,
+                                effects,
+                                &bank,
+                                &bulletin,
+                                &mut dec_bank,
+                                &mut cl_map,
+                                &mut held,
+                                params.face_value(),
+                            );
+                        }
+                    }
+                }
+                discarded += pending_begin.len() as u64;
+                report.replayed_records = replayed;
+                report.discarded_inflight = discarded;
+                report.torn_tail_bytes = log_rec.torn_bytes;
+                report.segments_read = log_rec.segments_read;
+                Some((log, cfg.clone(), covered))
+            }
+        };
+
         let shared = Arc::new(SharedState {
             bank: bank.clone(),
             bulletin: bulletin.clone(),
@@ -870,14 +1589,12 @@ impl MaService {
             params: params.clone(),
             bank_pk: bank_pk.clone(),
             pairing: pairing.clone(),
-            cl_bindings: RwLock::new(HashMap::new()),
-            held: Mutex::new(HeldPayments::default()),
+            cl_bindings: RwLock::new(cl_map),
+            held: Mutex::new(held),
         });
 
-        let n_shards = config.shards.max(1);
-        let depth = config.queue_depth.max(1);
-        let dedup_capacity = config.dedup_capacity;
         let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
+        let (ctrl_tx, ctrl_rx) = channel::unbounded::<Control>();
 
         // One flight recorder per shard, created here (not inside the
         // dispatcher) so the service handle keeps clones: tests can
@@ -887,116 +1604,77 @@ impl MaService {
             .map(|i| Arc::new(FlightRecorder::new(format!("ma-shard{i}"), 64)))
             .collect();
         let dumps: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
-
-        let dispatcher_shared = shared.clone();
-        let dispatcher_faults = faults.clone();
-        let dispatcher_obs = obs.clone();
-        let dispatcher_recorders = recorders.clone();
-        let dispatcher_dumps = dumps.clone();
-        let handle = std::thread::spawn(move || {
-            // One journal and one crash latch per shard; both outlive
-            // any worker incarnation so a respawn resumes from them.
-            let wals: Vec<Arc<ShardWal>> =
-                (0..n_shards).map(|_| Arc::new(ShardWal::new())).collect();
-            let crashes: Vec<Option<(u64, Arc<AtomicBool>)>> = (0..n_shards)
-                .map(|i| {
-                    config
-                        .crash
-                        .filter(|c| c.shard % n_shards == i)
-                        .map(|c| (c.at_request, Arc::new(AtomicBool::new(false))))
+        let crashes: Vec<Option<(u64, Arc<AtomicBool>)>> = (0..n_shards)
+            .map(|i| {
+                config
+                    .crash
+                    .filter(|c| c.shard % n_shards == i)
+                    .map(|c| (c.at_request, Arc::new(AtomicBool::new(false))))
+            })
+            .collect();
+        // Queue-depth gauges: the dispatcher adds one per enqueue,
+        // the worker subtracts one per dequeue.
+        let queue_gauges: Vec<_> = (0..n_shards)
+            .map(|i| obs.gauge(&format!("ma.shard{i}.queue_depth")))
+            .collect();
+        let journals: Vec<ShardJournal> = match &durable {
+            None => (0..n_shards)
+                .map(|_| ShardJournal::Memory(Arc::new(ShardWal::new())))
+                .collect(),
+            Some((log, _, _)) => (0..n_shards)
+                .map(|i| ShardJournal::Durable {
+                    shard: i as u32,
+                    log: log.clone(),
                 })
-                .collect();
-
-            // Queue-depth gauges: the dispatcher adds one per enqueue,
-            // the worker subtracts one per dequeue.
-            let queue_gauges: Vec<_> = (0..n_shards)
-                .map(|i| dispatcher_obs.gauge(&format!("ma.shard{i}.queue_depth")))
-                .collect();
-            let spawn_shard = |idx: usize| {
-                let (stx, srx): (Sender<Inbound>, Receiver<Inbound>) = channel::bounded(depth);
-                let worker = ShardWorker {
-                    shared: dispatcher_shared.clone(),
-                    wal: wals[idx].clone(),
-                    faults: dispatcher_faults.clone(),
-                    obs: dispatcher_obs.clone(),
-                    recorder: dispatcher_recorders[idx].clone(),
-                    queue_depth: queue_gauges[idx].clone(),
-                    dumps: dispatcher_dumps.clone(),
-                    dedup_capacity,
-                    crash: crashes[idx].clone(),
-                };
-                let handle = std::thread::spawn(move || worker.run(srx));
-                (stx, handle)
+                .collect(),
+        };
+        let durable_ctx = durable.map(|(log, cfg, covered)| {
+            let ctx = DurableCtx {
+                snapshots: obs.counter("wal.snapshots"),
+                snapshot_failures: obs.counter("wal.snapshot_failures"),
+                last_snapshot_lsn: obs.gauge("wal.last_snapshot_lsn"),
+                since_snapshot: obs.gauge("wal.records_since_snapshot"),
+                log,
+                config: cfg,
+                covered,
+                gate_hook: gate_hook.clone(),
             };
-
-            let mut shard_txs = Vec::with_capacity(n_shards);
-            let mut shard_handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(n_shards);
-            for idx in 0..n_shards {
-                let (stx, handle) = spawn_shard(idx);
-                shard_txs.push(stx);
-                shard_handles.push(Some(handle));
-            }
-
-            // Route until Shutdown (or every client hung up),
-            // supervising the workers along the way.
-            let mut rr = 0usize;
-            let shutdown_reply =
-                loop {
-                    match rx.recv() {
-                        Ok(inbound) if matches!(inbound.request, MaRequest::Shutdown) => {
-                            break Some(inbound.reply);
-                        }
-                        Ok(inbound) => {
-                            let idx = route(inbound.key, &inbound.request, n_shards, &mut rr);
-                            if let Err(send_err) = shard_txs[idx].send(inbound) {
-                                // The worker died (panic or injected
-                                // crash). Supervise: join the corpse,
-                                // respawn over the same journal — the new
-                                // incarnation replays it — and redeliver.
-                                // Requests queued in the dead channel are
-                                // lost; their senders see a hang-up and
-                                // retry.
-                                let inbound = send_err.0;
-                                if let Some(old) = shard_handles[idx].take() {
-                                    let _ = old.join();
-                                }
-                                dispatcher_faults.shard_respawn();
-                                // Whatever sat in the dead channel is
-                                // gone; the fresh incarnation starts
-                                // with an empty queue.
-                                queue_gauges[idx].set(0);
-                                let (stx, handle) = spawn_shard(idx);
-                                shard_txs[idx] = stx;
-                                shard_handles[idx] = Some(handle);
-                                if let Err(send_err) = shard_txs[idx].send(inbound) {
-                                    let _ = send_err.0.reply.send(MaResponse::Err(
-                                        MarketError::Transport("shard worker unavailable".into()),
-                                    ));
-                                    continue;
-                                }
-                            }
-                            queue_gauges[idx].add(1);
-                        }
-                        Err(_) => break None,
-                    }
-                };
-
-            // Graceful drain: close the shard queues, let every queued
-            // request finish, then report undelivered held payments.
-            drop(shard_txs);
-            for h in shard_handles.into_iter().flatten() {
-                let _ = h.join();
-            }
-            let undelivered = dispatcher_shared.held.lock().pending.len();
-            if let Some(reply) = shutdown_reply {
-                let _ = reply.send(MaResponse::Drained {
-                    undelivered_payments: undelivered,
-                });
-            }
+            ctx.last_snapshot_lsn.set(covered as i64);
+            ctx.since_snapshot
+                .set(ctx.log.next_lsn().saturating_sub(covered) as i64);
+            ctx
         });
 
-        MaService {
+        let mut dispatcher = Dispatcher {
+            shared,
+            faults: faults.clone(),
+            obs: obs.clone(),
+            recorders: recorders.clone(),
+            dumps: dumps.clone(),
+            dedup_capacity,
+            depth,
+            n_shards,
+            journals,
+            bases,
+            crashes,
+            queue_gauges,
+            shard_txs: Vec::with_capacity(n_shards),
+            shard_handles: Vec::with_capacity(n_shards),
+            rr: 0,
+            durable: durable_ctx,
+        };
+        let handle = std::thread::spawn(move || {
+            for idx in 0..dispatcher.n_shards {
+                let (stx, handle) = dispatcher.spawn_shard(idx);
+                dispatcher.shard_txs.push(stx);
+                dispatcher.shard_handles.push(Some(handle));
+            }
+            dispatcher.run(rx, ctrl_rx);
+        });
+
+        let svc = MaService {
             tx,
+            ctrl: ctrl_tx,
             handle: Some(handle),
             bank,
             bulletin,
@@ -1008,7 +1686,40 @@ impl MaService {
             params,
             bank_pk,
             pairing,
-        }
+            gate_hook,
+            recovered_gate: Mutex::new(recovered_gate),
+        };
+        Ok((svc, report))
+    }
+
+    /// Takes a checkpoint now: barriers the shards for their
+    /// projections, publishes one atomic snapshot of the whole market
+    /// and compacts the log behind it. Returns the covered LSN — the
+    /// point a future recovery replays from. Fails if the service has
+    /// no durable tier or the snapshot could not be published (the
+    /// log is untouched in that case; nothing is lost).
+    pub fn checkpoint(&self) -> Result<u64, StorageError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.ctrl
+            .send(Control::Checkpoint(reply_tx))
+            .map_err(|_| StorageError::Io("service is not running".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| StorageError::Io("service is not running".into()))?
+    }
+
+    /// Registers the front door's gate-checkpoint hook: during a
+    /// checkpoint the dispatcher asks it for the admission gate's
+    /// exported state, so paid sessions survive recovery.
+    pub fn attach_gate_checkpoint(&self, hook: Arc<GateCheckpoint>) {
+        *self.gate_hook.lock() = Some(hook);
+    }
+
+    /// The admission-gate state recovered from the snapshot, if any —
+    /// consumed (once) by the TCP front door on spawn to restore paid
+    /// sessions instead of starting a fresh gate.
+    pub fn take_recovered_gate(&self) -> Option<Vec<u8>> {
+        self.recovered_gate.lock().take()
     }
 
     /// One merged snapshot of everything observable about this
@@ -1579,6 +2290,223 @@ mod tests {
             panic!("labor");
         };
         assert_eq!(sps, vec![vec![7u8]]);
+        svc.shutdown();
+    }
+
+    use crate::storage::SimStorage;
+
+    fn durable_service(
+        seed: u64,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> (MaService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DecParams::fixture(2, 8);
+        let svc = MaService::spawn_durable(&mut rng, params, 512, 40, config, durability)
+            .expect("durable spawn over fresh storage");
+        (svc, rng)
+    }
+
+    #[test]
+    fn durable_service_recovers_cold_from_log_alone() {
+        let storage = Arc::new(SimStorage::new());
+        let (svc, mut rng) = durable_service(
+            40,
+            ServiceConfig::default(),
+            DurabilityConfig::new(storage.clone()),
+        );
+        let client = svc.client();
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
+            panic!()
+        };
+        let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+            panic!()
+        };
+        let mut coin = ppms_ecash::Coin::mint(&mut rng, &svc.params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+        let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 1,
+            auth,
+            blinded,
+        }) else {
+            panic!()
+        };
+        assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+        let s1 = coin.spend(
+            &mut rng,
+            &svc.params,
+            &ppms_ecash::NodePath::from_index(2, 0),
+            b"",
+        );
+        let MaResponse::BatchDeposited { total, .. } = client.call(MaRequest::DepositBatch {
+            account: sp,
+            spends: vec![s1.clone()],
+        }) else {
+            panic!()
+        };
+        assert_eq!(total, 1);
+        client.call(MaRequest::SubmitPayment {
+            sp_pubkey: vec![9; 8],
+            ciphertext: vec![1, 2, 3],
+        });
+        let before = svc.bank.snapshot();
+        svc.shutdown();
+
+        // Same seed → same keys (the sealed-key-file stand-in); no
+        // checkpoint was ever taken, so this is recovery from the log
+        // alone.
+        let mut rng2 = StdRng::seed_from_u64(40);
+        let (svc2, report) = MaService::recover(
+            &mut rng2,
+            DecParams::fixture(2, 8),
+            512,
+            40,
+            ServiceConfig::default(),
+            DurabilityConfig::new(storage),
+        )
+        .expect("recover");
+        assert!(report.snapshot.is_none(), "no checkpoint was taken");
+        assert!(report.replayed_records > 0);
+        assert_eq!(report.discarded_inflight, 0, "clean shutdown");
+        assert_eq!(svc2.bank.snapshot(), before, "ledger restored exactly");
+        let client2 = svc2.client();
+        // DEC double-spend state survived: the deposited spend under a
+        // fresh request key is a double-spend, not a credit.
+        let MaResponse::BatchDeposited {
+            total,
+            accepted,
+            rejected,
+        } = client2.call(MaRequest::DepositBatch {
+            account: sp,
+            spends: vec![s1],
+        })
+        else {
+            panic!()
+        };
+        assert_eq!((total, accepted, rejected), (0, 0, 1));
+        // The per-shard nonce high-water mark survived: the old nonce
+        // is refused even under a valid signature.
+        let auth2 = cl.sign_bytes(&mut rng2, &svc2.pairing, &1u64.to_be_bytes());
+        let resp = client2.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 1,
+            auth: auth2,
+            blinded: BigUint::one(),
+        });
+        assert!(matches!(
+            resp,
+            MaResponse::Err(MarketError::BadAuthentication)
+        ));
+        // And the held (never fetched) payment is still held.
+        assert_eq!(svc2.shutdown(), 1);
+    }
+
+    #[test]
+    fn checkpoint_compacts_log_and_bounds_recovery_replay() {
+        let storage = Arc::new(SimStorage::new());
+        let mut durability = DurabilityConfig::new(storage.clone());
+        // Tiny segments so the pre-checkpoint history spans several
+        // files and compaction has something to drop.
+        durability.segment_bytes = 256;
+        let (svc, _rng) = durable_service(41, ServiceConfig::default(), durability.clone());
+        let client = svc.client();
+        for i in 0..6u8 {
+            client.call(MaRequest::SubmitPayment {
+                sp_pubkey: vec![i; 8],
+                ciphertext: vec![i; 40],
+            });
+        }
+        let covered = svc.checkpoint().expect("checkpoint");
+        assert_eq!(covered, 12, "six requests journal twelve records");
+        assert_eq!(svc.faults.wal_snapshots(), 1);
+        assert!(svc.faults.wal_compactions() >= 1, "segments were dropped");
+        // One more request after the checkpoint: the only tail.
+        client.call(MaRequest::SubmitData {
+            job_id: 0,
+            sp_pubkey: vec![0; 8],
+            data: vec![1],
+        });
+        let before = svc.bank.snapshot();
+        svc.shutdown();
+
+        let mut rng2 = StdRng::seed_from_u64(41);
+        let (svc2, report) = MaService::recover(
+            &mut rng2,
+            DecParams::fixture(2, 8),
+            512,
+            40,
+            ServiceConfig::default(),
+            durability,
+        )
+        .expect("recover");
+        assert_eq!(report.snapshot_lsn, covered);
+        assert!(report.snapshot.is_some());
+        // The compaction guarantee: recovery replays only the records
+        // written since the snapshot, however long the prior history.
+        assert_eq!(report.replayed_records, 2);
+        assert_eq!(svc2.bank.snapshot(), before);
+        // Payment 0's data arrived post-checkpoint, so its payment is
+        // deliverable; the other five stay held.
+        let client2 = svc2.client();
+        let MaResponse::Payment(Some(ct)) = client2.call(MaRequest::FetchPayment {
+            sp_pubkey: vec![0; 8],
+        }) else {
+            panic!("post-checkpoint SubmitData must survive recovery");
+        };
+        assert_eq!(ct, vec![0; 40]);
+        assert_eq!(svc2.shutdown(), 5);
+    }
+
+    #[test]
+    fn recovery_under_different_shard_count_is_refused() {
+        let storage = Arc::new(SimStorage::new());
+        let sharded = ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        };
+        let (svc, _rng) = durable_service(42, sharded, DurabilityConfig::new(storage.clone()));
+        svc.client().call(MaRequest::SubmitPayment {
+            sp_pubkey: vec![1; 8],
+            ciphertext: vec![2],
+        });
+        svc.checkpoint().expect("checkpoint");
+        svc.shutdown();
+
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let err = match MaService::recover(
+            &mut rng2,
+            DecParams::fixture(2, 8),
+            512,
+            40,
+            ServiceConfig::default(),
+            DurabilityConfig::new(storage),
+        ) {
+            Ok(_) => panic!("shard counts must match the snapshot"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(
+                err,
+                StorageError::ShardMismatch {
+                    snapshot: 2,
+                    config: 1
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_without_durable_tier_errors() {
+        let (svc, _rng) = service(43);
+        let err = svc.checkpoint().expect_err("in-memory service");
+        assert!(matches!(err, StorageError::Io(_)), "{err:?}");
         svc.shutdown();
     }
 }

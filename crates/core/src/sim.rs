@@ -10,7 +10,10 @@ use crate::metrics::{FaultSnapshot, Party};
 use crate::ppmsdec::{DecMarket, DecRoundOutcome};
 use crate::ppmspbs::PbsMarket;
 use crate::retry::{RetryPolicy, RetryingTransport};
-use crate::service::{CrashPoint, MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
+use crate::service::{
+    CrashPoint, MaClient, MaRequest, MaResponse, MaService, RecoveryReport, ServiceConfig,
+};
+use crate::storage::{DurabilityConfig, StorageError};
 use crate::stream::FlakyConfig;
 use crate::tcp::{TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport};
 use crate::transport::{FaultPlan, SimNetConfig, TrafficLog, Transport};
@@ -673,6 +676,266 @@ fn run_market(
         faults.snapshot(),
         traffic,
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Durable market drive (crash-matrix harness support)
+// ---------------------------------------------------------------------------
+
+/// Idempotency-key base of the keyed durable drive. Far above the
+/// range `next_request_id` allocates from, so the drive's explicit
+/// keys never collide with ids minted elsewhere in the same process
+/// (wallet minting, concurrent tests).
+const DURABLE_KEY_BASE: u64 = 0x5EED_0000_0000_0000;
+
+/// Spawn/recover sizing shared by the durable-market helpers. The two
+/// sides must agree exactly: recovery regenerates the bank and
+/// pairing keys from the same-seeded rng (the reproduction's stand-in
+/// for a sealed key file), so any divergence in parameters would
+/// produce keys the logged history does not verify under.
+fn durable_fixture(seed: u64, shards: usize) -> (StdRng, DecParams, ServiceConfig) {
+    (
+        StdRng::seed_from_u64(seed),
+        DecParams::fixture(3, 8),
+        ServiceConfig {
+            shards,
+            queue_depth: 64,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Spawns a fresh durable [`MaService`] with the deterministic market
+/// fixture sizes, journaling into `durability`.
+pub fn spawn_durable_market(
+    seed: u64,
+    shards: usize,
+    durability: DurabilityConfig,
+) -> Result<MaService, StorageError> {
+    let (mut rng, params, config) = durable_fixture(seed, shards);
+    MaService::spawn_durable(&mut rng, params, 512, 40, config, durability)
+}
+
+/// Cold-starts a durable [`MaService`] from whatever `durability`'s
+/// storage holds — the post-crash half of the crash-matrix harness.
+/// `seed` and `shards` must match the instance that wrote the
+/// storage.
+pub fn recover_durable_market(
+    seed: u64,
+    shards: usize,
+    durability: DurabilityConfig,
+) -> Result<(MaService, RecoveryReport), StorageError> {
+    let (mut rng, params, config) = durable_fixture(seed, shards);
+    MaService::recover(&mut rng, params, 512, 40, config, durability)
+}
+
+/// Where a budgeted keyed drive stopped.
+#[derive(Debug)]
+pub enum KeyedDrive {
+    /// The call budget ran out mid-schedule — the harness's kill
+    /// point. `calls` requests were issued and answered first.
+    Paused {
+        /// Requests issued before the pause.
+        calls: u64,
+    },
+    /// The whole schedule ran. `undelivered_payments` is `0` in the
+    /// returned outcome — only the shutdown drain can count it, so
+    /// the caller fills it in from [`MaService::shutdown`].
+    Complete(Box<ServiceMarketOutcome>),
+}
+
+/// The deterministic service market of [`run_service_market`], driven
+/// as a *resumable keyed schedule*: every request carries the
+/// explicit idempotency key `DURABLE_KEY_BASE + step`, and at most
+/// `max_calls` requests are issued before the drive pauses.
+///
+/// Because the keys and every rng draw are functions of `(seed,
+/// n_sps, w)` alone, re-invoking the drive replays the schedule
+/// byte-identically from step 0: steps whose commit survived (in
+/// memory, or on the durable log across a crash) answer from the
+/// dedup cache without re-executing, and lost steps re-execute
+/// against the recovered state. Killing a durable service after `k`
+/// calls and re-driving with an infinite budget must therefore
+/// converge on the fault-free outcome — the crash-matrix invariant.
+pub fn drive_market_keyed(
+    svc: &MaService,
+    seed: u64,
+    n_sps: usize,
+    w: u64,
+    max_calls: u64,
+) -> Result<KeyedDrive, MarketError> {
+    const RSA_BITS: usize = 512;
+    // The drive's rng stream is disjoint from the spawn's: re-driving
+    // after a recovery regenerates the same coins and keys no matter
+    // how many draws service spawn consumed.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x64_72_69_76_65); // "drive"
+    let params = svc.params.clone();
+    let client = svc.client();
+    let mut calls = 0u64;
+    macro_rules! step {
+        ($req:expr) => {{
+            if calls == max_calls {
+                return Ok(KeyedDrive::Paused { calls });
+            }
+            let id = DURABLE_KEY_BASE + calls;
+            calls += 1;
+            client.try_call_keyed(id, $req)?
+        }};
+    }
+
+    // JO setup: account, CL key, job pseudonym, published job.
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let funds = (n_sps as u64 + 1) * params.face_value();
+    let jo_account = match step!(MaRequest::RegisterJoAccount {
+        funds,
+        clpk: cl.public.clone(),
+    }) {
+        MaResponse::Account(a) => a,
+        other => return Err(unexpected("jo-account", &other)),
+    };
+    let job_key = rsa::keygen(&mut rng, RSA_BITS);
+    let job_id = match step!(MaRequest::PublishJob {
+        description: "simulated sensing job".into(),
+        payment: w,
+        pseudonym: job_key.public.to_bytes(),
+    }) {
+        MaResponse::JobId(id) => id,
+        other => return Err(unexpected("publish", &other)),
+    };
+
+    let mut sp_accounts = Vec::with_capacity(n_sps);
+    let mut sp_credited = Vec::with_capacity(n_sps);
+    for i in 0..n_sps {
+        // SP: account, one-time key, labor registration.
+        let sp_account = match step!(MaRequest::RegisterSpAccount) {
+            MaResponse::Account(a) => a,
+            other => return Err(unexpected("sp-account", &other)),
+        };
+        let one_time = rsa::keygen(&mut rng, RSA_BITS);
+        let sp_pubkey = one_time.public.to_bytes();
+        match step!(MaRequest::LaborRegister {
+            job_id,
+            sp_pubkey: sp_pubkey.clone(),
+        }) {
+            MaResponse::Ok => {}
+            other => return Err(unexpected("labor-register", &other)),
+        }
+
+        // JO: poll labor, withdraw a fresh coin, pay this SP.
+        let keys = match step!(MaRequest::FetchLabor { job_id }) {
+            MaResponse::Labor(keys) => keys,
+            other => return Err(unexpected("labor-fetch", &other)),
+        };
+        let receiver = keys
+            .last()
+            .cloned()
+            .ok_or_else(|| MarketError::Transport("labor registration not visible".into()))?;
+        let mut coin = Coin::mint(&mut rng, &params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let nonce = i as u64 + 1;
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &nonce.to_be_bytes());
+        let sig = match step!(MaRequest::Withdraw {
+            account: jo_account,
+            nonce,
+            auth,
+            blinded,
+        }) {
+            MaResponse::BlindSignature(sig) => sig,
+            other => return Err(unexpected("withdraw", &other)),
+        };
+        if !coin.attach_signature(&svc.bank_pk, &sig, &factor) {
+            return Err(MarketError::BadCoin("bank signature did not verify".into()));
+        }
+        let plan = plan_break(CashBreak::Pcba, w, params.levels)?;
+        let mut allocator = NodeAllocator::new(params.levels);
+        let items = build_payment_with(
+            &mut rng,
+            &params,
+            &coin,
+            &plan,
+            b"",
+            svc.bank_pk.size_bytes(),
+            &mut allocator,
+        )?;
+        let payload = encode_payment(&items);
+        let sp_pk = rsa::RsaPublicKey::from_bytes(&receiver)
+            .ok_or_else(|| MarketError::BadPayload("labor key does not parse".into()))?;
+        let ciphertext = rsa::encrypt(&mut rng, &sp_pk, &payload);
+        match step!(MaRequest::SubmitPayment {
+            sp_pubkey: sp_pubkey.clone(),
+            ciphertext,
+        }) {
+            MaResponse::Ok => {}
+            other => return Err(unexpected("payment-submission", &other)),
+        }
+
+        // SP: submit data (releasing the hold), fetch, verify, deposit.
+        match step!(MaRequest::SubmitData {
+            job_id,
+            sp_pubkey: sp_pubkey.clone(),
+            data: format!("reading from sp {i}").into_bytes(),
+        }) {
+            MaResponse::Ok => {}
+            other => return Err(unexpected("data-report", &other)),
+        }
+        let ciphertext = match step!(MaRequest::FetchPayment { sp_pubkey }) {
+            MaResponse::Payment(Some(ct)) => ct,
+            MaResponse::Payment(None) => {
+                return Err(MarketError::Transport(
+                    "payment still held after data".into(),
+                ))
+            }
+            other => return Err(unexpected("payment-fetch", &other)),
+        };
+        let payload = rsa::decrypt(&one_time, &ciphertext)
+            .map_err(|_| MarketError::BadPayload("payment does not decrypt".into()))?;
+        let items = decode_payment(&payload)
+            .map_err(|_| MarketError::BadPayload("payment bundle does not parse".into()))?;
+        let (spends, _) = verify_bundle_sequential(&params, &svc.bank_pk, &items, b"");
+        match step!(MaRequest::DepositBatch {
+            account: sp_account,
+            spends,
+        }) {
+            MaResponse::BatchDeposited { total, .. } => sp_credited.push(total),
+            other => return Err(unexpected("deposit", &other)),
+        }
+        sp_accounts.push(sp_account);
+    }
+
+    // JO: collect the data reports.
+    let data_reports = match step!(MaRequest::FetchData { job_id }) {
+        MaResponse::Data(reports) => reports,
+        other => return Err(unexpected("data-fetch", &other)),
+    };
+
+    // Audit the ledger.
+    let jo_balance = match step!(MaRequest::Balance {
+        account: jo_account,
+    }) {
+        MaResponse::Balance(b) => b,
+        other => return Err(unexpected("balance", &other)),
+    };
+    let mut sp_balances = Vec::with_capacity(n_sps);
+    for &account in &sp_accounts {
+        match step!(MaRequest::Balance { account }) {
+            MaResponse::Balance(b) => sp_balances.push(b),
+            other => return Err(unexpected("balance", &other)),
+        }
+    }
+    let jobs = svc
+        .bulletin
+        .list()
+        .into_iter()
+        .map(|j| (j.job_id, j.description, j.payment))
+        .collect();
+    Ok(KeyedDrive::Complete(Box::new(ServiceMarketOutcome {
+        jo_balance,
+        sp_balances,
+        sp_credited,
+        data_reports,
+        jobs,
+        undelivered_payments: 0,
+    })))
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,663 @@
+//! Storage backends for the durable tier: a minimal byte-oriented
+//! [`Storage`] trait with three implementations —
+//!
+//! * [`DiskStorage`] over `std::fs`, the production backend;
+//! * [`SimStorage`], an in-memory filesystem with an explicit
+//!   *durability watermark* per file (bytes past the last `sync` are
+//!   volatile), whose [`SimStorage::crash_image`] produces the
+//!   post-crash view — durable prefix plus a seeded torn tail of the
+//!   unsynced suffix — the crash-matrix harness recovers from;
+//! * [`FaultyStorage`], a seeded fault-injection wrapper mirroring the
+//!   transport's `FlakyByteStream` (fsync lies, torn atomic writes,
+//!   short reads, read-side bit flips).
+//!
+//! The trait is deliberately tiny — append, sync, read, truncate,
+//! list, remove, atomic whole-file replace — exactly what a
+//! segment-file WAL plus checkpoint snapshots need, and nothing a
+//! crash simulation cannot model faithfully.
+
+use crate::wire::WireError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a durable-tier operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The backend I/O failed (message carries the OS detail).
+    Io(String),
+    /// A named file does not exist.
+    Missing(String),
+    /// On-medium corruption detected before the log tail: the named
+    /// file has a bad frame/header at `offset`. Recovery refuses to
+    /// replay past this — corrupted history must not rebuild a ledger
+    /// nobody agreed to.
+    Corrupt {
+        /// File the corruption was found in.
+        file: String,
+        /// Byte offset of the offending frame or header.
+        offset: usize,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A record or snapshot failed to decode after its checksum
+    /// passed (a version skew or a logic bug, not bit rot).
+    Wire(WireError),
+    /// The snapshot was taken under a different shard count than the
+    /// recovering configuration — per-shard projections cannot be
+    /// re-dealt (resharding is out of scope), so recovery refuses.
+    ShardMismatch {
+        /// Shard count recorded in the snapshot.
+        snapshot: usize,
+        /// Shard count of the recovering service config.
+        config: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(msg) => write!(f, "storage i/o: {msg}"),
+            StorageError::Missing(name) => write!(f, "no such storage file: {name}"),
+            StorageError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => {
+                write!(f, "corrupt storage file {file} at byte {offset}: {detail}")
+            }
+            StorageError::Wire(e) => write!(f, "storage decode: {e}"),
+            StorageError::ShardMismatch { snapshot, config } => write!(
+                f,
+                "snapshot taken with {snapshot} shards, config has {config}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<WireError> for StorageError {
+    fn from(e: WireError) -> Self {
+        StorageError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+/// A flat namespace of append-only files with explicit durability.
+///
+/// Contract (what the crash model simulates and recovery relies on):
+///
+/// * `append` makes bytes *visible* to `read` immediately but durable
+///   only after `sync(name)` returns.
+/// * `write_atomic` replaces a file all-or-nothing **and** durably
+///   (temp file + fsync + rename) — the checkpoint publication
+///   primitive.
+/// * `truncate` discards a torn tail found during recovery so later
+///   appends never interleave with dead bytes.
+pub trait Storage: Send + Sync + fmt::Debug {
+    /// Appends bytes to `name`, creating it if absent. Visible at
+    /// once, durable after [`Storage::sync`].
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Forces previously appended bytes of `name` to durable media.
+    fn sync(&self, name: &str) -> Result<(), StorageError>;
+
+    /// Reads the whole current (volatile) content of `name`.
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError>;
+
+    /// Truncates `name` to its first `len` bytes, durably.
+    fn truncate(&self, name: &str, len: u64) -> Result<(), StorageError>;
+
+    /// All file names, unordered.
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+
+    /// Deletes `name` (idempotent — deleting an absent file is `Ok`,
+    /// so a compaction retry after a crash converges).
+    fn remove(&self, name: &str) -> Result<(), StorageError>;
+
+    /// Replaces `name` with `bytes`, atomically and durably: after
+    /// `Ok`, readers see exactly `bytes`; after a crash, readers see
+    /// either the old content or the new — never a mix.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+}
+
+// ---------------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------------
+
+/// Prefix for in-flight atomic-write temporaries; never listed.
+const TMP_PREFIX: &str = "tmp-";
+
+/// `std::fs`-backed storage rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct DiskStorage {
+    dir: PathBuf,
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) a storage directory. Leftover
+    /// atomic-write temporaries from a previous crash are deleted —
+    /// they were never renamed, so they were never published.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DiskStorage, StorageError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with(TMP_PREFIX) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(DiskStorage { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// fsync the directory itself so renames/unlinks are durable.
+    /// Best-effort: opening a directory for fsync works on Linux;
+    /// elsewhere the rename is still atomic, just not yet durable.
+    fn sync_dir(&self) {
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl Storage for DiskStorage {
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> Result<(), StorageError> {
+        match fs::File::open(self.path(name)) {
+            Ok(f) => Ok(f.sync_data()?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::Missing(name.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        match fs::read(self.path(name)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::Missing(name.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), StorageError> {
+        let f = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        f.set_len(len)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with(TMP_PREFIX) {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StorageError> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => {
+                self.sync_dir();
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = self.path(&format!("{TMP_PREFIX}{name}"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.path(name))?;
+        self.sync_dir();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated storage with a durability watermark
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SimFile {
+    bytes: Vec<u8>,
+    /// Bytes `[0, synced)` survive a crash; the rest is page cache.
+    synced: usize,
+}
+
+/// In-memory storage with per-file durability watermarks. Clones
+/// share state (the live process sees its own unsynced writes);
+/// [`SimStorage::crash_image`] derives the view a *restarted* process
+/// would read from the medium.
+#[derive(Debug, Clone, Default)]
+pub struct SimStorage {
+    files: Arc<Mutex<HashMap<String, SimFile>>>,
+}
+
+impl SimStorage {
+    /// Fresh empty storage.
+    pub fn new() -> SimStorage {
+        SimStorage::default()
+    }
+
+    /// The post-crash view of this storage: every file keeps its
+    /// durable prefix plus a seeded-length *torn tail* of the unsynced
+    /// suffix — writeback may have persisted any prefix of the bytes
+    /// the process never fsynced. Deterministic in `seed` (and
+    /// per-file, so the tear does not depend on map iteration order).
+    pub fn crash_image(&self, seed: u64) -> SimStorage {
+        let files = self.files.lock();
+        let mut crashed = HashMap::with_capacity(files.len());
+        for (name, file) in files.iter() {
+            let unsynced = file.bytes.len() - file.synced;
+            let torn = if unsynced == 0 {
+                0
+            } else {
+                (splitmix64(seed ^ crate::wire::fnv1a(name.as_bytes())) % (unsynced as u64 + 1))
+                    as usize
+            };
+            let keep = file.synced + torn;
+            crashed.insert(
+                name.clone(),
+                SimFile {
+                    bytes: file.bytes[..keep].to_vec(),
+                    synced: keep,
+                },
+            );
+        }
+        SimStorage {
+            files: Arc::new(Mutex::new(crashed)),
+        }
+    }
+
+    /// Flips bit `mask` of byte `offset` in `name` — medium bit rot
+    /// for corruption-detection tests.
+    pub fn flip_bit(&self, name: &str, offset: usize, mask: u8) {
+        let mut files = self.files.lock();
+        let file = files.get_mut(name).expect("flip_bit: no such file");
+        file.bytes[offset] ^= mask;
+    }
+
+    /// Current (volatile) length of `name`, 0 if absent.
+    pub fn len(&self, name: &str) -> usize {
+        self.files.lock().get(name).map_or(0, |f| f.bytes.len())
+    }
+
+    /// Durable length of `name`, 0 if absent.
+    pub fn synced_len(&self, name: &str) -> usize {
+        self.files.lock().get(name).map_or(0, |f| f.synced)
+    }
+}
+
+/// The scramble behind every seeded choice in this module (same
+/// generator family the chaos tests use).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl Storage for SimStorage {
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.files
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .bytes
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> Result<(), StorageError> {
+        let mut files = self.files.lock();
+        let file = files
+            .get_mut(name)
+            .ok_or_else(|| StorageError::Missing(name.to_string()))?;
+        file.synced = file.bytes.len();
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| f.bytes.clone())
+            .ok_or_else(|| StorageError::Missing(name.to_string()))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), StorageError> {
+        let mut files = self.files.lock();
+        let file = files
+            .get_mut(name)
+            .ok_or_else(|| StorageError::Missing(name.to_string()))?;
+        file.bytes.truncate(len as usize);
+        file.synced = file.synced.min(file.bytes.len());
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        Ok(self.files.lock().keys().cloned().collect())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StorageError> {
+        self.files.lock().remove(name);
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.files.lock().insert(
+            name.to_string(),
+            SimFile {
+                bytes: bytes.to_vec(),
+                synced: bytes.len(),
+            },
+        );
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Seeded fault rates for [`FaultyStorage`] — the durable tier's
+/// sibling of the transport's `FlakyConfig`. All rates are
+/// probabilities in `[0, 1]`; the default injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StorageFaults {
+    /// `sync()` returns `Ok` without persisting anything — an fsync
+    /// lie (drive write-cache, lying hypervisor). The data stays
+    /// volatile and vanishes from the next crash image.
+    pub sync_lie: f64,
+    /// `write_atomic` publishes a *truncated prefix* and then fails —
+    /// a kill during checkpoint publication on a medium without
+    /// honest rename atomicity. Recovery must detect the bad checksum
+    /// and fall back to the previous snapshot.
+    pub torn_atomic: f64,
+    /// `read()` returns a truncated copy — a short read.
+    pub short_read: f64,
+    /// `read()` returns a copy with one bit flipped — medium rot
+    /// surfacing at read time.
+    pub read_flip: f64,
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+}
+
+/// Wraps any [`Storage`] and injects seeded faults per
+/// [`StorageFaults`]. Deterministic: the same seed and operation
+/// sequence produce the same faults.
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    faults: StorageFaults,
+    state: Mutex<u64>,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: Arc<dyn Storage>, faults: StorageFaults) -> FaultyStorage {
+        FaultyStorage {
+            inner,
+            faults,
+            state: Mutex::new(splitmix64(faults.seed ^ 0x0073_746f_7261_6765)), // "storage"
+        }
+    }
+
+    fn roll(&self) -> u64 {
+        let mut state = self.state.lock();
+        *state = splitmix64(*state);
+        *state
+    }
+
+    /// Seeded Bernoulli trial.
+    fn chance(&self, p: f64) -> bool {
+        p > 0.0 && ((self.roll() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.inner.append(name, bytes)
+    }
+
+    fn sync(&self, name: &str) -> Result<(), StorageError> {
+        if self.chance(self.faults.sync_lie) {
+            return Ok(()); // the lie: claims durability, persists nothing
+        }
+        self.inner.sync(name)
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        let mut bytes = self.inner.read(name)?;
+        if !bytes.is_empty() && self.chance(self.faults.short_read) {
+            let keep = (self.roll() % bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+        }
+        if !bytes.is_empty() && self.chance(self.faults.read_flip) {
+            let at = (self.roll() % bytes.len() as u64) as usize;
+            bytes[at] ^= 1 << (self.roll() % 8);
+        }
+        Ok(bytes)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), StorageError> {
+        self.inner.truncate(name, len)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        self.inner.list()
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StorageError> {
+        self.inner.remove(name)
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        if !bytes.is_empty() && self.chance(self.faults.torn_atomic) {
+            let keep = (self.roll() % bytes.len() as u64) as usize;
+            self.inner.write_atomic(name, &bytes[..keep])?;
+            return Err(StorageError::Io("injected: torn atomic write".into()));
+        }
+        self.inner.write_atomic(name, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique on-disk scratch dir per test invocation (no clocks —
+    /// the suite must stay deterministic).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "ppms-storage-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn sim_watermark_semantics() {
+        let s = SimStorage::new();
+        s.append("a", b"hello ").unwrap();
+        s.append("a", b"world").unwrap();
+        assert_eq!(s.read("a").unwrap(), b"hello world");
+        assert_eq!(s.synced_len("a"), 0, "nothing durable before sync");
+        s.sync("a").unwrap();
+        assert_eq!(s.synced_len("a"), 11);
+        s.append("a", b"!!!").unwrap();
+        // A crash image keeps the durable prefix plus at most the
+        // unsynced suffix.
+        for seed in 0..16u64 {
+            let img = s.crash_image(seed);
+            let bytes = img.read("a").unwrap();
+            assert!(bytes.len() >= 11 && bytes.len() <= 14);
+            assert_eq!(&bytes[..11], b"hello world");
+        }
+        // Deterministic in the seed.
+        assert_eq!(
+            s.crash_image(7).read("a").unwrap(),
+            s.crash_image(7).read("a").unwrap()
+        );
+        // Some seed actually tears (the suffix is not always kept).
+        assert!(
+            (0..64u64).any(|seed| s.crash_image(seed).read("a").unwrap().len() < 14),
+            "tearing must be reachable"
+        );
+    }
+
+    #[test]
+    fn sim_write_atomic_is_durable() {
+        let s = SimStorage::new();
+        s.write_atomic("snap", b"abc").unwrap();
+        assert_eq!(s.crash_image(1).read("snap").unwrap(), b"abc");
+        // Replacement fully supersedes.
+        s.write_atomic("snap", b"xy").unwrap();
+        assert_eq!(s.crash_image(2).read("snap").unwrap(), b"xy");
+    }
+
+    #[test]
+    fn sim_truncate_and_flip() {
+        let s = SimStorage::new();
+        s.append("f", &[0u8; 8]).unwrap();
+        s.sync("f").unwrap();
+        s.flip_bit("f", 3, 0x10);
+        assert_eq!(s.read("f").unwrap()[3], 0x10);
+        s.truncate("f", 2).unwrap();
+        assert_eq!(s.len("f"), 2);
+        assert_eq!(s.synced_len("f"), 2, "watermark clamps to new length");
+    }
+
+    #[test]
+    fn disk_storage_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        let s = DiskStorage::open(&dir).unwrap();
+        s.append("seg", b"abc").unwrap();
+        s.append("seg", b"def").unwrap();
+        s.sync("seg").unwrap();
+        assert_eq!(s.read("seg").unwrap(), b"abcdef");
+        s.truncate("seg", 4).unwrap();
+        assert_eq!(s.read("seg").unwrap(), b"abcd");
+        s.write_atomic("snap", b"state").unwrap();
+        let mut names = s.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["seg".to_string(), "snap".to_string()]);
+        s.remove("seg").unwrap();
+        s.remove("seg").unwrap(); // idempotent
+        assert!(matches!(s.read("seg"), Err(StorageError::Missing(_))));
+        // Reopen cleans stray temporaries.
+        fs::write(dir.join("tmp-snap"), b"torn").unwrap();
+        let s2 = DiskStorage::open(&dir).unwrap();
+        assert_eq!(s2.list().unwrap(), vec!["snap".to_string()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_lie_loses_data_at_crash() {
+        let sim = SimStorage::new();
+        let faulty = FaultyStorage::new(
+            Arc::new(sim.clone()),
+            StorageFaults {
+                sync_lie: 1.0,
+                seed: 9,
+                ..StorageFaults::default()
+            },
+        );
+        faulty.append("f", b"doomed").unwrap();
+        faulty.sync("f").unwrap(); // lies
+        assert_eq!(sim.synced_len("f"), 0);
+        // Worst-case crash image (seed chosen so the tear keeps 0
+        // bytes of the unsynced suffix) loses everything.
+        assert!(
+            (0..64u64).any(|seed| sim.crash_image(seed).read("f").unwrap().is_empty()),
+            "an fsync lie must be able to lose the whole write"
+        );
+    }
+
+    #[test]
+    fn torn_atomic_write_publishes_prefix_and_errors() {
+        let sim = SimStorage::new();
+        let faulty = FaultyStorage::new(
+            Arc::new(sim.clone()),
+            StorageFaults {
+                torn_atomic: 1.0,
+                seed: 3,
+                ..StorageFaults::default()
+            },
+        );
+        let err = faulty
+            .write_atomic("snap", b"full snapshot bytes")
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        let published = sim.read("snap").unwrap();
+        assert!(published.len() < b"full snapshot bytes".len());
+    }
+
+    #[test]
+    fn short_reads_and_flips_are_seeded() {
+        let sim = SimStorage::new();
+        sim.append("f", &[0xAA; 64]).unwrap();
+        let make = |seed| {
+            FaultyStorage::new(
+                Arc::new(sim.clone()),
+                StorageFaults {
+                    short_read: 0.5,
+                    read_flip: 0.5,
+                    seed,
+                    ..StorageFaults::default()
+                },
+            )
+        };
+        let a: Vec<_> = (0..8).map(|_| make(1).read("f").unwrap()).collect();
+        let b: Vec<_> = (0..8).map(|_| make(1).read("f").unwrap()).collect();
+        assert_eq!(a, b, "same seed, same faults");
+        assert!(
+            (0..32).any(|i| make(i).read("f").unwrap() != sim.read("f").unwrap()),
+            "faults must actually fire"
+        );
+    }
+}

@@ -40,7 +40,8 @@
 use crate::error::MarketError;
 use crate::frame::{FrameDecoder, FramedConn, WriteQueue};
 use crate::gate::{
-    denied_error, spends_for_price, AdmissionConfig, AdmissionGate, GateRequest, GateResponse,
+    denied_error, spends_for_price, AdmissionConfig, AdmissionGate, GateCheckpoint, GateRequest,
+    GateResponse,
 };
 use crate::metrics::Party;
 use crate::service::{Inbound, MaRequest, MaResponse, MaService, RequestKey};
@@ -149,25 +150,49 @@ impl TcpFrontDoor {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        // The admission fees need somewhere to accrue: an ordinary
-        // SP-style account owned by the MA itself, registered through
-        // the ordinary path.
-        let revenue_account = match svc.client().try_call(MaRequest::RegisterSpAccount) {
-            Ok(MaResponse::Account(id)) => id,
-            other => {
-                return Err(io::Error::other(format!(
-                    "could not register gate revenue account: {other:?}"
-                )));
+        // Recovery path first: a service recovered from a snapshot
+        // that includes gate state hands it over exactly once, and
+        // the restored gate carries its own revenue account, paid
+        // sessions and admission verdicts — re-registering a fresh
+        // account would strand the accrued fees.
+        let gate = match svc.take_recovered_gate() {
+            Some(blob) => {
+                let mut gate =
+                    AdmissionGate::new(config.admission, crate::bank::AccountId(0), &svc.obs);
+                gate.restore_state(&blob).map_err(|e| {
+                    io::Error::other(format!("recovered gate state does not decode: {e}"))
+                })?;
+                gate
+            }
+            None => {
+                // The admission fees need somewhere to accrue: an
+                // ordinary SP-style account owned by the MA itself,
+                // registered through the ordinary path.
+                let revenue_account = match svc.client().try_call(MaRequest::RegisterSpAccount) {
+                    Ok(MaResponse::Account(id)) => id,
+                    other => {
+                        return Err(io::Error::other(format!(
+                            "could not register gate revenue account: {other:?}"
+                        )));
+                    }
+                };
+                AdmissionGate::new(config.admission, revenue_account, &svc.obs)
             }
         };
 
+        // Checkpoints want the gate's state in the snapshot; the
+        // reactor owns the gate outright, so hand the dispatcher a
+        // polling rendezvous instead of a lock.
+        let gate_hook = Arc::new(GateCheckpoint::new());
+        svc.attach_gate_checkpoint(gate_hook.clone());
+
         let stop = Arc::new(AtomicBool::new(false));
-        let gate = AdmissionGate::new(config.admission, revenue_account, &svc.obs);
         let mut reactor = Reactor {
             listener,
             config,
             inbox: svc.inbox(),
             gate,
+            gate_hook,
             traffic: svc.traffic.clone(),
             conns: HashMap::new(),
             pending: Vec::new(),
@@ -227,6 +252,9 @@ struct Reactor {
     config: TcpConfig,
     inbox: Sender<Inbound>,
     gate: AdmissionGate,
+    /// Checkpoint rendezvous: polled once per tick; when the
+    /// dispatcher requests it, the reactor exports the gate state.
+    gate_hook: Arc<GateCheckpoint>,
     traffic: TrafficLog,
     conns: HashMap<u64, Conn>,
     pending: Vec<Pending>,
@@ -246,6 +274,9 @@ struct Reactor {
 impl Reactor {
     fn run(&mut self) {
         while !self.stop.load(Ordering::SeqCst) {
+            if self.gate_hook.pending() {
+                self.gate_hook.fulfill(self.gate.export_state());
+            }
             let mut progress = false;
             progress |= self.accept_tick();
             progress |= self.read_tick();

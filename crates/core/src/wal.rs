@@ -18,14 +18,23 @@
 //! matching `Commit` marks the request that was in flight when the
 //! shard died: it was never applied (the shard journals, then
 //! executes, then commits), so replay discards it and the client's
-//! retry re-executes it from scratch.
+//! retry re-executes it from scratch. The same rule extends one level
+//! down, to the *bytes*: a partial final frame (a torn tail, the
+//! signature of a crash mid-append) is tolerated and its length
+//! reported, while a checksum mismatch on any *complete* frame is a
+//! hard error — corruption before the tail means the medium lied, and
+//! replaying past it would rebuild a ledger nobody agreed to.
 //!
 //! Shared state (ledger, bulletin, DEC double-spend set, held
 //! payments) lives outside the shards behind `Arc`s and survives a
-//! worker crash on its own; journaling it again here would
-//! double-apply it on replay. The journal therefore records the full
-//! request/response pair (self-describing, useful for audit) but
-//! replays only the per-shard projection.
+//! worker crash on its own; the in-memory journal therefore replays
+//! only the per-shard projection. The **durable** tier
+//! ([`crate::storage`]) reuses these records and this exact framing
+//! for its on-disk segments, where a process restart *does* lose the
+//! shared state — there, replay applies the full recorded effects
+//! (which is why a `Commit` carries the deposit effects explicitly:
+//! re-running ZK verification on recovery is neither possible — the
+//! verdicts depend on bank-private state order — nor meaningful).
 //!
 //! Records are framed as real bytes — the same length-prefixed wire
 //! codec the transport speaks (the repo's `serde` is a marker-only
@@ -55,6 +64,13 @@ pub enum WalRecord {
         key: Option<RequestKey>,
         /// The response that was sent (and cached for retransmits).
         response: MaResponse,
+        /// For a `DepositBatch`: the `(index, value)` pairs of the
+        /// spends that passed verification and were recorded in the
+        /// double-spend set. Cold-start recovery re-inserts exactly
+        /// these — the response alone carries only counts, and
+        /// re-verifying on replay would wrongly admit spends whose
+        /// ZK proofs never passed. Empty for every other request.
+        effects: Vec<(u32, u64)>,
     },
 }
 
@@ -88,10 +104,18 @@ impl WireEncode for WalRecord {
                 put_key(w, key);
                 request.encode(w);
             }
-            WalRecord::Commit { key, response } => {
+            WalRecord::Commit {
+                key,
+                response,
+                effects,
+            } => {
                 w.u8(1);
                 put_key(w, key);
                 response.encode(w);
+                crate::wire::put_list(w, effects, |w, &(idx, value)| {
+                    w.u32(idx);
+                    w.u64(value);
+                });
             }
         }
     }
@@ -107,6 +131,7 @@ impl WireDecode for WalRecord {
             1 => WalRecord::Commit {
                 key: read_key(r)?,
                 response: MaResponse::decode(r)?,
+                effects: crate::wire::read_list(r, |r| Ok((r.u32()?, r.u64()?)))?,
             },
             t => return Err(WireError::BadTag("wal-record", t)),
         })
@@ -122,6 +147,9 @@ pub struct CommittedEntry {
     pub request: MaRequest,
     /// The response it produced.
     pub response: MaResponse,
+    /// Accepted `(index, value)` pairs of a batch deposit (see
+    /// [`WalRecord::Commit::effects`]); empty otherwise.
+    pub effects: Vec<(u32, u64)>,
 }
 
 /// The replayable content of a journal.
@@ -132,15 +160,91 @@ pub struct WalReplay {
     /// `Begin` records with no `Commit` — in flight at the crash,
     /// discarded (the client's retry re-executes them).
     pub discarded: u64,
+    /// Bytes of a partial final frame (a torn tail): the append that
+    /// was in flight when the writer died. Tolerated exactly like an
+    /// orphan `Begin` — never applied, reported so the recovery path
+    /// can log the loss.
+    pub torn_bytes: usize,
+}
+
+/// One frame scan failure, positioned for a precise report: `offset`
+/// is the byte offset of the offending frame inside the scanned
+/// buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameFault {
+    /// Byte offset of the frame that failed.
+    pub offset: usize,
+    /// What was wrong with it.
+    pub error: WireError,
+}
+
+/// The outcome of scanning a frame buffer: the complete, checksummed
+/// frame bodies (with their byte offsets) plus the length of a
+/// tolerated torn tail.
+#[derive(Debug, Default)]
+pub struct FrameScan<'a> {
+    /// `(offset, body)` for every complete frame, in order.
+    pub frames: Vec<(usize, &'a [u8])>,
+    /// Trailing bytes that do not form a complete frame (torn final
+    /// write). 0 when the buffer ends exactly on a frame boundary.
+    pub torn_bytes: usize,
+}
+
+/// Scans a buffer of `[len: u32 BE][body][fnv1a(body): u64 BE]`
+/// frames — the framing shared by the in-memory journal and the
+/// on-disk segment files.
+///
+/// * An **incomplete final frame** (not enough bytes left for the
+///   header, the announced body, or the trailer) is a torn tail:
+///   tolerated, reported via [`FrameScan::torn_bytes`].
+/// * A **checksum mismatch on a complete frame** is corruption in the
+///   middle of the log: refused with the offending offset.
+pub fn scan_frames(buf: &[u8]) -> Result<FrameScan<'_>, FrameFault> {
+    let mut scan = FrameScan::default();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let rest = &buf[pos..];
+        if rest.len() < 4 {
+            scan.torn_bytes = rest.len();
+            break;
+        }
+        let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if rest.len() < 4 + len + 8 {
+            scan.torn_bytes = rest.len();
+            break;
+        }
+        let body = &rest[4..4 + len];
+        let sum = &rest[4 + len..4 + len + 8];
+        if fnv1a(body).to_be_bytes() != sum {
+            return Err(FrameFault {
+                offset: pos,
+                error: WireError::Corrupt,
+            });
+        }
+        scan.frames.push((pos, body));
+        pos += 4 + len + 8;
+    }
+    Ok(scan)
+}
+
+/// Appends one framed, checksummed record to a byte buffer — the
+/// inverse of [`scan_frames`], shared with the durable segment
+/// writer.
+pub fn append_frame(buf: &mut Vec<u8>, body: &[u8]) {
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(body);
+    buf.extend_from_slice(&fnv1a(body).to_be_bytes());
 }
 
 /// An append-only, thread-shared journal of framed [`WalRecord`]s.
 ///
 /// In-memory by design: the journal models durability *across worker
-/// crashes*, not process restarts (there is no disk in the simulated
-/// market). Frames are `[len: u32 BE][record bytes][fnv1a(record): u64
-/// BE]`; [`ShardWal::replay`] verifies every frame's checksum, so a
-/// corrupted journal fails loudly instead of replaying garbage.
+/// crashes*, not process restarts (the durable tier in
+/// [`crate::storage`] covers those). Frames are `[len: u32 BE][record
+/// bytes][fnv1a(record): u64 BE]`; [`ShardWal::replay`] verifies
+/// every frame's checksum, so a corrupted journal fails loudly
+/// instead of replaying garbage — while a torn tail (partial final
+/// frame) is discarded like the orphan `Begin` it is.
 #[derive(Debug, Default)]
 pub struct ShardWal {
     frames: Mutex<Vec<u8>>,
@@ -156,9 +260,7 @@ impl ShardWal {
     pub fn append(&self, record: &WalRecord) {
         let body = record.to_wire_bytes();
         let mut frames = self.frames.lock();
-        frames.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        frames.extend_from_slice(&body);
-        frames.extend_from_slice(&fnv1a(&body).to_be_bytes());
+        append_frame(&mut frames, &body);
     }
 
     /// Total journal size in bytes (frames included).
@@ -166,66 +268,81 @@ impl ShardWal {
         self.frames.lock().len()
     }
 
-    /// Decodes every frame back into records, verifying checksums.
+    /// Decodes every complete frame back into records, verifying
+    /// checksums. A torn tail is skipped (see [`scan_frames`]); a
+    /// mid-journal checksum mismatch is an error.
     pub fn records(&self) -> Result<Vec<WalRecord>, WireError> {
         let frames = self.frames.lock();
-        let mut out = Vec::new();
-        let mut buf = &frames[..];
-        while !buf.is_empty() {
-            if buf.len() < 4 {
-                return Err(WireError::Truncated);
-            }
-            let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
-            if buf.len() < 4 + len + 8 {
-                return Err(WireError::Truncated);
-            }
-            let body = &buf[4..4 + len];
-            let sum = &buf[4 + len..4 + len + 8];
-            if fnv1a(body).to_be_bytes() != sum {
-                return Err(WireError::Corrupt);
-            }
-            out.push(WalRecord::from_wire_bytes(body)?);
-            buf = &buf[4 + len + 8..];
-        }
-        Ok(out)
+        let scan = scan_frames(&frames).map_err(|fault| fault.error)?;
+        scan.frames
+            .iter()
+            .map(|&(_, body)| WalRecord::from_wire_bytes(body))
+            .collect()
     }
 
     /// Pairs every `Begin` with its `Commit` (execution on a shard is
     /// sequential, so records strictly alternate; only a crash tail
     /// can leave a `Begin` unmatched) and returns the committed
-    /// entries in order plus the discarded in-flight count.
+    /// entries in order plus the discarded in-flight count and torn
+    /// tail length.
     pub fn replay(&self) -> Result<WalReplay, WireError> {
-        let mut replay = WalReplay::default();
-        let mut pending: Option<(Option<RequestKey>, MaRequest)> = None;
-        for record in self.records()? {
-            match record {
-                WalRecord::Begin { key, request } => {
-                    if pending.is_some() {
-                        // A Begin over a live Begin means the worker
-                        // died mid-request earlier: the older one was
-                        // never applied.
-                        replay.discarded += 1;
-                    }
-                    pending = Some((key, request));
-                }
-                WalRecord::Commit { key, response } => {
-                    let Some((bkey, request)) = pending.take() else {
-                        return Err(WireError::Malformed("wal commit without begin"));
-                    };
-                    debug_assert_eq!(bkey, key, "commit must answer its begin");
-                    replay.committed.push(CommittedEntry {
-                        key,
-                        request,
-                        response,
-                    });
-                }
-            }
+        let frames = self.frames.lock();
+        let scan = scan_frames(&frames).map_err(|fault| fault.error)?;
+        let mut records = Vec::with_capacity(scan.frames.len());
+        for &(_, body) in &scan.frames {
+            records.push(WalRecord::from_wire_bytes(body)?);
         }
-        if pending.is_some() {
-            replay.discarded += 1;
-        }
+        let mut replay = replay_records(records.into_iter())?;
+        replay.torn_bytes = scan.torn_bytes;
         Ok(replay)
     }
+
+    /// Truncates the journal to its first `len` bytes — test support
+    /// for simulating a writer that died mid-append.
+    pub fn truncate_for_test(&self, len: usize) {
+        self.frames.lock().truncate(len);
+    }
+}
+
+/// Pairs `Begin`/`Commit` records into committed entries — the replay
+/// state machine, shared by the in-memory journal and the durable
+/// log's per-shard recovery.
+pub fn replay_records(records: impl Iterator<Item = WalRecord>) -> Result<WalReplay, WireError> {
+    let mut replay = WalReplay::default();
+    let mut pending: Option<(Option<RequestKey>, MaRequest)> = None;
+    for record in records {
+        match record {
+            WalRecord::Begin { key, request } => {
+                if pending.is_some() {
+                    // A Begin over a live Begin means the worker
+                    // died mid-request earlier: the older one was
+                    // never applied.
+                    replay.discarded += 1;
+                }
+                pending = Some((key, request));
+            }
+            WalRecord::Commit {
+                key,
+                response,
+                effects,
+            } => {
+                let Some((bkey, request)) = pending.take() else {
+                    return Err(WireError::Malformed("wal commit without begin"));
+                };
+                debug_assert_eq!(bkey, key, "commit must answer its begin");
+                replay.committed.push(CommittedEntry {
+                    key,
+                    request,
+                    response,
+                    effects,
+                });
+            }
+        }
+    }
+    if pending.is_some() {
+        replay.discarded += 1;
+    }
+    Ok(replay)
 }
 
 #[cfg(test)]
@@ -251,11 +368,13 @@ mod tests {
             wal.append(&WalRecord::Commit {
                 key: key(i),
                 response: MaResponse::Labor(vec![]),
+                effects: vec![],
             });
         }
         let replay = wal.replay().expect("replay");
         assert_eq!(replay.committed.len(), 4);
         assert_eq!(replay.discarded, 0);
+        assert_eq!(replay.torn_bytes, 0);
         for (i, entry) in replay.committed.iter().enumerate() {
             assert_eq!(entry.key, key(i as u64));
             assert!(matches!(
@@ -275,6 +394,7 @@ mod tests {
         wal.append(&WalRecord::Commit {
             key: key(1),
             response: MaResponse::Account(AccountId(7)),
+            effects: vec![],
         });
         // Crash mid-request: Begin with no Commit.
         wal.append(&WalRecord::Begin {
@@ -289,15 +409,115 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        // Regression: a partial final frame (the writer died
+        // mid-append) used to surface WireError::Truncated and sink
+        // the whole replay. It must behave like an orphan Begin:
+        // everything before it replays, the tail's length is reported.
+        let wal = ShardWal::new();
+        wal.append(&WalRecord::Begin {
+            key: key(1),
+            request: MaRequest::RegisterSpAccount,
+        });
+        wal.append(&WalRecord::Commit {
+            key: key(1),
+            response: MaResponse::Account(AccountId(3)),
+            effects: vec![],
+        });
+        wal.append(&WalRecord::Begin {
+            key: key(2),
+            request: MaRequest::RegisterSpAccount,
+        });
+        let whole = wal.len_bytes();
+        for torn_len in [whole - 1, whole - 9, whole - (whole / 3)] {
+            let torn = ShardWal::new();
+            let bytes = wal.frames.lock().clone();
+            torn.frames.lock().extend_from_slice(&bytes[..torn_len]);
+            let replay = torn.replay().expect("torn tail must not be fatal");
+            assert!(replay.torn_bytes > 0, "tail length must be reported");
+            assert!(
+                replay.committed.len() <= 1,
+                "nothing past the tear may replay"
+            );
+        }
+        // Tearing into the *header* of the final frame (fewer than 4
+        // bytes left) is also just a torn tail.
+        let torn = ShardWal::new();
+        {
+            let bytes = wal.frames.lock().clone();
+            // Keep the two complete frames plus 2 stray bytes.
+            let two_frames = {
+                let frames = scan_frames(&bytes).expect("scan");
+                let (off, body) = frames.frames[1];
+                off + 4 + body.len() + 8
+            };
+            torn.frames
+                .lock()
+                .extend_from_slice(&bytes[..two_frames + 2]);
+        }
+        let replay = torn.replay().expect("2-byte tail tolerated");
+        assert_eq!(replay.committed.len(), 1);
+        assert_eq!(replay.torn_bytes, 2);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_stays_fatal() {
+        // Regression twin of torn_tail_is_discarded_not_fatal: a
+        // checksum mismatch on a frame *before* the end is not a torn
+        // tail — it means the medium corrupted history, and replay
+        // must refuse rather than rebuild a diverged ledger.
+        let wal = ShardWal::new();
+        wal.append(&WalRecord::Begin {
+            key: key(1),
+            request: MaRequest::RegisterSpAccount,
+        });
+        wal.append(&WalRecord::Commit {
+            key: key(1),
+            response: MaResponse::Account(AccountId(3)),
+            effects: vec![],
+        });
+        // Flip a bit inside the *first* record's body.
+        wal.frames.lock()[5] ^= 0x10;
+        assert!(matches!(wal.replay(), Err(WireError::Corrupt)));
+        assert!(matches!(wal.records(), Err(WireError::Corrupt)));
+    }
+
+    #[test]
     fn corrupted_journal_fails_loudly() {
         let wal = ShardWal::new();
         wal.append(&WalRecord::Begin {
             key: None,
             request: MaRequest::RegisterSpAccount,
         });
-        // Flip a byte inside the record body.
+        wal.append(&WalRecord::Commit {
+            key: None,
+            response: MaResponse::Ok,
+            effects: vec![],
+        });
+        // Flip a byte inside the first record body.
         wal.frames.lock()[5] ^= 0x10;
         assert!(matches!(wal.replay(), Err(WireError::Corrupt)));
+    }
+
+    #[test]
+    fn scan_reports_precise_corruption_offset() {
+        let wal = ShardWal::new();
+        wal.append(&WalRecord::Begin {
+            key: key(1),
+            request: MaRequest::RegisterSpAccount,
+        });
+        let first_len = wal.len_bytes();
+        wal.append(&WalRecord::Commit {
+            key: key(1),
+            response: MaResponse::Ok,
+            effects: vec![],
+        });
+        // Corrupt the *second* frame's body.
+        wal.frames.lock()[first_len + 5] ^= 0x01;
+        let frames = wal.frames.lock().clone();
+        let fault = scan_frames(&frames).expect_err("must refuse");
+        assert_eq!(fault.offset, first_len, "offset names the bad frame");
+        assert_eq!(fault.error, WireError::Corrupt);
     }
 
     #[test]
@@ -310,6 +530,7 @@ mod tests {
                 accepted: 2,
                 rejected: 1,
             },
+            effects: vec![(0, 2), (2, 1)],
         };
         wal.append(&rec);
         let back = wal.records().expect("decode");
@@ -322,8 +543,9 @@ mod tests {
                     total: 3,
                     accepted: 2,
                     rejected: 1
-                }
-            } if k.request_id == 9
+                },
+                effects,
+            } if k.request_id == 9 && effects == &vec![(0u32, 2u64), (2, 1)]
         ));
     }
 }

@@ -164,6 +164,49 @@ impl DecBank {
     pub fn deposited_count(&self) -> usize {
         self.spent.len()
     }
+
+    /// Exports the double-spend bookkeeping (spent serials, revealed
+    /// ancestors, per-coin deposit totals) in a canonical sorted
+    /// order — the durable tier checkpoints this alongside the
+    /// ledger. The signing key is *not* part of the export: key
+    /// material is provisioned separately (regenerated from the same
+    /// seed in the simulated market, a sealed key file in a real
+    /// deployment).
+    pub fn export_state(&self) -> DecBankState {
+        let mut spent: Vec<[u8; 32]> = self.spent.iter().copied().collect();
+        spent.sort_unstable();
+        let mut ancestors: Vec<[u8; 32]> = self.ancestors.iter().copied().collect();
+        ancestors.sort_unstable();
+        let mut coin_totals: Vec<([u8; 32], u64)> =
+            self.coin_totals.iter().map(|(k, &v)| (*k, v)).collect();
+        coin_totals.sort_unstable();
+        DecBankState {
+            spent,
+            ancestors,
+            coin_totals,
+        }
+    }
+
+    /// Replaces the double-spend bookkeeping with an exported state —
+    /// the recovery half of [`DecBank::export_state`].
+    pub fn restore_state(&mut self, state: &DecBankState) {
+        self.spent = state.spent.iter().copied().collect();
+        self.ancestors = state.ancestors.iter().copied().collect();
+        self.coin_totals = state.coin_totals.iter().copied().collect();
+    }
+}
+
+/// A point-in-time export of a [`DecBank`]'s double-spend state, in
+/// canonical (sorted) order so two banks with equal state export
+/// equal values — the crash-matrix tests compare these directly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecBankState {
+    /// Hashes of spent serials, sorted.
+    pub spent: Vec<[u8; 32]>,
+    /// Hashes of revealed ancestor keys, sorted.
+    pub ancestors: Vec<[u8; 32]>,
+    /// `(root-tag hash, deposited total)` per coin, sorted.
+    pub coin_totals: Vec<([u8; 32], u64)>,
 }
 
 #[cfg(test)]

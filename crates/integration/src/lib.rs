@@ -31,3 +31,74 @@ pub fn dec_market(seed: u64, levels: usize) -> (DecMarket, StdRng) {
     let market = DecMarket::new(&mut r, params, TEST_RSA_BITS, TEST_PAIRING_BITS);
     (market, r)
 }
+
+/// The seeded fault/crash harness shared by `tests/chaos.rs` and
+/// `tests/recovery.rs`: one market schedule, one fault-plan builder
+/// and one kill grid, so the chaos convergence tests and the durable
+/// crash-matrix tests compare against the *same* fault-free ledger.
+pub mod harness {
+    use ppms_core::sim::{
+        drive_market_keyed, run_service_market, spawn_durable_market, KeyedDrive,
+        ServiceMarketOutcome, TransportKind,
+    };
+    use ppms_core::{DurabilityConfig, FaultPlan, SimNetConfig, SimStorage, SyncPolicy};
+    use std::sync::Arc;
+
+    /// Seed of the shared deterministic market schedule.
+    pub const SEED: u64 = 0xE0;
+    /// Service providers in the schedule.
+    pub const N_SPS: usize = 3;
+    /// Payment each SP receives.
+    pub const W: u64 = 3;
+    /// Keyed requests the full schedule issues for `N_SPS` (2 setup +
+    /// 8 per SP + 1 data fetch + 1 + `N_SPS` balance audits) — kill
+    /// points must stay below this.
+    pub const SCHEDULE_CALLS: u64 = 2 + 8 * N_SPS as u64 + 2 + N_SPS as u64;
+
+    /// The fault-free outcome every faulted run must converge to.
+    pub fn baseline() -> ServiceMarketOutcome {
+        run_service_market(SEED, 1, N_SPS, W, TransportKind::InProc).expect("fault-free baseline")
+    }
+
+    /// A seeded transport-fault schedule.
+    pub fn plan(seed: u64, drop: f64, dup: f64, reorder: f64, corrupt: f64) -> FaultPlan {
+        FaultPlan {
+            net: SimNetConfig {
+                latency_micros: 0,
+                jitter_micros: 0,
+                drop_rate: drop,
+                seed,
+            },
+            duplicate_rate: dup,
+            reorder_rate: reorder,
+            corrupt_rate: corrupt,
+        }
+    }
+
+    /// Kill points of the crash matrix: the schedule is cut after
+    /// this many calls (early setup, mid-market, near the audit).
+    pub const KILL_POINTS: [u64; 3] = [3, 11, 23];
+
+    /// fsync disciplines of the crash matrix: every append durable
+    /// before its ack, and a group-commit window where acknowledged
+    /// work may die with the crash and must be re-driven.
+    pub const SYNC_POLICIES: [SyncPolicy; 2] = [SyncPolicy::Always, SyncPolicy::Batch { every: 4 }];
+
+    /// Shard counts of the crash matrix.
+    pub const MATRIX_SHARDS: [usize; 2] = [1, 4];
+
+    /// The fault-free outcome of the *keyed durable* drive — what
+    /// every crash-matrix cell must recover to. Identical to
+    /// [`baseline`] (asserted by `recovery.rs`), computed through the
+    /// durable path so the comparison stays apples-to-apples.
+    pub fn durable_baseline() -> ServiceMarketOutcome {
+        let durability = DurabilityConfig::new(Arc::new(SimStorage::new()));
+        let svc = spawn_durable_market(SEED, 1, durability).expect("durable spawn");
+        let drive = drive_market_keyed(&svc, SEED, N_SPS, W, u64::MAX).expect("fault-free drive");
+        let KeyedDrive::Complete(mut outcome) = drive else {
+            panic!("unlimited budget cannot pause");
+        };
+        outcome.undelivered_payments = svc.shutdown();
+        *outcome
+    }
+}

@@ -44,6 +44,18 @@ echo "==> chaos harness (fault injection + shard-crash supervision)"
 cargo test -p ppms-integration --test chaos -q
 cargo test -p ppms-core --lib -q service::tests::crashed_shard_is_respawned_and_retry_succeeds
 
+echo "==> durable storage tier (crash matrix, compaction bound, disk-backed restart)"
+# Both feature configs: the WAL leans on obs counters/gauges for its
+# instruments, so the no-op build must drive the same recovery paths.
+# The disk-backed smoke inside the suite is tempdir-hermetic (it
+# creates and removes its own directory under the system tempdir).
+cargo test -p ppms-integration --test recovery -q
+cargo test -p ppms-integration --features no-op --test recovery -q
+
+echo "==> recovery bench smoke (replay-length + fsync-discipline gates)"
+cargo bench -p ppms-bench --bench recovery -- --test >/dev/null
+cargo bench -p ppms-bench --features no-op --bench recovery -- --test >/dev/null
+
 echo "==> trace context + flight recorder (crash dump carries the trace)"
 trace_out=$(cargo test -p ppms-integration --test trace_context -- --nocapture 2>&1) || {
     echo "$trace_out"

@@ -6,34 +6,13 @@
 //! not merely "no error".
 
 use ppms_core::service::{MaRequest, MaResponse, MaService, ServiceConfig};
-use ppms_core::sim::{run_service_market, run_service_market_chaos, TransportKind};
-use ppms_core::{next_request_id, CrashPoint, FaultPlan, SimNetConfig};
+use ppms_core::sim::run_service_market_chaos;
+use ppms_core::{next_request_id, CrashPoint};
 use ppms_crypto::cl::ClKeyPair;
 use ppms_ecash::{Coin, DecParams, NodePath};
+use ppms_integration::harness::{baseline, plan, N_SPS, SEED, W};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-const SEED: u64 = 0xE0;
-const N_SPS: usize = 3;
-const W: u64 = 3;
-
-fn baseline() -> ppms_core::sim::ServiceMarketOutcome {
-    run_service_market(SEED, 1, N_SPS, W, TransportKind::InProc).expect("fault-free baseline")
-}
-
-fn plan(seed: u64, drop: f64, dup: f64, reorder: f64, corrupt: f64) -> FaultPlan {
-    FaultPlan {
-        net: SimNetConfig {
-            latency_micros: 0,
-            jitter_micros: 0,
-            drop_rate: drop,
-            seed,
-        },
-        duplicate_rate: dup,
-        reorder_rate: reorder,
-        corrupt_rate: corrupt,
-    }
-}
 
 #[test]
 fn chaos_grid_converges_to_fault_free_ledger() {

@@ -1,0 +1,370 @@
+//! The durable tier's crash matrix: a keyed deterministic market
+//! schedule is killed at seeded points under every fsync discipline
+//! and shard count, the process restarts cold from whatever the
+//! medium kept (durable prefix + seeded torn tail), and the re-driven
+//! schedule must converge on the exact fault-free ledger. Alongside
+//! the matrix: byte-identical quiescent recovery, the compaction
+//! bound on replay length, refusal of mid-log corruption, fallback
+//! past a torn checkpoint publication, fsync lies, and a disk-backed
+//! restart through the TCP front door.
+
+use ppms_core::service::{MaClient, MaRequest, MaResponse};
+use ppms_core::sim::{
+    drive_market_keyed, mint_admission_spends, recover_durable_market, spawn_durable_market,
+    KeyedDrive,
+};
+use ppms_core::{
+    DiskStorage, DurabilityConfig, FaultyStorage, Party, SimStorage, Storage, StorageError,
+    StorageFaults, SyncPolicy, TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport, Transport,
+};
+use ppms_integration::harness as h;
+use std::sync::Arc;
+
+/// A durability config over `storage` with the crash-matrix sizing:
+/// small segments (so compaction has something to drop) and
+/// auto-checkpoints (so the matrix exercises snapshot + tail
+/// recovery, not just log replay).
+fn matrix_durability(storage: Arc<dyn Storage>, sync: SyncPolicy) -> DurabilityConfig {
+    let mut dur = DurabilityConfig::new(storage);
+    dur.sync = sync;
+    dur.segment_bytes = 4096;
+    dur.checkpoint_every = 16;
+    dur
+}
+
+/// Runs the full schedule on `svc` and seals the outcome with the
+/// shutdown drain.
+fn complete(svc: ppms_core::MaService) -> ppms_core::sim::ServiceMarketOutcome {
+    let drive = drive_market_keyed(&svc, h::SEED, h::N_SPS, h::W, u64::MAX).expect("full drive");
+    let KeyedDrive::Complete(mut outcome) = drive else {
+        panic!("unlimited budget cannot pause");
+    };
+    outcome.undelivered_payments = svc.shutdown();
+    *outcome
+}
+
+/// Drives `svc` for exactly `calls` keyed requests and asserts the
+/// schedule paused there.
+fn drive_to(svc: &ppms_core::MaService, calls: u64) {
+    match drive_market_keyed(svc, h::SEED, h::N_SPS, h::W, calls).expect("budgeted drive") {
+        KeyedDrive::Paused { calls: got } => assert_eq!(got, calls),
+        KeyedDrive::Complete(_) => panic!("kill point {calls} lies past the schedule"),
+    }
+}
+
+#[test]
+fn durable_fault_free_drive_matches_in_proc_baseline() {
+    // The keyed durable schedule and the plain in-proc drive are two
+    // spellings of the same market: their audited outcomes must be
+    // equal, so the crash matrix genuinely converges to the ledger
+    // every other harness (chaos grid, transport equivalence)
+    // converges to.
+    assert_eq!(h::durable_baseline(), h::baseline());
+}
+
+/// One crash-matrix half (split by fsync policy so the two run as
+/// parallel tests): for every kill point and shard count, kill the
+/// first instance mid-schedule, recover from the crash image, re-run
+/// the whole keyed schedule and compare the audited ledger to the
+/// fault-free outcome.
+fn run_matrix(sync: SyncPolicy) {
+    let expected = h::durable_baseline();
+    for &shards in &h::MATRIX_SHARDS {
+        for &kill_at in &h::KILL_POINTS {
+            assert!(kill_at < h::SCHEDULE_CALLS);
+            let storage = SimStorage::new();
+            let dur = matrix_durability(Arc::new(storage.clone()), sync);
+            let svc = spawn_durable_market(h::SEED, shards, dur.clone()).unwrap_or_else(|e| {
+                panic!("cell shards={shards} sync={sync} kill={kill_at}: spawn: {e}")
+            });
+            drive_to(&svc, kill_at);
+            // The kill: the process vanishes; the medium keeps each
+            // file's durable prefix plus a seeded torn tail of
+            // whatever was never fsynced.
+            let image = storage.crash_image(0xC4A5 ^ (kill_at << 8) ^ shards as u64);
+            svc.shutdown();
+
+            let mut recov = dur;
+            recov.storage = Arc::new(image);
+            let (svc, report) =
+                recover_durable_market(h::SEED, shards, recov).unwrap_or_else(|e| {
+                    panic!("cell shards={shards} sync={sync} kill={kill_at}: recovery: {e}")
+                });
+            if report.snapshot_lsn > 0 {
+                // The compaction bound: replay reads the post-snapshot
+                // tail, never the whole history (2 records per call).
+                assert!(
+                    (report.replayed_records as u64) < 2 * kill_at,
+                    "cell shards={shards} sync={sync} kill={kill_at}: \
+                     replayed {} of {} records despite a snapshot",
+                    report.replayed_records,
+                    2 * kill_at
+                );
+            }
+            assert_eq!(
+                complete(svc),
+                expected,
+                "cell shards={shards} sync={sync} kill={kill_at} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_matrix_fsync_always_converges() {
+    run_matrix(SyncPolicy::Always);
+}
+
+#[test]
+fn crash_matrix_group_commit_converges() {
+    // Under group commit, acknowledged requests inside the fsync
+    // window die with the crash; the re-driven schedule re-executes
+    // them, which is exactly the policy's documented contract.
+    run_matrix(SyncPolicy::Batch { every: 4 });
+}
+
+#[test]
+fn cold_recovery_is_byte_identical_at_quiescence() {
+    // With fsync-always and a quiescent shutdown point, recovery is
+    // not merely convergent: the ledger and bulletin are *equal* as
+    // data structures before a single new request runs.
+    let storage = SimStorage::new();
+    let dur = DurabilityConfig::new(Arc::new(storage.clone()));
+    let svc = spawn_durable_market(h::SEED, 2, dur).expect("durable spawn");
+    let drive = drive_market_keyed(&svc, h::SEED, h::N_SPS, h::W, u64::MAX).expect("full drive");
+    let KeyedDrive::Complete(mut outcome) = drive else {
+        panic!("unlimited budget cannot pause");
+    };
+    let bank_before = svc.bank.snapshot();
+    let jobs_before = svc.bulletin.list();
+    let image = storage.crash_image(0xB17E);
+    outcome.undelivered_payments = svc.shutdown();
+
+    let (svc, report) = recover_durable_market(h::SEED, 2, DurabilityConfig::new(Arc::new(image)))
+        .expect("recovery");
+    assert_eq!(svc.bank.snapshot(), bank_before, "ledger must be identical");
+    assert_eq!(
+        svc.bulletin.list(),
+        jobs_before,
+        "bulletin must be identical"
+    );
+    assert_eq!(report.discarded_inflight, 0, "quiescent log has no orphans");
+    // Re-driving the whole schedule answers every step from the
+    // recovered dedup cache — same outcome, nothing re-executed.
+    let faults = svc.faults.clone();
+    assert_eq!(complete(svc), *outcome);
+    assert_eq!(
+        faults.dedup_replays(),
+        h::SCHEDULE_CALLS,
+        "every re-driven call must replay from the recovered cache"
+    );
+}
+
+#[test]
+fn checkpoint_compaction_bounds_recovery_replay() {
+    let storage = SimStorage::new();
+    let mut dur = DurabilityConfig::new(Arc::new(storage.clone()));
+    dur.segment_bytes = 1024;
+    let svc = spawn_durable_market(h::SEED, 2, dur.clone()).expect("durable spawn");
+    drive_to(&svc, 11);
+    let covered = svc.checkpoint().expect("checkpoint");
+    assert_eq!(covered, 22, "every request journals Begin + Commit");
+    // Compaction dropped every segment wholly below the snapshot: the
+    // oldest remaining segment no longer starts at LSN 0.
+    let mut segments: Vec<String> = storage
+        .list()
+        .expect("list")
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .collect();
+    segments.sort();
+    let first_start =
+        u64::from_str_radix(&segments[0][4..20], 16).expect("segment name carries its start LSN");
+    assert!(first_start > 0, "compaction kept the genesis segment");
+
+    // Six more calls past the checkpoint, then the crash.
+    drive_to(&svc, 17);
+    let image = storage.crash_image(0x10AF);
+    svc.shutdown();
+    let mut recov = dur;
+    recov.storage = Arc::new(image);
+    let (svc, report) = recover_durable_market(h::SEED, 2, recov).expect("recovery");
+    assert_eq!(report.snapshot_lsn, covered);
+    assert_eq!(
+        report.replayed_records, 12,
+        "replay must read exactly the post-snapshot tail"
+    );
+    assert_eq!(complete(svc), h::durable_baseline());
+}
+
+#[test]
+fn mid_log_corruption_is_refused_with_precise_error() {
+    let storage = SimStorage::new();
+    let mut dur = DurabilityConfig::new(Arc::new(storage.clone()));
+    dur.segment_bytes = 2048;
+    let svc = spawn_durable_market(h::SEED, 1, dur.clone()).expect("durable spawn");
+    drive_to(&svc, 11);
+    svc.shutdown();
+
+    let mut segments: Vec<String> = storage
+        .list()
+        .expect("list")
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 2, "the log must span several segments");
+    // Bit rot inside the first frame's body of the *first* segment —
+    // history before the tail, where tearing is never legitimate.
+    storage.flip_bit(&segments[0], 24, 0x04);
+    match recover_durable_market(h::SEED, 1, dur) {
+        Err(StorageError::Corrupt { file, offset, .. }) => {
+            assert_eq!(file, segments[0], "the error must name the rotten file");
+            assert!(
+                offset < storage.len(&segments[0]),
+                "the error must locate the frame inside the file"
+            );
+        }
+        Err(other) => panic!("expected Corrupt, got {other}"),
+        Ok(_) => panic!("recovery must refuse to rebuild from corrupted history"),
+    }
+}
+
+#[test]
+fn torn_checkpoint_falls_back_to_previous_snapshot() {
+    let storage = SimStorage::new();
+    let dur = DurabilityConfig::new(Arc::new(storage.clone()));
+    let svc = spawn_durable_market(h::SEED, 2, dur.clone()).expect("durable spawn");
+    drive_to(&svc, 11);
+    let covered = svc.checkpoint().expect("checkpoint");
+    drive_to(&svc, 17);
+    svc.shutdown();
+    // A later checkpoint whose publication died mid-write: the file
+    // exists under the next covered LSN but holds a truncated
+    // non-frame. Recovery must skip it and restart from the previous
+    // generation (which compaction never outran — segments are only
+    // dropped after a *successful* save).
+    let torn_covered = covered + 12;
+    storage
+        .write_atomic(
+            &format!("snap-{torn_covered:016x}.snap"),
+            b"torn checkpoint publication",
+        )
+        .expect("forge torn snapshot");
+
+    let (svc, report) = recover_durable_market(h::SEED, 2, dur).expect("recovery");
+    assert_eq!(
+        report.snapshots_skipped, 1,
+        "the torn generation is skipped"
+    );
+    assert_eq!(
+        report.snapshot.as_deref(),
+        Some(format!("snap-{covered:016x}.snap").as_str()),
+        "recovery restarts from the previous snapshot"
+    );
+    assert_eq!(report.snapshot_lsn, covered);
+    assert_eq!(
+        report.replayed_records, 12,
+        "the fallback replays the tail the torn snapshot would have covered"
+    );
+    assert_eq!(complete(svc), h::durable_baseline());
+}
+
+#[test]
+fn fsync_lies_lose_acknowledged_state_but_recovery_converges() {
+    // A lying medium (drive write-cache, dishonest hypervisor):
+    // `sync` returns Ok without persisting. Acknowledged requests die
+    // with the crash even under fsync-always — and the re-driven
+    // schedule must still converge, exactly like the group-commit
+    // window.
+    let sim = SimStorage::new();
+    let faulty = FaultyStorage::new(
+        Arc::new(sim.clone()),
+        StorageFaults {
+            sync_lie: 0.5,
+            seed: 0x11E5,
+            ..StorageFaults::default()
+        },
+    );
+    let mut dur = DurabilityConfig::new(Arc::new(faulty));
+    // One segment for the whole run: a lied-away tail then lands at
+    // the *end* of the log (tolerated torn tail), not in the middle
+    // of history (refused).
+    dur.segment_bytes = 1 << 20;
+    let svc = spawn_durable_market(h::SEED, 2, dur).expect("durable spawn");
+    drive_to(&svc, 17);
+    let live: usize = sim
+        .list()
+        .expect("list")
+        .iter()
+        .filter(|n| n.starts_with("wal-"))
+        .map(|n| sim.len(n))
+        .sum();
+    let image = sim.crash_image(0x0F5C);
+    let kept: usize = image
+        .list()
+        .expect("list")
+        .iter()
+        .filter(|n| n.starts_with("wal-"))
+        .map(|n| image.len(n))
+        .sum();
+    svc.shutdown();
+    assert!(
+        kept < live,
+        "the fsync lies must actually have lost acknowledged bytes"
+    );
+
+    let (svc, _report) = recover_durable_market(h::SEED, 2, DurabilityConfig::new(Arc::new(image)))
+        .expect("recovery");
+    assert_eq!(complete(svc), h::durable_baseline());
+}
+
+#[test]
+fn disk_backed_front_door_survives_restart() {
+    // The production path end to end: a DiskStorage-backed service
+    // behind the TCP front door, a paying client, a checkpoint that
+    // captures the admission gate's state through the reactor
+    // rendezvous, a restart, and a second front door serving the
+    // recovered market. Hermetic: everything lives under a scratch
+    // dir in std::env::temp_dir(), removed at the end.
+    let dir = std::env::temp_dir().join(format!("ppms-recovery-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let seed = 0xD15C;
+    let account = {
+        let disk = DiskStorage::open(&dir).expect("open scratch storage");
+        let svc = spawn_durable_market(seed, 2, DurabilityConfig::new(Arc::new(disk)))
+            .expect("durable spawn");
+        let mut door =
+            TcpFrontDoor::spawn(&svc, "127.0.0.1:0", TcpConfig::default()).expect("front door");
+        let transport = Arc::new(TcpTransport::new(TcpClientConfig::new(door.addr())));
+        transport.load_wallet(mint_admission_spends(&svc, seed, 8).expect("wallet"));
+        let client = MaClient::new(transport as Arc<dyn Transport>, Party::Sp);
+        let MaResponse::Account(account) = client.call(MaRequest::RegisterSpAccount) else {
+            panic!("registration through the admitted connection");
+        };
+        let covered = svc.checkpoint().expect("checkpoint with a live gate");
+        assert!(covered > 0);
+        door.shutdown();
+        svc.shutdown();
+        account
+    };
+
+    let disk = DiskStorage::open(&dir).expect("reopen scratch storage");
+    let (svc, report) = recover_durable_market(seed, 2, DurabilityConfig::new(Arc::new(disk)))
+        .expect("disk-backed recovery");
+    assert!(report.snapshot.is_some(), "the checkpoint must be found");
+    let mut door =
+        TcpFrontDoor::spawn(&svc, "127.0.0.1:0", TcpConfig::default()).expect("recovered door");
+    let transport = Arc::new(TcpTransport::new(TcpClientConfig::new(door.addr())));
+    transport.load_wallet(mint_admission_spends(&svc, seed ^ 1, 8).expect("fresh wallet"));
+    let client = MaClient::new(transport as Arc<dyn Transport>, Party::Sp);
+    // The account registered before the restart is still on the
+    // ledger, served through a freshly admitted connection.
+    let MaResponse::Balance(balance) = client.call(MaRequest::Balance { account }) else {
+        panic!("pre-restart account must survive the restart");
+    };
+    assert_eq!(balance, 0);
+    door.shutdown();
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+}

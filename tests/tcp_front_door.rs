@@ -188,6 +188,67 @@ fn admission_is_paid_and_double_spent_coins_are_refused() {
 }
 
 #[test]
+fn exhausted_token_is_refused_and_the_client_repays() {
+    // The full admission-token lifecycle: one paid token buys exactly
+    // N requests; the N+1st is refused at the gate (re-challenged,
+    // never reaching a shard with the dead token) and the client
+    // transport automatically re-pays from its wallet — visible as a
+    // second admission, a second fee spent, and uninterrupted service
+    // at the request level.
+    let svc = spawn_service(0xD00D, 2, 64);
+    let per_token = 3u64;
+    let config = TcpConfig {
+        admission: AdmissionConfig {
+            price: 1,
+            requests_per_token: per_token,
+            ..AdmissionConfig::default()
+        },
+        ..TcpConfig::default()
+    };
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", config).expect("front door");
+
+    let transport = Arc::new(TcpTransport::new(TcpClientConfig::new(door.addr())));
+    transport.load_wallet(mint_admission_spends(&svc, 0xFED5, 4).expect("wallet"));
+    let client = MaClient::new(
+        transport.clone() as Arc<dyn ppms_core::Transport>,
+        Party::Sp,
+    );
+
+    // N requests ride the first token; the N+1st exhausts it and
+    // forces the re-admission. All succeed from the caller's seat.
+    let account = match client.try_call(MaRequest::RegisterSpAccount) {
+        Ok(MaResponse::Account(a)) => a,
+        other => panic!("first paid request, got {other:?}"),
+    };
+    for i in 1..=per_token {
+        match client.try_call(MaRequest::Balance { account }) {
+            Ok(MaResponse::Balance(0)) => {}
+            other => panic!("request {i} after admission, got {other:?}"),
+        }
+    }
+
+    assert_eq!(
+        transport.wallet_len(),
+        2,
+        "two admissions at price 1 cost exactly two wallet spends"
+    );
+    let snap = door.obs_snapshot();
+    assert_eq!(
+        snap.counter("gate.admitted"),
+        2,
+        "token exhaustion must have minted a second session"
+    );
+    assert!(
+        snap.counter("gate.challenges") >= 2,
+        "the N+1st request must have been re-challenged"
+    );
+    assert_eq!(snap.counter("gate.denied"), 0, "no coin was refused");
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
 fn slow_clients_are_evicted_with_bounded_buffers() {
     let svc = spawn_service(0xD003, 2, 64);
     let config = TcpConfig {

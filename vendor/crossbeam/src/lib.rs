@@ -42,6 +42,26 @@ pub mod channel {
         }
     }
 
+    /// Why a bounded-wait receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// No message waiting and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Why a non-blocking receive returned nothing.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -154,6 +174,19 @@ pub mod channel {
                 .unwrap_or_else(|e| e.into_inner())
                 .recv()
                 .map_err(|_| RecvError)
+        }
+
+        /// Bounded-wait receive. Note the shared-receiver lock is held
+        /// for the wait, like `recv` — consumers serialize.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
         }
 
         /// Non-blocking receive.
