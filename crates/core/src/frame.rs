@@ -24,7 +24,7 @@
 
 use crate::error::MarketError;
 use crate::stream::ByteStream;
-use crate::wire::{FRAME_TRAILER_LEN, WIRE_VERSION, WIRE_VERSION_V2};
+use crate::wire::{FRAME_TRAILER_LEN, WIRE_VERSION, WIRE_VERSION_V2, WIRE_VERSION_V3};
 use crate::WireError;
 use std::collections::VecDeque;
 use std::io;
@@ -92,7 +92,7 @@ impl FrameDecoder {
         }
         let p = &self.buf[self.start..];
         let version = u16::from_be_bytes([p[0], p[1]]);
-        if version != WIRE_VERSION && version != WIRE_VERSION_V2 {
+        if version != WIRE_VERSION && version != WIRE_VERSION_V3 && version != WIRE_VERSION_V2 {
             return Err(WireError::BadVersion(version));
         }
         let body_len = u32::from_be_bytes([p[2], p[3], p[4], p[5]]) as usize;
@@ -306,6 +306,8 @@ mod tests {
             msg_id,
             correlation_id: 0,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: crate::metrics::Party::Sp,
             payload: MaRequest::FetchPayment {
                 sp_pubkey: fill.to_vec(),
@@ -380,6 +382,8 @@ mod tests {
             msg_id: 3,
             correlation_id: 0,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: crate::metrics::Party::Jo,
             payload: MaRequest::FetchData { job_id: 9 },
         };

@@ -69,6 +69,29 @@ pub enum GateRequest {
         /// The market request itself.
         request: MaRequest,
     },
+    /// A read-only operational query, answered by the reactor itself
+    /// — admission-exempt (monitoring must work when the paywall or
+    /// the wallet is broken) but rate-limited, and it never reaches a
+    /// shard.
+    Ops(OpsRequest),
+}
+
+/// The operational queries the front door answers in-reactor. All
+/// read-only; all served from the reactor's own state plus metric
+/// snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpsRequest {
+    /// Liveness/readiness probe: a small JSON body with connection and
+    /// in-flight gauges plus uptime.
+    Health,
+    /// The merged metrics snapshot (service registry + process-global
+    /// registry) as JSON.
+    MetricsJson,
+    /// The same snapshot in Prometheus text exposition format.
+    MetricsText,
+    /// The slow-request log: JSON array of requests that exceeded the
+    /// configured latency threshold, each with its span tree.
+    SlowLog,
 }
 
 /// The front door's answers.
@@ -98,6 +121,12 @@ pub enum GateResponse {
     /// Load shed: the server refused the message *before* the service
     /// pipeline. Retryable.
     Busy,
+    /// The answer to a [`GateRequest::Ops`] query: a self-describing
+    /// JSON or Prometheus-text body.
+    Ops {
+        /// The rendered body.
+        body: String,
+    },
 }
 
 impl WireEncode for GateRequest {
@@ -112,6 +141,15 @@ impl WireEncode for GateRequest {
                 w.u8(2);
                 w.u64(*token);
                 request.encode(w);
+            }
+            GateRequest::Ops(op) => {
+                w.u8(3);
+                w.u8(match op {
+                    OpsRequest::Health => 0,
+                    OpsRequest::MetricsJson => 1,
+                    OpsRequest::MetricsText => 2,
+                    OpsRequest::SlowLog => 3,
+                });
             }
         }
     }
@@ -128,6 +166,13 @@ impl WireDecode for GateRequest {
                 token: r.u64()?,
                 request: MaRequest::decode(r)?,
             },
+            3 => GateRequest::Ops(match r.u8()? {
+                0 => OpsRequest::Health,
+                1 => OpsRequest::MetricsJson,
+                2 => OpsRequest::MetricsText,
+                3 => OpsRequest::SlowLog,
+                t => return Err(WireError::BadTag("ops-request", t)),
+            }),
             t => return Err(WireError::BadTag("gate-request", t)),
         })
     }
@@ -158,6 +203,10 @@ impl WireEncode for GateResponse {
                 resp.encode(w);
             }
             GateResponse::Busy => w.u8(4),
+            GateResponse::Ops { body } => {
+                w.u8(5);
+                w.str(body);
+            }
         }
     }
 }
@@ -176,6 +225,7 @@ impl WireDecode for GateResponse {
             2 => GateResponse::Denied { reason: r.str()? },
             3 => GateResponse::App(MaResponse::decode(r)?),
             4 => GateResponse::Busy,
+            5 => GateResponse::Ops { body: r.str()? },
             t => return Err(WireError::BadTag("gate-response", t)),
         })
     }
@@ -552,11 +602,17 @@ mod tests {
                 token: 77,
                 request: MaRequest::FetchData { job_id: 3 },
             },
+            GateRequest::Ops(OpsRequest::Health),
+            GateRequest::Ops(OpsRequest::MetricsJson),
+            GateRequest::Ops(OpsRequest::MetricsText),
+            GateRequest::Ops(OpsRequest::SlowLog),
         ] {
             let env = Envelope {
                 msg_id: 9,
                 correlation_id: 0,
                 trace_id: 5,
+                span_id: 0,
+                parent_id: 0,
                 party: Party::Sp,
                 payload: req.clone(),
             };
@@ -578,11 +634,16 @@ mod tests {
             GateResponse::App(MaResponse::Balance(7)),
             GateResponse::App(MaResponse::Busy),
             GateResponse::Busy,
+            GateResponse::Ops {
+                body: "{\"status\":\"ok\"}".into(),
+            },
         ] {
             let env = Envelope {
                 msg_id: 1,
                 correlation_id: 9,
                 trace_id: 5,
+                span_id: 0,
+                parent_id: 0,
                 party: Party::Ma,
                 payload: resp.clone(),
             };

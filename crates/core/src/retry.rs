@@ -35,7 +35,7 @@ use crate::metrics::{FaultMetrics, Party};
 use crate::service::{MaRequest, MaResponse};
 use crate::transport::{next_trace_id, Transport};
 use parking_lot::Mutex;
-use ppms_obs::{Counter, Gauge, Histogram};
+use ppms_obs::{Counter, Gauge, Histogram, Span, SpanContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -241,19 +241,34 @@ impl Transport for RetryingTransport {
         trace_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        self.round_trip_spanned(from, request_id, SpanContext::from_trace(trace_id), request)
+    }
+
+    fn round_trip_spanned(
+        &self,
+        from: Party,
+        request_id: u64,
+        ctx: SpanContext,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         self.metrics.call();
         self.admit()?;
         let started = Instant::now();
         let mut attempt = 1u32;
         loop {
-            // Every attempt reuses `request_id` *and* `trace_id`: the
-            // service sees a retransmit, not a new request, and the
-            // whole logical operation stays on one trace.
+            // Every attempt reuses `request_id` and the *trace* id:
+            // the service sees a retransmit, not a new request, and
+            // the whole logical operation stays on one trace. Each
+            // attempt gets its own child span, so an exported trace
+            // shows every retransmit as a sibling under the caller.
             self.attempts.inc();
-            match self
-                .inner
-                .round_trip_traced(from, request_id, trace_id, request.clone())
-            {
+            let attempt_span = Span::child("retry.attempt", ctx);
+            match self.inner.round_trip_spanned(
+                from,
+                request_id,
+                attempt_span.ctx(),
+                request.clone(),
+            ) {
                 Ok(response) => {
                     self.settle(true);
                     return Ok(response);

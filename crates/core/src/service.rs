@@ -60,7 +60,7 @@ use ppms_bigint::BigUint;
 use ppms_crypto::cl::{ClPublicKey, ClSignature};
 use ppms_crypto::pairing::TypeAPairing;
 use ppms_ecash::{DecBank, DecError, DecParams, Spend};
-use ppms_obs::{FlightRecorder, Registry, Snapshot, Timed, TimedOwned};
+use ppms_obs::{FlightRecorder, Registry, Snapshot, Span, SpanContext, Timed, TimedOwned};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -218,11 +218,13 @@ pub struct RequestKey {
 pub struct Inbound {
     /// Idempotency key; `None` only for hand-built internal sends.
     pub key: Option<RequestKey>,
-    /// Trace id minted by the originating client (0 = untraced).
-    /// Unlike the idempotency key it is preserved verbatim across
-    /// retransmits, so one logical operation keeps one id through
-    /// retries and shard hops.
-    pub trace_id: u64,
+    /// Span context minted by the originating client
+    /// ([`ppms_obs::SpanContext::NONE`] = untraced). The trace id is
+    /// preserved verbatim across retransmits — one logical operation
+    /// keeps one id through retries and shard hops — while the
+    /// span/parent ids identify the *specific attempt* that delivered
+    /// this copy, so an exported trace shows which retransmit won.
+    pub span: SpanContext,
     /// The request.
     pub request: MaRequest,
     /// Where the handling shard sends the response.
@@ -358,6 +360,20 @@ impl MaClient {
     ) -> Result<MaResponse, MarketError> {
         self.transport
             .round_trip_traced(self.party, request_id, trace_id, request)
+    }
+
+    /// Sends a request under a full causal span context: the serving
+    /// side parents its own spans (reactor read, shard handle, WAL
+    /// append) under `ctx`, so an exported trace shows the request's
+    /// complete tree across process boundaries.
+    pub fn try_call_spanned(
+        &self,
+        request_id: u64,
+        ctx: SpanContext,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        self.transport
+            .round_trip_spanned(self.party, request_id, ctx, request)
     }
 }
 
@@ -704,7 +720,7 @@ enum ShardJournal {
 }
 
 impl ShardJournal {
-    fn append(&self, record: &WalRecord) {
+    fn append(&self, record: &WalRecord, ctx: SpanContext) {
         match self {
             ShardJournal::Memory(wal) => wal.append(record),
             ShardJournal::Durable { shard, log } => {
@@ -713,7 +729,7 @@ impl ShardJournal {
                 // mode for a write-ahead log, so fail the worker (the
                 // supervisor respawns it, and if storage stays dead
                 // the respawn loop surfaces the error to callers).
-                log.append(*shard, record)
+                log.append_spanned(*shard, record, ctx)
                     .expect("durable journal append failed");
             }
         }
@@ -841,6 +857,13 @@ impl ShardWorker {
             if let Some(k) = entry.key {
                 dedup.insert(k, entry.response.clone());
             }
+            // Re-attribute each replayed entry to the trace of the
+            // client operation that originally caused it: a crash dump
+            // taken after recovery shows *whose* requests were redone,
+            // not an anonymous wall of trace 0.
+            self.recorder.record(entry.span.trace_id, "replayed", || {
+                format!("key={:?}", entry.key)
+            });
         }
         let mut begins = replay.committed.len() as u64 + replay.discarded;
         self.recorder.record(0, "replay", || {
@@ -854,7 +877,7 @@ impl ShardWorker {
         loop {
             let Inbound {
                 key,
-                trace_id,
+                span,
                 request,
                 reply,
             } = match srx.recv() {
@@ -869,6 +892,7 @@ impl ShardWorker {
                 Err(_) => return,
             };
             self.queue_depth.sub(1);
+            let trace_id = span.trace_id;
             let label = request_label(&request);
             self.recorder
                 .record(trace_id, "recv", || format!("{label} key={key:?}"));
@@ -886,14 +910,23 @@ impl ShardWorker {
             }
             dedup_misses.inc();
             // Service latency from here: WAL Begin + execute + Commit.
+            // The causal span covers the same window, parented under
+            // whatever delivered the request (a transport attempt or a
+            // reactor read), so exported traces show shard residency.
+            let handle_span = Span::child("shard.handle", span);
             let op_span = TimedOwned::new(self.obs.histogram(&format!("ma.op.{label}_ns")));
 
             {
                 let _span = Timed::new(&wal_append_ns);
-                self.journal.append(&WalRecord::Begin {
-                    key,
-                    request: request.clone(),
-                });
+                let wal_span = Span::child("wal.append", handle_span.ctx());
+                self.journal.append(
+                    &WalRecord::Begin {
+                        key,
+                        span,
+                        request: request.clone(),
+                    },
+                    wal_span.ctx(),
+                );
             }
             begins += 1;
             if let Some((at, fired)) = &self.crash {
@@ -938,11 +971,15 @@ impl ShardWorker {
 
             {
                 let _span = Timed::new(&wal_append_ns);
-                self.journal.append(&WalRecord::Commit {
-                    key,
-                    response: response.clone(),
-                    effects,
-                });
+                let wal_span = Span::child("wal.append", handle_span.ctx());
+                self.journal.append(
+                    &WalRecord::Commit {
+                        key,
+                        response: response.clone(),
+                        effects,
+                    },
+                    wal_span.ctx(),
+                );
             }
             self.faults.wal_commit();
             if let Some(k) = key {
@@ -951,6 +988,7 @@ impl ShardWorker {
             self.recorder
                 .record(trace_id, "commit", || label.to_string());
             drop(op_span);
+            drop(handle_span);
             // A vanished client is not an MA failure.
             let _ = reply.send(response);
         }
@@ -1816,7 +1854,7 @@ impl Drop for MaService {
             let (reply_tx, _reply_rx) = channel::bounded(1);
             let _ = self.tx.send(Inbound {
                 key: None,
-                trace_id: 0,
+                span: SpanContext::NONE,
                 request: MaRequest::Shutdown,
                 reply: reply_tx,
             });

@@ -38,8 +38,11 @@ use std::time::Instant;
 /// Segment header magic: `PPWS` ("privacy-preserving WAL segment").
 const SEGMENT_MAGIC: u32 = 0x5050_5753;
 
-/// Segment format version.
-const SEGMENT_VERSION: u16 = 1;
+/// Segment format version. v2: `WalRecord::Begin` carries the span
+/// context of the request it journals (trace/span/parent ids), so
+/// recovery replay can re-attribute entries to their originating
+/// trace. v1 segments are refused rather than misdecoded.
+const SEGMENT_VERSION: u16 = 2;
 
 /// Header bytes: magic u32, version u16, reserved u16, start LSN u64.
 const SEGMENT_HEADER_LEN: usize = 16;
@@ -277,6 +280,19 @@ impl DurableLog {
     /// sync policy; rotates to a new segment when the live one is
     /// full (sealing the old one durably first).
     pub fn append(&self, shard: u32, record: &WalRecord) -> Result<u64, StorageError> {
+        self.append_spanned(shard, record, ppms_obs::SpanContext::NONE)
+    }
+
+    /// Like [`DurableLog::append`], additionally parenting any fsync
+    /// this append triggers (per the sync policy) to `ctx` as a
+    /// `storage.fsync` span — the deepest rung of a request's causal
+    /// trace. `SpanContext::NONE` records no span.
+    pub fn append_spanned(
+        &self,
+        shard: u32,
+        record: &WalRecord,
+        ctx: ppms_obs::SpanContext,
+    ) -> Result<u64, StorageError> {
         let mut w = WireWriter::new();
         w.u32(shard);
         record.encode(&mut w);
@@ -298,13 +314,13 @@ impl DurableLog {
         inner.next_lsn += 1;
         inner.unsynced += 1;
         inner.total_bytes += frame.len();
-        match self.policy {
-            SyncPolicy::Always => self.sync_live(&mut inner)?,
-            SyncPolicy::Batch { every } => {
-                if inner.unsynced >= every.max(1) {
-                    self.sync_live(&mut inner)?;
-                }
-            }
+        let will_sync = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::Batch { every } => inner.unsynced >= every.max(1),
+        };
+        if will_sync {
+            let _fsync_span = (!ctx.is_none()).then(|| ppms_obs::Span::child("storage.fsync", ctx));
+            self.sync_live(&mut inner)?;
         }
         self.publish_gauges(&inner);
         Ok(lsn)
@@ -462,6 +478,7 @@ mod tests {
                 party: Party::Sp,
                 request_id: i,
             }),
+            span: ppms_obs::SpanContext::from_trace(i),
             request: MaRequest::FetchLabor { job_id: i },
         }
     }

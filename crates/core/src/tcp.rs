@@ -41,20 +41,23 @@ use crate::error::MarketError;
 use crate::frame::{FrameDecoder, FramedConn, WriteQueue};
 use crate::gate::{
     denied_error, spends_for_price, AdmissionConfig, AdmissionGate, GateCheckpoint, GateRequest,
-    GateResponse,
+    GateResponse, OpsRequest,
 };
 use crate::metrics::Party;
 use crate::service::{Inbound, MaRequest, MaResponse, MaService, RequestKey};
 use crate::stream::{ByteStream, FlakyConfig, FlakyStream, TcpByteStream};
 use crate::transport::{next_request_id, next_trace_id, request_label, response_label};
 use crate::transport::{TrafficLog, Transport};
-use crate::wire::Envelope;
+use crate::wire::{Envelope, WIRE_VERSION};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use ppms_ecash::Spend;
+use ppms_obs::{FlightRecorder, Span, SpanContext};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -81,6 +84,22 @@ pub struct TcpConfig {
     pub admission: AdmissionConfig,
     /// Reactor sleep when a tick makes no progress.
     pub idle_sleep: Duration,
+    /// Sustained [`GateRequest::Ops`] rate allowed per second (token
+    /// bucket). Ops queries skip admission, so without a limit they
+    /// would be a free flood vector.
+    pub ops_rate_per_sec: u32,
+    /// Ops token-bucket burst capacity.
+    pub ops_burst: u32,
+    /// Requests slower than this land in the slow-request log with
+    /// their span tree.
+    pub slow_request_threshold: Duration,
+    /// How many slow-request entries the log retains (FIFO).
+    pub slow_log_capacity: usize,
+    /// Test hook: panic inside the reactor on the *first* frame that
+    /// arrives with this trace id (the hook disarms itself, so the
+    /// caller's retry goes through) — exercises the panic dump and
+    /// resume path end to end.
+    pub chaos_panic_on_trace: Option<u64>,
 }
 
 impl Default for TcpConfig {
@@ -92,6 +111,11 @@ impl Default for TcpConfig {
             max_inflight_per_conn: 32,
             admission: AdmissionConfig::default(),
             idle_sleep: Duration::from_micros(200),
+            ops_rate_per_sec: 100,
+            ops_burst: 20,
+            slow_request_threshold: Duration::from_millis(250),
+            slow_log_capacity: 64,
+            chaos_panic_on_trace: None,
         }
     }
 }
@@ -124,7 +148,10 @@ enum PendingKind {
 struct Pending {
     conn_id: u64,
     key: RequestKey,
-    trace_id: u64,
+    /// The *client's* span context from the request envelope — replies
+    /// and the slow-request log attribute to the caller's trace, not
+    /// to the reactor's internal read span.
+    ctx: SpanContext,
     kind: PendingKind,
     rx: Receiver<MaResponse>,
     started: Instant,
@@ -137,6 +164,8 @@ pub struct TcpFrontDoor {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     obs: ppms_obs::Registry,
+    /// Crash-dump files written by the reactor on panic, in order.
+    dumps: Arc<Mutex<Vec<PathBuf>>>,
 }
 
 impl TcpFrontDoor {
@@ -187,6 +216,7 @@ impl TcpFrontDoor {
         svc.attach_gate_checkpoint(gate_hook.clone());
 
         let stop = Arc::new(AtomicBool::new(false));
+        let dumps = Arc::new(Mutex::new(Vec::new()));
         let mut reactor = Reactor {
             listener,
             config,
@@ -199,11 +229,22 @@ impl TcpFrontDoor {
             next_conn_id: 1,
             next_msg_id: 1,
             stop: stop.clone(),
+            obs: svc.obs.clone(),
+            recorder: Arc::new(FlightRecorder::new("tcp-reactor", 256)),
+            dumps: dumps.clone(),
+            started: Instant::now(),
+            ops_tokens: config.ops_burst as f64,
+            ops_refilled: Instant::now(),
+            slow_log: VecDeque::new(),
             accepted: svc.obs.counter("tcp.accepted"),
             refused: svc.obs.counter("tcp.refused"),
             evicted: svc.obs.counter("tcp.evicted"),
             shed: svc.obs.counter("tcp.shed"),
             bad_frames: svc.obs.counter("tcp.bad_frames"),
+            ops_served: svc.obs.counter("tcp.ops"),
+            ops_limited: svc.obs.counter("tcp.ops_limited"),
+            slow_requests: svc.obs.counter("tcp.slow_requests"),
+            reactor_panics: svc.obs.counter("tcp.reactor_panics"),
             connections: svc.obs.gauge("tcp.connections"),
             request_ns: svc.obs.histogram("tcp.request_ns"),
             queue_fill: svc.obs.histogram("tcp.write_queue_fill"),
@@ -216,6 +257,7 @@ impl TcpFrontDoor {
             stop,
             handle: Some(handle),
             obs: svc.obs.clone(),
+            dumps,
         })
     }
 
@@ -224,11 +266,19 @@ impl TcpFrontDoor {
         self.addr
     }
 
-    /// A point-in-time snapshot of the service registry the front
-    /// door records into (`tcp.*`, `gate.*`, plus everything the
-    /// service itself records).
+    /// A point-in-time snapshot of everything observable about the
+    /// stack: the service registry the front door records into
+    /// (`tcp.*`, `gate.*`, per-op latencies, WAL timings) merged with
+    /// the process-global registry (storage gauges and anything else
+    /// recorded outside the service). Same view the ops plane serves.
     pub fn obs_snapshot(&self) -> ppms_obs::Snapshot {
-        self.obs.snapshot()
+        self.obs.snapshot().merge(&ppms_obs::global().snapshot())
+    }
+
+    /// Crash-dump files the reactor wrote after in-reactor panics
+    /// (empty when it never panicked).
+    pub fn crash_dumps(&self) -> Vec<PathBuf> {
+        self.dumps.lock().clone()
     }
 
     /// Stops the reactor and joins its thread. Called by `Drop`;
@@ -261,11 +311,29 @@ struct Reactor {
     next_conn_id: u64,
     next_msg_id: u64,
     stop: Arc<AtomicBool>,
+    /// Service registry handle — the ops plane snapshots it (merged
+    /// with the process-global registry) without leaving the reactor.
+    obs: ppms_obs::Registry,
+    /// Last-events ring for the reactor itself; dumped on panic like
+    /// a shard worker's recorder.
+    recorder: Arc<FlightRecorder>,
+    dumps: Arc<Mutex<Vec<PathBuf>>>,
+    started: Instant,
+    /// Ops token bucket: refilled at `ops_rate_per_sec`, capped at
+    /// `ops_burst`.
+    ops_tokens: f64,
+    ops_refilled: Instant,
+    /// Slow-request log: rendered JSON entries, oldest evicted first.
+    slow_log: VecDeque<String>,
     accepted: Arc<ppms_obs::Counter>,
     refused: Arc<ppms_obs::Counter>,
     evicted: Arc<ppms_obs::Counter>,
     shed: Arc<ppms_obs::Counter>,
     bad_frames: Arc<ppms_obs::Counter>,
+    ops_served: Arc<ppms_obs::Counter>,
+    ops_limited: Arc<ppms_obs::Counter>,
+    slow_requests: Arc<ppms_obs::Counter>,
+    reactor_panics: Arc<ppms_obs::Counter>,
     connections: Arc<ppms_obs::Gauge>,
     request_ns: Arc<ppms_obs::Histogram>,
     queue_fill: Arc<ppms_obs::Histogram>,
@@ -273,18 +341,32 @@ struct Reactor {
 
 impl Reactor {
     fn run(&mut self) {
+        // The reactor thread is the front door's single point of
+        // failure, so a panic anywhere in a tick (a handler bug, the
+        // chaos hook) is caught, dumped — flight-recorder events plus
+        // the in-flight span ring — and the loop resumes. A panic
+        // *storm* (something deterministically broken) stops the
+        // reactor instead of spinning the dump path forever.
+        let mut panics = 0u32;
         while !self.stop.load(Ordering::SeqCst) {
-            if self.gate_hook.pending() {
-                self.gate_hook.fulfill(self.gate.export_state());
-            }
-            let mut progress = false;
-            progress |= self.accept_tick();
-            progress |= self.read_tick();
-            progress |= self.reply_tick();
-            progress |= self.write_tick();
-            self.bury_dead();
-            if !progress {
-                std::thread::sleep(self.config.idle_sleep);
+            match std::panic::catch_unwind(AssertUnwindSafe(|| self.tick())) {
+                Ok(progress) => {
+                    if !progress {
+                        std::thread::sleep(self.config.idle_sleep);
+                    }
+                }
+                Err(_) => {
+                    panics += 1;
+                    self.reactor_panics.inc();
+                    let snap = self.obs.snapshot().merge(&ppms_obs::global().snapshot());
+                    if let Ok(path) = self.recorder.dump("tcp-reactor-panic", &snap) {
+                        eprintln!("flight-recorder dump: {}", path.display());
+                        self.dumps.lock().push(path);
+                    }
+                    if panics >= 8 {
+                        break;
+                    }
+                }
             }
         }
         // Tear every connection down on the way out.
@@ -293,6 +375,20 @@ impl Reactor {
         }
         self.conns.clear();
         self.connections.set(0);
+    }
+
+    /// One reactor iteration; `true` when any sub-tick made progress.
+    fn tick(&mut self) -> bool {
+        if self.gate_hook.pending() {
+            self.gate_hook.fulfill(self.gate.export_state());
+        }
+        let mut progress = false;
+        progress |= self.accept_tick();
+        progress |= self.read_tick();
+        progress |= self.reply_tick();
+        progress |= self.write_tick();
+        self.bury_dead();
+        progress
     }
 
     fn accept_tick(&mut self) -> bool {
@@ -396,11 +492,32 @@ impl Reactor {
                 return;
             }
         };
+        if self.config.chaos_panic_on_trace == Some(env.trace_id) && env.trace_id != 0 {
+            // Disarm before unwinding: the hook fires exactly once, so
+            // the caller's retransmit of the same trace succeeds.
+            self.config.chaos_panic_on_trace = None;
+            self.recorder.record(env.trace_id, "chaos-panic", || {
+                format!("conn={conn_id} msg={}", env.msg_id)
+            });
+            panic!("chaos: injected reactor panic on trace {:#x}", env.trace_id);
+        }
         let party = env.party;
         let key = RequestKey {
             party,
             request_id: env.msg_id,
         };
+        // The frame's span context is the *client's* attempt span; the
+        // reactor's own read phase is a child of it, and everything
+        // the request causes downstream (gate check, shard handler,
+        // WAL appends) parents under the read span — one causal tree
+        // per client attempt, shared across retransmits only at the
+        // trace level.
+        let ctx = env.span_ctx();
+        let read_span = Span::child("tcp.read", ctx);
+        let read_ctx = read_span.ctx();
+        self.recorder.record(env.trace_id, "frame", || {
+            format!("conn={conn_id} party={party:?} msg={}", env.msg_id)
+        });
         match env.payload {
             GateRequest::Hello => {
                 self.traffic
@@ -410,43 +527,40 @@ impl Reactor {
                 } else {
                     self.gate.challenge()
                 };
-                self.send_gate(conn_id, party, key.request_id, env.trace_id, resp);
+                self.send_gate(conn_id, party, key.request_id, ctx, resp);
             }
             GateRequest::Admit { spends } => {
                 self.traffic
                     .record(party, Party::Ma, "gate-admit", frame.len());
+                let gate_span = Span::child("gate.admit", read_ctx);
                 if let Some(cached) = self.gate.cached_admission(key) {
                     // Retransmitted Admit: replay the recorded verdict
                     // (same token), no second deposit.
-                    self.send_gate(conn_id, party, key.request_id, env.trace_id, cached);
+                    drop(gate_span);
+                    self.send_gate(conn_id, party, key.request_id, ctx, cached);
                     return;
                 }
                 let presented = spends.len();
                 let request = self.gate.deposit_request(spends);
+                drop(gate_span);
                 let (reply_tx, reply_rx) = channel::bounded(1);
                 match self.inbox.try_send(Inbound {
                     key: Some(key),
-                    trace_id: env.trace_id,
+                    span: read_ctx,
                     request,
                     reply: reply_tx,
                 }) {
                     Ok(()) => self.pending.push(Pending {
                         conn_id,
                         key,
-                        trace_id: env.trace_id,
+                        ctx,
                         kind: PendingKind::Admit { presented },
                         rx: reply_rx,
                         started: Instant::now(),
                     }),
                     Err(_) => {
                         self.shed.inc();
-                        self.send_gate(
-                            conn_id,
-                            party,
-                            key.request_id,
-                            env.trace_id,
-                            GateResponse::Busy,
-                        );
+                        self.send_gate(conn_id, party, key.request_id, ctx, GateResponse::Busy);
                     }
                 }
             }
@@ -461,18 +575,22 @@ impl Reactor {
                         conn_id,
                         party,
                         key.request_id,
-                        env.trace_id,
+                        ctx,
                         GateResponse::Denied {
                             reason: "shutdown is not accepted from the network".into(),
                         },
                     );
                     return;
                 }
-                if !self.gate.consume(token) {
+                let admitted = {
+                    let _gate_span = Span::child("gate.check", read_ctx);
+                    self.gate.consume(token)
+                };
+                if !admitted {
                     // Unknown or exhausted token: the request never
                     // reaches the inbox — re-challenge.
                     let resp = self.gate.challenge();
-                    self.send_gate(conn_id, party, key.request_id, env.trace_id, resp);
+                    self.send_gate(conn_id, party, key.request_id, ctx, resp);
                     return;
                 }
                 let inflight = self
@@ -487,7 +605,7 @@ impl Reactor {
                         conn_id,
                         party,
                         key.request_id,
-                        env.trace_id,
+                        ctx,
                         GateResponse::App(MaResponse::Busy),
                     );
                     return;
@@ -495,7 +613,7 @@ impl Reactor {
                 let (reply_tx, reply_rx) = channel::bounded(1);
                 match self.inbox.try_send(Inbound {
                     key: Some(key),
-                    trace_id: env.trace_id,
+                    span: read_ctx,
                     request,
                     reply: reply_tx,
                 }) {
@@ -506,7 +624,7 @@ impl Reactor {
                         self.pending.push(Pending {
                             conn_id,
                             key,
-                            trace_id: env.trace_id,
+                            ctx,
                             kind: PendingKind::App,
                             rx: reply_rx,
                             started: Instant::now(),
@@ -519,7 +637,7 @@ impl Reactor {
                             conn_id,
                             party,
                             key.request_id,
-                            env.trace_id,
+                            ctx,
                             GateResponse::App(MaResponse::Busy),
                         );
                     }
@@ -528,7 +646,7 @@ impl Reactor {
                             conn_id,
                             party,
                             key.request_id,
-                            env.trace_id,
+                            ctx,
                             GateResponse::App(MaResponse::Err(MarketError::Transport(
                                 "service stopped".into(),
                             ))),
@@ -536,7 +654,70 @@ impl Reactor {
                     }
                 }
             }
+            GateRequest::Ops(op) => {
+                self.traffic.record(party, Party::Ma, "ops", frame.len());
+                // Admission-exempt but rate-limited: refill the token
+                // bucket, then either serve from reactor-local state
+                // or shed with Busy. Never touches a shard.
+                let elapsed = self.ops_refilled.elapsed().as_secs_f64();
+                self.ops_refilled = Instant::now();
+                self.ops_tokens = (self.ops_tokens
+                    + elapsed * f64::from(self.config.ops_rate_per_sec))
+                .min(f64::from(self.config.ops_burst));
+                if self.ops_tokens < 1.0 {
+                    self.ops_limited.inc();
+                    self.send_gate(conn_id, party, key.request_id, ctx, GateResponse::Busy);
+                    return;
+                }
+                self.ops_tokens -= 1.0;
+                self.ops_served.inc();
+                let _ops_span = Span::child("tcp.ops", read_ctx);
+                let body = match op {
+                    OpsRequest::Health => self.health_json(),
+                    OpsRequest::MetricsJson => self
+                        .obs
+                        .snapshot()
+                        .merge(&ppms_obs::global().snapshot())
+                        .to_json(),
+                    OpsRequest::MetricsText => self
+                        .obs
+                        .snapshot()
+                        .merge(&ppms_obs::global().snapshot())
+                        .to_prometheus(),
+                    OpsRequest::SlowLog => {
+                        let entries: Vec<&str> = self.slow_log.iter().map(String::as_str).collect();
+                        format!("[{}]", entries.join(","))
+                    }
+                };
+                self.send_gate(
+                    conn_id,
+                    party,
+                    key.request_id,
+                    ctx,
+                    GateResponse::Ops { body },
+                );
+            }
         }
+    }
+
+    /// The health/readiness body: liveness is implied by answering at
+    /// all; readiness is `status == "ok"` (a stopping reactor reports
+    /// `"stopping"` so a scraper can drain it from rotation).
+    fn health_json(&self) -> String {
+        let status = if self.stop.load(Ordering::SeqCst) {
+            "stopping"
+        } else {
+            "ok"
+        };
+        format!(
+            "{{\"status\":\"{}\",\"uptime_ms\":{},\"connections\":{},\"inflight\":{},\
+             \"slow_log_entries\":{}}}",
+            status,
+            self.started.elapsed().as_millis(),
+            self.conns.len(),
+            self.pending.len(),
+            self.slow_log.len()
+        )
     }
 
     fn reply_tick(&mut self) -> bool {
@@ -556,10 +737,10 @@ impl Reactor {
         for (i, resp) in done.into_iter().rev() {
             progress = true;
             let p = self.pending.swap_remove(i);
+            let elapsed = p.started.elapsed();
             let gate_resp = match p.kind {
                 PendingKind::App => {
-                    self.request_ns
-                        .record(p.started.elapsed().as_nanos() as u64);
+                    self.request_ns.record(elapsed.as_nanos() as u64);
                     if let Some(conn) = self.conns.get_mut(&p.conn_id) {
                         conn.inflight = conn.inflight.saturating_sub(1);
                     }
@@ -569,15 +750,32 @@ impl Reactor {
                     self.gate.judge_deposit(p.key, presented, &resp)
                 }
             };
-            self.send_gate(
-                p.conn_id,
-                p.key.party,
-                p.key.request_id,
-                p.trace_id,
-                gate_resp,
-            );
+            if elapsed >= self.config.slow_request_threshold && p.ctx.trace_id != 0 {
+                self.log_slow(&p, elapsed);
+            }
+            self.send_gate(p.conn_id, p.key.party, p.key.request_id, p.ctx, gate_resp);
         }
         progress
+    }
+
+    /// Appends one slow-request entry — the request's identity plus
+    /// its span tree as captured in the ring right now — evicting the
+    /// oldest beyond `slow_log_capacity`.
+    fn log_slow(&mut self, p: &Pending, elapsed: Duration) {
+        self.slow_requests.inc();
+        let entry = format!(
+            "{{\"trace_id\":\"{:#018x}\",\"party\":\"{:?}\",\"request_id\":{},\
+             \"elapsed_ns\":{},\"spans\":{}}}",
+            p.ctx.trace_id,
+            p.key.party,
+            p.key.request_id,
+            elapsed.as_nanos(),
+            ppms_obs::trace_dump_json(p.ctx.trace_id)
+        );
+        if self.slow_log.len() >= self.config.slow_log_capacity.max(1) {
+            self.slow_log.pop_front();
+        }
+        self.slow_log.push_back(entry);
     }
 
     /// Frames a gate response and queues it on the connection.
@@ -588,7 +786,7 @@ impl Reactor {
         conn_id: u64,
         to: Party,
         correlation_id: u64,
-        trace_id: u64,
+        ctx: SpanContext,
         resp: GateResponse,
     ) {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
@@ -603,13 +801,21 @@ impl Reactor {
             GateResponse::Denied { .. } => "gate-denied",
             GateResponse::App(inner) => response_label(inner),
             GateResponse::Busy => "busy",
+            GateResponse::Ops { .. } => "ops",
         };
+        // The reply span parents under the *client's* request context
+        // and its ids ride back in the response envelope, closing the
+        // causal tree across the wire.
+        let reply_span = Span::child("tcp.reply", ctx);
+        let rctx = reply_span.ctx();
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let frame = Envelope {
             msg_id,
             correlation_id,
-            trace_id,
+            trace_id: rctx.trace_id,
+            span_id: rctx.span_id,
+            parent_id: rctx.parent_id,
             party: Party::Ma,
             payload: resp,
         }
@@ -676,6 +882,11 @@ pub struct TcpClientConfig {
     /// Inject seeded stream tears under the framing layer (tests the
     /// redial/re-admit path; the seed is varied per dial).
     pub flaky: Option<FlakyConfig>,
+    /// Wire version this client frames requests at — defaults to the
+    /// current [`WIRE_VERSION`]; pinning an older version exercises
+    /// mixed-version interop (a v3 client loses span ids, a v2 client
+    /// loses the trace id, and the server must serve both).
+    pub wire_version: u16,
 }
 
 impl TcpClientConfig {
@@ -686,6 +897,7 @@ impl TcpClientConfig {
             reply_timeout: Duration::from_secs(30),
             handshake_attempts: 5,
             flaky: None,
+            wire_version: WIRE_VERSION,
         }
     }
 }
@@ -786,18 +998,26 @@ impl TcpTransport {
         state: &mut ClientState,
         from: Party,
         msg_id: u64,
-        trace_id: u64,
+        ctx: SpanContext,
         payload: &GateRequest,
     ) -> Result<GateResponse, MarketError> {
         self.connect(state)?;
         let frame = Envelope {
             msg_id,
             correlation_id: 0,
-            trace_id,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
             party: from,
             payload,
         }
-        .to_bytes();
+        .to_bytes_versioned(self.config.wire_version)
+        .map_err(|e| {
+            MarketError::Transport(format!(
+                "cannot frame at v{}: {e}",
+                self.config.wire_version
+            ))
+        })?;
         let conn = state.conn.as_mut().expect("connected above");
         let result = (|| {
             conn.send_frame(&frame)?;
@@ -823,19 +1043,29 @@ impl TcpTransport {
     }
 
     /// Ensures `state.token` holds a live session token, paying the
-    /// admission price from the wallet if challenged.
-    fn ensure_admitted(&self, state: &mut ClientState, from: Party) -> Result<(), MarketError> {
+    /// admission price from the wallet if challenged. The handshake's
+    /// spans parent under `parent` — when admission happens on behalf
+    /// of an application request, the Hello/Admit exchange shows up
+    /// inside that request's trace instead of as orphan roots.
+    fn ensure_admitted(
+        &self,
+        state: &mut ClientState,
+        from: Party,
+        parent: SpanContext,
+    ) -> Result<(), MarketError> {
         if state.token.is_some() {
             return Ok(());
         }
         // Hello is read-only, so each attempt gets a fresh id.
+        let hello_span = Span::child("tcp.hello", parent);
         let hello = self.gate_round_trip(
             state,
             from,
             next_request_id(),
-            next_trace_id(),
+            hello_span.ctx(),
             &GateRequest::Hello,
         )?;
+        drop(hello_span);
         let price = match hello {
             GateResponse::Admitted { token, .. } => {
                 state.token = Some(token);
@@ -846,7 +1076,7 @@ impl TcpTransport {
             GateResponse::Busy => {
                 return Err(MarketError::Transport("front door busy".into()));
             }
-            GateResponse::App(_) => {
+            GateResponse::App(_) | GateResponse::Ops { .. } => {
                 return Err(MarketError::Transport("protocol confusion on Hello".into()));
             }
         };
@@ -868,13 +1098,15 @@ impl TcpTransport {
             }
         };
         state.pending_admit = Some((admit_id, spends.clone()));
+        let admit_span = Span::child("tcp.admit", parent);
         let verdict = self.gate_round_trip(
             state,
             from,
             admit_id,
-            next_trace_id(),
+            admit_span.ctx(),
             &GateRequest::Admit { spends },
         )?;
+        drop(admit_span);
         match verdict {
             GateResponse::Admitted { token, .. } => {
                 state.token = Some(token);
@@ -898,6 +1130,30 @@ impl TcpTransport {
             ))),
         }
     }
+
+    /// Runs one admission-exempt operational query against the front
+    /// door and returns the rendered body. No wallet, token or
+    /// admission required — this is the programmatic form of "scrape
+    /// the ops plane" (the load harness calls it mid-run).
+    pub fn ops(&self, op: OpsRequest) -> Result<String, MarketError> {
+        let mut state = self.state.lock();
+        let answer = self.gate_round_trip(
+            &mut state,
+            Party::Ma,
+            next_request_id(),
+            SpanContext::from_trace(next_trace_id()),
+            &GateRequest::Ops(op),
+        )?;
+        match answer {
+            GateResponse::Ops { body } => Ok(body),
+            GateResponse::Busy => Err(MarketError::Transport(
+                "ops query rate-limited; retry later".into(),
+            )),
+            other => Err(MarketError::Transport(format!(
+                "unexpected ops answer: {other:?}"
+            ))),
+        }
+    }
 }
 
 impl Transport for TcpTransport {
@@ -917,15 +1173,25 @@ impl Transport for TcpTransport {
         trace_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        self.round_trip_spanned(from, request_id, SpanContext::from_trace(trace_id), request)
+    }
+
+    fn round_trip_spanned(
+        &self,
+        from: Party,
+        request_id: u64,
+        ctx: SpanContext,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         let mut state = self.state.lock();
         for _ in 0..self.config.handshake_attempts.max(1) {
-            self.ensure_admitted(&mut state, from)?;
+            self.ensure_admitted(&mut state, from, ctx)?;
             let token = state.token.expect("admitted above");
             let answer = self.gate_round_trip(
                 &mut state,
                 from,
                 request_id,
-                trace_id,
+                ctx,
                 &GateRequest::App {
                     token,
                     request: request.clone(),
@@ -947,7 +1213,7 @@ impl Transport for TcpTransport {
                     continue;
                 }
                 GateResponse::Denied { reason } => return Err(denied_error(&reason)),
-                GateResponse::Admitted { .. } => {
+                GateResponse::Admitted { .. } | GateResponse::Ops { .. } => {
                     return Err(MarketError::Transport(
                         "unsolicited admission during request".into(),
                     ));
@@ -982,6 +1248,7 @@ mod tests {
             reply_timeout: Duration::from_millis(50),
             handshake_attempts: 1,
             flaky: None,
+            wire_version: WIRE_VERSION,
         });
         let err = t
             .round_trip(Party::Sp, MaRequest::FetchData { job_id: 1 })

@@ -55,7 +55,7 @@ use crate::service::{Inbound, MaRequest, MaResponse, RequestKey};
 use crate::wire::Envelope;
 use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
-use ppms_obs::{Counter, Registry};
+use ppms_obs::{Counter, Registry, SpanContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -330,6 +330,22 @@ pub trait Transport: Send + Sync {
         self.round_trip_keyed(from, request_id, request)
     }
 
+    /// Like [`Transport::round_trip_traced`], carrying the caller's
+    /// full [`SpanContext`] so the far side can parent its own spans
+    /// to the caller's. The default implementation keeps the trace id
+    /// and drops the span/parent ids — correct for transports that
+    /// predate causal spans; the real backends override it to put the
+    /// whole triple on the wire.
+    fn round_trip_spanned(
+        &self,
+        from: Party,
+        request_id: u64,
+        ctx: SpanContext,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
+        self.round_trip_traced(from, request_id, ctx.trace_id, request)
+    }
+
     /// Sends `request` as a fresh (never-retried) logical request
     /// under a freshly minted trace id.
     fn round_trip(&self, from: Party, request: MaRequest) -> Result<MaResponse, MarketError> {
@@ -407,6 +423,16 @@ impl Transport for InProcTransport {
         trace_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        self.round_trip_spanned(from, request_id, SpanContext::from_trace(trace_id), request)
+    }
+
+    fn round_trip_spanned(
+        &self,
+        from: Party,
+        request_id: u64,
+        ctx: SpanContext,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
             .send(Inbound {
@@ -414,7 +440,7 @@ impl Transport for InProcTransport {
                     party: from,
                     request_id,
                 }),
-                trace_id,
+                span: ctx,
                 request,
                 reply: reply_tx,
             })
@@ -614,10 +640,10 @@ impl SimNetTransport {
                     party: envelope.party,
                     request_id: envelope.msg_id,
                 }),
-                // The decoded frame's trace context rides to the shard
+                // The decoded frame's span context rides to the shard
                 // untouched — a retransmitted or replayed frame carries
-                // the id its original client minted.
-                trace_id: envelope.trace_id,
+                // the ids its original client minted.
+                span: envelope.span_ctx(),
                 request: envelope.payload,
                 reply: reply_tx,
             })
@@ -664,15 +690,28 @@ impl Transport for SimNetTransport {
         trace_id: u64,
         request: MaRequest,
     ) -> Result<MaResponse, MarketError> {
+        self.round_trip_spanned(from, request_id, SpanContext::from_trace(trace_id), request)
+    }
+
+    fn round_trip_spanned(
+        &self,
+        from: Party,
+        request_id: u64,
+        ctx: SpanContext,
+        request: MaRequest,
+    ) -> Result<MaResponse, MarketError> {
         // Client side: frame the request under its idempotency key —
         // a retransmit re-frames the same id, so the MA can tell
-        // "same request again" from "new request". The trace id rides
-        // in the same header, identical across every retransmit.
+        // "same request again" from "new request". The span context
+        // rides in the same header, identical across every retransmit.
+        let trace_id = ctx.trace_id;
         let label = request_label(&request);
         let frame = Envelope {
             msg_id: request_id,
             correlation_id: 0,
             trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
             party: from,
             payload: request,
         }
@@ -712,12 +751,14 @@ impl Transport for SimNetTransport {
         self.remember(frame);
 
         // MA side: frame and "send" the response. The response leg
-        // carries the request's trace context back, so a client can
+        // carries the request's span context back, so a client can
         // correlate the answer with the events its request caused.
         let rframe = Envelope {
             msg_id: self.next_id.fetch_add(1, Ordering::Relaxed),
             correlation_id: request_id,
             trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
             party: Party::Ma,
             payload: &response,
         }

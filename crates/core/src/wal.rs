@@ -45,6 +45,7 @@ use crate::metrics::Party;
 use crate::service::{MaRequest, MaResponse, RequestKey};
 use crate::wire::{fnv1a, WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use parking_lot::Mutex;
+use ppms_obs::SpanContext;
 
 /// One journal entry.
 #[derive(Debug, Clone)]
@@ -55,6 +56,11 @@ pub enum WalRecord {
     Begin {
         /// The idempotency key the request arrived under.
         key: Option<RequestKey>,
+        /// The span context the request executed under, persisted so
+        /// a respawned worker's replay re-attributes each applied
+        /// entry to the trace that originally caused it instead of
+        /// trace 0. `SpanContext::NONE` for untraced internal sends.
+        span: SpanContext,
         /// The request about to execute.
         request: MaRequest,
     },
@@ -96,12 +102,27 @@ fn read_key(r: &mut WireReader<'_>) -> Result<Option<RequestKey>, WireError> {
     })
 }
 
+fn put_span(w: &mut WireWriter, span: &SpanContext) {
+    w.u64(span.trace_id);
+    w.u64(span.span_id);
+    w.u64(span.parent_id);
+}
+
+fn read_span(r: &mut WireReader<'_>) -> Result<SpanContext, WireError> {
+    Ok(SpanContext {
+        trace_id: r.u64()?,
+        span_id: r.u64()?,
+        parent_id: r.u64()?,
+    })
+}
+
 impl WireEncode for WalRecord {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            WalRecord::Begin { key, request } => {
+            WalRecord::Begin { key, span, request } => {
                 w.u8(0);
                 put_key(w, key);
+                put_span(w, span);
                 request.encode(w);
             }
             WalRecord::Commit {
@@ -126,6 +147,7 @@ impl WireDecode for WalRecord {
         Ok(match r.u8()? {
             0 => WalRecord::Begin {
                 key: read_key(r)?,
+                span: read_span(r)?,
                 request: MaRequest::decode(r)?,
             },
             1 => WalRecord::Commit {
@@ -143,6 +165,9 @@ impl WireDecode for WalRecord {
 pub struct CommittedEntry {
     /// The idempotency key, if the request carried one.
     pub key: Option<RequestKey>,
+    /// The span context the request executed under (from its `Begin`
+    /// record) — what replay re-attribution reports.
+    pub span: SpanContext,
     /// The request that executed.
     pub request: MaRequest,
     /// The response it produced.
@@ -309,29 +334,30 @@ impl ShardWal {
 /// log's per-shard recovery.
 pub fn replay_records(records: impl Iterator<Item = WalRecord>) -> Result<WalReplay, WireError> {
     let mut replay = WalReplay::default();
-    let mut pending: Option<(Option<RequestKey>, MaRequest)> = None;
+    let mut pending: Option<(Option<RequestKey>, SpanContext, MaRequest)> = None;
     for record in records {
         match record {
-            WalRecord::Begin { key, request } => {
+            WalRecord::Begin { key, span, request } => {
                 if pending.is_some() {
                     // A Begin over a live Begin means the worker
                     // died mid-request earlier: the older one was
                     // never applied.
                     replay.discarded += 1;
                 }
-                pending = Some((key, request));
+                pending = Some((key, span, request));
             }
             WalRecord::Commit {
                 key,
                 response,
                 effects,
             } => {
-                let Some((bkey, request)) = pending.take() else {
+                let Some((bkey, span, request)) = pending.take() else {
                     return Err(WireError::Malformed("wal commit without begin"));
                 };
                 debug_assert_eq!(bkey, key, "commit must answer its begin");
                 replay.committed.push(CommittedEntry {
                     key,
+                    span,
                     request,
                     response,
                     effects,
@@ -363,6 +389,7 @@ mod tests {
         for i in 0..4u64 {
             wal.append(&WalRecord::Begin {
                 key: key(i),
+                span: SpanContext::from_trace(0x1000 + i),
                 request: MaRequest::FetchLabor { job_id: i },
             });
             wal.append(&WalRecord::Commit {
@@ -377,6 +404,11 @@ mod tests {
         assert_eq!(replay.torn_bytes, 0);
         for (i, entry) in replay.committed.iter().enumerate() {
             assert_eq!(entry.key, key(i as u64));
+            assert_eq!(
+                entry.span.trace_id,
+                0x1000 + i as u64,
+                "replay re-attributes each entry to its Begin's trace"
+            );
             assert!(matches!(
                 entry.request,
                 MaRequest::FetchLabor { job_id } if job_id == i as u64
@@ -389,6 +421,7 @@ mod tests {
         let wal = ShardWal::new();
         wal.append(&WalRecord::Begin {
             key: key(1),
+            span: SpanContext::NONE,
             request: MaRequest::RegisterSpAccount,
         });
         wal.append(&WalRecord::Commit {
@@ -399,6 +432,7 @@ mod tests {
         // Crash mid-request: Begin with no Commit.
         wal.append(&WalRecord::Begin {
             key: key(2),
+            span: SpanContext::NONE,
             request: MaRequest::Balance {
                 account: AccountId(7),
             },
@@ -417,6 +451,7 @@ mod tests {
         let wal = ShardWal::new();
         wal.append(&WalRecord::Begin {
             key: key(1),
+            span: SpanContext::NONE,
             request: MaRequest::RegisterSpAccount,
         });
         wal.append(&WalRecord::Commit {
@@ -426,6 +461,7 @@ mod tests {
         });
         wal.append(&WalRecord::Begin {
             key: key(2),
+            span: SpanContext::NONE,
             request: MaRequest::RegisterSpAccount,
         });
         let whole = wal.len_bytes();
@@ -469,6 +505,7 @@ mod tests {
         let wal = ShardWal::new();
         wal.append(&WalRecord::Begin {
             key: key(1),
+            span: SpanContext::NONE,
             request: MaRequest::RegisterSpAccount,
         });
         wal.append(&WalRecord::Commit {
@@ -487,6 +524,7 @@ mod tests {
         let wal = ShardWal::new();
         wal.append(&WalRecord::Begin {
             key: None,
+            span: SpanContext::NONE,
             request: MaRequest::RegisterSpAccount,
         });
         wal.append(&WalRecord::Commit {
@@ -504,6 +542,7 @@ mod tests {
         let wal = ShardWal::new();
         wal.append(&WalRecord::Begin {
             key: key(1),
+            span: SpanContext::NONE,
             request: MaRequest::RegisterSpAccount,
         });
         let first_len = wal.len_bytes();

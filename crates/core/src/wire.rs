@@ -44,17 +44,25 @@ use ppms_ecash::{DecError, Spend};
 /// corrupted in flight is rejected instead of silently mis-decoding
 /// into a different request — which would defeat the service's
 /// idempotent request keys. Version 3 added the `trace_id` header
-/// field (trace-context propagation); version-2 frames still decode,
-/// with `trace_id = 0` ("no trace context").
-pub const WIRE_VERSION: u16 = 3;
+/// field (trace-context propagation). Version 4 widened the trace
+/// context to the full causal triple — `trace_id`, `span_id`,
+/// `parent_id` — so a server can parent its own spans to the
+/// client-side span that sent the frame. Both prior versions still
+/// decode: v3 frames read with `span_id = parent_id = 0`, v2 frames
+/// additionally with `trace_id = 0`.
+pub const WIRE_VERSION: u16 = 4;
 
-/// The previous protocol version, still accepted on decode so peers
-/// mid-upgrade interoperate. Its frames carry no `trace_id` field.
+/// The previous protocol version (trace id only, no span context),
+/// still accepted on decode so peers mid-upgrade interoperate.
+pub const WIRE_VERSION_V3: u16 = 3;
+
+/// The oldest still-decodable protocol version. Its frames carry no
+/// trace context at all.
 pub const WIRE_VERSION_V2: u16 = 2;
 
 /// Fixed per-frame overhead: version + body length + msg id +
-/// correlation id + trace id + party tag.
-pub const FRAME_HEADER_LEN: usize = 2 + 4 + 8 + 8 + 8 + 1;
+/// correlation id + trace id + span id + parent id + party tag.
+pub const FRAME_HEADER_LEN: usize = 2 + 4 + 8 + 8 + 8 + 8 + 8 + 1;
 
 /// Integrity trailer: FNV-1a-64 over the frame body, appended after
 /// the payload. Not cryptographic — transport integrity against bit
@@ -924,10 +932,27 @@ pub struct Envelope<T> {
     /// response leg, so one market interaction is one correlated
     /// event stream. 0 means "no trace context" (v2 frames).
     pub trace_id: u64,
+    /// The sender-side causal span that emitted this frame — what the
+    /// receiver parents its own spans to. 0 on v3/v2 frames ("no span
+    /// context": receiver spans root at the trace).
+    pub span_id: u64,
+    /// The parent of `span_id` on the sender's side (0 = root there).
+    pub parent_id: u64,
     /// The originating party.
     pub party: Party,
     /// The payload.
     pub payload: T,
+}
+
+impl<T> Envelope<T> {
+    /// The frame's causal span context as one value.
+    pub fn span_ctx(&self) -> ppms_obs::SpanContext {
+        ppms_obs::SpanContext {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+        }
+    }
 }
 
 impl<T: WireEncode> Envelope<T> {
@@ -938,14 +963,19 @@ impl<T: WireEncode> Envelope<T> {
     }
 
     /// Encodes the frame at an explicit protocol version — the
-    /// downgrade path for talking to (and testing against) v2 peers,
-    /// whose frames carry no `trace_id` field.
+    /// downgrade path for talking to (and testing against) v3/v2
+    /// peers, whose frames carry a bare trace id / no trace context.
     pub fn to_bytes_versioned(&self, version: u16) -> Result<Vec<u8>, WireError> {
         let mut body = WireWriter::new();
         body.u64(self.msg_id);
         body.u64(self.correlation_id);
         match version {
-            WIRE_VERSION => body.u64(self.trace_id),
+            WIRE_VERSION => {
+                body.u64(self.trace_id);
+                body.u64(self.span_id);
+                body.u64(self.parent_id);
+            }
+            WIRE_VERSION_V3 => body.u64(self.trace_id),
             WIRE_VERSION_V2 => {}
             v => return Err(WireError::BadVersion(v)),
         }
@@ -965,12 +995,13 @@ impl<T: WireEncode> Envelope<T> {
 
 impl<T: WireDecode> Envelope<T> {
     /// Decodes a frame, rejecting foreign versions, truncation and
-    /// trailing bytes. Accepts the current version and
-    /// [`WIRE_VERSION_V2`] (whose frames decode with `trace_id = 0`).
+    /// trailing bytes. Accepts the current version,
+    /// [`WIRE_VERSION_V3`] (decodes with `span_id = parent_id = 0`)
+    /// and [`WIRE_VERSION_V2`] (additionally `trace_id = 0`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Envelope<T>, WireError> {
         let mut r = WireReader::new(bytes);
         let version = r.u16()?;
-        if version != WIRE_VERSION && version != WIRE_VERSION_V2 {
+        if version != WIRE_VERSION && version != WIRE_VERSION_V3 && version != WIRE_VERSION_V2 {
             return Err(WireError::BadVersion(version));
         }
         let body_len = r.u32()? as usize;
@@ -991,7 +1022,13 @@ impl<T: WireDecode> Envelope<T> {
         let env = Envelope {
             msg_id: r.u64()?,
             correlation_id: r.u64()?,
-            trace_id: if version == WIRE_VERSION { r.u64()? } else { 0 },
+            trace_id: if version >= WIRE_VERSION_V3 {
+                r.u64()?
+            } else {
+                0
+            },
+            span_id: if version >= WIRE_VERSION { r.u64()? } else { 0 },
+            parent_id: if version >= WIRE_VERSION { r.u64()? } else { 0 },
             party: Party::decode(&mut r)?,
             payload: T::decode(&mut r)?,
         };
@@ -1008,6 +1045,8 @@ pub fn framed_len<T: WireEncode>(party: Party, payload: &T) -> usize {
         msg_id: 0,
         correlation_id: 0,
         trace_id: 0,
+        span_id: 0,
+        parent_id: 0,
         party,
         payload,
     }
@@ -1030,6 +1069,8 @@ mod tests {
             msg_id: 7,
             correlation_id: 0,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: Party::Jo,
             payload: req,
         };
@@ -1043,6 +1084,8 @@ mod tests {
             msg_id: 7,
             correlation_id: 0,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: back.party,
             payload: &back.payload,
         }
@@ -1101,6 +1144,8 @@ mod tests {
             msg_id: 1,
             correlation_id: 0,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: Party::Sp,
             payload: MaRequest::RegisterSpAccount,
         };
@@ -1118,6 +1163,8 @@ mod tests {
             msg_id: 1,
             correlation_id: 2,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: Party::Ma,
             payload: MaResponse::Balance(5),
         };
@@ -1142,6 +1189,8 @@ mod tests {
             msg_id: 0,
             correlation_id: 0,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: Party::Ma,
             payload: MaResponse::Ok,
         };
@@ -1158,6 +1207,8 @@ mod tests {
             msg_id: 3,
             correlation_id: 0,
             trace_id: 9,
+            span_id: 0,
+            parent_id: 0,
             party: Party::Sp,
             payload: MaRequest::FetchLabor { job_id: 42 },
         };

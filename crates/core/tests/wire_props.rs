@@ -206,10 +206,14 @@ fn assert_envelope_roundtrip<T: WireEncode + WireDecode>(
     payload: T,
 ) -> Result<(), TestCaseError> {
     let trace_id = msg_id.wrapping_mul(0x9E37_79B9) | 1;
+    let span_id = msg_id.rotate_left(11) | 1;
+    let parent_id = msg_id.rotate_right(23);
     let bytes = Envelope {
         msg_id,
         correlation_id,
         trace_id,
+        span_id,
+        parent_id,
         party: from,
         payload,
     }
@@ -218,11 +222,15 @@ fn assert_envelope_roundtrip<T: WireEncode + WireDecode>(
     prop_assert_eq!(back.msg_id, msg_id);
     prop_assert_eq!(back.correlation_id, correlation_id);
     prop_assert_eq!(back.trace_id, trace_id);
+    prop_assert_eq!(back.span_id, span_id);
+    prop_assert_eq!(back.parent_id, parent_id);
     prop_assert_eq!(back.party, from);
     let re = Envelope {
         msg_id,
         correlation_id,
         trace_id,
+        span_id,
+        parent_id,
         party: back.party,
         payload: back.payload,
     }
@@ -289,6 +297,8 @@ proptest! {
             msg_id: ids,
             correlation_id: !ids,
             trace_id: ids.rotate_left(17),
+            span_id: ids.rotate_left(29),
+            parent_id: ids.rotate_left(41),
             party: party(p),
             payload: req,
         }
@@ -306,7 +316,7 @@ proptest! {
         cut_frac in 0.0f64..1.0,
     ) {
         let req = build_request(variant, a, b, &blob, "payload");
-        let bytes = Envelope { msg_id: 1, correlation_id: 0, trace_id: a, party: Party::Jo, payload: req }.to_bytes();
+        let bytes = Envelope { msg_id: 1, correlation_id: 0, trace_id: a, span_id: a ^ 2, parent_id: a ^ 3, party: Party::Jo, payload: req }.to_bytes();
         let cut = ((bytes.len() as f64) * cut_frac) as usize; // < len
         prop_assert!(Envelope::<MaRequest>::from_bytes(&bytes[..cut]).is_err());
         // Trailing garbage is rejected too.
@@ -324,9 +334,10 @@ proptest! {
         variant in 0u64..12,
         a in any::<u64>(),
     ) {
-        // Both the current version and the still-decodable v2 are
+        // The current version and the still-decodable v3/v2 are
         // legitimate; everything else must be rejected.
         let version = if version == ppms_core::wire::WIRE_VERSION
+            || version == ppms_core::wire::WIRE_VERSION_V3
             || version == ppms_core::wire::WIRE_VERSION_V2
         {
             ppms_core::wire::WIRE_VERSION + 1
@@ -334,7 +345,7 @@ proptest! {
             version
         };
         let resp = build_response(variant, a, a, &[7, 7], "x");
-        let mut bytes = Envelope { msg_id: 2, correlation_id: 1, trace_id: a, party: Party::Ma, payload: resp }.to_bytes();
+        let mut bytes = Envelope { msg_id: 2, correlation_id: 1, trace_id: a, span_id: 0, parent_id: 0, party: Party::Ma, payload: resp }.to_bytes();
         bytes[0..2].copy_from_slice(&version.to_be_bytes());
         prop_assert!(matches!(
             Envelope::<MaResponse>::from_bytes(&bytes),
@@ -348,13 +359,16 @@ proptest! {
         a in any::<u64>(),
         ids in any::<u64>(),
     ) {
-        // A pre-trace (v2) frame still decodes; its trace id reads as
-        // 0 (untraced) and re-encoding as v2 reproduces the bytes.
+        // A pre-trace (v2) frame still decodes; its whole span context
+        // reads as 0 (untraced) and re-encoding as v2 reproduces the
+        // bytes.
         let resp = build_response(variant, a, a, &[3, 1], "y");
         let v2 = Envelope {
             msg_id: ids,
             correlation_id: ids ^ 1,
             trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             party: Party::Ma,
             payload: resp,
         }
@@ -364,16 +378,55 @@ proptest! {
             Envelope::from_bytes(&v2).expect("v2 frame must decode");
         prop_assert_eq!(back.msg_id, ids);
         prop_assert_eq!(back.trace_id, 0);
+        prop_assert_eq!(back.span_id, 0);
+        prop_assert_eq!(back.parent_id, 0);
         let re = back
             .to_bytes_versioned(ppms_core::wire::WIRE_VERSION_V2)
             .expect("v2 must re-encode");
         prop_assert_eq!(re, v2);
-        // The v3 encoding of the same envelope is exactly 8 bytes
-        // (the trace id) longer.
-        prop_assert_eq!(v2.len() + 8, {
+        // The v4 encoding of the same envelope is exactly 24 bytes
+        // (trace id + span id + parent id) longer.
+        prop_assert_eq!(v2.len() + 24, {
             let back2: Envelope<MaResponse> = Envelope::from_bytes(&v2).unwrap();
             back2.to_bytes().len()
         });
+    }
+
+    #[test]
+    fn v3_frames_decode_with_zero_span_ids(
+        variant in 0u64..12,
+        a in any::<u64>(),
+        ids in any::<u64>(),
+    ) {
+        // A trace-only (v3) frame keeps its trace id but reads span
+        // and parent ids as 0 — a v3 peer joins the trace without
+        // contributing tree structure. Re-encoding at v3 reproduces
+        // the bytes; upgrading to v4 costs exactly the two new ids.
+        let trace = a | 1;
+        let resp = build_response(variant, a, a, &[9, 9], "z");
+        let v3 = Envelope {
+            msg_id: ids,
+            correlation_id: ids ^ 2,
+            trace_id: trace,
+            span_id: ids | 1, // dropped by the v3 encoding
+            parent_id: ids | 2,
+            party: Party::Ma,
+            payload: resp,
+        }
+        .to_bytes_versioned(ppms_core::wire::WIRE_VERSION_V3)
+        .expect("v3 must encode");
+        let back: Envelope<MaResponse> =
+            Envelope::from_bytes(&v3).expect("v3 frame must decode");
+        prop_assert_eq!(back.msg_id, ids);
+        prop_assert_eq!(back.trace_id, trace);
+        prop_assert_eq!(back.span_id, 0);
+        prop_assert_eq!(back.parent_id, 0);
+        let re = back
+            .to_bytes_versioned(ppms_core::wire::WIRE_VERSION_V3)
+            .expect("v3 must re-encode");
+        prop_assert_eq!(re, v3);
+        let v4 = Envelope::<MaResponse>::from_bytes(&v3).unwrap().to_bytes();
+        prop_assert_eq!(v3.len() + 16, v4.len());
     }
 
     // The framing layer's reassembly law: a concatenation of frames
@@ -398,6 +451,8 @@ proptest! {
                     msg_id: i as u64 + 1,
                     correlation_id: i as u64,
                     trace_id: a.rotate_left(i as u32),
+                    span_id: a.rotate_left(i as u32 + 7),
+                    parent_id: a.rotate_left(i as u32 + 13),
                     party: party(v),
                     payload: build_request(v, a, a ^ 1, &blob, "split"),
                 }
@@ -459,6 +514,8 @@ proptest! {
             msg_id: a | 1,
             correlation_id: a,
             trace_id: !a,
+            span_id: a.rotate_left(3),
+            parent_id: a.rotate_left(5),
             party: party(variant),
             payload: build_request(variant, a, a.rotate_left(7), &blob, "cutpoint"),
         }

@@ -172,6 +172,12 @@ impl HistSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile (bucket-resolution) — the tail the
+    /// latency-under-load curves report.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Sum of two snapshots (`max` takes the larger side). The basis
     /// of cross-shard aggregation.
     pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
@@ -200,13 +206,14 @@ impl HistSnapshot {
             .map(|(i, &n)| format!("[{i},{n}]"))
             .collect();
         format!(
-            "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
             self.count,
             self.sum,
             self.max,
             self.p50(),
             self.p90(),
             self.p99(),
+            self.p999(),
             cells.join(",")
         )
     }

@@ -1,8 +1,14 @@
 //! `ppms-obs` — the observability substrate under the whole market
 //! stack (bigint → crypto → ecash → core → bench all sit above it).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
+//! * **causal spans** ([`SpanContext`], [`Span`]): a trace/span/parent
+//!   id triple that rides the wire envelope, an RAII guard minting
+//!   child contexts, and a process-global lock-free span ring exported
+//!   as Chrome `trace_event` JSONL ([`export_trace_jsonl`]) — one
+//!   request's retries, reactor phases, admission check, shard
+//!   execution, WAL append and fsync as a single tree.
 //! * a **metrics registry** ([`Registry`]) of named atomic
 //!   [`Counter`]s, [`Gauge`]s and log₂-bucketed [`Histogram`]s.
 //!   Handles are `Arc`s resolved once; updates are relaxed atomics —
@@ -35,10 +41,15 @@
 mod hist;
 mod json;
 mod recorder;
+mod span;
 
 pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS};
 pub use json::escape;
 pub use recorder::{Event, FlightRecorder};
+pub use span::{
+    export_trace_jsonl, next_span_id, span_events, spans_dump_json, trace_dump_json, trace_events,
+    Span, SpanContext, SpanEvent,
+};
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -265,6 +276,45 @@ impl Snapshot {
             gauges.join(","),
             histograms.join(",")
         )
+    }
+
+    /// Prometheus-style text exposition (hand-rolled, stable order).
+    /// Instrument names sanitize `.` and `-` to `_`; histograms render
+    /// as summaries (`quantile` labels for p50/p90/p99/p999 plus
+    /// `_sum`/`_count`/`_max`). This is what the TCP front door's ops
+    /// plane serves to a scraper.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [
+                ("0.5", h.p50()),
+                ("0.9", h.p90()),
+                ("0.99", h.p99()),
+                ("0.999", h.p999()),
+            ] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_sum {}\n{n}_count {}\n{n}_max {}\n",
+                h.sum, h.count, h.max
+            ));
+        }
+        out
     }
 }
 

@@ -103,7 +103,9 @@ impl FlightRecorder {
     }
 
     /// Renders the dump artifact: reason, recorder identity, the event
-    /// timeline, and the accompanying metrics snapshot.
+    /// timeline, the span ring's recent records (in-flight spans
+    /// included — a crash shows what never finished), and the
+    /// accompanying metrics snapshot.
     pub fn dump_json(&self, reason: &str, metrics: &Snapshot) -> String {
         let events: Vec<String> = self
             .snapshot()
@@ -121,10 +123,11 @@ impl FlightRecorder {
             })
             .collect();
         format!(
-            "{{\n  \"recorder\": \"{}\",\n  \"reason\": \"{}\",\n  \"events\": [\n{}\n  ],\n  \"metrics\": {}\n}}\n",
+            "{{\n  \"recorder\": \"{}\",\n  \"reason\": \"{}\",\n  \"events\": [\n{}\n  ],\n  \"spans\": {},\n  \"metrics\": {}\n}}\n",
             escape(&self.name),
             escape(reason),
             events.join(",\n"),
+            crate::spans_dump_json(256),
             metrics.to_json()
         )
     }

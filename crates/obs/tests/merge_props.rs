@@ -5,7 +5,7 @@
 
 #![cfg(not(feature = "no-op"))]
 
-use ppms_obs::{Registry, Snapshot};
+use ppms_obs::{bucket_index, Histogram, Registry, Snapshot};
 use proptest::prelude::*;
 
 /// One synthetic instrument update.
@@ -30,6 +30,18 @@ fn apply(reg: &Registry, u: &Update) {
         Update::Gauge(k, n) => reg.gauge(&format!("g{k}")).add(n as i64),
         Update::Hist(k, v) => reg.histogram(&format!("h{k}")).record(v),
     }
+}
+
+/// Values chosen to sit exactly on log₂-bucket boundaries (both
+/// sides), collapse into the tiny buckets, or land anywhere — the
+/// distributions where a bucketed quantile is most likely to slip.
+fn adversarial_value() -> impl Strategy<Value = u64> {
+    (0u8..4, 0u32..64, any::<u64>()).prop_map(|(kind, b, raw)| match kind {
+        0 => 1u64 << b,
+        1 => (((1u128) << (b + 1)) - 1) as u64,
+        2 => raw % 5,
+        _ => raw,
+    })
 }
 
 fn snapshot_of(updates: &[Update]) -> Snapshot {
@@ -93,5 +105,56 @@ proptest! {
         let sa = snapshot_of(&a);
         prop_assert_eq!(sa.merge(&Snapshot::default()), sa.clone());
         prop_assert_eq!(Snapshot::default().merge(&sa), sa);
+    }
+
+    // Percentile accuracy on adversarial distributions: the reported
+    // p50/p99/p999 is never below the exact order statistic and never
+    // leaves its log₂ bucket (the histogram's advertised resolution),
+    // and shard-splitting then merging changes none of the reported
+    // quantiles.
+    #[test]
+    fn reported_quantiles_stay_in_the_exact_samples_bucket(
+        samples in prop::collection::vec(adversarial_value(), 1..200),
+        split in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let snap = whole.snapshot();
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = samples.len();
+        for &q in &[0.50f64, 0.99, 0.999] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let reported = snap.quantile(q);
+            prop_assert!(
+                reported >= exact,
+                "q={q}: reported {reported} < exact {exact}"
+            );
+            prop_assert_eq!(
+                bucket_index(reported),
+                bucket_index(exact),
+                "q={}: reported {} left exact {}'s bucket",
+                q,
+                reported,
+                exact
+            );
+        }
+
+        // The same stream split across two shard histograms and merged
+        // back reports identical quantiles, so the accuracy bound
+        // survives `merge`.
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for (i, &v) in samples.iter().enumerate() {
+            let left = split.get(i).copied().unwrap_or(i % 2 == 0);
+            if left { a.record(v) } else { b.record(v) }
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        for &q in &[0.50f64, 0.99, 0.999] {
+            prop_assert_eq!(merged.quantile(q), snap.quantile(q), "q={}", q);
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Allocation discipline of the span machinery, pinned by a counting
+//! global allocator (same technique as `ppms-bigint`'s `alloc_free`):
+//! under the `no-op` feature a [`Span`] is a pure context passthrough
+//! — zero heap allocations to create, query and drop — and even in
+//! the live build a *warmed* span (name already interned) records
+//! into the ring without allocating. The `#![forbid(unsafe_code)]`
+//! in the library crate does not extend to this test binary, which
+//! needs `unsafe` only for the `GlobalAlloc` shim.
+
+use ppms_obs::Span;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.with(|c| c.get()) {
+            ALLOCS.with(|a| a.set(a.get() + 1));
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.with(|c| c.get()) {
+            ALLOCS.with(|a| a.set(a.get() + 1));
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed by `f` on this thread (growth only).
+fn allocs_in(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+fn span_tree_once(trace: u64) {
+    let root = Span::root("alloc.root", trace);
+    let child = Span::child("alloc.child", root.ctx());
+    black_box(child.ctx());
+    drop(child);
+    drop(root);
+}
+
+#[cfg(feature = "no-op")]
+#[test]
+fn noop_spans_never_allocate() {
+    // Cold path included: the stub has nothing to warm.
+    let n = allocs_in(|| {
+        for i in 0..64u64 {
+            span_tree_once(0x5000 + i);
+            black_box(Span::child("alloc.other", ppms_obs::SpanContext::from_trace(i)).ctx());
+        }
+    });
+    assert_eq!(n, 0, "no-op span machinery must be a zero-cost stub");
+    assert!(ppms_obs::span_events().is_empty());
+}
+
+#[cfg(not(feature = "no-op"))]
+#[test]
+fn live_spans_do_not_allocate_once_warmed() {
+    // First use interns the names and lazily builds the ring.
+    span_tree_once(0x6000);
+    let n = allocs_in(|| {
+        for i in 0..64u64 {
+            span_tree_once(0x6001 + i);
+        }
+    });
+    assert_eq!(n, 0, "a warmed span records into the ring allocation-free");
+}
+
+#[cfg(not(feature = "no-op"))]
+#[test]
+fn disabled_spans_do_not_allocate() {
+    ppms_obs::set_enabled(false);
+    let n = allocs_in(|| {
+        for i in 0..64u64 {
+            span_tree_once(0x7000 + i);
+        }
+    });
+    ppms_obs::set_enabled(true);
+    assert_eq!(n, 0, "runtime-disabled spans are context passthroughs");
+}

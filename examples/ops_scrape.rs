@@ -1,0 +1,100 @@
+//! Scrape the live ops plane on the TCP front door.
+//!
+//! `Ops` requests are admission-exempt, read-only, and served inside
+//! the reactor thread — they never pay the gate and never touch a
+//! shard, so they work even when the market itself is overloaded or
+//! the caller holds no e-cash. This example spins up a market, pushes
+//! a little traffic through the door, then scrapes every ops surface:
+//! the health probe, the merged metrics snapshot as JSON and as
+//! Prometheus text, and the slow-request log with its span trees.
+//!
+//! ```text
+//! cargo run --release --example ops_scrape
+//! ```
+
+use ppms_core::gate::{AdmissionConfig, OpsRequest};
+use ppms_core::service::{MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
+use ppms_core::{Party, TcpClientConfig, TcpConfig, TcpFrontDoor, TcpTransport};
+use ppms_ecash::DecParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x0B5);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    // Free admission keeps the example focused on the ops plane; a
+    // 1ns slow threshold makes every request "slow" so the log fills.
+    let door = TcpFrontDoor::spawn(
+        &svc,
+        "127.0.0.1:0",
+        TcpConfig {
+            admission: AdmissionConfig {
+                price: 0,
+                requests_per_token: u64::MAX,
+                ..AdmissionConfig::default()
+            },
+            slow_request_threshold: Duration::from_nanos(1),
+            slow_log_capacity: 8,
+            ..TcpConfig::default()
+        },
+    )
+    .expect("front door must bind loopback");
+    println!("front door listening on {}", door.addr());
+
+    // A little app traffic so the scrape has something to show.
+    let transport = Arc::new(TcpTransport::new(TcpClientConfig::new(door.addr())));
+    let client = MaClient::new(transport.clone(), Party::Sp);
+    for _ in 0..4 {
+        let resp = client
+            .try_call(MaRequest::RegisterSpAccount)
+            .expect("register");
+        assert!(matches!(resp, MaResponse::Account(_)));
+    }
+
+    // The scrape itself: four ops queries over the same socket. No
+    // admission, no shard, no ledger access — pure reactor-side reads.
+    let health = transport
+        .ops(OpsRequest::Health)
+        .expect("health probe answers");
+    println!("\n== GET health ==\n{health}");
+
+    let json = transport
+        .ops(OpsRequest::MetricsJson)
+        .expect("metrics snapshot answers");
+    println!("\n== GET metrics (JSON, first 400 bytes) ==");
+    println!("{}", &json[..json.len().min(400)]);
+
+    let text = transport
+        .ops(OpsRequest::MetricsText)
+        .expect("prometheus text answers");
+    println!("\n== GET metrics (Prometheus text, tcp.* family) ==");
+    for line in text.lines().filter(|l| l.contains("tcp_")) {
+        println!("{line}");
+    }
+
+    let slow = transport
+        .ops(OpsRequest::SlowLog)
+        .expect("slow log answers");
+    let entries = slow.matches("\"elapsed_ns\"").count();
+    println!("\n== GET slow log ({entries} entries, first 400 bytes) ==");
+    println!("{}", &slow[..slow.len().min(400)]);
+
+    assert!(health.contains("status"), "health reports a status");
+    assert!(json.contains("tcp."), "snapshot covers the door");
+    assert!(entries >= 1, "the 1ns threshold catches every request");
+
+    drop(door);
+    svc.shutdown();
+    println!("\nops plane scraped: health, metrics x2, slow log.");
+}

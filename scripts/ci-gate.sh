@@ -20,9 +20,11 @@ echo "==> no-op observability config still compiles"
 for crate in ppms-obs ppms-bigint ppms-crypto ppms-ecash ppms-core ppms-bench ppms-integration; do
     cargo build -p "$crate" --features no-op --quiet
 done
+# Also proves the no-op feature compiles the span machinery down to
+# zero-cost stubs (span_alloc's allocation-counter tests run here).
 cargo test -p ppms-obs --features no-op -q
 
-echo "==> observability layer (registry, histograms, merge laws)"
+echo "==> observability layer (registry, histograms, percentile accuracy, merge laws)"
 cargo test -p ppms-obs -q
 
 echo "==> wire protocol property tests (v3 + legacy v2 frames, split reassembly)"
@@ -56,13 +58,24 @@ echo "==> recovery bench smoke (replay-length + fsync-discipline gates)"
 cargo bench -p ppms-bench --bench recovery -- --test >/dev/null
 cargo bench -p ppms-bench --features no-op --bench recovery -- --test >/dev/null
 
-echo "==> trace context + flight recorder (crash dump carries the trace)"
+echo "==> open-loop load harness smoke (latency accounting + mid-run ops scrape gates)"
+cargo bench -p ppms-bench --bench load_curve -- --test >/dev/null
+cargo bench -p ppms-bench --features no-op --bench load_curve -- --test >/dev/null
+
+echo "==> trace context + flight recorder (shard-crash and reactor-panic dumps carry the trace)"
 trace_out=$(cargo test -p ppms-integration --test trace_context -- --nocapture 2>&1) || {
     echo "$trace_out"
     exit 1
 }
 echo "$trace_out" | grep -q "flight-recorder dump:" || {
     echo "trace_context never produced a flight-recorder dump line:"
+    echo "$trace_out"
+    exit 1
+}
+# A panic in the TCP reactor thread must also dump (with the in-flight
+# span ring embedded), not just the shard workers' crash path.
+echo "$trace_out" | grep -q "flight-recorder dump: .*tcp-reactor" || {
+    echo "trace_context never dumped from the TCP reactor thread:"
     echo "$trace_out"
     exit 1
 }

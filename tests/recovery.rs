@@ -368,3 +368,103 @@ fn disk_backed_front_door_survives_restart() {
     svc.shutdown();
     std::fs::remove_dir_all(&dir).expect("scratch cleanup");
 }
+
+/// Satellite of the causal-span work: the span context persisted into
+/// each `WalRecord::Begin` survives the crash, so recovery replay
+/// re-attributes every replayed entry to the *originating* trace id —
+/// a post-crash flight recorder reads like the pre-crash one.
+#[cfg(not(feature = "no-op"))]
+#[test]
+fn recovery_replay_reattributes_entries_to_their_originating_traces() {
+    use ppms_core::next_request_id;
+    use ppms_core::service::{MaService, ServiceConfig};
+    use ppms_ecash::DecParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TRACES: [u64; 3] = [
+        0x4EC0_0000_0000_0001,
+        0x4EC0_0000_0000_0002,
+        0x4EC0_0000_0000_0003,
+    ];
+    let storage = SimStorage::new();
+    let dur = DurabilityConfig::new(Arc::new(storage.clone())); // fsync Always
+    let mut rng = StdRng::seed_from_u64(0x7A50);
+    let svc = MaService::spawn_durable(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig::default(),
+        dur.clone(),
+    )
+    .expect("durable spawn");
+    let client = svc.client();
+    let MaResponse::JobId(job) = client
+        .try_call_traced(
+            next_request_id(),
+            TRACES[0],
+            MaRequest::PublishJob {
+                description: "traced".into(),
+                payment: 1,
+                pseudonym: vec![7],
+            },
+        )
+        .expect("publish")
+    else {
+        panic!("publish reply");
+    };
+    for trace in &TRACES[1..] {
+        let resp = client
+            .try_call_traced(
+                next_request_id(),
+                *trace,
+                MaRequest::LaborRegister {
+                    job_id: job,
+                    sp_pubkey: vec![*trace as u8],
+                },
+            )
+            .expect("labor");
+        assert!(matches!(resp, MaResponse::Ok), "{resp:?}");
+    }
+
+    // The kill: every append above was fsynced, so the crash image
+    // holds the full journal including the persisted span contexts.
+    let image = storage.crash_image(0x4EC0);
+    svc.shutdown();
+
+    let mut recov = dur;
+    recov.storage = Arc::new(image);
+    let mut rng = StdRng::seed_from_u64(0x7A50);
+    let (svc, report) = MaService::recover(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig::default(),
+        recov,
+    )
+    .expect("recovery");
+    assert!(
+        report.replayed_records >= 2 * TRACES.len(),
+        "all traced operations must replay, got {}",
+        report.replayed_records
+    );
+
+    // Replay runs inside the (single) shard worker before it serves
+    // its first request, so one round-trip is a replay barrier; only
+    // then is the recorder guaranteed to name every original trace.
+    let client = svc.client();
+    let resp = client.try_call(MaRequest::RegisterSpAccount).expect("sync");
+    assert!(matches!(resp, MaResponse::Account(_)), "{resp:?}");
+    let events: Vec<_> = svc.recorders().iter().flat_map(|r| r.snapshot()).collect();
+    for trace in TRACES {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.label == "replayed" && e.trace_id == trace),
+            "replay must re-attribute to trace {trace:#x}: {events:?}"
+        );
+    }
+    svc.shutdown();
+}

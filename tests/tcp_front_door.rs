@@ -7,7 +7,7 @@
 //! unboundedly. Every policy decision is asserted through the obs
 //! counters the reactor records (`tcp.*`, `gate.*`).
 
-use ppms_core::gate::AdmissionConfig;
+use ppms_core::gate::{AdmissionConfig, OpsRequest};
 use ppms_core::service::{MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
 use ppms_core::sim::{mint_admission_spends, mint_deposit_batches};
 use ppms_core::{
@@ -53,6 +53,8 @@ fn gate_frame(party: Party, msg_id: u64, payload: &GateRequest) -> Vec<u8> {
         msg_id,
         correlation_id: 0,
         trace_id: next_trace_id(),
+        span_id: 0,
+        parent_id: 0,
         party,
         payload,
     }
@@ -420,6 +422,173 @@ fn overload_is_shed_with_busy_not_queued_unboundedly() {
     let snap = door.obs_snapshot();
     assert_eq!(snap.counter("tcp.shed"), busy as u64);
     assert_eq!(snap.counter("tcp.evicted"), 0, "shedding is not eviction");
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
+fn ops_plane_is_admission_exempt_read_only_and_shardless() {
+    let svc = spawn_service(0xD005, 2, 64);
+    // Paid door (default price 1): a wallet-less peer cannot reach a
+    // shard, yet the ops family must serve it anyway.
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", TcpConfig::default()).expect("front door");
+    let before = svc.obs.snapshot();
+
+    // Raw connection, never admitted: the ops family answers where an
+    // app request would only be challenged.
+    let mut conn = gate_conn(door.addr());
+    let health = match ask(&mut conn, Party::Sp, &GateRequest::Ops(OpsRequest::Health)) {
+        GateResponse::Ops { body } => body,
+        other => panic!("ops must be admission-exempt, got {other:?}"),
+    };
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"uptime_ms\""), "{health}");
+    assert!(health.contains("\"connections\""), "{health}");
+
+    // The programmatic scrape surface — no wallet loaded.
+    let t = TcpTransport::new(TcpClientConfig::new(door.addr()));
+    let json = t.ops(OpsRequest::MetricsJson).expect("metrics json");
+    assert!(
+        json.contains("\"tcp.ops\""),
+        "merged snapshot carries the door's own counters: {json}"
+    );
+    let prom = t.ops(OpsRequest::MetricsText).expect("prometheus text");
+    assert!(
+        prom.contains("# TYPE tcp_ops counter"),
+        "prometheus rendering of the same snapshot: {prom}"
+    );
+    let slow = t.ops(OpsRequest::SlowLog).expect("slow log");
+    assert!(
+        slow.starts_with('[') && slow.ends_with(']'),
+        "slow log is a JSON array: {slow}"
+    );
+
+    // Served entirely in-reactor: not one ops query entered the
+    // service's dispatcher, let alone a shard.
+    let after = svc.obs.snapshot();
+    assert_eq!(
+        before.counter("ma.dedup.misses"),
+        after.counter("ma.dedup.misses"),
+        "an ops query reached the service"
+    );
+    assert_eq!(
+        before.counter("ma.dedup.hits"),
+        after.counter("ma.dedup.hits")
+    );
+    assert!(after.counter("tcp.ops") >= 4, "every ops query counted");
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
+fn ops_queries_are_rate_limited_but_app_traffic_is_not() {
+    let svc = spawn_service(0xD006, 1, 64);
+    let config = TcpConfig {
+        admission: open_door(true),
+        // Bucket of 3, refilled at 1/s: a burst of 10 must shed.
+        ops_rate_per_sec: 1,
+        ops_burst: 3,
+        ..TcpConfig::default()
+    };
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", config).expect("front door");
+
+    let mut conn = gate_conn(door.addr());
+    let (mut served, mut limited) = (0u64, 0u64);
+    for _ in 0..10 {
+        match ask(&mut conn, Party::Sp, &GateRequest::Ops(OpsRequest::Health)) {
+            GateResponse::Ops { .. } => served += 1,
+            GateResponse::Busy => limited += 1,
+            other => panic!("unexpected ops answer: {other:?}"),
+        }
+    }
+    assert!(
+        (3..=4).contains(&served),
+        "burst capacity bounds the served count, got {served}"
+    );
+    assert!(limited >= 6, "the rest must shed, got {limited}");
+
+    // The ops bucket never touches app traffic: the same door still
+    // serves an admitted client normally.
+    let token = match ask(&mut conn, Party::Sp, &GateRequest::Hello) {
+        GateResponse::Admitted { token, .. } => token,
+        other => panic!("open door must admit, got {other:?}"),
+    };
+    match ask(
+        &mut conn,
+        Party::Sp,
+        &GateRequest::App {
+            token,
+            request: MaRequest::RegisterSpAccount,
+        },
+    ) {
+        GateResponse::App(MaResponse::Account(_)) => {}
+        other => panic!("app traffic throttled by the ops bucket: {other:?}"),
+    }
+
+    let snap = door.obs_snapshot();
+    assert_eq!(snap.counter("tcp.ops_limited"), limited);
+    assert_eq!(snap.counter("tcp.ops"), served);
+
+    drop(door);
+    svc.shutdown();
+}
+
+#[test]
+fn slow_requests_land_in_the_slow_log_with_their_span_tree() {
+    let svc = spawn_service(0xD007, 1, 64);
+    let config = TcpConfig {
+        admission: open_door(true),
+        // Every traced request is "slow" at a 1ns threshold.
+        slow_request_threshold: Duration::from_nanos(1),
+        slow_log_capacity: 4,
+        ..TcpConfig::default()
+    };
+    let door = TcpFrontDoor::spawn(&svc, "127.0.0.1:0", config).expect("front door");
+
+    let client = MaClient::new(
+        Arc::new(TcpTransport::new(TcpClientConfig::new(door.addr()))),
+        Party::Sp,
+    );
+    let account = match client.call(MaRequest::RegisterSpAccount) {
+        MaResponse::Account(a) => a,
+        other => panic!("account: {other:?}"),
+    };
+    // Overflow the capacity-4 log so the FIFO bound is exercised too.
+    for _ in 0..6 {
+        match client.call(MaRequest::Balance { account }) {
+            MaResponse::Balance(_) => {}
+            other => panic!("balance: {other:?}"),
+        }
+    }
+
+    let ops = TcpTransport::new(TcpClientConfig::new(door.addr()));
+    let body = ops.ops(OpsRequest::SlowLog).expect("slow log");
+    assert!(body.contains("\"trace_id\""), "{body}");
+    assert!(body.contains("\"elapsed_ns\""), "{body}");
+    assert!(body.contains("\"spans\""), "{body}");
+    // In the live build the logged tree includes the server-side spans
+    // of the slow request (the no-op build logs an empty tree).
+    #[cfg(not(feature = "no-op"))]
+    assert!(
+        body.contains("shard.handle"),
+        "slow-log entries must carry the request's span tree: {body}"
+    );
+    // One "elapsed_ns" per entry (the nested span cells repeat
+    // "trace_id", so that key cannot count entries).
+    let entries = body.matches("\"elapsed_ns\"").count();
+    assert!(
+        (1..=4).contains(&entries),
+        "FIFO capacity must bound the log, got {entries}: {body}"
+    );
+
+    let snap = door.obs_snapshot();
+    assert!(snap.counter("tcp.slow_requests") >= 7);
+    assert!(
+        snap.histogram("tcp.request_ns").is_some() || cfg!(feature = "no-op"),
+        "request latencies recorded"
+    );
 
     drop(door);
     svc.shutdown();

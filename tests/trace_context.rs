@@ -4,11 +4,19 @@
 //! flight recorder, and — when a shard worker dies — appears in the
 //! crash-dump JSON, tying the dump to the request that was in flight.
 
-use ppms_core::service::{MaRequest, MaResponse, MaService, ServiceConfig};
-use ppms_core::{next_request_id, CrashPoint, FaultPlan, Party, RetryPolicy, SimNetConfig};
+use ppms_core::gate::AdmissionConfig;
+use ppms_core::service::{MaClient, MaRequest, MaResponse, MaService, ServiceConfig};
+use ppms_core::sim::mint_deposit_batches;
+use ppms_core::{
+    next_request_id, CrashPoint, DurabilityConfig, FaultPlan, Party, RetryPolicy,
+    RetryingTransport, SimNetConfig, SimStorage, TcpClientConfig, TcpConfig, TcpFrontDoor,
+    TcpTransport, Transport,
+};
 use ppms_ecash::DecParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
 
 #[test]
 fn crash_dump_carries_the_crashing_requests_trace_id() {
@@ -137,5 +145,180 @@ fn one_trace_survives_lossy_retransmission() {
             "replayed retransmit carried an unknown trace: {event:?}"
         );
     }
+    svc.shutdown();
+}
+
+/// One decoded `(name, span_id, parent_id)` triple per exported
+/// trace-event line. The exporter's format is fixed (hand-rolled JSON
+/// in `ppms-obs`), so positional parsing is stable.
+#[cfg(not(feature = "no-op"))]
+fn parse_jsonl(jsonl: &str) -> Vec<(String, u64, u64)> {
+    fn field_u64(line: &str, key: &str) -> u64 {
+        let at = line.find(key).unwrap_or_else(|| panic!("{key} in {line}")) + key.len();
+        line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("numeric field")
+    }
+    jsonl
+        .lines()
+        .map(|line| {
+            let at = line.find("\"name\":\"").expect("name field") + 8;
+            let name = line[at..]
+                .split('"')
+                .next()
+                .expect("name value")
+                .to_string();
+            (
+                name,
+                field_u64(line, "\"span_id\":"),
+                field_u64(line, "\"parent_id\":"),
+            )
+        })
+        .collect()
+}
+
+/// The PR's acceptance trace: one retried PPMSdec deposit, driven
+/// through the retry layer and the TCP front door into a durable
+/// (fsync-per-append) shard, exports as a single JSONL trace whose
+/// causal tree runs client span → ≥2 retry attempts → reactor
+/// read/reply → gate → shard handler → WAL append → fsync. The first
+/// attempt dies because the reactor itself panics on the trace (the
+/// chaos hook), which also proves the reactor's dump-and-resume path.
+#[cfg(not(feature = "no-op"))]
+#[test]
+fn exported_jsonl_trace_shows_the_causal_tree_of_a_retried_deposit() {
+    const TRACE: u64 = 0x7C0F_FEE0_0000_0001;
+    let mut rng = StdRng::seed_from_u64(0x7A40);
+    let svc = MaService::spawn_durable(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig::default(),
+        DurabilityConfig::new(Arc::new(SimStorage::new())), // SyncPolicy::Always
+    )
+    .expect("durable spawn");
+    let door = TcpFrontDoor::spawn(
+        &svc,
+        "127.0.0.1:0",
+        TcpConfig {
+            admission: AdmissionConfig {
+                price: 0,
+                requests_per_token: u64::MAX,
+                ..AdmissionConfig::default()
+            },
+            chaos_panic_on_trace: Some(TRACE),
+            ..TcpConfig::default()
+        },
+    )
+    .expect("front door");
+
+    let (account, spends) = mint_deposit_batches(&svc, 0xD3E9, 1)
+        .expect("mint deposit batch")
+        .remove(0);
+
+    let mut ccfg = TcpClientConfig::new(door.addr());
+    // The panicked-over frame never gets a reply; a short deadline
+    // turns that silence into the transport error the retry layer eats.
+    ccfg.reply_timeout = Duration::from_millis(200);
+    let tcp: Arc<dyn Transport> = Arc::new(TcpTransport::new(ccfg));
+    let retrying = RetryingTransport::new(tcp, RetryPolicy::aggressive(0x7A40), svc.faults.clone());
+    let client = MaClient::new(Arc::new(retrying), Party::Sp);
+
+    let root = ppms_obs::Span::root("client.deposit", TRACE);
+    let resp = client
+        .try_call_spanned(
+            next_request_id(),
+            root.ctx(),
+            MaRequest::DepositBatch { account, spends },
+        )
+        .expect("retry converges after the reactor panic");
+    assert!(
+        matches!(resp, MaResponse::BatchDeposited { rejected: 0, .. }),
+        "{resp:?}"
+    );
+    drop(root);
+
+    // The reactor died once, dumped (spans included), and resumed.
+    let dumps = door.crash_dumps();
+    assert_eq!(dumps.len(), 1, "exactly one reactor panic: {dumps:?}");
+    let body = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    assert!(body.contains("\"reason\": \"tcp-reactor-panic\""), "{body}");
+    assert!(body.contains("\"spans\""), "dump must embed the span ring");
+    assert!(
+        body.contains(&format!("{TRACE:#018x}")),
+        "dump names the chaos trace"
+    );
+
+    // One exported trace carries the whole causal tree.
+    let jsonl = ppms_obs::export_trace_jsonl(TRACE);
+    let spans = parse_jsonl(&jsonl);
+    let by_id: std::collections::HashMap<u64, (&str, u64)> = spans
+        .iter()
+        .map(|(n, id, parent)| (*id, (n.as_str(), *parent)))
+        .collect();
+    let ids_of = |name: &str| -> Vec<(u64, u64)> {
+        spans
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, id, parent)| (*id, *parent))
+            .collect()
+    };
+
+    let roots = ids_of("client.deposit");
+    assert_eq!(roots.len(), 1, "{jsonl}");
+    let (root_id, root_parent) = roots[0];
+    assert_eq!(root_parent, 0, "the client span is the trace root");
+
+    let attempts = ids_of("retry.attempt");
+    assert!(
+        attempts.len() >= 2,
+        "a retried deposit needs >=2 attempt spans: {jsonl}"
+    );
+    assert!(
+        attempts.iter().all(|(_, parent)| *parent == root_id),
+        "every attempt is a child of the client span"
+    );
+
+    // The gate checked the (admitted) connection on the app frame, and
+    // the reply rode back under the caller's context.
+    assert!(!ids_of("gate.check").is_empty(), "{jsonl}");
+    let replies = ids_of("tcp.reply");
+    assert!(
+        replies
+            .iter()
+            .any(|(_, parent)| attempts.iter().any(|(id, _)| id == parent)),
+        "the reply span parents to the surviving attempt: {jsonl}"
+    );
+
+    // Deepest rung first: walk parent links from the fsync up to the
+    // root and require the exact acceptance chain.
+    let (fsync_id, _) = *ids_of("storage.fsync")
+        .first()
+        .expect("fsync span exported");
+    let mut chain = Vec::new();
+    let mut cursor = fsync_id;
+    while cursor != 0 {
+        let (name, parent) = by_id[&cursor];
+        chain.push(name);
+        cursor = parent;
+    }
+    assert_eq!(
+        chain,
+        vec![
+            "storage.fsync",
+            "wal.append",
+            "shard.handle",
+            "tcp.read",
+            "retry.attempt",
+            "client.deposit",
+        ],
+        "causal chain from the durable write back to the client: {jsonl}"
+    );
+
+    drop(door);
     svc.shutdown();
 }
