@@ -5,7 +5,7 @@
 //! Straus↔Pippenger crossover re-measured on the fixed kernels (the
 //! Vec-path table put it near n≈128 full-width / n≈150 small-exponent —
 //! `pick_bucketed` in `ring.rs` is tuned from this bench's table).
-//! Emits `target/report/BENCH_fixed.json` (EXPERIMENTS.md A12).
+//! Emits `BENCH_fixed.json` at the repo root (EXPERIMENTS.md A12).
 //!
 //! ```text
 //! cargo bench -p ppms-bench --bench ablation_fixed           # full run
@@ -185,11 +185,10 @@ fn main() {
         op_cells.join(",\n"),
         x_cells.join(",\n")
     );
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/report");
-    std::fs::create_dir_all(dir).ok();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{dir}/BENCH_fixed.json");
     match std::fs::write(&path, json) {
-        Ok(()) => println!("  [json -> target/report/BENCH_fixed.json]"),
+        Ok(()) => println!("  [json -> BENCH_fixed.json]"),
         Err(e) => eprintln!("  [json write failed: {e}]"),
     }
 

@@ -2,7 +2,7 @@
 //! frame-drop rates (plus mild duplication) with the retrying clients,
 //! and reports availability (fraction of runs that converge to the
 //! fault-free ledger) and the latency the retry layer adds. Emits
-//! `target/report/BENCH_chaos.json` (EXPERIMENTS.md A9).
+//! `BENCH_chaos.json` at the repo root (EXPERIMENTS.md A9).
 //!
 //! ```text
 //! cargo bench -p ppms-bench --bench chaos_availability
@@ -99,13 +99,12 @@ fn main() {
         .collect();
     let json = format!("[\n{}\n]\n", cells.join(",\n"));
     // `cargo bench` runs with the package dir as cwd; anchor the
-    // artifact at the *workspace* target/report next to the report
-    // binary's JSON dumps.
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/report");
-    std::fs::create_dir_all(dir).ok();
+    // artifact at the repo root, where it is committed alongside the
+    // code it measures.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{dir}/BENCH_chaos.json");
     match std::fs::write(&path, json) {
-        Ok(()) => println!("  [json -> target/report/BENCH_chaos.json]"),
+        Ok(()) => println!("  [json -> BENCH_chaos.json]"),
         Err(e) => eprintln!("  [json write failed: {e}]"),
     }
 

@@ -2,7 +2,7 @@
 //! the `ppms-obs` layer recording (the default) and with it disabled
 //! at runtime (`set_enabled(false)` — the same cheap check the `no-op`
 //! feature compiles away entirely), and reports the relative cost of
-//! instrumentation. Emits `target/report/BENCH_obs.json`
+//! instrumentation. Emits `BENCH_obs.json` at the repo root
 //! (EXPERIMENTS.md A10).
 //!
 //! ```text
@@ -128,11 +128,10 @@ fn main() {
         })
         .collect();
     let json = format!("[\n{}\n]\n", cells.join(",\n"));
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/report");
-    std::fs::create_dir_all(dir).ok();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{dir}/BENCH_obs.json");
     match std::fs::write(&path, json) {
-        Ok(()) => println!("  [json -> target/report/BENCH_obs.json]"),
+        Ok(()) => println!("  [json -> BENCH_obs.json]"),
         Err(e) => eprintln!("  [json write failed: {e}]"),
     }
 

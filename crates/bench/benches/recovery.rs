@@ -1,7 +1,7 @@
 //! Durable-tier recovery: cold-start latency versus log length with
 //! and without a checkpoint (the compaction payoff), plus the
 //! write-path cost of each fsync discipline over the same keyed
-//! market schedule. Emits `target/report/BENCH_recovery.json`
+//! market schedule. Emits `BENCH_recovery.json` at the repo root
 //! (EXPERIMENTS.md A14).
 //!
 //! ```text
@@ -193,11 +193,10 @@ fn main() {
         recovery_cells.join(",\n"),
         fsync_cells.join(",\n")
     );
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/report");
-    std::fs::create_dir_all(dir).ok();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{dir}/BENCH_recovery.json");
     match std::fs::write(&path, json) {
-        Ok(()) => println!("  [json -> target/report/BENCH_recovery.json]"),
+        Ok(()) => println!("  [json -> BENCH_recovery.json]"),
         Err(e) => eprintln!("  [json write failed: {e}]"),
     }
 

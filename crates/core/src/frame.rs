@@ -26,7 +26,6 @@ use crate::error::MarketError;
 use crate::stream::ByteStream;
 use crate::wire::{FRAME_TRAILER_LEN, WIRE_VERSION, WIRE_VERSION_V2, WIRE_VERSION_V3};
 use crate::WireError;
-use std::collections::VecDeque;
 use std::io;
 use std::time::Instant;
 
@@ -70,8 +69,21 @@ impl FrameDecoder {
         }
     }
 
-    /// Appends raw bytes from the stream.
+    /// Appends raw bytes from the stream. Compaction happens here —
+    /// not in `next_frame` — so yielded frames can borrow the buffer:
+    /// consumed bytes are reclaimed only once the caller has released
+    /// the previous frame and comes back with more input. The buffer
+    /// therefore reaches a steady-state capacity and `push` +
+    /// `next_frame` allocate nothing on the warmed hot path (pinned
+    /// by `tests/frame_alloc.rs`).
     pub fn push(&mut self, chunk: &[u8]) {
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
         self.buf.extend_from_slice(chunk);
     }
 
@@ -81,11 +93,14 @@ impl FrameDecoder {
     }
 
     /// Yields the next complete frame (prefix + body + trailer, the
-    /// exact byte slice `Envelope::from_bytes` expects), or `None` if
-    /// more bytes are needed. Errors are sticky in practice: a
-    /// `BadVersion`/`TooLong` means the stream is desynchronized and
-    /// the connection should be torn down.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+    /// exact byte slice `Envelope::from_bytes` expects) **borrowed
+    /// from the reassembly buffer** — no copy — or `None` if more
+    /// bytes are needed. The slice is valid until the next `push`;
+    /// decode it (or copy it out) before feeding more input. Errors
+    /// are sticky in practice: a `BadVersion`/`TooLong` means the
+    /// stream is desynchronized and the connection should be torn
+    /// down.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
         let avail = self.buf.len() - self.start;
         if avail < FRAME_PREFIX_LEN {
             return Ok(None);
@@ -103,16 +118,9 @@ impl FrameDecoder {
         if avail < total {
             return Ok(None);
         }
-        let frame = self.buf[self.start..self.start + total].to_vec();
+        let at = self.start;
         self.start += total;
-        if self.start >= self.buf.len() {
-            self.buf.clear();
-            self.start = 0;
-        } else if self.start > self.buf.len() / 2 {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
-        Ok(Some(frame))
+        Ok(Some(&self.buf[at..at + total]))
     }
 }
 
@@ -127,14 +135,17 @@ pub struct QueueFull {
     pub cap: usize,
 }
 
-/// Bounded outbound buffer for one connection. Frames go in whole;
-/// bytes drain out as the stream accepts them (short writes and
-/// `WouldBlock` leave a partial segment at the front).
+/// Bounded outbound buffer for one connection. Frames are copied into
+/// one flat, reused byte buffer, so a flush pushes *all* queued reply
+/// bytes through a single `write` call — the per-connection write
+/// coalescing half of the batching pipeline (DESIGN.md §16). Short
+/// writes and `WouldBlock` leave a cursor mid-buffer; the backing
+/// allocation reaches a steady state and is never shrunk, so the
+/// warmed enqueue/flush cycle allocates nothing.
 pub struct WriteQueue {
-    segments: VecDeque<Vec<u8>>,
-    /// Bytes of the front segment already written.
-    offset: usize,
-    queued: usize,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the stream.
+    start: usize,
     cap: usize,
 }
 
@@ -142,46 +153,52 @@ impl WriteQueue {
     /// A queue that refuses to hold more than `cap` bytes.
     pub fn new(cap: usize) -> WriteQueue {
         WriteQueue {
-            segments: VecDeque::new(),
-            offset: 0,
-            queued: 0,
+            buf: Vec::new(),
+            start: 0,
             cap,
         }
     }
 
-    /// Bytes currently queued (including the partially-written front
-    /// segment's remainder).
+    /// Bytes currently queued (the unwritten remainder).
     pub fn queued_bytes(&self) -> usize {
-        self.queued
+        self.buf.len() - self.start
     }
 
     /// True when nothing is waiting to drain.
     pub fn is_empty(&self) -> bool {
-        self.segments.is_empty()
+        self.start >= self.buf.len()
     }
 
     /// Accepts a whole frame for eventual transmission, or refuses if
     /// the cap would be exceeded. Refusal is the slow-client signal —
     /// the frame is *not* partially accepted.
-    pub fn enqueue(&mut self, frame: Vec<u8>) -> Result<(), QueueFull> {
-        if self.queued + frame.len() > self.cap {
+    pub fn enqueue(&mut self, frame: &[u8]) -> Result<(), QueueFull> {
+        let queued = self.queued_bytes();
+        if queued + frame.len() > self.cap {
             return Err(QueueFull {
-                queued: self.queued,
+                queued,
                 cap: self.cap,
             });
         }
-        self.queued += frame.len();
-        self.segments.push_back(frame);
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(frame);
         Ok(())
     }
 
-    /// Drains as much as the stream will take right now. Returns the
+    /// Drains as much as the stream will take right now — the whole
+    /// queue in one `write` when the kernel accepts it. Returns the
     /// number of bytes written; `WouldBlock` stops the drain without
     /// error, any other io error propagates (connection is dead).
     pub fn flush<S: ByteStream + ?Sized>(&mut self, stream: &mut S) -> io::Result<usize> {
         let mut wrote = 0usize;
-        while let Some(front) = self.segments.front() {
-            match stream.write(&front[self.offset..]) {
+        while self.start < self.buf.len() {
+            match stream.write(&self.buf[self.start..]) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
@@ -190,17 +207,16 @@ impl WriteQueue {
                 }
                 Ok(n) => {
                     wrote += n;
-                    self.queued -= n;
-                    self.offset += n;
-                    if self.offset >= front.len() {
-                        self.segments.pop_front();
-                        self.offset = 0;
-                    }
+                    self.start += n;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
+        }
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
         }
         Ok(wrote)
     }
@@ -257,8 +273,11 @@ impl FramedConn {
     pub fn recv_frame(&mut self, deadline: Instant) -> Result<Vec<u8>, MarketError> {
         let mut buf = [0u8; 4096];
         loop {
+            // The client copies the frame out: its reply buffer decode
+            // outlives the next read. The zero-copy discipline matters
+            // on the server's per-frame path, not here.
             match self.decoder.next_frame() {
-                Ok(Some(frame)) => return Ok(frame),
+                Ok(Some(frame)) => return Ok(frame.to_vec()),
                 Ok(None) => {}
                 Err(e) => {
                     return Err(MarketError::Transport(format!(
@@ -328,7 +347,7 @@ mod tests {
         for b in &joined {
             dec.push(std::slice::from_ref(b));
             while let Some(f) = dec.next_frame().unwrap() {
-                out.push(f);
+                out.push(f.to_vec());
             }
         }
         assert_eq!(out, vec![f1, f2]);
@@ -348,7 +367,7 @@ mod tests {
         for w in cuts.windows(2) {
             dec.push(&joined[w[0]..w[1]]);
             while let Some(f) = dec.next_frame().unwrap() {
-                out.push(f);
+                out.push(f.to_vec());
             }
         }
         assert_eq!(out, vec![f1, f2]);
@@ -416,9 +435,9 @@ mod tests {
         }
 
         let mut q = WriteQueue::new(16);
-        q.enqueue(vec![1; 10]).unwrap();
+        q.enqueue(&[1; 10]).unwrap();
         // 10 queued; another 10 would exceed the 16-byte cap.
-        let err = q.enqueue(vec![2; 10]).unwrap_err();
+        let err = q.enqueue(&[2; 10]).unwrap_err();
         assert_eq!(
             err,
             QueueFull {
@@ -426,7 +445,7 @@ mod tests {
                 cap: 16
             }
         );
-        q.enqueue(vec![3; 6]).unwrap();
+        q.enqueue(&[3; 6]).unwrap();
         assert_eq!(q.queued_bytes(), 16);
 
         // Drain through a stream that takes 3 bytes at a time and

@@ -54,7 +54,7 @@ use crate::transport::{
     request_label, FaultPlan, InProcTransport, SimNetConfig, SimNetTransport, TrafficLog, Transport,
 };
 use crate::wal::{CommittedEntry, ShardWal, WalRecord, WalReplay};
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use ppms_bigint::BigUint;
 use ppms_crypto::cl::{ClPublicKey, ClSignature};
@@ -243,6 +243,44 @@ pub struct CrashPoint {
     pub at_request: u64,
 }
 
+/// Crash-injection point for the batching pipeline: the chosen shard
+/// worker exits after journaling the Commit for its `at_begin`-th
+/// `Begin` — *between* the batch's verification/execution and its
+/// group-commit flush, before any held reply is released. Items
+/// committed earlier in the same cross-client batch have journal
+/// records but unanswered clients; the retries must replay, not
+/// re-execute (pinned by `tests/chaos.rs` / `tests/recovery.rs`).
+/// Fires at most once per service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MidBatchCrash {
+    /// Which shard dies (taken modulo the shard count).
+    pub shard: usize,
+    /// 1-based count of `Begin` records that triggers the crash.
+    pub at_begin: u64,
+}
+
+/// Flush triggers for shard-level dynamic batching (DESIGN.md §16): a
+/// worker drains its queue into a batch until the size cap, then
+/// Nagle-waits for companions only while the observed arrival rate
+/// says one is likely inside the deadline window.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Batch-size cap N: the most items one drain may collect.
+    pub max_batch: usize,
+    /// Upper bound D on the adaptive flush deadline, in microseconds.
+    /// `0` disables the Nagle wait entirely (pure greedy drain).
+    pub max_delay_micros: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_delay_micros: 150,
+        }
+    }
+}
+
 /// Sizing knobs for the sharded service.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -254,8 +292,13 @@ pub struct ServiceConfig {
     /// Entries each shard's idempotency cache holds before evicting
     /// the oldest (0 disables replay — every retransmit re-executes).
     pub dedup_capacity: usize,
+    /// Cross-client batching flush triggers.
+    pub batch: BatchConfig,
     /// Optional crash injection for the supervision tests.
     pub crash: Option<CrashPoint>,
+    /// Optional mid-batch crash injection (between batch verify and
+    /// group commit) for the batching chaos tests.
+    pub crash_mid_batch: Option<MidBatchCrash>,
 }
 
 impl Default for ServiceConfig {
@@ -264,7 +307,9 @@ impl Default for ServiceConfig {
             shards: 1,
             queue_depth: 128,
             dedup_capacity: 1024,
+            batch: BatchConfig::default(),
             crash: None,
+            crash_mid_batch: None,
         }
     }
 }
@@ -305,6 +350,62 @@ pub struct MaService {
     /// Admission-gate state recovered from the snapshot, consumed
     /// once by the front door on spawn.
     recovered_gate: Mutex<Option<Vec<u8>>>,
+    /// The live shard inboxes (shared with the dispatcher, which
+    /// refreshes them on respawn) — what a [`ShardRouter`] sends into.
+    shard_txs: Arc<Mutex<Vec<Sender<ShardMsg>>>>,
+    /// Queue-depth gauges, one per shard, for direct routers.
+    queue_gauges: Vec<Arc<ppms_obs::Gauge>>,
+    n_shards: usize,
+}
+
+/// A direct route into the shard queues, handed to the TCP reactor:
+/// the per-request hop through the dispatcher thread (one channel
+/// transfer plus a thread wake on an otherwise-parked core) is pure
+/// overhead on the hot path, so the reactor sends straight into the
+/// target shard's inbox. Anything the router cannot place — a full or
+/// disconnected shard queue, a `Shutdown`, a not-yet-spawned shard —
+/// is handed back for the supervised inbox path, where the dispatcher
+/// still owns respawn and backpressure. Sharing `shard_txs` with the
+/// dispatcher keeps direct routes valid across worker respawns.
+pub struct ShardRouter {
+    txs: Arc<Mutex<Vec<Sender<ShardMsg>>>>,
+    gauges: Vec<Arc<ppms_obs::Gauge>>,
+    n_shards: usize,
+    rr: usize,
+    direct: Arc<ppms_obs::Counter>,
+}
+
+impl ShardRouter {
+    /// Places `inbound` on its shard's queue, or returns it when the
+    /// dispatcher must get involved instead.
+    // The Err variant is the *moved-back* request, not an error type:
+    // boxing it would put an allocation on the zero-alloc hot path.
+    #[allow(clippy::result_large_err)]
+    pub fn try_route(&mut self, inbound: Inbound) -> Result<(), Inbound> {
+        if matches!(inbound.request, MaRequest::Shutdown) {
+            // Shutdown is a dispatcher-level protocol message, not a
+            // shard request.
+            return Err(inbound);
+        }
+        let idx = route(inbound.key, &inbound.request, self.n_shards, &mut self.rr);
+        let tx = match self.txs.lock().get(idx) {
+            Some(tx) => tx.clone(),
+            None => return Err(inbound), // still spawning
+        };
+        match tx.try_send(ShardMsg::Req(Box::new(inbound))) {
+            Ok(()) => {
+                self.gauges[idx].add(1);
+                self.direct.inc();
+                Ok(())
+            }
+            Err(TrySendError::Full(msg)) | Err(TrySendError::Disconnected(msg)) => {
+                let ShardMsg::Req(inbound) = msg else {
+                    unreachable!("router only sends requests")
+                };
+                Err(*inbound)
+            }
+        }
+    }
 }
 
 /// A client-side connection to the MA over some [`Transport`].
@@ -470,7 +571,19 @@ impl Shard {
     /// every *accepted* spend, so replay re-inserts exactly the spends
     /// the original execution accepted without re-running the ZK
     /// verification (whose verdict lives only in the journal).
-    fn handle(&mut self, request: MaRequest, effects: &mut Vec<(u32, u64)>) -> MaResponse {
+    ///
+    /// `preverified` carries this request's slice of a cross-client
+    /// combined verification (the worker's batch pre-pass); when
+    /// present, the `DepositBatch` arm consumes those verdicts instead
+    /// of re-verifying. Verdicts are bit-identical either way
+    /// (`ppms_ecash::batch` pins seed-independence), and the stateful
+    /// double-spend bookkeeping still runs here, in arrival order.
+    fn handle(
+        &mut self,
+        request: MaRequest,
+        effects: &mut Vec<(u32, u64)>,
+        preverified: Option<Vec<Result<u64, DecError>>>,
+    ) -> MaResponse {
         use MaRequest::*;
         match request {
             RegisterJoAccount { funds, clpk } => {
@@ -578,20 +691,32 @@ impl Shard {
                 self.obs
                     .histogram("deposit.batch_size")
                     .record(spends.len() as u64);
-                let seed = ppms_ecash::batch_seed(&spends, b"");
-                let verified: Vec<Result<u64, DecError>> = ppms_ecash::verify_batch_chunked(
-                    seed,
-                    ppms_ecash::DEPOSIT_CHUNK,
-                    &self.shared.params,
-                    &self.shared.bank_pk,
-                    b"",
-                    &spends,
-                );
-                if !spends.is_empty() {
-                    self.obs
-                        .histogram("deposit.item_amortized_ns")
-                        .record((started.elapsed().as_nanos() / spends.len() as u128) as u64);
-                }
+                let verified: Vec<Result<u64, DecError>> = match preverified {
+                    Some(v) => {
+                        debug_assert_eq!(v.len(), spends.len());
+                        v
+                    }
+                    None => {
+                        let seed = ppms_ecash::batch_seed(&spends, b"");
+                        let v = ppms_ecash::verify_batch_chunked(
+                            seed,
+                            ppms_ecash::DEPOSIT_CHUNK,
+                            &self.shared.params,
+                            &self.shared.bank_pk,
+                            b"",
+                            &spends,
+                        );
+                        if !spends.is_empty() {
+                            // Amortized verify cost per spend; the
+                            // preverified path records its own sample
+                            // over the whole combined batch instead.
+                            self.obs.histogram("deposit.item_amortized_ns").record(
+                                (started.elapsed().as_nanos() / spends.len() as u128) as u64,
+                            );
+                        }
+                        v
+                    }
+                };
                 let mut total = 0u64;
                 let mut accepted = 0usize;
                 {
@@ -743,6 +868,23 @@ impl ShardJournal {
                 .expect("durable journal must replay cleanly"),
         }
     }
+
+    /// Group commit: after a multi-item batch, force everything the
+    /// sync policy deferred to media in **one** fsync, so one
+    /// verification batch costs one fsync (`SyncPolicy::Batch`
+    /// coordination, DESIGN.md §16). Replies are held until this
+    /// returns, which makes batched acknowledgements *durable-before-
+    /// ack* even under a deferring policy. Under `SyncPolicy::Always`
+    /// everything already synced per append and this is free; the
+    /// in-memory journal has nothing to sync at all.
+    fn group_commit(&self) {
+        match self {
+            ShardJournal::Memory(_) => {}
+            ShardJournal::Durable { log, .. } => {
+                log.flush().expect("durable journal group commit failed");
+            }
+        }
+    }
 }
 
 /// What the dispatcher sends a shard worker: a routed request, or a
@@ -807,10 +949,17 @@ struct ShardWorker {
     /// Where dead workers leave their crash-dump paths.
     dumps: Arc<Mutex<Vec<PathBuf>>>,
     dedup_capacity: usize,
+    /// This worker's shard index (names its per-shard gauges).
+    shard_idx: usize,
+    /// Cross-client batching flush triggers.
+    batch: BatchConfig,
     /// `(at_request, fired)` — exit when this incarnation's journal
     /// has `at_request` Begins, unless a previous incarnation already
     /// fired the crash.
     crash: Option<(u64, Arc<AtomicBool>)>,
+    /// `(at_begin, fired)` — exit after the matching Commit append,
+    /// before the group commit and before any held reply is sent.
+    crash_mid_batch: Option<(u64, Arc<AtomicBool>)>,
 }
 
 impl ShardWorker {
@@ -838,6 +987,9 @@ impl ShardWorker {
         let wal_append_ns = self.obs.histogram("wal.append_ns");
         let dedup_hits = self.obs.counter("ma.dedup.hits");
         let dedup_misses = self.obs.counter("ma.dedup.misses");
+        // Per-op latency histograms, resolved once per label instead of
+        // a `format!` + registry lookup on every request.
+        let mut op_hists: HashMap<&'static str, Arc<ppms_obs::Histogram>> = HashMap::new();
         let mut dedup = DedupCache::new(self.dedup_capacity);
         let mut shard = Shard {
             shared: self.shared.clone(),
@@ -874,123 +1026,338 @@ impl ShardWorker {
             )
         });
 
+        // Batching instrumentation (DESIGN.md §16): how batches form
+        // (`batch.drain_size`), why they flush (`batch.flush_*`), how
+        // many spends the cross-client preverify combined, and how
+        // many group commits amortized an fsync.
+        let drain_size = self.obs.histogram("batch.drain_size");
+        let flush_full = self.obs.counter("batch.flush_full");
+        let flush_deadline = self.obs.counter("batch.flush_deadline");
+        let flush_drain = self.obs.counter("batch.flush_drain");
+        let batch_items = self.obs.counter("batch.items");
+        let batch_drains = self.obs.counter("batch.drains");
+        let group_commits = self.obs.counter("batch.group_commits");
+        let preverify_spends = self.obs.histogram("batch.preverify_spends");
+        let amortized_ns = self.obs.histogram("deposit.item_amortized_ns");
+        let delay_gauge = self
+            .obs
+            .gauge(&format!("ma.shard{}.batch_delay_us", self.shard_idx));
+        let max_batch = self.batch.max_batch.max(1);
+        let max_delay_ns = self.batch.max_delay_micros.saturating_mul(1_000);
+        // Nagle state: an EWMA of inter-arrival gaps. It starts
+        // pessimistic (gaps far wider than any deadline budget — no
+        // wait) and only genuinely fast arrivals pull it down.
+        let mut ewma_gap_ns: f64 = 1e9;
+        let mut last_arrival = std::time::Instant::now();
+        // Reusable batch scratch, reclaimed across iterations.
+        let mut batch: Vec<Inbound> = Vec::with_capacity(max_batch);
+        let mut held: Vec<(Sender<MaResponse>, MaResponse)> = Vec::with_capacity(max_batch);
+        let mut preverified: Vec<Option<Vec<Result<u64, DecError>>>> =
+            Vec::with_capacity(max_batch);
+
         loop {
-            let Inbound {
-                key,
-                span,
-                request,
-                reply,
-            } = match srx.recv() {
-                Ok(ShardMsg::Req(inbound)) => *inbound,
+            batch.clear();
+            held.clear();
+            preverified.clear();
+            let mut barrier: Option<Sender<ShardSection>> = None;
+            let mut closed = false;
+
+            // Phase 1 — collect: block for the first item, then drain
+            // greedily up to the cap N, Nagle-waiting out the adaptive
+            // deadline D only while the observed arrival rate makes a
+            // companion likely inside it. D collapses to zero at low
+            // load, so a lone request is never delayed. A checkpoint
+            // barrier seals the batch: it is answered after the batch
+            // executes, preserving the FIFO consistent-prefix
+            // argument.
+            match srx.recv() {
+                Ok(ShardMsg::Req(inbound)) => batch.push(*inbound),
                 Ok(ShardMsg::Project(reply)) => {
-                    // Checkpoint barrier: everything routed before this
-                    // message has already executed (FIFO), so the
-                    // projection is a consistent prefix of this shard.
+                    // Everything routed before this message has
+                    // already executed (FIFO), so the projection is a
+                    // consistent prefix of this shard.
                     let _ = reply.send(shard.project(&dedup));
                     continue;
                 }
                 Err(_) => return,
+            }
+            let now = std::time::Instant::now();
+            let gap = now.duration_since(last_arrival).as_nanos() as f64;
+            last_arrival = now;
+            ewma_gap_ns = 0.75 * ewma_gap_ns + 0.25 * gap;
+            // Wait ~4 expected gaps, and only when at least two of
+            // them fit the deadline budget; otherwise flush instantly.
+            let delay_ns = if max_delay_ns > 0 && 2.0 * ewma_gap_ns <= max_delay_ns as f64 {
+                ((4.0 * ewma_gap_ns) as u64).min(max_delay_ns)
+            } else {
+                0
             };
-            self.queue_depth.sub(1);
-            let trace_id = span.trace_id;
-            let label = request_label(&request);
-            self.recorder
-                .record(trace_id, "recv", || format!("{label} key={key:?}"));
-            // Exactly-once: a retransmit of an executed request gets
-            // its original answer back, without touching any state.
-            if let Some(k) = key {
-                if let Some(cached) = dedup.get(&k) {
-                    self.faults.dedup_replay();
-                    dedup_hits.inc();
-                    self.recorder
-                        .record(trace_id, "dedup-replay", || format!("{label} key={k:?}"));
-                    let _ = reply.send(cached.clone());
-                    continue;
+            delay_gauge.set((delay_ns / 1_000) as i64);
+            let deadline = now + std::time::Duration::from_nanos(delay_ns);
+            let mut reason = &flush_drain;
+            while batch.len() < max_batch && barrier.is_none() && !closed {
+                match srx.try_recv() {
+                    Ok(ShardMsg::Req(inbound)) => {
+                        let now = std::time::Instant::now();
+                        let gap = now.duration_since(last_arrival).as_nanos() as f64;
+                        last_arrival = now;
+                        ewma_gap_ns = 0.75 * ewma_gap_ns + 0.25 * gap;
+                        batch.push(*inbound);
+                    }
+                    Ok(ShardMsg::Project(reply)) => barrier = Some(reply),
+                    Err(channel::TryRecvError::Empty) => {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match srx.recv_timeout(deadline - now) {
+                            Ok(ShardMsg::Req(inbound)) => {
+                                let now = std::time::Instant::now();
+                                let gap = now.duration_since(last_arrival).as_nanos() as f64;
+                                last_arrival = now;
+                                ewma_gap_ns = 0.75 * ewma_gap_ns + 0.25 * gap;
+                                batch.push(*inbound);
+                            }
+                            Ok(ShardMsg::Project(reply)) => barrier = Some(reply),
+                            Err(channel::RecvTimeoutError::Timeout) => {
+                                reason = &flush_deadline;
+                                break;
+                            }
+                            Err(channel::RecvTimeoutError::Disconnected) => closed = true,
+                        }
+                    }
+                    Err(channel::TryRecvError::Disconnected) => closed = true,
                 }
             }
-            dedup_misses.inc();
-            // Service latency from here: WAL Begin + execute + Commit.
-            // The causal span covers the same window, parented under
-            // whatever delivered the request (a transport attempt or a
-            // reactor read), so exported traces show shard residency.
-            let handle_span = Span::child("shard.handle", span);
-            let op_span = TimedOwned::new(self.obs.histogram(&format!("ma.op.{label}_ns")));
+            if batch.len() >= max_batch {
+                reason = &flush_full;
+            }
+            reason.inc();
+            batch_drains.inc();
+            batch_items.add(batch.len() as u64);
+            drain_size.record(batch.len() as u64);
+            self.queue_depth.sub(batch.len() as i64);
+            let lead_ctx = batch[0].span;
 
-            {
-                let _span = Timed::new(&wal_append_ns);
-                let wal_span = Span::child("wal.append", handle_span.ctx());
-                self.journal.append(
-                    &WalRecord::Begin {
-                        key,
-                        span,
-                        request: request.clone(),
-                    },
-                    wal_span.ctx(),
+            // Phase 2 — cross-client preverify: move every
+            // non-replayed deposit's spends (admission deposits
+            // included — they ride the same request shape) into one
+            // combined slice and run the whole thing through the
+            // chunked combined verification. Bisection inside
+            // `verify_batch` isolates a cheater without poisoning its
+            // batch neighbors, and verdicts are bit-identical to
+            // per-item verification regardless of the seed, so
+            // scattering them back per item keeps execution
+            // sequential-equivalent. The *stateful* double-spend
+            // bookkeeping is not here: it stays in the handler, per
+            // item, in arrival order.
+            preverified.extend((0..batch.len()).map(|_| None));
+            let mut combined: Vec<Spend> = Vec::new();
+            let mut plan: Vec<(usize, usize)> = Vec::new();
+            for (i, inbound) in batch.iter_mut().enumerate() {
+                if inbound.key.is_some_and(|k| dedup.get(&k).is_some()) {
+                    continue; // replays below; never re-verify
+                }
+                if let MaRequest::DepositBatch { spends, .. } = &mut inbound.request {
+                    if spends.is_empty() {
+                        continue;
+                    }
+                    plan.push((i, spends.len()));
+                    combined.append(spends);
+                }
+            }
+            if !combined.is_empty() {
+                let pv_span = Span::child("shard.preverify", lead_ctx);
+                let started = std::time::Instant::now();
+                preverify_spends.record(combined.len() as u64);
+                let seed = ppms_ecash::batch_seed(&combined, b"");
+                let verdicts = ppms_ecash::verify_batch_chunked(
+                    seed,
+                    ppms_ecash::DEPOSIT_CHUNK,
+                    &self.shared.params,
+                    &self.shared.bank_pk,
+                    b"",
+                    &combined,
                 );
-            }
-            begins += 1;
-            if let Some((at, fired)) = &self.crash {
-                if begins >= *at && !fired.swap(true, Ordering::SeqCst) {
-                    // Injected crash: die after journaling, before
-                    // executing — the request is lost in flight, its
-                    // Begin is the journal's orphan tail. Close the
-                    // queue *before* hanging up on the caller: once
-                    // the caller observes the failure, its retry is
-                    // guaranteed to bounce off the dead channel and
-                    // reach the supervisor's respawn path instead of
-                    // vanishing into a dying queue.
-                    self.recorder.record(trace_id, "crash", || {
-                        format!("injected after {label} Begin")
-                    });
-                    self.dump_crash("injected-crash");
-                    drop(srx);
-                    drop(reply);
-                    return;
+                amortized_ns.record((started.elapsed().as_nanos() / combined.len() as u128) as u64);
+                drop(pv_span);
+                let mut verdicts = verdicts.into_iter();
+                let mut spends_back = combined.into_iter();
+                for &(i, n) in &plan {
+                    let MaRequest::DepositBatch { spends, .. } = &mut batch[i].request else {
+                        unreachable!("plan entries are deposits")
+                    };
+                    spends.extend(spends_back.by_ref().take(n));
+                    preverified[i] = Some(verdicts.by_ref().take(n).collect());
                 }
             }
 
-            // A panic inside a handler kills only this worker; the
-            // supervisor respawns it and the journal replay restores
-            // everything committed before the blast.
-            let (response, effects) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                let mut effects = Vec::new();
-                let response = shard.handle(request, &mut effects);
-                (response, effects)
-            })) {
-                Ok(pair) => pair,
-                Err(_) => {
-                    self.recorder
-                        .record(trace_id, "crash", || format!("panic handling {label}"));
-                    self.dump_crash("handler-panic");
-                    // Same close-then-hang-up ordering as above.
-                    drop(srx);
-                    drop(reply);
-                    return;
+            // Phase 3 — execute, strictly in arrival order. Replies
+            // are collected, not sent: they are released only after
+            // the batch's group commit, so a batched acknowledgement
+            // is never weaker than an unbatched one.
+            let mut committed = 0usize;
+            for (i, inbound) in batch.drain(..).enumerate() {
+                let Inbound {
+                    key,
+                    span,
+                    request,
+                    reply,
+                } = inbound;
+                let trace_id = span.trace_id;
+                let label = request_label(&request);
+                self.recorder
+                    .record(trace_id, "recv", || format!("{label} key={key:?}"));
+                // Exactly-once: a retransmit of an executed request
+                // gets its original answer back, without touching any
+                // state — including a retransmit that landed in the
+                // same batch as its original.
+                if let Some(k) = key {
+                    if let Some(cached) = dedup.get(&k) {
+                        self.faults.dedup_replay();
+                        dedup_hits.inc();
+                        self.recorder
+                            .record(trace_id, "dedup-replay", || format!("{label} key={k:?}"));
+                        held.push((reply, cached.clone()));
+                        continue;
+                    }
                 }
-            };
+                dedup_misses.inc();
+                // Service latency from here: WAL Begin + execute +
+                // Commit. The causal span covers the same window,
+                // parented under whatever delivered the request (a
+                // transport attempt or a reactor read), so exported
+                // traces show shard residency.
+                let handle_span = Span::child("shard.handle", span);
+                let op_hist = op_hists
+                    .entry(label)
+                    .or_insert_with(|| self.obs.histogram(&format!("ma.op.{label}_ns")));
+                let op_span = TimedOwned::new(op_hist.clone());
 
-            {
-                let _span = Timed::new(&wal_append_ns);
-                let wal_span = Span::child("wal.append", handle_span.ctx());
-                self.journal.append(
-                    &WalRecord::Commit {
+                // The Begin record rides the request by move — no
+                // deep clone of payload vectors on the hot path — and
+                // hands it back after the append.
+                let record = {
+                    let _span = Timed::new(&wal_append_ns);
+                    let wal_span = Span::child("wal.append", handle_span.ctx());
+                    let record = WalRecord::Begin { key, span, request };
+                    self.journal.append(&record, wal_span.ctx());
+                    record
+                };
+                let WalRecord::Begin { request, .. } = record else {
+                    unreachable!("begin record carries the request")
+                };
+                begins += 1;
+                if let Some((at, fired)) = &self.crash {
+                    if begins >= *at && !fired.swap(true, Ordering::SeqCst) {
+                        // Injected crash: die after journaling, before
+                        // executing — the request is lost in flight, its
+                        // Begin is the journal's orphan tail. Close the
+                        // queue *before* hanging up on the caller: once
+                        // the caller observes the failure, its retry is
+                        // guaranteed to bounce off the dead channel and
+                        // reach the supervisor's respawn path instead of
+                        // vanishing into a dying queue. Held replies and
+                        // undrained batch items hang up the same way.
+                        self.recorder.record(trace_id, "crash", || {
+                            format!("injected after {label} Begin")
+                        });
+                        self.dump_crash("injected-crash");
+                        drop(srx);
+                        drop(reply);
+                        return;
+                    }
+                }
+
+                let pv = preverified[i].take();
+                // A panic inside a handler kills only this worker; the
+                // supervisor respawns it and the journal replay
+                // restores everything committed before the blast.
+                let (response, effects) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut effects = Vec::new();
+                    let response = shard.handle(request, &mut effects, pv);
+                    (response, effects)
+                })) {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        self.recorder
+                            .record(trace_id, "crash", || format!("panic handling {label}"));
+                        self.dump_crash("handler-panic");
+                        // Same close-then-hang-up ordering as above.
+                        drop(srx);
+                        drop(reply);
+                        return;
+                    }
+                };
+
+                // The Commit record rides the response by move, too;
+                // only the dedup cache still clones it.
+                let record = {
+                    let _span = Timed::new(&wal_append_ns);
+                    let wal_span = Span::child("wal.append", handle_span.ctx());
+                    let record = WalRecord::Commit {
                         key,
-                        response: response.clone(),
+                        response,
                         effects,
-                    },
-                    wal_span.ctx(),
-                );
+                    };
+                    self.journal.append(&record, wal_span.ctx());
+                    record
+                };
+                let WalRecord::Commit { response, .. } = record else {
+                    unreachable!("commit record carries the response")
+                };
+                self.faults.wal_commit();
+                committed += 1;
+                if let Some(k) = key {
+                    dedup.insert(k, response.clone());
+                }
+                self.recorder
+                    .record(trace_id, "commit", || label.to_string());
+                drop(op_span);
+                drop(handle_span);
+                if let Some((at, fired)) = &self.crash_mid_batch {
+                    if begins >= *at && !fired.swap(true, Ordering::SeqCst) {
+                        // Mid-batch kill point: the Commit above is
+                        // journaled (not necessarily synced — under a
+                        // deferring policy the group commit below is
+                        // what would have made it durable), and no
+                        // held reply escapes. Every client in the
+                        // batch must converge via retry: committed
+                        // items replay from the dedup cache, the rest
+                        // re-execute.
+                        self.recorder.record(trace_id, "crash", || {
+                            format!("injected mid-batch after {label} Commit")
+                        });
+                        self.dump_crash("mid-batch-crash");
+                        drop(srx);
+                        drop(reply);
+                        return;
+                    }
+                }
+                held.push((reply, response));
             }
-            self.faults.wal_commit();
-            if let Some(k) = key {
-                dedup.insert(k, response.clone());
+
+            // Phase 4 — group commit, then release the held replies.
+            // One fsync covers the whole batch under a deferring sync
+            // policy; a batch of one keeps the per-append policy
+            // untouched (no forced fsync), so sequential drivers see
+            // byte-identical fsync behavior to the unbatched pipeline.
+            if committed > 1 {
+                let gc_span = Span::child("wal.group_commit", lead_ctx);
+                self.journal.group_commit();
+                group_commits.inc();
+                drop(gc_span);
             }
-            self.recorder
-                .record(trace_id, "commit", || label.to_string());
-            drop(op_span);
-            drop(handle_span);
-            // A vanished client is not an MA failure.
-            let _ = reply.send(response);
+            for (reply, response) in held.drain(..) {
+                // A vanished client is not an MA failure.
+                let _ = reply.send(response);
+            }
+            if let Some(reply) = barrier {
+                let _ = reply.send(shard.project(&dedup));
+            }
+            if closed {
+                return;
+            }
         }
     }
 }
@@ -1146,8 +1513,13 @@ struct Dispatcher {
     bases: Vec<Arc<Mutex<ShardSection>>>,
     /// One crash latch per shard, shared across incarnations.
     crashes: Vec<Option<(u64, Arc<AtomicBool>)>>,
+    /// Mid-batch crash latches, ditto.
+    mid_crashes: Vec<Option<(u64, Arc<AtomicBool>)>>,
+    batch: BatchConfig,
     queue_gauges: Vec<Arc<ppms_obs::Gauge>>,
-    shard_txs: Vec<Sender<ShardMsg>>,
+    /// Shard inboxes, shared with every [`ShardRouter`] so direct
+    /// routes keep working across worker respawns.
+    shard_txs: Arc<Mutex<Vec<Sender<ShardMsg>>>>,
     shard_handles: Vec<Option<JoinHandle<()>>>,
     rr: usize,
     durable: Option<DurableCtx>,
@@ -1167,6 +1539,9 @@ impl Dispatcher {
             dumps: self.dumps.clone(),
             dedup_capacity: self.dedup_capacity,
             crash: self.crashes[idx].clone(),
+            shard_idx: idx,
+            batch: self.batch,
+            crash_mid_batch: self.mid_crashes[idx].clone(),
         };
         let handle = std::thread::spawn(move || worker.run(srx));
         (stx, handle)
@@ -1183,13 +1558,19 @@ impl Dispatcher {
         // incarnation starts with an empty queue.
         self.queue_gauges[idx].set(0);
         let (stx, handle) = self.spawn_shard(idx);
-        self.shard_txs[idx] = stx;
+        self.shard_txs.lock()[idx] = stx;
         self.shard_handles[idx] = Some(handle);
+    }
+
+    /// A clone of shard `idx`'s current inbox. Cloned out of the lock
+    /// so a blocking send never holds it against direct routers.
+    fn shard_tx(&self, idx: usize) -> Sender<ShardMsg> {
+        self.shard_txs.lock()[idx].clone()
     }
 
     fn deliver(&mut self, inbound: Inbound) {
         let idx = route(inbound.key, &inbound.request, self.n_shards, &mut self.rr);
-        match self.shard_txs[idx].send(ShardMsg::Req(Box::new(inbound))) {
+        match self.shard_tx(idx).send(ShardMsg::Req(Box::new(inbound))) {
             Ok(()) => self.queue_gauges[idx].add(1),
             Err(send_err) => {
                 // The worker died (panic or injected crash).
@@ -1201,7 +1582,7 @@ impl Dispatcher {
                     unreachable!("deliver only sends requests")
                 };
                 self.respawn(idx);
-                if let Err(send_err) = self.shard_txs[idx].send(ShardMsg::Req(inbound)) {
+                if let Err(send_err) = self.shard_tx(idx).send(ShardMsg::Req(inbound)) {
                     let ShardMsg::Req(inbound) = send_err.0 else {
                         unreachable!("deliver only sends requests")
                     };
@@ -1247,7 +1628,7 @@ impl Dispatcher {
         for idx in 0..self.n_shards {
             loop {
                 let (ptx, prx) = channel::bounded(1);
-                if self.shard_txs[idx].send(ShardMsg::Project(ptx)).is_err() {
+                if self.shard_tx(idx).send(ShardMsg::Project(ptx)).is_err() {
                     self.respawn(idx);
                     continue;
                 }
@@ -1369,7 +1750,7 @@ impl Dispatcher {
 
         // Graceful drain: close the shard queues, let every queued
         // request finish, then report undelivered held payments.
-        drop(std::mem::take(&mut self.shard_txs));
+        drop(std::mem::take(&mut *self.shard_txs.lock()));
         for h in std::mem::take(&mut self.shard_handles)
             .into_iter()
             .flatten()
@@ -1650,6 +2031,14 @@ impl MaService {
                     .map(|c| (c.at_request, Arc::new(AtomicBool::new(false))))
             })
             .collect();
+        let mid_crashes: Vec<Option<(u64, Arc<AtomicBool>)>> = (0..n_shards)
+            .map(|i| {
+                config
+                    .crash_mid_batch
+                    .filter(|c| c.shard % n_shards == i)
+                    .map(|c| (c.at_begin, Arc::new(AtomicBool::new(false))))
+            })
+            .collect();
         // Queue-depth gauges: the dispatcher adds one per enqueue,
         // the worker subtracts one per dequeue.
         let queue_gauges: Vec<_> = (0..n_shards)
@@ -1695,16 +2084,19 @@ impl MaService {
             journals,
             bases,
             crashes,
-            queue_gauges,
-            shard_txs: Vec::with_capacity(n_shards),
+            mid_crashes,
+            batch: config.batch,
+            queue_gauges: queue_gauges.clone(),
+            shard_txs: Arc::new(Mutex::new(Vec::with_capacity(n_shards))),
             shard_handles: Vec::with_capacity(n_shards),
             rr: 0,
             durable: durable_ctx,
         };
+        let shard_txs = dispatcher.shard_txs.clone();
         let handle = std::thread::spawn(move || {
             for idx in 0..dispatcher.n_shards {
                 let (stx, handle) = dispatcher.spawn_shard(idx);
-                dispatcher.shard_txs.push(stx);
+                dispatcher.shard_txs.lock().push(stx);
                 dispatcher.shard_handles.push(Some(handle));
             }
             dispatcher.run(rx, ctrl_rx);
@@ -1726,6 +2118,9 @@ impl MaService {
             pairing,
             gate_hook,
             recovered_gate: Mutex::new(recovered_gate),
+            shard_txs,
+            queue_gauges,
+            n_shards,
         };
         Ok((svc, report))
     }
@@ -1786,6 +2181,19 @@ impl MaService {
     /// backends deliberately do not expose.
     pub fn inbox(&self) -> Sender<Inbound> {
         self.tx.clone()
+    }
+
+    /// A direct route into the shard queues for the hot path; see
+    /// [`ShardRouter`]. Callers keep [`MaService::inbox`] around as
+    /// the supervised fallback for whatever the router hands back.
+    pub fn router(&self) -> ShardRouter {
+        ShardRouter {
+            txs: self.shard_txs.clone(),
+            gauges: self.queue_gauges.clone(),
+            n_shards: self.n_shards,
+            rr: 0,
+            direct: self.obs.counter("ma.direct_routed"),
+        }
     }
 
     /// An in-process client connection (enums over channels; no

@@ -44,7 +44,7 @@ use crate::gate::{
     GateResponse, OpsRequest,
 };
 use crate::metrics::Party;
-use crate::service::{Inbound, MaRequest, MaResponse, MaService, RequestKey};
+use crate::service::{Inbound, MaRequest, MaResponse, MaService, RequestKey, ShardRouter};
 use crate::stream::{ByteStream, FlakyConfig, FlakyStream, TcpByteStream};
 use crate::transport::{next_request_id, next_trace_id, request_label, response_label};
 use crate::transport::{TrafficLog, Transport};
@@ -221,6 +221,7 @@ impl TcpFrontDoor {
             listener,
             config,
             inbox: svc.inbox(),
+            router: svc.router(),
             gate,
             gate_hook,
             traffic: svc.traffic.clone(),
@@ -228,6 +229,7 @@ impl TcpFrontDoor {
             pending: Vec::new(),
             next_conn_id: 1,
             next_msg_id: 1,
+            reply_scratch: Vec::new(),
             stop: stop.clone(),
             obs: svc.obs.clone(),
             recorder: Arc::new(FlightRecorder::new("tcp-reactor", 256)),
@@ -248,6 +250,7 @@ impl TcpFrontDoor {
             connections: svc.obs.gauge("tcp.connections"),
             request_ns: svc.obs.histogram("tcp.request_ns"),
             queue_fill: svc.obs.histogram("tcp.write_queue_fill"),
+            frames_per_tick: svc.obs.histogram("tcp.frames_per_tick"),
         };
         let handle = std::thread::Builder::new()
             .name("tcp-front-door".into())
@@ -300,7 +303,11 @@ impl Drop for TcpFrontDoor {
 struct Reactor {
     listener: TcpListener,
     config: TcpConfig,
+    /// Supervised fallback path for whatever the router hands back.
     inbox: Sender<Inbound>,
+    /// Direct route into the shard queues — skips the dispatcher
+    /// thread hop on the hot path.
+    router: ShardRouter,
     gate: AdmissionGate,
     /// Checkpoint rendezvous: polled once per tick; when the
     /// dispatcher requests it, the reactor exports the gate state.
@@ -310,6 +317,8 @@ struct Reactor {
     pending: Vec<Pending>,
     next_conn_id: u64,
     next_msg_id: u64,
+    /// Reusable reply-encoding scratch (see `send_gate`).
+    reply_scratch: Vec<u8>,
     stop: Arc<AtomicBool>,
     /// Service registry handle — the ops plane snapshots it (merged
     /// with the process-global registry) without leaving the reactor.
@@ -337,6 +346,9 @@ struct Reactor {
     connections: Arc<ppms_obs::Gauge>,
     request_ns: Arc<ppms_obs::Histogram>,
     queue_fill: Arc<ppms_obs::Histogram>,
+    /// Whole frames decoded from one connection in one read tick —
+    /// the reactor-side coalescing evidence (DESIGN.md §16).
+    frames_per_tick: Arc<ppms_obs::Histogram>,
 }
 
 impl Reactor {
@@ -457,41 +469,63 @@ impl Reactor {
                     }
                 }
             }
-            // Drain complete frames.
+            // Drain complete frames, decoding each envelope *in place*
+            // from the connection buffer: `next_frame` yields a slice
+            // borrowed from the decoder's reassembly buffer (no
+            // per-frame copy — the zero-copy hot path pinned by
+            // `tests/frame_alloc.rs`), and only the owned envelope
+            // leaves the borrow before dispatch.
+            let mut frames = 0u64;
             loop {
                 let conn = self.conns.get_mut(&id).expect("conn exists");
                 if conn.dead {
                     break;
                 }
-                match conn.decoder.next_frame() {
-                    Ok(Some(frame)) => {
-                        progress = true;
-                        self.handle_frame(id, frame);
-                    }
+                let decoded = match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => match Envelope::<GateRequest>::from_bytes(frame) {
+                        Ok(env) => Some((env, frame.len())),
+                        Err(_) => None,
+                    },
                     Ok(None) => break,
-                    Err(_) => {
-                        // Desynchronized stream: unrecoverable.
+                    Err(_) => None,
+                };
+                match decoded {
+                    Some((env, frame_len)) => {
+                        progress = true;
+                        frames += 1;
+                        self.handle_envelope(id, env, frame_len);
+                    }
+                    None => {
+                        // Desynchronized or undecodable: unrecoverable.
                         self.bad_frames.inc();
-                        conn.dead = true;
+                        self.conns.get_mut(&id).expect("conn exists").dead = true;
                         break;
                     }
                 }
+            }
+            if frames > 0 {
+                // Coalescing evidence: how many whole requests one
+                // drained connection contributed to this tick.
+                self.frames_per_tick.record(frames);
             }
         }
         progress
     }
 
-    fn handle_frame(&mut self, conn_id: u64, frame: Vec<u8>) {
-        let env = match Envelope::<GateRequest>::from_bytes(&frame) {
-            Ok(env) => env,
-            Err(_) => {
-                self.bad_frames.inc();
-                if let Some(conn) = self.conns.get_mut(&conn_id) {
-                    conn.dead = true;
-                }
-                return;
-            }
-        };
+    /// Hands a request to the service: direct into its shard's queue
+    /// when possible, through the supervised dispatcher inbox when the
+    /// router declines (full/dead shard queue, service still spawning).
+    // The Err variant carries the moved-back request for the Busy
+    // reply; boxing it would allocate on the zero-alloc hot path.
+    #[allow(clippy::result_large_err)]
+    fn submit(&mut self, inbound: Inbound) -> Result<(), TrySendError<Inbound>> {
+        match self.router.try_route(inbound) {
+            Ok(()) => Ok(()),
+            Err(inbound) => self.inbox.try_send(inbound),
+        }
+    }
+
+    fn handle_envelope(&mut self, conn_id: u64, env: Envelope<GateRequest>, frame_len: usize) {
         if self.config.chaos_panic_on_trace == Some(env.trace_id) && env.trace_id != 0 {
             // Disarm before unwinding: the hook fires exactly once, so
             // the caller's retransmit of the same trace succeeds.
@@ -521,7 +555,7 @@ impl Reactor {
         match env.payload {
             GateRequest::Hello => {
                 self.traffic
-                    .record(party, Party::Ma, "gate-hello", frame.len());
+                    .record(party, Party::Ma, "gate-hello", frame_len);
                 let resp = if self.gate.config().price == 0 {
                     self.gate.mint()
                 } else {
@@ -531,7 +565,7 @@ impl Reactor {
             }
             GateRequest::Admit { spends } => {
                 self.traffic
-                    .record(party, Party::Ma, "gate-admit", frame.len());
+                    .record(party, Party::Ma, "gate-admit", frame_len);
                 let gate_span = Span::child("gate.admit", read_ctx);
                 if let Some(cached) = self.gate.cached_admission(key) {
                     // Retransmitted Admit: replay the recorded verdict
@@ -544,12 +578,13 @@ impl Reactor {
                 let request = self.gate.deposit_request(spends);
                 drop(gate_span);
                 let (reply_tx, reply_rx) = channel::bounded(1);
-                match self.inbox.try_send(Inbound {
+                let inbound = Inbound {
                     key: Some(key),
                     span: read_ctx,
                     request,
                     reply: reply_tx,
-                }) {
+                };
+                match self.submit(inbound) {
                     Ok(()) => self.pending.push(Pending {
                         conn_id,
                         key,
@@ -566,7 +601,7 @@ impl Reactor {
             }
             GateRequest::App { token, request } => {
                 self.traffic
-                    .record(party, Party::Ma, request_label(&request), frame.len());
+                    .record(party, Party::Ma, request_label(&request), frame_len);
                 if matches!(request, MaRequest::Shutdown) {
                     // The dispatcher-stopping control message is an
                     // in-process privilege; from the network it would
@@ -611,12 +646,13 @@ impl Reactor {
                     return;
                 }
                 let (reply_tx, reply_rx) = channel::bounded(1);
-                match self.inbox.try_send(Inbound {
+                let inbound = Inbound {
                     key: Some(key),
                     span: read_ctx,
                     request,
                     reply: reply_tx,
-                }) {
+                };
+                match self.submit(inbound) {
                     Ok(()) => {
                         if let Some(conn) = self.conns.get_mut(&conn_id) {
                             conn.inflight += 1;
@@ -655,7 +691,7 @@ impl Reactor {
                 }
             }
             GateRequest::Ops(op) => {
-                self.traffic.record(party, Party::Ma, "ops", frame.len());
+                self.traffic.record(party, Party::Ma, "ops", frame_len);
                 // Admission-exempt but rate-limited: refill the token
                 // bucket, then either serve from reactor-local state
                 // or shed with Busy. Never touches a shard.
@@ -810,7 +846,10 @@ impl Reactor {
         let rctx = reply_span.ctx();
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
-        let frame = Envelope {
+        // Encode into the reactor's reusable scratch: the reply path
+        // allocates nothing at steady state.
+        self.reply_scratch.clear();
+        Envelope {
             msg_id,
             correlation_id,
             trace_id: rctx.trace_id,
@@ -819,9 +858,9 @@ impl Reactor {
             party: Party::Ma,
             payload: resp,
         }
-        .to_bytes();
-        let len = frame.len();
-        match conn.outq.enqueue(frame) {
+        .encode_append(&mut self.reply_scratch);
+        let len = self.reply_scratch.len();
+        match conn.outq.enqueue(&self.reply_scratch) {
             Ok(()) => {
                 self.queue_fill.record(conn.outq.queued_bytes() as u64);
                 self.traffic.record(Party::Ma, to, label, len);

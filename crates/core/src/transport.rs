@@ -632,7 +632,7 @@ impl SimNetTransport {
         let reassembled = decoder
             .next_frame()?
             .ok_or_else(|| MarketError::Transport("frame decoder starved".into()))?;
-        let envelope = Envelope::<MaRequest>::from_bytes(&reassembled)?;
+        let envelope = Envelope::<MaRequest>::from_bytes(reassembled)?;
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.tx
             .send(Inbound {

@@ -145,6 +145,12 @@ impl WireWriter {
         WireWriter::default()
     }
 
+    /// A writer that appends to an existing buffer — callers reusing
+    /// one scratch allocation across frames start from this.
+    pub fn appending(out: Vec<u8>) -> WireWriter {
+        WireWriter { out }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.out.len()
@@ -960,6 +966,32 @@ impl<T: WireEncode> Envelope<T> {
     pub fn to_bytes(&self) -> Vec<u8> {
         self.to_bytes_versioned(WIRE_VERSION)
             .expect("current version always encodes")
+    }
+
+    /// Appends the full current-version frame to `out` with no
+    /// intermediate buffers: the length prefix is patched in place
+    /// after the body is written, so a hot reply path can reuse one
+    /// scratch `Vec` across frames and stay allocation-free at steady
+    /// state.
+    pub fn encode_append(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        let mut w = WireWriter::appending(std::mem::take(out));
+        w.u16(WIRE_VERSION);
+        w.u32(0); // body length, patched below
+        w.u64(self.msg_id);
+        w.u64(self.correlation_id);
+        w.u64(self.trace_id);
+        w.u64(self.span_id);
+        w.u64(self.parent_id);
+        self.party.encode(&mut w);
+        self.payload.encode(&mut w);
+        let mut buf = w.finish();
+        // 6 = u16 version + u32 body length, the frame prefix.
+        let body_len = (buf.len() - start - 6) as u32;
+        buf[start + 2..start + 6].copy_from_slice(&body_len.to_be_bytes());
+        let sum = fnv1a(&buf[start + 6..]).to_be_bytes();
+        buf.extend_from_slice(&sum);
+        *out = buf;
     }
 
     /// Encodes the frame at an explicit protocol version — the

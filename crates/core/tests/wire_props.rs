@@ -466,7 +466,7 @@ proptest! {
         whole.push(&stream);
         let mut contiguous = Vec::new();
         while let Some(f) = whole.next_frame().expect("contiguous stream decodes") {
-            contiguous.push(f);
+            contiguous.push(f.to_vec());
         }
         prop_assert_eq!(&contiguous, &frames);
         prop_assert_eq!(whole.buffered(), 0);
@@ -487,7 +487,7 @@ proptest! {
             split.push(&stream[offset..offset + step]);
             offset += step;
             while let Some(f) = split.next_frame().expect("split stream decodes") {
-                reassembled.push(f);
+                reassembled.push(f.to_vec());
             }
         }
         prop_assert_eq!(&reassembled, &frames);
@@ -531,7 +531,8 @@ proptest! {
             let got = dec
                 .next_frame()
                 .expect("completed frame decodes")
-                .expect("frame present");
+                .expect("frame present")
+                .to_vec();
             prop_assert_eq!(&got, &frame);
             prop_assert_eq!(dec.buffered(), 0);
         }

@@ -34,9 +34,17 @@ cargo test -p ppms-core --features no-op --test wire_props -q
 echo "==> tcp front door (admission gate, eviction, shedding) + transport equivalence"
 # Both feature configs: the reactor leans on obs counters for its
 # shed/evict decisions' observability, so the no-op build must drive
-# the same loopback sockets.
+# the same loopback sockets. transport_equivalence includes the
+# batching-equivalence harness: batched concurrent interleavings
+# (cheater + same-key retransmit in-batch) ≡ sequential ledgers.
 cargo test -p ppms-integration --test tcp_front_door --test transport_equivalence -q
 cargo test -p ppms-integration --features no-op --test tcp_front_door --test transport_equivalence -q
+
+echo "==> zero-copy hot path: warmed frame decode+dispatch+reply allocates nothing"
+# Counting-allocator proof for the reactor's per-frame path, in both
+# feature configs (the no-op build must not hide an obs allocation).
+cargo test -p ppms-core --test frame_alloc -q
+cargo test -p ppms-core --features no-op --test frame_alloc -q
 
 echo "==> loopback TCP smoke (throughput bench correctness gates + simnet/tcp ledger equality)"
 cargo bench -p ppms-bench --bench tcp_front_door -- --test >/dev/null
@@ -58,9 +66,47 @@ echo "==> recovery bench smoke (replay-length + fsync-discipline gates)"
 cargo bench -p ppms-bench --bench recovery -- --test >/dev/null
 cargo bench -p ppms-bench --features no-op --bench recovery -- --test >/dev/null
 
-echo "==> open-loop load harness smoke (latency accounting + mid-run ops scrape gates)"
-cargo bench -p ppms-bench --bench load_curve -- --test >/dev/null
+echo "==> open-loop load harness smoke (latency accounting + batching + ledger gates)"
+# Both feature configs; the default-config output is additionally
+# grepped: cross-client batching must actually engage (mean batch
+# size > 1 under load) and the ledger-conservation line must hold.
+load_out=$(cargo bench -p ppms-bench --bench load_curve -- --test 2>&1) || {
+    echo "$load_out"
+    exit 1
+}
+echo "$load_out" | grep -q "ledger unchanged:" || {
+    echo "load_curve smoke never printed its ledger-conservation line:"
+    echo "$load_out"
+    exit 1
+}
+mean_batch=$(echo "$load_out" | sed -n 's/.*mean batch size under load \([0-9.]*\).*/\1/p')
+awk -v m="${mean_batch:-0}" 'BEGIN { exit !(m > 1.0) }' || {
+    echo "load_curve smoke: mean batch size under load must exceed 1, got '${mean_batch:-missing}':"
+    echo "$load_out"
+    exit 1
+}
 cargo bench -p ppms-bench --features no-op --bench load_curve -- --test >/dev/null
+
+echo "==> committed bench artifacts carry their schema (BENCH_*.json at the repo root)"
+check_keys() {
+    local file="$1"; shift
+    [ -f "$file" ] || { echo "missing bench artifact: $file"; exit 1; }
+    for key in "$@"; do
+        grep -q "\"$key\"" "$file" || {
+            echo "bench artifact $file lost its \"$key\" field"
+            exit 1
+        }
+    done
+}
+check_keys BENCH_load.json calibrated_capacity_per_sec knee_per_sec \
+    peak_achieved_per_sec mean_batch_size mean_batch_size_under_load \
+    p50_ns p99_ns p999_ns ops_scrape
+check_keys BENCH_tcp.json requests_per_sec p50_ns p99_ns
+check_keys BENCH_recovery.json policy recover_ms replayed
+check_keys BENCH_batch.json batch_item_us seq_item_us speedup
+check_keys BENCH_fixed.json fixed_us dynamic_us
+check_keys BENCH_chaos.json drop_rate availability
+check_keys BENCH_obs.json overhead_pct
 
 echo "==> trace context + flight recorder (shard-crash and reactor-panic dumps carry the trace)"
 trace_out=$(cargo test -p ppms-integration --test trace_context -- --nocapture 2>&1) || {

@@ -5,7 +5,9 @@
 //! conservation invariant is equality with the in-process baseline,
 //! not merely "no error".
 
-use ppms_core::service::{MaRequest, MaResponse, MaService, ServiceConfig};
+use ppms_core::service::{
+    BatchConfig, MaRequest, MaResponse, MaService, MidBatchCrash, ServiceConfig,
+};
 use ppms_core::sim::run_service_market_chaos;
 use ppms_core::{next_request_id, CrashPoint};
 use ppms_crypto::cl::ClKeyPair;
@@ -289,5 +291,148 @@ fn retried_batch_deposit_survives_crash_and_replays_one_outcome() {
         panic!("balance");
     };
     assert_eq!(b, 2, "exactly one credit across crash, retry and replay");
+    svc.shutdown();
+}
+
+#[test]
+fn mid_batch_crash_between_verify_and_group_commit_converges() {
+    // The batching pipeline's canonical torn window (DESIGN.md §16):
+    // the shard dies *after* journaling a deposit's Commit but
+    // *before* the batch's group commit and before any held reply in
+    // that cross-client batch is released. Every client whose item
+    // rode the doomed batch sees a hung-up connection; their retries
+    // under the same keys must converge without losing or
+    // double-applying a single item — committed items replay from the
+    // rebuilt dedup cache, uncommitted ones re-execute.
+    use ppms_core::service::MaClient;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    fn call_retry(client: &MaClient, id: u64, req: MaRequest, errors: &AtomicU64) -> MaResponse {
+        for _ in 0..20 {
+            match client.try_call_keyed(id, req.clone()) {
+                Ok(resp) => return resp,
+                Err(_) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        panic!("request never succeeded after the mid-batch crash");
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x16C4);
+    let svc = MaService::spawn_with_config(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards: 1,
+            batch: BatchConfig {
+                max_batch: 8,
+                max_delay_micros: 2000,
+            },
+            // Setup journals 6 Begins (2 clients x SP + JO + Withdraw);
+            // the crash fires on the Commit of the *second* deposit —
+            // mid-batch whenever the concurrent depositors share a
+            // drain.
+            crash_mid_batch: Some(MidBatchCrash {
+                shard: 0,
+                at_begin: 8,
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Two depositors, each with a coin and two unique leaves.
+    let mut wallets = Vec::new();
+    for _ in 0..2 {
+        let client = svc.client();
+        let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+            panic!("sp account");
+        };
+        let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+        let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+            funds: 50,
+            clpk: cl.public.clone(),
+        }) else {
+            panic!("jo account");
+        };
+        let mut coin = Coin::mint(&mut rng, &svc.params);
+        let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+        let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+        let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+            account: jo,
+            nonce: 1,
+            auth,
+            blinded,
+        }) else {
+            panic!("withdraw");
+        };
+        assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+        let spends: Vec<_> = (0..2)
+            .map(|l| coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, l), b""))
+            .collect();
+        wallets.push((sp, spends));
+    }
+
+    let errors = AtomicU64::new(0);
+    let accounts: Vec<_> = wallets.iter().map(|(sp, _)| *sp).collect();
+    let start = Arc::new(Barrier::new(wallets.len()));
+    std::thread::scope(|scope| {
+        for (sp, spends) in wallets {
+            let svc = &svc;
+            let errors = &errors;
+            let start = start.clone();
+            scope.spawn(move || {
+                let client = svc.client();
+                start.wait();
+                for spend in spends {
+                    let resp = call_retry(
+                        &client,
+                        next_request_id(),
+                        MaRequest::DepositBatch {
+                            account: sp,
+                            spends: vec![spend],
+                        },
+                        errors,
+                    );
+                    let MaResponse::BatchDeposited {
+                        accepted, rejected, ..
+                    } = resp
+                    else {
+                        panic!("deposit reply: {resp:?}");
+                    };
+                    assert_eq!((accepted, rejected), (1, 0));
+                }
+            });
+        }
+    });
+
+    // The crash must actually have fired and hung up at least one
+    // in-flight client, and the supervisor must have respawned the
+    // worker exactly once.
+    assert_eq!(svc.faults.shard_respawns(), 1, "exactly one respawn");
+    assert!(
+        errors.load(Ordering::Relaxed) >= 1,
+        "the doomed batch must have hung up at least one client"
+    );
+    // The crashed item's Commit predates the kill, so its retry is a
+    // replay, never a re-execution.
+    assert!(
+        svc.faults.dedup_replays() >= 1,
+        "the committed-but-unanswered item must replay from the rebuilt cache"
+    );
+    // Exactly-once: every unique leaf credited exactly one unit,
+    // through crash, respawn, retries and replays.
+    let client = svc.client();
+    for sp in accounts {
+        let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else {
+            panic!("balance");
+        };
+        assert_eq!(b, 2, "no lost and no double-applied deposits");
+    }
     svc.shutdown();
 }

@@ -468,3 +468,168 @@ fn recovery_replay_reattributes_entries_to_their_originating_traces() {
     }
     svc.shutdown();
 }
+
+#[test]
+fn mid_batch_crash_in_group_commit_window_loses_no_item_and_doubles_none() {
+    // The batching tier's torn window under the durable WAL: with
+    // group commit (`SyncPolicy::Batch`) the deposit's Begin and
+    // Commit are *appended* but not yet fsynced when the worker dies
+    // between batch verification and the group-commit flush. The
+    // process kill then tears the unsynced tail off the medium, so
+    // the restarted service has never heard of the deposit — the
+    // retry under the same key must *re-execute* (not replay), and
+    // the item must land exactly once.
+    use ppms_core::next_request_id;
+    use ppms_core::service::{MaService, MidBatchCrash, ServiceConfig};
+    use ppms_crypto::cl::ClKeyPair;
+    use ppms_ecash::{Coin, DecParams, NodePath};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let storage = SimStorage::new();
+    let mut dur = DurabilityConfig::new(Arc::new(storage.clone()));
+    dur.sync = SyncPolicy::Batch { every: 1000 }; // wide window: nothing fsyncs on its own
+    let config = ServiceConfig {
+        shards: 1,
+        // Begins: RegisterSp (1), RegisterJo (2), Withdraw (3), then
+        // the deposit (4) — the crash fires after the deposit's
+        // Commit append, before the group-commit fsync and before the
+        // held reply is released.
+        crash_mid_batch: Some(MidBatchCrash {
+            shard: 0,
+            at_begin: 4,
+        }),
+        ..ServiceConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0x6C07);
+    let svc = MaService::spawn_durable(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        config,
+        dur.clone(),
+    )
+    .expect("durable spawn");
+    let client = svc.client();
+    let MaResponse::Account(sp) = client.call(MaRequest::RegisterSpAccount) else {
+        panic!("sp account");
+    };
+    let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+    let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+        funds: 50,
+        clpk: cl.public.clone(),
+    }) else {
+        panic!("jo account");
+    };
+    let mut coin = Coin::mint(&mut rng, &svc.params);
+    let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+    let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+    let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+        account: jo,
+        nonce: 1,
+        auth,
+        blinded,
+    }) else {
+        panic!("withdraw");
+    };
+    assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+    // Make the setup durable: the checkpoint snapshot is published
+    // atomically, so only the deposit's records live in the unsynced
+    // tail.
+    let covered = svc.checkpoint().expect("checkpoint");
+    assert_eq!(covered, 6, "setup is three requests = six records");
+
+    let spend = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 0), b"");
+    let deposit = MaRequest::DepositBatch {
+        account: sp,
+        spends: vec![spend],
+    };
+    let id = next_request_id();
+    let first = client.try_call_keyed(id, deposit.clone());
+    assert!(first.is_err(), "mid-batch crash must hang up the client");
+
+    // The kill. Pick a tear seed that actually cuts into the unsynced
+    // tail (all but one tear offset do): the deposit's Commit — the
+    // journal's last record — dies with the process.
+    let live_wal: usize = storage
+        .list()
+        .expect("list")
+        .iter()
+        .filter(|n| n.starts_with("wal-"))
+        .map(|n| storage.len(n))
+        .sum();
+    let image = (0..64u64)
+        .map(|s| storage.crash_image(0x7EA2 + s))
+        .find(|img| {
+            let kept: usize = img
+                .list()
+                .expect("list")
+                .iter()
+                .filter(|n| n.starts_with("wal-"))
+                .map(|n| img.len(n))
+                .sum();
+            kept < live_wal
+        })
+        .expect("some tear seed must cut the unsynced tail");
+    svc.shutdown();
+
+    let mut recov = dur;
+    recov.storage = Arc::new(image);
+    let mut rng = StdRng::seed_from_u64(0x6C07);
+    let (svc, report) = MaService::recover(
+        &mut rng,
+        DecParams::fixture(2, 6),
+        512,
+        40,
+        ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        },
+        recov,
+    )
+    .expect("recovery");
+    assert_eq!(
+        report.snapshot_lsn, covered,
+        "setup restored from the snapshot"
+    );
+
+    // The retry under the same key re-executes — the journal never
+    // durably heard of the deposit, so there is nothing to replay.
+    let client = svc.client();
+    let retry = client.try_call_keyed(id, deposit.clone()).expect("retry");
+    let MaResponse::BatchDeposited {
+        total,
+        accepted,
+        rejected,
+    } = retry
+    else {
+        panic!("retried deposit reply: {retry:?}");
+    };
+    assert_eq!(
+        (total, accepted, rejected),
+        (1, 1, 0),
+        "the item must not be lost"
+    );
+    assert_eq!(
+        svc.faults.dedup_replays(),
+        0,
+        "a torn-away commit cannot be replayed, only re-executed"
+    );
+
+    // And a further retransmit now *does* replay — one execution total.
+    let replay = client.try_call_keyed(id, deposit).expect("retransmit");
+    assert!(
+        matches!(replay, MaResponse::BatchDeposited { accepted: 1, .. }),
+        "verbatim replay, got {replay:?}"
+    );
+    assert_eq!(svc.faults.dedup_replays(), 1);
+    let MaResponse::Balance(b) = client.call(MaRequest::Balance { account: sp }) else {
+        panic!("balance");
+    };
+    assert_eq!(
+        b, 1,
+        "exactly one credit across crash, tear, retry and replay"
+    );
+    svc.shutdown();
+}

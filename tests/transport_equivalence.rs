@@ -169,6 +169,324 @@ fn simnet_drop_surfaces_as_transport_error() {
     svc.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Batched pipeline ≡ sequential pipeline (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+//
+// Cross-client batching is a scheduling optimisation, not a semantic
+// one: for any interleaving of concurrent depositors — including a
+// cheater whose tampered spend poisons the combined verification (the
+// bisection fallback must isolate it) and a client that retransmits
+// the same keyed request so both copies can land in one drain — the
+// final ledger must equal what a strictly sequential, batching-free
+// service produces for the same logical operations.
+
+mod batching_equivalence {
+    use ppms_core::next_request_id;
+    use ppms_core::service::{BatchConfig, MaRequest, MaResponse, MaService, ServiceConfig};
+    use ppms_crypto::cl::ClKeyPair;
+    use ppms_ecash::{Coin, DecParams, NodePath, Spend};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    /// One depositor's pre-built workload.
+    struct ClientPlan {
+        account: ppms_core::AccountId,
+        /// Unique valid spends, one deposit request each.
+        spends: Vec<Spend>,
+        /// A structurally invalid spend (tampered bank signature):
+        /// `Some` only for the cheater. Fails the combined batch
+        /// verification, forcing the bisection fallback.
+        tampered: Option<Spend>,
+        /// A fresh transcript over an already-deposited leaf: `Some`
+        /// only for the cheater. Valid proof, reused serial — caught
+        /// at execution, not verification.
+        reused_leaf: Option<Spend>,
+    }
+
+    /// Registers accounts, withdraws one coin per client and pre-signs
+    /// every spend, so the deposit phase is pure service traffic.
+    fn build_plans(
+        svc: &MaService,
+        seed: u64,
+        leaves: &[usize],
+        cheater: usize,
+    ) -> Vec<ClientPlan> {
+        let client = svc.client();
+        let mut rng = StdRng::seed_from_u64(seed);
+        leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let MaResponse::Account(account) = client.call(MaRequest::RegisterSpAccount) else {
+                    panic!("sp account");
+                };
+                let cl = ClKeyPair::generate(&mut rng, &svc.pairing);
+                let MaResponse::Account(jo) = client.call(MaRequest::RegisterJoAccount {
+                    funds: 50,
+                    clpk: cl.public.clone(),
+                }) else {
+                    panic!("jo account");
+                };
+                let mut coin = Coin::mint(&mut rng, &svc.params);
+                let (blinded, factor) = coin.blind_token(&mut rng, &svc.bank_pk);
+                let auth = cl.sign_bytes(&mut rng, &svc.pairing, &1u64.to_be_bytes());
+                let MaResponse::BlindSignature(sig) = client.call(MaRequest::Withdraw {
+                    account: jo,
+                    nonce: 1,
+                    auth,
+                    blinded,
+                }) else {
+                    panic!("withdraw");
+                };
+                assert!(coin.attach_signature(&svc.bank_pk, &sig, &factor));
+                let spends: Vec<Spend> = (0..n)
+                    .map(|l| {
+                        coin.spend(
+                            &mut rng,
+                            &svc.params,
+                            &NodePath::from_index(2, l as u64),
+                            b"",
+                        )
+                    })
+                    .collect();
+                let (tampered, reused_leaf) = if i == cheater {
+                    let mut bad =
+                        coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 3), b"");
+                    bad.bank_sig += &ppms_bigint::BigUint::from(1u32);
+                    let reuse = coin.spend(&mut rng, &svc.params, &NodePath::from_index(2, 0), b"");
+                    (Some(bad), Some(reuse))
+                } else {
+                    (None, None)
+                };
+                ClientPlan {
+                    account,
+                    spends,
+                    tampered,
+                    reused_leaf,
+                }
+            })
+            .collect()
+    }
+
+    /// Plays one client's deposits. Every item is a single-spend
+    /// `DepositBatch` under a fresh idempotency key, so in the
+    /// concurrent run the shard's drain mixes items from different
+    /// clients into one cross-client batch. The first deposit is also
+    /// retransmitted under the *same* key from a second thread released
+    /// by the same barrier, so the duplicate can share a drain with the
+    /// original.
+    fn play(svc: &MaService, plan: ClientPlan, stagger_micros: u64, start: Option<Arc<Barrier>>) {
+        let client = svc.client();
+        let mut retrans: Option<std::thread::JoinHandle<()>> = None;
+        if let Some(b) = &start {
+            b.wait();
+        }
+        for (j, spend) in plan.spends.into_iter().enumerate() {
+            if stagger_micros > 0 {
+                std::thread::sleep(Duration::from_micros(stagger_micros));
+            }
+            let id = next_request_id();
+            let req = MaRequest::DepositBatch {
+                account: plan.account,
+                spends: vec![spend],
+            };
+            if j == 0 {
+                // Race a same-key duplicate against the original.
+                let dup_client = svc.client();
+                let dup_req = req.clone();
+                retrans = Some(std::thread::spawn(move || {
+                    let resp = dup_client.try_call_keyed(id, dup_req).expect("retransmit");
+                    let MaResponse::BatchDeposited {
+                        accepted, rejected, ..
+                    } = resp
+                    else {
+                        panic!("retransmit reply: {resp:?}");
+                    };
+                    assert_eq!((accepted, rejected), (1, 0), "replay must be verbatim");
+                }));
+            }
+            let resp = client.try_call_keyed(id, req).expect("deposit");
+            let MaResponse::BatchDeposited {
+                accepted, rejected, ..
+            } = resp
+            else {
+                panic!("deposit reply: {resp:?}");
+            };
+            assert_eq!((accepted, rejected), (1, 0), "valid spend {j} must credit");
+        }
+        if let Some(h) = retrans {
+            h.join().expect("retransmit thread");
+        }
+        // The cheater's extras ride after its honest items, so they
+        // interleave with the other clients' still-running deposits.
+        for (bad, expect_note) in [
+            (plan.tampered, "tampered"),
+            (plan.reused_leaf, "reused-leaf"),
+        ] {
+            let Some(bad) = bad else { continue };
+            let resp = client
+                .try_call_keyed(
+                    next_request_id(),
+                    MaRequest::DepositBatch {
+                        account: plan.account,
+                        spends: vec![bad],
+                    },
+                )
+                .expect(expect_note);
+            let MaResponse::BatchDeposited {
+                accepted, rejected, ..
+            } = resp
+            else {
+                panic!("{expect_note} reply: {resp:?}");
+            };
+            assert_eq!(
+                (accepted, rejected),
+                (0, 1),
+                "{expect_note} spend must be rejected without poisoning the batch"
+            );
+        }
+    }
+
+    /// Runs the logical schedule and returns the final per-client
+    /// balances plus the `(batch.items, batch.drains)` deltas of the
+    /// deposit phase.
+    fn run_schedule(
+        seed: u64,
+        leaves: &[usize],
+        cheater: usize,
+        batch: BatchConfig,
+        concurrent: bool,
+        staggers: &[u64],
+    ) -> (Vec<u64>, u64, u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let svc = MaService::spawn_with_config(
+            &mut rng,
+            DecParams::fixture(2, 6),
+            512,
+            40,
+            ServiceConfig {
+                shards: 1,
+                batch,
+                ..ServiceConfig::default()
+            },
+        );
+        let plans = build_plans(&svc, seed ^ 0x5EED, leaves, cheater);
+        let accounts: Vec<_> = plans.iter().map(|p| p.account).collect();
+        let items0 = svc.obs.counter("batch.items").get();
+        let drains0 = svc.obs.counter("batch.drains").get();
+
+        if concurrent {
+            let start = Arc::new(Barrier::new(plans.len()));
+            std::thread::scope(|scope| {
+                for (i, plan) in plans.into_iter().enumerate() {
+                    let svc = &svc;
+                    let stagger = staggers[i % staggers.len()];
+                    let start = start.clone();
+                    scope.spawn(move || play(svc, plan, stagger, Some(start)));
+                }
+            });
+        } else {
+            for (i, plan) in plans.into_iter().enumerate() {
+                play(&svc, plan, staggers[i % staggers.len()], None);
+            }
+        }
+
+        let items = svc.obs.counter("batch.items").get() - items0;
+        let drains = svc.obs.counter("batch.drains").get() - drains0;
+        let balances: Vec<u64> = accounts
+            .iter()
+            .map(|&account| {
+                let client = svc.client();
+                let MaResponse::Balance(b) = client.call(MaRequest::Balance { account }) else {
+                    panic!("balance");
+                };
+                b
+            })
+            .collect();
+        svc.shutdown();
+        (balances, items, drains)
+    }
+
+    /// Deterministic anchor: a concurrent run against the batching
+    /// service must form at least one genuine cross-client batch
+    /// (items > drains) and still land on the sequential ledger.
+    #[test]
+    fn concurrent_batched_run_matches_sequential_and_actually_batches() {
+        let leaves = [2usize, 2, 2];
+        let cheater = 1;
+        let staggers = [0u64, 40, 80];
+        let (seq, _, _) = run_schedule(
+            0xBA7C,
+            &leaves,
+            cheater,
+            BatchConfig {
+                max_batch: 1,
+                max_delay_micros: 0,
+            },
+            false,
+            &staggers,
+        );
+        let (bat, items, drains) = run_schedule(
+            0xBA7C,
+            &leaves,
+            cheater,
+            BatchConfig {
+                max_batch: 8,
+                max_delay_micros: 2000,
+            },
+            true,
+            &staggers,
+        );
+        assert_eq!(seq, bat, "batched ledger diverged from sequential");
+        assert_eq!(bat, vec![2, 2, 2], "each unique valid leaf credits once");
+        assert!(
+            drains < items,
+            "no cross-client batch ever formed ({items} items in {drains} drains)"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        // For arbitrary client counts, per-client workloads, cheater
+        // position and thread staggering, the batched concurrent run
+        // and the batching-free sequential run agree with each other
+        // and with the closed-form expectation.
+        #[test]
+        fn batched_pipeline_is_ledger_equivalent_to_sequential(
+            seed in 0u64..(1 << 48),
+            leaves in proptest::collection::vec(1usize..=3, 2..=4),
+            cheater_pick in 0usize..4,
+            staggers in proptest::collection::vec(0u64..200, 4),
+        ) {
+            let cheater = cheater_pick % leaves.len();
+            let seq = run_schedule(
+                seed,
+                &leaves,
+                cheater,
+                BatchConfig { max_batch: 1, max_delay_micros: 0 },
+                false,
+                &staggers,
+            );
+            let bat = run_schedule(
+                seed,
+                &leaves,
+                cheater,
+                BatchConfig { max_batch: 8, max_delay_micros: 2000 },
+                true,
+                &staggers,
+            );
+            prop_assert_eq!(&seq.0, &bat.0, "batched vs sequential ledgers");
+            let expected: Vec<u64> = leaves.iter().map(|&l| l as u64).collect();
+            prop_assert_eq!(bat.0, expected, "each unique valid leaf credits exactly once");
+        }
+    }
+}
+
 // For *any* fault seed, as long as loss stays below the retry budget's
 // reach (≤ 30% drop) the retrying fleet converges to the exact ledger a
 // fault-free in-process run produces — loss and duplication are
